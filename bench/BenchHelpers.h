@@ -1,0 +1,40 @@
+//===- bench/BenchHelpers.h - Shared helpers for the bench harness --------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Each bench binary regenerates one table or figure of the paper's
+/// evaluation. Besides google-benchmark timings, every binary prints the
+/// rows/series the paper reports (marked with "##"), so EXPERIMENTS.md can
+/// quote them directly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EASYVIEW_BENCH_BENCHHELPERS_H
+#define EASYVIEW_BENCH_BENCHHELPERS_H
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace ev {
+namespace bench {
+
+/// Prints one figure/table row, prefixed for extraction.
+inline void row(const char *Format, ...)
+    __attribute__((format(printf, 1, 2)));
+
+inline void row(const char *Format, ...) {
+  std::fputs("## ", stdout);
+  va_list Args;
+  va_start(Args, Format);
+  std::vprintf(Format, Args);
+  va_end(Args);
+  std::fputc('\n', stdout);
+}
+
+} // namespace bench
+} // namespace ev
+
+#endif // EASYVIEW_BENCH_BENCHHELPERS_H

@@ -1,0 +1,77 @@
+//===- bench/bench_fig3_diff.cpp - Paper Fig. 3 ---------------------------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates Fig. 3: the differential top-down flame graph of Spark-Bench
+/// run with the RDD APIs (P1) versus the SQL Dataset APIs (P2). Prints the
+/// tag summary and the top differential rows; times the diff operation.
+/// Expected SHAPE: P2 faster overall; SQL engine contexts [A], RDD
+/// iterator/shuffle contexts [D]/[-].
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchHelpers.h"
+
+#include "analysis/Diff.h"
+#include "analysis/MetricEngine.h"
+#include "render/DiffRenderer.h"
+#include "workload/SparkWorkload.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace ev;
+
+namespace {
+
+void diffSparkProfiles(benchmark::State &State) {
+  workload::SparkWorkload W = workload::generateSparkWorkload();
+  for (auto _ : State) {
+    DiffResult D = diffProfiles(W.Rdd, W.Sql, 0);
+    benchmark::DoNotOptimize(D.Tags.data());
+  }
+}
+BENCHMARK(diffSparkProfiles)->Unit(benchmark::kMicrosecond);
+
+void renderDifferentialView(benchmark::State &State) {
+  workload::SparkWorkload W = workload::generateSparkWorkload();
+  DiffResult D = diffProfiles(W.Rdd, W.Sql, 0);
+  for (auto _ : State) {
+    std::string Text = renderDiffText(D);
+    benchmark::DoNotOptimize(Text.data());
+  }
+}
+BENCHMARK(renderDifferentialView)->Unit(benchmark::kMicrosecond);
+
+void printFigure() {
+  workload::SparkWorkload W = workload::generateSparkWorkload();
+  double RddSec = metricTotal(W.Rdd, 0) / 1e9;
+  double SqlSec = metricTotal(W.Sql, 0) / 1e9;
+  bench::row("Fig3: Spark RDD (P1) vs SQL Dataset (P2) differential view");
+  bench::row("P1 cpu = %.1f s, P2 cpu = %.1f s, speedup = %.2fx", RddSec,
+             SqlSec, RddSec / SqlSec);
+
+  DiffResult D = diffProfiles(W.Rdd, W.Sql, 0);
+  size_t Counts[5] = {0, 0, 0, 0, 0};
+  for (DiffTag Tag : D.Tags)
+    ++Counts[static_cast<size_t>(Tag)];
+  bench::row("tags: [A]=%zu [D]=%zu [+]=%zu [-]=%zu common=%zu",
+             Counts[1], Counts[2], Counts[3], Counts[4], Counts[0]);
+
+  DiffRenderOptions Opt;
+  Opt.MaxDepth = 12;
+  Opt.MinFraction = 0.02;
+  std::string Text = renderDiffText(D, Opt);
+  std::fputs(Text.c_str(), stdout);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  benchmark::Initialize(&argc, argv);
+  printFigure();
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

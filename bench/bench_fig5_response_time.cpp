@@ -1,0 +1,126 @@
+//===- bench/bench_fig5_response_time.cpp - Paper Fig. 5 ------------------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates Fig. 5 (and Appendix A2): end-to-end response time to OPEN a
+/// pprof profile — parsing, tree construction, metric computation, first
+/// top-down flame-graph render — for EasyView versus the default-pprof and
+/// GoLand-plugin baselines, across profile sizes.
+///
+/// The paper sweeps ~1MB to ~1GB production profiles; the sizes here are
+/// scaled to laptop-class CI (1MB..64MB synthetic equivalents; the 1GB
+/// point is reported as an extrapolation note in EXPERIMENTS.md). Expected
+/// SHAPE: EasyView < GoLand < PProf at every size, gap widening with size.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchHelpers.h"
+
+#include "baseline/GolandTreeTable.h"
+#include "baseline/PprofFlameView.h"
+#include "core/EasyView.h"
+#include "workload/SyntheticProfile.h"
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <map>
+
+using namespace ev;
+
+namespace {
+
+const std::string &profileBytes(size_t Mb) {
+  static std::map<size_t, std::string> Cache;
+  auto It = Cache.find(Mb);
+  if (It != Cache.end())
+    return It->second;
+  workload::SyntheticOptions Opt;
+  Opt.Seed = 42;
+  Opt.TargetBytes = Mb << 20;
+  return Cache.emplace(Mb, workload::generatePprofBytes(Opt)).first->second;
+}
+
+void easyViewOpen(benchmark::State &State) {
+  const std::string &Bytes = profileBytes(static_cast<size_t>(State.range(0)));
+  double LastMs = 0.0;
+  for (auto _ : State) {
+    EasyViewEngine Engine;
+    auto R = Engine.openProfileBytes(Bytes, "bench");
+    benchmark::DoNotOptimize(R);
+    LastMs = Engine.lastOpenStats().totalMs();
+  }
+  State.counters["open_ms"] = LastMs;
+  State.counters["input_mb"] =
+      static_cast<double>(Bytes.size()) / (1 << 20);
+}
+
+void pprofOpen(benchmark::State &State) {
+  const std::string &Bytes = profileBytes(static_cast<size_t>(State.range(0)));
+  for (auto _ : State) {
+    auto R = baseline::openWithPprofView(Bytes);
+    benchmark::DoNotOptimize(R);
+  }
+  State.counters["input_mb"] =
+      static_cast<double>(Bytes.size()) / (1 << 20);
+}
+
+void golandOpen(benchmark::State &State) {
+  const std::string &Bytes = profileBytes(static_cast<size_t>(State.range(0)));
+  for (auto _ : State) {
+    auto R = baseline::openWithGolandView(Bytes);
+    benchmark::DoNotOptimize(R);
+  }
+  State.counters["input_mb"] =
+      static_cast<double>(Bytes.size()) / (1 << 20);
+}
+
+BENCHMARK(easyViewOpen)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+BENCHMARK(golandOpen)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+BENCHMARK(pprofOpen)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+/// Prints the figure rows with one timed run per (tool, size).
+void printFigure() {
+  bench::row("Fig5: response time to open a profile (ms); lower is better");
+  bench::row("(sizes scaled to CI hardware; the paper sweeps 1MB..1GB "
+             "production profiles)");
+  bench::row("%-8s %12s %12s %12s", "size", "EasyView", "GoLand", "PProf");
+  for (size_t Mb : {1, 2, 4, 8}) {
+    const std::string &Bytes = profileBytes(Mb);
+    auto TimeMs = [&](auto Fn) {
+      auto T0 = std::chrono::steady_clock::now();
+      Fn();
+      auto T1 = std::chrono::steady_clock::now();
+      return std::chrono::duration<double, std::milli>(T1 - T0).count();
+    };
+    double Ev = TimeMs([&] {
+      EasyViewEngine Engine;
+      auto R = Engine.openProfileBytes(Bytes);
+      benchmark::DoNotOptimize(R);
+    });
+    double Gl = TimeMs([&] {
+      auto R = baseline::openWithGolandView(Bytes);
+      benchmark::DoNotOptimize(R);
+    });
+    double Pp = TimeMs([&] {
+      auto R = baseline::openWithPprofView(Bytes);
+      benchmark::DoNotOptimize(R);
+    });
+    bench::row("%-6zuMB %12.1f %12.1f %12.1f", Mb, Ev, Gl, Pp);
+  }
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  benchmark::Initialize(&argc, argv);
+  printFigure();
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

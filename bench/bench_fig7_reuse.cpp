@@ -1,0 +1,85 @@
+//===- bench/bench_fig7_reuse.cpp - Paper Fig. 7 --------------------------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates Fig. 7: the correlated three-pane flame-graph view over
+/// DrCCTProf reuse tuples in LULESH — allocations, then the uses of the
+/// selected allocation, then the reuses following the selected use. Times
+/// the view construction and pane filtering.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchHelpers.h"
+
+#include "render/CorrelatedView.h"
+#include "workload/ReuseWorkload.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace ev;
+
+namespace {
+
+void buildCorrelatedView(benchmark::State &State) {
+  workload::ReuseWorkload W = workload::generateReuseWorkload();
+  for (auto _ : State) {
+    CorrelatedView View(W.P, "reuse");
+    benchmark::DoNotOptimize(View.activeGroupCount());
+  }
+}
+BENCHMARK(buildCorrelatedView)->Unit(benchmark::kMicrosecond);
+
+void selectAndRefilter(benchmark::State &State) {
+  workload::ReuseWorkload W = workload::generateReuseWorkload();
+  CorrelatedView View(W.P, "reuse");
+  NodeId Hot = View.paneContexts(0).front().first;
+  for (auto _ : State) {
+    View.clearFrom(0);
+    bool Ok = View.select(0, Hot);
+    benchmark::DoNotOptimize(Ok);
+  }
+}
+BENCHMARK(selectAndRefilter)->Unit(benchmark::kMicrosecond);
+
+void panesProfileBuild(benchmark::State &State) {
+  workload::ReuseWorkload W = workload::generateReuseWorkload();
+  CorrelatedView View(W.P, "reuse");
+  for (auto _ : State) {
+    Profile Pane = View.paneProfile(0);
+    benchmark::DoNotOptimize(Pane.nodeCount());
+  }
+}
+BENCHMARK(panesProfileBuild)->Unit(benchmark::kMicrosecond);
+
+void printFigure() {
+  workload::ReuseWorkload W = workload::generateReuseWorkload();
+  CorrelatedView View(W.P, "reuse");
+  bench::row("Fig7: correlated allocation/use/reuse panes (%zu tuples)",
+             W.P.groups().size());
+
+  auto Pane0 = View.paneContexts(0);
+  bench::row("pane 0 (allocations): %zu contexts, hottest = %s", Pane0.size(),
+             std::string(W.P.nameOf(Pane0.front().first)).c_str());
+  View.select(0, Pane0.front().first);
+  auto Pane1 = View.paneContexts(1);
+  bench::row("pane 1 (uses of %s): hottest = %s", W.HotArray.c_str(),
+             std::string(W.P.nameOf(Pane1.front().first)).c_str());
+  View.select(1, Pane1.front().first);
+  auto Pane2 = View.paneContexts(2);
+  bench::row("pane 2 (reuses): hottest = %s (expected: %s)",
+             std::string(W.P.nameOf(Pane2.front().first)).c_str(),
+             W.HotFunction.c_str());
+  std::fputs(View.renderText().c_str(), stdout);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  benchmark::Initialize(&argc, argv);
+  printFigure();
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

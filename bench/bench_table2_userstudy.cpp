@@ -1,0 +1,72 @@
+//===- bench/bench_table2_userstudy.cpp - Paper §VII-D control groups -----===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates the §VII-D control-group evaluation: three groups of seven
+/// participants analyze the same PProf data with EasyView, the GoLand
+/// plugin, and the default PProf visualizer, on Tasks I-III. Humans cannot
+/// be rerun; the simulator derives interaction counts from the real tool
+/// data models (see src/userstudy/UserSim.h). Expected SHAPE:
+///   Task I:   ~10 / ~15 / ~30 minutes
+///   Task II:  ~10 / ~60 / >180 minutes
+///   Task III: ~10 / >180 / >180 minutes (controls fail the 3h budget)
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchHelpers.h"
+
+#include "userstudy/UserSim.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace ev;
+using namespace ev::userstudy;
+
+namespace {
+
+void simulateFullStudy(benchmark::State &State) {
+  UserStudyOptions Opt;
+  for (auto _ : State) {
+    auto Table = runControlGroups(Opt);
+    benchmark::DoNotOptimize(Table.data());
+    ++Opt.Seed;
+  }
+}
+BENCHMARK(simulateFullStudy)->Unit(benchmark::kMillisecond);
+
+void printTable() {
+  auto Table = runControlGroups({});
+  const Task Tasks[] = {Task::HotspotAnalysis, Task::BottomUpAnalysis,
+                        Task::MultiProfileLeak};
+  const Tool Tools[] = {Tool::EasyView, Tool::Goland, Tool::Pprof};
+  bench::row("Table U1 (paper SecVII-D): mean task minutes, 7 users/group");
+  bench::row("%-34s %10s %10s %10s", "", "EasyView", "GoLand", "PProf");
+  for (size_t T = 0; T < 3; ++T) {
+    char Cells[3][32];
+    for (size_t L = 0; L < 3; ++L) {
+      const GroupOutcome &G = Table[T][L];
+      if (G.Completed == G.Participants)
+        std::snprintf(Cells[L], sizeof(Cells[L]), "%.0f min",
+                      G.MeanMinutes);
+      else
+        std::snprintf(Cells[L], sizeof(Cells[L]), ">180 (%zu/%zu)",
+                      G.Completed, G.Participants);
+    }
+    bench::row("%-34s %10s %10s %10s",
+               std::string(taskName(Tasks[T])).c_str(), Cells[0], Cells[1],
+               Cells[2]);
+    (void)Tools;
+  }
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  benchmark::Initialize(&argc, argv);
+  printTable();
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

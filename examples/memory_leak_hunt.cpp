@@ -1,0 +1,86 @@
+//===- examples/memory_leak_hunt.cpp - The Fig. 4 cloud case study --------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces the paper's §VII-C1 workflow: PProf-style heap snapshots of
+/// a gRPC client are aggregated into one tree; per-context histograms of
+/// active memory over time expose the two leaking allocation sites
+/// (transport.newBufWriter, bufio.NewReaderSize) while the heavy-but-
+/// healthy passthrough context shows reclamation at the end of the run.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Aggregate.h"
+#include "analysis/LeakDetector.h"
+#include "render/Histogram.h"
+#include "support/Strings.h"
+#include "workload/GrpcLeakWorkload.h"
+
+#include <cstdio>
+
+using namespace ev;
+
+int main() {
+  // Capture a memory snapshot every 0.1 s during the benchmark run.
+  workload::GrpcLeakWorkload W = workload::generateGrpcLeakWorkload();
+  std::printf("captured %zu heap snapshots\n", W.Snapshots.size());
+
+  // Aggregate all snapshots into a unified tree (paper §V-A(c)).
+  std::vector<const Profile *> Inputs;
+  for (const Profile &P : W.Snapshots)
+    Inputs.push_back(&P);
+  AggregateOptions Opt;
+  Opt.WithMax = true;
+  AggregatedProfile Agg = aggregate(Inputs, Opt);
+  const Profile &Tree = Agg.merged();
+  std::printf("aggregate tree: %zu contexts\n\n", Tree.nodeCount());
+
+  // Rank leak suspects: contexts whose active bytes keep rising and are
+  // never reclaimed.
+  std::vector<LeakSuspect> Suspects = findLeakSuspects(Agg, 0);
+  std::printf("=== leak suspects (ranked) ===\n");
+  for (const LeakSuspect &S : Suspects) {
+    const Frame &F = Tree.frameOf(S.Node);
+    std::printf("%-28s score=%.2f final/peak=%.2f peak=%s\n",
+                std::string(Tree.nameOf(S.Node)).c_str(), S.Score,
+                S.FinalOverPeak,
+                formatBytes(S.PeakBytes).c_str());
+    if (F.Loc.hasSourceMapping())
+      std::printf("    code link -> %s:%u\n",
+                  std::string(Tree.text(F.Loc.File)).c_str(), F.Loc.Line);
+    HistogramOptions H;
+    H.Unit = "bytes";
+    H.Height = 6;
+    H.MaxBars = 60;
+    std::printf("%s\n",
+                renderHistogramAscii(Agg.perProfileInclusive(S.Node, 0), H)
+                    .c_str());
+  }
+
+  // Contrast: the healthy passthrough context reclaims its memory.
+  for (NodeId Id = 0; Id < Tree.nodeCount(); ++Id) {
+    if (Tree.nameOf(Id) != "codec.passthrough")
+      continue;
+    std::printf("=== healthy context: codec.passthrough ===\n");
+    HistogramOptions H;
+    H.Unit = "bytes";
+    H.Height = 6;
+    H.MaxBars = 60;
+    std::printf("%s\n",
+                renderHistogramAscii(Agg.perProfileInclusive(Id, 0), H)
+                    .c_str());
+  }
+
+  // Score against the generator's ground truth.
+  size_t Found = 0;
+  for (const std::string &Leak : W.LeakingFunctions)
+    for (const LeakSuspect &S : Suspects)
+      if (Tree.nameOf(S.Node) == Leak)
+        ++Found;
+  std::printf("detector found %zu of %zu true leaks, %zu suspects total\n",
+              Found, W.LeakingFunctions.size(), Suspects.size());
+  return Found == W.LeakingFunctions.size() ? 0 : 1;
+}

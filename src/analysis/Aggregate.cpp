@@ -1,0 +1,188 @@
+//===- analysis/Aggregate.cpp - Multi-profile aggregation -----------------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Aggregate.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace ev {
+
+std::vector<double>
+AggregatedProfile::perProfileExclusive(NodeId Node, MetricId Metric) const {
+  auto It = Samples.find(sampleKey(Node, Metric));
+  if (It == Samples.end())
+    return {};
+  return It->second;
+}
+
+void AggregatedProfile::ensureInclusive() const {
+  if (InclusiveReady)
+    return;
+  InclusiveColumns.assign(InputMetricCount * ProfileCount,
+                          std::vector<double>(Merged.nodeCount(), 0.0));
+  for (const auto &[Key, Values] : Samples) {
+    NodeId Node = static_cast<NodeId>(Key >> 16);
+    MetricId Metric = static_cast<MetricId>(Key & 0xFFFF);
+    if (Metric >= InputMetricCount)
+      continue; // Derived columns do not have per-profile samples.
+    for (size_t Prof = 0; Prof < Values.size(); ++Prof)
+      InclusiveColumns[Metric * ProfileCount + Prof][Node] += Values[Prof];
+  }
+  // Bottom-up accumulation; node ids are parents-first.
+  for (auto &Column : InclusiveColumns)
+    for (NodeId Id = static_cast<NodeId>(Merged.nodeCount()); Id > 1;) {
+      --Id;
+      Column[Merged.node(Id).Parent] += Column[Id];
+    }
+  InclusiveReady = true;
+}
+
+std::vector<double>
+AggregatedProfile::perProfileInclusive(NodeId Node, MetricId Metric) const {
+  assert(Metric < InputMetricCount && "derived columns have no histogram");
+  ensureInclusive();
+  std::vector<double> Out(ProfileCount, 0.0);
+  for (size_t Prof = 0; Prof < ProfileCount; ++Prof)
+    Out[Prof] = InclusiveColumns[Metric * ProfileCount + Prof][Node];
+  return Out;
+}
+
+AggregatedProfile aggregate(std::span<const Profile *const> Profiles,
+                            const AggregateOptions &Options) {
+  assert(!Profiles.empty() && "aggregate requires at least one profile");
+  AggregatedProfile Agg;
+  Agg.ProfileCount = Profiles.size();
+  const Profile &First = *Profiles[0];
+  Agg.InputMetricCount = First.metrics().size();
+  assert(Agg.InputMetricCount < 0xFFFF && "metric id space exhausted");
+
+  Profile &Merged = Agg.Merged;
+  Merged.setName("aggregate of " + std::to_string(Profiles.size()) +
+                 " profiles");
+
+  // Column layout: first the input metrics (holding the per-node SUM when
+  // WithSum, otherwise zeros), then the derived statistics.
+  std::vector<MetricId> SumIds(Agg.InputMetricCount);
+  std::vector<MetricId> MinIds, MaxIds, MeanIds, StddevIds;
+  for (MetricId I = 0; I < Agg.InputMetricCount; ++I) {
+    const MetricDescriptor &M = First.metrics()[I];
+    SumIds[I] = Merged.addMetric(M.Name, M.Unit, M.Aggregation);
+  }
+  for (MetricId I = 0; I < Agg.InputMetricCount; ++I) {
+    const MetricDescriptor &M = First.metrics()[I];
+    if (Options.WithMin)
+      MinIds.push_back(
+          Merged.addMetric(M.Name + ".min", M.Unit, MetricAggregation::Min));
+    if (Options.WithMax)
+      MaxIds.push_back(
+          Merged.addMetric(M.Name + ".max", M.Unit, MetricAggregation::Max));
+    if (Options.WithMean)
+      MeanIds.push_back(
+          Merged.addMetric(M.Name + ".mean", M.Unit, MetricAggregation::Sum));
+    if (Options.WithStddev)
+      StddevIds.push_back(Merged.addMetric(M.Name + ".stddev", M.Unit,
+                                           MetricAggregation::Sum));
+  }
+
+  // Merge every input tree into the unified tree. Children are matched by
+  // textual frame identity under the same merged parent.
+  std::unordered_map<uint64_t, NodeId> ChildIndex;
+  auto ChildFor = [&](NodeId Parent, FrameId F) {
+    uint64_t Key = (static_cast<uint64_t>(Parent) << 32) | F;
+    auto It = ChildIndex.find(Key);
+    if (It != ChildIndex.end())
+      return It->second;
+    NodeId Id = Merged.createNode(Parent, F);
+    ChildIndex.emplace(Key, Id);
+    return Id;
+  };
+
+  for (size_t ProfIdx = 0; ProfIdx < Profiles.size(); ++ProfIdx) {
+    const Profile &P = *Profiles[ProfIdx];
+    // Map this profile's metric names onto the first profile's columns.
+    std::vector<MetricId> MetricMap(P.metrics().size(),
+                                    Profile::InvalidMetric);
+    for (MetricId I = 0; I < P.metrics().size(); ++I) {
+      MetricId Target = First.findMetric(P.metrics()[I].Name);
+      if (Target != Profile::InvalidMetric)
+        MetricMap[I] = Target;
+    }
+
+    std::vector<NodeId> OutNode(P.nodeCount(), InvalidNode);
+    OutNode[P.root()] = Merged.root();
+    std::vector<FrameId> FrameMap(P.frames().size(), 0);
+    std::vector<bool> FrameMapped(P.frames().size(), false);
+    auto MapFrame = [&](FrameId F) {
+      if (FrameMapped[F])
+        return FrameMap[F];
+      const Frame &Old = P.frame(F);
+      Frame Copy;
+      Copy.Kind = Old.Kind;
+      Copy.Name = Merged.strings().intern(P.text(Old.Name));
+      Copy.Loc.File = Merged.strings().intern(P.text(Old.Loc.File));
+      Copy.Loc.Line = Old.Loc.Line;
+      Copy.Loc.Module = Merged.strings().intern(P.text(Old.Loc.Module));
+      // Addresses are run-specific (ASLR): identity is textual only.
+      Copy.Loc.Address = 0;
+      FrameMap[F] = Merged.internFrame(Copy);
+      FrameMapped[F] = true;
+      return FrameMap[F];
+    };
+
+    for (NodeId Id = 1; Id < P.nodeCount(); ++Id) {
+      const CCTNode &Node = P.node(Id);
+      OutNode[Id] = ChildFor(OutNode[Node.Parent], MapFrame(Node.FrameRef));
+    }
+    for (NodeId Id = 0; Id < P.nodeCount(); ++Id) {
+      for (const MetricValue &MV : P.node(Id).Metrics) {
+        if (MV.Metric >= MetricMap.size() ||
+            MetricMap[MV.Metric] == Profile::InvalidMetric)
+          continue;
+        MetricId Target = MetricMap[MV.Metric];
+        std::vector<double> &Slot =
+            Agg.Samples[AggregatedProfile::sampleKey(OutNode[Id], Target)];
+        if (Slot.empty())
+          Slot.assign(Profiles.size(), 0.0);
+        Slot[ProfIdx] += MV.Value;
+      }
+    }
+  }
+
+  // Derive the statistic columns from the per-profile store.
+  size_t N = Profiles.size();
+  for (const auto &[Key, Values] : Agg.Samples) {
+    NodeId Node = static_cast<NodeId>(Key >> 16);
+    MetricId Metric = static_cast<MetricId>(Key & 0xFFFF);
+    double Sum = 0.0, Min = Values[0], Max = Values[0];
+    for (double V : Values) {
+      Sum += V;
+      Min = std::min(Min, V);
+      Max = std::max(Max, V);
+    }
+    double Mean = Sum / static_cast<double>(N);
+    if (Options.WithSum && Sum != 0.0)
+      Merged.node(Node).addMetric(SumIds[Metric], Sum);
+    if (Options.WithMin && Min != 0.0)
+      Merged.node(Node).addMetric(MinIds[Metric], Min);
+    if (Options.WithMax && Max != 0.0)
+      Merged.node(Node).addMetric(MaxIds[Metric], Max);
+    if (Options.WithMean && Mean != 0.0)
+      Merged.node(Node).addMetric(MeanIds[Metric], Mean);
+    if (Options.WithStddev) {
+      double Var = 0.0;
+      for (double V : Values)
+        Var += (V - Mean) * (V - Mean);
+      Var /= static_cast<double>(N);
+      double Stddev = std::sqrt(Var);
+      if (Stddev != 0.0)
+        Merged.node(Node).addMetric(StddevIds[Metric], Stddev);
+    }
+  }
+  return Agg;
+}
+
+} // namespace ev

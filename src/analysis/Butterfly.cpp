@@ -1,0 +1,95 @@
+//===- analysis/Butterfly.cpp - Caller/callee breakdown for a function ----===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Butterfly.h"
+
+#include "analysis/MetricEngine.h"
+#include "support/Strings.h"
+
+#include <algorithm>
+#include <map>
+
+namespace ev {
+
+ButterflyResult butterfly(const Profile &P, std::string_view FunctionName,
+                          MetricId Metric) {
+  ButterflyResult Out;
+  Out.Focus = std::string(FunctionName);
+
+  std::vector<double> Inclusive = inclusiveColumn(P, Metric);
+  std::map<std::string, double> Callers;
+  std::map<std::string, double> Callees;
+
+  for (NodeId Id = 1; Id < P.nodeCount(); ++Id) {
+    if (P.nameOf(Id) != FunctionName)
+      continue;
+    ++Out.Occurrences;
+    Out.SelfExclusive += P.node(Id).metricOr(Metric);
+
+    NodeId Parent = P.node(Id).Parent;
+    bool ParentIsFocus =
+        Parent != InvalidNode && P.nameOf(Parent) == FunctionName;
+    if (!ParentIsFocus) {
+      // Outermost occurrence: counts toward the focus total and its
+      // caller edge.
+      Out.TotalInclusive += Inclusive[Id];
+      std::string CallerName =
+          Parent == InvalidNode || Parent == P.root()
+              ? std::string("<program root>")
+              : std::string(P.nameOf(Parent));
+      Callers[CallerName] += Inclusive[Id];
+    }
+    for (NodeId Child : P.node(Id).Children) {
+      if (P.nameOf(Child) == FunctionName)
+        continue; // Self-recursion folds into the focus itself.
+      Callees[std::string(P.nameOf(Child))] += Inclusive[Child];
+    }
+  }
+  if (Out.SelfExclusive != 0.0)
+    Callees["(self)"] += Out.SelfExclusive;
+
+  auto Flatten = [](const std::map<std::string, double> &In) {
+    std::vector<ButterflyEntry> V;
+    for (const auto &[Name, Value] : In)
+      V.push_back({Name, Value});
+    std::sort(V.begin(), V.end(),
+              [](const ButterflyEntry &A, const ButterflyEntry &B) {
+                if (A.Value != B.Value)
+                  return A.Value > B.Value;
+                return A.Name < B.Name;
+              });
+    return V;
+  };
+  Out.Callers = Flatten(Callers);
+  Out.Callees = Flatten(Callees);
+  return Out;
+}
+
+std::string renderButterflyText(const Profile &P, const ButterflyResult &B,
+                                std::string_view Unit) {
+  (void)P;
+  std::string Out;
+  Out += "butterfly: " + B.Focus + " (" + std::to_string(B.Occurrences) +
+         " context(s), total " + formatMetric(B.TotalInclusive, Unit) +
+         ", self " + formatMetric(B.SelfExclusive, Unit) + ")\n";
+  Out += "callers:\n";
+  for (const ButterflyEntry &E : B.Callers) {
+    double Pct =
+        B.TotalInclusive > 0 ? 100.0 * E.Value / B.TotalInclusive : 0.0;
+    Out += "  " + formatDouble(Pct, 1) + "%  " + E.Name + "  (" +
+           formatMetric(E.Value, Unit) + ")\n";
+  }
+  Out += "callees:\n";
+  for (const ButterflyEntry &E : B.Callees) {
+    double Pct =
+        B.TotalInclusive > 0 ? 100.0 * E.Value / B.TotalInclusive : 0.0;
+    Out += "  " + formatDouble(Pct, 1) + "%  " + E.Name + "  (" +
+           formatMetric(E.Value, Unit) + ")\n";
+  }
+  return Out;
+}
+
+} // namespace ev

@@ -1,0 +1,63 @@
+//===- analysis/Butterfly.h - Caller/callee breakdown for a function ------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The caller/callee ("butterfly") breakdown mainstream viewers (VTune,
+/// hpcviewer) pair with the bottom-up view: focus one function and see
+/// where its time comes from (callers) and where it goes (callees). In
+/// EasyView this backs an IDE action (pvp/butterfly): hovering a function
+/// name in the editor can summon its butterfly without leaving the source.
+///
+/// Attribution rules:
+///  - focus total = sum of inclusive values over OUTERMOST occurrences of
+///    the focus function (recursion counted once);
+///  - callers: that total split by the name of the caller frame;
+///  - callees: the focus's direct children split by name (self-recursive
+///    edges fold into the focus's own row), plus a "(self)" entry for the
+///    focus's exclusive value.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EASYVIEW_ANALYSIS_BUTTERFLY_H
+#define EASYVIEW_ANALYSIS_BUTTERFLY_H
+
+#include "profile/Profile.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ev {
+
+/// One caller or callee row.
+struct ButterflyEntry {
+  std::string Name;
+  double Value = 0.0; ///< Inclusive metric attributed to this edge.
+};
+
+struct ButterflyResult {
+  std::string Focus;
+  double TotalInclusive = 0.0; ///< Over outermost focus occurrences.
+  double SelfExclusive = 0.0;  ///< Exclusive value across all occurrences.
+  size_t Occurrences = 0;      ///< Focus contexts in the CCT.
+  std::vector<ButterflyEntry> Callers; ///< Descending by value.
+  std::vector<ButterflyEntry> Callees; ///< Descending by value.
+};
+
+/// Computes the butterfly of every context whose frame name equals
+/// \p FunctionName for \p Metric. An absent function yields a result with
+/// zero occurrences.
+ButterflyResult butterfly(const Profile &P, std::string_view FunctionName,
+                          MetricId Metric);
+
+/// Renders the classic two-sided text view.
+std::string renderButterflyText(const Profile &P,
+                                const ButterflyResult &B,
+                                std::string_view Unit);
+
+} // namespace ev
+
+#endif // EASYVIEW_ANALYSIS_BUTTERFLY_H

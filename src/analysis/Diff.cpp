@@ -1,0 +1,144 @@
+//===- analysis/Diff.cpp - Profile differencing ---------------------------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Diff.h"
+
+#include <cmath>
+#include <unordered_map>
+
+namespace ev {
+
+std::string_view diffTagLabel(DiffTag Tag) {
+  switch (Tag) {
+  case DiffTag::Common:
+    return "[=]";
+  case DiffTag::Added:
+    return "[A]";
+  case DiffTag::Deleted:
+    return "[D]";
+  case DiffTag::Increased:
+    return "[+]";
+  case DiffTag::Decreased:
+    return "[-]";
+  }
+  return "[?]";
+}
+
+DiffResult diffProfiles(const Profile &Base, const Profile &Test,
+                        MetricId Metric, double RelativeEpsilon) {
+  DiffResult Result;
+  Profile &Merged = Result.Merged;
+  Merged.setName("diff: " + Test.name() + " vs " + Base.name());
+
+  const MetricDescriptor &M = Base.metrics().at(Metric);
+  Result.BaseMetric = Merged.addMetric("base " + M.Name, M.Unit);
+  Result.TestMetric = Merged.addMetric("test " + M.Name, M.Unit);
+  Result.DeltaMetric = Merged.addMetric("delta " + M.Name, M.Unit);
+
+  std::unordered_map<uint64_t, NodeId> ChildIndex;
+  auto ChildFor = [&](NodeId Parent, FrameId F) {
+    uint64_t Key = (static_cast<uint64_t>(Parent) << 32) | F;
+    auto It = ChildIndex.find(Key);
+    if (It != ChildIndex.end())
+      return It->second;
+    NodeId Id = Merged.createNode(Parent, F);
+    ChildIndex.emplace(Key, Id);
+    return Id;
+  };
+
+  // Presence[node]: bit 0 = in base, bit 1 = in test.
+  std::vector<uint8_t> Presence;
+  Presence.resize(1, 3); // Root is in both.
+
+  auto MergeSide = [&](const Profile &P, MetricId SideMetric, uint8_t Bit,
+                       MetricId WhichInput) {
+    std::vector<NodeId> OutNode(P.nodeCount(), InvalidNode);
+    OutNode[P.root()] = Merged.root();
+    std::vector<FrameId> FrameMap(P.frames().size(), 0);
+    std::vector<bool> FrameMapped(P.frames().size(), false);
+    auto MapFrame = [&](FrameId F) {
+      if (FrameMapped[F])
+        return FrameMap[F];
+      const Frame &Old = P.frame(F);
+      Frame Copy;
+      Copy.Kind = Old.Kind;
+      Copy.Name = Merged.strings().intern(P.text(Old.Name));
+      Copy.Loc.File = Merged.strings().intern(P.text(Old.Loc.File));
+      Copy.Loc.Line = Old.Loc.Line;
+      Copy.Loc.Module = Merged.strings().intern(P.text(Old.Loc.Module));
+      Copy.Loc.Address = 0;
+      FrameMap[F] = Merged.internFrame(Copy);
+      FrameMapped[F] = true;
+      return FrameMap[F];
+    };
+    for (NodeId Id = 1; Id < P.nodeCount(); ++Id) {
+      const CCTNode &Node = P.node(Id);
+      OutNode[Id] = ChildFor(OutNode[Node.Parent], MapFrame(Node.FrameRef));
+      if (Presence.size() <= OutNode[Id])
+        Presence.resize(OutNode[Id] + 1, 0);
+      Presence[OutNode[Id]] |= Bit;
+    }
+    for (NodeId Id = 0; Id < P.nodeCount(); ++Id) {
+      double V = P.node(Id).metricOr(WhichInput);
+      if (V != 0.0)
+        Merged.node(OutNode[Id]).addMetric(SideMetric, V);
+    }
+  };
+
+  MergeSide(Base, Result.BaseMetric, /*Bit=*/1, Metric);
+  // The metric may sit at a different id in the test profile; match by name.
+  MetricId TestInput = Test.findMetric(M.Name);
+  if (TestInput == Profile::InvalidMetric)
+    TestInput = Metric;
+  MergeSide(Test, Result.TestMetric, /*Bit=*/2, TestInput);
+  Presence.resize(Merged.nodeCount(), 0);
+
+  // Delta column (exclusive) and inclusive columns for tagging.
+  Result.BaseInclusive.assign(Merged.nodeCount(), 0.0);
+  Result.TestInclusive.assign(Merged.nodeCount(), 0.0);
+  for (NodeId Id = 0; Id < Merged.nodeCount(); ++Id) {
+    double B = Merged.node(Id).metricOr(Result.BaseMetric);
+    double T = Merged.node(Id).metricOr(Result.TestMetric);
+    if (T - B != 0.0)
+      Merged.node(Id).addMetric(Result.DeltaMetric, T - B);
+    Result.BaseInclusive[Id] = B;
+    Result.TestInclusive[Id] = T;
+  }
+  for (NodeId Id = static_cast<NodeId>(Merged.nodeCount()); Id > 1;) {
+    --Id;
+    NodeId Parent = Merged.node(Id).Parent;
+    Result.BaseInclusive[Parent] += Result.BaseInclusive[Id];
+    Result.TestInclusive[Parent] += Result.TestInclusive[Id];
+  }
+
+  Result.Tags.assign(Merged.nodeCount(), DiffTag::Common);
+  for (NodeId Id = 0; Id < Merged.nodeCount(); ++Id) {
+    bool InBase = Presence[Id] & 1;
+    bool InTest = Presence[Id] & 2;
+    if (Id == Merged.root()) {
+      InBase = true;
+      InTest = true;
+    }
+    if (!InBase && InTest) {
+      Result.Tags[Id] = DiffTag::Added;
+      continue;
+    }
+    if (InBase && !InTest) {
+      Result.Tags[Id] = DiffTag::Deleted;
+      continue;
+    }
+    double B = Result.BaseInclusive[Id];
+    double T = Result.TestInclusive[Id];
+    double Scale = std::max(std::abs(B), std::abs(T));
+    if (Scale == 0.0 || std::abs(T - B) <= RelativeEpsilon * Scale)
+      Result.Tags[Id] = DiffTag::Common;
+    else
+      Result.Tags[Id] = T > B ? DiffTag::Increased : DiffTag::Decreased;
+  }
+  return Result;
+}
+
+} // namespace ev

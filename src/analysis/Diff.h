@@ -1,0 +1,70 @@
+//===- analysis/Diff.h - Profile differencing -----------------------------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The differentiation operation (paper §V-A(c) and Fig. 3): quantifies the
+/// difference between two profiles P1 (base) and P2 (test). The result is a
+/// merged tree where every context carries one of four tags:
+///
+///   [A] added   — context exists in P2 but not in P1
+///   [D] deleted — context exists in P1 but not in P2
+///   [+]         — context in both, metric larger in P2
+///   [-]         — context in both, metric smaller in P2
+///
+/// Two contexts are differentiable when all their ancestors are
+/// differentiable (matched by textual frame identity). Unlike the prior
+/// color-only differential flame graphs, the result quantifies the delta
+/// per node and supports all three tree shapes: apply bottomUpTree /
+/// flatTree to the inputs before diffing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EASYVIEW_ANALYSIS_DIFF_H
+#define EASYVIEW_ANALYSIS_DIFF_H
+
+#include "profile/Profile.h"
+
+#include <string_view>
+#include <vector>
+
+namespace ev {
+
+/// Per-context classification in a differential profile.
+enum class DiffTag : uint8_t {
+  Common,    ///< Present in both with (near-)equal metric.
+  Added,     ///< [A] only in the test profile.
+  Deleted,   ///< [D] only in the base profile.
+  Increased, ///< [+] in both, larger in test.
+  Decreased, ///< [-] in both, smaller in test.
+};
+
+/// \returns the bracketed tag string used by the differential views.
+std::string_view diffTagLabel(DiffTag Tag);
+
+/// The differential profile.
+struct DiffResult {
+  /// Unified tree. Metric columns (exclusive): "base", "test", "delta"
+  /// (test - base) for the chosen metric.
+  Profile Merged;
+  MetricId BaseMetric = 0;
+  MetricId TestMetric = 0;
+  MetricId DeltaMetric = 0;
+  /// Per merged-node tag, indexed by NodeId in Merged. Tags classify by
+  /// INCLUSIVE values, matching what a differential flame graph displays.
+  std::vector<DiffTag> Tags;
+  /// Per merged-node inclusive values.
+  std::vector<double> BaseInclusive;
+  std::vector<double> TestInclusive;
+};
+
+/// Diffs \p Metric between \p Base and \p Test. \p RelativeEpsilon bounds
+/// the relative difference below which a context counts as unchanged.
+DiffResult diffProfiles(const Profile &Base, const Profile &Test,
+                        MetricId Metric, double RelativeEpsilon = 1e-9);
+
+} // namespace ev
+
+#endif // EASYVIEW_ANALYSIS_DIFF_H

@@ -1,0 +1,93 @@
+//===- analysis/LeakDetector.cpp - Memory-leak pattern detection ----------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/LeakDetector.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ev {
+
+double trendSlope(const std::vector<double> &Series) {
+  size_t N = Series.size();
+  if (N < 2)
+    return 0.0;
+  double MeanX = (static_cast<double>(N) - 1.0) / 2.0;
+  double MeanY = 0.0;
+  for (double Y : Series)
+    MeanY += Y;
+  MeanY /= static_cast<double>(N);
+  double Num = 0.0, Den = 0.0;
+  for (size_t I = 0; I < N; ++I) {
+    double DX = static_cast<double>(I) - MeanX;
+    Num += DX * (Series[I] - MeanY);
+    Den += DX * DX;
+  }
+  return Den == 0.0 ? 0.0 : Num / Den;
+}
+
+std::vector<LeakSuspect>
+findLeakSuspects(const AggregatedProfile &Snapshots, MetricId Metric,
+                 const LeakOptions &Options) {
+  const Profile &Tree = Snapshots.merged();
+  std::vector<LeakSuspect> Suspects;
+
+  for (NodeId Id = 1; Id < Tree.nodeCount(); ++Id) {
+    // Analyze allocation sites: contexts that record values directly. The
+    // inclusive series of interior nodes is dominated by their children and
+    // would double-report the same leak along the whole path.
+    bool RecordsMetric = false;
+    for (const MetricValue &MV : Tree.node(Id).Metrics)
+      if (MV.Metric < Snapshots.inputMetricCount() && MV.Value != 0.0)
+        RecordsMetric = true;
+    if (!RecordsMetric)
+      continue;
+
+    std::vector<double> Series = Snapshots.perProfileInclusive(Id, Metric);
+    if (Series.empty())
+      continue;
+    double Peak = *std::max_element(Series.begin(), Series.end());
+    if (Peak < Options.MinPeakBytes)
+      continue;
+    double Final = Series.back();
+    double FinalOverPeak = Peak == 0.0 ? 0.0 : Final / Peak;
+    double Slope = trendSlope(Series);
+    // Normalize the slope so the score is scale-free: a context that grows
+    // from 0 to its peak over the whole window has normalized slope ~1.
+    double NormSlope =
+        Slope * (static_cast<double>(Series.size()) - 1.0) / Peak;
+    NormSlope = std::clamp(NormSlope, -1.0, 1.0);
+
+    if (FinalOverPeak < Options.MinFinalOverPeak)
+      continue; // Memory is reclaimed at the end: not a leak (passthrough).
+
+    double Score = 0.5 * std::max(NormSlope, 0.0) + 0.5 * FinalOverPeak;
+    if (Score < Options.MinScore)
+      continue;
+
+    LeakSuspect S;
+    S.Node = Id;
+    S.Score = Score;
+    S.Slope = Slope;
+    S.FinalOverPeak = FinalOverPeak;
+    S.PeakBytes = Peak;
+    Suspects.push_back(S);
+  }
+
+  std::sort(Suspects.begin(), Suspects.end(),
+            [](const LeakSuspect &A, const LeakSuspect &B) {
+              if (A.Score != B.Score)
+                return A.Score > B.Score;
+              if (A.PeakBytes != B.PeakBytes)
+                return A.PeakBytes > B.PeakBytes;
+              return A.Node < B.Node;
+            });
+  if (Suspects.size() > Options.MaxSuspects)
+    Suspects.resize(Options.MaxSuspects);
+  return Suspects;
+}
+
+} // namespace ev

@@ -1,0 +1,57 @@
+//===- analysis/LeakDetector.h - Memory-leak pattern detection ------------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Automates the paper's Fig. 4 case study: given a time-ordered sequence
+/// of memory snapshots aggregated into one tree, an allocation context is a
+/// leak suspect when its active-byte series stays "continuously high with
+/// no clear sign of reclamation". The detector fits a least-squares trend
+/// to each context's per-snapshot inclusive series and ranks contexts by a
+/// suspicion score combining the normalized slope with the terminal
+/// retention ratio (final value / peak value).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EASYVIEW_ANALYSIS_LEAKDETECTOR_H
+#define EASYVIEW_ANALYSIS_LEAKDETECTOR_H
+
+#include "analysis/Aggregate.h"
+#include "profile/Profile.h"
+
+#include <vector>
+
+namespace ev {
+
+/// One ranked allocation context.
+struct LeakSuspect {
+  NodeId Node = InvalidNode; ///< Context in the aggregated tree.
+  double Score = 0.0;        ///< Higher = more suspicious (0..1).
+  double Slope = 0.0;        ///< Bytes per snapshot (least squares).
+  double FinalOverPeak = 0.0; ///< 1.0 = no reclamation at program end.
+  double PeakBytes = 0.0;
+};
+
+/// Detection thresholds.
+struct LeakOptions {
+  double MinPeakBytes = 1.0;     ///< Ignore tiny contexts.
+  double MinFinalOverPeak = 0.8; ///< "No clear sign of reclamation".
+  double MinScore = 0.5;         ///< Suspicion cutoff.
+  size_t MaxSuspects = 32;
+};
+
+/// Least-squares slope of \p Series against its index.
+double trendSlope(const std::vector<double> &Series);
+
+/// Scans every leaf-ward context of \p Snapshots (an aggregation of
+/// time-ordered memory snapshots) and \returns ranked leak suspects for
+/// \p Metric (e.g. "active-bytes"), most suspicious first.
+std::vector<LeakSuspect> findLeakSuspects(const AggregatedProfile &Snapshots,
+                                          MetricId Metric,
+                                          const LeakOptions &Options = {});
+
+} // namespace ev
+
+#endif // EASYVIEW_ANALYSIS_LEAKDETECTOR_H

@@ -1,0 +1,71 @@
+//===- analysis/MetricEngine.cpp - Inclusive/exclusive metric math --------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/MetricEngine.h"
+
+#include <algorithm>
+
+namespace ev {
+
+std::vector<double> exclusiveColumn(const Profile &P, MetricId Metric) {
+  std::vector<double> Column(P.nodeCount(), 0.0);
+  for (NodeId Id = 0; Id < P.nodeCount(); ++Id)
+    Column[Id] = P.node(Id).metricOr(Metric);
+  return Column;
+}
+
+std::vector<double> inclusiveColumn(const Profile &P, MetricId Metric) {
+  std::vector<double> Column = exclusiveColumn(P, Metric);
+  // Nodes are created parents-first (Profile::createNode guarantees
+  // Parent < Id), so one reverse sweep accumulates children into parents.
+  for (NodeId Id = static_cast<NodeId>(P.nodeCount()); Id > 1;) {
+    --Id;
+    Column[P.node(Id).Parent] += Column[Id];
+  }
+  return Column;
+}
+
+double metricTotal(const Profile &P, MetricId Metric) {
+  double Total = 0.0;
+  for (const CCTNode &Node : P.nodes())
+    Total += Node.metricOr(Metric);
+  return Total;
+}
+
+std::vector<HotNode> hottestExclusive(const Profile &P, MetricId Metric,
+                                      size_t Limit) {
+  std::vector<HotNode> All;
+  All.reserve(P.nodeCount());
+  for (NodeId Id = 0; Id < P.nodeCount(); ++Id) {
+    double Value = P.node(Id).metricOr(Metric);
+    if (Value != 0.0)
+      All.push_back({Id, Value});
+  }
+  auto ByValueDesc = [](const HotNode &A, const HotNode &B) {
+    if (A.Value != B.Value)
+      return A.Value > B.Value;
+    return A.Node < B.Node;
+  };
+  if (All.size() > Limit) {
+    std::partial_sort(All.begin(), All.begin() + static_cast<long>(Limit),
+                      All.end(), ByValueDesc);
+    All.resize(Limit);
+  } else {
+    std::sort(All.begin(), All.end(), ByValueDesc);
+  }
+  return All;
+}
+
+MetricView::MetricView(const Profile &P, MetricId Metric)
+    : Metric(Metric), Exclusive(ev::exclusiveColumn(P, Metric)),
+      Inclusive(Exclusive) {
+  for (NodeId Id = static_cast<NodeId>(P.nodeCount()); Id > 1;) {
+    --Id;
+    Inclusive[P.node(Id).Parent] += Inclusive[Id];
+  }
+}
+
+} // namespace ev

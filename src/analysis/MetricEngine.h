@@ -1,0 +1,66 @@
+//===- analysis/MetricEngine.h - Inclusive/exclusive metric math ----------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Computation of inclusive and exclusive metric columns over a CCT (paper
+/// §V-A(a): "computing inclusive/exclusive metrics" during tree traversal),
+/// plus totals and hot-node ranking used by the views.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EASYVIEW_ANALYSIS_METRICENGINE_H
+#define EASYVIEW_ANALYSIS_METRICENGINE_H
+
+#include "profile/Profile.h"
+
+#include <vector>
+
+namespace ev {
+
+/// Per-node exclusive values of \p Metric, indexed by NodeId.
+std::vector<double> exclusiveColumn(const Profile &P, MetricId Metric);
+
+/// Per-node inclusive values of \p Metric: own exclusive plus the inclusive
+/// of all children, computed in one bottom-up pass.
+std::vector<double> inclusiveColumn(const Profile &P, MetricId Metric);
+
+/// Sum of all exclusive values (equals the root's inclusive value).
+double metricTotal(const Profile &P, MetricId Metric);
+
+/// A ranked hot spot.
+struct HotNode {
+  NodeId Node = InvalidNode;
+  double Value = 0.0;
+};
+
+/// The \p Limit nodes with the largest exclusive value, descending. Ties
+/// break on NodeId so the ranking is deterministic.
+std::vector<HotNode> hottestExclusive(const Profile &P, MetricId Metric,
+                                      size_t Limit);
+
+/// A precomputed (exclusive, inclusive) pair of columns for one metric.
+/// Views hold one of these per displayed metric.
+class MetricView {
+public:
+  MetricView(const Profile &P, MetricId Metric);
+
+  MetricId metric() const { return Metric; }
+  double exclusive(NodeId Id) const { return Exclusive[Id]; }
+  double inclusive(NodeId Id) const { return Inclusive[Id]; }
+  double total() const { return Inclusive.empty() ? 0.0 : Inclusive[0]; }
+
+  const std::vector<double> &exclusiveColumn() const { return Exclusive; }
+  const std::vector<double> &inclusiveColumn() const { return Inclusive; }
+
+private:
+  MetricId Metric;
+  std::vector<double> Exclusive;
+  std::vector<double> Inclusive;
+};
+
+} // namespace ev
+
+#endif // EASYVIEW_ANALYSIS_METRICENGINE_H

@@ -1,0 +1,39 @@
+//===- analysis/Prune.h - Node pruning and filtering ----------------------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pruning of insignificant tree nodes (paper §V-A(a)) and the node-elision
+/// customization hook (§V-B "users can elide any nodes in the tree that are
+/// not of interest"). Both operations conserve metric totals by folding the
+/// removed exclusive values into the surviving ancestor.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EASYVIEW_ANALYSIS_PRUNE_H
+#define EASYVIEW_ANALYSIS_PRUNE_H
+
+#include "profile/Profile.h"
+
+#include <functional>
+
+namespace ev {
+
+/// Removes every subtree whose inclusive value of \p Metric is below
+/// \p MinFraction of the metric total. The pruned inclusive value folds
+/// into the parent's exclusive value, so the total is conserved.
+Profile pruneByFraction(const Profile &P, MetricId Metric,
+                        double MinFraction);
+
+/// Rebuilds the profile keeping only nodes for which \p Keep returns true
+/// (the root always survives). Children of an elided node are re-attached
+/// to its nearest surviving ancestor; the elided node's exclusive values
+/// fold into that ancestor.
+Profile filterNodes(const Profile &P,
+                    const std::function<bool(const Profile &, NodeId)> &Keep);
+
+} // namespace ev
+
+#endif // EASYVIEW_ANALYSIS_PRUNE_H

@@ -1,0 +1,39 @@
+//===- analysis/ThreadSplit.h - Per-thread profile separation -------------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Separation of a multi-thread profile into per-thread profiles (paper
+/// §V-A(c): tools "produce separate profiles for different threads,
+/// processes, or executions"; EasyView manages them as multiple trees).
+/// Thread lanes are recognized as FrameKind::Thread contexts directly
+/// under the root — the shape the speedscope converter and thread-aware
+/// builders produce. The inverse direction is aggregate() from
+/// analysis/Aggregate.h.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EASYVIEW_ANALYSIS_THREADSPLIT_H
+#define EASYVIEW_ANALYSIS_THREADSPLIT_H
+
+#include "profile/Profile.h"
+
+#include <vector>
+
+namespace ev {
+
+/// \returns true when the profile has at least one Thread context under
+/// the root.
+bool hasThreadLanes(const Profile &P);
+
+/// Splits \p P into one profile per Thread context under the root, each
+/// named after its thread. Metrics recorded outside any thread lane go to
+/// an additional "(no thread)" profile. When the profile has no thread
+/// lanes, the result is a single whole-profile copy.
+std::vector<Profile> splitByThread(const Profile &P);
+
+} // namespace ev
+
+#endif // EASYVIEW_ANALYSIS_THREADSPLIT_H

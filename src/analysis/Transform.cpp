@@ -1,0 +1,257 @@
+//===- analysis/Transform.cpp - Top-down/bottom-up/flat tree shapes -------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Transform.h"
+
+#include "analysis/MetricEngine.h"
+#include "analysis/Traversal.h"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace ev {
+
+namespace {
+
+/// Copies the metric schema of \p Src into \p Dst; returns the id map
+/// (identical when Dst starts empty, but kept explicit for safety).
+std::vector<MetricId> copyMetricSchema(const Profile &Src, Profile &Dst) {
+  std::vector<MetricId> Map(Src.metrics().size());
+  for (MetricId I = 0; I < Src.metrics().size(); ++I) {
+    const MetricDescriptor &M = Src.metrics()[I];
+    Map[I] = Dst.addMetric(M.Name, M.Unit, M.Aggregation);
+  }
+  return Map;
+}
+
+/// Re-interns frame \p F of \p Src into \p Dst.
+FrameId copyFrame(const Profile &Src, const Frame &F, Profile &Dst) {
+  Frame Copy;
+  Copy.Kind = F.Kind;
+  Copy.Name = Dst.strings().intern(Src.text(F.Name));
+  Copy.Loc.File = Dst.strings().intern(Src.text(F.Loc.File));
+  Copy.Loc.Line = F.Loc.Line;
+  Copy.Loc.Module = Dst.strings().intern(Src.text(F.Loc.Module));
+  Copy.Loc.Address = F.Loc.Address;
+  return Dst.internFrame(Copy);
+}
+
+/// Incrementally materializes paths in an output profile, merging common
+/// prefixes exactly like ProfileBuilder but against externally supplied
+/// frame ids.
+class TreeWriter {
+public:
+  explicit TreeWriter(Profile &P) : P(P) {}
+
+  NodeId child(NodeId Parent, FrameId F) {
+    uint64_t Key = (static_cast<uint64_t>(Parent) << 32) | F;
+    auto It = Index.find(Key);
+    if (It != Index.end())
+      return It->second;
+    NodeId Id = P.createNode(Parent, F);
+    Index.emplace(Key, Id);
+    return Id;
+  }
+
+private:
+  Profile &P;
+  std::unordered_map<uint64_t, NodeId> Index;
+};
+
+} // namespace
+
+Profile topDownTree(const Profile &P) {
+  Profile Out;
+  Out.setName(P.name());
+  std::vector<MetricId> MetricMap = copyMetricSchema(P, Out);
+
+  // Frame table first, then nodes in id order (parents precede children).
+  std::vector<FrameId> FrameMap(P.frames().size());
+  for (FrameId I = 0; I < P.frames().size(); ++I)
+    FrameMap[I] = copyFrame(P, P.frame(I), Out);
+
+  std::vector<NodeId> NodeMap(P.nodeCount(), InvalidNode);
+  NodeMap[P.root()] = Out.root();
+  Out.node(Out.root()).FrameRef = FrameMap[P.node(P.root()).FrameRef];
+  for (NodeId Id = 1; Id < P.nodeCount(); ++Id) {
+    const CCTNode &Node = P.node(Id);
+    NodeMap[Id] = Out.createNode(NodeMap[Node.Parent], FrameMap[Node.FrameRef]);
+  }
+  for (NodeId Id = 0; Id < P.nodeCount(); ++Id)
+    for (const MetricValue &MV : P.node(Id).Metrics)
+      Out.node(NodeMap[Id]).addMetric(MetricMap[MV.Metric], MV.Value);
+  return Out;
+}
+
+Profile bottomUpTree(const Profile &P) {
+  Profile Out;
+  Out.setName(P.name() + " (bottom-up)");
+  std::vector<MetricId> MetricMap = copyMetricSchema(P, Out);
+  std::vector<FrameId> FrameMap(P.frames().size());
+  for (FrameId I = 0; I < P.frames().size(); ++I)
+    FrameMap[I] = copyFrame(P, P.frame(I), Out);
+
+  TreeWriter Writer(Out);
+  for (NodeId Id = 1; Id < P.nodeCount(); ++Id) {
+    const CCTNode &Node = P.node(Id);
+    if (Node.Metrics.empty())
+      continue;
+    bool AllZero = true;
+    for (const MetricValue &MV : Node.Metrics)
+      if (MV.Value != 0.0)
+        AllZero = false;
+    if (AllZero)
+      continue;
+    // Insert the reversed path: this context's frame first, then callers
+    // outward, stopping before the root.
+    NodeId Cur = Out.root();
+    for (NodeId Walk = Id; Walk != P.root(); Walk = P.node(Walk).Parent)
+      Cur = Writer.child(Cur, FrameMap[P.node(Walk).FrameRef]);
+    for (const MetricValue &MV : Node.Metrics)
+      Out.node(Cur).addMetric(MetricMap[MV.Metric], MV.Value);
+  }
+  return Out;
+}
+
+Profile flatTree(const Profile &P) {
+  Profile Out;
+  Out.setName(P.name() + " (flat)");
+  std::vector<MetricId> ExclMap = copyMetricSchema(P, Out);
+  // One extra column per metric holding the call-path-aware inclusive sum.
+  std::vector<MetricId> InclMap(P.metrics().size());
+  for (MetricId I = 0; I < P.metrics().size(); ++I) {
+    const MetricDescriptor &M = P.metrics()[I];
+    InclMap[I] = Out.addMetric(M.Name + " (inclusive)", M.Unit, M.Aggregation);
+  }
+
+  std::vector<std::vector<double>> Inclusive(P.metrics().size());
+  for (MetricId M = 0; M < P.metrics().size(); ++M)
+    Inclusive[M] = inclusiveColumn(P, M);
+
+  TreeWriter Writer(Out);
+  // Count of occurrences of each function frame along the current DFS path,
+  // so that recursive functions contribute their inclusive value only once
+  // (outermost occurrence).
+  std::unordered_map<FrameId, unsigned> ActiveFrames;
+
+  // Iterative DFS with explicit enter/leave events.
+  struct Event {
+    NodeId Id;
+    bool Enter;
+  };
+  std::vector<Event> Stack{{P.root(), true}};
+  while (!Stack.empty()) {
+    Event E = Stack.back();
+    Stack.pop_back();
+    const CCTNode &Node = P.node(E.Id);
+    if (!E.Enter) {
+      if (E.Id != P.root())
+        --ActiveFrames[Node.FrameRef];
+      continue;
+    }
+    if (E.Id != P.root()) {
+      const Frame &F = P.frame(Node.FrameRef);
+      // Materialize root -> module -> file -> function.
+      NodeId ModuleNode = Writer.child(
+          Out.root(),
+          Out.internFrame({FrameKind::Function,
+                           Out.strings().intern(P.text(F.Loc.Module).empty()
+                                                    ? std::string_view(
+                                                          "<unknown module>")
+                                                    : P.text(F.Loc.Module)),
+                           SourceLocation{0, 0,
+                                          Out.strings().intern(
+                                              P.text(F.Loc.Module)),
+                                          0}}));
+      NodeId FileNode = Writer.child(
+          ModuleNode,
+          Out.internFrame(
+              {FrameKind::Function,
+               Out.strings().intern(P.text(F.Loc.File).empty()
+                                        ? std::string_view("<unknown file>")
+                                        : P.text(F.Loc.File)),
+               SourceLocation{Out.strings().intern(P.text(F.Loc.File)), 0,
+                              Out.strings().intern(P.text(F.Loc.Module)),
+                              0}}));
+      FrameId FuncFrame = copyFrame(P, F, Out);
+      NodeId FuncNode = Writer.child(FileNode, FuncFrame);
+
+      unsigned &Depth = ActiveFrames[Node.FrameRef];
+      for (const MetricValue &MV : Node.Metrics)
+        Out.node(FuncNode).addMetric(ExclMap[MV.Metric], MV.Value);
+      if (Depth == 0)
+        for (MetricId M = 0; M < P.metrics().size(); ++M)
+          if (Inclusive[M][E.Id] != 0.0)
+            Out.node(FuncNode).addMetric(InclMap[M], Inclusive[M][E.Id]);
+      ++Depth;
+      Stack.push_back({E.Id, false});
+    }
+    for (size_t I = Node.Children.size(); I > 0; --I)
+      Stack.push_back({Node.Children[I - 1], true});
+  }
+  return Out;
+}
+
+Profile collapseRecursion(const Profile &P) {
+  Profile Out;
+  Out.setName(P.name());
+  std::vector<MetricId> MetricMap = copyMetricSchema(P, Out);
+  std::vector<FrameId> FrameMap(P.frames().size());
+  for (FrameId I = 0; I < P.frames().size(); ++I)
+    FrameMap[I] = copyFrame(P, P.frame(I), Out);
+
+  TreeWriter Writer(Out);
+  // Map each source node to its (possibly merged) output node. A child with
+  // the same frame as its parent collapses into the parent's output node.
+  std::vector<NodeId> OutNode(P.nodeCount(), InvalidNode);
+  OutNode[P.root()] = Out.root();
+  for (NodeId Id = 1; Id < P.nodeCount(); ++Id) {
+    const CCTNode &Node = P.node(Id);
+    NodeId ParentOut = OutNode[Node.Parent];
+    if (Node.Parent != P.root() &&
+        P.node(Node.Parent).FrameRef == Node.FrameRef) {
+      OutNode[Id] = ParentOut; // Self-recursive frame: merge.
+    } else {
+      OutNode[Id] = Writer.child(ParentOut, FrameMap[Node.FrameRef]);
+    }
+    for (const MetricValue &MV : Node.Metrics)
+      Out.node(OutNode[Id]).addMetric(MetricMap[MV.Metric], MV.Value);
+  }
+  for (const MetricValue &MV : P.node(P.root()).Metrics)
+    Out.node(Out.root()).addMetric(MetricMap[MV.Metric], MV.Value);
+  return Out;
+}
+
+Profile limitDepth(const Profile &P, unsigned MaxDepth) {
+  Profile Out;
+  Out.setName(P.name());
+  std::vector<MetricId> MetricMap = copyMetricSchema(P, Out);
+  std::vector<FrameId> FrameMap(P.frames().size());
+  for (FrameId I = 0; I < P.frames().size(); ++I)
+    FrameMap[I] = copyFrame(P, P.frame(I), Out);
+
+  std::vector<NodeId> OutNode(P.nodeCount(), InvalidNode);
+  std::vector<unsigned> Depth(P.nodeCount(), 0);
+  OutNode[P.root()] = Out.root();
+  for (NodeId Id = 1; Id < P.nodeCount(); ++Id) {
+    const CCTNode &Node = P.node(Id);
+    Depth[Id] = Depth[Node.Parent] + 1;
+    if (Depth[Id] > MaxDepth) {
+      OutNode[Id] = OutNode[Node.Parent]; // Fold into the deepest ancestor.
+    } else {
+      OutNode[Id] =
+          Out.createNode(OutNode[Node.Parent], FrameMap[Node.FrameRef]);
+    }
+    for (const MetricValue &MV : Node.Metrics)
+      Out.node(OutNode[Id]).addMetric(MetricMap[MV.Metric], MV.Value);
+  }
+  for (const MetricValue &MV : P.node(P.root()).Metrics)
+    Out.node(Out.root()).addMetric(MetricMap[MV.Metric], MV.Value);
+  return Out;
+}
+
+} // namespace ev

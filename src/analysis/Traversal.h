@@ -1,0 +1,74 @@
+//===- analysis/Traversal.h - CCT traversal primitives --------------------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Basic tree traversal operations (paper §V-A(a)): iterative pre-order and
+/// post-order walks over a profile's CCT, with the node-visit callback hook
+/// that both the built-in analyses and user customizations (EVQL, C++
+/// callbacks) attach to.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EASYVIEW_ANALYSIS_TRAVERSAL_H
+#define EASYVIEW_ANALYSIS_TRAVERSAL_H
+
+#include "profile/Profile.h"
+
+#include <utility>
+#include <vector>
+
+namespace ev {
+
+/// Visits nodes parent-before-children. \p Visit receives (node, depth).
+/// Traversal is iterative: profiles routinely contain call paths deeper
+/// than any sane stack limit.
+template <typename VisitFn>
+void preOrder(const Profile &P, VisitFn Visit, NodeId From = 0) {
+  std::vector<std::pair<NodeId, unsigned>> Stack;
+  Stack.emplace_back(From, P.depth(From));
+  while (!Stack.empty()) {
+    auto [Id, Depth] = Stack.back();
+    Stack.pop_back();
+    Visit(Id, Depth);
+    const CCTNode &Node = P.node(Id);
+    // Push in reverse so children are visited in natural order.
+    for (size_t I = Node.Children.size(); I > 0; --I)
+      Stack.emplace_back(Node.Children[I - 1], Depth + 1);
+  }
+}
+
+/// Visits nodes children-before-parent.
+template <typename VisitFn>
+void postOrder(const Profile &P, VisitFn Visit, NodeId From = 0) {
+  // Two-phase: emit pre-order into a buffer, then replay reversed. A
+  // reversed pre-order with children pushed in natural order is a valid
+  // post-order for trees.
+  std::vector<std::pair<NodeId, unsigned>> Order;
+  Order.reserve(P.nodeCount());
+  std::vector<std::pair<NodeId, unsigned>> Stack;
+  Stack.emplace_back(From, P.depth(From));
+  while (!Stack.empty()) {
+    auto [Id, Depth] = Stack.back();
+    Stack.pop_back();
+    Order.emplace_back(Id, Depth);
+    for (NodeId Child : P.node(Id).Children)
+      Stack.emplace_back(Child, Depth + 1);
+  }
+  for (size_t I = Order.size(); I > 0; --I)
+    Visit(Order[I - 1].first, Order[I - 1].second);
+}
+
+/// Collects all node ids in pre-order.
+inline std::vector<NodeId> preOrderIds(const Profile &P, NodeId From = 0) {
+  std::vector<NodeId> Ids;
+  Ids.reserve(P.nodeCount());
+  preOrder(P, [&](NodeId Id, unsigned) { Ids.push_back(Id); }, From);
+  return Ids;
+}
+
+} // namespace ev
+
+#endif // EASYVIEW_ANALYSIS_TRAVERSAL_H

@@ -1,0 +1,147 @@
+//===- baseline/GolandTreeTable.cpp - GoLand-plugin-style baseline --------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baseline/GolandTreeTable.h"
+
+#include "proto/PprofFormat.h"
+#include "support/Strings.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <vector>
+
+namespace ev {
+namespace baseline {
+
+namespace {
+
+/// The plugin's UI-model tree node: display strings inline, children in a
+/// plain list searched linearly per insertion (the Swing TreeModel
+/// pattern; there is no hashed child index).
+struct UiNode {
+  std::string DisplayName;
+  std::string Location;
+  double Total = 0.0;
+  double Self = 0.0;
+  std::vector<std::unique_ptr<UiNode>> Children;
+
+  UiNode *childNamed(const std::string &Name) {
+    for (auto &Child : Children)
+      if (Child->DisplayName == Name)
+        return Child.get();
+    return nullptr;
+  }
+};
+
+struct RowStats {
+  size_t Rows = 0;
+  size_t ModelBytes = 0;
+};
+
+/// Materializes the formatted row strings for every node, eagerly, as the
+/// table widget does on open.
+void materializeRows(const UiNode &Node, double Total, RowStats &Stats) {
+  std::string TotalFormatted = formatMetric(Node.Total, "nanoseconds");
+  std::string SelfFormatted = formatMetric(Node.Self, "nanoseconds");
+  std::string Percent =
+      formatDouble(Total > 0 ? 100.0 * Node.Total / Total : 0.0, 2) + "%";
+  std::string Tooltip = Node.DisplayName + "\n" + Node.Location +
+                        "\ntotal " + TotalFormatted + " (" + Percent +
+                        "), self " + SelfFormatted;
+  ++Stats.Rows;
+  Stats.ModelBytes += Node.DisplayName.size() + Node.Location.size() +
+                      TotalFormatted.size() + SelfFormatted.size() +
+                      Percent.size() + Tooltip.size();
+  for (const auto &Child : Node.Children)
+    materializeRows(*Child, Total, Stats);
+}
+
+void sortChildren(UiNode &Node) {
+  std::sort(Node.Children.begin(), Node.Children.end(),
+            [](const std::unique_ptr<UiNode> &A,
+               const std::unique_ptr<UiNode> &B) {
+              if (A->Total != B->Total)
+                return A->Total > B->Total;
+              return A->DisplayName < B->DisplayName;
+            });
+  for (auto &Child : Node.Children)
+    sortChildren(*Child);
+}
+
+} // namespace
+
+Result<GolandViewResult> openWithGolandView(std::string_view PprofBytes) {
+  Result<pprof::PprofProfile> Parsed = pprof::read(PprofBytes);
+  if (!Parsed)
+    return makeError(Parsed.error());
+  const pprof::PprofProfile &P = *Parsed;
+  if (P.SampleTypes.empty())
+    return makeError("profile has no sample types");
+
+  // Symbolization: location id -> (display name, location string).
+  std::map<uint64_t, const pprof::Function *> Functions;
+  for (const pprof::Function &F : P.Functions)
+    Functions.emplace(F.Id, &F);
+  std::map<uint64_t, std::pair<std::string, std::string>> LocationNames;
+  for (const pprof::Location &L : P.Locations) {
+    std::string Name = "0x" + std::to_string(L.Address);
+    std::string Where;
+    if (!L.Lines.empty()) {
+      auto It = Functions.find(L.Lines.front().FunctionId);
+      if (It != Functions.end()) {
+        Name = std::string(P.text(It->second->Name));
+        Where = std::string(P.text(It->second->Filename)) + ":" +
+                std::to_string(L.Lines.front().LineNumber);
+      }
+    }
+    LocationNames.emplace(L.Id, std::make_pair(std::move(Name),
+                                               std::move(Where)));
+  }
+
+  // Tree construction: per sample, walk root-first; child lookup is a
+  // linear scan comparing display strings (no interning, no hash index).
+  UiNode Root;
+  Root.DisplayName = "root";
+  double GrandTotal = 0.0;
+  for (const pprof::Sample &S : P.Samples) {
+    double Value = S.Values.empty() ? 0.0
+                                    : static_cast<double>(S.Values[0]);
+    GrandTotal += Value;
+    UiNode *Cur = &Root;
+    Cur->Total += Value;
+    for (size_t I = S.LocationIds.size(); I > 0; --I) {
+      auto It = LocationNames.find(S.LocationIds[I - 1]);
+      const std::string &Name =
+          It == LocationNames.end() ? Root.DisplayName : It->second.first;
+      UiNode *Child = Cur->childNamed(Name);
+      if (!Child) {
+        auto New = std::make_unique<UiNode>();
+        New->DisplayName = Name;
+        if (It != LocationNames.end())
+          New->Location = It->second.second;
+        Child = New.get();
+        Cur->Children.push_back(std::move(New));
+      }
+      Child->Total += Value;
+      Cur = Child;
+    }
+    Cur->Self += Value;
+  }
+
+  // Widget preparation: sort every child list and materialize every row.
+  sortChildren(Root);
+  RowStats Stats;
+  materializeRows(Root, GrandTotal, Stats);
+
+  GolandViewResult Out;
+  Out.Rows = Stats.Rows;
+  Out.ModelBytes = Stats.ModelBytes;
+  return Out;
+}
+
+} // namespace baseline
+} // namespace ev

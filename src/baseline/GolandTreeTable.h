@@ -1,0 +1,41 @@
+//===- baseline/GolandTreeTable.h - GoLand-plugin-style baseline ----------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Baseline viewer for the response-time experiment (paper Fig. 5,
+/// "GoLand of PProf plugin"). GoLand builds a call tree like EasyView
+/// does, but its UI model is eager: on open it materializes a row object
+/// for EVERY tree node — display name, formatted self/total values,
+/// percentage strings, tooltip text — and keeps per-node children sorted
+/// for the table widget. EasyView instead lays out lazily and culls to the
+/// viewport, which is exactly the gap the paper measures ("GoLand requires
+/// much more time to open and navigate large profiles").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EASYVIEW_BASELINE_GOLANDTREETABLE_H
+#define EASYVIEW_BASELINE_GOLANDTREETABLE_H
+
+#include "support/Result.h"
+
+#include <cstddef>
+#include <string_view>
+
+namespace ev {
+namespace baseline {
+
+struct GolandViewResult {
+  size_t Rows = 0;       ///< Materialized UI rows (= tree nodes).
+  size_t ModelBytes = 0; ///< Total bytes of formatted row strings.
+};
+
+/// Opens pprof bytes the way the GoLand pprof plugin does.
+Result<GolandViewResult> openWithGolandView(std::string_view PprofBytes);
+
+} // namespace baseline
+} // namespace ev
+
+#endif // EASYVIEW_BASELINE_GOLANDTREETABLE_H

@@ -1,0 +1,56 @@
+//===- baseline/PprofFlameView.h - Default-pprof-style viewer baseline ----===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Baseline viewer for the response-time experiment (paper Fig. 5,
+/// "default PProf"). It reproduces the pprof web UI's opening pipeline
+/// faithfully at the algorithmic level, which is where its latency comes
+/// from:
+///
+///  1. resolve every sample's stack to fully-qualified NAME STRINGS
+///     (pprof's report generator works on symbolized strings, not interned
+///     ids);
+///  2. build the call graph: one node per function name in a string-keyed
+///     map, one edge per adjacent pair, with per-edge weights (the
+///     "graph" view pprof always constructs before any report);
+///  3. build the flame view from a string-keyed nested trie, re-hashing
+///     the full name at every level;
+///  4. emit the complete DOT/flame text for the whole graph — pprof
+///     renders everything up front rather than culling to the viewport.
+///
+/// No artificial sleeps: the slowdown relative to EasyView is purely the
+/// published architectural difference (strings vs interning, full
+/// materialization vs viewport culling).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EASYVIEW_BASELINE_PPROFFLAMEVIEW_H
+#define EASYVIEW_BASELINE_PPROFFLAMEVIEW_H
+
+#include "support/Result.h"
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace ev {
+namespace baseline {
+
+struct PprofViewResult {
+  size_t GraphNodes = 0;
+  size_t GraphEdges = 0;
+  size_t FlameFrames = 0;
+  size_t ReportBytes = 0; ///< Size of the fully materialized output.
+};
+
+/// Opens pprof bytes the way the default pprof visualizer does; \returns
+/// summary statistics of the materialized report.
+Result<PprofViewResult> openWithPprofView(std::string_view PprofBytes);
+
+} // namespace baseline
+} // namespace ev
+
+#endif // EASYVIEW_BASELINE_PPROFFLAMEVIEW_H

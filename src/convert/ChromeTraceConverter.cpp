@@ -1,0 +1,161 @@
+//===- convert/ChromeTraceConverter.cpp - Chrome trace-event JSON ---------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Converts Chrome trace-event JSON (the Chrome profiler / chrome://tracing
+/// interchange format) into the generic representation. Supported event
+/// phases: "B"/"E" duration pairs and "X" complete events, per (pid, tid)
+/// lane. Wall time attributes exclusively: a span's self time is its
+/// duration minus its children's durations.
+///
+//===----------------------------------------------------------------------===//
+
+#include "convert/Converters.h"
+
+#include "profile/ProfileBuilder.h"
+#include "support/Json.h"
+
+#include <algorithm>
+#include <map>
+
+namespace ev {
+namespace convert {
+
+namespace {
+
+struct Span {
+  std::string Name;
+  std::string Cat;
+  double Start = 0.0; ///< microseconds.
+  double End = 0.0;
+  uint64_t Lane = 0; ///< (pid, tid) hash.
+};
+
+uint64_t laneKey(double Pid, double Tid) {
+  return (static_cast<uint64_t>(Pid) << 32) ^
+         static_cast<uint64_t>(static_cast<int64_t>(Tid));
+}
+
+} // namespace
+
+Result<Profile> fromChromeTrace(std::string_view Json) {
+  Result<json::Value> Doc = json::parse(Json);
+  if (!Doc)
+    return makeError(Doc.error());
+
+  const json::Array *Events = nullptr;
+  if (Doc->isObject()) {
+    const json::Value *TE = Doc->asObject().find("traceEvents");
+    if (!TE || !TE->isArray())
+      return makeError("chrome trace: missing traceEvents array");
+    Events = &TE->asArray();
+  } else if (Doc->isArray()) {
+    Events = &Doc->asArray();
+  } else {
+    return makeError("chrome trace: document is neither object nor array");
+  }
+
+  // Collect complete spans: "X" directly; "B"/"E" by pairing per lane.
+  std::vector<Span> Spans;
+  std::map<uint64_t, std::vector<Span>> OpenStacks;
+  for (const json::Value &EV : *Events) {
+    if (!EV.isObject())
+      continue;
+    const json::Object &E = EV.asObject();
+    const json::Value *Ph = E.find("ph");
+    if (!Ph || !Ph->isString())
+      continue;
+    const std::string &Phase = Ph->asString();
+    double Ts = E.find("ts") ? E.find("ts")->numberOr(0.0) : 0.0;
+    double Pid = E.find("pid") ? E.find("pid")->numberOr(0.0) : 0.0;
+    double Tid = E.find("tid") ? E.find("tid")->numberOr(0.0) : 0.0;
+    std::string Name(E.find("name") ? E.find("name")->stringOr("(anonymous)")
+                                    : "(anonymous)");
+    std::string Cat(E.find("cat") ? E.find("cat")->stringOr("") : "");
+    uint64_t Lane = laneKey(Pid, Tid);
+
+    if (Phase == "X") {
+      double Dur = E.find("dur") ? E.find("dur")->numberOr(0.0) : 0.0;
+      Spans.push_back({std::move(Name), std::move(Cat), Ts, Ts + Dur, Lane});
+      continue;
+    }
+    if (Phase == "B") {
+      OpenStacks[Lane].push_back({std::move(Name), std::move(Cat), Ts, 0.0,
+                                  Lane});
+      continue;
+    }
+    if (Phase == "E") {
+      auto &Stack = OpenStacks[Lane];
+      if (Stack.empty())
+        return makeError("chrome trace: 'E' event without matching 'B'");
+      Span S = std::move(Stack.back());
+      Stack.pop_back();
+      S.End = Ts;
+      Spans.push_back(std::move(S));
+      continue;
+    }
+    // Metadata/counter/async events are ignored.
+  }
+  for (const auto &[Lane, Stack] : OpenStacks)
+    if (!Stack.empty())
+      return makeError("chrome trace: unclosed 'B' event '" +
+                       Stack.back().Name + "'");
+  if (Spans.empty())
+    return makeError("chrome trace: no duration events");
+
+  // Nest spans by containment per lane: sort by (start asc, end desc) and
+  // sweep with a stack.
+  std::sort(Spans.begin(), Spans.end(), [](const Span &A, const Span &B) {
+    if (A.Lane != B.Lane)
+      return A.Lane < B.Lane;
+    if (A.Start != B.Start)
+      return A.Start < B.Start;
+    return A.End > B.End;
+  });
+
+  ProfileBuilder B("chrome trace");
+  MetricId WallTime = B.addMetric("wall-time", "nanoseconds");
+
+  struct Open {
+    const Span *S;
+    NodeId Node;
+    double ChildTime = 0.0;
+  };
+  std::vector<Open> Stack;
+  // PathFrames mirrors Stack: PathFrames[i] is the frame of Stack[i].
+  std::vector<FrameId> PathFrames;
+  uint64_t CurLane = ~0ULL;
+
+  auto CloseTo = [&](double Start) {
+    while (!Stack.empty() && Stack.back().S->End <= Start) {
+      Open Top = Stack.back();
+      Stack.pop_back();
+      PathFrames.pop_back();
+      double Self = (Top.S->End - Top.S->Start) - Top.ChildTime;
+      if (Self > 0.0)
+        B.addValue(Top.Node, WallTime, Self * 1e3); // us -> ns
+      if (!Stack.empty())
+        Stack.back().ChildTime += Top.S->End - Top.S->Start;
+    }
+  };
+
+  for (const Span &S : Spans) {
+    if (S.Lane != CurLane) {
+      CloseTo(1e300); // Drain the previous lane entirely.
+      CurLane = S.Lane;
+    }
+    CloseTo(S.Start);
+    PathFrames.push_back(B.functionFrame(S.Name, S.Cat, 0, ""));
+    NodeId Node = B.pushPath(PathFrames);
+    Stack.push_back({&S, Node, 0.0});
+  }
+  CloseTo(1e300);
+
+  return B.take();
+}
+
+} // namespace convert
+} // namespace ev

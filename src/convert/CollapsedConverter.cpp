@@ -1,0 +1,72 @@
+//===- convert/CollapsedConverter.cpp - Folded stacks converter -----------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Converts Brendan Gregg folded-stack text ("main;foo;bar 42" per line)
+/// into the generic representation. Frame annotations in the common
+/// "func (module)" and "module!func" spellings are recognized so TAU and
+/// perf folded exports keep their module attribution.
+///
+//===----------------------------------------------------------------------===//
+
+#include "convert/Converters.h"
+
+#include "profile/ProfileBuilder.h"
+#include "support/Strings.h"
+
+namespace ev {
+namespace convert {
+
+Result<Profile> fromCollapsed(std::string_view Text) {
+  ProfileBuilder B("collapsed stacks");
+  MetricId Samples = B.addMetric("samples", "count");
+
+  size_t LineNo = 0;
+  std::vector<FrameId> Path;
+  for (std::string_view RawLine : splitLines(Text)) {
+    ++LineNo;
+    std::string_view Line = trim(RawLine);
+    if (Line.empty() || Line[0] == '#')
+      continue;
+    size_t Space = Line.rfind(' ');
+    if (Space == std::string_view::npos)
+      return makeError("line " + std::to_string(LineNo) +
+                       ": missing sample count");
+    uint64_t Count;
+    if (!parseUnsigned(trim(Line.substr(Space + 1)), Count))
+      return makeError("line " + std::to_string(LineNo) +
+                       ": invalid sample count");
+    std::string_view Stack = Line.substr(0, Space);
+
+    Path.clear();
+    for (std::string_view Frame : splitString(Stack, ';')) {
+      Frame = trim(Frame);
+      if (Frame.empty())
+        continue;
+      std::string_view Name = Frame;
+      std::string_view Module;
+      // "module!func" (Windows/ETW convention).
+      if (size_t Bang = Frame.find('!'); Bang != std::string_view::npos) {
+        Module = Frame.substr(0, Bang);
+        Name = Frame.substr(Bang + 1);
+      } else if (endsWith(Frame, ")")) {
+        // "func (module)" (perf folded convention).
+        if (size_t Paren = Frame.rfind(" ("); Paren != std::string_view::npos) {
+          Module = Frame.substr(Paren + 2, Frame.size() - Paren - 3);
+          Name = Frame.substr(0, Paren);
+        }
+      }
+      Path.push_back(B.functionFrame(Name, "", 0, Module));
+    }
+    if (Path.empty())
+      return makeError("line " + std::to_string(LineNo) + ": empty stack");
+    B.addSample(Path, Samples, static_cast<double>(Count));
+  }
+  return B.take();
+}
+
+} // namespace convert
+} // namespace ev

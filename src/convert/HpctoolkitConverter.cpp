@@ -1,0 +1,208 @@
+//===- convert/HpctoolkitConverter.cpp - HPCToolkit experiment.xml --------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Converts an HPCToolkit experiment.xml call-path database into the
+/// generic representation. The supported subset covers the elements an
+/// hpcprof-generated database uses for CPU profiles:
+///
+///   SecCallPathProfile > SecHeader > {MetricTable, LoadModuleTable,
+///   FileTable, ProcedureTable} and SecCallPathProfileData with nested
+///   PF (procedure frame), C (callsite), L (loop), S (statement), and
+///   M (metric value) elements.
+///
+/// Loops become FrameKind::Loop contexts and statements attach their
+/// metric values at the enclosing context with their line attribution,
+/// mirroring how hpcviewer renders the tree.
+///
+//===----------------------------------------------------------------------===//
+
+#include "convert/Converters.h"
+
+#include "profile/ProfileBuilder.h"
+#include "support/Strings.h"
+#include "support/Xml.h"
+
+#include <unordered_map>
+
+namespace ev {
+namespace convert {
+
+namespace {
+
+struct Tables {
+  std::unordered_map<uint64_t, std::string> Metrics;
+  std::unordered_map<uint64_t, std::string> Modules;
+  std::unordered_map<uint64_t, std::string> Files;
+  std::unordered_map<uint64_t, std::string> Procedures;
+};
+
+void loadTable(const xml::Element &Parent, std::string_view TableName,
+               std::string_view EntryName,
+               std::unordered_map<uint64_t, std::string> &Out) {
+  const xml::Element *Table = Parent.firstChild(TableName);
+  if (!Table)
+    return;
+  for (const auto &Child : Table->Children) {
+    if (Child->Name != EntryName)
+      continue;
+    uint64_t Id;
+    if (!parseUnsigned(Child->attribute("i"), Id))
+      continue;
+    Out.emplace(Id, std::string(Child->attribute("n")));
+  }
+}
+
+struct ConvertState {
+  ProfileBuilder B{"hpctoolkit"};
+  Tables T;
+  std::vector<MetricId> MetricMap; // dense metric index -> MetricId
+  std::unordered_map<uint64_t, MetricId> MetricById;
+};
+
+/// Maps an HPCToolkit metric name to a unit. hpcprof encodes the unit in
+/// the name, e.g. "CPUTIME (usec):Sum".
+std::string_view unitFor(std::string_view MetricName) {
+  if (MetricName.find("usec") != std::string_view::npos ||
+      MetricName.find("sec") != std::string_view::npos)
+    return "nanoseconds";
+  if (MetricName.find("byte") != std::string_view::npos ||
+      MetricName.find("BYTE") != std::string_view::npos)
+    return "bytes";
+  return "count";
+}
+
+double scaleFor(std::string_view MetricName) {
+  if (MetricName.find("usec") != std::string_view::npos)
+    return 1e3; // usec -> ns
+  if (MetricName.find("(sec)") != std::string_view::npos)
+    return 1e9;
+  return 1.0;
+}
+
+/// Recursive descent over the profile-data elements. \p Path carries the
+/// materialized frame stack.
+Result<bool> walk(ConvertState &S, const xml::Element &E,
+                  std::vector<FrameId> &Path) {
+  if (E.Name == "M") {
+    uint64_t MetricRef;
+    double Value;
+    if (!parseUnsigned(E.attribute("n"), MetricRef))
+      return makeError("hpctoolkit: metric value without metric id");
+    if (!parseDouble(E.attribute("v"), Value))
+      return makeError("hpctoolkit: metric value without numeric 'v'");
+    auto It = S.MetricById.find(MetricRef);
+    if (It == S.MetricById.end())
+      return makeError("hpctoolkit: metric value references unknown metric " +
+                       std::to_string(MetricRef));
+    auto ScaleIt = S.T.Metrics.find(MetricRef);
+    double Scale =
+        ScaleIt == S.T.Metrics.end() ? 1.0 : scaleFor(ScaleIt->second);
+    if (Path.empty())
+      return makeError("hpctoolkit: metric value outside any context");
+    S.B.addSample(Path, It->second, Value * Scale);
+    return true;
+  }
+
+  bool Pushed = false;
+  if (E.Name == "PF" || E.Name == "Pr") { // Procedure frame (Pr = inlined).
+    uint64_t ProcId = 0, FileId = 0, ModuleId = 0, Line = 0;
+    (void)parseUnsigned(E.attribute("n"), ProcId);
+    (void)parseUnsigned(E.attribute("f"), FileId);
+    (void)parseUnsigned(E.attribute("lm"), ModuleId);
+    (void)parseUnsigned(E.attribute("l"), Line);
+    auto Lookup = [](const std::unordered_map<uint64_t, std::string> &Map,
+                     uint64_t Id) -> std::string_view {
+      auto It = Map.find(Id);
+      return It == Map.end() ? std::string_view() : It->second;
+    };
+    std::string_view Name = Lookup(S.T.Procedures, ProcId);
+    Path.push_back(S.B.functionFrame(
+        Name.empty() ? "<unknown procedure>" : Name,
+        Lookup(S.T.Files, FileId), static_cast<uint32_t>(Line),
+        Lookup(S.T.Modules, ModuleId)));
+    Pushed = true;
+  } else if (E.Name == "L") { // Loop.
+    uint64_t Line = 0;
+    (void)parseUnsigned(E.attribute("l"), Line);
+    uint64_t FileId = 0;
+    (void)parseUnsigned(E.attribute("f"), FileId);
+    auto It = S.T.Files.find(FileId);
+    std::string LoopName = "loop at line " + std::to_string(Line);
+    Path.push_back(S.B.frame(FrameKind::Loop, LoopName,
+                             It == S.T.Files.end() ? "" : It->second,
+                             static_cast<uint32_t>(Line), ""));
+    Pushed = true;
+  } else if (E.Name == "S") { // Statement: a line-level context.
+    uint64_t Line = 0;
+    (void)parseUnsigned(E.attribute("l"), Line);
+    std::string StmtName = "line " + std::to_string(Line);
+    Path.push_back(S.B.frame(FrameKind::Instruction, StmtName, "",
+                             static_cast<uint32_t>(Line), ""));
+    Pushed = true;
+  }
+  // "C" (callsite) and section wrappers contribute structure only.
+
+  for (const auto &Child : E.Children) {
+    Result<bool> R = walk(S, *Child, Path);
+    if (!R)
+      return R;
+  }
+  if (Pushed)
+    Path.pop_back();
+  return true;
+}
+
+} // namespace
+
+Result<Profile> fromHpctoolkit(std::string_view Xml) {
+  Result<std::unique_ptr<xml::Element>> Doc = xml::parse(Xml);
+  if (!Doc)
+    return makeError(Doc.error());
+  const xml::Element &Root = **Doc;
+  if (Root.Name != "HPCToolkitExperiment")
+    return makeError("hpctoolkit: root element is not HPCToolkitExperiment");
+
+  // Find the call-path section. hpcprof nests it under the root directly.
+  const xml::Element *Section = Root.firstChild("SecCallPathProfile");
+  if (!Section)
+    return makeError("hpctoolkit: no SecCallPathProfile section");
+
+  ConvertState S;
+  if (const xml::Element *Header = Root.firstChild("Header")) {
+    std::string_view Name = Header->attribute("n");
+    if (!Name.empty())
+      S.B = ProfileBuilder(std::string(Name));
+  }
+
+  const xml::Element *SecHeader = Section->firstChild("SecHeader");
+  if (!SecHeader)
+    return makeError("hpctoolkit: section has no SecHeader");
+  loadTable(*SecHeader, "MetricTable", "Metric", S.T.Metrics);
+  loadTable(*SecHeader, "LoadModuleTable", "LoadModule", S.T.Modules);
+  loadTable(*SecHeader, "FileTable", "File", S.T.Files);
+  loadTable(*SecHeader, "ProcedureTable", "Procedure", S.T.Procedures);
+  if (S.T.Metrics.empty())
+    return makeError("hpctoolkit: empty MetricTable");
+
+  for (const auto &[Id, Name] : S.T.Metrics)
+    S.MetricById.emplace(Id, S.B.addMetric(Name, unitFor(Name)));
+
+  const xml::Element *Data = Section->firstChild("SecCallPathProfileData");
+  if (!Data)
+    return makeError("hpctoolkit: no SecCallPathProfileData");
+
+  std::vector<FrameId> Path;
+  for (const auto &Child : Data->Children) {
+    Result<bool> R = walk(S, *Child, Path);
+    if (!R)
+      return makeError(R.error());
+  }
+  return S.B.take();
+}
+
+} // namespace convert
+} // namespace ev

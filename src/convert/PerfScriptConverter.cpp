@@ -1,0 +1,190 @@
+//===- convert/PerfScriptConverter.cpp - `perf script` converter ----------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Converts Linux `perf script` textual output into the generic
+/// representation. Input shape (default perf script fields):
+///
+/// \code
+///   comm 1234 4000.123456:     250000 cycles:
+///   \t ffffffff8104f45a native_write_msr+0x1a (/lib/modules/vmlinux)
+///   \t            4005d0 main+0x10 (/home/u/a.out)
+///   <blank line>
+/// \endcode
+///
+/// Frames are leaf-first. The event name ("cycles", "cache-misses", ...)
+/// becomes the metric; the sampled period (the number before the event)
+/// is the metric value, defaulting to 1 when perf omits it.
+///
+//===----------------------------------------------------------------------===//
+
+#include "convert/Converters.h"
+
+#include "profile/ProfileBuilder.h"
+#include "support/Strings.h"
+
+#include <algorithm>
+
+namespace ev {
+namespace convert {
+
+namespace {
+
+/// Parses a sample header line; \returns false when \p Line is not one.
+/// Extracts the event name (without trailing ':') and the period.
+bool parseHeader(std::string_view Line, std::string &Event,
+                 double &Period) {
+  // The event is the last ':'-terminated word; the period is the numeric
+  // word right before it (if numeric).
+  std::string_view Trimmed = trim(Line);
+  if (Trimmed.empty())
+    return false;
+  if (!endsWith(Trimmed, ":")) {
+    // Tolerate trailing event modifiers like "cycles:u".
+    size_t LastColon = Trimmed.rfind(':');
+    if (LastColon == std::string_view::npos)
+      return false;
+  }
+  std::vector<std::string_view> Words;
+  for (std::string_view W : splitString(Trimmed, ' '))
+    if (!trim(W).empty())
+      Words.push_back(trim(W));
+  if (Words.size() < 2)
+    return false;
+  std::string_view EventWord = Words.back();
+  while (endsWith(EventWord, ":"))
+    EventWord.remove_suffix(1);
+  // Strip modifiers ("cycles:u" -> "cycles").
+  if (size_t Colon = EventWord.find(':'); Colon != std::string_view::npos)
+    EventWord = EventWord.substr(0, Colon);
+  if (EventWord.empty())
+    return false;
+  Event = std::string(EventWord);
+  Period = 1.0;
+  if (Words.size() >= 2) {
+    uint64_t P;
+    if (parseUnsigned(Words[Words.size() - 2], P))
+      Period = static_cast<double>(P);
+  }
+  return true;
+}
+
+/// Parses one stack frame line "addr symbol+0x10 (module)".
+bool parseFrame(std::string_view Line, std::string &Name,
+                std::string &Module, uint64_t &Address) {
+  std::string_view Trimmed = trim(Line);
+  if (Trimmed.empty())
+    return false;
+  std::vector<std::string_view> Words;
+  for (std::string_view W : splitString(Trimmed, ' '))
+    if (!trim(W).empty())
+      Words.push_back(trim(W));
+  if (Words.empty())
+    return false;
+
+  size_t Idx = 0;
+  Address = 0;
+  // Leading hex address (no 0x prefix in perf script).
+  {
+    std::string_view A = Words[0];
+    bool AllHex = !A.empty();
+    for (char C : A)
+      if (!std::isxdigit(static_cast<unsigned char>(C)))
+        AllHex = false;
+    if (AllHex) {
+      Address = std::strtoull(std::string(A).c_str(), nullptr, 16);
+      Idx = 1;
+    }
+  }
+  if (Idx >= Words.size())
+    return false;
+
+  // Module in trailing parentheses.
+  Module.clear();
+  size_t End = Words.size();
+  if (Words.back().front() == '(' && Words.back().back() == ')') {
+    Module = std::string(Words.back().substr(1, Words.back().size() - 2));
+    --End;
+  }
+
+  std::string Sym;
+  for (size_t I = Idx; I < End; ++I) {
+    if (!Sym.empty())
+      Sym.push_back(' ');
+    Sym.append(Words[I]);
+  }
+  // Drop the "+0x1a" offset suffix.
+  if (size_t Plus = Sym.rfind('+'); Plus != std::string::npos &&
+                                    Plus + 1 < Sym.size() &&
+                                    Sym.compare(Plus + 1, 2, "0x") == 0)
+    Sym.resize(Plus);
+  if (Sym.empty())
+    Sym = "[unknown]";
+  Name = std::move(Sym);
+  return true;
+}
+
+} // namespace
+
+Result<Profile> fromPerfScript(std::string_view Text) {
+  ProfileBuilder B("perf script");
+
+  std::string Event;
+  double Period = 1.0;
+  bool InSample = false;
+  std::vector<FrameId> LeafFirst;
+  size_t Samples = 0;
+
+  auto Flush = [&]() {
+    if (!InSample)
+      return;
+    InSample = false;
+    if (LeafFirst.empty())
+      return;
+    MetricId Metric = B.addMetric(Event.empty() ? "samples" : Event,
+                                  Event == "cpu-clock" || Event == "task-clock"
+                                      ? "nanoseconds"
+                                      : "count");
+    std::vector<FrameId> Path(LeafFirst.rbegin(), LeafFirst.rend());
+    B.addSample(Path, Metric, Period);
+    ++Samples;
+    LeafFirst.clear();
+  };
+
+  for (std::string_view Line : splitLines(Text)) {
+    if (trim(Line).empty()) {
+      Flush();
+      continue;
+    }
+    bool Indented = Line[0] == '\t' || Line[0] == ' ';
+    if (!Indented) {
+      Flush();
+      std::string NewEvent;
+      double NewPeriod;
+      if (parseHeader(Line, NewEvent, NewPeriod)) {
+        Event = std::move(NewEvent);
+        Period = NewPeriod;
+        InSample = true;
+        LeafFirst.clear();
+      }
+      continue;
+    }
+    if (!InSample)
+      continue;
+    std::string Name, Module;
+    uint64_t Address;
+    if (parseFrame(Line, Name, Module, Address))
+      LeafFirst.push_back(B.functionFrame(Name, "", 0, Module, Address));
+  }
+  Flush();
+
+  if (Samples == 0)
+    return makeError("no samples found in perf script input");
+  return B.take();
+}
+
+} // namespace convert
+} // namespace ev

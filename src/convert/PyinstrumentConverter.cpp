@@ -1,0 +1,95 @@
+//===- convert/PyinstrumentConverter.cpp - pyinstrument JSON --------------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Converts pyinstrument's JSON renderer output into the generic
+/// representation. pyinstrument emits a recursive frame tree where each
+/// frame's "time" is INCLUSIVE seconds; the converter derives exclusive
+/// time as time minus the children's time (clamped at zero against
+/// rounding).
+///
+//===----------------------------------------------------------------------===//
+
+#include "convert/Converters.h"
+
+#include "profile/ProfileBuilder.h"
+#include "support/Json.h"
+
+#include <algorithm>
+
+namespace ev {
+namespace convert {
+
+namespace {
+
+struct ConvertState {
+  ProfileBuilder B{"pyinstrument profile"};
+  MetricId WallTime = 0;
+};
+
+Result<bool> walkFrame(ConvertState &S, const json::Object &Frame,
+                       std::vector<FrameId> &Path) {
+  std::string_view Name =
+      Frame.find("function") ? Frame.find("function")->stringOr("<module>")
+                             : "<module>";
+  std::string_view File =
+      Frame.find("file_path") ? Frame.find("file_path")->stringOr("") : "";
+  uint32_t Line =
+      Frame.find("line_no")
+          ? static_cast<uint32_t>(
+                std::max(0.0, Frame.find("line_no")->numberOr(0.0)))
+          : 0;
+  double Inclusive =
+      Frame.find("time") ? Frame.find("time")->numberOr(0.0) : 0.0;
+
+  Path.push_back(S.B.functionFrame(Name, File, Line, "python"));
+
+  double ChildTime = 0.0;
+  if (const json::Value *ChildrenV = Frame.find("children");
+      ChildrenV && ChildrenV->isArray()) {
+    for (const json::Value &ChildV : ChildrenV->asArray()) {
+      if (!ChildV.isObject())
+        return makeError("pyinstrument: child frames must be objects");
+      const json::Object &Child = ChildV.asObject();
+      if (const json::Value *T = Child.find("time"))
+        ChildTime += T->numberOr(0.0);
+      Result<bool> R = walkFrame(S, Child, Path);
+      if (!R)
+        return R;
+    }
+  }
+
+  double Self = std::max(0.0, Inclusive - ChildTime);
+  if (Self > 0.0)
+    S.B.addSample(Path, S.WallTime, Self * 1e9); // seconds -> ns
+  Path.pop_back();
+  return true;
+}
+
+} // namespace
+
+Result<Profile> fromPyinstrument(std::string_view Json) {
+  Result<json::Value> Doc = json::parse(Json);
+  if (!Doc)
+    return makeError(Doc.error());
+  if (!Doc->isObject())
+    return makeError("pyinstrument: document must be an object");
+  const json::Object &Root = Doc->asObject();
+  const json::Value *RootFrame = Root.find("root_frame");
+  if (!RootFrame || !RootFrame->isObject())
+    return makeError("pyinstrument: missing root_frame");
+
+  ConvertState S;
+  S.WallTime = S.B.addMetric("wall-time", "nanoseconds");
+  std::vector<FrameId> Path;
+  Result<bool> R = walkFrame(S, RootFrame->asObject(), Path);
+  if (!R)
+    return makeError(R.error());
+  return S.B.take();
+}
+
+} // namespace convert
+} // namespace ev

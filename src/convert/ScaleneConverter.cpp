@@ -1,0 +1,100 @@
+//===- convert/ScaleneConverter.cpp - Scalene JSON converter --------------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Converts Scalene's JSON output into the generic representation. Scalene
+/// is a line-granular Python profiler: the document maps file names to
+/// per-line records with Python/native CPU percentages and memory figures.
+/// The resulting tree is file -> function -> line, with four metrics:
+/// cpu-python, cpu-native (both in percent points), alloc-bytes, and
+/// memcpy-bytes.
+///
+//===----------------------------------------------------------------------===//
+
+#include "convert/Converters.h"
+
+#include "profile/ProfileBuilder.h"
+#include "support/Json.h"
+
+namespace ev {
+namespace convert {
+
+Result<Profile> fromScalene(std::string_view Json) {
+  Result<json::Value> Doc = json::parse(Json);
+  if (!Doc)
+    return makeError(Doc.error());
+  if (!Doc->isObject())
+    return makeError("scalene: document must be an object");
+  const json::Object &Root = Doc->asObject();
+  const json::Value *FilesV = Root.find("files");
+  if (!FilesV || !FilesV->isObject())
+    return makeError("scalene: missing files object");
+
+  ProfileBuilder B("scalene profile");
+  MetricId CpuPython = B.addMetric("cpu-python", "percent");
+  MetricId CpuNative = B.addMetric("cpu-native", "percent");
+  MetricId AllocBytes = B.addMetric("alloc-bytes", "bytes");
+  MetricId MemcpyBytes = B.addMetric("memcpy-bytes", "bytes");
+
+  size_t LinesSeen = 0;
+  for (const auto &[FileName, FileV] : FilesV->asObject()) {
+    if (!FileV.isObject())
+      continue;
+    const json::Object &File = FileV.asObject();
+    const json::Value *LinesV = File.find("lines");
+    if (!LinesV || !LinesV->isArray())
+      continue;
+
+    FrameId FileFrame = B.functionFrame(FileName, FileName, 0, "python");
+    for (const json::Value &LineV : LinesV->asArray()) {
+      if (!LineV.isObject())
+        continue;
+      const json::Object &L = LineV.asObject();
+      uint32_t LineNo =
+          L.find("lineno")
+              ? static_cast<uint32_t>(std::max(0.0,
+                                               L.find("lineno")->numberOr(0)))
+              : 0;
+      double CpuPy = 0.0, CpuC = 0.0, Alloc = 0.0, Memcpy = 0.0;
+      if (const json::Value *V = L.find("n_cpu_percent_python"))
+        CpuPy = V->numberOr(0.0);
+      if (const json::Value *V = L.find("n_cpu_percent_c"))
+        CpuC = V->numberOr(0.0);
+      if (const json::Value *V = L.find("n_malloc_mb"))
+        Alloc = V->numberOr(0.0) * 1024.0 * 1024.0;
+      if (const json::Value *V = L.find("n_copy_mb"))
+        Memcpy = V->numberOr(0.0) * 1024.0 * 1024.0;
+      if (CpuPy == 0.0 && CpuC == 0.0 && Alloc == 0.0 && Memcpy == 0.0)
+        continue;
+
+      std::string_view FnName =
+          L.find("function") ? L.find("function")->stringOr("<module>")
+                             : "<module>";
+      FrameId FnFrame = B.functionFrame(FnName, FileName, 0, "python");
+      std::string LineName = "line " + std::to_string(LineNo);
+      FrameId LineFrame =
+          B.frame(FrameKind::Instruction, LineName, FileName, LineNo,
+                  "python");
+      const FrameId Path[] = {FileFrame, FnFrame, LineFrame};
+      NodeId Leaf = B.pushPath(Path);
+      if (CpuPy != 0.0)
+        B.addValue(Leaf, CpuPython, CpuPy);
+      if (CpuC != 0.0)
+        B.addValue(Leaf, CpuNative, CpuC);
+      if (Alloc != 0.0)
+        B.addValue(Leaf, AllocBytes, Alloc);
+      if (Memcpy != 0.0)
+        B.addValue(Leaf, MemcpyBytes, Memcpy);
+      ++LinesSeen;
+    }
+  }
+  if (LinesSeen == 0)
+    return makeError("scalene: no profiled lines with nonzero cost");
+  return B.take();
+}
+
+} // namespace convert
+} // namespace ev

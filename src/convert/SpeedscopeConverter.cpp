@@ -1,0 +1,169 @@
+//===- convert/SpeedscopeConverter.cpp - speedscope JSON converter --------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Converts speedscope's file format (https://www.speedscope.app) into the
+/// generic representation. Both profile types are handled:
+///
+///  - "sampled": each sample is a root-first frame-index stack with a
+///    weight;
+///  - "evented": open/close frame events with timestamps.
+///
+/// Frames come from the shared frame table (name, file, line). Multiple
+/// profiles in one file merge into one tree under per-profile thread
+/// nodes.
+///
+//===----------------------------------------------------------------------===//
+
+#include "convert/Converters.h"
+
+#include "profile/ProfileBuilder.h"
+#include "support/Json.h"
+
+namespace ev {
+namespace convert {
+
+Result<Profile> fromSpeedscope(std::string_view Json) {
+  Result<json::Value> Doc = json::parse(Json);
+  if (!Doc)
+    return makeError(Doc.error());
+  if (!Doc->isObject())
+    return makeError("speedscope: document must be an object");
+  const json::Object &Root = Doc->asObject();
+
+  const json::Value *Shared = Root.find("shared");
+  if (!Shared || !Shared->isObject())
+    return makeError("speedscope: missing shared frame table");
+  const json::Value *FramesV = Shared->asObject().find("frames");
+  if (!FramesV || !FramesV->isArray())
+    return makeError("speedscope: shared.frames must be an array");
+
+  ProfileBuilder B("speedscope profile");
+  MetricId Weight = B.addMetric("weight", "count");
+
+  // Translate the shared frame table.
+  std::vector<FrameId> FrameTable;
+  for (const json::Value &FV : FramesV->asArray()) {
+    if (!FV.isObject())
+      return makeError("speedscope: frame entries must be objects");
+    const json::Object &F = FV.asObject();
+    std::string_view Name =
+        F.find("name") ? F.find("name")->stringOr("(anonymous)")
+                       : "(anonymous)";
+    std::string_view File =
+        F.find("file") ? F.find("file")->stringOr("") : "";
+    uint32_t Line = F.find("line")
+                        ? static_cast<uint32_t>(
+                              std::max(0.0, F.find("line")->numberOr(0.0)))
+                        : 0;
+    FrameTable.push_back(B.functionFrame(Name, File, Line));
+  }
+
+  const json::Value *ProfilesV = Root.find("profiles");
+  if (!ProfilesV || !ProfilesV->isArray() || ProfilesV->asArray().empty())
+    return makeError("speedscope: missing profiles array");
+
+  bool Multi = ProfilesV->asArray().size() > 1;
+  for (const json::Value &PV : ProfilesV->asArray()) {
+    if (!PV.isObject())
+      return makeError("speedscope: profile entries must be objects");
+    const json::Object &Prof = PV.asObject();
+    std::string_view Type =
+        Prof.find("type") ? Prof.find("type")->stringOr("") : "";
+    std::string_view PName =
+        Prof.find("name") ? Prof.find("name")->stringOr("profile")
+                          : "profile";
+
+    std::vector<FrameId> Prefix;
+    if (Multi)
+      Prefix.push_back(
+          B.frame(FrameKind::Thread, PName, "", 0, "", 0));
+
+    if (Type == "sampled") {
+      const json::Value *SamplesV = Prof.find("samples");
+      const json::Value *WeightsV = Prof.find("weights");
+      if (!SamplesV || !SamplesV->isArray())
+        return makeError("speedscope: sampled profile without samples");
+      const json::Array &Samples = SamplesV->asArray();
+      const json::Array *Weights =
+          WeightsV && WeightsV->isArray() ? &WeightsV->asArray() : nullptr;
+      if (Weights && Weights->size() != Samples.size())
+        return makeError("speedscope: weights/samples length mismatch");
+
+      std::vector<FrameId> Path;
+      for (size_t I = 0; I < Samples.size(); ++I) {
+        if (!Samples[I].isArray())
+          return makeError("speedscope: sample must be an index array");
+        Path = Prefix;
+        for (const json::Value &IdxV : Samples[I].asArray()) {
+          int64_t Idx = IdxV.isNumber() ? IdxV.asInt() : -1;
+          if (Idx < 0 || static_cast<size_t>(Idx) >= FrameTable.size())
+            return makeError("speedscope: frame index out of range");
+          Path.push_back(FrameTable[static_cast<size_t>(Idx)]);
+        }
+        double W = Weights ? (*Weights)[I].numberOr(1.0) : 1.0;
+        B.addSample(Path, Weight, W);
+      }
+      continue;
+    }
+
+    if (Type == "evented") {
+      const json::Value *EventsV = Prof.find("events");
+      if (!EventsV || !EventsV->isArray())
+        return makeError("speedscope: evented profile without events");
+      struct OpenFrame {
+        size_t Frame;
+        double At;
+        double ChildTime = 0.0;
+      };
+      std::vector<OpenFrame> Stack;
+      std::vector<FrameId> Path = Prefix;
+      for (const json::Value &EV : EventsV->asArray()) {
+        if (!EV.isObject())
+          return makeError("speedscope: events must be objects");
+        const json::Object &E = EV.asObject();
+        std::string_view EType =
+            E.find("type") ? E.find("type")->stringOr("") : "";
+        double At = E.find("at") ? E.find("at")->numberOr(0.0) : 0.0;
+        int64_t Idx =
+            E.find("frame") ? E.find("frame")->asInt() : -1;
+        if (Idx < 0 || static_cast<size_t>(Idx) >= FrameTable.size())
+          return makeError("speedscope: event frame index out of range");
+        if (EType == "O") {
+          Stack.push_back({static_cast<size_t>(Idx), At});
+          Path.push_back(FrameTable[static_cast<size_t>(Idx)]);
+          continue;
+        }
+        if (EType == "C") {
+          if (Stack.empty() ||
+              Stack.back().Frame != static_cast<size_t>(Idx))
+            return makeError("speedscope: mismatched close event");
+          OpenFrame Top = Stack.back();
+          Stack.pop_back();
+          double Total = At - Top.At;
+          double Self = Total - Top.ChildTime;
+          if (Self > 0.0)
+            B.addSample(Path, Weight, Self);
+          Path.pop_back();
+          if (!Stack.empty())
+            Stack.back().ChildTime += Total;
+          continue;
+        }
+        return makeError("speedscope: unknown event type");
+      }
+      if (!Stack.empty())
+        return makeError("speedscope: unclosed open event");
+      continue;
+    }
+
+    return makeError("speedscope: unsupported profile type '" +
+                     std::string(Type) + "'");
+  }
+  return B.take();
+}
+
+} // namespace convert
+} // namespace ev

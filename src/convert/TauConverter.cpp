@@ -1,0 +1,138 @@
+//===- convert/TauConverter.cpp - TAU profile.* text converter ------------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Converts TAU's textual per-thread profile files (profile.N.N.N) into
+/// the generic representation. Supported shape (pprof-style TAU dumps):
+///
+/// \code
+///   <n> templated_functions_MULTI_TIME
+///   # Name Calls Subrs Excl Incl ProfileCalls #
+///   ".TAU application" 1 1 1000 29000 0 GROUP="TAU_DEFAULT"
+///   "main()" 1 2 2000 28000 0 GROUP="TAU_USER"
+///   "main() => work()" 4 0 26000 26000 0 GROUP="TAU_CALLPATH"
+///   0 aggregates
+/// \endcode
+///
+/// With TAU_CALLPATH enabled, names are " => "-joined call paths; the
+/// converter materializes them in the CCT. Flat entries (no "=>") become
+/// first-level contexts. Exclusive time (usec) and call counts carry over
+/// as metrics; inclusive time is derived by the analysis engine, and
+/// entries whose call paths are covered by deeper callpath entries keep
+/// exclusive-only attribution to avoid double counting.
+///
+//===----------------------------------------------------------------------===//
+
+#include "convert/Converters.h"
+
+#include "profile/ProfileBuilder.h"
+#include "support/Strings.h"
+
+namespace ev {
+namespace convert {
+
+namespace {
+
+/// Extracts a quoted name; \returns the rest of the line after it.
+bool parseQuotedName(std::string_view Line, std::string_view &Name,
+                     std::string_view &Rest) {
+  Line = trim(Line);
+  if (Line.empty() || Line[0] != '"')
+    return false;
+  size_t End = Line.find('"', 1);
+  if (End == std::string_view::npos)
+    return false;
+  Name = trim(Line.substr(1, End - 1));
+  Rest = trim(Line.substr(End + 1));
+  return true;
+}
+
+} // namespace
+
+Result<Profile> fromTau(std::string_view Text) {
+  std::vector<std::string_view> Lines = splitLines(Text);
+  size_t LineNo = 0;
+
+  // Header: "<count> templated_functions..." (the tag varies by metric).
+  uint64_t Declared = 0;
+  size_t I = 0;
+  for (; I < Lines.size(); ++I) {
+    std::string_view Line = trim(Lines[I]);
+    ++LineNo;
+    if (Line.empty())
+      continue;
+    size_t Space = Line.find(' ');
+    if (Space == std::string_view::npos ||
+        !parseUnsigned(Line.substr(0, Space), Declared) ||
+        Line.find("templated_functions") == std::string_view::npos)
+      return makeError("tau: missing 'templated_functions' header");
+    ++I;
+    break;
+  }
+  if (Declared == 0)
+    return makeError("tau: profile declares no functions");
+
+  ProfileBuilder B("tau profile");
+  MetricId Time = B.addMetric("time", "nanoseconds");
+  MetricId Calls = B.addMetric("calls", "count");
+
+  size_t Parsed = 0;
+  std::vector<FrameId> Path;
+  for (; I < Lines.size() && Parsed < Declared; ++I) {
+    std::string_view Line = trim(Lines[I]);
+    ++LineNo;
+    if (Line.empty() || Line[0] == '#')
+      continue;
+
+    std::string_view Name, Rest;
+    if (!parseQuotedName(Line, Name, Rest))
+      return makeError("tau: line " + std::to_string(LineNo) +
+                       ": expected a quoted function name");
+    // Columns: Calls Subrs Excl Incl ProfileCalls [GROUP=...].
+    std::vector<std::string_view> Columns;
+    for (std::string_view W : splitString(Rest, ' '))
+      if (!trim(W).empty())
+        Columns.push_back(trim(W));
+    if (Columns.size() < 4)
+      return makeError("tau: line " + std::to_string(LineNo) +
+                       ": expected at least 4 numeric columns");
+    double CallCount, Excl;
+    if (!parseDouble(Columns[0], CallCount) ||
+        !parseDouble(Columns[2], Excl))
+      return makeError("tau: line " + std::to_string(LineNo) +
+                       ": malformed numeric column");
+
+    // ".TAU application" is TAU's whole-program root; map it onto ROOT.
+    Path.clear();
+    if (Name != ".TAU application") {
+      for (std::string_view Piece : splitString(Name, '=')) {
+        Piece = trim(Piece);
+        if (Piece.empty() || Piece == ">")
+          continue;
+        if (!Piece.empty() && Piece.front() == '>')
+          Piece = trim(Piece.substr(1));
+        if (Piece.empty())
+          continue;
+        if (Piece == ".TAU application")
+          continue;
+        Path.push_back(B.functionFrame(Piece));
+      }
+    }
+    NodeId Node = B.pushPath(Path);
+    if (Excl != 0.0)
+      B.addValue(Node, Time, Excl * 1e3); // usec -> ns.
+    if (CallCount != 0.0)
+      B.addValue(Node, Calls, CallCount);
+    ++Parsed;
+  }
+  if (Parsed != Declared)
+    return makeError("tau: header declares " + std::to_string(Declared) +
+                     " functions, found " + std::to_string(Parsed));
+  return B.take();
+}
+
+} // namespace convert
+} // namespace ev

@@ -1,0 +1,102 @@
+//===- ide/JsonRpc.cpp - LSP-style JSON-RPC 2.0 transport -----------------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ide/JsonRpc.h"
+
+#include "support/Strings.h"
+
+namespace ev {
+namespace rpc {
+
+json::Value makeRequest(int64_t Id, std::string_view Method,
+                        json::Value Params) {
+  json::Object Msg;
+  Msg.set("jsonrpc", "2.0");
+  Msg.set("id", Id);
+  Msg.set("method", std::string(Method));
+  Msg.set("params", std::move(Params));
+  return Msg;
+}
+
+json::Value makeNotification(std::string_view Method, json::Value Params) {
+  json::Object Msg;
+  Msg.set("jsonrpc", "2.0");
+  Msg.set("method", std::string(Method));
+  Msg.set("params", std::move(Params));
+  return Msg;
+}
+
+json::Value makeResponse(int64_t Id, json::Value ResultValue) {
+  json::Object Msg;
+  Msg.set("jsonrpc", "2.0");
+  Msg.set("id", Id);
+  Msg.set("result", std::move(ResultValue));
+  return Msg;
+}
+
+json::Value makeErrorResponse(int64_t Id, int Code,
+                              std::string_view Message) {
+  json::Object Err;
+  Err.set("code", Code);
+  Err.set("message", std::string(Message));
+  json::Object Msg;
+  Msg.set("jsonrpc", "2.0");
+  Msg.set("id", Id);
+  Msg.set("error", std::move(Err));
+  return Msg;
+}
+
+std::string frame(const json::Value &Payload) {
+  std::string Body = Payload.dump();
+  return "Content-Length: " + std::to_string(Body.size()) + "\r\n\r\n" +
+         Body;
+}
+
+std::optional<json::Value> MessageReader::poll() {
+  if (Failed)
+    return std::nullopt;
+  // Look for the end of the header block.
+  size_t HeaderEnd = Buffer.find("\r\n\r\n");
+  if (HeaderEnd == std::string::npos)
+    return std::nullopt;
+
+  size_t ContentLength = std::string::npos;
+  std::string_view Headers(Buffer.data(), HeaderEnd);
+  for (std::string_view Line : splitLines(Headers)) {
+    std::string_view Trimmed = trim(Line);
+    if (startsWith(Trimmed, "Content-Length:")) {
+      uint64_t Length;
+      if (!parseUnsigned(trim(Trimmed.substr(15)), Length)) {
+        Failed = true;
+        ErrorMessage = "invalid Content-Length header";
+        return std::nullopt;
+      }
+      ContentLength = static_cast<size_t>(Length);
+    }
+    // Content-Type headers are tolerated and ignored.
+  }
+  if (ContentLength == std::string::npos) {
+    Failed = true;
+    ErrorMessage = "missing Content-Length header";
+    return std::nullopt;
+  }
+  size_t BodyStart = HeaderEnd + 4;
+  if (Buffer.size() - BodyStart < ContentLength)
+    return std::nullopt; // Body not fully buffered yet.
+
+  std::string_view Body(Buffer.data() + BodyStart, ContentLength);
+  Result<json::Value> Doc = json::parse(Body);
+  Buffer.erase(0, BodyStart + ContentLength);
+  if (!Doc) {
+    Failed = true;
+    ErrorMessage = Doc.error();
+    return std::nullopt;
+  }
+  return Doc.take();
+}
+
+} // namespace rpc
+} // namespace ev

@@ -1,0 +1,78 @@
+//===- ide/JsonRpc.h - LSP-style JSON-RPC 2.0 transport -------------------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// JSON-RPC 2.0 with Language-Server-Protocol framing (Content-Length
+/// headers over a byte stream). The paper positions EasyView's IDE actions
+/// "like LSP"; this transport is what lets any editor drive the Profile
+/// Viewer Protocol server (ide/PvpServer.h) the way editors drive language
+/// servers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EASYVIEW_IDE_JSONRPC_H
+#define EASYVIEW_IDE_JSONRPC_H
+
+#include "support/Json.h"
+#include "support/Result.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace ev {
+namespace rpc {
+
+/// Standard JSON-RPC error codes (the LSP subset this server uses).
+enum ErrorCode : int {
+  ParseError = -32700,
+  InvalidRequest = -32600,
+  MethodNotFound = -32601,
+  InvalidParams = -32602,
+  InternalError = -32603,
+};
+
+/// Builds a request payload.
+json::Value makeRequest(int64_t Id, std::string_view Method,
+                        json::Value Params);
+
+/// Builds a notification payload (no id, no response expected).
+json::Value makeNotification(std::string_view Method, json::Value Params);
+
+/// Builds a success response.
+json::Value makeResponse(int64_t Id, json::Value ResultValue);
+
+/// Builds an error response.
+json::Value makeErrorResponse(int64_t Id, int Code, std::string_view Message);
+
+/// Wraps \p Payload with the Content-Length header framing.
+std::string frame(const json::Value &Payload);
+
+/// Incremental deframer: feed bytes as they arrive, poll complete
+/// messages.
+class MessageReader {
+public:
+  /// Appends raw bytes from the wire.
+  void feed(std::string_view Bytes) { Buffer.append(Bytes); }
+
+  /// \returns the next complete JSON payload, if one is buffered. Parse
+  /// failures set failed().
+  std::optional<json::Value> poll();
+
+  bool failed() const { return Failed; }
+  const std::string &errorMessage() const { return ErrorMessage; }
+
+private:
+  std::string Buffer;
+  bool Failed = false;
+  std::string ErrorMessage;
+};
+
+} // namespace rpc
+} // namespace ev
+
+#endif // EASYVIEW_IDE_JSONRPC_H

@@ -1,0 +1,658 @@
+//===- ide/PvpServer.cpp - Profile Viewer Protocol server -----------------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ide/PvpServer.h"
+
+#include "analysis/Butterfly.h"
+#include "analysis/Diff.h"
+#include "analysis/MetricEngine.h"
+#include "analysis/Prune.h"
+#include "analysis/Transform.h"
+#include "convert/Converters.h"
+#include "convert/Exporters.h"
+#include "proto/EvProf.h"
+#include "render/CorrelatedView.h"
+#include "query/Interpreter.h"
+#include "render/CodeAnnotations.h"
+#include "render/DiffRenderer.h"
+#include "render/FlameLayout.h"
+#include "render/HtmlRenderer.h"
+#include "render/TreeTable.h"
+#include "support/Strings.h"
+
+namespace ev {
+
+int64_t PvpServer::addProfile(Profile P) {
+  int64_t Id = NextId++;
+  Profiles.emplace(Id, std::move(P));
+  return Id;
+}
+
+const Profile *PvpServer::profile(int64_t Id) const {
+  auto It = Profiles.find(Id);
+  return It == Profiles.end() ? nullptr : &It->second;
+}
+
+Result<const Profile *> PvpServer::lookup(const json::Object &Params,
+                                          std::string_view Key) const {
+  const json::Value *IdV = Params.find(Key);
+  if (!IdV || !IdV->isNumber())
+    return makeError("missing numeric '" + std::string(Key) + "' parameter");
+  const Profile *P = profile(IdV->asInt());
+  if (!P)
+    return makeError("no profile with id " + std::to_string(IdV->asInt()));
+  return P;
+}
+
+namespace {
+
+/// Resolves the metric parameter: numeric index, name string, or default 0.
+Result<MetricId> metricParam(const Profile &P, const json::Object &Params) {
+  const json::Value *MV = Params.find("metric");
+  if (!MV) {
+    if (P.metrics().empty())
+      return makeError("profile has no metrics");
+    return MetricId(0);
+  }
+  if (MV->isNumber()) {
+    int64_t Id = MV->asInt();
+    if (Id < 0 || static_cast<size_t>(Id) >= P.metrics().size())
+      return makeError("metric index out of range");
+    return static_cast<MetricId>(Id);
+  }
+  if (MV->isString()) {
+    MetricId Id = P.findMetric(MV->asString());
+    if (Id == Profile::InvalidMetric)
+      return makeError("unknown metric '" + MV->asString() + "'");
+    return Id;
+  }
+  return makeError("'metric' must be an index or a name");
+}
+
+Result<NodeId> nodeParam(const Profile &P, const json::Object &Params) {
+  const json::Value *NV = Params.find("node");
+  if (!NV || !NV->isNumber())
+    return makeError("missing numeric 'node' parameter");
+  int64_t Id = NV->asInt();
+  if (Id < 0 || static_cast<size_t>(Id) >= P.nodeCount())
+    return makeError("node id out of range");
+  return static_cast<NodeId>(Id);
+}
+
+} // namespace
+
+Result<json::Value> PvpServer::doOpen(const json::Object &Params) {
+  const json::Value *NameV = Params.find("name");
+  std::string Name(NameV ? NameV->stringOr("profile") : "profile");
+
+  std::string Bytes;
+  if (const json::Value *DataV = Params.find("data");
+      DataV && DataV->isString()) {
+    Bytes = DataV->asString();
+  } else if (const json::Value *B64 = Params.find("dataBase64");
+             B64 && B64->isString()) {
+    if (!base64Decode(B64->asString(), Bytes))
+      return makeError("invalid base64 in 'dataBase64'");
+  } else {
+    return makeError("pvp/open needs 'data' or 'dataBase64'");
+  }
+
+  Result<Profile> P = convert::load(Bytes, Name);
+  if (!P)
+    return makeError(P.error());
+  Result<bool> Ok = P->verify();
+  if (!Ok)
+    return makeError("loaded profile failed verification: " + Ok.error());
+
+  json::Object Out;
+  Out.set("profile", addProfile(P.take()));
+  const Profile &Stored = Profiles.rbegin()->second;
+  Out.set("nodes", Stored.nodeCount());
+  json::Array Metrics;
+  for (const MetricDescriptor &M : Stored.metrics()) {
+    json::Object MO;
+    MO.set("name", M.Name);
+    MO.set("unit", M.Unit);
+    Metrics.push_back(std::move(MO));
+  }
+  Out.set("metrics", std::move(Metrics));
+  return json::Value(std::move(Out));
+}
+
+Result<json::Value> PvpServer::doClose(const json::Object &Params) {
+  const json::Value *IdV = Params.find("profile");
+  if (!IdV || !IdV->isNumber())
+    return makeError("missing numeric 'profile' parameter");
+  bool Removed = Profiles.erase(IdV->asInt()) > 0;
+  Aggregates.erase(IdV->asInt());
+  json::Object Out;
+  Out.set("closed", Removed);
+  return json::Value(std::move(Out));
+}
+
+Result<json::Value> PvpServer::doFlame(const json::Object &Params) {
+  Result<const Profile *> P = lookup(Params);
+  if (!P)
+    return makeError(P.error());
+
+  std::string Shape = "top-down";
+  if (const json::Value *SV = Params.find("shape"); SV && SV->isString())
+    Shape = SV->asString();
+
+  // Shape transforms produce a temporary tree; the geometry refers to it,
+  // so node ids in the reply are resolved back to names eagerly.
+  Profile Shaped;
+  const Profile *View = *P;
+  if (Shape == "bottom-up") {
+    Shaped = bottomUpTree(**P);
+    View = &Shaped;
+  } else if (Shape == "flat") {
+    Shaped = flatTree(**P);
+    View = &Shaped;
+  } else if (Shape != "top-down") {
+    return makeError("unknown shape '" + Shape +
+                     "' (top-down, bottom-up, flat)");
+  }
+
+  Result<MetricId> Metric = metricParam(*View, Params);
+  if (!Metric)
+    return makeError(Metric.error());
+
+  size_t MaxRects = 4096;
+  if (const json::Value *MR = Params.find("maxRects"); MR && MR->isNumber())
+    MaxRects = static_cast<size_t>(MR->asInt());
+
+  FlameGraph Graph(*View, *Metric);
+  json::Object Out;
+  Out.set("total", Graph.totalValue());
+  Out.set("culled", Graph.culledCount());
+  Out.set("depth", Graph.depth());
+  json::Array Rects;
+  for (const FlameRect &R : Graph.rects()) {
+    if (Rects.size() >= MaxRects)
+      break;
+    json::Object RO;
+    RO.set("node", R.Node);
+    RO.set("depth", R.Depth);
+    RO.set("x", R.X);
+    RO.set("width", R.Width);
+    RO.set("value", R.Value);
+    RO.set("name", std::string(View->nameOf(R.Node)));
+    RO.set("color", toHexColor(R.Color));
+    Rects.push_back(std::move(RO));
+  }
+  Out.set("rects", std::move(Rects));
+  return json::Value(std::move(Out));
+}
+
+Result<json::Value> PvpServer::doTreeTable(const json::Object &Params) {
+  Result<const Profile *> P = lookup(Params);
+  if (!P)
+    return makeError(P.error());
+  TreeTable Table(**P);
+  if (const json::Value *ExpandV = Params.find("expand");
+      ExpandV && ExpandV->isArray()) {
+    for (const json::Value &NV : ExpandV->asArray())
+      if (NV.isNumber() && NV.asInt() >= 0 &&
+          static_cast<size_t>(NV.asInt()) < (*P)->nodeCount())
+        Table.expand(static_cast<NodeId>(NV.asInt()));
+  } else if (!(*P)->metrics().empty()) {
+    Table.expandHotPath(0);
+  }
+  json::Object Out;
+  json::Array Rows;
+  for (const TreeTableRow &Row : Table.rows()) {
+    json::Object RO;
+    RO.set("node", Row.Node);
+    RO.set("depth", Row.Depth);
+    RO.set("name", std::string((*P)->nameOf(Row.Node)));
+    RO.set("expandable", Row.Expandable);
+    RO.set("expanded", Row.Expanded);
+    Rows.push_back(std::move(RO));
+  }
+  Out.set("rows", std::move(Rows));
+  Out.set("text", Table.renderText());
+  return json::Value(std::move(Out));
+}
+
+Result<json::Value> PvpServer::doCodeLink(const json::Object &Params) {
+  Result<const Profile *> P = lookup(Params);
+  if (!P)
+    return makeError(P.error());
+  Result<NodeId> Node = nodeParam(**P, Params);
+  if (!Node)
+    return makeError(Node.error());
+  const Frame &F = (*P)->frameOf(*Node);
+  json::Object Out;
+  Out.set("available", F.Loc.hasSourceMapping());
+  Out.set("file", std::string((*P)->text(F.Loc.File)));
+  Out.set("line", F.Loc.Line);
+  Out.set("module", std::string((*P)->text(F.Loc.Module)));
+  return json::Value(std::move(Out));
+}
+
+Result<json::Value> PvpServer::doHover(const json::Object &Params) {
+  Result<const Profile *> P = lookup(Params);
+  if (!P)
+    return makeError(P.error());
+  Result<NodeId> Node = nodeParam(**P, Params);
+  if (!Node)
+    return makeError(Node.error());
+
+  json::Object Out;
+  Out.set("contents", hoverText(**P, *Node));
+  return json::Value(std::move(Out));
+}
+
+Result<json::Value> PvpServer::doCodeLens(const json::Object &Params) {
+  Result<const Profile *> P = lookup(Params);
+  if (!P)
+    return makeError(P.error());
+  const json::Value *FileV = Params.find("file");
+  if (!FileV || !FileV->isString())
+    return makeError("missing 'file' parameter");
+  const std::string &File = FileV->asString();
+
+  json::Array Lenses;
+  for (const LineAnnotation &A : annotateFile(**P, File)) {
+    json::Object LO;
+    LO.set("line", A.Line);
+    LO.set("text", A.LensText);
+    LO.set("hotness", A.Hotness);
+    json::Array Contexts;
+    for (NodeId Ctx : A.Contexts)
+      Contexts.push_back(Ctx);
+    LO.set("contexts", std::move(Contexts));
+    Lenses.push_back(std::move(LO));
+  }
+  json::Object Out;
+  Out.set("lenses", std::move(Lenses));
+  return json::Value(std::move(Out));
+}
+
+Result<json::Value> PvpServer::doSummary(const json::Object &Params) {
+  Result<const Profile *> P = lookup(Params);
+  if (!P)
+    return makeError(P.error());
+  json::Object Out;
+  Out.set("text", renderSummaryText(**P));
+  return json::Value(std::move(Out));
+}
+
+Result<json::Value> PvpServer::doSearch(const json::Object &Params) {
+  Result<const Profile *> P = lookup(Params);
+  if (!P)
+    return makeError(P.error());
+  const json::Value *PatV = Params.find("pattern");
+  if (!PatV || !PatV->isString())
+    return makeError("missing 'pattern' parameter");
+  const std::string &Pattern = PatV->asString();
+
+  json::Array Matches;
+  for (NodeId Id = 0; Id < (*P)->nodeCount(); ++Id)
+    if ((*P)->nameOf(Id).find(Pattern) != std::string_view::npos)
+      Matches.push_back(Id);
+  json::Object Out;
+  Out.set("count", Matches.size());
+  Out.set("matches", std::move(Matches));
+  return json::Value(std::move(Out));
+}
+
+Result<json::Value> PvpServer::doAggregate(const json::Object &Params) {
+  const json::Value *IdsV = Params.find("profiles");
+  if (!IdsV || !IdsV->isArray() || IdsV->asArray().empty())
+    return makeError("pvp/aggregate needs a non-empty 'profiles' array");
+  std::vector<const Profile *> Inputs;
+  for (const json::Value &IdV : IdsV->asArray()) {
+    if (!IdV.isNumber())
+      return makeError("'profiles' must contain numeric ids");
+    const Profile *P = profile(IdV.asInt());
+    if (!P)
+      return makeError("no profile with id " + std::to_string(IdV.asInt()));
+    Inputs.push_back(P);
+  }
+  AggregateOptions Opt;
+  Opt.WithMin = Opt.WithMax = Opt.WithMean = true;
+  AggregatedProfile Agg = aggregate(Inputs, Opt);
+
+  int64_t Id = NextId++;
+  json::Object Out;
+  Out.set("profile", Id);
+  Out.set("nodes", Agg.merged().nodeCount());
+  Out.set("inputs", Inputs.size());
+  Profiles.emplace(Id, topDownTree(Agg.merged()));
+  Aggregates.emplace(Id, std::move(Agg));
+  return json::Value(std::move(Out));
+}
+
+Result<json::Value> PvpServer::doHistogram(const json::Object &Params) {
+  const json::Value *IdV = Params.find("aggregate");
+  if (!IdV || !IdV->isNumber())
+    return makeError("missing numeric 'aggregate' parameter");
+  auto It = Aggregates.find(IdV->asInt());
+  if (It == Aggregates.end())
+    return makeError("no aggregate with id " + std::to_string(IdV->asInt()));
+  const AggregatedProfile &Agg = It->second;
+
+  Result<NodeId> Node = nodeParam(Agg.merged(), Params);
+  if (!Node)
+    return makeError(Node.error());
+  MetricId Metric = 0;
+  if (const json::Value *MV = Params.find("metric"); MV && MV->isNumber())
+    Metric = static_cast<MetricId>(MV->asInt());
+  if (Metric >= Agg.inputMetricCount())
+    return makeError("metric index out of aggregate input range");
+
+  json::Array Series;
+  for (double V : Agg.perProfileInclusive(*Node, Metric))
+    Series.push_back(V);
+  json::Object Out;
+  Out.set("series", std::move(Series));
+  return json::Value(std::move(Out));
+}
+
+Result<json::Value> PvpServer::doDiff(const json::Object &Params) {
+  Result<const Profile *> Base = lookup(Params, "base");
+  if (!Base)
+    return makeError(Base.error());
+  Result<const Profile *> Test = lookup(Params, "test");
+  if (!Test)
+    return makeError(Test.error());
+  Result<MetricId> Metric = metricParam(**Base, Params);
+  if (!Metric)
+    return makeError(Metric.error());
+
+  DiffResult Diff = diffProfiles(**Base, **Test, *Metric);
+  size_t Added = 0, Deleted = 0, Increased = 0, Decreased = 0;
+  for (DiffTag Tag : Diff.Tags) {
+    switch (Tag) {
+    case DiffTag::Added:
+      ++Added;
+      break;
+    case DiffTag::Deleted:
+      ++Deleted;
+      break;
+    case DiffTag::Increased:
+      ++Increased;
+      break;
+    case DiffTag::Decreased:
+      ++Decreased;
+      break;
+    case DiffTag::Common:
+      break;
+    }
+  }
+  json::Object Out;
+  Out.set("profile", addProfile(std::move(Diff.Merged)));
+  Out.set("added", Added);
+  Out.set("deleted", Deleted);
+  Out.set("increased", Increased);
+  Out.set("decreased", Decreased);
+  return json::Value(std::move(Out));
+}
+
+Result<json::Value> PvpServer::doQuery(const json::Object &Params) {
+  Result<const Profile *> P = lookup(Params);
+  if (!P)
+    return makeError(P.error());
+  const json::Value *ProgV = Params.find("program");
+  if (!ProgV || !ProgV->isString())
+    return makeError("missing 'program' parameter");
+
+  Result<evql::QueryOutput> Out = evql::runProgram(**P, ProgV->asString());
+  if (!Out)
+    return makeError(Out.error());
+
+  json::Object Reply;
+  Reply.set("profile", addProfile(std::move(Out->Result)));
+  json::Array Printed;
+  for (std::string &Line : Out->Printed)
+    Printed.push_back(std::move(Line));
+  Reply.set("printed", std::move(Printed));
+  json::Array Derived;
+  for (std::string &Name : Out->DerivedMetrics)
+    Derived.push_back(std::move(Name));
+  Reply.set("derived", std::move(Derived));
+  return json::Value(std::move(Reply));
+}
+
+Result<json::Value> PvpServer::doTransform(const json::Object &Params) {
+  Result<const Profile *> P = lookup(Params);
+  if (!P)
+    return makeError(P.error());
+  const json::Value *ShapeV = Params.find("shape");
+  if (!ShapeV || !ShapeV->isString())
+    return makeError("missing 'shape' parameter");
+  const std::string &Shape = ShapeV->asString();
+
+  Profile Shaped;
+  if (Shape == "top-down")
+    Shaped = topDownTree(**P);
+  else if (Shape == "bottom-up")
+    Shaped = bottomUpTree(**P);
+  else if (Shape == "flat")
+    Shaped = flatTree(**P);
+  else if (Shape == "collapse-recursion")
+    Shaped = collapseRecursion(**P);
+  else
+    return makeError("unknown shape '" + Shape + "'");
+
+  json::Object Out;
+  Out.set("nodes", Shaped.nodeCount());
+  Out.set("profile", addProfile(std::move(Shaped)));
+  return json::Value(std::move(Out));
+}
+
+Result<json::Value> PvpServer::doPrune(const json::Object &Params) {
+  Result<const Profile *> P = lookup(Params);
+  if (!P)
+    return makeError(P.error());
+  Result<MetricId> Metric = metricParam(**P, Params);
+  if (!Metric)
+    return makeError(Metric.error());
+  double MinFraction = 0.001;
+  if (const json::Value *MF = Params.find("minFraction"); MF)
+    MinFraction = MF->numberOr(0.001);
+  if (MinFraction < 0.0 || MinFraction > 1.0)
+    return makeError("'minFraction' must be in [0, 1]");
+  Profile Pruned = pruneByFraction(**P, *Metric, MinFraction);
+  json::Object Out;
+  Out.set("nodes", Pruned.nodeCount());
+  Out.set("removed", (*P)->nodeCount() - Pruned.nodeCount());
+  Out.set("profile", addProfile(std::move(Pruned)));
+  return json::Value(std::move(Out));
+}
+
+Result<json::Value> PvpServer::doExport(const json::Object &Params) {
+  Result<const Profile *> P = lookup(Params);
+  if (!P)
+    return makeError(P.error());
+  const json::Value *FmtV = Params.find("format");
+  if (!FmtV || !FmtV->isString())
+    return makeError("missing 'format' parameter");
+  const std::string &Fmt = FmtV->asString();
+  MetricId Metric = 0;
+  if (Result<MetricId> M = metricParam(**P, Params); M)
+    Metric = *M;
+
+  std::string Bytes;
+  if (Fmt == "evprof")
+    Bytes = writeEvProf(**P);
+  else if (Fmt == "pprof")
+    Bytes = convert::toPprof(**P);
+  else if (Fmt == "collapsed")
+    Bytes = convert::toCollapsed(**P, Metric);
+  else if (Fmt == "speedscope")
+    Bytes = convert::toSpeedscope(**P, Metric);
+  else if (Fmt == "chrome")
+    Bytes = convert::toChromeTrace(**P, Metric);
+  else
+    return makeError("unknown export format '" + Fmt + "'");
+
+  json::Object Out;
+  Out.set("bytes", Bytes.size());
+  Out.set("dataBase64", base64Encode(Bytes));
+  return json::Value(std::move(Out));
+}
+
+Result<json::Value> PvpServer::doButterfly(const json::Object &Params) {
+  Result<const Profile *> P = lookup(Params);
+  if (!P)
+    return makeError(P.error());
+  const json::Value *FnV = Params.find("function");
+  if (!FnV || !FnV->isString())
+    return makeError("missing 'function' parameter");
+  Result<MetricId> Metric = metricParam(**P, Params);
+  if (!Metric)
+    return makeError(Metric.error());
+
+  ButterflyResult B = butterfly(**P, FnV->asString(), *Metric);
+  if (B.Occurrences == 0)
+    return makeError("function '" + FnV->asString() +
+                     "' not found in the profile");
+  auto ToArray = [](const std::vector<ButterflyEntry> &Entries) {
+    json::Array Out;
+    for (const ButterflyEntry &E : Entries) {
+      json::Object EO;
+      EO.set("name", E.Name);
+      EO.set("value", E.Value);
+      Out.push_back(std::move(EO));
+    }
+    return Out;
+  };
+  json::Object Out;
+  Out.set("function", B.Focus);
+  Out.set("occurrences", B.Occurrences);
+  Out.set("totalInclusive", B.TotalInclusive);
+  Out.set("selfExclusive", B.SelfExclusive);
+  Out.set("callers", ToArray(B.Callers));
+  Out.set("callees", ToArray(B.Callees));
+  return json::Value(std::move(Out));
+}
+
+Result<json::Value> PvpServer::doCorrelated(const json::Object &Params) {
+  Result<const Profile *> P = lookup(Params);
+  if (!P)
+    return makeError(P.error());
+  const json::Value *KindV = Params.find("kind");
+  if (!KindV || !KindV->isString())
+    return makeError("missing 'kind' parameter");
+
+  CorrelatedView View(**P, KindV->asString());
+  if (View.roleCount() == 0)
+    return makeError("no context groups of kind '" + KindV->asString() +
+                     "'");
+  if (const json::Value *SelectV = Params.find("select");
+      SelectV && SelectV->isArray()) {
+    size_t Role = 0;
+    for (const json::Value &NV : SelectV->asArray()) {
+      if (!NV.isNumber())
+        return makeError("'select' must contain node ids");
+      if (!View.select(Role, static_cast<NodeId>(NV.asInt())))
+        return makeError("node " + std::to_string(NV.asInt()) +
+                         " is not in pane " + std::to_string(Role));
+      ++Role;
+    }
+  }
+
+  json::Object Out;
+  Out.set("roles", View.roleCount());
+  Out.set("activeGroups", View.activeGroupCount());
+  json::Array Panes;
+  for (size_t Role = 0; Role < View.roleCount(); ++Role) {
+    json::Array Contexts;
+    for (auto &[Node, Value] : View.paneContexts(Role)) {
+      json::Object CO;
+      CO.set("node", Node);
+      CO.set("name", std::string((*P)->nameOf(Node)));
+      CO.set("value", Value);
+      Contexts.push_back(std::move(CO));
+    }
+    Panes.push_back(std::move(Contexts));
+  }
+  Out.set("panes", std::move(Panes));
+  return json::Value(std::move(Out));
+}
+
+json::Value PvpServer::dispatch(std::string_view Method,
+                                const json::Object &Params, int64_t Id) {
+  Result<json::Value> R = makeError("unreachable");
+  if (Method == "pvp/open")
+    R = doOpen(Params);
+  else if (Method == "pvp/close")
+    R = doClose(Params);
+  else if (Method == "pvp/flame")
+    R = doFlame(Params);
+  else if (Method == "pvp/treeTable")
+    R = doTreeTable(Params);
+  else if (Method == "pvp/codeLink")
+    R = doCodeLink(Params);
+  else if (Method == "pvp/hover")
+    R = doHover(Params);
+  else if (Method == "pvp/codeLens")
+    R = doCodeLens(Params);
+  else if (Method == "pvp/summary")
+    R = doSummary(Params);
+  else if (Method == "pvp/search")
+    R = doSearch(Params);
+  else if (Method == "pvp/aggregate")
+    R = doAggregate(Params);
+  else if (Method == "pvp/histogram")
+    R = doHistogram(Params);
+  else if (Method == "pvp/diff")
+    R = doDiff(Params);
+  else if (Method == "pvp/query")
+    R = doQuery(Params);
+  else if (Method == "pvp/transform")
+    R = doTransform(Params);
+  else if (Method == "pvp/prune")
+    R = doPrune(Params);
+  else if (Method == "pvp/export")
+    R = doExport(Params);
+  else if (Method == "pvp/butterfly")
+    R = doButterfly(Params);
+  else if (Method == "pvp/correlated")
+    R = doCorrelated(Params);
+  else
+    return rpc::makeErrorResponse(Id, rpc::MethodNotFound,
+                                  "unknown method '" + std::string(Method) +
+                                      "'");
+  if (!R)
+    return rpc::makeErrorResponse(Id, rpc::InvalidParams, R.error());
+  return rpc::makeResponse(Id, R.take());
+}
+
+json::Value PvpServer::handleMessage(const json::Value &Request) {
+  if (!Request.isObject())
+    return rpc::makeErrorResponse(0, rpc::InvalidRequest,
+                                  "request is not an object");
+  const json::Object &Obj = Request.asObject();
+  int64_t Id = 0;
+  if (const json::Value *IdV = Obj.find("id"); IdV && IdV->isNumber())
+    Id = IdV->asInt();
+  const json::Value *MethodV = Obj.find("method");
+  if (!MethodV || !MethodV->isString())
+    return rpc::makeErrorResponse(Id, rpc::InvalidRequest,
+                                  "request has no method");
+  static const json::Object EmptyParams;
+  const json::Object *Params = &EmptyParams;
+  if (const json::Value *PV = Obj.find("params"); PV && PV->isObject())
+    Params = &PV->asObject();
+  return dispatch(MethodV->asString(), *Params, Id);
+}
+
+std::string PvpServer::handleWire(std::string_view Bytes) {
+  Reader.feed(Bytes);
+  std::string Out;
+  while (auto Msg = Reader.poll())
+    Out += rpc::frame(handleMessage(*Msg));
+  if (Reader.failed())
+    Out += rpc::frame(rpc::makeErrorResponse(0, rpc::ParseError,
+                                             Reader.errorMessage()));
+  return Out;
+}
+
+} // namespace ev

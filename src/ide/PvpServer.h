@@ -1,0 +1,103 @@
+//===- ide/PvpServer.h - Profile Viewer Protocol server -------------------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Profile Viewer Protocol (PVP): an LSP-inspired protocol that carries
+/// EasyView's IDE actions (paper §VI-B). The server owns loaded profiles
+/// and serves the editor:
+///
+/// Mandatory action:
+///   pvp/codeLink      {profile, node} -> {file, line, available}
+/// Optional actions:
+///   pvp/hover         {profile, node} -> {contents}  (all metric values)
+///   pvp/codeLens      {profile, file} -> {lenses: [{line, text}]}
+///   pvp/summary       {profile} -> {text}            (floating window)
+/// Data plane:
+///   pvp/open          {name, data | dataBase64} -> {profile, nodes, metrics}
+///   pvp/close         {profile}
+///   pvp/flame         {profile, metric?, shape?, maxRects?} -> {rects,...}
+///   pvp/treeTable     {profile, expand?: [node...]} -> {rows}
+///   pvp/search        {profile, pattern} -> {matches: [node...]}
+///   pvp/histogram     {aggregate, node, metric?} -> {series}
+///   pvp/aggregate     {profiles: [id...]} -> {profile}  (unified tree)
+///   pvp/diff          {base, test, metric?} -> {profile, tags, text}
+///   pvp/query         {profile, program} -> {profile, printed, derived}
+///   pvp/transform     {profile, shape} -> {profile}   (materialized)
+///   pvp/prune         {profile, metric?, minFraction} -> {profile}
+///   pvp/export        {profile, format, metric?} -> {dataBase64, bytes}
+///   pvp/butterfly     {profile, function, metric?} -> {callers, callees}
+///   pvp/correlated    {profile, kind, select?: [node...]} -> {panes}
+///
+/// Errors use standard JSON-RPC codes. The server is transport-agnostic:
+/// handleMessage() maps one decoded request to one response, and
+/// handleWire() speaks Content-Length framing for stdio-style streams.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EASYVIEW_IDE_PVPSERVER_H
+#define EASYVIEW_IDE_PVPSERVER_H
+
+#include "analysis/Aggregate.h"
+#include "ide/JsonRpc.h"
+#include "profile/Profile.h"
+
+#include <map>
+#include <string>
+
+namespace ev {
+
+class PvpServer {
+public:
+  /// Handles one decoded JSON-RPC request; \returns the response payload.
+  json::Value handleMessage(const json::Value &Request);
+
+  /// Feeds framed bytes; \returns the framed responses produced (possibly
+  /// several, possibly none while a message is incomplete).
+  std::string handleWire(std::string_view Bytes);
+
+  /// Direct (non-RPC) access used by in-process embedding and tests.
+  /// Registers \p P; \returns its id.
+  int64_t addProfile(Profile P);
+  const Profile *profile(int64_t Id) const;
+  size_t profileCount() const { return Profiles.size(); }
+
+private:
+  json::Value dispatch(std::string_view Method, const json::Object &Params,
+                       int64_t Id);
+
+  // Method implementations; each returns a result payload or an error
+  // string which dispatch() converts into a JSON-RPC error.
+  Result<json::Value> doOpen(const json::Object &Params);
+  Result<json::Value> doClose(const json::Object &Params);
+  Result<json::Value> doFlame(const json::Object &Params);
+  Result<json::Value> doTreeTable(const json::Object &Params);
+  Result<json::Value> doCodeLink(const json::Object &Params);
+  Result<json::Value> doHover(const json::Object &Params);
+  Result<json::Value> doCodeLens(const json::Object &Params);
+  Result<json::Value> doSummary(const json::Object &Params);
+  Result<json::Value> doSearch(const json::Object &Params);
+  Result<json::Value> doAggregate(const json::Object &Params);
+  Result<json::Value> doHistogram(const json::Object &Params);
+  Result<json::Value> doDiff(const json::Object &Params);
+  Result<json::Value> doQuery(const json::Object &Params);
+  Result<json::Value> doTransform(const json::Object &Params);
+  Result<json::Value> doPrune(const json::Object &Params);
+  Result<json::Value> doExport(const json::Object &Params);
+  Result<json::Value> doButterfly(const json::Object &Params);
+  Result<json::Value> doCorrelated(const json::Object &Params);
+
+  Result<const Profile *> lookup(const json::Object &Params,
+                                 std::string_view Key = "profile") const;
+
+  std::map<int64_t, Profile> Profiles;
+  std::map<int64_t, AggregatedProfile> Aggregates;
+  int64_t NextId = 1;
+  rpc::MessageReader Reader;
+};
+
+} // namespace ev
+
+#endif // EASYVIEW_IDE_PVPSERVER_H

@@ -1,0 +1,203 @@
+//===- profile/Profile.cpp - Generic profile representation ---------------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "profile/Profile.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ev {
+
+std::string_view frameKindName(FrameKind Kind) {
+  switch (Kind) {
+  case FrameKind::Root:
+    return "root";
+  case FrameKind::Function:
+    return "function";
+  case FrameKind::Loop:
+    return "loop";
+  case FrameKind::BasicBlock:
+    return "basic-block";
+  case FrameKind::Instruction:
+    return "instruction";
+  case FrameKind::DataObject:
+    return "data-object";
+  case FrameKind::Thread:
+    return "thread";
+  }
+  return "unknown";
+}
+
+void CCTNode::addMetric(MetricId Metric, double Delta) {
+  for (MetricValue &MV : Metrics) {
+    if (MV.Metric == Metric) {
+      MV.Value += Delta;
+      return;
+    }
+  }
+  Metrics.push_back({Metric, Delta});
+}
+
+Profile::Profile() {
+  // The root frame and node always exist so that every profile has a
+  // well-defined program entrance (paper §VI-A: "the root represents the
+  // program entrance").
+  Frame RootFrame;
+  RootFrame.Kind = FrameKind::Root;
+  RootFrame.Name = Strings.intern("ROOT");
+  FrameTable.push_back(RootFrame);
+  FrameIndex.emplace(RootFrame, 0);
+  CCTNode Root;
+  Root.Parent = InvalidNode;
+  Root.FrameRef = 0;
+  NodeTable.push_back(std::move(Root));
+}
+
+MetricId Profile::addMetric(std::string_view Name, std::string_view Unit,
+                            MetricAggregation Aggregation) {
+  MetricId Existing = findMetric(Name);
+  if (Existing != InvalidMetric)
+    return Existing;
+  MetricTable.push_back(
+      {std::string(Name), std::string(Unit), Aggregation});
+  return static_cast<MetricId>(MetricTable.size() - 1);
+}
+
+MetricId Profile::findMetric(std::string_view Name) const {
+  for (MetricId I = 0; I < MetricTable.size(); ++I)
+    if (MetricTable[I].Name == Name)
+      return I;
+  return InvalidMetric;
+}
+
+const Frame &Profile::frame(FrameId Id) const {
+  assert(Id < FrameTable.size() && "frame id out of range");
+  return FrameTable[Id];
+}
+
+FrameId Profile::internFrame(const Frame &F) {
+  auto It = FrameIndex.find(F);
+  if (It != FrameIndex.end())
+    return It->second;
+  FrameId Id = static_cast<FrameId>(FrameTable.size());
+  FrameTable.push_back(F);
+  FrameIndex.emplace(F, Id);
+  return Id;
+}
+
+const CCTNode &Profile::node(NodeId Id) const {
+  assert(Id < NodeTable.size() && "node id out of range");
+  return NodeTable[Id];
+}
+
+CCTNode &Profile::node(NodeId Id) {
+  assert(Id < NodeTable.size() && "node id out of range");
+  return NodeTable[Id];
+}
+
+NodeId Profile::createNode(NodeId Parent, FrameId FrameRef) {
+  assert(Parent < NodeTable.size() && "parent out of range");
+  assert(FrameRef < FrameTable.size() && "frame out of range");
+  NodeId Id = static_cast<NodeId>(NodeTable.size());
+  CCTNode Node;
+  Node.Parent = Parent;
+  Node.FrameRef = FrameRef;
+  NodeTable.push_back(std::move(Node));
+  NodeTable[Parent].Children.push_back(Id);
+  return Id;
+}
+
+std::vector<NodeId> Profile::pathTo(NodeId Id) const {
+  std::vector<NodeId> Path;
+  for (NodeId Cur = Id; Cur != InvalidNode; Cur = node(Cur).Parent)
+    Path.push_back(Cur);
+  std::reverse(Path.begin(), Path.end());
+  return Path;
+}
+
+unsigned Profile::depth(NodeId Id) const {
+  unsigned D = 0;
+  for (NodeId Cur = Id; node(Cur).Parent != InvalidNode;
+       Cur = node(Cur).Parent)
+    ++D;
+  return D;
+}
+
+void Profile::addGroup(ContextGroup Group) {
+  Groups.push_back(std::move(Group));
+}
+
+Result<bool> Profile::verify() const {
+  if (NodeTable.empty())
+    return makeError("profile has no root node");
+  if (NodeTable[0].Parent != InvalidNode)
+    return makeError("root node has a parent");
+  for (NodeId Id = 0; Id < NodeTable.size(); ++Id) {
+    const CCTNode &Node = NodeTable[Id];
+    if (Node.FrameRef >= FrameTable.size())
+      return makeError("node " + std::to_string(Id) +
+                       " references out-of-range frame");
+    if (Id != 0) {
+      if (Node.Parent == InvalidNode)
+        return makeError("non-root node " + std::to_string(Id) +
+                         " has no parent");
+      if (Node.Parent >= NodeTable.size())
+        return makeError("node " + std::to_string(Id) +
+                         " has out-of-range parent");
+      if (Node.Parent >= Id)
+        return makeError("node " + std::to_string(Id) +
+                         " does not follow its parent (cycle risk)");
+      const CCTNode &Parent = NodeTable[Node.Parent];
+      if (std::find(Parent.Children.begin(), Parent.Children.end(), Id) ==
+          Parent.Children.end())
+        return makeError("node " + std::to_string(Id) +
+                         " missing from its parent's child list");
+    }
+    for (NodeId Child : Node.Children) {
+      if (Child >= NodeTable.size())
+        return makeError("node " + std::to_string(Id) +
+                         " has out-of-range child");
+      if (NodeTable[Child].Parent != Id)
+        return makeError("child " + std::to_string(Child) +
+                         " does not point back to parent " +
+                         std::to_string(Id));
+    }
+    for (const MetricValue &MV : Node.Metrics)
+      if (MV.Metric >= MetricTable.size())
+        return makeError("node " + std::to_string(Id) +
+                         " references out-of-range metric");
+  }
+  for (const Frame &F : FrameTable) {
+    if (F.Name >= Strings.size() || F.Loc.File >= Strings.size() ||
+        F.Loc.Module >= Strings.size())
+      return makeError("frame references out-of-range string");
+  }
+  for (const ContextGroup &Group : Groups) {
+    if (Group.Metric >= MetricTable.size())
+      return makeError("context group references out-of-range metric");
+    if (Group.Kind >= Strings.size())
+      return makeError("context group references out-of-range kind string");
+    for (NodeId Ctx : Group.Contexts)
+      if (Ctx >= NodeTable.size())
+        return makeError("context group references out-of-range node");
+  }
+  return true;
+}
+
+size_t Profile::approxMemoryBytes() const {
+  size_t Bytes = Strings.payloadBytes();
+  Bytes += FrameTable.size() * sizeof(Frame);
+  Bytes += NodeTable.size() * sizeof(CCTNode);
+  for (const CCTNode &Node : NodeTable) {
+    Bytes += Node.Children.size() * sizeof(NodeId);
+    Bytes += Node.Metrics.size() * sizeof(MetricValue);
+  }
+  for (const ContextGroup &Group : Groups)
+    Bytes += sizeof(ContextGroup) + Group.Contexts.size() * sizeof(NodeId);
+  return Bytes;
+}
+
+} // namespace ev

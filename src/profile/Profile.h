@@ -1,0 +1,262 @@
+//===- profile/Profile.h - Generic profile representation -----------------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// EasyView's generic profile representation (paper Fig. 2): all monitoring
+/// points are organized into a compact calling context tree (CCT) produced
+/// by merging common call-path prefixes. Each CCT node carries a context
+/// (frame with source-code attribution) and a list of exclusive metric
+/// values. The representation additionally supports:
+///
+///  - data objects as contexts (data-centric profilers such as DrCCTProf,
+///    ScaAnalyzer, MemProf): FrameKind::DataObject;
+///  - multiple metrics per monitoring point;
+///  - multiple contexts bound to one metric (reuse pairs, redundancy
+///    pairs, data races, false sharing): ContextGroup.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EASYVIEW_PROFILE_PROFILE_H
+#define EASYVIEW_PROFILE_PROFILE_H
+
+#include "support/Result.h"
+#include "support/StringInterner.h"
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace ev {
+
+/// Kinds of profiling contexts (paper §IV-A "profiling contexts" cover the
+/// whole program down to instructions, plus data objects).
+enum class FrameKind : uint8_t {
+  Root,        ///< Program/thread entry; exactly one per profile.
+  Function,    ///< A function frame on the call stack.
+  Loop,        ///< A source loop within a function.
+  BasicBlock,  ///< A basic block (fine-grained profilers).
+  Instruction, ///< A single instruction address.
+  DataObject,  ///< A heap/static data object (data-centric analysis).
+  Thread,      ///< A thread context grouping node.
+};
+
+/// \returns a stable lowercase name for \p Kind ("function", ...).
+std::string_view frameKindName(FrameKind Kind);
+
+/// Source-code attribution of a context (paper §IV-A "code mapping").
+struct SourceLocation {
+  StringId File = 0;   ///< Source file path (interned), 0 when unknown.
+  uint32_t Line = 0;   ///< 1-based line; 0 when unknown.
+  StringId Module = 0; ///< Load module (binary / shared library).
+  uint64_t Address = 0; ///< Instruction pointer, 0 when unknown.
+
+  bool operator==(const SourceLocation &O) const = default;
+
+  /// \returns true when a source line mapping is available. The renderers
+  /// use this for the "darkness" color semantics (paper §VI-B).
+  bool hasSourceMapping() const { return File != 0 && Line != 0; }
+};
+
+/// A deduplicated context descriptor shared by CCT nodes.
+struct Frame {
+  FrameKind Kind = FrameKind::Function;
+  StringId Name = 0; ///< Function or data-object name (interned).
+  SourceLocation Loc;
+
+  bool operator==(const Frame &O) const = default;
+};
+
+/// Index of a Frame in Profile::frames().
+using FrameId = uint32_t;
+/// Index of a CCTNode in Profile::nodes().
+using NodeId = uint32_t;
+/// Index of a MetricDescriptor in Profile::metrics().
+using MetricId = uint32_t;
+
+inline constexpr NodeId InvalidNode = std::numeric_limits<NodeId>::max();
+
+/// How values of a metric combine when profiles or nodes merge.
+enum class MetricAggregation : uint8_t {
+  Sum, ///< e.g. cycles, allocated bytes.
+  Min,
+  Max,
+  Last, ///< e.g. a gauge such as active memory in a snapshot.
+};
+
+/// Describes one metric column (paper §IV-A "metrics").
+struct MetricDescriptor {
+  std::string Name; ///< e.g. "cpu-time", "alloc-bytes".
+  std::string Unit; ///< e.g. "nanoseconds", "bytes", "count".
+  MetricAggregation Aggregation = MetricAggregation::Sum;
+
+  bool operator==(const MetricDescriptor &O) const = default;
+};
+
+/// Sparse (metric, exclusive value) pair attached to a CCT node.
+struct MetricValue {
+  MetricId Metric = 0;
+  double Value = 0.0;
+
+  bool operator==(const MetricValue &O) const = default;
+};
+
+/// One calling-context-tree node. Children keep insertion order; the
+/// analysis passes sort as needed.
+struct CCTNode {
+  NodeId Parent = InvalidNode;
+  FrameId FrameRef = 0;
+  std::vector<NodeId> Children;
+  /// Exclusive metric values recorded directly at this context.
+  std::vector<MetricValue> Metrics;
+
+  /// \returns the exclusive value of \p Metric, 0 when absent.
+  double metricOr(MetricId Metric, double Fallback = 0.0) const {
+    for (const MetricValue &MV : Metrics)
+      if (MV.Metric == Metric)
+        return MV.Value;
+    return Fallback;
+  }
+
+  /// Adds \p Delta to the exclusive value of \p Metric.
+  void addMetric(MetricId Metric, double Delta);
+};
+
+/// Binds one metric value to several contexts at once. This is how the
+/// representation models reuse pairs (use + reuse contexts), redundancy
+/// pairs, data races, and false sharing (paper §IV-A last paragraph);
+/// Fig. 7's correlated flame graphs render these groups.
+struct ContextGroup {
+  StringId Kind = 0; ///< e.g. "reuse", "redundancy", "race" (interned).
+  std::vector<NodeId> Contexts; ///< Ordered roles, e.g. {alloc, use, reuse}.
+  MetricId Metric = 0;
+  double Value = 0.0;
+};
+
+/// The profile: string table + metric schema + frame table + CCT + groups.
+///
+/// Profiles are built with ProfileBuilder, loaded from .evprof bytes
+/// (proto/EvProf.h), or converted from foreign formats (src/convert/).
+class Profile {
+public:
+  Profile();
+
+  /// Human-readable label (file name, "thread 3", "run A", ...).
+  const std::string &name() const { return Label; }
+  void setName(std::string Name) { Label = std::move(Name); }
+
+  //===--------------------------------------------------------------------===
+  // String table
+  //===--------------------------------------------------------------------===
+
+  StringInterner &strings() { return Strings; }
+  const StringInterner &strings() const { return Strings; }
+  std::string_view text(StringId Id) const { return Strings.text(Id); }
+
+  //===--------------------------------------------------------------------===
+  // Metric schema
+  //===--------------------------------------------------------------------===
+
+  const std::vector<MetricDescriptor> &metrics() const { return MetricTable; }
+
+  /// Registers a metric; returns the existing id when a metric of the same
+  /// name is already present.
+  MetricId addMetric(std::string_view Name, std::string_view Unit,
+                     MetricAggregation Aggregation = MetricAggregation::Sum);
+
+  /// \returns the id of metric \p Name, or InvalidNode-like sentinel.
+  static constexpr MetricId InvalidMetric =
+      std::numeric_limits<MetricId>::max();
+  MetricId findMetric(std::string_view Name) const;
+
+  //===--------------------------------------------------------------------===
+  // Frames
+  //===--------------------------------------------------------------------===
+
+  const std::vector<Frame> &frames() const { return FrameTable; }
+  const Frame &frame(FrameId Id) const;
+
+  /// Interns \p F, returning a dense FrameId.
+  FrameId internFrame(const Frame &F);
+
+  //===--------------------------------------------------------------------===
+  // CCT
+  //===--------------------------------------------------------------------===
+
+  const std::vector<CCTNode> &nodes() const { return NodeTable; }
+  std::vector<CCTNode> &nodes() { return NodeTable; }
+  const CCTNode &node(NodeId Id) const;
+  CCTNode &node(NodeId Id);
+  size_t nodeCount() const { return NodeTable.size(); }
+
+  /// The root node id (always 0; the root exists from construction).
+  NodeId root() const { return 0; }
+
+  /// Appends a fresh child of \p Parent referencing \p FrameRef.
+  NodeId createNode(NodeId Parent, FrameId FrameRef);
+
+  /// Frame of the node (convenience).
+  const Frame &frameOf(NodeId Id) const { return frame(node(Id).FrameRef); }
+  /// Function/data-object name of the node.
+  std::string_view nameOf(NodeId Id) const {
+    return text(frameOf(Id).Name);
+  }
+
+  /// Reconstructs the root-to-node call path.
+  std::vector<NodeId> pathTo(NodeId Id) const;
+
+  /// Depth of a node (root = 0).
+  unsigned depth(NodeId Id) const;
+
+  //===--------------------------------------------------------------------===
+  // Multi-context metric groups
+  //===--------------------------------------------------------------------===
+
+  const std::vector<ContextGroup> &groups() const { return Groups; }
+  void addGroup(ContextGroup Group);
+
+  //===--------------------------------------------------------------------===
+  // Integrity & accounting
+  //===--------------------------------------------------------------------===
+
+  /// Structural validation used by tests and by the loaders: parent/child
+  /// symmetry, acyclicity, in-range frame/metric/string references.
+  /// \returns true on success; otherwise an error naming the first problem.
+  Result<bool> verify() const;
+
+  /// Approximate in-memory footprint, used for response-time accounting.
+  size_t approxMemoryBytes() const;
+
+private:
+  struct FrameHash {
+    size_t operator()(const Frame &F) const {
+      uint64_t H = static_cast<uint64_t>(F.Kind);
+      auto Mix = [&H](uint64_t V) {
+        H ^= V + 0x9E3779B97F4A7C15ULL + (H << 6) + (H >> 2);
+      };
+      Mix(F.Name);
+      Mix(F.Loc.File);
+      Mix(F.Loc.Line);
+      Mix(F.Loc.Module);
+      Mix(F.Loc.Address);
+      return static_cast<size_t>(H);
+    }
+  };
+
+  std::string Label;
+  StringInterner Strings;
+  std::vector<MetricDescriptor> MetricTable;
+  std::vector<Frame> FrameTable;
+  std::unordered_map<Frame, FrameId, FrameHash> FrameIndex;
+  std::vector<CCTNode> NodeTable;
+  std::vector<ContextGroup> Groups;
+};
+
+} // namespace ev
+
+#endif // EASYVIEW_PROFILE_PROFILE_H

@@ -1,0 +1,412 @@
+//===- proto/EvProf.cpp - EasyView profile container format ---------------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "proto/EvProf.h"
+
+#include "support/ProtoWire.h"
+
+namespace ev {
+
+namespace {
+
+// Field numbers of message EvProfile.
+enum : uint32_t {
+  FProfileName = 1,
+  FProfileString = 2,
+  FProfileMetric = 3,
+  FProfileFrame = 4,
+  FProfileNode = 5,
+  FProfileGroup = 6,
+};
+
+enum : uint32_t { FMetricName = 1, FMetricUnit = 2, FMetricAgg = 3 };
+
+enum : uint32_t {
+  FFrameKind = 1,
+  FFrameName = 2,
+  FFrameFile = 3,
+  FFrameLine = 4,
+  FFrameModule = 5,
+  FFrameAddr = 6,
+};
+
+enum : uint32_t { FNodeParentPlus1 = 1, FNodeFrame = 2, FNodeValue = 3 };
+
+enum : uint32_t { FValueMetric = 1, FValueValue = 2 };
+
+enum : uint32_t {
+  FGroupKind = 1,
+  FGroupContext = 2,
+  FGroupMetric = 3,
+  FGroupValue = 4,
+};
+
+std::string encodeMetric(const MetricDescriptor &M) {
+  ProtoWriter W;
+  W.writeBytes(FMetricName, M.Name);
+  W.writeBytes(FMetricUnit, M.Unit);
+  W.writeVarint(FMetricAgg, static_cast<uint64_t>(M.Aggregation));
+  return W.takeBuffer();
+}
+
+std::string encodeFrame(const Frame &F) {
+  ProtoWriter W;
+  if (F.Kind != FrameKind::Root)
+    W.writeVarint(FFrameKind, static_cast<uint64_t>(F.Kind));
+  if (F.Name)
+    W.writeVarint(FFrameName, F.Name);
+  if (F.Loc.File)
+    W.writeVarint(FFrameFile, F.Loc.File);
+  if (F.Loc.Line)
+    W.writeVarint(FFrameLine, F.Loc.Line);
+  if (F.Loc.Module)
+    W.writeVarint(FFrameModule, F.Loc.Module);
+  if (F.Loc.Address)
+    W.writeVarint(FFrameAddr, F.Loc.Address);
+  return W.takeBuffer();
+}
+
+std::string encodeNode(const CCTNode &Node) {
+  ProtoWriter W;
+  if (Node.Parent != InvalidNode)
+    W.writeVarint(FNodeParentPlus1, static_cast<uint64_t>(Node.Parent) + 1);
+  if (Node.FrameRef)
+    W.writeVarint(FNodeFrame, Node.FrameRef);
+  for (const MetricValue &MV : Node.Metrics) {
+    ProtoWriter VW;
+    if (MV.Metric)
+      VW.writeVarint(FValueMetric, MV.Metric);
+    VW.writeDouble(FValueValue, MV.Value);
+    W.writeBytes(FNodeValue, VW.buffer());
+  }
+  return W.takeBuffer();
+}
+
+std::string encodeGroup(const ContextGroup &Group) {
+  ProtoWriter W;
+  if (Group.Kind)
+    W.writeVarint(FGroupKind, Group.Kind);
+  std::vector<uint64_t> Contexts(Group.Contexts.begin(),
+                                 Group.Contexts.end());
+  W.writePackedVarints(FGroupContext, Contexts.data(), Contexts.size());
+  if (Group.Metric)
+    W.writeVarint(FGroupMetric, Group.Metric);
+  W.writeDouble(FGroupValue, Group.Value);
+  return W.takeBuffer();
+}
+
+} // namespace
+
+bool isEvProf(std::string_view Bytes) {
+  return Bytes.substr(0, EvProfMagic.size()) == EvProfMagic;
+}
+
+std::string writeEvProf(const Profile &P) {
+  ProtoWriter W;
+  W.writeBytes(FProfileName, P.name());
+  for (StringId I = 0; I < P.strings().size(); ++I)
+    W.writeBytes(FProfileString, P.text(I));
+  for (const MetricDescriptor &M : P.metrics())
+    W.writeBytes(FProfileMetric, encodeMetric(M));
+  for (const Frame &F : P.frames())
+    W.writeBytes(FProfileFrame, encodeFrame(F));
+  for (const CCTNode &Node : P.nodes())
+    W.writeBytes(FProfileNode, encodeNode(Node));
+  for (const ContextGroup &Group : P.groups())
+    W.writeBytes(FProfileGroup, encodeGroup(Group));
+  std::string Out(EvProfMagic);
+  Out += W.buffer();
+  return Out;
+}
+
+namespace {
+
+struct RawNode {
+  uint64_t ParentPlus1 = 0;
+  uint64_t FrameRef = 0;
+  std::vector<MetricValue> Values;
+};
+
+Result<MetricDescriptor> decodeMetric(std::string_view Bytes) {
+  MetricDescriptor M;
+  ProtoReader R(Bytes);
+  while (R.next()) {
+    switch (R.fieldNumber()) {
+    case FMetricName:
+      M.Name = std::string(R.bytes());
+      break;
+    case FMetricUnit:
+      M.Unit = std::string(R.bytes());
+      break;
+    case FMetricAgg: {
+      uint64_t Agg = R.varint();
+      if (Agg > static_cast<uint64_t>(MetricAggregation::Last))
+        return makeError("invalid metric aggregation");
+      M.Aggregation = static_cast<MetricAggregation>(Agg);
+      break;
+    }
+    default:
+      R.skip();
+    }
+  }
+  if (R.failed())
+    return makeError("malformed Metric message");
+  return M;
+}
+
+} // namespace
+
+Result<Profile> readEvProf(std::string_view Bytes) {
+  if (!isEvProf(Bytes))
+    return makeError("not an .evprof stream: bad magic");
+  Bytes.remove_prefix(EvProfMagic.size());
+
+  // Pass 1: pull the raw tables out of the wire data.
+  std::string Name;
+  std::vector<std::string> StringTable;
+  std::vector<MetricDescriptor> Metrics;
+  struct RawFrame {
+    uint64_t Kind = 0, Name = 0, File = 0, Line = 0, Module = 0, Addr = 0;
+  };
+  std::vector<RawFrame> Frames;
+  std::vector<RawNode> Nodes;
+  struct RawGroup {
+    uint64_t Kind = 0, Metric = 0;
+    double Value = 0.0;
+    std::vector<uint64_t> Contexts;
+  };
+  std::vector<RawGroup> Groups;
+
+  ProtoReader R(Bytes);
+  while (R.next()) {
+    switch (R.fieldNumber()) {
+    case FProfileName:
+      Name = std::string(R.bytes());
+      break;
+    case FProfileString:
+      StringTable.emplace_back(R.bytes());
+      break;
+    case FProfileMetric: {
+      Result<MetricDescriptor> M = decodeMetric(R.bytes());
+      if (!M)
+        return makeError(M.error());
+      Metrics.push_back(M.take());
+      break;
+    }
+    case FProfileFrame: {
+      RawFrame F;
+      ProtoReader FR(R.bytes());
+      while (FR.next()) {
+        switch (FR.fieldNumber()) {
+        case FFrameKind:
+          F.Kind = FR.varint();
+          break;
+        case FFrameName:
+          F.Name = FR.varint();
+          break;
+        case FFrameFile:
+          F.File = FR.varint();
+          break;
+        case FFrameLine:
+          F.Line = FR.varint();
+          break;
+        case FFrameModule:
+          F.Module = FR.varint();
+          break;
+        case FFrameAddr:
+          F.Addr = FR.varint();
+          break;
+        default:
+          FR.skip();
+        }
+      }
+      if (FR.failed())
+        return makeError("malformed Frame message");
+      Frames.push_back(F);
+      break;
+    }
+    case FProfileNode: {
+      RawNode N;
+      ProtoReader NR(R.bytes());
+      while (NR.next()) {
+        switch (NR.fieldNumber()) {
+        case FNodeParentPlus1:
+          N.ParentPlus1 = NR.varint();
+          break;
+        case FNodeFrame:
+          N.FrameRef = NR.varint();
+          break;
+        case FNodeValue: {
+          MetricValue MV;
+          ProtoReader VR(NR.bytes());
+          while (VR.next()) {
+            switch (VR.fieldNumber()) {
+            case FValueMetric:
+              MV.Metric = static_cast<MetricId>(VR.varint());
+              break;
+            case FValueValue:
+              MV.Value = VR.fixedDouble();
+              break;
+            default:
+              VR.skip();
+            }
+          }
+          if (VR.failed())
+            return makeError("malformed MetricValue message");
+          N.Values.push_back(MV);
+          break;
+        }
+        default:
+          NR.skip();
+        }
+      }
+      if (NR.failed())
+        return makeError("malformed Node message");
+      Nodes.push_back(std::move(N));
+      break;
+    }
+    case FProfileGroup: {
+      RawGroup G;
+      ProtoReader GR(R.bytes());
+      while (GR.next()) {
+        switch (GR.fieldNumber()) {
+        case FGroupKind:
+          G.Kind = GR.varint();
+          break;
+        case FGroupContext: {
+          // Packed repeated varints.
+          std::string_view Packed = GR.bytes();
+          VarintReader VR(Packed.data(), Packed.size());
+          while (!VR.atEnd() && !VR.failed())
+            G.Contexts.push_back(VR.readVarint());
+          if (VR.failed())
+            return makeError("malformed packed context list");
+          break;
+        }
+        case FGroupMetric:
+          G.Metric = GR.varint();
+          break;
+        case FGroupValue:
+          G.Value = GR.fixedDouble();
+          break;
+        default:
+          GR.skip();
+        }
+      }
+      if (GR.failed())
+        return makeError("malformed Group message");
+      Groups.push_back(std::move(G));
+      break;
+    }
+    default:
+      R.skip();
+    }
+  }
+  if (R.failed())
+    return makeError("malformed EvProfile message");
+
+  // Pass 2: rebuild the Profile, remapping string and frame ids into the
+  // fresh tables (the new Profile pre-interns "" and "ROOT").
+  Profile P;
+  P.setName(std::move(Name));
+
+  std::vector<StringId> StringMap(StringTable.size());
+  for (size_t I = 0; I < StringTable.size(); ++I)
+    StringMap[I] = P.strings().intern(StringTable[I]);
+  auto MapString = [&](uint64_t Old) -> Result<StringId> {
+    if (Old >= StringMap.size())
+      return makeError("string reference out of range");
+    return StringMap[Old];
+  };
+
+  for (const MetricDescriptor &M : Metrics)
+    P.addMetric(M.Name, M.Unit, M.Aggregation);
+  if (P.metrics().size() != Metrics.size())
+    return makeError("duplicate metric names in stream");
+
+  std::vector<FrameId> FrameMap(Frames.size());
+  for (size_t I = 0; I < Frames.size(); ++I) {
+    const RawFrame &RF = Frames[I];
+    if (RF.Kind > static_cast<uint64_t>(FrameKind::Thread))
+      return makeError("invalid frame kind");
+    Frame F;
+    F.Kind = static_cast<FrameKind>(RF.Kind);
+    Result<StringId> NameId = MapString(RF.Name);
+    if (!NameId)
+      return makeError(NameId.error());
+    F.Name = *NameId;
+    Result<StringId> FileId = MapString(RF.File);
+    if (!FileId)
+      return makeError(FileId.error());
+    F.Loc.File = *FileId;
+    if (RF.Line > 0xFFFFFFFFULL)
+      return makeError("line number out of range");
+    F.Loc.Line = static_cast<uint32_t>(RF.Line);
+    Result<StringId> ModuleId = MapString(RF.Module);
+    if (!ModuleId)
+      return makeError(ModuleId.error());
+    F.Loc.Module = *ModuleId;
+    F.Loc.Address = RF.Addr;
+    FrameMap[I] = P.internFrame(F);
+  }
+
+  if (Nodes.empty())
+    return makeError("profile stream has no nodes");
+  if (Nodes[0].ParentPlus1 != 0)
+    return makeError("first node is not a root");
+
+  auto MapFrame = [&](uint64_t Old) -> Result<FrameId> {
+    if (Old >= FrameMap.size())
+      return makeError("frame reference out of range");
+    return FrameMap[Old];
+  };
+
+  // Node 0 maps onto the implicit root.
+  {
+    Result<FrameId> RootFrame = MapFrame(Nodes[0].FrameRef);
+    if (!RootFrame)
+      return makeError(RootFrame.error());
+    P.node(P.root()).FrameRef = *RootFrame;
+    P.node(P.root()).Metrics = Nodes[0].Values;
+  }
+  for (size_t I = 1; I < Nodes.size(); ++I) {
+    const RawNode &N = Nodes[I];
+    if (N.ParentPlus1 == 0 || N.ParentPlus1 > I)
+      return makeError("node " + std::to_string(I) +
+                       " has invalid parent reference");
+    Result<FrameId> F = MapFrame(N.FrameRef);
+    if (!F)
+      return makeError(F.error());
+    NodeId Id = P.createNode(static_cast<NodeId>(N.ParentPlus1 - 1), *F);
+    P.node(Id).Metrics = N.Values;
+  }
+  for (const CCTNode &Node : P.nodes())
+    for (const MetricValue &MV : Node.Metrics)
+      if (MV.Metric >= P.metrics().size())
+        return makeError("node metric reference out of range");
+
+  for (const RawGroup &G : Groups) {
+    ContextGroup Group;
+    Result<StringId> Kind = MapString(G.Kind);
+    if (!Kind)
+      return makeError(Kind.error());
+    Group.Kind = *Kind;
+    if (G.Metric >= P.metrics().size())
+      return makeError("group metric reference out of range");
+    Group.Metric = static_cast<MetricId>(G.Metric);
+    Group.Value = G.Value;
+    for (uint64_t Ctx : G.Contexts) {
+      if (Ctx >= P.nodeCount())
+        return makeError("group context reference out of range");
+      Group.Contexts.push_back(static_cast<NodeId>(Ctx));
+    }
+    P.addGroup(std::move(Group));
+  }
+
+  return P;
+}
+
+} // namespace ev

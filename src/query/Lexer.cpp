@@ -1,0 +1,298 @@
+//===- query/Lexer.cpp - EVQL token stream ---------------------------------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "query/Lexer.h"
+
+#include "support/Strings.h"
+
+#include <cctype>
+
+namespace ev {
+namespace evql {
+
+std::string_view tokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::Number:
+    return "number";
+  case TokenKind::String:
+    return "string";
+  case TokenKind::Identifier:
+    return "identifier";
+  case TokenKind::KwLet:
+    return "'let'";
+  case TokenKind::KwDerive:
+    return "'derive'";
+  case TokenKind::KwPrune:
+    return "'prune'";
+  case TokenKind::KwKeep:
+    return "'keep'";
+  case TokenKind::KwWhen:
+    return "'when'";
+  case TokenKind::KwPrint:
+    return "'print'";
+  case TokenKind::KwTrue:
+    return "'true'";
+  case TokenKind::KwFalse:
+    return "'false'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Semicolon:
+    return "';'";
+  case TokenKind::Assign:
+    return "'='";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::Minus:
+    return "'-'";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::Slash:
+    return "'/'";
+  case TokenKind::Percent:
+    return "'%'";
+  case TokenKind::Less:
+    return "'<'";
+  case TokenKind::LessEqual:
+    return "'<='";
+  case TokenKind::Greater:
+    return "'>'";
+  case TokenKind::GreaterEqual:
+    return "'>='";
+  case TokenKind::EqualEqual:
+    return "'=='";
+  case TokenKind::BangEqual:
+    return "'!='";
+  case TokenKind::Bang:
+    return "'!'";
+  case TokenKind::AmpAmp:
+    return "'&&'";
+  case TokenKind::PipePipe:
+    return "'||'";
+  case TokenKind::Question:
+    return "'?'";
+  case TokenKind::Colon:
+    return "':'";
+  case TokenKind::EndOfInput:
+    return "end of input";
+  }
+  return "unknown token";
+}
+
+namespace {
+
+TokenKind keywordKind(std::string_view Word) {
+  if (Word == "let")
+    return TokenKind::KwLet;
+  if (Word == "derive")
+    return TokenKind::KwDerive;
+  if (Word == "prune")
+    return TokenKind::KwPrune;
+  if (Word == "keep")
+    return TokenKind::KwKeep;
+  if (Word == "when")
+    return TokenKind::KwWhen;
+  if (Word == "print")
+    return TokenKind::KwPrint;
+  if (Word == "true")
+    return TokenKind::KwTrue;
+  if (Word == "false")
+    return TokenKind::KwFalse;
+  return TokenKind::Identifier;
+}
+
+} // namespace
+
+Result<std::vector<Token>> lex(std::string_view Source) {
+  std::vector<Token> Tokens;
+  size_t Pos = 0;
+  size_t Line = 1;
+
+  auto Fail = [&](std::string Message) {
+    return makeError(Message + " at line " + std::to_string(Line));
+  };
+  auto Push = [&](TokenKind Kind, std::string Text = "") {
+    Token T;
+    T.Kind = Kind;
+    T.Text = std::move(Text);
+    T.Line = Line;
+    Tokens.push_back(std::move(T));
+  };
+
+  while (Pos < Source.size()) {
+    char C = Source[Pos];
+    if (C == '\n') {
+      ++Line;
+      ++Pos;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      ++Pos;
+      continue;
+    }
+    if (C == '#') {
+      while (Pos < Source.size() && Source[Pos] != '\n')
+        ++Pos;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      size_t Start = Pos;
+      while (Pos < Source.size() &&
+             (std::isalnum(static_cast<unsigned char>(Source[Pos])) ||
+              Source[Pos] == '_'))
+        ++Pos;
+      std::string_view Word = Source.substr(Start, Pos - Start);
+      Push(keywordKind(Word), std::string(Word));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(C)) ||
+        (C == '.' && Pos + 1 < Source.size() &&
+         std::isdigit(static_cast<unsigned char>(Source[Pos + 1])))) {
+      size_t Start = Pos;
+      while (Pos < Source.size() &&
+             (std::isdigit(static_cast<unsigned char>(Source[Pos])) ||
+              Source[Pos] == '.' || Source[Pos] == 'e' ||
+              Source[Pos] == 'E' ||
+              ((Source[Pos] == '+' || Source[Pos] == '-') && Pos > Start &&
+               (Source[Pos - 1] == 'e' || Source[Pos - 1] == 'E'))))
+        ++Pos;
+      double Number;
+      if (!parseDouble(Source.substr(Start, Pos - Start), Number))
+        return Fail("invalid number literal");
+      Token T;
+      T.Kind = TokenKind::Number;
+      T.Number = Number;
+      T.Line = Line;
+      Tokens.push_back(std::move(T));
+      continue;
+    }
+    if (C == '"') {
+      ++Pos;
+      std::string Text;
+      while (Pos < Source.size() && Source[Pos] != '"') {
+        char S = Source[Pos++];
+        if (S == '\\' && Pos < Source.size()) {
+          char E = Source[Pos++];
+          switch (E) {
+          case 'n':
+            Text.push_back('\n');
+            break;
+          case 't':
+            Text.push_back('\t');
+            break;
+          case '"':
+            Text.push_back('"');
+            break;
+          case '\\':
+            Text.push_back('\\');
+            break;
+          default:
+            return Fail("unknown escape in string literal");
+          }
+          continue;
+        }
+        if (S == '\n')
+          return Fail("newline in string literal");
+        Text.push_back(S);
+      }
+      if (Pos >= Source.size())
+        return Fail("unterminated string literal");
+      ++Pos;
+      Push(TokenKind::String, std::move(Text));
+      continue;
+    }
+
+    auto Two = [&](char Next, TokenKind Double, TokenKind Single) {
+      if (Pos + 1 < Source.size() && Source[Pos + 1] == Next) {
+        Push(Double);
+        Pos += 2;
+        return true;
+      }
+      if (Single == TokenKind::EndOfInput)
+        return false;
+      Push(Single);
+      ++Pos;
+      return true;
+    };
+
+    switch (C) {
+    case '(':
+      Push(TokenKind::LParen);
+      ++Pos;
+      break;
+    case ')':
+      Push(TokenKind::RParen);
+      ++Pos;
+      break;
+    case ',':
+      Push(TokenKind::Comma);
+      ++Pos;
+      break;
+    case ';':
+      Push(TokenKind::Semicolon);
+      ++Pos;
+      break;
+    case '+':
+      Push(TokenKind::Plus);
+      ++Pos;
+      break;
+    case '-':
+      Push(TokenKind::Minus);
+      ++Pos;
+      break;
+    case '*':
+      Push(TokenKind::Star);
+      ++Pos;
+      break;
+    case '/':
+      Push(TokenKind::Slash);
+      ++Pos;
+      break;
+    case '%':
+      Push(TokenKind::Percent);
+      ++Pos;
+      break;
+    case '?':
+      Push(TokenKind::Question);
+      ++Pos;
+      break;
+    case ':':
+      Push(TokenKind::Colon);
+      ++Pos;
+      break;
+    case '=':
+      (void)Two('=', TokenKind::EqualEqual, TokenKind::Assign);
+      break;
+    case '!':
+      (void)Two('=', TokenKind::BangEqual, TokenKind::Bang);
+      break;
+    case '<':
+      (void)Two('=', TokenKind::LessEqual, TokenKind::Less);
+      break;
+    case '>':
+      (void)Two('=', TokenKind::GreaterEqual, TokenKind::Greater);
+      break;
+    case '&':
+      if (!Two('&', TokenKind::AmpAmp, TokenKind::EndOfInput))
+        return Fail("stray '&' (did you mean '&&'?)");
+      break;
+    case '|':
+      if (!Two('|', TokenKind::PipePipe, TokenKind::EndOfInput))
+        return Fail("stray '|' (did you mean '||'?)");
+      break;
+    default:
+      return Fail(std::string("unexpected character '") + C + "'");
+    }
+  }
+  Push(TokenKind::EndOfInput);
+  return Tokens;
+}
+
+} // namespace evql
+} // namespace ev

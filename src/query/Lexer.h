@@ -1,0 +1,84 @@
+//===- query/Lexer.h - EVQL token stream ----------------------------------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer for EVQL, the small embedded language that reproduces the
+/// paper's customizable-analysis pane (§V-B). Where the paper embeds
+/// Python-in-WASM, this reproduction embeds a purpose-built language with
+/// the same two hook points: per-node callbacks (prune/keep statements) and
+/// metric-formula callbacks (derive statements).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EASYVIEW_QUERY_LEXER_H
+#define EASYVIEW_QUERY_LEXER_H
+
+#include "support/Result.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ev {
+namespace evql {
+
+enum class TokenKind : uint8_t {
+  // Literals and identifiers.
+  Number,
+  String,
+  Identifier,
+  // Keywords.
+  KwLet,
+  KwDerive,
+  KwPrune,
+  KwKeep,
+  KwWhen,
+  KwPrint,
+  KwTrue,
+  KwFalse,
+  // Punctuation and operators.
+  LParen,
+  RParen,
+  Comma,
+  Semicolon,
+  Assign,       // =
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  Less,
+  LessEqual,
+  Greater,
+  GreaterEqual,
+  EqualEqual,
+  BangEqual,
+  Bang,
+  AmpAmp,
+  PipePipe,
+  Question,
+  Colon,
+  EndOfInput,
+};
+
+/// \returns a printable name for diagnostics ("'&&'", "number", ...).
+std::string_view tokenKindName(TokenKind Kind);
+
+struct Token {
+  TokenKind Kind = TokenKind::EndOfInput;
+  std::string Text;     ///< Identifier name or decoded string literal.
+  double Number = 0.0;  ///< Value for number literals.
+  size_t Line = 1;      ///< 1-based source line, for diagnostics.
+};
+
+/// Tokenizes \p Source. Comments run from '#' to end of line.
+Result<std::vector<Token>> lex(std::string_view Source);
+
+} // namespace evql
+} // namespace ev
+
+#endif // EASYVIEW_QUERY_LEXER_H

@@ -1,0 +1,54 @@
+//===- query/Parser.h - EVQL parser ----------------------------------------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent / precedence-climbing parser for EVQL.
+///
+/// Grammar:
+/// \code
+///   program   := statement*
+///   statement := 'let' IDENT '=' expr ';'
+///              | 'derive' IDENT '=' expr ';'
+///              | 'prune' 'when' expr ';'
+///              | 'keep' 'when' expr ';'
+///              | 'print' expr ';'
+///   expr      := ternary
+///   ternary   := or ('?' expr ':' expr)?
+///   or        := and ('||' and)*
+///   and       := equality ('&&' equality)*
+///   equality  := relational (('=='|'!=') relational)*
+///   relational:= additive (('<'|'<='|'>'|'>=') additive)*
+///   additive  := multiplicative (('+'|'-') multiplicative)*
+///   multiplicative := unary (('*'|'/'|'%') unary)*
+///   unary     := ('-'|'!') unary | primary
+///   primary   := NUMBER | STRING | 'true' | 'false'
+///              | IDENT ('(' (expr (',' expr)*)? ')')?
+///              | '(' expr ')'
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EASYVIEW_QUERY_PARSER_H
+#define EASYVIEW_QUERY_PARSER_H
+
+#include "query/Ast.h"
+#include "support/Result.h"
+
+#include <string_view>
+
+namespace ev {
+namespace evql {
+
+/// Parses EVQL source into a Program. Errors carry line numbers.
+Result<Program> parseProgram(std::string_view Source);
+
+/// Parses a single expression (used by the derived-metric quick API).
+Result<ExprPtr> parseExpression(std::string_view Source);
+
+} // namespace evql
+} // namespace ev
+
+#endif // EASYVIEW_QUERY_PARSER_H

@@ -1,0 +1,34 @@
+//===- render/AnsiRenderer.h - Terminal flame graph back end --------------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders a FlameGraph as rows of colored blocks for terminals. Used by
+/// the example programs and as a plain-text golden format in tests (with
+/// colors disabled the output is deterministic ASCII).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EASYVIEW_RENDER_ANSIRENDERER_H
+#define EASYVIEW_RENDER_ANSIRENDERER_H
+
+#include "render/FlameLayout.h"
+
+#include <string>
+
+namespace ev {
+
+struct AnsiOptions {
+  unsigned Columns = 100;
+  bool Color = true;      ///< Emit 24-bit ANSI color escapes.
+  bool RootAtTop = true;  ///< Icicle orientation (root row first).
+};
+
+/// Renders \p Graph as one text row per depth level.
+std::string renderAnsi(const FlameGraph &Graph, const AnsiOptions &Options = {});
+
+} // namespace ev
+
+#endif // EASYVIEW_RENDER_ANSIRENDERER_H

@@ -1,0 +1,95 @@
+//===- render/CodeAnnotations.cpp - Source-line profile annotations -------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "render/CodeAnnotations.h"
+
+#include "analysis/MetricEngine.h"
+#include "support/Strings.h"
+
+#include <algorithm>
+#include <map>
+
+namespace ev {
+
+std::vector<LineAnnotation> annotateFile(const Profile &P,
+                                         std::string_view File) {
+  std::map<uint32_t, LineAnnotation> ByLine;
+  for (NodeId Id = 0; Id < P.nodeCount(); ++Id) {
+    const Frame &F = P.frameOf(Id);
+    if (F.Loc.Line == 0 || P.text(F.Loc.File) != File)
+      continue;
+    LineAnnotation &A = ByLine[F.Loc.Line];
+    A.Line = F.Loc.Line;
+    A.Totals.resize(P.metrics().size(), 0.0);
+    bool AnyValue = false;
+    for (const MetricValue &MV : P.node(Id).Metrics) {
+      A.Totals[MV.Metric] += MV.Value;
+      if (MV.Value != 0.0)
+        AnyValue = true;
+    }
+    if (AnyValue || !P.node(Id).Metrics.empty())
+      A.Contexts.push_back(Id);
+  }
+
+  std::vector<LineAnnotation> Out;
+  double Hottest = 0.0;
+  for (auto &[Line, A] : ByLine) {
+    bool AllZero = true;
+    for (double V : A.Totals)
+      if (V != 0.0)
+        AllZero = false;
+    if (AllZero)
+      continue;
+    if (!A.Totals.empty())
+      Hottest = std::max(Hottest, A.Totals[0]);
+    Out.push_back(std::move(A));
+  }
+  for (LineAnnotation &A : Out) {
+    for (MetricId M = 0; M < A.Totals.size(); ++M) {
+      if (A.Totals[M] == 0.0)
+        continue;
+      if (!A.LensText.empty())
+        A.LensText += " | ";
+      const MetricDescriptor &D = P.metrics()[M];
+      A.LensText += D.Name + ": " + formatMetric(A.Totals[M], D.Unit);
+    }
+    A.Hotness = Hottest > 0.0 && !A.Totals.empty()
+                    ? A.Totals[0] / Hottest
+                    : 0.0;
+  }
+  return Out;
+}
+
+std::string hoverText(const Profile &P, NodeId Node) {
+  std::string Text = std::string(P.nameOf(Node)) + "\n";
+  for (MetricId M = 0; M < P.metrics().size(); ++M) {
+    const MetricDescriptor &D = P.metrics()[M];
+    MetricView View(P, M);
+    Text += "- " + D.Name + ": " +
+            formatMetric(View.inclusive(Node), D.Unit) + " inclusive, " +
+            formatMetric(View.exclusive(Node), D.Unit) + " exclusive\n";
+  }
+  return Text;
+}
+
+std::string renderAnnotationsText(const Profile &P,
+                                  std::string_view File) {
+  std::string Out;
+  Out += "annotations for " + std::string(File) + ":\n";
+  std::vector<LineAnnotation> Annotations = annotateFile(P, File);
+  if (Annotations.empty()) {
+    Out += "  (no profile data attributed to this file)\n";
+    return Out;
+  }
+  for (const LineAnnotation &A : Annotations) {
+    std::string Heat(static_cast<size_t>(A.Hotness * 10.0 + 0.5), '*');
+    Out += "  line " + std::to_string(A.Line) + ": " + A.LensText + "  " +
+           Heat + "\n";
+  }
+  return Out;
+}
+
+} // namespace ev

@@ -1,0 +1,57 @@
+//===- render/CodeAnnotations.h - Source-line profile annotations ---------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The data behind the paper's in-editor annotations (§VI-B): code lenses
+/// (metric lines above statements), hovers (all metric values of a line),
+/// and background highlights (which lines carry profile data, and how hot
+/// they are). The PVP server and the CLI both build their replies from
+/// these functions, so editor and terminal agree byte-for-byte.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EASYVIEW_RENDER_CODEANNOTATIONS_H
+#define EASYVIEW_RENDER_CODEANNOTATIONS_H
+
+#include "profile/Profile.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ev {
+
+/// One annotated source line of a file.
+struct LineAnnotation {
+  uint32_t Line = 0;
+  /// Summed EXCLUSIVE values per metric, indexed by MetricId.
+  std::vector<double> Totals;
+  /// Ready-to-display lens text ("cpu: 1.2 s | alloc: 4 MB").
+  std::string LensText;
+  /// Hotness in [0, 1] relative to the file's hottest line (first
+  /// metric), for background-highlight darkness.
+  double Hotness = 0.0;
+  /// Contexts attributed to this line (for navigation).
+  std::vector<NodeId> Contexts;
+};
+
+/// Collects the annotations of \p File (exact path match), ordered by
+/// line. Lines whose every metric is zero are omitted.
+std::vector<LineAnnotation> annotateFile(const Profile &P,
+                                         std::string_view File);
+
+/// Builds the hover text for one context: its name plus every metric's
+/// inclusive and exclusive values (paper: hovers show "all metric values
+/// associated with the selected line").
+std::string hoverText(const Profile &P, NodeId Node);
+
+/// Renders a whole file's annotations as text ("<line>: <lens>"), the CLI
+/// equivalent of the in-editor gutter.
+std::string renderAnnotationsText(const Profile &P, std::string_view File);
+
+} // namespace ev
+
+#endif // EASYVIEW_RENDER_CODEANNOTATIONS_H

@@ -1,0 +1,77 @@
+//===- render/Color.cpp - Color semantics for views -------------------------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "render/Color.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace ev {
+
+std::string toHexColor(Rgb Color) {
+  char Buffer[8];
+  std::snprintf(Buffer, sizeof(Buffer), "#%02x%02x%02x", Color.R, Color.G,
+                Color.B);
+  return Buffer;
+}
+
+namespace {
+
+uint64_t fnv1a(std::string_view Text) {
+  uint64_t H = 1469598103934665603ULL;
+  for (char C : Text) {
+    H ^= static_cast<unsigned char>(C);
+    H *= 1099511628211ULL;
+  }
+  return H;
+}
+
+} // namespace
+
+Rgb colorForFrame(const Profile &P, const Frame &F) {
+  std::string_view Group = P.text(F.Loc.Module);
+  if (Group.empty())
+    Group = P.text(F.Loc.File);
+  uint64_t H = fnv1a(Group);
+  uint64_t H2 = fnv1a(P.text(F.Name));
+
+  // Classic flame palette: red..orange..yellow band keyed by the group
+  // hash; small per-function jitter for adjacency contrast.
+  double Hue = static_cast<double>(H % 48);            // 0..47 degrees
+  double Jitter = static_cast<double>(H2 % 10) - 5.0;  // +-5 degrees
+  double Angle = std::clamp(Hue + Jitter, 0.0, 55.0);  // red..yellow
+
+  double Darkness = F.Loc.hasSourceMapping() ? 1.0 : 0.62;
+  double R = 205.0 + 50.0 * (Angle / 55.0);
+  double G = 80.0 + 140.0 * (Angle / 55.0);
+  double B = 40.0;
+  Rgb Out;
+  Out.R = static_cast<uint8_t>(std::clamp(R * Darkness, 0.0, 255.0));
+  Out.G = static_cast<uint8_t>(std::clamp(G * Darkness, 0.0, 255.0));
+  Out.B = static_cast<uint8_t>(std::clamp(B * Darkness, 0.0, 255.0));
+  return Out;
+}
+
+Rgb searchHighlightColor() { return {0xB0, 0x00, 0xD8}; }
+
+Rgb diffColor(DiffTag Tag, double Magnitude) {
+  Magnitude = std::clamp(Magnitude, 0.0, 1.0);
+  uint8_t Strength = static_cast<uint8_t>(90 + 165 * Magnitude);
+  switch (Tag) {
+  case DiffTag::Added:
+  case DiffTag::Increased:
+    return {Strength, 60, 60}; // Regression: red family.
+  case DiffTag::Deleted:
+  case DiffTag::Decreased:
+    return {60, 90, Strength}; // Improvement: blue family.
+  case DiffTag::Common:
+    return {150, 150, 150};
+  }
+  return {150, 150, 150};
+}
+
+} // namespace ev

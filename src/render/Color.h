@@ -1,0 +1,52 @@
+//===- render/Color.h - Color semantics for views --------------------------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The color-semantics action of paper §VI-B: flame graphs "use different
+/// colors to represent profiles from different files or libraries and use
+/// different darkness to represent the availability of source line
+/// mapping". Colors are assigned deterministically by hashing the module
+/// (falling back to the file) so the same library always renders in the
+/// same hue across views and sessions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EASYVIEW_RENDER_COLOR_H
+#define EASYVIEW_RENDER_COLOR_H
+
+#include "analysis/Diff.h"
+#include "profile/Profile.h"
+
+#include <cstdint>
+#include <string>
+
+namespace ev {
+
+struct Rgb {
+  uint8_t R = 0, G = 0, B = 0;
+
+  bool operator==(const Rgb &O) const = default;
+};
+
+/// "#rrggbb" for SVG/HTML.
+std::string toHexColor(Rgb Color);
+
+/// Deterministic flame color for a frame: hue from the module (or file)
+/// hash within the classic warm flame palette; dimmed (darker) when the
+/// frame has no source-line mapping.
+Rgb colorForFrame(const Profile &P, const Frame &F);
+
+/// Highlight color used for search matches.
+Rgb searchHighlightColor();
+
+/// Diff-view color: red family for regressions ([A]/[+]), blue family for
+/// improvements ([D]/[-]), gray for unchanged; saturation scales with
+/// \p Magnitude in [0, 1].
+Rgb diffColor(DiffTag Tag, double Magnitude);
+
+} // namespace ev
+
+#endif // EASYVIEW_RENDER_COLOR_H

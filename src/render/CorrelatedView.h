@@ -1,0 +1,80 @@
+//===- render/CorrelatedView.h - Correlated multi-pane flame graphs -------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The correlated flame-graph view (paper Fig. 7): multi-context metric
+/// groups (reuse tuples, redundancy pairs, races) render as linked panes.
+/// Pane 0 shows the contexts playing role 0 across all groups of a kind
+/// (e.g. every array allocation); selecting a context filters the groups
+/// and populates pane 1 (e.g. the uses of that array); selecting again
+/// populates pane 2 (the reuses), and so on for however many roles the
+/// group kind carries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EASYVIEW_RENDER_CORRELATEDVIEW_H
+#define EASYVIEW_RENDER_CORRELATEDVIEW_H
+
+#include "profile/Profile.h"
+#include "render/FlameLayout.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ev {
+
+/// Interactive state over the context groups of one kind.
+class CorrelatedView {
+public:
+  /// Builds the view over all groups of \p Kind (e.g. "reuse") in \p P.
+  CorrelatedView(const Profile &P, std::string_view Kind);
+
+  /// Number of roles per group (all groups of a kind must agree; the
+  /// constructor asserts this).
+  size_t roleCount() const { return Roles; }
+
+  /// Number of groups matching the current selection prefix.
+  size_t activeGroupCount() const { return ActiveGroups.size(); }
+
+  /// The selection prefix: Selection[r] is the context chosen in pane r.
+  const std::vector<NodeId> &selection() const { return Selection; }
+
+  /// Selects \p Context in pane \p Role. Panes to the right reset. The
+  /// context must appear in that pane's current population.
+  /// \returns false when the context is not present in the pane.
+  bool select(size_t Role, NodeId Context);
+
+  /// Clears the selection from pane \p Role rightwards.
+  void clearFrom(size_t Role);
+
+  /// Builds the pane-\p Role flame graph under the current selection:
+  /// a tree over the call paths of the role-\p Role contexts of all active
+  /// groups, weighted by group value. Panes beyond the selection depth + 1
+  /// are empty.
+  Profile paneProfile(size_t Role) const;
+
+  /// Contexts populating pane \p Role under the current selection, with
+  /// their summed group values, hottest first.
+  std::vector<std::pair<NodeId, double>> paneContexts(size_t Role) const;
+
+  /// Renders all panes as text side notes (used by examples/tests).
+  std::string renderText() const;
+
+private:
+  void refilter();
+
+  const Profile *P;
+  StringId KindId = 0;
+  size_t Roles = 0;
+  std::vector<size_t> AllGroups;    ///< Indices into P->groups() of Kind.
+  std::vector<size_t> ActiveGroups; ///< Filtered by Selection.
+  std::vector<NodeId> Selection;
+};
+
+} // namespace ev
+
+#endif // EASYVIEW_RENDER_CORRELATEDVIEW_H

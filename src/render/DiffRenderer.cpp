@@ -1,0 +1,181 @@
+//===- render/DiffRenderer.cpp - Differential flame graph back end --------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "render/DiffRenderer.h"
+
+#include "render/Color.h"
+#include "support/Strings.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace ev {
+
+namespace {
+
+double magnitudeOf(const DiffResult &Diff, NodeId Id) {
+  double B = Diff.BaseInclusive[Id];
+  double T = Diff.TestInclusive[Id];
+  double Scale = std::max(std::abs(B), std::abs(T));
+  return Scale == 0.0 ? 0.0 : std::abs(T - B) / Scale;
+}
+
+} // namespace
+
+std::string renderDiffText(const DiffResult &Diff,
+                           const DiffRenderOptions &Options) {
+  const Profile &P = Diff.Merged;
+  double Denominator = std::max(std::abs(Diff.BaseInclusive[0]),
+                                std::abs(Diff.TestInclusive[0]));
+  if (Denominator == 0.0)
+    Denominator = 1.0;
+  const std::string &Unit = P.metrics()[Diff.BaseMetric].Unit;
+
+  std::string Out;
+  struct Item {
+    NodeId Node;
+    unsigned Depth;
+  };
+  std::vector<Item> Stack{{P.root(), 0}};
+  while (!Stack.empty()) {
+    Item It = Stack.back();
+    Stack.pop_back();
+    double Share =
+        std::max(std::abs(Diff.BaseInclusive[It.Node]),
+                 std::abs(Diff.TestInclusive[It.Node])) /
+        Denominator;
+    if (Share < Options.MinFraction && It.Node != P.root())
+      continue;
+
+    std::string Line(It.Depth * 2, ' ');
+    Line += diffTagLabel(Diff.Tags[It.Node]);
+    Line += " ";
+    Line += std::string(P.nameOf(It.Node));
+    double B = Diff.BaseInclusive[It.Node];
+    double T = Diff.TestInclusive[It.Node];
+    Line += "  base=" + formatMetric(B, Unit) + " test=" +
+            formatMetric(T, Unit);
+    double Delta = T - B;
+    Line += " delta=" + std::string(Delta >= 0 ? "+" : "") +
+            formatMetric(Delta, Unit);
+    if (B != 0.0)
+      Line += " (" + std::string(Delta >= 0 ? "+" : "") +
+              formatDouble(100.0 * Delta / std::abs(B), 1) + "%)";
+    Out += Line + "\n";
+
+    if (It.Depth + 1 >= Options.MaxDepth)
+      continue;
+    std::vector<NodeId> Ordered(P.node(It.Node).Children.begin(),
+                                P.node(It.Node).Children.end());
+    std::sort(Ordered.begin(), Ordered.end(), [&Diff](NodeId A, NodeId B2) {
+      double DA = std::abs(Diff.TestInclusive[A] - Diff.BaseInclusive[A]);
+      double DB = std::abs(Diff.TestInclusive[B2] - Diff.BaseInclusive[B2]);
+      if (DA != DB)
+        return DA > DB;
+      return A < B2;
+    });
+    for (size_t I = Ordered.size(); I > 0; --I)
+      Stack.push_back({Ordered[I - 1], It.Depth + 1});
+  }
+  return Out;
+}
+
+std::string renderDiffSvg(const DiffResult &Diff,
+                          const DiffRenderOptions &Options) {
+  const Profile &P = Diff.Merged;
+  // Width geometry from max(base, test) so deleted subtrees stay visible.
+  double Total = std::max(std::abs(Diff.BaseInclusive[0]),
+                          std::abs(Diff.TestInclusive[0]));
+  if (Total <= 0.0)
+    Total = 1.0;
+
+  struct RectItem {
+    NodeId Node;
+    unsigned Depth;
+    double X;
+    double Width;
+  };
+  std::vector<RectItem> Rects;
+  unsigned MaxDepthSeen = 0;
+  struct Work {
+    NodeId Node;
+    unsigned Depth;
+    double X;
+  };
+  auto WidthOf = [&](NodeId Id) {
+    return std::max(std::abs(Diff.BaseInclusive[Id]),
+                    std::abs(Diff.TestInclusive[Id])) /
+           Total;
+  };
+  std::vector<Work> Stack{{P.root(), 0, 0.0}};
+  while (!Stack.empty()) {
+    Work W = Stack.back();
+    Stack.pop_back();
+    double Width = WidthOf(W.Node);
+    if (Width < Options.MinFraction)
+      continue;
+    Rects.push_back({W.Node, W.Depth, W.X, Width});
+    MaxDepthSeen = std::max(MaxDepthSeen, W.Depth + 1);
+    if (W.Depth + 1 >= Options.MaxDepth)
+      continue;
+    double ChildX = W.X;
+    std::vector<Work> Pending;
+    for (NodeId Child : P.node(W.Node).Children) {
+      double CW = WidthOf(Child);
+      Pending.push_back({Child, W.Depth + 1, ChildX});
+      ChildX += CW;
+    }
+    for (size_t I = Pending.size(); I > 0; --I)
+      Stack.push_back(Pending[I - 1]);
+  }
+
+  const std::string &Unit = P.metrics()[Diff.BaseMetric].Unit;
+  unsigned HeightPx = MaxDepthSeen * Options.RowHeightPx + 4;
+  std::string Out;
+  char Buffer[512];
+  std::snprintf(Buffer, sizeof(Buffer),
+                "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%u\" "
+                "height=\"%u\" font-family=\"monospace\" "
+                "font-size=\"11\">\n",
+                Options.WidthPx, HeightPx);
+  Out += Buffer;
+  for (const RectItem &R : Rects) {
+    Rgb Color = diffColor(Diff.Tags[R.Node], magnitudeOf(Diff, R.Node));
+    double X = R.X * Options.WidthPx;
+    double W = R.Width * Options.WidthPx;
+    double Y = static_cast<double>(R.Depth) * Options.RowHeightPx;
+    std::string Title = std::string(diffTagLabel(Diff.Tags[R.Node])) + " " +
+                        std::string(P.nameOf(R.Node)) + " base=" +
+                        formatMetric(Diff.BaseInclusive[R.Node], Unit) +
+                        " test=" +
+                        formatMetric(Diff.TestInclusive[R.Node], Unit);
+    std::snprintf(Buffer, sizeof(Buffer),
+                  "<rect x=\"%.2f\" y=\"%.2f\" width=\"%.2f\" "
+                  "height=\"%u\" fill=\"%s\" stroke=\"#ffffff\" "
+                  "stroke-width=\"0.5\"><title>%s</title></rect>\n",
+                  X, Y, W, Options.RowHeightPx - 1,
+                  toHexColor(Color).c_str(), escapeXml(Title).c_str());
+    Out += Buffer;
+    size_t FitChars = static_cast<size_t>(W / 6.6);
+    if (FitChars >= 5) {
+      std::string Label = std::string(diffTagLabel(Diff.Tags[R.Node])) +
+                          std::string(P.nameOf(R.Node));
+      if (Label.size() > FitChars)
+        Label = Label.substr(0, FitChars - 2) + "..";
+      std::snprintf(Buffer, sizeof(Buffer),
+                    "<text x=\"%.2f\" y=\"%.2f\" fill=\"#ffffff\">%s"
+                    "</text>\n",
+                    X + 2.0, Y + Options.RowHeightPx - 4.0,
+                    escapeXml(Label).c_str());
+      Out += Buffer;
+    }
+  }
+  Out += "</svg>\n";
+  return Out;
+}
+
+} // namespace ev

@@ -1,0 +1,44 @@
+//===- render/DiffRenderer.h - Differential flame graph back end ----------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Rendering of differential profiles (paper Fig. 3): every context is
+/// prefixed with its [A]/[D]/[+]/[-] tag, colored red (regression) or blue
+/// (improvement) with saturation proportional to the relative change, and
+/// the delta is quantified per node — beyond the color-only differential
+/// flame graphs of prior work.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EASYVIEW_RENDER_DIFFRENDERER_H
+#define EASYVIEW_RENDER_DIFFRENDERER_H
+
+#include "analysis/Diff.h"
+
+#include <string>
+
+namespace ev {
+
+struct DiffRenderOptions {
+  unsigned MaxDepth = 24;
+  double MinFraction = 0.002; ///< Hide contexts below this share.
+  unsigned WidthPx = 1200;
+  unsigned RowHeightPx = 16;
+};
+
+/// Renders the diff as an indented text tree with tags and quantified
+/// deltas, ordered hottest-first by |delta|.
+std::string renderDiffText(const DiffResult &Diff,
+                           const DiffRenderOptions &Options = {});
+
+/// Renders a differential flame graph in SVG: geometry from the TEST
+/// profile's inclusive values, colors from the tags.
+std::string renderDiffSvg(const DiffResult &Diff,
+                          const DiffRenderOptions &Options = {});
+
+} // namespace ev
+
+#endif // EASYVIEW_RENDER_DIFFRENDERER_H

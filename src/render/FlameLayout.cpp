@@ -1,0 +1,100 @@
+//===- render/FlameLayout.cpp - Flame graph geometry engine ---------------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "render/FlameLayout.h"
+
+#include "analysis/MetricEngine.h"
+
+#include <algorithm>
+
+namespace ev {
+
+FlameGraph::FlameGraph(const Profile &P, MetricId Metric,
+                       FlameLayoutOptions Options)
+    : P(&P), Metric(Metric), Options(Options) {
+  std::vector<double> Inclusive = inclusiveColumn(P, Metric);
+  Total = Inclusive.empty() ? 0.0 : Inclusive[0];
+  if (Total <= 0.0)
+    return;
+
+  struct WorkItem {
+    NodeId Node;
+    unsigned Depth;
+    double X;
+  };
+  std::vector<WorkItem> Stack{{P.root(), 0, 0.0}};
+  std::vector<NodeId> Ordered;
+  while (!Stack.empty()) {
+    WorkItem W = Stack.back();
+    Stack.pop_back();
+    double Width = Inclusive[W.Node] / Total;
+    if (Width < Options.MinWidth) {
+      ++Culled;
+      continue;
+    }
+    FlameRect R;
+    R.Node = W.Node;
+    R.Depth = W.Depth;
+    R.X = W.X;
+    R.Width = Width;
+    R.Value = Inclusive[W.Node];
+    R.Color = colorForFrame(P, P.frameOf(W.Node));
+    Rects.push_back(R);
+    Depth = std::max(Depth, W.Depth + 1);
+
+    if (Options.MaxDepth && W.Depth + 1 >= Options.MaxDepth)
+      continue;
+    const CCTNode &Node = P.node(W.Node);
+    if (Node.Children.empty())
+      continue;
+    Ordered.assign(Node.Children.begin(), Node.Children.end());
+    if (Options.SortByValue)
+      std::sort(Ordered.begin(), Ordered.end(),
+                [&Inclusive](NodeId A, NodeId B) {
+                  if (Inclusive[A] != Inclusive[B])
+                    return Inclusive[A] > Inclusive[B];
+                  return A < B;
+                });
+    // Children are pushed in reverse so the widest lays out leftmost, and
+    // X advances left to right.
+    double ChildX = W.X;
+    std::vector<WorkItem> Pending;
+    Pending.reserve(Ordered.size());
+    for (NodeId Child : Ordered) {
+      Pending.push_back({Child, W.Depth + 1, ChildX});
+      ChildX += Inclusive[Child] / Total;
+    }
+    for (size_t I = Pending.size(); I > 0; --I)
+      Stack.push_back(Pending[I - 1]);
+  }
+}
+
+size_t FlameGraph::search(std::string_view Pattern) {
+  size_t Matches = 0;
+  for (FlameRect &R : Rects) {
+    R.Highlighted = !Pattern.empty() &&
+                    P->nameOf(R.Node).find(Pattern) != std::string_view::npos;
+    if (R.Highlighted)
+      ++Matches;
+  }
+  return Matches;
+}
+
+const FlameRect *FlameGraph::rectAt(double X, unsigned AtDepth) const {
+  for (const FlameRect &R : Rects)
+    if (R.Depth == AtDepth && X >= R.X && X < R.X + R.Width)
+      return &R;
+  return nullptr;
+}
+
+size_t FlameGraph::rectIndexFor(NodeId Node) const {
+  for (size_t I = 0; I < Rects.size(); ++I)
+    if (Rects[I].Node == Node)
+      return I;
+  return npos;
+}
+
+} // namespace ev

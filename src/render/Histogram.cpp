@@ -1,0 +1,114 @@
+//===- render/Histogram.cpp - Per-context metric histograms ---------------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "render/Histogram.h"
+
+#include "analysis/LeakDetector.h"
+#include "support/Strings.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace ev {
+
+std::vector<double> rebinSeries(const std::vector<double> &Series,
+                                unsigned MaxBars) {
+  if (MaxBars == 0 || Series.size() <= MaxBars)
+    return Series;
+  std::vector<double> Out(MaxBars, 0.0);
+  std::vector<unsigned> Counts(MaxBars, 0);
+  for (size_t I = 0; I < Series.size(); ++I) {
+    size_t Bin = I * MaxBars / Series.size();
+    Out[Bin] += Series[I];
+    ++Counts[Bin];
+  }
+  for (size_t B = 0; B < MaxBars; ++B)
+    if (Counts[B])
+      Out[B] /= Counts[B];
+  return Out;
+}
+
+std::string renderHistogramAscii(const std::vector<double> &Series,
+                                 const HistogramOptions &Options) {
+  std::string Out;
+  if (!Options.Title.empty())
+    Out += Options.Title + "\n";
+  if (Series.empty())
+    return Out + "(empty series)\n";
+
+  std::vector<double> Bars = rebinSeries(Series, Options.MaxBars);
+  double Peak = *std::max_element(Bars.begin(), Bars.end());
+  if (Peak <= 0.0)
+    Peak = 1.0;
+  unsigned H = std::max(2u, Options.Height);
+
+  for (unsigned Row = H; Row > 0; --Row) {
+    double RowMin = Peak * (Row - 1) / H;
+    std::string Line;
+    for (double V : Bars)
+      Line.push_back(V > RowMin ? '#' : ' ');
+    // Left axis label on the top and middle rows.
+    if (Row == H)
+      Line += "  " + formatMetric(Peak, Options.Unit) + " (peak)";
+    Out += Line + "\n";
+  }
+  Out += std::string(Bars.size(), '-') + "\n";
+
+  double Slope = trendSlope(Series);
+  double Relative =
+      Peak > 0.0 ? Slope * static_cast<double>(Series.size() - 1) / Peak : 0;
+  std::string Trend = "flat";
+  if (Relative > 0.25)
+    Trend = "rising (possible leak)";
+  else if (Relative < -0.25)
+    Trend = "falling (reclaimed)";
+  Out += "n=" + std::to_string(Series.size()) + ", last=" +
+         formatMetric(Series.back(), Options.Unit) + ", trend=" + Trend +
+         "\n";
+  return Out;
+}
+
+std::string renderHistogramSvg(const std::vector<double> &Series,
+                               const HistogramOptions &Options) {
+  std::vector<double> Bars = rebinSeries(Series, Options.MaxBars);
+  unsigned BarW = 8, Gap = 2;
+  unsigned Width = static_cast<unsigned>(Bars.size()) * (BarW + Gap) + 8;
+  unsigned Height = Options.Height * 12 + 24;
+  double Peak =
+      Bars.empty() ? 1.0 : *std::max_element(Bars.begin(), Bars.end());
+  if (Peak <= 0.0)
+    Peak = 1.0;
+
+  std::string Out;
+  char Buffer[256];
+  std::snprintf(Buffer, sizeof(Buffer),
+                "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%u\" "
+                "height=\"%u\" font-family=\"monospace\" font-size=\"10\">\n",
+                Width, Height);
+  Out += Buffer;
+  if (!Options.Title.empty()) {
+    std::snprintf(Buffer, sizeof(Buffer),
+                  "<text x=\"4\" y=\"12\">%s</text>\n",
+                  escapeXml(Options.Title).c_str());
+    Out += Buffer;
+  }
+  unsigned PlotH = Options.Height * 12;
+  for (size_t I = 0; I < Bars.size(); ++I) {
+    double Frac = Bars[I] / Peak;
+    unsigned BarH = static_cast<unsigned>(Frac * PlotH);
+    std::snprintf(Buffer, sizeof(Buffer),
+                  "<rect x=\"%u\" y=\"%u\" width=\"%u\" height=\"%u\" "
+                  "fill=\"#4a7fb5\"><title>%s</title></rect>\n",
+                  static_cast<unsigned>(4 + I * (BarW + Gap)),
+                  16 + PlotH - BarH, BarW, BarH,
+                  formatMetric(Bars[I], Options.Unit).c_str());
+    Out += Buffer;
+  }
+  Out += "</svg>\n";
+  return Out;
+}
+
+} // namespace ev

@@ -1,0 +1,48 @@
+//===- render/Histogram.h - Per-context metric histograms -----------------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The histogram attached to a context in the aggregate view (paper §VI-A:
+/// "for any context in the aggregate profile, EasyView attaches a histogram
+/// to show all the metrics of the same context from different profiles").
+/// In Fig. 4 this is the per-snapshot active-memory series whose shape
+/// reveals leaks. Rendered as ASCII bars (hover text) or SVG.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EASYVIEW_RENDER_HISTOGRAM_H
+#define EASYVIEW_RENDER_HISTOGRAM_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ev {
+
+struct HistogramOptions {
+  unsigned Height = 8;    ///< Bar rows (ASCII) or px/12 (SVG).
+  unsigned MaxBars = 64;  ///< Series longer than this are re-binned.
+  std::string_view Unit;  ///< Metric unit for axis labels.
+  std::string Title;
+};
+
+/// Renders the per-profile series as ASCII block bars with a value axis
+/// and a trend annotation (rising / falling / flat, from the least-squares
+/// slope).
+std::string renderHistogramAscii(const std::vector<double> &Series,
+                                 const HistogramOptions &Options = {});
+
+/// Renders the series as a standalone SVG bar chart.
+std::string renderHistogramSvg(const std::vector<double> &Series,
+                               const HistogramOptions &Options = {});
+
+/// Downsamples \p Series to at most \p MaxBars bins by averaging.
+std::vector<double> rebinSeries(const std::vector<double> &Series,
+                                unsigned MaxBars);
+
+} // namespace ev
+
+#endif // EASYVIEW_RENDER_HISTOGRAM_H

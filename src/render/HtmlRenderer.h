@@ -1,0 +1,42 @@
+//===- render/HtmlRenderer.h - Self-contained HTML report -----------------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bundles the views into one self-contained HTML document: profile
+/// summary (the paper's floating-window action), the three flame-graph
+/// shapes, and a tree table. Everything renders locally with no uploads —
+/// one of EasyView's explicit design points against server-hosted
+/// visualizers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EASYVIEW_RENDER_HTMLRENDERER_H
+#define EASYVIEW_RENDER_HTMLRENDERER_H
+
+#include "profile/Profile.h"
+
+#include <string>
+
+namespace ev {
+
+struct HtmlOptions {
+  MetricId Metric = 0;
+  bool IncludeBottomUp = true;
+  bool IncludeFlat = true;
+  bool IncludeTreeTable = true;
+  unsigned WidthPx = 1200;
+};
+
+/// Renders a full report for \p P.
+std::string renderHtmlReport(const Profile &P, const HtmlOptions &Options = {});
+
+/// The floating-window global summary: node/frame counts, metric totals,
+/// hottest contexts.
+std::string renderSummaryText(const Profile &P);
+
+} // namespace ev
+
+#endif // EASYVIEW_RENDER_HTMLRENDERER_H

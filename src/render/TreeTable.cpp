@@ -1,0 +1,125 @@
+//===- render/TreeTable.cpp - Tree table view -------------------------------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "render/TreeTable.h"
+
+#include "support/Strings.h"
+
+#include <algorithm>
+
+namespace ev {
+
+TreeTable::TreeTable(const Profile &P, TreeTableOptions Options)
+    : P(&P), Options(std::move(Options)) {
+  if (this->Options.Metrics.empty())
+    for (MetricId I = 0; I < P.metrics().size(); ++I)
+      this->Options.Metrics.push_back(I);
+  for (MetricId M : this->Options.Metrics)
+    Views.emplace_back(P, M);
+}
+
+void TreeTable::expandAll() {
+  for (NodeId Id = 0; Id < P->nodeCount(); ++Id)
+    if (!P->node(Id).Children.empty())
+      ExpandedSet.insert(Id);
+}
+
+NodeId TreeTable::expandHotPath(MetricId Metric) {
+  MetricView View(*P, Metric);
+  NodeId Cur = P->root();
+  while (!P->node(Cur).Children.empty()) {
+    ExpandedSet.insert(Cur);
+    NodeId Hot = P->node(Cur).Children.front();
+    for (NodeId Child : P->node(Cur).Children)
+      if (View.inclusive(Child) > View.inclusive(Hot))
+        Hot = Child;
+    Cur = Hot;
+  }
+  return Cur;
+}
+
+std::vector<TreeTableRow> TreeTable::rows() const {
+  std::vector<TreeTableRow> Out;
+  struct Item {
+    NodeId Node;
+    unsigned Depth;
+  };
+  std::vector<Item> Stack{{P->root(), 0}};
+  while (!Stack.empty() && Out.size() < Options.MaxRows) {
+    Item It = Stack.back();
+    Stack.pop_back();
+    const CCTNode &Node = P->node(It.Node);
+    TreeTableRow Row;
+    Row.Node = It.Node;
+    Row.Depth = It.Depth;
+    Row.Expandable = !Node.Children.empty();
+    Row.Expanded = Row.Expandable && isExpanded(It.Node);
+    Out.push_back(Row);
+    if (!Row.Expanded)
+      continue;
+    // Children sorted by first metric's inclusive value, hottest first.
+    std::vector<NodeId> Ordered(Node.Children.begin(), Node.Children.end());
+    if (!Views.empty())
+      std::sort(Ordered.begin(), Ordered.end(), [this](NodeId A, NodeId B) {
+        double VA = Views.front().inclusive(A);
+        double VB = Views.front().inclusive(B);
+        if (VA != VB)
+          return VA > VB;
+        return A < B;
+      });
+    for (size_t I = Ordered.size(); I > 0; --I)
+      Stack.push_back({Ordered[I - 1], It.Depth + 1});
+  }
+  return Out;
+}
+
+std::string TreeTable::renderText() const {
+  std::vector<TreeTableRow> Visible = rows();
+  std::string Out;
+
+  // Header.
+  std::string Header = "context";
+  Header.resize(48, ' ');
+  for (size_t I = 0; I < Options.Metrics.size(); ++I) {
+    const MetricDescriptor &M = P->metrics()[Options.Metrics[I]];
+    std::string Col = M.Name + " (incl/excl)";
+    if (Col.size() < 28)
+      Col.resize(28, ' ');
+    Header += "  " + Col;
+  }
+  Out += Header + "\n";
+  Out += std::string(Header.size(), '-') + "\n";
+
+  for (const TreeTableRow &Row : Visible) {
+    std::string Line;
+    Line.append(Row.Depth * 2, ' ');
+    Line += Row.Expandable ? (Row.Expanded ? "[-] " : "[+] ") : "    ";
+    Line += std::string(P->nameOf(Row.Node));
+    const Frame &F = P->frameOf(Row.Node);
+    if (F.Loc.hasSourceMapping()) {
+      Line += " @";
+      Line += P->text(F.Loc.File);
+      Line += ":" + std::to_string(F.Loc.Line);
+    }
+    if (Line.size() < 48)
+      Line.resize(48, ' ');
+    else
+      Line += " ";
+    for (size_t I = 0; I < Views.size(); ++I) {
+      const MetricDescriptor &M = P->metrics()[Options.Metrics[I]];
+      std::string Cell = formatMetric(Views[I].inclusive(Row.Node), M.Unit) +
+                         " / " +
+                         formatMetric(Views[I].exclusive(Row.Node), M.Unit);
+      if (Cell.size() < 28)
+        Cell.resize(28, ' ');
+      Line += "  " + Cell;
+    }
+    Out += Line + "\n";
+  }
+  return Out;
+}
+
+} // namespace ev

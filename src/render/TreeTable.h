@@ -1,0 +1,72 @@
+//===- render/TreeTable.h - Tree table view --------------------------------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The tree-table view (paper §VI-A(c)): the fold/unfold tree used by
+/// VTune, hpcviewer, and TAU. Unlike flame graphs, users must expand call
+/// paths manually, but the view displays multiple metric columns at once.
+/// The model keeps explicit expansion state (the paper's user study has
+/// participants unfolding paths); expandHotPath() automates the common
+/// "follow the hottest child" gesture.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EASYVIEW_RENDER_TREETABLE_H
+#define EASYVIEW_RENDER_TREETABLE_H
+
+#include "analysis/MetricEngine.h"
+#include "profile/Profile.h"
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace ev {
+
+struct TreeTableOptions {
+  std::vector<MetricId> Metrics; ///< Columns; empty = all profile metrics.
+  size_t MaxRows = 200;          ///< Rendering cap (scrolling window).
+};
+
+/// One visible row.
+struct TreeTableRow {
+  NodeId Node = InvalidNode;
+  unsigned Depth = 0;
+  bool Expandable = false;
+  bool Expanded = false;
+};
+
+class TreeTable {
+public:
+  TreeTable(const Profile &P, TreeTableOptions Options = {});
+
+  /// Expansion state manipulation. Ids refer to the profile's nodes.
+  void expand(NodeId Node) { ExpandedSet.insert(Node); }
+  void collapse(NodeId Node) { ExpandedSet.erase(Node); }
+  bool isExpanded(NodeId Node) const { return ExpandedSet.count(Node) != 0; }
+  void expandAll();
+  /// Expands the chain of hottest children (by inclusive \p Metric) from
+  /// the root to a leaf; \returns the leaf reached.
+  NodeId expandHotPath(MetricId Metric);
+
+  /// Visible rows under the current expansion state (root children are
+  /// always visible).
+  std::vector<TreeTableRow> rows() const;
+
+  /// Renders the visible rows as an aligned text table with tree glyphs,
+  /// one metric pair (inclusive / exclusive) per configured column.
+  std::string renderText() const;
+
+private:
+  const Profile *P;
+  TreeTableOptions Options;
+  std::vector<MetricView> Views;
+  std::unordered_set<NodeId> ExpandedSet;
+};
+
+} // namespace ev
+
+#endif // EASYVIEW_RENDER_TREETABLE_H

@@ -1,0 +1,40 @@
+//===- support/FileIo.cpp - Whole-file read/write helpers -----------------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FileIo.h"
+
+#include <cstdio>
+
+namespace ev {
+
+Result<std::string> readFile(const std::string &Path) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return makeError("cannot open '" + Path + "' for reading");
+  std::string Out;
+  char Buffer[1 << 16];
+  size_t N;
+  while ((N = std::fread(Buffer, 1, sizeof(Buffer), F)) > 0)
+    Out.append(Buffer, N);
+  bool Bad = std::ferror(F);
+  std::fclose(F);
+  if (Bad)
+    return makeError("I/O error while reading '" + Path + "'");
+  return Out;
+}
+
+Result<bool> writeFile(const std::string &Path, std::string_view Contents) {
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F)
+    return makeError("cannot open '" + Path + "' for writing");
+  size_t Written = std::fwrite(Contents.data(), 1, Contents.size(), F);
+  bool Bad = Written != Contents.size() || std::fclose(F) != 0;
+  if (Bad)
+    return makeError("I/O error while writing '" + Path + "'");
+  return true;
+}
+
+} // namespace ev

@@ -1,0 +1,30 @@
+//===- support/FileIo.h - Whole-file read/write helpers -------------------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Binary-safe whole-file helpers used by the CLI tool and examples.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EASYVIEW_SUPPORT_FILEIO_H
+#define EASYVIEW_SUPPORT_FILEIO_H
+
+#include "support/Result.h"
+
+#include <string>
+#include <string_view>
+
+namespace ev {
+
+/// Reads the whole file at \p Path.
+Result<std::string> readFile(const std::string &Path);
+
+/// Writes \p Contents to \p Path, replacing any existing file.
+Result<bool> writeFile(const std::string &Path, std::string_view Contents);
+
+} // namespace ev
+
+#endif // EASYVIEW_SUPPORT_FILEIO_H

@@ -1,0 +1,142 @@
+//===- support/ProtoWire.cpp - Protocol Buffer wire format ----------------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ProtoWire.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace ev {
+
+void ProtoWriter::writeTag(uint32_t FieldNumber, WireType Type) {
+  assert(FieldNumber != 0 && "field numbers start at 1");
+  appendVarint(Buffer, (static_cast<uint64_t>(FieldNumber) << 3) |
+                           static_cast<uint64_t>(Type));
+}
+
+void ProtoWriter::writeVarint(uint32_t FieldNumber, uint64_t Value) {
+  writeTag(FieldNumber, WireType::Varint);
+  appendVarint(Buffer, Value);
+}
+
+void ProtoWriter::writeSignedVarint(uint32_t FieldNumber, int64_t Value) {
+  writeTag(FieldNumber, WireType::Varint);
+  appendVarint(Buffer, zigzagEncode(Value));
+}
+
+void ProtoWriter::writeInt64(uint32_t FieldNumber, int64_t Value) {
+  writeTag(FieldNumber, WireType::Varint);
+  appendVarint(Buffer, static_cast<uint64_t>(Value));
+}
+
+void ProtoWriter::writeDouble(uint32_t FieldNumber, double Value) {
+  writeTag(FieldNumber, WireType::Fixed64);
+  uint64_t Bits;
+  static_assert(sizeof(Bits) == sizeof(Value));
+  std::memcpy(&Bits, &Value, sizeof(Bits));
+  for (unsigned I = 0; I < 8; ++I)
+    Buffer.push_back(static_cast<char>((Bits >> (8 * I)) & 0xFF));
+}
+
+void ProtoWriter::writeBytes(uint32_t FieldNumber, std::string_view Bytes) {
+  writeTag(FieldNumber, WireType::LengthDelimited);
+  appendVarint(Buffer, Bytes.size());
+  Buffer.append(Bytes.data(), Bytes.size());
+}
+
+void ProtoWriter::writePackedVarints(uint32_t FieldNumber,
+                                     const uint64_t *Values, size_t Count) {
+  std::string Packed;
+  for (size_t I = 0; I < Count; ++I)
+    appendVarint(Packed, Values[I]);
+  writeBytes(FieldNumber, Packed);
+}
+
+bool ProtoReader::next() {
+  if (FieldPending)
+    skip();
+  if (Cursor.atEnd() || failed())
+    return false;
+  uint64_t Tag = Cursor.readVarint();
+  if (Cursor.failed())
+    return false;
+  FieldNumber = static_cast<uint32_t>(Tag >> 3);
+  unsigned RawType = static_cast<unsigned>(Tag & 0x7);
+  if (FieldNumber == 0 ||
+      (RawType != 0 && RawType != 1 && RawType != 2 && RawType != 5)) {
+    Failed = true;
+    return false;
+  }
+  Type = static_cast<WireType>(RawType);
+  FieldPending = true;
+  return true;
+}
+
+uint64_t ProtoReader::varint() {
+  if (Type != WireType::Varint) {
+    Failed = true;
+    FieldPending = false;
+    return 0;
+  }
+  FieldPending = false;
+  return Cursor.readVarint();
+}
+
+double ProtoReader::fixedDouble() {
+  FieldPending = false;
+  if (Type != WireType::Fixed64 || Cursor.remaining() < 8) {
+    Failed = true;
+    return 0.0;
+  }
+  uint64_t Bits = 0;
+  const uint8_t *P = Cursor.current();
+  for (unsigned I = 0; I < 8; ++I)
+    Bits |= static_cast<uint64_t>(P[I]) << (8 * I);
+  Cursor.skip(8);
+  double Value;
+  std::memcpy(&Value, &Bits, sizeof(Value));
+  return Value;
+}
+
+std::string_view ProtoReader::bytes() {
+  FieldPending = false;
+  if (Type != WireType::LengthDelimited) {
+    Failed = true;
+    return {};
+  }
+  uint64_t Length = Cursor.readVarint();
+  if (Cursor.failed() || Length > Cursor.remaining()) {
+    Failed = true;
+    return {};
+  }
+  std::string_view View(reinterpret_cast<const char *>(Cursor.current()),
+                        static_cast<size_t>(Length));
+  Cursor.skip(static_cast<size_t>(Length));
+  return View;
+}
+
+void ProtoReader::skip() {
+  FieldPending = false;
+  switch (Type) {
+  case WireType::Varint:
+    (void)Cursor.readVarint();
+    return;
+  case WireType::Fixed64:
+    Cursor.skip(8);
+    return;
+  case WireType::LengthDelimited: {
+    uint64_t Length = Cursor.readVarint();
+    if (!Cursor.failed())
+      Cursor.skip(static_cast<size_t>(Length));
+    return;
+  }
+  case WireType::Fixed32:
+    Cursor.skip(4);
+    return;
+  }
+}
+
+} // namespace ev

@@ -1,0 +1,127 @@
+//===- support/ProtoWire.h - Protocol Buffer wire format ------------------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A from-scratch implementation of the Protocol Buffer wire format: tagged
+/// fields with varint, 64-bit, length-delimited, and 32-bit payloads. The
+/// paper expresses EasyView's generic profile representation as a Protocol
+/// Buffer schema; this module provides the encoding layer used by both the
+/// .evprof container (proto/EvProf.h) and the pprof profile.proto codec
+/// (proto/PprofFormat.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EASYVIEW_SUPPORT_PROTOWIRE_H
+#define EASYVIEW_SUPPORT_PROTOWIRE_H
+
+#include "support/Varint.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace ev {
+
+/// Protocol Buffer wire types.
+enum class WireType : uint8_t {
+  Varint = 0,
+  Fixed64 = 1,
+  LengthDelimited = 2,
+  Fixed32 = 5,
+};
+
+/// Serializes tagged fields into a growing byte buffer.
+class ProtoWriter {
+public:
+  /// Writes a varint field.
+  void writeVarint(uint32_t FieldNumber, uint64_t Value);
+
+  /// Writes a signed varint field using zigzag coding (sint64).
+  void writeSignedVarint(uint32_t FieldNumber, int64_t Value);
+
+  /// Writes an int64 field with plain two's-complement varint coding, as
+  /// protobuf does for int64 (negative values take ten bytes).
+  void writeInt64(uint32_t FieldNumber, int64_t Value);
+
+  /// Writes a double as a fixed64 field.
+  void writeDouble(uint32_t FieldNumber, double Value);
+
+  /// Writes bytes/string/embedded-message content.
+  void writeBytes(uint32_t FieldNumber, std::string_view Bytes);
+
+  /// Writes a packed repeated varint field.
+  void writePackedVarints(uint32_t FieldNumber, const uint64_t *Values,
+                          size_t Count);
+
+  /// \returns the encoded buffer so far.
+  const std::string &buffer() const { return Buffer; }
+  std::string takeBuffer() { return std::move(Buffer); }
+
+private:
+  void writeTag(uint32_t FieldNumber, WireType Type);
+
+  std::string Buffer;
+};
+
+/// Streaming reader for the protobuf wire format.
+///
+/// Usage pattern:
+/// \code
+///   ProtoReader R(Bytes);
+///   while (R.next()) {
+///     switch (R.fieldNumber()) {
+///     case 1: X = R.varint(); break;
+///     case 2: S = R.bytes(); break;
+///     default: R.skip(); break;
+///     }
+///   }
+///   if (R.failed()) ...
+/// \endcode
+class ProtoReader {
+public:
+  explicit ProtoReader(std::string_view Bytes)
+      : Cursor(Bytes.data(), Bytes.size()) {}
+
+  /// Advances to the next field. \returns false at end of buffer or on a
+  /// malformed tag.
+  bool next();
+
+  uint32_t fieldNumber() const { return FieldNumber; }
+  WireType wireType() const { return Type; }
+
+  /// Consumes the current field as a varint. Must only be called when
+  /// wireType() == Varint.
+  uint64_t varint();
+
+  /// Consumes the current varint field as a zigzag-coded signed value.
+  int64_t signedVarint() { return zigzagDecode(varint()); }
+
+  /// Consumes the current varint field as a plain int64.
+  int64_t int64() { return static_cast<int64_t>(varint()); }
+
+  /// Consumes the current field as a double (Fixed64).
+  double fixedDouble();
+
+  /// Consumes the current length-delimited field.
+  std::string_view bytes();
+
+  /// Skips the current field regardless of wire type.
+  void skip();
+
+  /// \returns true once any structural error was observed.
+  bool failed() const { return Failed || Cursor.failed(); }
+
+private:
+  VarintReader Cursor;
+  uint32_t FieldNumber = 0;
+  WireType Type = WireType::Varint;
+  bool Failed = false;
+  bool FieldPending = false;
+};
+
+} // namespace ev
+
+#endif // EASYVIEW_SUPPORT_PROTOWIRE_H

@@ -1,0 +1,85 @@
+//===- support/Result.h - Lightweight recoverable-error type -------------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small Expected<T>-style result type used across the library so that
+/// parsers and converters can report recoverable errors without exceptions.
+/// Errors carry a human-readable message following the LLVM diagnostic style
+/// (lowercase first word, no trailing period).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EASYVIEW_SUPPORT_RESULT_H
+#define EASYVIEW_SUPPORT_RESULT_H
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace ev {
+
+/// A recoverable error: a message describing what went wrong.
+class Error {
+public:
+  explicit Error(std::string Message) : Message(std::move(Message)) {}
+
+  const std::string &message() const { return Message; }
+
+private:
+  std::string Message;
+};
+
+/// Holds either a value of type \p T or an Error. Mirrors llvm::Expected
+/// without the checked-flag machinery (we rely on tests instead).
+template <typename T> class Result {
+public:
+  /*implicit*/ Result(T Value) : Storage(std::move(Value)) {}
+  /*implicit*/ Result(Error Err) : Storage(std::move(Err)) {}
+
+  /// \returns true when this result holds a value.
+  bool ok() const { return std::holds_alternative<T>(Storage); }
+  explicit operator bool() const { return ok(); }
+
+  /// \returns the contained value; asserts when holding an error.
+  T &value() {
+    assert(ok() && "accessing value of failed Result");
+    return std::get<T>(Storage);
+  }
+  const T &value() const {
+    assert(ok() && "accessing value of failed Result");
+    return std::get<T>(Storage);
+  }
+
+  T &operator*() { return value(); }
+  const T &operator*() const { return value(); }
+  T *operator->() { return &value(); }
+  const T *operator->() const { return &value(); }
+
+  /// \returns the error message; asserts when holding a value.
+  const std::string &error() const {
+    assert(!ok() && "accessing error of successful Result");
+    return std::get<Error>(Storage).message();
+  }
+
+  /// Moves the contained value out of the result.
+  T take() {
+    assert(ok() && "taking value of failed Result");
+    return std::move(std::get<T>(Storage));
+  }
+
+private:
+  std::variant<T, Error> Storage;
+};
+
+/// Convenience factory matching llvm::createStringError usage.
+inline Error makeError(std::string Message) {
+  return Error(std::move(Message));
+}
+
+} // namespace ev
+
+#endif // EASYVIEW_SUPPORT_RESULT_H

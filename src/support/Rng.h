@@ -1,0 +1,88 @@
+//===- support/Rng.h - Deterministic pseudo-random numbers ----------------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SplitMix64-based PRNG used by the synthetic workload generators and the
+/// user-study simulator. Deterministic across platforms so that every
+/// experiment is exactly reproducible from its seed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EASYVIEW_SUPPORT_RNG_H
+#define EASYVIEW_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+
+namespace ev {
+
+/// SplitMix64 generator (Steele, Lea, Flood 2014). Small state, excellent
+/// statistical quality for simulation purposes, fully deterministic.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed) {}
+
+  /// \returns the next 64 uniformly distributed bits.
+  uint64_t next() {
+    State += 0x9E3779B97F4A7C15ULL;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform integer in [0, Bound). \p Bound must be nonzero.
+  uint64_t below(uint64_t Bound) {
+    assert(Bound != 0 && "bound must be positive");
+    // Modulo bias is negligible for the bounds used in this project.
+    return next() % Bound;
+  }
+
+  /// Uniform integer in [Lo, Hi].
+  int64_t range(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "inverted range");
+    return Lo + static_cast<int64_t>(below(static_cast<uint64_t>(Hi - Lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [Lo, Hi).
+  double uniform(double Lo, double Hi) { return Lo + uniform() * (Hi - Lo); }
+
+  /// Standard normal via Box-Muller.
+  double normal() {
+    double U1 = uniform();
+    double U2 = uniform();
+    if (U1 < 1e-300)
+      U1 = 1e-300;
+    return std::sqrt(-2.0 * std::log(U1)) * std::cos(6.283185307179586 * U2);
+  }
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double Mean, double Sigma) { return Mean + Sigma * normal(); }
+
+  /// Exponential with the given mean.
+  double exponential(double Mean) {
+    double U = uniform();
+    if (U < 1e-300)
+      U = 1e-300;
+    return -Mean * std::log(U);
+  }
+
+  /// \returns true with probability \p P.
+  bool chance(double P) { return uniform() < P; }
+
+private:
+  uint64_t State;
+};
+
+} // namespace ev
+
+#endif // EASYVIEW_SUPPORT_RNG_H

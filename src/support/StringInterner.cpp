@@ -1,0 +1,29 @@
+//===- support/StringInterner.cpp - String table with stable ids ----------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/StringInterner.h"
+
+#include <cassert>
+
+namespace ev {
+
+StringId StringInterner::intern(std::string_view Text) {
+  auto It = Index.find(Text);
+  if (It != Index.end())
+    return It->second;
+  StringId Id = static_cast<StringId>(Table.size());
+  Table.emplace_back(Text);
+  Payload += Text.size();
+  Index.emplace(std::string_view(Table.back()), Id);
+  return Id;
+}
+
+std::string_view StringInterner::text(StringId Id) const {
+  assert(Id < Table.size() && "string id out of range");
+  return Table[Id];
+}
+
+} // namespace ev

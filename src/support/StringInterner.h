@@ -1,0 +1,57 @@
+//===- support/StringInterner.h - String table with stable ids ------------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deduplicating string table. Every distinct string receives a dense
+/// uint32_t id; id 0 is always the empty string, matching the pprof
+/// string_table convention. Frames, files, and load modules in the profile
+/// model store ids instead of strings, which is one of the memory
+/// optimizations the paper credits for EasyView's low response time
+/// (ablated in bench/bench_ablation.cpp).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EASYVIEW_SUPPORT_STRINGINTERNER_H
+#define EASYVIEW_SUPPORT_STRINGINTERNER_H
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace ev {
+
+/// Dense id for an interned string. Id 0 is the empty string.
+using StringId = uint32_t;
+
+class StringInterner {
+public:
+  StringInterner() { (void)intern(""); }
+
+  /// Interns \p Text, returning its stable id.
+  StringId intern(std::string_view Text);
+
+  /// \returns the text for \p Id. Asserts on out-of-range ids.
+  std::string_view text(StringId Id) const;
+
+  /// \returns the number of distinct strings (including the empty string).
+  size_t size() const { return Table.size(); }
+
+  /// Total bytes of string payload held (used by size accounting).
+  size_t payloadBytes() const { return Payload; }
+
+private:
+  // Deque: element addresses are stable across growth, so the index may key
+  // on views into the stored strings.
+  std::deque<std::string> Table;
+  std::unordered_map<std::string_view, StringId> Index;
+  size_t Payload = 0;
+};
+
+} // namespace ev
+
+#endif // EASYVIEW_SUPPORT_STRINGINTERNER_H

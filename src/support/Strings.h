@@ -1,0 +1,72 @@
+//===- support/Strings.h - Small string utilities -------------------------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// String helpers shared by the text-format converters (perf script,
+/// collapsed stacks) and the renderers: splitting, trimming, numeric
+/// formatting, and HTML/XML escaping.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EASYVIEW_SUPPORT_STRINGS_H
+#define EASYVIEW_SUPPORT_STRINGS_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ev {
+
+/// Splits \p Text on \p Separator. Empty pieces are kept so that column
+/// positions stay aligned.
+std::vector<std::string_view> splitString(std::string_view Text,
+                                          char Separator);
+
+/// Splits \p Text into lines, treating both "\n" and "\r\n" as terminators.
+std::vector<std::string_view> splitLines(std::string_view Text);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view Text);
+
+/// \returns true when \p Text starts with \p Prefix.
+bool startsWith(std::string_view Text, std::string_view Prefix);
+
+/// \returns true when \p Text ends with \p Suffix.
+bool endsWith(std::string_view Text, std::string_view Suffix);
+
+/// Parses a non-negative decimal integer; \returns false on any non-digit.
+bool parseUnsigned(std::string_view Text, uint64_t &Value);
+
+/// Parses a floating-point number; \returns false when \p Text is not fully
+/// consumed.
+bool parseDouble(std::string_view Text, double &Value);
+
+/// Formats \p Value with \p Digits fractional digits ("12.34").
+std::string formatDouble(double Value, int Digits = 2);
+
+/// Formats \p Bytes in a human-friendly unit ("1.5 MB").
+std::string formatBytes(double Bytes);
+
+/// Formats a metric value with its unit ("12.3 ms", "4.0 GB").
+std::string formatMetric(double Value, std::string_view Unit);
+
+/// Escapes &, <, >, and " for embedding in XML/HTML/SVG text.
+std::string escapeXml(std::string_view Text);
+
+/// Percent-style escape of a string for JSON output (quotes and control
+/// characters).
+std::string escapeJson(std::string_view Text);
+
+/// Standard base64 (RFC 4648) with padding; used to move binary profile
+/// bytes through JSON-RPC.
+std::string base64Encode(std::string_view Bytes);
+
+/// Decodes base64; \returns false on invalid characters or padding.
+bool base64Decode(std::string_view Text, std::string &Out);
+
+} // namespace ev
+
+#endif // EASYVIEW_SUPPORT_STRINGS_H

@@ -1,0 +1,51 @@
+//===- support/Varint.cpp - LEB128/zigzag integer coding ------------------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Varint.h"
+
+namespace ev {
+
+void appendVarint(std::string &Out, uint64_t Value) {
+  while (Value >= 0x80) {
+    Out.push_back(static_cast<char>((Value & 0x7F) | 0x80));
+    Value >>= 7;
+  }
+  Out.push_back(static_cast<char>(Value));
+}
+
+void appendSignedVarint(std::string &Out, int64_t Value) {
+  appendVarint(Out, zigzagEncode(Value));
+}
+
+uint64_t VarintReader::readVarint() {
+  uint64_t Value = 0;
+  unsigned Shift = 0;
+  // A 64-bit varint occupies at most ten bytes.
+  for (unsigned I = 0; I < 10; ++I) {
+    if (Pos >= Size) {
+      Failed = true;
+      return 0;
+    }
+    uint8_t Byte = Data[Pos++];
+    Value |= static_cast<uint64_t>(Byte & 0x7F) << Shift;
+    if (!(Byte & 0x80))
+      return Value;
+    Shift += 7;
+  }
+  Failed = true;
+  return 0;
+}
+
+void VarintReader::skip(size_t N) {
+  if (Size - Pos < N) {
+    Failed = true;
+    Pos = Size;
+    return;
+  }
+  Pos += N;
+}
+
+} // namespace ev

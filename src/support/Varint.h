@@ -1,0 +1,84 @@
+//===- support/Varint.h - LEB128/zigzag integer coding --------------------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Protocol-Buffer-compatible base-128 varint and zigzag encoding. This is
+/// the byte-level substrate for both the .evprof container format and the
+/// pprof profile.proto reader/writer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EASYVIEW_SUPPORT_VARINT_H
+#define EASYVIEW_SUPPORT_VARINT_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace ev {
+
+/// Appends \p Value to \p Out as a base-128 varint (little-endian groups of
+/// seven bits, high bit set on continuation bytes).
+void appendVarint(std::string &Out, uint64_t Value);
+
+/// Zigzag-maps a signed value so small magnitudes encode small.
+inline uint64_t zigzagEncode(int64_t Value) {
+  return (static_cast<uint64_t>(Value) << 1) ^
+         static_cast<uint64_t>(Value >> 63);
+}
+
+/// Inverse of zigzagEncode.
+inline int64_t zigzagDecode(uint64_t Value) {
+  return static_cast<int64_t>(Value >> 1) ^ -static_cast<int64_t>(Value & 1);
+}
+
+/// Appends a signed value using zigzag + varint.
+void appendSignedVarint(std::string &Out, int64_t Value);
+
+/// Incremental varint reader over a byte buffer.
+///
+/// Reads are bounds-checked; a malformed or truncated varint turns the
+/// cursor into the failed state, which the caller observes via failed().
+class VarintReader {
+public:
+  VarintReader(const char *Data, size_t Size)
+      : Data(reinterpret_cast<const uint8_t *>(Data)), Size(Size) {}
+  explicit VarintReader(const std::string &Buffer)
+      : VarintReader(Buffer.data(), Buffer.size()) {}
+
+  /// Reads the next varint. On malformed input sets the failed flag and
+  /// returns 0.
+  uint64_t readVarint();
+
+  /// Reads a zigzag-encoded signed varint.
+  int64_t readSignedVarint() { return zigzagDecode(readVarint()); }
+
+  /// \returns true once any read ran past the buffer or saw >10 bytes.
+  bool failed() const { return Failed; }
+
+  /// \returns true when the cursor consumed the entire buffer.
+  bool atEnd() const { return Pos >= Size; }
+
+  size_t position() const { return Pos; }
+  size_t size() const { return Size; }
+
+  /// Advances the cursor by \p N bytes; fails when out of range.
+  void skip(size_t N);
+
+  /// \returns a pointer to the current byte, valid for remaining() bytes.
+  const uint8_t *current() const { return Data + Pos; }
+  size_t remaining() const { return Size - Pos; }
+
+private:
+  const uint8_t *Data;
+  size_t Size;
+  size_t Pos = 0;
+  bool Failed = false;
+};
+
+} // namespace ev
+
+#endif // EASYVIEW_SUPPORT_VARINT_H

@@ -1,0 +1,281 @@
+//===- support/Xml.cpp - Minimal XML document parser ------------------------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Xml.h"
+
+#include <cctype>
+
+namespace ev {
+namespace xml {
+
+std::string_view Element::attribute(std::string_view Key,
+                                    std::string_view Fallback) const {
+  for (const auto &Attr : Attributes)
+    if (Attr.first == Key)
+      return Attr.second;
+  return Fallback;
+}
+
+const Element *Element::firstChild(std::string_view Name) const {
+  for (const auto &Child : Children)
+    if (Child->Name == Name)
+      return Child.get();
+  return nullptr;
+}
+
+std::vector<const Element *> Element::children(std::string_view Name) const {
+  std::vector<const Element *> Out;
+  for (const auto &Child : Children)
+    if (Child->Name == Name)
+      Out.push_back(Child.get());
+  return Out;
+}
+
+namespace {
+
+class Parser {
+public:
+  explicit Parser(std::string_view Text) : Text(Text) {}
+
+  Result<std::unique_ptr<Element>> run() {
+    skipProlog();
+    Result<std::unique_ptr<Element>> Root = parseElement();
+    if (!Root)
+      return Root;
+    skipMisc();
+    if (Pos != Text.size())
+      return fail("trailing content after root element");
+    return Root;
+  }
+
+private:
+  Error fail(std::string Message) {
+    return makeError(Message + " at offset " + std::to_string(Pos));
+  }
+
+  void skipWhitespace() {
+    while (Pos < Text.size() &&
+           std::isspace(static_cast<unsigned char>(Text[Pos])))
+      ++Pos;
+  }
+
+  bool lookingAt(std::string_view S) const {
+    return Text.substr(Pos, S.size()) == S;
+  }
+
+  /// Skips <?...?>, <!--...-->, <!DOCTYPE...>, and whitespace before the
+  /// root element.
+  void skipProlog() {
+    while (true) {
+      skipWhitespace();
+      if (lookingAt("<?")) {
+        size_t End = Text.find("?>", Pos);
+        Pos = End == std::string_view::npos ? Text.size() : End + 2;
+        continue;
+      }
+      if (lookingAt("<!--")) {
+        size_t End = Text.find("-->", Pos);
+        Pos = End == std::string_view::npos ? Text.size() : End + 3;
+        continue;
+      }
+      if (lookingAt("<!")) {
+        // DOCTYPE possibly with an internal subset in brackets.
+        int BracketDepth = 0;
+        while (Pos < Text.size()) {
+          char C = Text[Pos++];
+          if (C == '[')
+            ++BracketDepth;
+          else if (C == ']')
+            --BracketDepth;
+          else if (C == '>' && BracketDepth <= 0)
+            break;
+        }
+        continue;
+      }
+      return;
+    }
+  }
+
+  void skipMisc() { skipProlog(); }
+
+  static void appendEntity(std::string &Out, std::string_view Entity) {
+    if (Entity == "lt")
+      Out.push_back('<');
+    else if (Entity == "gt")
+      Out.push_back('>');
+    else if (Entity == "amp")
+      Out.push_back('&');
+    else if (Entity == "quot")
+      Out.push_back('"');
+    else if (Entity == "apos")
+      Out.push_back('\'');
+    else if (!Entity.empty() && Entity[0] == '#') {
+      // Numeric character reference; ASCII subset only.
+      unsigned Code = 0;
+      if (Entity.size() > 1 && (Entity[1] == 'x' || Entity[1] == 'X')) {
+        for (char C : Entity.substr(2))
+          Code = Code * 16 + static_cast<unsigned>(
+                                 C <= '9' ? C - '0' : (C | 0x20) - 'a' + 10);
+      } else {
+        for (char C : Entity.substr(1))
+          Code = Code * 10 + static_cast<unsigned>(C - '0');
+      }
+      if (Code < 0x80)
+        Out.push_back(static_cast<char>(Code));
+    }
+  }
+
+  std::string decodeText(std::string_view Raw) {
+    std::string Out;
+    Out.reserve(Raw.size());
+    size_t I = 0;
+    while (I < Raw.size()) {
+      char C = Raw[I];
+      if (C != '&') {
+        Out.push_back(C);
+        ++I;
+        continue;
+      }
+      size_t End = Raw.find(';', I);
+      if (End == std::string_view::npos) {
+        Out.push_back(C);
+        ++I;
+        continue;
+      }
+      appendEntity(Out, Raw.substr(I + 1, End - I - 1));
+      I = End + 1;
+    }
+    return Out;
+  }
+
+  Result<std::unique_ptr<Element>> parseElement() {
+    if (Depth >= MaxDepth)
+      return fail("element nesting too deep");
+    ++Depth;
+    Result<std::unique_ptr<Element>> Out = parseElementBody();
+    --Depth;
+    return Out;
+  }
+
+  Result<std::unique_ptr<Element>> parseElementBody() {
+    if (Pos >= Text.size() || Text[Pos] != '<')
+      return fail("expected '<'");
+    ++Pos;
+    auto Node = std::make_unique<Element>();
+    // Element name.
+    size_t NameStart = Pos;
+    while (Pos < Text.size() && !std::isspace(static_cast<unsigned char>(
+                                    Text[Pos])) &&
+           Text[Pos] != '>' && Text[Pos] != '/')
+      ++Pos;
+    Node->Name = std::string(Text.substr(NameStart, Pos - NameStart));
+    if (Node->Name.empty())
+      return fail("empty element name");
+
+    // Attributes.
+    while (true) {
+      skipWhitespace();
+      if (Pos >= Text.size())
+        return fail("unterminated start tag");
+      if (lookingAt("/>")) {
+        Pos += 2;
+        return Node;
+      }
+      if (Text[Pos] == '>') {
+        ++Pos;
+        break;
+      }
+      size_t KeyStart = Pos;
+      while (Pos < Text.size() && Text[Pos] != '=' &&
+             !std::isspace(static_cast<unsigned char>(Text[Pos])))
+        ++Pos;
+      std::string Key(Text.substr(KeyStart, Pos - KeyStart));
+      skipWhitespace();
+      if (Pos >= Text.size() || Text[Pos] != '=')
+        return fail("expected '=' in attribute");
+      ++Pos;
+      skipWhitespace();
+      if (Pos >= Text.size() || (Text[Pos] != '"' && Text[Pos] != '\''))
+        return fail("expected quoted attribute value");
+      char Quote = Text[Pos++];
+      size_t ValueStart = Pos;
+      while (Pos < Text.size() && Text[Pos] != Quote)
+        ++Pos;
+      if (Pos >= Text.size())
+        return fail("unterminated attribute value");
+      Node->Attributes.emplace_back(
+          std::move(Key), decodeText(Text.substr(ValueStart, Pos - ValueStart)));
+      ++Pos;
+    }
+
+    // Content until the matching end tag.
+    while (true) {
+      if (Pos >= Text.size())
+        return fail("unterminated element '" + Node->Name + "'");
+      if (lookingAt("</")) {
+        Pos += 2;
+        size_t EndStart = Pos;
+        while (Pos < Text.size() && Text[Pos] != '>')
+          ++Pos;
+        std::string_view EndName = Text.substr(EndStart, Pos - EndStart);
+        if (Pos >= Text.size())
+          return fail("unterminated end tag");
+        ++Pos;
+        // Trim possible whitespace in the end tag.
+        while (!EndName.empty() && std::isspace(static_cast<unsigned char>(
+                                       EndName.back())))
+          EndName.remove_suffix(1);
+        if (EndName != Node->Name)
+          return fail("mismatched end tag '" + std::string(EndName) + "'");
+        return Node;
+      }
+      if (lookingAt("<!--")) {
+        size_t End = Text.find("-->", Pos);
+        if (End == std::string_view::npos)
+          return fail("unterminated comment");
+        Pos = End + 3;
+        continue;
+      }
+      if (lookingAt("<![CDATA[")) {
+        size_t Start = Pos + 9;
+        size_t End = Text.find("]]>", Start);
+        if (End == std::string_view::npos)
+          return fail("unterminated CDATA");
+        Node->Text.append(Text.substr(Start, End - Start));
+        Pos = End + 3;
+        continue;
+      }
+      if (Text[Pos] == '<') {
+        Result<std::unique_ptr<Element>> Child = parseElement();
+        if (!Child)
+          return Child;
+        Node->Children.push_back(Child.take());
+        continue;
+      }
+      size_t TextStart = Pos;
+      while (Pos < Text.size() && Text[Pos] != '<')
+        ++Pos;
+      Node->Text += decodeText(Text.substr(TextStart, Pos - TextStart));
+    }
+  }
+
+  // Call-path profiles nest as deep as their call stacks; the limit only
+  // guards against stack exhaustion on hostile input.
+  static constexpr int MaxDepth = 8192;
+
+  std::string_view Text;
+  size_t Pos = 0;
+  int Depth = 0;
+};
+
+} // namespace
+
+Result<std::unique_ptr<Element>> parse(std::string_view Text) {
+  return Parser(Text).run();
+}
+
+} // namespace xml
+} // namespace ev

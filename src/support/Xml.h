@@ -1,0 +1,53 @@
+//===- support/Xml.h - Minimal XML document parser -------------------------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small non-validating XML parser sufficient for HPCToolkit
+/// experiment.xml databases (elements, attributes, text, comments,
+/// processing instructions, DOCTYPE skipping). Namespaces and entities
+/// beyond the five predefined ones are intentionally out of scope.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EASYVIEW_SUPPORT_XML_H
+#define EASYVIEW_SUPPORT_XML_H
+
+#include "support/Result.h"
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ev {
+namespace xml {
+
+/// An XML element node. Text content is concatenated into Text; child
+/// elements keep document order.
+struct Element {
+  std::string Name;
+  std::vector<std::pair<std::string, std::string>> Attributes;
+  std::vector<std::unique_ptr<Element>> Children;
+  std::string Text;
+
+  /// \returns the attribute value, or \p Fallback when absent.
+  std::string_view attribute(std::string_view Key,
+                             std::string_view Fallback = "") const;
+
+  /// \returns the first child element named \p Name, or null.
+  const Element *firstChild(std::string_view Name) const;
+
+  /// Collects all direct children named \p Name.
+  std::vector<const Element *> children(std::string_view Name) const;
+};
+
+/// Parses a document; \returns its root element.
+Result<std::unique_ptr<Element>> parse(std::string_view Text);
+
+} // namespace xml
+} // namespace ev
+
+#endif // EASYVIEW_SUPPORT_XML_H

@@ -1,0 +1,412 @@
+//===- tool/CliDriver.cpp - The evtool command-line driver ----------------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tool/CliDriver.h"
+
+#include "analysis/Aggregate.h"
+#include "analysis/Butterfly.h"
+#include "analysis/Diff.h"
+#include "analysis/MetricEngine.h"
+#include "analysis/Transform.h"
+#include "convert/Converters.h"
+#include "convert/Exporters.h"
+#include "proto/EvProf.h"
+#include "query/Interpreter.h"
+#include "render/AnsiRenderer.h"
+#include "render/CodeAnnotations.h"
+#include "render/DiffRenderer.h"
+#include "render/FlameLayout.h"
+#include "render/HtmlRenderer.h"
+#include "render/SvgRenderer.h"
+#include "render/TreeTable.h"
+#include "support/FileIo.h"
+#include "support/Strings.h"
+
+#include <map>
+
+namespace ev {
+namespace tool {
+
+std::string usageText() {
+  return "usage: evtool <command> [options]\n"
+         "\n"
+         "commands:\n"
+         "  info <profile>                     format, counts, metrics\n"
+         "  summary <profile>                  floating-window summary\n"
+         "  flame <profile> [--shape S] [--metric M] [--svg F] "
+         "[--columns N]\n"
+         "  table <profile> [--rows N]         tree table, hot path open\n"
+         "  convert <in> <out> [--to FMT]      evprof|pprof|collapsed|\n"
+         "                                     speedscope|chrome\n"
+         "  diff <base> <test> [--metric M]    differential view\n"
+         "  aggregate <out.evprof> <in...>     merge profiles\n"
+         "  query <profile> -e <prog>|--file F run an EVQL program\n"
+         "  butterfly <profile> <function> [--metric M]\n"
+         "  annotate <profile> <source-file>   per-line code lenses\n"
+         "  report <profile> <out.html>        self-contained HTML report\n"
+         "  help                               this text\n";
+}
+
+namespace {
+
+/// Simple option scanner: positional arguments plus --key value pairs.
+struct ParsedArgs {
+  std::vector<std::string> Positional;
+  std::map<std::string, std::string> Options;
+};
+
+Result<ParsedArgs> parseArgs(const std::vector<std::string> &Args,
+                             size_t From) {
+  ParsedArgs Out;
+  for (size_t I = From; I < Args.size(); ++I) {
+    const std::string &A = Args[I];
+    if (startsWith(A, "--")) {
+      if (I + 1 >= Args.size())
+        return makeError("option '" + A + "' needs a value");
+      Out.Options[A.substr(2)] = Args[++I];
+      continue;
+    }
+    Out.Positional.push_back(A);
+  }
+  return Out;
+}
+
+Result<Profile> loadProfile(const std::string &Path) {
+  Result<std::string> Bytes = readFile(Path);
+  if (!Bytes)
+    return makeError(Bytes.error());
+  return convert::load(*Bytes, Path);
+}
+
+Result<MetricId> resolveMetric(const Profile &P, const ParsedArgs &Args) {
+  auto It = Args.Options.find("metric");
+  if (It == Args.Options.end()) {
+    if (P.metrics().empty())
+      return makeError("profile has no metrics");
+    return MetricId(0);
+  }
+  MetricId Id = P.findMetric(It->second);
+  if (Id == Profile::InvalidMetric) {
+    uint64_t Index;
+    if (parseUnsigned(It->second, Index) && Index < P.metrics().size())
+      return static_cast<MetricId>(Index);
+    return makeError("unknown metric '" + It->second + "'");
+  }
+  return Id;
+}
+
+int fail(std::string &Err, const std::string &Message) {
+  Err += "evtool: error: " + Message + "\n";
+  return 1;
+}
+
+int cmdInfo(const ParsedArgs &Args, std::string &Out, std::string &Err) {
+  if (Args.Positional.size() != 1)
+    return fail(Err, "info expects exactly one profile");
+  Result<std::string> Bytes = readFile(Args.Positional[0]);
+  if (!Bytes)
+    return fail(Err, Bytes.error());
+  convert::Format F = convert::detectFormat(*Bytes, Args.Positional[0]);
+  Result<Profile> P = convert::load(*Bytes, Args.Positional[0]);
+  if (!P)
+    return fail(Err, P.error());
+  Out += "file:     " + Args.Positional[0] + "\n";
+  Out += "format:   " + std::string(convert::formatName(F)) + "\n";
+  Out += "size:     " + formatBytes(static_cast<double>(Bytes->size())) +
+         "\n";
+  Out += "contexts: " + std::to_string(P->nodeCount()) + "\n";
+  Out += "frames:   " + std::to_string(P->frames().size()) + "\n";
+  Out += "groups:   " + std::to_string(P->groups().size()) + "\n";
+  for (MetricId M = 0; M < P->metrics().size(); ++M) {
+    const MetricDescriptor &D = P->metrics()[M];
+    Out += "metric:   " + D.Name + " (" + D.Unit + "), total " +
+           formatMetric(metricTotal(*P, M), D.Unit) + "\n";
+  }
+  return 0;
+}
+
+int cmdSummary(const ParsedArgs &Args, std::string &Out, std::string &Err) {
+  if (Args.Positional.size() != 1)
+    return fail(Err, "summary expects exactly one profile");
+  Result<Profile> P = loadProfile(Args.Positional[0]);
+  if (!P)
+    return fail(Err, P.error());
+  Out += renderSummaryText(*P);
+  return 0;
+}
+
+int cmdFlame(const ParsedArgs &Args, std::string &Out, std::string &Err) {
+  if (Args.Positional.size() != 1)
+    return fail(Err, "flame expects exactly one profile");
+  Result<Profile> Loaded = loadProfile(Args.Positional[0]);
+  if (!Loaded)
+    return fail(Err, Loaded.error());
+
+  std::string Shape = "top-down";
+  if (auto It = Args.Options.find("shape"); It != Args.Options.end())
+    Shape = It->second;
+  Profile Shaped;
+  const Profile *View = &*Loaded;
+  if (Shape == "bottom-up") {
+    Shaped = bottomUpTree(*Loaded);
+    View = &Shaped;
+  } else if (Shape == "flat") {
+    Shaped = flatTree(*Loaded);
+    View = &Shaped;
+  } else if (Shape != "top-down") {
+    return fail(Err, "unknown shape '" + Shape + "'");
+  }
+  Result<MetricId> Metric = resolveMetric(*View, Args);
+  if (!Metric)
+    return fail(Err, Metric.error());
+
+  FlameGraph Graph(*View, *Metric);
+  if (auto It = Args.Options.find("svg"); It != Args.Options.end()) {
+    SvgOptions Svg;
+    Svg.Title = View->name() + " (" + Shape + ")";
+    Result<bool> W = writeFile(It->second, renderSvg(Graph, Svg));
+    if (!W)
+      return fail(Err, W.error());
+    Out += "wrote " + It->second + "\n";
+    return 0;
+  }
+  AnsiOptions Ansi;
+  Ansi.Color = false;
+  if (auto It = Args.Options.find("columns"); It != Args.Options.end()) {
+    uint64_t Columns;
+    if (!parseUnsigned(It->second, Columns))
+      return fail(Err, "--columns expects a number");
+    Ansi.Columns = static_cast<unsigned>(Columns);
+  }
+  Out += renderAnsi(Graph, Ansi);
+  return 0;
+}
+
+int cmdTable(const ParsedArgs &Args, std::string &Out, std::string &Err) {
+  if (Args.Positional.size() != 1)
+    return fail(Err, "table expects exactly one profile");
+  Result<Profile> P = loadProfile(Args.Positional[0]);
+  if (!P)
+    return fail(Err, P.error());
+  TreeTableOptions Opt;
+  if (auto It = Args.Options.find("rows"); It != Args.Options.end()) {
+    uint64_t Rows;
+    if (!parseUnsigned(It->second, Rows))
+      return fail(Err, "--rows expects a number");
+    Opt.MaxRows = Rows;
+  }
+  TreeTable Table(*P, Opt);
+  if (!P->metrics().empty())
+    Table.expandHotPath(0);
+  Out += Table.renderText();
+  return 0;
+}
+
+int cmdConvert(const ParsedArgs &Args, std::string &Out, std::string &Err) {
+  if (Args.Positional.size() != 2)
+    return fail(Err, "convert expects <in> <out>");
+  Result<Profile> P = loadProfile(Args.Positional[0]);
+  if (!P)
+    return fail(Err, P.error());
+
+  std::string To = "evprof";
+  if (auto It = Args.Options.find("to"); It != Args.Options.end())
+    To = It->second;
+  std::string Bytes;
+  if (To == "evprof") {
+    Bytes = writeEvProf(*P);
+  } else if (To == "pprof") {
+    Bytes = convert::toPprof(*P);
+  } else if (To == "collapsed") {
+    Bytes = convert::toCollapsed(*P, 0);
+  } else if (To == "speedscope") {
+    Bytes = convert::toSpeedscope(*P, 0);
+  } else if (To == "chrome") {
+    Bytes = convert::toChromeTrace(*P, 0);
+  } else {
+    return fail(Err, "unknown target format '" + To + "'");
+  }
+  Result<bool> W = writeFile(Args.Positional[1], Bytes);
+  if (!W)
+    return fail(Err, W.error());
+  Out += "wrote " + Args.Positional[1] + " (" +
+         formatBytes(static_cast<double>(Bytes.size())) + ", " + To +
+         ")\n";
+  return 0;
+}
+
+int cmdDiff(const ParsedArgs &Args, std::string &Out, std::string &Err) {
+  if (Args.Positional.size() != 2)
+    return fail(Err, "diff expects <base> <test>");
+  Result<Profile> Base = loadProfile(Args.Positional[0]);
+  if (!Base)
+    return fail(Err, Base.error());
+  Result<Profile> Test = loadProfile(Args.Positional[1]);
+  if (!Test)
+    return fail(Err, Test.error());
+  Result<MetricId> Metric = resolveMetric(*Base, Args);
+  if (!Metric)
+    return fail(Err, Metric.error());
+  DiffResult D = diffProfiles(*Base, *Test, *Metric);
+  Out += renderDiffText(D);
+  return 0;
+}
+
+int cmdAggregate(const ParsedArgs &Args, std::string &Out,
+                 std::string &Err) {
+  if (Args.Positional.size() < 2)
+    return fail(Err, "aggregate expects <out.evprof> <in...>");
+  std::vector<Profile> Loaded;
+  for (size_t I = 1; I < Args.Positional.size(); ++I) {
+    Result<Profile> P = loadProfile(Args.Positional[I]);
+    if (!P)
+      return fail(Err, P.error());
+    Loaded.push_back(P.take());
+  }
+  std::vector<const Profile *> Inputs;
+  for (const Profile &P : Loaded)
+    Inputs.push_back(&P);
+  AggregateOptions Opt;
+  Opt.WithMin = Opt.WithMax = Opt.WithMean = true;
+  AggregatedProfile Agg = aggregate(Inputs, Opt);
+  Result<bool> W =
+      writeFile(Args.Positional[0], writeEvProf(Agg.merged()));
+  if (!W)
+    return fail(Err, W.error());
+  Out += "aggregated " + std::to_string(Inputs.size()) + " profiles into " +
+         Args.Positional[0] + " (" +
+         std::to_string(Agg.merged().nodeCount()) + " contexts)\n";
+  return 0;
+}
+
+int cmdQuery(const ParsedArgs &Args, std::string &Out, std::string &Err) {
+  if (Args.Positional.size() != 1)
+    return fail(Err, "query expects exactly one profile");
+  Result<Profile> P = loadProfile(Args.Positional[0]);
+  if (!P)
+    return fail(Err, P.error());
+
+  std::string Program;
+  if (auto It = Args.Options.find("e"); It != Args.Options.end()) {
+    Program = It->second;
+  } else if (auto FIt = Args.Options.find("file");
+             FIt != Args.Options.end()) {
+    Result<std::string> Src = readFile(FIt->second);
+    if (!Src)
+      return fail(Err, Src.error());
+    Program = Src.take();
+  } else {
+    return fail(Err, "query needs --e <program> or --file <program.evql>");
+  }
+
+  Result<evql::QueryOutput> R = evql::runProgram(*P, Program);
+  if (!R)
+    return fail(Err, R.error());
+  for (const std::string &Line : R->Printed)
+    Out += Line + "\n";
+  if (!R->DerivedMetrics.empty()) {
+    Out += "derived metrics:";
+    for (const std::string &Name : R->DerivedMetrics)
+      Out += " " + Name;
+    Out += "\n";
+  }
+  Out += "result: " + std::to_string(R->Result.nodeCount()) +
+         " contexts (input " + std::to_string(P->nodeCount()) + ")\n";
+  if (auto It = Args.Options.find("out"); It != Args.Options.end()) {
+    Result<bool> W = writeFile(It->second, writeEvProf(R->Result));
+    if (!W)
+      return fail(Err, W.error());
+    Out += "wrote " + It->second + "\n";
+  }
+  return 0;
+}
+
+int cmdButterfly(const ParsedArgs &Args, std::string &Out,
+                 std::string &Err) {
+  if (Args.Positional.size() != 2)
+    return fail(Err, "butterfly expects <profile> <function>");
+  Result<Profile> P = loadProfile(Args.Positional[0]);
+  if (!P)
+    return fail(Err, P.error());
+  Result<MetricId> Metric = resolveMetric(*P, Args);
+  if (!Metric)
+    return fail(Err, Metric.error());
+  ButterflyResult B = butterfly(*P, Args.Positional[1], *Metric);
+  if (B.Occurrences == 0)
+    return fail(Err, "function '" + Args.Positional[1] +
+                         "' not found in the profile");
+  Out += renderButterflyText(*P, B, P->metrics()[*Metric].Unit);
+  return 0;
+}
+
+int cmdAnnotate(const ParsedArgs &Args, std::string &Out,
+                std::string &Err) {
+  if (Args.Positional.size() != 2)
+    return fail(Err, "annotate expects <profile> <source-file>");
+  Result<Profile> P = loadProfile(Args.Positional[0]);
+  if (!P)
+    return fail(Err, P.error());
+  Out += renderAnnotationsText(*P, Args.Positional[1]);
+  return 0;
+}
+
+int cmdReport(const ParsedArgs &Args, std::string &Out, std::string &Err) {
+  if (Args.Positional.size() != 2)
+    return fail(Err, "report expects <profile> <out.html>");
+  Result<Profile> P = loadProfile(Args.Positional[0]);
+  if (!P)
+    return fail(Err, P.error());
+  std::string Html = renderHtmlReport(*P);
+  Result<bool> W = writeFile(Args.Positional[1], Html);
+  if (!W)
+    return fail(Err, W.error());
+  Out += "wrote " + Args.Positional[1] + " (" +
+         formatBytes(static_cast<double>(Html.size())) + ")\n";
+  return 0;
+}
+
+} // namespace
+
+int runEvTool(const std::vector<std::string> &Args, std::string &Out,
+              std::string &Err) {
+  if (Args.empty() || Args[0] == "help" || Args[0] == "--help") {
+    Out += usageText();
+    return Args.empty() ? 1 : 0;
+  }
+  const std::string &Command = Args[0];
+  Result<ParsedArgs> Parsed = parseArgs(Args, 1);
+  if (!Parsed) {
+    Err += "evtool: error: " + Parsed.error() + "\n";
+    return 1;
+  }
+  if (Command == "info")
+    return cmdInfo(*Parsed, Out, Err);
+  if (Command == "summary")
+    return cmdSummary(*Parsed, Out, Err);
+  if (Command == "flame")
+    return cmdFlame(*Parsed, Out, Err);
+  if (Command == "table")
+    return cmdTable(*Parsed, Out, Err);
+  if (Command == "convert")
+    return cmdConvert(*Parsed, Out, Err);
+  if (Command == "diff")
+    return cmdDiff(*Parsed, Out, Err);
+  if (Command == "aggregate")
+    return cmdAggregate(*Parsed, Out, Err);
+  if (Command == "query")
+    return cmdQuery(*Parsed, Out, Err);
+  if (Command == "butterfly")
+    return cmdButterfly(*Parsed, Out, Err);
+  if (Command == "annotate")
+    return cmdAnnotate(*Parsed, Out, Err);
+  if (Command == "report")
+    return cmdReport(*Parsed, Out, Err);
+  Err += "evtool: error: unknown command '" + Command + "'\n" + usageText();
+  return 1;
+}
+
+} // namespace tool
+} // namespace ev

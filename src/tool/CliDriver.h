@@ -1,0 +1,52 @@
+//===- tool/CliDriver.h - The evtool command-line driver ------------------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Implementation of the `evtool` command line, separated from main() so
+/// the test suite can drive it in-process with captured output.
+///
+/// \code
+///   evtool info <profile>
+///   evtool summary <profile>
+///   evtool flame <profile> [--shape top-down|bottom-up|flat]
+///                [--metric NAME] [--svg <out.svg>] [--columns N]
+///   evtool table <profile> [--rows N]
+///   evtool convert <in> <out> [--to evprof|pprof|collapsed|speedscope|
+///                                   chrome]
+///   evtool diff <base> <test> [--metric NAME]
+///   evtool aggregate <out.evprof> <in...>
+///   evtool query <profile> (-e <program> | --file <program.evql>)
+///   evtool butterfly <profile> <function> [--metric NAME]
+///   evtool report <profile> <out.html>
+/// \endcode
+///
+/// Profiles load through format auto-detection, so any supported input
+/// format works everywhere a <profile> is expected.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EASYVIEW_TOOL_CLIDRIVER_H
+#define EASYVIEW_TOOL_CLIDRIVER_H
+
+#include <string>
+#include <vector>
+
+namespace ev {
+namespace tool {
+
+/// Runs one evtool invocation. \p Args excludes the program name.
+/// \returns the process exit code; normal output accumulates in \p Out,
+/// diagnostics in \p Err.
+int runEvTool(const std::vector<std::string> &Args, std::string &Out,
+              std::string &Err);
+
+/// The usage text printed for `evtool help` and argument errors.
+std::string usageText();
+
+} // namespace tool
+} // namespace ev
+
+#endif // EASYVIEW_TOOL_CLIDRIVER_H

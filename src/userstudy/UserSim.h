@@ -1,0 +1,86 @@
+//===- userstudy/UserSim.h - Simulated user studies ------------------------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Simulation of the paper's user studies (§VII-D). Humans cannot be rerun
+/// offline, so this module models a user as a sequence of interactions
+/// whose COUNTS are derived from the real tool data models (how many rows
+/// a tree table needs expanded, how many stacks a text report forces one
+/// to read, whether a bottom-up view exists at all) and whose per-action
+/// costs encode the paper's causal explanations:
+///
+///  - GoLand lacks bottom-up flame graphs; its bottom-up tree table takes
+///    longer to learn and navigate (Task II: ~1 hour vs ~10 min).
+///  - Default PProf has no bottom-up view at all — Task II degenerates to
+///    manual analysis (>3 hours).
+///  - Neither baseline analyzes multiple profiles; Task III requires
+///    writing scripts (>3 hours, recorded as not completed).
+///
+/// Tasks run against real workload profiles through the real EasyView
+/// code paths, so the simulated EasyView numbers move if the library
+/// regresses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EASYVIEW_USERSTUDY_USERSIM_H
+#define EASYVIEW_USERSTUDY_USERSIM_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ev {
+namespace userstudy {
+
+enum class Tool : uint8_t { EasyView, Goland, Pprof };
+enum class Task : uint8_t {
+  HotspotAnalysis,   ///< Task I: hotspots in calling contexts (top-down).
+  BottomUpAnalysis,  ///< Task II: hot allocations/GC/locks + callers.
+  MultiProfileLeak,  ///< Task III: leak across many snapshots.
+};
+
+std::string_view toolName(Tool T);
+std::string_view taskName(Task T);
+
+/// Outcome of one simulated participant on one task.
+struct TaskOutcome {
+  double Minutes = 0.0;
+  bool Completed = false; ///< False when the 180-minute budget ran out.
+};
+
+/// Group statistics (7 participants per group, as in the paper).
+struct GroupOutcome {
+  double MeanMinutes = 0.0;
+  size_t Completed = 0;
+  size_t Participants = 0;
+};
+
+struct UserStudyOptions {
+  uint64_t Seed = 2024;
+  size_t ParticipantsPerGroup = 7;
+  double BudgetMinutes = 180.0; ///< The paper's 3-hour cutoff.
+};
+
+/// Runs one participant (skill drawn from the mixed newbie/expert pool).
+TaskOutcome simulateParticipant(Tool T, Task K, uint64_t Seed,
+                                double BudgetMinutes = 180.0);
+
+/// Runs a full control-group study: every (tool, task) pair.
+std::vector<std::vector<GroupOutcome>> // [task][tool]
+runControlGroups(const UserStudyOptions &Options = {});
+
+/// Fig. 8: per-view effectiveness votes from the survey cohort (n=26).
+struct ViewVote {
+  std::string View;
+  double Percent = 0.0;
+};
+std::vector<ViewVote> simulateViewSurvey(uint64_t Seed = 2024,
+                                         size_t Participants = 26);
+
+} // namespace userstudy
+} // namespace ev
+
+#endif // EASYVIEW_USERSTUDY_USERSIM_H

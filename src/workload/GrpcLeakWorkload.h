@@ -1,0 +1,56 @@
+//===- workload/GrpcLeakWorkload.h - Fig. 4 memory-leak case study --------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Synthesizes the paper's cloud-domain case study (§VII-C1, Fig. 4): a Go
+/// gRPC client benchmark (rpcx-benchmark) profiled with PProf's heap
+/// profiler, capturing an active-memory snapshot every 0.1s. Two
+/// allocation contexts leak — transport.newBufWriter and
+/// bufio.NewReaderSize, both invoked when creating new HTTP clients whose
+/// connections are never closed — so their active bytes stay continuously
+/// high with no reclamation. The passthrough context allocates heavily but
+/// its memory diminishes by the end of the run (not a leak).
+///
+/// The generator reproduces those three series plus stationary background
+/// allocations, and exposes the ground truth so tests can score the leak
+/// detector.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EASYVIEW_WORKLOAD_GRPCLEAKWORKLOAD_H
+#define EASYVIEW_WORKLOAD_GRPCLEAKWORKLOAD_H
+
+#include "profile/Profile.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ev {
+namespace workload {
+
+struct GrpcLeakOptions {
+  uint64_t Seed = 7;
+  size_t Snapshots = 300; ///< 30 seconds at 0.1s per snapshot.
+  double LeakBytesPerSnapshot = 64 * 1024.0;
+};
+
+struct GrpcLeakWorkload {
+  /// Time-ordered heap snapshots; metric "active-bytes" per allocation
+  /// context (gauge semantics: each snapshot holds the active amount).
+  std::vector<Profile> Snapshots;
+  /// Leaf function names of the true leaking contexts.
+  std::vector<std::string> LeakingFunctions;
+  /// Leaf function names of heavy-but-healthy contexts.
+  std::vector<std::string> HealthyFunctions;
+};
+
+GrpcLeakWorkload generateGrpcLeakWorkload(const GrpcLeakOptions &Options = {});
+
+} // namespace workload
+} // namespace ev
+
+#endif // EASYVIEW_WORKLOAD_GRPCLEAKWORKLOAD_H

@@ -1,0 +1,110 @@
+//===- workload/ReuseWorkload.cpp - Fig. 7 use-reuse case study -----------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/ReuseWorkload.h"
+
+#include "profile/ProfileBuilder.h"
+#include "support/Rng.h"
+
+namespace ev {
+namespace workload {
+
+ReuseWorkload generateReuseWorkload(const ReuseOptions &Options) {
+  Rng R(Options.Seed);
+  ProfileBuilder B("LULESH (drcctprof reuse)");
+  MetricId AllocBytes = B.addMetric("alloc-bytes", "bytes");
+  MetricId Accesses = B.addMetric("mem-accesses", "count");
+
+  const char *Bin = "lulesh2.0";
+  const char *Src = "lulesh.cc";
+
+  auto Fn = [&](const char *Name, uint32_t Line) {
+    return B.functionFrame(Name, Src, Line, Bin);
+  };
+
+  // Common call-path spines.
+  FrameId Main = Fn("main", 2650);
+  FrameId Leap = Fn("LagrangeLeapFrog", 2594);
+  FrameId Nodal = Fn("LagrangeNodal", 1055);
+  FrameId Force = Fn("CalcForceForNodes", 1013);
+  FrameId VolumeForce = Fn("CalcVolumeForceForElems", 970);
+  FrameId Hourglass = Fn("CalcHourglassControlForElems", 860);
+  FrameId FBHourglass = Fn("CalcFBHourglassForceForElems", 640);
+  FrameId Elements = Fn("LagrangeElements", 1900);
+  FrameId Kinematics = Fn("CalcKinematicsForElems", 1550);
+
+  struct ArraySpec {
+    const char *Name;
+    uint32_t Line;
+    double Bytes;
+  };
+  // Arrays allocated inside CalcHourglassControlForElems (the pattern the
+  // paper optimizes: allocated, written by one loop, re-read by the next).
+  const ArraySpec Arrays[] = {
+      {"dvdx[]", 868, 8.0 * 64000}, {"dvdy[]", 869, 8.0 * 64000},
+      {"dvdz[]", 870, 8.0 * 64000}, {"x8n[]", 871, 8.0 * 512000},
+      {"y8n[]", 872, 8.0 * 512000}, {"z8n[]", 873, 8.0 * 512000},
+      {"determ[]", 874, 8.0 * 64000},
+  };
+
+  ReuseWorkload Out;
+  Out.HotFunction = "CalcFBHourglassForceForElems";
+
+  std::vector<NodeId> AllocContexts;
+  double HottestValue = -1.0;
+  for (const ArraySpec &A : Arrays) {
+    // Allocation context: data object in its allocation call path.
+    std::vector<FrameId> AllocPath = {
+        Main,      Leap, Nodal, Force, VolumeForce, Hourglass,
+        B.dataFrame(A.Name, Src, A.Line)};
+    NodeId Alloc = B.addSample(AllocPath, AllocBytes, A.Bytes);
+    AllocContexts.push_back(Alloc);
+
+    // Use context: the loop in CalcHourglassControlForElems writing the
+    // array.
+    std::vector<FrameId> UsePath = {Main,        Leap,      Nodal, Force,
+                                    VolumeForce, Hourglass,
+                                    Fn("CollectDomainNodesToElemNodes",
+                                       778)};
+    double UseCount = A.Bytes / 8.0 * (3.0 + R.uniform());
+    NodeId Use = B.addSample(UsePath, Accesses, UseCount);
+
+    // Reuse context: the consuming loop in CalcFBHourglassForceForElems.
+    std::vector<FrameId> ReusePath = {Main,        Leap,      Nodal, Force,
+                                      VolumeForce, Hourglass, FBHourglass};
+    double ReuseCount = A.Bytes / 8.0 * (5.0 + R.uniform());
+    NodeId Reuse = B.addSample(ReusePath, Accesses, ReuseCount);
+
+    const NodeId Contexts[] = {Alloc, Use, Reuse};
+    B.addGroup("reuse", Contexts, Accesses, ReuseCount);
+    if (ReuseCount > HottestValue) {
+      HottestValue = ReuseCount;
+      Out.HotArray = A.Name;
+    }
+  }
+
+  // A smaller, unrelated reuse pair in the kinematics phase so the view
+  // has contrast.
+  {
+    std::vector<FrameId> AllocPath = {Main, Leap, Elements, Kinematics,
+                                      B.dataFrame("vnew[]", Src, 1552)};
+    NodeId Alloc = B.addSample(AllocPath, AllocBytes, 8.0 * 64000);
+    std::vector<FrameId> UsePath = {Main, Leap, Elements, Kinematics,
+                                    Fn("CalcElemVolume", 460)};
+    NodeId Use = B.addSample(UsePath, Accesses, 64000.0);
+    std::vector<FrameId> ReusePath = {Main, Leap, Elements,
+                                      Fn("UpdateVolumesForElems", 1840)};
+    NodeId Reuse = B.addSample(ReusePath, Accesses, 64000.0);
+    const NodeId Contexts[] = {Alloc, Use, Reuse};
+    B.addGroup("reuse", Contexts, Accesses, 64000.0);
+  }
+
+  Out.P = B.take();
+  return Out;
+}
+
+} // namespace workload
+} // namespace ev

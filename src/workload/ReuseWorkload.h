@@ -1,0 +1,47 @@
+//===- workload/ReuseWorkload.h - Fig. 7 use-reuse case study -------------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Synthesizes the DrCCTProf memory-reuse profile of LULESH (paper Fig. 7):
+/// a data-centric profile where array allocations are DataObject contexts
+/// and each reuse tuple binds three contexts — the allocation, a use, and
+/// the following reuse — to an occurrence count via a ContextGroup of kind
+/// "reuse". The hottest tuple sits in CalcHourglassControlForElems /
+/// CalcFBHourglassForceForElems, the pair the paper's locality optimization
+/// (hoisting to the least common ancestor + loop fusion) targets for its
+/// additional 28% speedup.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EASYVIEW_WORKLOAD_REUSEWORKLOAD_H
+#define EASYVIEW_WORKLOAD_REUSEWORKLOAD_H
+
+#include "profile/Profile.h"
+
+#include <cstdint>
+#include <string>
+
+namespace ev {
+namespace workload {
+
+struct ReuseOptions {
+  uint64_t Seed = 13;
+};
+
+struct ReuseWorkload {
+  Profile P;
+  /// Name of the array whose use/reuse pair is the optimization target.
+  std::string HotArray;
+  /// Function containing the hot use and reuse.
+  std::string HotFunction;
+};
+
+ReuseWorkload generateReuseWorkload(const ReuseOptions &Options = {});
+
+} // namespace workload
+} // namespace ev
+
+#endif // EASYVIEW_WORKLOAD_REUSEWORKLOAD_H

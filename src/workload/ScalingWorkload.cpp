@@ -1,0 +1,83 @@
+//===- workload/ScalingWorkload.cpp - Memory-scaling case study -----------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/ScalingWorkload.h"
+
+#include "profile/ProfileBuilder.h"
+#include "support/Rng.h"
+
+namespace ev {
+namespace workload {
+
+namespace {
+
+Profile buildAtScale(unsigned Procs, uint64_t Seed) {
+  Rng R(Seed + Procs);
+  ProfileBuilder B("mpi-app @" + std::to_string(Procs) + " procs");
+  MetricId Mem = B.addMetric("mem-bytes", "bytes");
+  const char *Bin = "mpi_app";
+  const char *Src = "solver.cc";
+
+  auto Noise = [&R] { return 1.0 + 0.02 * R.normal(); };
+  const double MB = 1024.0 * 1024.0;
+
+  // Well-scaling: the local domain partition is divided by P, so the
+  // per-process share is constant.
+  {
+    std::vector<FrameId> Path = {
+        B.functionFrame("main", Src, 30, Bin),
+        B.functionFrame("Domain::allocate", Src, 120, Bin),
+        B.functionFrame("Field::resize", Src, 410, Bin)};
+    B.addSample(Path, Mem, 96.0 * MB * Noise());
+  }
+  {
+    std::vector<FrameId> Path = {
+        B.functionFrame("main", Src, 30, Bin),
+        B.functionFrame("Solver::setup", Src, 210, Bin),
+        B.functionFrame("SparseMatrix::reserve", Src, 520, Bin)};
+    B.addSample(Path, Mem, 64.0 * MB * Noise());
+  }
+  // Non-scalable #1: an all-to-all communication buffer sized O(P) per
+  // process.
+  {
+    std::vector<FrameId> Path = {
+        B.functionFrame("main", Src, 30, Bin),
+        B.functionFrame("Exchange::init", Src, 300, Bin),
+        B.functionFrame("alltoall_buffer", Src, 340, Bin)};
+    B.addSample(Path, Mem, 1.5 * MB * Procs * Noise());
+  }
+  // Non-scalable #2: a per-rank metadata table, small but O(P).
+  {
+    std::vector<FrameId> Path = {
+        B.functionFrame("main", Src, 30, Bin),
+        B.functionFrame("Exchange::init", Src, 300, Bin),
+        B.functionFrame("rank_table", Src, 355, Bin)};
+    B.addSample(Path, Mem, 0.02 * MB * Procs * Noise());
+  }
+  // Constant runtime overhead.
+  {
+    std::vector<FrameId> Path = {
+        B.functionFrame("main", Src, 30, Bin),
+        B.functionFrame("mpi_runtime_init", "", 0, "libmpi.so")};
+    B.addSample(Path, Mem, 24.0 * MB * Noise());
+  }
+  return B.take();
+}
+
+} // namespace
+
+ScalingWorkload generateScalingWorkload(const ScalingOptions &Options) {
+  ScalingWorkload Out;
+  Out.Small = buildAtScale(Options.SmallProcs, Options.Seed);
+  Out.Large = buildAtScale(Options.LargeProcs, Options.Seed);
+  Out.NonScalable = {"alltoall_buffer", "rank_table"};
+  Out.Scalable = {"Field::resize", "SparseMatrix::reserve",
+                  "mpi_runtime_init"};
+  return Out;
+}
+
+} // namespace workload
+} // namespace ev

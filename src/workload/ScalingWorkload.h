@@ -1,0 +1,57 @@
+//===- workload/ScalingWorkload.h - Memory-scaling case study -------------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Synthesizes the ScaAnalyzer-style memory-scaling study the paper cites
+/// when motivating division-based differential metrics (§V-B: "users can
+/// use division instead of subtraction to derive differential metrics,
+/// which is used to measure memory scaling"). The workload models an
+/// MPI-like application measured at two process counts:
+///
+///  - well-scaling contexts keep constant per-process memory;
+///  - the communication buffer context grows linearly with the process
+///    count (an O(P) all-to-all buffer) — the classic scaling bug;
+///  - the rank-table context grows with P as well but starts tiny.
+///
+/// diff(Small, Large) + an EVQL `derive scaling = ratio(...)` pinpoints
+/// the non-scalable contexts: their ratio tracks the process-count ratio
+/// while healthy contexts stay near 1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EASYVIEW_WORKLOAD_SCALINGWORKLOAD_H
+#define EASYVIEW_WORKLOAD_SCALINGWORKLOAD_H
+
+#include "profile/Profile.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ev {
+namespace workload {
+
+struct ScalingOptions {
+  uint64_t Seed = 23;
+  unsigned SmallProcs = 8;
+  unsigned LargeProcs = 64;
+};
+
+struct ScalingWorkload {
+  Profile Small; ///< Per-process memory profile at SmallProcs.
+  Profile Large; ///< Per-process memory profile at LargeProcs.
+  /// Leaf names of the contexts whose per-process memory grows with P.
+  std::vector<std::string> NonScalable;
+  /// Leaf names of constant-per-process contexts.
+  std::vector<std::string> Scalable;
+};
+
+ScalingWorkload generateScalingWorkload(const ScalingOptions &Options = {});
+
+} // namespace workload
+} // namespace ev
+
+#endif // EASYVIEW_WORKLOAD_SCALINGWORKLOAD_H

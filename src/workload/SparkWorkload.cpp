@@ -1,0 +1,118 @@
+//===- workload/SparkWorkload.cpp - Fig. 3 Spark differential study -------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/SparkWorkload.h"
+
+#include "profile/ProfileBuilder.h"
+#include "support/Rng.h"
+
+namespace ev {
+namespace workload {
+
+namespace {
+
+/// Frames of the executor spine common to both runs (Fig. 3 top rows).
+std::vector<FrameId> executorSpine(ProfileBuilder &B) {
+  const char *Mod = "spark-assembly.jar";
+  return {
+      B.functionFrame("java.lang.Thread.run", "Thread.java", 748, Mod),
+      B.functionFrame("java.util.concurrent.ThreadPoolExecutor$Worker.run",
+                      "ThreadPoolExecutor.java", 624, Mod),
+      B.functionFrame("java.util.concurrent.ThreadPoolExecutor.runWorker",
+                      "ThreadPoolExecutor.java", 1149, Mod),
+      B.functionFrame("spark.executor.Executor$TaskRunner.run",
+                      "Executor.scala", 414, Mod),
+      B.functionFrame("spark.util.Utils$.tryWithSafeFinally", "Utils.scala",
+                      1360, Mod),
+      B.functionFrame("spark.scheduler.Task.run", "Task.scala", 123, Mod),
+      B.functionFrame("spark.scheduler.ShuffleMapTask.runTask",
+                      "ShuffleMapTask.scala", 99, Mod),
+  };
+}
+
+void addCost(ProfileBuilder &B, MetricId Cpu, std::vector<FrameId> Spine,
+             std::initializer_list<const char *> Tail, double Millis,
+             Rng &R) {
+  const char *Mod = "spark-assembly.jar";
+  uint32_t Line = 40;
+  for (const char *Name : Tail) {
+    Spine.push_back(B.functionFrame(Name, "", Line, Mod));
+    Line += 17;
+  }
+  B.addSample(Spine, Cpu, Millis * 1e6 * (1.0 + 0.03 * R.normal()));
+}
+
+} // namespace
+
+SparkWorkload generateSparkWorkload(const SparkOptions &Options) {
+  Rng R(Options.Seed);
+  SparkWorkload Out;
+
+  // ---- P1: RDD API run. Heavy iterator chains and shuffle writes.
+  {
+    ProfileBuilder B("spark-bench (RDD API)");
+    MetricId Cpu = B.addMetric("cpu-time", "nanoseconds");
+    std::vector<FrameId> Spine = executorSpine(B);
+
+    addCost(B, Cpu, Spine,
+            {"spark.shuffle.sort.BypassMergeSortShuffleWriter.write",
+             "scala.collection.Iterator$$anon$11.next",
+             "scala.collection.Iterator$$anon$10.next",
+             "com.ibm.sparktc.sparkbench.CartesianProduct.compute"},
+            5200, R);
+    addCost(B, Cpu, Spine,
+            {"spark.shuffle.sort.BypassMergeSortShuffleWriter.write",
+             "scala.collection.Iterator$$anon$11.next",
+             "spark.rdd.CartesianRDD.compute",
+             "spark.rdd.RDD.iterator",
+             "spark.rdd.MapPartitionsRDD.compute"},
+            4100, R);
+    addCost(B, Cpu, Spine,
+            {"spark.rdd.RDD.iterator",
+             "spark.rdd.MapPartitionsRDD.compute",
+             "scala.collection.Iterator$$anon$11.next",
+             "scala.collection.generic.Growable$class.$plus$plus$eq"},
+            2600, R);
+    addCost(B, Cpu, Spine,
+            {"spark.rdd.RDD.iterator", "spark.rdd.CartesianRDD.compute",
+             "spark.serializer.JavaSerializerInstance.serialize"},
+            1400, R);
+    // GC pressure from boxed rows.
+    addCost(B, Cpu, {B.functionFrame("GC Thread", "", 0, "jvm")},
+            {"G1ParScanThreadState.copy_to_survivor_space"}, 900, R);
+    Out.Rdd = B.take();
+  }
+
+  // ---- P2: SQL Dataset API run. WholeStage codegen, no wide shuffle.
+  {
+    ProfileBuilder B("spark-bench (SQL Dataset API)");
+    MetricId Cpu = B.addMetric("cpu-time", "nanoseconds");
+    std::vector<FrameId> Spine = executorSpine(B);
+
+    addCost(B, Cpu, Spine,
+            {"spark.sql.execution.WholeStageCodegenExec$$anon$1.hasNext",
+             "spark.sql.catalyst.expressions.GeneratedClass$GeneratedIterator"
+             ".processNext"},
+            2900, R);
+    addCost(B, Cpu, Spine,
+            {"spark.sql.execution.aggregate.HashAggregateExec.doExecute",
+             "spark.sql.execution.UnsafeRowSerializer.serialize"},
+            1100, R);
+    addCost(B, Cpu, Spine,
+            {"spark.rdd.RDD.iterator",
+             "spark.rdd.MapPartitionsRDD.compute",
+             "scala.collection.Iterator$$anon$11.next",
+             "scala.collection.generic.Growable$class.$plus$plus$eq"},
+            1900, R); // Shared context, cheaper here ([-]).
+    addCost(B, Cpu, {B.functionFrame("GC Thread", "", 0, "jvm")},
+            {"G1ParScanThreadState.copy_to_survivor_space"}, 350, R);
+    Out.Sql = B.take();
+  }
+  return Out;
+}
+
+} // namespace workload
+} // namespace ev

@@ -1,0 +1,42 @@
+//===- workload/SparkWorkload.h - Fig. 3 Spark differential study ---------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Synthesizes the paper's Fig. 3 differential case study: Async-Profiler
+/// CPU profiles of Spark running Spark-Bench, once with the RDD APIs (P1)
+/// and once with the SQL Dataset APIs (P2). P2 outperforms P1 because the
+/// SQL engine's generated code replaces the interpreted iterator chains
+/// and bypasses the costly shuffle of the RDD path — so in diff(P1, P2)
+/// the RDD iterator/shuffle contexts show as [D]/[-] and the SQL engine
+/// contexts as [A]/[+], under the common executor spine Fig. 3 displays.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EASYVIEW_WORKLOAD_SPARKWORKLOAD_H
+#define EASYVIEW_WORKLOAD_SPARKWORKLOAD_H
+
+#include "profile/Profile.h"
+
+#include <cstdint>
+
+namespace ev {
+namespace workload {
+
+struct SparkOptions {
+  uint64_t Seed = 17;
+};
+
+struct SparkWorkload {
+  Profile Rdd; ///< P1: RDD API run.
+  Profile Sql; ///< P2: SQL Dataset API run.
+};
+
+SparkWorkload generateSparkWorkload(const SparkOptions &Options = {});
+
+} // namespace workload
+} // namespace ev
+
+#endif // EASYVIEW_WORKLOAD_SPARKWORKLOAD_H

@@ -1,0 +1,59 @@
+//===- workload/SyntheticProfile.h - Size-scaled synthetic profiles -------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic generator of "industrial production software" profiles for
+/// the response-time experiment (paper Fig. 5, Appendix A2). The paper
+/// gleans PProf profiles from production Go services sized ~1MB to ~1GB;
+/// those are proprietary, so this generator synthesizes pprof files with
+/// matching structural statistics: deep stacks (10..60 frames), heavy
+/// prefix sharing (services have a few dispatch roots), Zipf-distributed
+/// function popularity, and Go-style symbol names whose length drives
+/// string-table weight.
+///
+/// generatePprofBytes() targets a serialized size in bytes so benchmark
+/// tiers are directly comparable with the paper's MB-scale x-axis.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EASYVIEW_WORKLOAD_SYNTHETICPROFILE_H
+#define EASYVIEW_WORKLOAD_SYNTHETICPROFILE_H
+
+#include "profile/Profile.h"
+#include "proto/PprofFormat.h"
+
+#include <cstdint>
+#include <string>
+
+namespace ev {
+namespace workload {
+
+struct SyntheticOptions {
+  uint64_t Seed = 1;
+  /// Target serialized pprof size. The generator stops adding samples once
+  /// its running size estimate reaches the target (actual size lands
+  /// within ~10%).
+  size_t TargetBytes = 1 << 20;
+  unsigned MinStackDepth = 8;
+  unsigned MaxStackDepth = 48;
+  /// Distinct functions = max(64, TargetBytes / BytesPerFunction).
+  size_t BytesPerFunction = 4096;
+};
+
+/// Builds the pprof object model for the synthetic service profile.
+pprof::PprofProfile generatePprofModel(const SyntheticOptions &Options);
+
+/// Serializes generatePprofModel() to profile.proto bytes.
+std::string generatePprofBytes(const SyntheticOptions &Options);
+
+/// Convenience: synthetic profile already in the generic representation
+/// (via the pprof converter, exactly the path the viewer takes).
+Profile generateSyntheticProfile(const SyntheticOptions &Options);
+
+} // namespace workload
+} // namespace ev
+
+#endif // EASYVIEW_WORKLOAD_SYNTHETICPROFILE_H

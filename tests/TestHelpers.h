@@ -1,0 +1,87 @@
+//===- tests/TestHelpers.h - Shared fixtures for the test suite -----------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef EASYVIEW_TESTS_TESTHELPERS_H
+#define EASYVIEW_TESTS_TESTHELPERS_H
+
+#include "profile/ProfileBuilder.h"
+#include "support/Rng.h"
+
+#include <string>
+#include <vector>
+
+namespace ev {
+namespace test {
+
+/// A small fixed profile used by many tests:
+///
+///   ROOT
+///    └─ main (app.cc:1, app)            excl 5
+///        ├─ parse (parse.cc:10, app)    excl 20
+///        └─ compute (comp.cc:20, app)   excl 10
+///            ├─ kernel (comp.cc:30, app)     excl 40
+///            └─ memcpy (<none>, libc.so)     excl 25
+///
+/// Metric 0 = "time" (ns). Total exclusive = 100.
+inline Profile makeFixedProfile() {
+  ProfileBuilder B("fixed");
+  MetricId Time = B.addMetric("time", "nanoseconds");
+  FrameId Main = B.functionFrame("main", "app.cc", 1, "app");
+  FrameId Parse = B.functionFrame("parse", "parse.cc", 10, "app");
+  FrameId Compute = B.functionFrame("compute", "comp.cc", 20, "app");
+  FrameId Kernel = B.functionFrame("kernel", "comp.cc", 30, "app");
+  FrameId Memcpy = B.functionFrame("memcpy", "", 0, "libc.so");
+
+  std::vector<FrameId> P;
+  P = {Main};
+  B.addSample(P, Time, 5);
+  P = {Main, Parse};
+  B.addSample(P, Time, 20);
+  P = {Main, Compute};
+  B.addSample(P, Time, 10);
+  P = {Main, Compute, Kernel};
+  B.addSample(P, Time, 40);
+  P = {Main, Compute, Memcpy};
+  B.addSample(P, Time, 25);
+  return B.take();
+}
+
+/// Deterministic random profile for property tests: \p Paths call paths of
+/// depth up to \p MaxDepth over a pool of \p Functions functions, two
+/// metrics ("time", "bytes") with non-negative values.
+inline Profile makeRandomProfile(uint64_t Seed, size_t Paths = 200,
+                                 unsigned MaxDepth = 12,
+                                 size_t Functions = 40) {
+  Rng R(Seed);
+  ProfileBuilder B("random-" + std::to_string(Seed));
+  MetricId Time = B.addMetric("time", "nanoseconds");
+  MetricId Bytes = B.addMetric("bytes", "bytes");
+
+  std::vector<FrameId> Pool;
+  for (size_t I = 0; I < Functions; ++I)
+    Pool.push_back(B.functionFrame(
+        "fn" + std::to_string(I), "file" + std::to_string(I % 7) + ".cc",
+        static_cast<uint32_t>(10 + I), "mod" + std::to_string(I % 3)));
+
+  std::vector<FrameId> Path;
+  for (size_t S = 0; S < Paths; ++S) {
+    Path.clear();
+    unsigned Depth = static_cast<unsigned>(R.range(1, MaxDepth));
+    for (unsigned D = 0; D < Depth; ++D)
+      Path.push_back(Pool[R.below(Pool.size())]);
+    NodeId Leaf = B.pushPath(Path);
+    if (R.chance(0.9))
+      B.addValue(Leaf, Time, static_cast<double>(R.range(1, 1000)));
+    if (R.chance(0.5))
+      B.addValue(Leaf, Bytes, static_cast<double>(R.range(1, 1 << 20)));
+  }
+  return B.take();
+}
+
+} // namespace test
+} // namespace ev
+
+#endif // EASYVIEW_TESTS_TESTHELPERS_H

@@ -1,0 +1,57 @@
+//===- tests/baseline_test.cpp - Fig. 5 baseline viewer tests -------------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baseline/GolandTreeTable.h"
+#include "baseline/PprofFlameView.h"
+
+#include "convert/Converters.h"
+#include "workload/SyntheticProfile.h"
+
+#include <gtest/gtest.h>
+
+using namespace ev;
+using namespace ev::baseline;
+
+namespace {
+
+std::string smallPprofBytes() {
+  workload::SyntheticOptions Opt;
+  Opt.TargetBytes = 64 << 10;
+  return workload::generatePprofBytes(Opt);
+}
+
+} // namespace
+
+TEST(PprofBaseline, MaterializesFullReport) {
+  Result<PprofViewResult> R = openWithPprofView(smallPprofBytes());
+  ASSERT_TRUE(R.ok()) << R.error();
+  EXPECT_GT(R->GraphNodes, 10u);
+  EXPECT_GT(R->GraphEdges, R->GraphNodes / 2);
+  EXPECT_GT(R->FlameFrames, 10u);
+  EXPECT_GT(R->ReportBytes, 1000u);
+}
+
+TEST(PprofBaseline, RejectsGarbage) {
+  EXPECT_FALSE(openWithPprofView(std::string(64, '\xff')).ok());
+}
+
+TEST(GolandBaseline, MaterializesEveryRow) {
+  std::string Bytes = smallPprofBytes();
+  Result<GolandViewResult> R = openWithGolandView(Bytes);
+  ASSERT_TRUE(R.ok()) << R.error();
+  Result<Profile> P = convert::fromPprof(Bytes);
+  ASSERT_TRUE(P.ok());
+  // One eager UI row per tree node. The plugin keys children by display
+  // name, so its tree is at most as large as the frame-keyed CCT (plus
+  // its own root).
+  EXPECT_GT(R->Rows, P->nodeCount() / 2);
+  EXPECT_LE(R->Rows, P->nodeCount() + 1);
+  EXPECT_GT(R->ModelBytes, R->Rows * 10);
+}
+
+TEST(GolandBaseline, RejectsGarbage) {
+  EXPECT_FALSE(openWithGolandView("nonsense").ok());
+}

@@ -1,0 +1,184 @@
+//===- tests/butterfly_test.cpp - Butterfly and thread-split tests --------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Butterfly.h"
+#include "analysis/MetricEngine.h"
+#include "analysis/ThreadSplit.h"
+
+#include "TestHelpers.h"
+#include "convert/Converters.h"
+
+#include <gtest/gtest.h>
+
+using namespace ev;
+
+//===----------------------------------------------------------------------===
+// Butterfly
+//===----------------------------------------------------------------------===
+
+TEST(Butterfly, CallersAndCalleesOfCompute) {
+  Profile P = test::makeFixedProfile();
+  ButterflyResult B = butterfly(P, "compute", 0);
+  EXPECT_EQ(B.Occurrences, 1u);
+  EXPECT_DOUBLE_EQ(B.TotalInclusive, 75.0);
+  EXPECT_DOUBLE_EQ(B.SelfExclusive, 10.0);
+
+  ASSERT_EQ(B.Callers.size(), 1u);
+  EXPECT_EQ(B.Callers[0].Name, "main");
+  EXPECT_DOUBLE_EQ(B.Callers[0].Value, 75.0);
+
+  ASSERT_EQ(B.Callees.size(), 3u); // kernel, memcpy, (self).
+  EXPECT_EQ(B.Callees[0].Name, "kernel");
+  EXPECT_DOUBLE_EQ(B.Callees[0].Value, 40.0);
+  EXPECT_EQ(B.Callees[1].Name, "memcpy");
+  EXPECT_EQ(B.Callees[2].Name, "(self)");
+  EXPECT_DOUBLE_EQ(B.Callees[2].Value, 10.0);
+}
+
+TEST(Butterfly, MultipleCallSitesMerge) {
+  ProfileBuilder Builder("multi");
+  MetricId M = Builder.addMetric("m", "count");
+  FrameId A = Builder.functionFrame("callerA");
+  FrameId C = Builder.functionFrame("callerB");
+  FrameId Hot = Builder.functionFrame("hot");
+  std::vector<FrameId> P1 = {A, Hot};
+  std::vector<FrameId> P2 = {C, Hot};
+  Builder.addSample(P1, M, 10);
+  Builder.addSample(P2, M, 30);
+  Profile P = Builder.take();
+
+  ButterflyResult B = butterfly(P, "hot", 0);
+  EXPECT_EQ(B.Occurrences, 2u);
+  EXPECT_DOUBLE_EQ(B.TotalInclusive, 40.0);
+  ASSERT_EQ(B.Callers.size(), 2u);
+  EXPECT_EQ(B.Callers[0].Name, "callerB"); // Hotter first.
+  EXPECT_DOUBLE_EQ(B.Callers[0].Value, 30.0);
+}
+
+TEST(Butterfly, RecursionCountedOnce) {
+  ProfileBuilder Builder("rec");
+  MetricId M = Builder.addMetric("m", "count");
+  FrameId Caller = Builder.functionFrame("entry");
+  FrameId Rec = Builder.functionFrame("rec");
+  std::vector<FrameId> Path = {Caller, Rec, Rec, Rec};
+  Builder.addSample(Path, M, 12);
+  Profile P = Builder.take();
+
+  ButterflyResult B = butterfly(P, "rec", 0);
+  EXPECT_EQ(B.Occurrences, 3u);
+  // Only the outermost occurrence counts toward the total.
+  EXPECT_DOUBLE_EQ(B.TotalInclusive, 12.0);
+  ASSERT_EQ(B.Callers.size(), 1u);
+  EXPECT_EQ(B.Callers[0].Name, "entry");
+  // Self-recursive callee edges fold away; only (self) remains.
+  ASSERT_EQ(B.Callees.size(), 1u);
+  EXPECT_EQ(B.Callees[0].Name, "(self)");
+  EXPECT_DOUBLE_EQ(B.Callees[0].Value, 12.0);
+}
+
+TEST(Butterfly, CallerAtRootIsProgramRoot) {
+  Profile P = test::makeFixedProfile();
+  ButterflyResult B = butterfly(P, "main", 0);
+  ASSERT_EQ(B.Callers.size(), 1u);
+  EXPECT_EQ(B.Callers[0].Name, "<program root>");
+}
+
+TEST(Butterfly, AbsentFunctionHasZeroOccurrences) {
+  Profile P = test::makeFixedProfile();
+  ButterflyResult B = butterfly(P, "nonexistent", 0);
+  EXPECT_EQ(B.Occurrences, 0u);
+  EXPECT_TRUE(B.Callers.empty());
+  EXPECT_TRUE(B.Callees.empty());
+}
+
+TEST(Butterfly, RenderTextShowsBothSides) {
+  Profile P = test::makeFixedProfile();
+  ButterflyResult B = butterfly(P, "compute", 0);
+  std::string Text = renderButterflyText(P, B, "nanoseconds");
+  EXPECT_NE(Text.find("callers:"), std::string::npos);
+  EXPECT_NE(Text.find("callees:"), std::string::npos);
+  EXPECT_NE(Text.find("kernel"), std::string::npos);
+  EXPECT_NE(Text.find("(self)"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===
+// Thread split
+//===----------------------------------------------------------------------===
+
+namespace {
+
+/// Two thread lanes plus a stray GC context outside any lane.
+Profile makeThreadedProfile() {
+  ProfileBuilder B("threaded");
+  MetricId M = B.addMetric("time", "nanoseconds");
+  FrameId T1 = B.frame(FrameKind::Thread, "worker-1", "", 0, "");
+  FrameId T2 = B.frame(FrameKind::Thread, "worker-2", "", 0, "");
+  FrameId Work = B.functionFrame("work", "w.cc", 5, "app");
+  FrameId Gc = B.functionFrame("gc", "", 0, "runtime");
+  std::vector<FrameId> P1 = {T1, Work};
+  std::vector<FrameId> P2 = {T2, Work};
+  std::vector<FrameId> P3 = {Gc};
+  B.addSample(P1, M, 10);
+  B.addSample(P2, M, 20);
+  B.addSample(P3, M, 3);
+  return B.take();
+}
+
+} // namespace
+
+TEST(ThreadSplit, DetectsLanes) {
+  EXPECT_TRUE(hasThreadLanes(makeThreadedProfile()));
+  EXPECT_FALSE(hasThreadLanes(test::makeFixedProfile()));
+}
+
+TEST(ThreadSplit, SplitsPerLanePlusStray) {
+  Profile P = makeThreadedProfile();
+  std::vector<Profile> Parts = splitByThread(P);
+  ASSERT_EQ(Parts.size(), 3u); // worker-1, worker-2, (no thread).
+  EXPECT_EQ(Parts[0].name(), "worker-1");
+  EXPECT_EQ(Parts[1].name(), "worker-2");
+  EXPECT_EQ(Parts[2].name(), "(no thread)");
+  EXPECT_DOUBLE_EQ(metricTotal(Parts[0], 0), 10.0);
+  EXPECT_DOUBLE_EQ(metricTotal(Parts[1], 0), 20.0);
+  EXPECT_DOUBLE_EQ(metricTotal(Parts[2], 0), 3.0);
+  for (const Profile &Part : Parts)
+    EXPECT_TRUE(Part.verify().ok());
+}
+
+TEST(ThreadSplit, TotalsConserve) {
+  Profile P = makeThreadedProfile();
+  std::vector<Profile> Parts = splitByThread(P);
+  double Sum = 0.0;
+  for (const Profile &Part : Parts)
+    Sum += metricTotal(Part, 0);
+  EXPECT_DOUBLE_EQ(Sum, metricTotal(P, 0));
+}
+
+TEST(ThreadSplit, NoLanesYieldsSingleCopy) {
+  Profile P = test::makeFixedProfile();
+  std::vector<Profile> Parts = splitByThread(P);
+  ASSERT_EQ(Parts.size(), 1u);
+  EXPECT_EQ(Parts[0].nodeCount(), P.nodeCount());
+  EXPECT_DOUBLE_EQ(metricTotal(Parts[0], 0), metricTotal(P, 0));
+}
+
+TEST(ThreadSplit, SpeedscopeMultiProfileSplitsBack) {
+  // A multi-thread speedscope file converts to thread lanes, which split
+  // back into the original per-thread profiles.
+  const char *Json = R"({
+    "shared": {"frames": [{"name": "f"}, {"name": "g"}]},
+    "profiles": [
+      {"type": "sampled", "name": "t1", "samples": [[0]], "weights": [4]},
+      {"type": "sampled", "name": "t2", "samples": [[1]], "weights": [6]}
+    ]
+  })";
+  Result<Profile> P = convert::fromSpeedscope(Json);
+  ASSERT_TRUE(P.ok()) << P.error();
+  std::vector<Profile> Parts = splitByThread(*P);
+  ASSERT_EQ(Parts.size(), 2u);
+  EXPECT_DOUBLE_EQ(metricTotal(Parts[0], 0), 4.0);
+  EXPECT_DOUBLE_EQ(metricTotal(Parts[1], 0), 6.0);
+}

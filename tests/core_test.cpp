@@ -1,0 +1,122 @@
+//===- tests/core_test.cpp - EasyViewEngine facade tests ------------------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/EasyView.h"
+
+#include "TestHelpers.h"
+#include "proto/EvProf.h"
+#include "workload/SyntheticProfile.h"
+
+#include <gtest/gtest.h>
+
+using namespace ev;
+
+TEST(Engine, OpensEvprofBytes) {
+  EasyViewEngine Engine;
+  std::string Bytes = writeEvProf(test::makeFixedProfile());
+  Result<int64_t> Id = Engine.openProfileBytes(Bytes, "fixed");
+  ASSERT_TRUE(Id.ok()) << Id.error();
+  ASSERT_NE(Engine.profile(*Id), nullptr);
+  EXPECT_EQ(Engine.profile(*Id)->name(), "fixed");
+  EXPECT_GE(Engine.lastOpenStats().totalMs(), 0.0);
+  EXPECT_GT(Engine.lastOpenStats().ParseMs, 0.0);
+}
+
+TEST(Engine, OpensPprofBytes) {
+  EasyViewEngine Engine;
+  workload::SyntheticOptions Opt;
+  Opt.TargetBytes = 32 << 10;
+  Result<int64_t> Id =
+      Engine.openProfileBytes(workload::generatePprofBytes(Opt), "svc");
+  ASSERT_TRUE(Id.ok()) << Id.error();
+  EXPECT_GT(Engine.profile(*Id)->nodeCount(), 10u);
+}
+
+TEST(Engine, OpensCollapsedText) {
+  EasyViewEngine Engine;
+  Result<int64_t> Id = Engine.openProfileBytes("main;a;b 5\nmain;c 2\n");
+  ASSERT_TRUE(Id.ok()) << Id.error();
+  EXPECT_EQ(Engine.profile(*Id)->nodeCount(), 5u);
+}
+
+TEST(Engine, OpenRejectsGarbage) {
+  EasyViewEngine Engine;
+  EXPECT_FALSE(Engine.openProfileBytes("???").ok());
+}
+
+TEST(Engine, FlameSvgAllShapes) {
+  EasyViewEngine Engine;
+  int64_t Id = Engine.addProfile(test::makeFixedProfile());
+  for (const char *Shape : {"top-down", "bottom-up", "flat"}) {
+    FlameRenderOptions Opt;
+    Opt.Shape = Shape;
+    Result<std::string> Svg = Engine.flameSvg(Id, Opt);
+    ASSERT_TRUE(Svg.ok()) << Shape << ": " << Svg.error();
+    EXPECT_NE(Svg->find("<svg"), std::string::npos) << Shape;
+  }
+  FlameRenderOptions Bad;
+  Bad.Shape = "spiral";
+  EXPECT_FALSE(Engine.flameSvg(Id, Bad).ok());
+}
+
+TEST(Engine, TreeTableAndSummary) {
+  EasyViewEngine Engine;
+  int64_t Id = Engine.addProfile(test::makeFixedProfile());
+  Result<std::string> Table = Engine.treeTableText(Id);
+  ASSERT_TRUE(Table.ok());
+  EXPECT_NE(Table->find("kernel"), std::string::npos);
+  Result<std::string> Summary = Engine.summaryText(Id);
+  ASSERT_TRUE(Summary.ok());
+  EXPECT_NE(Summary->find("contexts: 6"), std::string::npos);
+}
+
+TEST(Engine, QueryTransformsProfile) {
+  EasyViewEngine Engine;
+  int64_t Id = Engine.addProfile(test::makeFixedProfile());
+  Result<evql::QueryOutput> Out =
+      Engine.query(Id, "prune when name() == \"parse\"; print 1 + 1;");
+  ASSERT_TRUE(Out.ok()) << Out.error();
+  EXPECT_EQ(Out->Printed[0], "2");
+  for (NodeId N = 0; N < Out->Result.nodeCount(); ++N)
+    EXPECT_NE(Out->Result.nameOf(N), "parse");
+}
+
+TEST(Engine, AggregateAcrossStoredProfiles) {
+  EasyViewEngine Engine;
+  int64_t A = Engine.addProfile(test::makeFixedProfile());
+  int64_t B = Engine.addProfile(test::makeFixedProfile());
+  const int64_t Ids[] = {A, B};
+  Result<AggregatedProfile> Agg = Engine.aggregateProfiles(Ids);
+  ASSERT_TRUE(Agg.ok()) << Agg.error();
+  EXPECT_EQ(Agg->profileCount(), 2u);
+}
+
+TEST(Engine, DiffAcrossStoredProfiles) {
+  EasyViewEngine Engine;
+  int64_t A = Engine.addProfile(test::makeFixedProfile());
+  int64_t B = Engine.addProfile(test::makeFixedProfile());
+  Result<DiffResult> D = Engine.diff(A, B, 0);
+  ASSERT_TRUE(D.ok()) << D.error();
+  for (DiffTag Tag : D->Tags)
+    EXPECT_EQ(Tag, DiffTag::Common);
+  EXPECT_FALSE(Engine.diff(A, 999, 0).ok());
+  EXPECT_FALSE(Engine.diff(A, B, 99).ok());
+}
+
+TEST(Engine, IdeActionsReachStoredProfiles) {
+  EasyViewEngine Engine;
+  int64_t Id = Engine.addProfile(test::makeFixedProfile());
+  // Find the kernel node and click it through the embedded mock IDE.
+  const Profile *P = Engine.profile(Id);
+  NodeId Kernel = InvalidNode;
+  for (NodeId N = 0; N < P->nodeCount(); ++N)
+    if (P->nameOf(N) == "kernel")
+      Kernel = N;
+  Result<bool> Linked = Engine.ide().clickNode(Id, Kernel);
+  ASSERT_TRUE(Linked.ok());
+  EXPECT_TRUE(*Linked);
+  EXPECT_EQ(Engine.ide().navigations().back().File, "comp.cc");
+}

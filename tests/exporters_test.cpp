@@ -1,0 +1,136 @@
+//===- tests/exporters_test.cpp - Exporter round-trip tests ---------------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "convert/Converters.h"
+#include "convert/Exporters.h"
+
+#include "TestHelpers.h"
+#include "analysis/MetricEngine.h"
+
+#include <gtest/gtest.h>
+
+using namespace ev;
+using namespace ev::convert;
+
+namespace {
+
+NodeId findByName(const Profile &P, std::string_view Name) {
+  for (NodeId Id = 0; Id < P.nodeCount(); ++Id)
+    if (P.nameOf(Id) == Name)
+      return Id;
+  return InvalidNode;
+}
+
+} // namespace
+
+TEST(CollapsedExport, RoundTripConservesTotals) {
+  Profile P = test::makeFixedProfile();
+  std::string Text = toCollapsed(P, 0);
+  Result<Profile> Back = fromCollapsed(Text);
+  ASSERT_TRUE(Back.ok()) << Back.error();
+  // Collapsed carries integer counts; the fixed profile is integral.
+  EXPECT_DOUBLE_EQ(metricTotal(*Back, 0), metricTotal(P, 0));
+  EXPECT_EQ(Back->nodeCount(), P.nodeCount());
+}
+
+TEST(CollapsedExport, CarriesModuleAnnotations) {
+  Profile P = test::makeFixedProfile();
+  std::string Text = toCollapsed(P, 0);
+  EXPECT_NE(Text.find("memcpy (libc.so)"), std::string::npos);
+  EXPECT_NE(Text.find("main (app)"), std::string::npos);
+}
+
+TEST(CollapsedExport, DetectedAsCollapsed) {
+  Profile P = test::makeFixedProfile();
+  EXPECT_EQ(detectFormat(toCollapsed(P, 0)), Format::Collapsed);
+}
+
+TEST(SpeedscopeExport, RoundTripConservesTotals) {
+  Profile P = test::makeFixedProfile();
+  std::string Json = toSpeedscope(P, 0);
+  EXPECT_EQ(detectFormat(Json), Format::Speedscope);
+  Result<Profile> Back = fromSpeedscope(Json);
+  ASSERT_TRUE(Back.ok()) << Back.error();
+  EXPECT_DOUBLE_EQ(metricTotal(*Back, 0), metricTotal(P, 0));
+  EXPECT_EQ(Back->nodeCount(), P.nodeCount());
+  // Source attribution survives.
+  NodeId Kernel = findByName(*Back, "kernel");
+  ASSERT_NE(Kernel, InvalidNode);
+  EXPECT_EQ(Back->text(Back->frameOf(Kernel).Loc.File), "comp.cc");
+  EXPECT_EQ(Back->frameOf(Kernel).Loc.Line, 30u);
+}
+
+TEST(ChromeExport, RoundTripConservesTotals) {
+  Profile P = test::makeFixedProfile(); // "time" is in nanoseconds.
+  std::string Json = toChromeTrace(P, 0);
+  EXPECT_EQ(detectFormat(Json), Format::ChromeTrace);
+  Result<Profile> Back = fromChromeTrace(Json);
+  ASSERT_TRUE(Back.ok()) << Back.error();
+  EXPECT_NEAR(metricTotal(*Back, 0), metricTotal(P, 0), 1e-6);
+  // Nesting survives: kernel under compute.
+  NodeId Kernel = findByName(*Back, "kernel");
+  ASSERT_NE(Kernel, InvalidNode);
+  EXPECT_EQ(Back->nameOf(Back->node(Kernel).Parent), "compute");
+}
+
+TEST(PprofExport, RoundTripConservesEverything) {
+  Profile P = test::makeFixedProfile();
+  std::string Bytes = toPprof(P);
+  EXPECT_EQ(detectFormat(Bytes), Format::Pprof);
+  Result<Profile> Back = fromPprof(Bytes);
+  ASSERT_TRUE(Back.ok()) << Back.error();
+  EXPECT_DOUBLE_EQ(metricTotal(*Back, 0), metricTotal(P, 0));
+  EXPECT_EQ(Back->nodeCount(), P.nodeCount());
+  EXPECT_EQ(Back->metrics()[0].Name, "time");
+  NodeId Kernel = findByName(*Back, "kernel");
+  ASSERT_NE(Kernel, InvalidNode);
+  EXPECT_EQ(Back->nameOf(Back->node(Kernel).Parent), "compute");
+  EXPECT_EQ(Back->frameOf(Kernel).Loc.Line, 30u);
+  EXPECT_EQ(Back->text(Back->frameOf(Kernel).Loc.Module), "app");
+}
+
+TEST(PprofExport, MultiMetricSampleTypes) {
+  Profile P = test::makeRandomProfile(3);
+  pprof::PprofProfile Model = toPprofModel(P);
+  ASSERT_EQ(Model.SampleTypes.size(), 2u);
+  EXPECT_EQ(Model.text(Model.SampleTypes[0].Type), "time");
+  EXPECT_EQ(Model.text(Model.SampleTypes[1].Type), "bytes");
+  for (const pprof::Sample &S : Model.Samples)
+    EXPECT_EQ(S.Values.size(), 2u);
+}
+
+class ExportRoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ExportRoundTrip, PprofPreservesRandomProfiles) {
+  Profile P = test::makeRandomProfile(GetParam());
+  Result<Profile> Back = fromPprof(toPprof(P));
+  ASSERT_TRUE(Back.ok()) << Back.error();
+  // pprof carries samples, so contexts whose whole subtree recorded no
+  // values do not survive the trip; everything valued must.
+  EXPECT_LE(Back->nodeCount(), P.nodeCount());
+  size_t ValuedNodes = 0;
+  for (NodeId Id = 1; Id < P.nodeCount(); ++Id)
+    for (const MetricValue &MV : P.node(Id).Metrics)
+      if (MV.Value != 0.0) {
+        ++ValuedNodes;
+        break;
+      }
+  EXPECT_GE(Back->nodeCount(), ValuedNodes); // Paths at least cover these.
+  for (MetricId M = 0; M < P.metrics().size(); ++M)
+    EXPECT_NEAR(metricTotal(*Back, M), metricTotal(P, M),
+                1.0 * static_cast<double>(P.nodeCount()));
+  EXPECT_TRUE(Back->verify().ok());
+}
+
+TEST_P(ExportRoundTrip, SpeedscopePreservesRandomProfiles) {
+  Profile P = test::makeRandomProfile(GetParam());
+  Result<Profile> Back = fromSpeedscope(toSpeedscope(P, 0));
+  ASSERT_TRUE(Back.ok()) << Back.error();
+  EXPECT_NEAR(metricTotal(*Back, 0), metricTotal(P, 0), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExportRoundTrip,
+                         ::testing::Values(7, 19, 37, 71));

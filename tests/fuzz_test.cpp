@@ -1,0 +1,167 @@
+//===- tests/fuzz_test.cpp - Failure-injection robustness tests -----------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic fuzz-style checks: every loader must survive random
+/// bytes, truncations, and bit flips of valid inputs — returning an error
+/// or a verified profile, never crashing or producing an inconsistent
+/// tree. This backs the library's rule that untrusted input is reported,
+/// not asserted.
+///
+//===----------------------------------------------------------------------===//
+
+#include "convert/Converters.h"
+#include "proto/EvProf.h"
+#include "support/Json.h"
+#include "support/Rng.h"
+#include "support/Xml.h"
+
+#include "TestHelpers.h"
+#include "workload/LuleshWorkload.h"
+#include "workload/SyntheticProfile.h"
+
+#include <gtest/gtest.h>
+
+using namespace ev;
+
+namespace {
+
+std::string randomBytes(Rng &R, size_t Length) {
+  std::string Out(Length, '\0');
+  for (char &C : Out)
+    C = static_cast<char>(R.below(256));
+  return Out;
+}
+
+/// The loader contract under hostile input: error or verified profile.
+void expectSafe(Result<Profile> P) {
+  if (!P.ok())
+    return;
+  Result<bool> V = P->verify();
+  EXPECT_TRUE(V.ok()) << V.error();
+}
+
+} // namespace
+
+class FuzzSeed : public ::testing::TestWithParam<uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeed,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST_P(FuzzSeed, RandomBytesIntoEveryLoader) {
+  Rng R(GetParam());
+  for (int Round = 0; Round < 20; ++Round) {
+    std::string Bytes = randomBytes(R, 16 + R.below(512));
+    expectSafe(convert::load(Bytes));
+    expectSafe(readEvProf(Bytes));
+    expectSafe(convert::fromPprof(Bytes));
+    expectSafe(convert::fromCollapsed(Bytes));
+    expectSafe(convert::fromPerfScript(Bytes));
+    expectSafe(convert::fromChromeTrace(Bytes));
+    expectSafe(convert::fromSpeedscope(Bytes));
+    expectSafe(convert::fromHpctoolkit(Bytes));
+    expectSafe(convert::fromScalene(Bytes));
+    expectSafe(convert::fromPyinstrument(Bytes));
+    (void)json::parse(Bytes);
+    (void)xml::parse(Bytes);
+  }
+}
+
+TEST_P(FuzzSeed, TruncatedEvprof) {
+  Rng R(GetParam());
+  std::string Valid = writeEvProf(test::makeRandomProfile(GetParam()));
+  for (int Round = 0; Round < 30; ++Round) {
+    size_t Cut = R.below(Valid.size());
+    expectSafe(readEvProf(Valid.substr(0, Cut)));
+  }
+}
+
+TEST_P(FuzzSeed, BitFlippedEvprof) {
+  Rng R(GetParam());
+  std::string Valid = writeEvProf(test::makeRandomProfile(GetParam()));
+  for (int Round = 0; Round < 30; ++Round) {
+    std::string Mutated = Valid;
+    // Flip a handful of random bits past the magic.
+    for (int Flip = 0; Flip < 4; ++Flip) {
+      size_t At = EvProfMagic.size() +
+                  R.below(Mutated.size() - EvProfMagic.size());
+      Mutated[At] = static_cast<char>(Mutated[At] ^ (1 << R.below(8)));
+    }
+    expectSafe(readEvProf(Mutated));
+  }
+}
+
+TEST_P(FuzzSeed, BitFlippedPprof) {
+  Rng R(GetParam());
+  workload::SyntheticOptions Opt;
+  Opt.Seed = GetParam();
+  Opt.TargetBytes = 16 << 10;
+  std::string Valid = workload::generatePprofBytes(Opt);
+  for (int Round = 0; Round < 20; ++Round) {
+    std::string Mutated = Valid;
+    for (int Flip = 0; Flip < 4; ++Flip) {
+      size_t At = R.below(Mutated.size());
+      Mutated[At] = static_cast<char>(Mutated[At] ^ (1 << R.below(8)));
+    }
+    expectSafe(convert::fromPprof(Mutated));
+  }
+}
+
+TEST_P(FuzzSeed, MutatedJsonConverters) {
+  Rng R(GetParam());
+  const char *Valid = R"({
+    "shared": {"frames": [{"name": "f"}, {"name": "g"}]},
+    "profiles": [{"type": "sampled", "samples": [[0, 1]], "weights": [2]}]
+  })";
+  std::string Base = Valid;
+  for (int Round = 0; Round < 30; ++Round) {
+    std::string Mutated = Base;
+    size_t At = R.below(Mutated.size());
+    Mutated[At] = static_cast<char>(R.below(128));
+    expectSafe(convert::fromSpeedscope(Mutated));
+    expectSafe(convert::fromChromeTrace(Mutated));
+  }
+}
+
+TEST_P(FuzzSeed, MutatedHpctoolkitXml) {
+  Rng R(GetParam());
+  workload::LuleshOptions Opt;
+  Opt.Seed = GetParam();
+  std::string Valid = workload::generateLuleshExperimentXml(Opt);
+  for (int Round = 0; Round < 10; ++Round) {
+    std::string Mutated = Valid;
+    for (int Flip = 0; Flip < 3; ++Flip) {
+      size_t At = R.below(Mutated.size());
+      Mutated[At] = static_cast<char>(32 + R.below(95));
+    }
+    expectSafe(convert::fromHpctoolkit(Mutated));
+  }
+}
+
+TEST(Fuzz, EmptyInputsEverywhere) {
+  expectSafe(convert::load(""));
+  expectSafe(readEvProf(""));
+  expectSafe(convert::fromPprof(""));
+  expectSafe(convert::fromCollapsed(""));
+  expectSafe(convert::fromPerfScript(""));
+  expectSafe(convert::fromChromeTrace(""));
+  expectSafe(convert::fromSpeedscope(""));
+  expectSafe(convert::fromHpctoolkit(""));
+  expectSafe(convert::fromScalene(""));
+  expectSafe(convert::fromPyinstrument(""));
+}
+
+TEST(Fuzz, DeepJsonAndXmlDoNotOverflowStack) {
+  std::string DeepJson(100000, '[');
+  (void)json::parse(DeepJson); // Depth-limited.
+  std::string DeepXml;
+  for (int I = 0; I < 20000; ++I)
+    DeepXml += "<a>";
+  Result<std::unique_ptr<xml::Element>> X = xml::parse(DeepXml);
+  // Recursion depth equals element depth; builds must not crash. The
+  // document is unterminated, so it must fail.
+  EXPECT_FALSE(X.ok());
+}

@@ -1,0 +1,390 @@
+//===- tests/ide_test.cpp - JSON-RPC transport and PVP server tests -------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ide/JsonRpc.h"
+#include "ide/MockIde.h"
+#include "ide/PvpServer.h"
+
+#include "TestHelpers.h"
+#include "proto/EvProf.h"
+#include "support/Strings.h"
+
+#include <gtest/gtest.h>
+
+using namespace ev;
+
+//===----------------------------------------------------------------------===
+// JSON-RPC framing
+//===----------------------------------------------------------------------===
+
+TEST(JsonRpc, FrameAndPoll) {
+  json::Value Msg = rpc::makeRequest(1, "test/echo", json::Object());
+  std::string Wire = rpc::frame(Msg);
+  EXPECT_NE(Wire.find("Content-Length: "), std::string::npos);
+
+  rpc::MessageReader Reader;
+  Reader.feed(Wire);
+  auto Out = Reader.poll();
+  ASSERT_TRUE(Out.has_value());
+  EXPECT_EQ(Out->asObject().find("method")->asString(), "test/echo");
+  EXPECT_FALSE(Reader.poll().has_value());
+}
+
+TEST(JsonRpc, PartialFeedsBuffer) {
+  std::string Wire = rpc::frame(rpc::makeNotification("n", json::Object()));
+  rpc::MessageReader Reader;
+  // Feed byte by byte; only the final byte completes the message.
+  for (size_t I = 0; I < Wire.size(); ++I) {
+    Reader.feed(Wire.substr(I, 1));
+    if (I + 1 < Wire.size()) {
+      EXPECT_FALSE(Reader.poll().has_value());
+    }
+  }
+  EXPECT_TRUE(Reader.poll().has_value());
+}
+
+TEST(JsonRpc, MultipleMessagesInOneFeed) {
+  std::string Wire = rpc::frame(rpc::makeRequest(1, "a", json::Object())) +
+                     rpc::frame(rpc::makeRequest(2, "b", json::Object()));
+  rpc::MessageReader Reader;
+  Reader.feed(Wire);
+  auto First = Reader.poll();
+  auto Second = Reader.poll();
+  ASSERT_TRUE(First && Second);
+  EXPECT_EQ(First->asObject().find("method")->asString(), "a");
+  EXPECT_EQ(Second->asObject().find("method")->asString(), "b");
+}
+
+TEST(JsonRpc, MissingContentLengthFails) {
+  rpc::MessageReader Reader;
+  Reader.feed("Content-Type: application/json\r\n\r\n{}");
+  EXPECT_FALSE(Reader.poll().has_value());
+  EXPECT_TRUE(Reader.failed());
+}
+
+TEST(JsonRpc, BadJsonBodyFails) {
+  rpc::MessageReader Reader;
+  Reader.feed("Content-Length: 3\r\n\r\n{{{");
+  EXPECT_FALSE(Reader.poll().has_value());
+  EXPECT_TRUE(Reader.failed());
+}
+
+TEST(JsonRpc, ErrorResponseShape) {
+  json::Value E = rpc::makeErrorResponse(7, rpc::MethodNotFound, "nope");
+  const json::Object &Obj = E.asObject();
+  EXPECT_EQ(Obj.find("id")->asInt(), 7);
+  EXPECT_EQ(Obj.find("error")->asObject().find("code")->asInt(),
+            rpc::MethodNotFound);
+  EXPECT_EQ(Obj.find("error")->asObject().find("message")->asString(),
+            "nope");
+}
+
+//===----------------------------------------------------------------------===
+// PvpServer
+//===----------------------------------------------------------------------===
+
+namespace {
+
+class PvpTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    Profile P = test::makeFixedProfile();
+    Bytes = writeEvProf(P);
+    Result<int64_t> Id = Ide.openProfile("fixed.evprof", Bytes);
+    ASSERT_TRUE(Id.ok()) << Id.error();
+    ProfileId = *Id;
+  }
+
+  NodeId nodeNamed(std::string_view Name) {
+    const Profile *P = Ide.server().profile(ProfileId);
+    for (NodeId Id = 0; Id < P->nodeCount(); ++Id)
+      if (P->nameOf(Id) == Name)
+        return Id;
+    return InvalidNode;
+  }
+
+  MockIde Ide;
+  std::string Bytes;
+  int64_t ProfileId = 0;
+};
+
+} // namespace
+
+TEST_F(PvpTest, OpenReportsMetrics) {
+  Result<json::Value> R = Ide.call("pvp/open", [&] {
+    json::Object P;
+    P.set("name", "again");
+    P.set("dataBase64", base64Encode(Bytes));
+    return P;
+  }());
+  ASSERT_TRUE(R.ok()) << R.error();
+  EXPECT_EQ(R->asObject().find("nodes")->asInt(), 6);
+  EXPECT_EQ(R->asObject()
+                .find("metrics")
+                ->asArray()[0]
+                .asObject()
+                .find("name")
+                ->asString(),
+            "time");
+}
+
+TEST_F(PvpTest, OpenAcceptsInlineTextData) {
+  Result<json::Value> R = Ide.call("pvp/open", [] {
+    json::Object P;
+    P.set("name", "folded");
+    P.set("data", "main;work 5\n");
+    return P;
+  }());
+  ASSERT_TRUE(R.ok()) << R.error();
+  EXPECT_EQ(R->asObject().find("nodes")->asInt(), 3);
+}
+
+TEST_F(PvpTest, OpenRejectsGarbage) {
+  Result<json::Value> R = Ide.call("pvp/open", [] {
+    json::Object P;
+    P.set("data", "complete nonsense");
+    return P;
+  }());
+  EXPECT_FALSE(R.ok());
+}
+
+TEST_F(PvpTest, OpenRejectsBadBase64) {
+  Result<json::Value> R = Ide.call("pvp/open", [] {
+    json::Object P;
+    P.set("dataBase64", "!!!not-base64!!!");
+    return P;
+  }());
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.error().find("base64"), std::string::npos);
+}
+
+TEST_F(PvpTest, FlameShapes) {
+  for (const char *Shape : {"top-down", "bottom-up", "flat"}) {
+    Result<json::Value> R = Ide.call("pvp/flame", [&] {
+      json::Object P;
+      P.set("profile", ProfileId);
+      P.set("shape", Shape);
+      return P;
+    }());
+    ASSERT_TRUE(R.ok()) << Shape << ": " << R.error();
+    EXPECT_GT(R->asObject().find("rects")->asArray().size(), 1u) << Shape;
+    EXPECT_DOUBLE_EQ(R->asObject().find("total")->asNumber(), 100.0)
+        << Shape;
+  }
+}
+
+TEST_F(PvpTest, FlameRejectsUnknownShape) {
+  Result<json::Value> R = Ide.call("pvp/flame", [&] {
+    json::Object P;
+    P.set("profile", ProfileId);
+    P.set("shape", "sideways");
+    return P;
+  }());
+  EXPECT_FALSE(R.ok());
+}
+
+TEST_F(PvpTest, FlameRespectsMaxRects) {
+  Result<json::Value> R = Ide.call("pvp/flame", [&] {
+    json::Object P;
+    P.set("profile", ProfileId);
+    P.set("maxRects", 2);
+    return P;
+  }());
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R->asObject().find("rects")->asArray().size(), 2u);
+}
+
+TEST_F(PvpTest, CodeLinkMandatoryAction) {
+  Result<bool> Linked = Ide.clickNode(ProfileId, nodeNamed("kernel"));
+  ASSERT_TRUE(Linked.ok()) << Linked.error();
+  EXPECT_TRUE(*Linked);
+  ASSERT_EQ(Ide.navigations().size(), 1u);
+  EXPECT_EQ(Ide.navigations()[0].File, "comp.cc");
+  EXPECT_EQ(Ide.navigations()[0].Line, 30u);
+}
+
+TEST_F(PvpTest, CodeLinkUnavailableWithoutMapping) {
+  Result<bool> Linked = Ide.clickNode(ProfileId, nodeNamed("memcpy"));
+  ASSERT_TRUE(Linked.ok());
+  EXPECT_FALSE(*Linked);
+  EXPECT_TRUE(Ide.navigations().empty());
+}
+
+TEST_F(PvpTest, HoverListsAllMetrics) {
+  Result<std::string> Hover = Ide.hoverNode(ProfileId, nodeNamed("compute"));
+  ASSERT_TRUE(Hover.ok()) << Hover.error();
+  EXPECT_NE(Hover->find("compute"), std::string::npos);
+  EXPECT_NE(Hover->find("inclusive"), std::string::npos);
+  EXPECT_NE(Hover->find("exclusive"), std::string::npos);
+  EXPECT_NE(Hover->find("time"), std::string::npos);
+}
+
+TEST_F(PvpTest, CodeLensAggregatesPerLine) {
+  Result<json::Value> R = Ide.call("pvp/codeLens", [&] {
+    json::Object P;
+    P.set("profile", ProfileId);
+    P.set("file", "comp.cc");
+    return P;
+  }());
+  ASSERT_TRUE(R.ok()) << R.error();
+  const json::Array &Lenses = R->asObject().find("lenses")->asArray();
+  ASSERT_EQ(Lenses.size(), 2u); // Lines 20 (compute) and 30 (kernel).
+  EXPECT_EQ(Lenses[0].asObject().find("line")->asInt(), 20);
+  EXPECT_NE(Lenses[1].asObject().find("text")->stringOr("").find("time"),
+            std::string::npos);
+}
+
+TEST_F(PvpTest, SummaryAction) {
+  Result<json::Value> R = Ide.call("pvp/summary", [&] {
+    json::Object P;
+    P.set("profile", ProfileId);
+    return P;
+  }());
+  ASSERT_TRUE(R.ok());
+  EXPECT_NE(R->asObject().find("text")->asString().find("contexts: 6"),
+            std::string::npos);
+}
+
+TEST_F(PvpTest, SearchFindsNodes) {
+  Result<json::Value> R = Ide.call("pvp/search", [&] {
+    json::Object P;
+    P.set("profile", ProfileId);
+    P.set("pattern", "compute");
+    return P;
+  }());
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R->asObject().find("count")->asInt(), 1);
+}
+
+TEST_F(PvpTest, TreeTableReturnsRows) {
+  Result<json::Value> R = Ide.call("pvp/treeTable", [&] {
+    json::Object P;
+    P.set("profile", ProfileId);
+    return P;
+  }());
+  ASSERT_TRUE(R.ok());
+  EXPECT_GE(R->asObject().find("rows")->asArray().size(), 4u);
+  EXPECT_NE(R->asObject().find("text")->asString().find("kernel"),
+            std::string::npos);
+}
+
+TEST_F(PvpTest, AggregateAndHistogram) {
+  // Open the same bytes twice more, then aggregate all three.
+  int64_t Id2 = *Ide.openProfile("s2", Bytes);
+  int64_t Id3 = *Ide.openProfile("s3", Bytes);
+  Result<json::Value> Agg = Ide.call("pvp/aggregate", [&] {
+    json::Object P;
+    json::Array Ids;
+    Ids.push_back(ProfileId);
+    Ids.push_back(Id2);
+    Ids.push_back(Id3);
+    P.set("profiles", std::move(Ids));
+    return P;
+  }());
+  ASSERT_TRUE(Agg.ok()) << Agg.error();
+  int64_t AggId = Agg->asObject().find("profile")->asInt();
+  EXPECT_EQ(Agg->asObject().find("inputs")->asInt(), 3);
+
+  // Histogram of the kernel context across the three "snapshots".
+  const Profile *Merged = Ide.server().profile(AggId);
+  ASSERT_NE(Merged, nullptr);
+  NodeId Kernel = InvalidNode;
+  for (NodeId Id = 0; Id < Merged->nodeCount(); ++Id)
+    if (Merged->nameOf(Id) == "kernel")
+      Kernel = Id;
+  Result<json::Value> Hist = Ide.call("pvp/histogram", [&] {
+    json::Object P;
+    P.set("aggregate", AggId);
+    P.set("node", Kernel);
+    P.set("metric", 0);
+    return P;
+  }());
+  ASSERT_TRUE(Hist.ok()) << Hist.error();
+  const json::Array &Series = Hist->asObject().find("series")->asArray();
+  ASSERT_EQ(Series.size(), 3u);
+  EXPECT_DOUBLE_EQ(Series[0].asNumber(), 40.0);
+}
+
+TEST_F(PvpTest, DiffCountsTags) {
+  int64_t Id2 = *Ide.openProfile("other", Bytes);
+  Result<json::Value> R = Ide.call("pvp/diff", [&] {
+    json::Object P;
+    P.set("base", ProfileId);
+    P.set("test", Id2);
+    return P;
+  }());
+  ASSERT_TRUE(R.ok()) << R.error();
+  EXPECT_EQ(R->asObject().find("added")->asInt(), 0);
+  EXPECT_EQ(R->asObject().find("deleted")->asInt(), 0);
+}
+
+TEST_F(PvpTest, QueryRunsEvql) {
+  Result<json::Value> R = Ide.call("pvp/query", [&] {
+    json::Object P;
+    P.set("profile", ProfileId);
+    P.set("program", "derive x = 2 * exclusive(\"time\");"
+                     "print total(\"time\");");
+    return P;
+  }());
+  ASSERT_TRUE(R.ok()) << R.error();
+  EXPECT_EQ(R->asObject().find("printed")->asArray()[0].asString(), "100");
+  EXPECT_EQ(R->asObject().find("derived")->asArray()[0].asString(), "x");
+  int64_t NewId = R->asObject().find("profile")->asInt();
+  EXPECT_NE(Ide.server().profile(NewId), nullptr);
+}
+
+TEST_F(PvpTest, QuerySurfacesLanguageErrors) {
+  Result<json::Value> R = Ide.call("pvp/query", [&] {
+    json::Object P;
+    P.set("profile", ProfileId);
+    P.set("program", "derive x = metric(\"missing\");");
+    return P;
+  }());
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.error().find("missing"), std::string::npos);
+}
+
+TEST_F(PvpTest, UnknownMethodError) {
+  Result<json::Value> R = Ide.call("pvp/teleport", json::Object());
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.error().find("unknown method"), std::string::npos);
+}
+
+TEST_F(PvpTest, MissingProfileError) {
+  Result<json::Value> R = Ide.call("pvp/summary", [] {
+    json::Object P;
+    P.set("profile", 4242);
+    return P;
+  }());
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.error().find("4242"), std::string::npos);
+}
+
+TEST_F(PvpTest, CloseRemovesProfile) {
+  Result<json::Value> R = Ide.call("pvp/close", [&] {
+    json::Object P;
+    P.set("profile", ProfileId);
+    return P;
+  }());
+  ASSERT_TRUE(R.ok());
+  EXPECT_TRUE(R->asObject().find("closed")->asBool());
+  EXPECT_EQ(Ide.server().profile(ProfileId), nullptr);
+}
+
+TEST(PvpServerWire, BadFrameYieldsParseError) {
+  PvpServer Server;
+  std::string Out = Server.handleWire("Content-Length: 2\r\n\r\n!!");
+  EXPECT_NE(Out.find("-32700"), std::string::npos);
+}
+
+TEST(PvpServerWire, RequestWithoutMethodRejected) {
+  PvpServer Server;
+  json::Object Msg;
+  Msg.set("jsonrpc", "2.0");
+  Msg.set("id", 5);
+  std::string Out = Server.handleWire(rpc::frame(json::Value(Msg)));
+  EXPECT_NE(Out.find("-32600"), std::string::npos);
+}

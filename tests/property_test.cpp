@@ -1,0 +1,193 @@
+//===- tests/property_test.cpp - Randomized invariant tests ---------------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Property-style checks over randomized profiles (seed-parameterized):
+/// serialization round-trips, transform conservation laws, diff identities,
+/// aggregation identities, and flame-layout geometry invariants.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Aggregate.h"
+#include "analysis/Diff.h"
+#include "analysis/MetricEngine.h"
+#include "analysis/Prune.h"
+#include "analysis/Transform.h"
+#include "proto/EvProf.h"
+#include "render/FlameLayout.h"
+
+#include "TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+using namespace ev;
+
+class RandomProfileProperty : public ::testing::TestWithParam<uint64_t> {
+protected:
+  Profile P = test::makeRandomProfile(GetParam());
+};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomProfileProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55,
+                                           89, 144, 233));
+
+TEST_P(RandomProfileProperty, BuilderOutputVerifies) {
+  Result<bool> R = P.verify();
+  EXPECT_TRUE(R.ok()) << R.error();
+}
+
+TEST_P(RandomProfileProperty, EvprofRoundTripPreservesTotals) {
+  Result<Profile> Back = readEvProf(writeEvProf(P));
+  ASSERT_TRUE(Back.ok()) << Back.error();
+  EXPECT_EQ(Back->nodeCount(), P.nodeCount());
+  for (MetricId M = 0; M < P.metrics().size(); ++M)
+    EXPECT_DOUBLE_EQ(metricTotal(*Back, M), metricTotal(P, M));
+  EXPECT_TRUE(Back->verify().ok());
+}
+
+TEST_P(RandomProfileProperty, InclusiveAtLeastExclusive) {
+  // All generated values are non-negative, so inclusive >= exclusive.
+  for (MetricId M = 0; M < P.metrics().size(); ++M) {
+    MetricView View(P, M);
+    for (NodeId Id = 0; Id < P.nodeCount(); ++Id)
+      EXPECT_GE(View.inclusive(Id) + 1e-9, View.exclusive(Id));
+  }
+}
+
+TEST_P(RandomProfileProperty, InclusiveOfParentCoversChildren) {
+  MetricView View(P, 0);
+  for (NodeId Id = 0; Id < P.nodeCount(); ++Id) {
+    double ChildSum = 0.0;
+    for (NodeId Child : P.node(Id).Children)
+      ChildSum += View.inclusive(Child);
+    EXPECT_NEAR(View.inclusive(Id), ChildSum + View.exclusive(Id), 1e-6);
+  }
+}
+
+TEST_P(RandomProfileProperty, TransformsConserveTotals) {
+  double Total0 = metricTotal(P, 0);
+  double Total1 = metricTotal(P, 1);
+
+  Profile Down = topDownTree(P);
+  EXPECT_NEAR(metricTotal(Down, 0), Total0, 1e-6);
+  EXPECT_TRUE(Down.verify().ok());
+
+  Profile Up = bottomUpTree(P);
+  EXPECT_NEAR(metricTotal(Up, 0), Total0, 1e-6);
+  EXPECT_NEAR(metricTotal(Up, 1), Total1, 1e-6);
+  EXPECT_TRUE(Up.verify().ok());
+
+  Profile Flat = flatTree(P);
+  EXPECT_NEAR(metricTotal(Flat, 0), Total0, 1e-6);
+  EXPECT_TRUE(Flat.verify().ok());
+
+  Profile Collapsed = collapseRecursion(P);
+  EXPECT_NEAR(metricTotal(Collapsed, 0), Total0, 1e-6);
+  EXPECT_LE(Collapsed.nodeCount(), P.nodeCount());
+
+  Profile Limited = limitDepth(P, 4);
+  EXPECT_NEAR(metricTotal(Limited, 0), Total0, 1e-6);
+}
+
+TEST_P(RandomProfileProperty, BottomUpFirstLevelMatchesExclusiveByFrame) {
+  // Sum of exclusive values grouped by frame name == first-level inclusive
+  // values in the bottom-up tree.
+  std::map<std::string, double> ByName;
+  for (NodeId Id = 1; Id < P.nodeCount(); ++Id) {
+    double V = P.node(Id).metricOr(0);
+    if (V != 0.0)
+      ByName[std::string(P.nameOf(Id))] += V;
+  }
+  Profile Up = bottomUpTree(P);
+  MetricView View(Up, 0);
+  std::map<std::string, double> FirstLevel;
+  for (NodeId Child : Up.node(Up.root()).Children)
+    FirstLevel[std::string(Up.nameOf(Child))] += View.inclusive(Child);
+  for (const auto &[Name, Value] : ByName)
+    EXPECT_NEAR(FirstLevel[Name], Value, 1e-6) << Name;
+}
+
+TEST_P(RandomProfileProperty, PruneConservesAndShrinks) {
+  Profile Pruned = pruneByFraction(P, 0, 0.05);
+  EXPECT_NEAR(metricTotal(Pruned, 0), metricTotal(P, 0), 1e-6);
+  EXPECT_LE(Pruned.nodeCount(), P.nodeCount());
+  EXPECT_TRUE(Pruned.verify().ok());
+}
+
+TEST_P(RandomProfileProperty, SelfDiffIsAllCommon) {
+  DiffResult D = diffProfiles(P, P, 0);
+  for (NodeId Id = 0; Id < D.Merged.nodeCount(); ++Id) {
+    EXPECT_EQ(D.Tags[Id], DiffTag::Common);
+    EXPECT_NEAR(D.BaseInclusive[Id], D.TestInclusive[Id], 1e-9);
+  }
+}
+
+TEST_P(RandomProfileProperty, DiffDeltaDecomposes) {
+  Profile Q = test::makeRandomProfile(GetParam() + 1000);
+  DiffResult D = diffProfiles(P, Q, 0);
+  // Delta total == testTotal - baseTotal.
+  EXPECT_NEAR(metricTotal(D.Merged, D.DeltaMetric),
+              metricTotal(Q, 0) - metricTotal(P, 0), 1e-6);
+}
+
+TEST_P(RandomProfileProperty, AggregateOfSelfDoubles) {
+  const Profile *Inputs[] = {&P, &P};
+  AggregatedProfile Agg = aggregate(Inputs);
+  EXPECT_EQ(Agg.merged().nodeCount(), P.nodeCount());
+  EXPECT_NEAR(metricTotal(Agg.merged(), 0), 2.0 * metricTotal(P, 0), 1e-6);
+}
+
+TEST_P(RandomProfileProperty, AggregateSeriesSumToMergedValue) {
+  Profile Q = test::makeRandomProfile(GetParam() + 500);
+  const Profile *Inputs[] = {&P, &Q};
+  AggregatedProfile Agg = aggregate(Inputs);
+  const Profile &M = Agg.merged();
+  for (NodeId Id = 0; Id < M.nodeCount(); ++Id) {
+    std::vector<double> Series = Agg.perProfileExclusive(Id, 0);
+    if (Series.empty())
+      continue;
+    double Sum = 0.0;
+    for (double V : Series)
+      Sum += V;
+    EXPECT_NEAR(Sum, M.node(Id).metricOr(0), 1e-6);
+  }
+}
+
+TEST_P(RandomProfileProperty, FlameGeometryIsWellFormed) {
+  FlameGraph G(P, 0);
+  double Total = G.totalValue();
+  if (Total <= 0.0)
+    return;
+  for (const FlameRect &R : G.rects()) {
+    EXPECT_GE(R.X, -1e-12);
+    EXPECT_LE(R.X + R.Width, 1.0 + 1e-9);
+    EXPECT_GT(R.Width, 0.0);
+    EXPECT_GE(R.Value, 0.0);
+  }
+  // Rect count + culled count covers every node with inclusive > 0.
+  size_t NonZero = 0;
+  MetricView View(P, 0);
+  for (NodeId Id = 0; Id < P.nodeCount(); ++Id)
+    if (View.inclusive(Id) > 0.0)
+      ++NonZero;
+  EXPECT_LE(G.rects().size(), NonZero);
+}
+
+TEST_P(RandomProfileProperty, FilterKeepAllIsStructurePreserving) {
+  Profile F = filterNodes(P, [](const Profile &, NodeId) { return true; });
+  EXPECT_EQ(F.nodeCount(), P.nodeCount());
+  for (MetricId M = 0; M < P.metrics().size(); ++M)
+    EXPECT_NEAR(metricTotal(F, M), metricTotal(P, M), 1e-6);
+}
+
+TEST_P(RandomProfileProperty, CollapseRecursionIdempotent) {
+  Profile Once = collapseRecursion(P);
+  Profile Twice = collapseRecursion(Once);
+  EXPECT_EQ(Once.nodeCount(), Twice.nodeCount());
+  EXPECT_NEAR(metricTotal(Once, 0), metricTotal(Twice, 0), 1e-6);
+}

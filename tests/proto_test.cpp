@@ -1,0 +1,266 @@
+//===- tests/proto_test.cpp - .evprof and pprof codec tests ---------------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "proto/EvProf.h"
+#include "proto/PprofFormat.h"
+#include "support/ProtoWire.h"
+
+#include "TestHelpers.h"
+#include "analysis/MetricEngine.h"
+
+#include <gtest/gtest.h>
+
+using namespace ev;
+
+namespace {
+
+/// Structural equality useful for round-trip checks.
+void expectSameShape(const Profile &A, const Profile &B) {
+  ASSERT_EQ(A.nodeCount(), B.nodeCount());
+  ASSERT_EQ(A.metrics().size(), B.metrics().size());
+  for (MetricId M = 0; M < A.metrics().size(); ++M) {
+    EXPECT_EQ(A.metrics()[M], B.metrics()[M]);
+    EXPECT_DOUBLE_EQ(metricTotal(A, M), metricTotal(B, M));
+  }
+  for (NodeId Id = 0; Id < A.nodeCount(); ++Id) {
+    EXPECT_EQ(A.node(Id).Parent, B.node(Id).Parent);
+    EXPECT_EQ(A.nameOf(Id), B.nameOf(Id));
+    EXPECT_EQ(A.frameOf(Id).Loc.Line, B.frameOf(Id).Loc.Line);
+    EXPECT_EQ(A.text(A.frameOf(Id).Loc.File), B.text(B.frameOf(Id).Loc.File));
+    EXPECT_EQ(A.node(Id).Metrics.size(), B.node(Id).Metrics.size());
+  }
+  ASSERT_EQ(A.groups().size(), B.groups().size());
+  for (size_t G = 0; G < A.groups().size(); ++G) {
+    EXPECT_EQ(A.text(A.groups()[G].Kind), B.text(B.groups()[G].Kind));
+    EXPECT_EQ(A.groups()[G].Contexts, B.groups()[G].Contexts);
+    EXPECT_DOUBLE_EQ(A.groups()[G].Value, B.groups()[G].Value);
+  }
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===
+// .evprof
+//===----------------------------------------------------------------------===
+
+TEST(EvProf, MagicDetection) {
+  Profile P;
+  std::string Bytes = writeEvProf(P);
+  EXPECT_TRUE(isEvProf(Bytes));
+  EXPECT_FALSE(isEvProf("not a profile"));
+  EXPECT_FALSE(isEvProf(""));
+}
+
+TEST(EvProf, RoundTripEmptyProfile) {
+  Profile P;
+  P.setName("empty");
+  Result<Profile> Back = readEvProf(writeEvProf(P));
+  ASSERT_TRUE(Back.ok()) << Back.error();
+  EXPECT_EQ(Back->name(), "empty");
+  EXPECT_EQ(Back->nodeCount(), 1u);
+}
+
+TEST(EvProf, RoundTripFixedProfile) {
+  Profile P = test::makeFixedProfile();
+  Result<Profile> Back = readEvProf(writeEvProf(P));
+  ASSERT_TRUE(Back.ok()) << Back.error();
+  expectSameShape(P, *Back);
+  EXPECT_TRUE(Back->verify().ok());
+}
+
+TEST(EvProf, RoundTripMetricAggregationKinds) {
+  Profile P;
+  P.addMetric("a", "count", MetricAggregation::Sum);
+  P.addMetric("b", "bytes", MetricAggregation::Min);
+  P.addMetric("c", "bytes", MetricAggregation::Max);
+  P.addMetric("d", "bytes", MetricAggregation::Last);
+  Result<Profile> Back = readEvProf(writeEvProf(P));
+  ASSERT_TRUE(Back.ok()) << Back.error();
+  EXPECT_EQ(Back->metrics()[1].Aggregation, MetricAggregation::Min);
+  EXPECT_EQ(Back->metrics()[3].Aggregation, MetricAggregation::Last);
+}
+
+TEST(EvProf, RoundTripContextGroups) {
+  ProfileBuilder B("g");
+  MetricId M = B.addMetric("accesses", "count");
+  FrameId A = B.functionFrame("alloc", "a.cc", 1);
+  FrameId U = B.functionFrame("use", "a.cc", 2);
+  std::vector<FrameId> P1 = {A};
+  std::vector<FrameId> P2 = {U};
+  NodeId N1 = B.addSample(P1, M, 1);
+  NodeId N2 = B.addSample(P2, M, 2);
+  const NodeId Ctx[] = {N1, N2};
+  B.addGroup("reuse", Ctx, M, 123.0);
+  Profile P = B.take();
+
+  Result<Profile> Back = readEvProf(writeEvProf(P));
+  ASSERT_TRUE(Back.ok()) << Back.error();
+  expectSameShape(P, *Back);
+}
+
+TEST(EvProf, RejectsBadMagic) {
+  Result<Profile> R = readEvProf("XXPROF1\n\x01\x02");
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.error().find("magic"), std::string::npos);
+}
+
+TEST(EvProf, RejectsTruncatedBody) {
+  Profile P = test::makeFixedProfile();
+  std::string Bytes = writeEvProf(P);
+  Bytes.resize(Bytes.size() / 2);
+  EXPECT_FALSE(readEvProf(Bytes).ok());
+}
+
+TEST(EvProf, RejectsGarbageBody) {
+  std::string Bytes(EvProfMagic);
+  Bytes += std::string(64, '\xff');
+  EXPECT_FALSE(readEvProf(Bytes).ok());
+}
+
+TEST(EvProf, RejectsDanglingReferences) {
+  // Hand-craft a stream whose node references a frame out of range.
+  ProtoWriter W;
+  W.writeBytes(1, "bad");
+  W.writeBytes(2, ""); // string table: [""].
+  {
+    ProtoWriter NodeW; // Node 0 (root) referencing frame 5: out of range.
+    NodeW.writeVarint(2, 5);
+    W.writeBytes(5, NodeW.buffer());
+  }
+  std::string Bytes(EvProfMagic);
+  Bytes += W.buffer();
+  Result<Profile> R = readEvProf(Bytes);
+  ASSERT_FALSE(R.ok());
+}
+
+TEST(EvProf, RoundTripRandomProfiles) {
+  for (uint64_t Seed = 1; Seed <= 5; ++Seed) {
+    Profile P = test::makeRandomProfile(Seed);
+    Result<Profile> Back = readEvProf(writeEvProf(P));
+    ASSERT_TRUE(Back.ok()) << Back.error();
+    expectSameShape(P, *Back);
+  }
+}
+
+//===----------------------------------------------------------------------===
+// pprof profile.proto
+//===----------------------------------------------------------------------===
+
+namespace {
+
+pprof::PprofProfile makeSmallPprof() {
+  pprof::PprofProfile P;
+  P.StringTable = {"", "cpu", "nanoseconds", "main", "main.go", "leafFn",
+                   "leaf.go", "/bin/app"};
+  P.SampleTypes.push_back({1, 2});
+  P.Period = 10000000;
+  P.PeriodType = {1, 2};
+  P.Mappings.push_back({1, 0x400000, 0x500000, 0, 7, 0});
+  P.Functions.push_back({1, 3, 3, 4, 1});
+  P.Functions.push_back({2, 5, 5, 6, 10});
+  pprof::Location L1;
+  L1.Id = 1;
+  L1.MappingId = 1;
+  L1.Address = 0x401000;
+  L1.Lines.push_back({1, 5});
+  pprof::Location L2;
+  L2.Id = 2;
+  L2.MappingId = 1;
+  L2.Address = 0x402000;
+  L2.Lines.push_back({2, 20});
+  P.Locations.push_back(L1);
+  P.Locations.push_back(L2);
+  pprof::Sample S;
+  S.LocationIds = {2, 1}; // leaf-first: leafFn <- main.
+  S.Values = {250000};
+  P.Samples.push_back(S);
+  return P;
+}
+
+} // namespace
+
+TEST(Pprof, WriteReadRoundTrip) {
+  pprof::PprofProfile P = makeSmallPprof();
+  Result<pprof::PprofProfile> Back = pprof::read(pprof::write(P));
+  ASSERT_TRUE(Back.ok()) << Back.error();
+  EXPECT_EQ(Back->StringTable, P.StringTable);
+  ASSERT_EQ(Back->SampleTypes.size(), 1u);
+  EXPECT_EQ(Back->SampleTypes[0].Type, 1);
+  ASSERT_EQ(Back->Samples.size(), 1u);
+  EXPECT_EQ(Back->Samples[0].LocationIds, P.Samples[0].LocationIds);
+  EXPECT_EQ(Back->Samples[0].Values, P.Samples[0].Values);
+  ASSERT_EQ(Back->Locations.size(), 2u);
+  EXPECT_EQ(Back->Locations[0].Lines[0].FunctionId, 1u);
+  EXPECT_EQ(Back->Mappings[0].MemoryStart, 0x400000u);
+  EXPECT_EQ(Back->Period, 10000000);
+}
+
+TEST(Pprof, LabelsRoundTrip) {
+  pprof::PprofProfile P = makeSmallPprof();
+  pprof::Label L;
+  L.Key = 1;
+  L.Num = -5;
+  P.Samples[0].Labels.push_back(L);
+  Result<pprof::PprofProfile> Back = pprof::read(pprof::write(P));
+  ASSERT_TRUE(Back.ok()) << Back.error();
+  ASSERT_EQ(Back->Samples[0].Labels.size(), 1u);
+  EXPECT_EQ(Back->Samples[0].Labels[0].Num, -5);
+}
+
+TEST(Pprof, InternBuildsStringTable) {
+  pprof::PprofProfile P;
+  int64_t A = P.intern("x");
+  int64_t B = P.intern("x");
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(P.StringTable.size(), 2u);
+  EXPECT_EQ(P.text(A), "x");
+  EXPECT_EQ(P.text(999), "");
+}
+
+TEST(Pprof, UnpackedRepeatedVarintsAccepted) {
+  // Hand-encode a sample with unpacked location ids (wire type 0 repeated).
+  ProtoWriter SampleW;
+  SampleW.writeVarint(1, 2);
+  SampleW.writeVarint(1, 1);
+  SampleW.writeVarint(2, 7);
+  ProtoWriter W;
+  W.writeBytes(2, SampleW.buffer());
+  W.writeBytes(6, ""); // string_table[0] = "".
+  Result<pprof::PprofProfile> Back = pprof::read(W.buffer());
+  ASSERT_TRUE(Back.ok()) << Back.error();
+  ASSERT_EQ(Back->Samples.size(), 1u);
+  EXPECT_EQ(Back->Samples[0].LocationIds, (std::vector<uint64_t>{2, 1}));
+  EXPECT_EQ(Back->Samples[0].Values, (std::vector<int64_t>{7}));
+}
+
+TEST(Pprof, RejectsNonEmptyFirstString) {
+  ProtoWriter W;
+  W.writeBytes(6, "oops"); // string_table[0] must be "".
+  EXPECT_FALSE(pprof::read(W.buffer()).ok());
+}
+
+TEST(Pprof, RejectsMalformedStream) {
+  EXPECT_FALSE(pprof::read(std::string(32, '\xff')).ok());
+}
+
+TEST(Pprof, EmptyStreamYieldsEmptyProfile) {
+  Result<pprof::PprofProfile> Back = pprof::read("");
+  ASSERT_TRUE(Back.ok());
+  EXPECT_TRUE(Back->Samples.empty());
+  EXPECT_EQ(Back->StringTable.size(), 1u);
+}
+
+TEST(Pprof, UnknownFieldsSkipped) {
+  pprof::PprofProfile P = makeSmallPprof();
+  std::string Bytes = pprof::write(P);
+  ProtoWriter Extra;
+  Extra.writeBytes(15, "future extension");
+  Extra.writeVarint(20, 7);
+  Bytes += Extra.buffer();
+  Result<pprof::PprofProfile> Back = pprof::read(Bytes);
+  ASSERT_TRUE(Back.ok()) << Back.error();
+  EXPECT_EQ(Back->Samples.size(), 1u);
+}

@@ -1,0 +1,179 @@
+//===- tests/pvp_actions_test.cpp - Extended PVP method tests -------------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ide/MockIde.h"
+
+#include "TestHelpers.h"
+#include "convert/Converters.h"
+#include "proto/EvProf.h"
+#include "support/Strings.h"
+#include "workload/ReuseWorkload.h"
+
+#include <gtest/gtest.h>
+
+using namespace ev;
+
+namespace {
+
+class PvpActionsTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    Result<int64_t> Id = Ide.openProfile(
+        "fixed.evprof", writeEvProf(test::makeFixedProfile()));
+    ASSERT_TRUE(Id.ok()) << Id.error();
+    ProfileId = *Id;
+  }
+
+  Result<json::Value> call(const char *Method, json::Object Params) {
+    return Ide.call(Method, std::move(Params));
+  }
+
+  MockIde Ide;
+  int64_t ProfileId = 0;
+};
+
+} // namespace
+
+TEST_F(PvpActionsTest, TransformMaterializesShapes) {
+  for (const char *Shape :
+       {"top-down", "bottom-up", "flat", "collapse-recursion"}) {
+    json::Object P;
+    P.set("profile", ProfileId);
+    P.set("shape", Shape);
+    Result<json::Value> R = call("pvp/transform", std::move(P));
+    ASSERT_TRUE(R.ok()) << Shape << ": " << R.error();
+    int64_t NewId = R->asObject().find("profile")->asInt();
+    EXPECT_NE(Ide.server().profile(NewId), nullptr) << Shape;
+    EXPECT_GT(R->asObject().find("nodes")->asInt(), 1) << Shape;
+  }
+  json::Object Bad;
+  Bad.set("profile", ProfileId);
+  Bad.set("shape", "helix");
+  EXPECT_FALSE(call("pvp/transform", std::move(Bad)).ok());
+}
+
+TEST_F(PvpActionsTest, PruneRemovesColdContexts) {
+  json::Object P;
+  P.set("profile", ProfileId);
+  P.set("minFraction", 0.25);
+  Result<json::Value> R = call("pvp/prune", std::move(P));
+  ASSERT_TRUE(R.ok()) << R.error();
+  EXPECT_GT(R->asObject().find("removed")->asInt(), 0);
+  int64_t NewId = R->asObject().find("profile")->asInt();
+  const Profile *Pruned = Ide.server().profile(NewId);
+  ASSERT_NE(Pruned, nullptr);
+  for (NodeId Id = 0; Id < Pruned->nodeCount(); ++Id)
+    EXPECT_NE(Pruned->nameOf(Id), "parse");
+
+  json::Object Bad;
+  Bad.set("profile", ProfileId);
+  Bad.set("minFraction", 2.0);
+  EXPECT_FALSE(call("pvp/prune", std::move(Bad)).ok());
+}
+
+TEST_F(PvpActionsTest, ExportRoundTripsThroughOpen) {
+  for (const char *Fmt :
+       {"evprof", "pprof", "collapsed", "speedscope", "chrome"}) {
+    json::Object P;
+    P.set("profile", ProfileId);
+    P.set("format", Fmt);
+    Result<json::Value> R = call("pvp/export", std::move(P));
+    ASSERT_TRUE(R.ok()) << Fmt << ": " << R.error();
+    std::string Bytes;
+    ASSERT_TRUE(base64Decode(
+        std::string(R->asObject().find("dataBase64")->stringOr("")),
+        Bytes))
+        << Fmt;
+    EXPECT_EQ(Bytes.size(),
+              static_cast<size_t>(R->asObject().find("bytes")->asInt()));
+    // Exported bytes re-open through the data plane.
+    Result<int64_t> Again =
+        Ide.openProfile(std::string("again.") + Fmt, Bytes);
+    ASSERT_TRUE(Again.ok()) << Fmt << ": " << Again.error();
+  }
+  json::Object Bad;
+  Bad.set("profile", ProfileId);
+  Bad.set("format", "dot");
+  EXPECT_FALSE(call("pvp/export", std::move(Bad)).ok());
+}
+
+TEST_F(PvpActionsTest, ButterflyOverRpc) {
+  json::Object P;
+  P.set("profile", ProfileId);
+  P.set("function", "compute");
+  Result<json::Value> R = call("pvp/butterfly", std::move(P));
+  ASSERT_TRUE(R.ok()) << R.error();
+  const json::Object &Obj = R->asObject();
+  EXPECT_DOUBLE_EQ(Obj.find("totalInclusive")->asNumber(), 75.0);
+  EXPECT_EQ(Obj.find("callers")
+                ->asArray()[0]
+                .asObject()
+                .find("name")
+                ->asString(),
+            "main");
+  EXPECT_EQ(Obj.find("callees")
+                ->asArray()[0]
+                .asObject()
+                .find("name")
+                ->asString(),
+            "kernel");
+
+  json::Object Bad;
+  Bad.set("profile", ProfileId);
+  Bad.set("function", "nothing");
+  EXPECT_FALSE(call("pvp/butterfly", std::move(Bad)).ok());
+}
+
+TEST_F(PvpActionsTest, CorrelatedPanesOverRpc) {
+  workload::ReuseWorkload W = workload::generateReuseWorkload();
+  int64_t ReuseId = Ide.server().addProfile(std::move(W.P));
+
+  json::Object P;
+  P.set("profile", ReuseId);
+  P.set("kind", "reuse");
+  Result<json::Value> R = call("pvp/correlated", std::move(P));
+  ASSERT_TRUE(R.ok()) << R.error();
+  EXPECT_EQ(R->asObject().find("roles")->asInt(), 3);
+  const json::Array &Panes = R->asObject().find("panes")->asArray();
+  ASSERT_EQ(Panes.size(), 3u);
+  ASSERT_FALSE(Panes[0].asArray().empty());
+
+  // Select the hottest allocation via the RPC, narrowing the groups.
+  int64_t HotNode =
+      Panes[0].asArray()[0].asObject().find("node")->asInt();
+  json::Object P2;
+  P2.set("profile", ReuseId);
+  P2.set("kind", "reuse");
+  json::Array Select;
+  Select.push_back(HotNode);
+  P2.set("select", std::move(Select));
+  Result<json::Value> R2 = call("pvp/correlated", std::move(P2));
+  ASSERT_TRUE(R2.ok()) << R2.error();
+  EXPECT_EQ(R2->asObject().find("activeGroups")->asInt(), 1);
+  EXPECT_FALSE(
+      R2->asObject().find("panes")->asArray()[1].asArray().empty());
+
+  json::Object Bad;
+  Bad.set("profile", ReuseId);
+  Bad.set("kind", "race");
+  EXPECT_FALSE(call("pvp/correlated", std::move(Bad)).ok());
+}
+
+TEST_F(PvpActionsTest, TransformedProfileServesViews) {
+  // Chain: transform to bottom-up, then fetch its flame over RPC.
+  json::Object P;
+  P.set("profile", ProfileId);
+  P.set("shape", "bottom-up");
+  Result<json::Value> R = call("pvp/transform", std::move(P));
+  ASSERT_TRUE(R.ok());
+  int64_t UpId = R->asObject().find("profile")->asInt();
+
+  json::Object F;
+  F.set("profile", UpId);
+  Result<json::Value> Flame = call("pvp/flame", std::move(F));
+  ASSERT_TRUE(Flame.ok()) << Flame.error();
+  EXPECT_DOUBLE_EQ(Flame->asObject().find("total")->asNumber(), 100.0);
+}

@@ -1,0 +1,201 @@
+//===- tests/tool_test.cpp - evtool CLI driver tests ----------------------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tool/CliDriver.h"
+
+#include "TestHelpers.h"
+#include "proto/EvProf.h"
+#include "support/FileIo.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+using namespace ev;
+using namespace ev::tool;
+
+namespace {
+
+/// Writes fixture files into a per-test temp directory.
+class ToolTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    const ::testing::TestInfo *Info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    Dir = std::string("/tmp/evtool_test_") + Info->name();
+    std::string Cmd = "mkdir -p " + Dir;
+    ASSERT_EQ(std::system(Cmd.c_str()), 0);
+
+    Evprof = Dir + "/fixed.evprof";
+    ASSERT_TRUE(writeFile(Evprof, writeEvProf(test::makeFixedProfile()))
+                    .ok());
+    Folded = Dir + "/stacks.folded";
+    ASSERT_TRUE(
+        writeFile(Folded, "main;alpha;beta 10\nmain;gamma 5\n").ok());
+  }
+
+  int run(std::initializer_list<std::string> Args) {
+    Out.clear();
+    Err.clear();
+    return runEvTool(std::vector<std::string>(Args), Out, Err);
+  }
+
+  std::string Dir, Evprof, Folded;
+  std::string Out, Err;
+};
+
+} // namespace
+
+TEST_F(ToolTest, HelpAndUnknownCommand) {
+  EXPECT_EQ(run({"help"}), 0);
+  EXPECT_NE(Out.find("usage: evtool"), std::string::npos);
+  EXPECT_EQ(run({"frobnicate"}), 1);
+  EXPECT_NE(Err.find("unknown command"), std::string::npos);
+  EXPECT_EQ(run({}), 1);
+}
+
+TEST_F(ToolTest, InfoDescribesProfile) {
+  ASSERT_EQ(run({"info", Evprof}), 0) << Err;
+  EXPECT_NE(Out.find("format:   evprof"), std::string::npos);
+  EXPECT_NE(Out.find("contexts: 6"), std::string::npos);
+  EXPECT_NE(Out.find("metric:   time"), std::string::npos);
+}
+
+TEST_F(ToolTest, InfoAutoDetectsForeignFormats) {
+  ASSERT_EQ(run({"info", Folded}), 0) << Err;
+  EXPECT_NE(Out.find("format:   collapsed"), std::string::npos);
+}
+
+TEST_F(ToolTest, MissingFileFails) {
+  EXPECT_EQ(run({"info", Dir + "/nope.prof"}), 1);
+  EXPECT_NE(Err.find("cannot open"), std::string::npos);
+}
+
+TEST_F(ToolTest, SummaryListsHotspots) {
+  ASSERT_EQ(run({"summary", Evprof}), 0) << Err;
+  EXPECT_NE(Out.find("kernel"), std::string::npos);
+}
+
+TEST_F(ToolTest, FlameAnsiAllShapes) {
+  for (const char *Shape : {"top-down", "bottom-up", "flat"}) {
+    ASSERT_EQ(run({"flame", Evprof, "--shape", Shape}), 0)
+        << Shape << ": " << Err;
+    EXPECT_FALSE(Out.empty()) << Shape;
+  }
+  EXPECT_EQ(run({"flame", Evprof, "--shape", "spiral"}), 1);
+}
+
+TEST_F(ToolTest, FlameSvgWritesFile) {
+  std::string Svg = Dir + "/flame.svg";
+  ASSERT_EQ(run({"flame", Evprof, "--svg", Svg}), 0) << Err;
+  Result<std::string> Written = readFile(Svg);
+  ASSERT_TRUE(Written.ok());
+  EXPECT_NE(Written->find("<svg"), std::string::npos);
+  EXPECT_NE(Written->find("kernel"), std::string::npos);
+}
+
+TEST_F(ToolTest, TableShowsHotPath) {
+  ASSERT_EQ(run({"table", Evprof}), 0) << Err;
+  EXPECT_NE(Out.find("kernel"), std::string::npos);
+  EXPECT_NE(Out.find("incl/excl"), std::string::npos);
+}
+
+TEST_F(ToolTest, ConvertBetweenFormats) {
+  for (const char *To :
+       {"evprof", "pprof", "collapsed", "speedscope", "chrome"}) {
+    std::string Target = Dir + "/out." + To;
+    ASSERT_EQ(run({"convert", Folded, Target, "--to", To}), 0)
+        << To << ": " << Err;
+    // Everything except chrome re-opens through auto-detection; chrome
+    // re-opens too (the converter reads trace JSON).
+    ASSERT_EQ(run({"info", Target}), 0) << To << ": " << Err;
+  }
+  EXPECT_EQ(run({"convert", Folded, Dir + "/x", "--to", "dot"}), 1);
+}
+
+TEST_F(ToolTest, DiffPrintsTags) {
+  // Diff the profile against itself: all common, no [A]/[D].
+  ASSERT_EQ(run({"diff", Evprof, Evprof}), 0) << Err;
+  EXPECT_NE(Out.find("[=] ROOT"), std::string::npos);
+  EXPECT_EQ(Out.find("[A]"), std::string::npos);
+}
+
+TEST_F(ToolTest, AggregateWritesMergedProfile) {
+  std::string Target = Dir + "/agg.evprof";
+  ASSERT_EQ(run({"aggregate", Target, Evprof, Evprof}), 0) << Err;
+  ASSERT_EQ(run({"info", Target}), 0) << Err;
+  EXPECT_NE(Out.find("contexts: 6"), std::string::npos);
+  EXPECT_NE(Out.find("200"), std::string::npos); // Doubled total.
+}
+
+TEST_F(ToolTest, QueryInlineProgram) {
+  ASSERT_EQ(run({"query", Evprof, "--e",
+                 "print total(\"time\"); derive s = share(\"time\");"}),
+            0)
+      << Err;
+  EXPECT_NE(Out.find("100"), std::string::npos);
+  EXPECT_NE(Out.find("derived metrics: s"), std::string::npos);
+}
+
+TEST_F(ToolTest, QueryFromFileAndResultOutput) {
+  std::string Program = Dir + "/prog.evql";
+  ASSERT_TRUE(
+      writeFile(Program, "prune when name() == \"parse\";\n").ok());
+  std::string Target = Dir + "/pruned.evprof";
+  ASSERT_EQ(run({"query", Evprof, "--file", Program, "--out", Target}), 0)
+      << Err;
+  ASSERT_EQ(run({"info", Target}), 0) << Err;
+  EXPECT_NE(Out.find("contexts: 5"), std::string::npos);
+}
+
+TEST_F(ToolTest, QueryErrorsSurface) {
+  EXPECT_EQ(run({"query", Evprof, "--e", "print ("}), 1);
+  EXPECT_NE(Err.find("error"), std::string::npos);
+  EXPECT_EQ(run({"query", Evprof}), 1); // No program given.
+}
+
+TEST_F(ToolTest, ButterflyShowsCallersAndCallees) {
+  ASSERT_EQ(run({"butterfly", Evprof, "compute"}), 0) << Err;
+  EXPECT_NE(Out.find("callers:"), std::string::npos);
+  EXPECT_NE(Out.find("main"), std::string::npos);
+  EXPECT_NE(Out.find("kernel"), std::string::npos);
+  EXPECT_EQ(run({"butterfly", Evprof, "missingFn"}), 1);
+}
+
+TEST_F(ToolTest, ReportWritesHtml) {
+  std::string Target = Dir + "/report.html";
+  ASSERT_EQ(run({"report", Evprof, Target}), 0) << Err;
+  Result<std::string> Html = readFile(Target);
+  ASSERT_TRUE(Html.ok());
+  EXPECT_NE(Html->find("<!DOCTYPE html>"), std::string::npos);
+}
+
+TEST_F(ToolTest, AnnotateListsSourceLines) {
+  ASSERT_EQ(run({"annotate", Evprof, "comp.cc"}), 0) << Err;
+  EXPECT_NE(Out.find("line 20"), std::string::npos);
+  EXPECT_NE(Out.find("line 30"), std::string::npos);
+  EXPECT_NE(Out.find("time"), std::string::npos);
+  ASSERT_EQ(run({"annotate", Evprof, "unknown.cc"}), 0) << Err;
+  EXPECT_NE(Out.find("no profile data"), std::string::npos);
+}
+
+TEST_F(ToolTest, ConvertTauInput) {
+  std::string Tau = Dir + "/profile.0.0.0";
+  ASSERT_TRUE(writeFile(Tau,
+                        "2 templated_functions_MULTI_TIME\n"
+                        "\"main()\" 1 1 500 1500 0\n"
+                        "\"main() => calc()\" 3 0 1000 1000 0\n")
+                  .ok());
+  ASSERT_EQ(run({"info", Tau}), 0) << Err;
+  EXPECT_NE(Out.find("format:   tau"), std::string::npos);
+  ASSERT_EQ(run({"butterfly", Tau, "calc()"}), 0) << Err;
+  EXPECT_NE(Out.find("main()"), std::string::npos);
+}
+
+TEST_F(ToolTest, OptionWithoutValueFails) {
+  EXPECT_EQ(run({"flame", Evprof, "--shape"}), 1);
+  EXPECT_NE(Err.find("needs a value"), std::string::npos);
+}

@@ -1,0 +1,113 @@
+//===- tests/userstudy_test.cpp - User-study simulator tests --------------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "userstudy/UserSim.h"
+
+#include <gtest/gtest.h>
+
+using namespace ev;
+using namespace ev::userstudy;
+
+namespace {
+
+std::vector<std::vector<GroupOutcome>> runStudy() {
+  static std::vector<std::vector<GroupOutcome>> Table =
+      runControlGroups({});
+  return Table;
+}
+
+constexpr size_t TaskI = 0, TaskII = 1, TaskIII = 2;
+constexpr size_t EV = 0, GL = 1, PP = 2;
+
+} // namespace
+
+TEST(UserStudy, Deterministic) {
+  auto A = runControlGroups({});
+  auto B = runControlGroups({});
+  for (size_t T = 0; T < 3; ++T)
+    for (size_t L = 0; L < 3; ++L)
+      EXPECT_DOUBLE_EQ(A[T][L].MeanMinutes, B[T][L].MeanMinutes);
+}
+
+TEST(UserStudy, TaskIMatchesPaperShape) {
+  auto Table = runStudy();
+  // Paper: EasyView ~10, GoLand ~15, PProf ~30 minutes.
+  EXPECT_NEAR(Table[TaskI][EV].MeanMinutes, 10.0, 4.0);
+  EXPECT_NEAR(Table[TaskI][GL].MeanMinutes, 15.0, 5.0);
+  EXPECT_NEAR(Table[TaskI][PP].MeanMinutes, 30.0, 8.0);
+  EXPECT_LT(Table[TaskI][EV].MeanMinutes, Table[TaskI][GL].MeanMinutes);
+  EXPECT_LT(Table[TaskI][GL].MeanMinutes, Table[TaskI][PP].MeanMinutes);
+}
+
+TEST(UserStudy, TaskIIMatchesPaperShape) {
+  auto Table = runStudy();
+  // Paper: EasyView ~10 min, GoLand ~1 hour, PProf >3 hours.
+  EXPECT_NEAR(Table[TaskII][EV].MeanMinutes, 10.0, 5.0);
+  EXPECT_NEAR(Table[TaskII][GL].MeanMinutes, 60.0, 20.0);
+  EXPECT_GE(Table[TaskII][PP].MeanMinutes, 150.0);
+  EXPECT_EQ(Table[TaskII][EV].Completed, Table[TaskII][EV].Participants);
+}
+
+TEST(UserStudy, TaskIIIMatchesPaperShape) {
+  auto Table = runStudy();
+  // Paper: EasyView ~10 min; both control groups fail within 3 hours.
+  EXPECT_NEAR(Table[TaskIII][EV].MeanMinutes, 10.0, 6.0);
+  EXPECT_EQ(Table[TaskIII][EV].Completed,
+            Table[TaskIII][EV].Participants);
+  EXPECT_EQ(Table[TaskIII][GL].Completed, 0u);
+  EXPECT_EQ(Table[TaskIII][PP].Completed, 0u);
+  EXPECT_DOUBLE_EQ(Table[TaskIII][GL].MeanMinutes, 180.0);
+}
+
+TEST(UserStudy, EasyViewNeverLoses) {
+  auto Table = runStudy();
+  for (size_t T = 0; T < 3; ++T) {
+    EXPECT_LE(Table[T][EV].MeanMinutes, Table[T][GL].MeanMinutes);
+    EXPECT_LE(Table[T][EV].MeanMinutes, Table[T][PP].MeanMinutes);
+  }
+}
+
+TEST(UserStudy, BudgetCapsOutcomes) {
+  TaskOutcome O =
+      simulateParticipant(Tool::Pprof, Task::MultiProfileLeak, 1, 180.0);
+  EXPECT_FALSE(O.Completed);
+  EXPECT_DOUBLE_EQ(O.Minutes, 180.0);
+}
+
+TEST(UserStudy, NamesAreStable) {
+  EXPECT_EQ(toolName(Tool::EasyView), "EasyView");
+  EXPECT_EQ(toolName(Tool::Pprof), "PProf");
+  EXPECT_NE(taskName(Task::BottomUpAnalysis).find("bottom-up"),
+            std::string_view::npos);
+}
+
+TEST(ViewSurvey, FlameBeatsTreeAndTopDownLeads) {
+  std::vector<ViewVote> Votes = simulateViewSurvey();
+  ASSERT_EQ(Votes.size(), 6u);
+  auto Pct = [&](std::string_view Name) {
+    for (const ViewVote &V : Votes)
+      if (V.View == Name)
+        return V.Percent;
+    return -1.0;
+  };
+  // Fig. 8 shape: flame graphs beat the matching tree-table views, and
+  // top-down is the most helpful view in each family.
+  EXPECT_GT(Pct("flame top-down"), Pct("tree-table top-down"));
+  EXPECT_GT(Pct("flame bottom-up"), Pct("tree-table bottom-up"));
+  EXPECT_GT(Pct("flame flat"), Pct("tree-table flat"));
+  EXPECT_GT(Pct("flame top-down"), Pct("flame bottom-up"));
+  EXPECT_GT(Pct("flame bottom-up"), Pct("flame flat"));
+  EXPECT_GT(Pct("tree-table top-down"), Pct("tree-table bottom-up"));
+  // Headline: ~92% find the flame top-down view effective.
+  EXPECT_NEAR(Pct("flame top-down"), 92.3, 10.0);
+}
+
+TEST(ViewSurvey, DeterministicBySeed) {
+  auto A = simulateViewSurvey(5);
+  auto B = simulateViewSurvey(5);
+  for (size_t I = 0; I < A.size(); ++I)
+    EXPECT_DOUBLE_EQ(A[I].Percent, B[I].Percent);
+}

@@ -1,0 +1,29 @@
+//===- tools/evtool.cpp - EasyView command line ----------------------------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Thin main() around tool/CliDriver.h. Run `evtool help` for usage.
+///
+//===----------------------------------------------------------------------===//
+
+#include "tool/CliDriver.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+int main(int argc, char **argv) {
+  std::vector<std::string> Args;
+  for (int I = 1; I < argc; ++I)
+    Args.emplace_back(argv[I]);
+  std::string Out, Err;
+  int Code = ev::tool::runEvTool(Args, Out, Err);
+  if (!Out.empty())
+    std::fwrite(Out.data(), 1, Out.size(), stdout);
+  if (!Err.empty())
+    std::fwrite(Err.data(), 1, Err.size(), stderr);
+  return Code;
+}
