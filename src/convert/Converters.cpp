@@ -135,11 +135,19 @@ Format detectFormat(std::string_view Bytes, std::string_view NameHint) {
 }
 
 Result<Profile> load(std::string_view Bytes, std::string_view NameHint) {
+  return load(Bytes, NameHint, DecodeLimits::defaults());
+}
+
+Result<Profile> load(std::string_view Bytes, std::string_view NameHint,
+                     const DecodeLimits &Limits) {
+  if (Bytes.size() > Limits.MaxInputBytes)
+    return makeError("input of " + std::to_string(Bytes.size()) +
+                     " bytes exceeds the decode limit");
   Format F = detectFormat(Bytes, NameHint);
   Result<Profile> P = makeError("unrecognized profile format");
   switch (F) {
   case Format::EvProf:
-    P = readEvProf(Bytes);
+    P = readEvProf(Bytes, Limits);
     break;
   case Format::Pprof:
     P = fromPprof(Bytes);
@@ -171,6 +179,12 @@ Result<Profile> load(std::string_view Bytes, std::string_view NameHint) {
   case Format::Unknown:
     return makeError("unrecognized profile format");
   }
+  // Text converters bound their output by their input, but the check is
+  // cheap and makes the guarantee uniform across every format.
+  if (P && P->nodeCount() > Limits.MaxNodes)
+    return makeError("converted profile has " +
+                     std::to_string(P->nodeCount()) +
+                     " contexts, exceeding the decode limit");
   if (P && !NameHint.empty())
     P->setName(std::string(NameHint));
   return P;

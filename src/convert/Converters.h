@@ -27,6 +27,7 @@
 #define EASYVIEW_CONVERT_CONVERTERS_H
 
 #include "profile/Profile.h"
+#include "support/Limits.h"
 #include "support/Result.h"
 
 #include <string_view>
@@ -71,6 +72,13 @@ Result<Profile> fromTau(std::string_view Text);
 /// Detects the format of \p Bytes and converts. The returned profile's name
 /// is \p NameHint when provided.
 Result<Profile> load(std::string_view Bytes, std::string_view NameHint = "");
+
+/// Like load(), but metered against \p Limits: the raw input size is
+/// checked up front (every format), the .evprof decoder runs under the
+/// full budget, and any converted profile whose node count exceeds the
+/// budget is rejected rather than handed to the caller.
+Result<Profile> load(std::string_view Bytes, std::string_view NameHint,
+                     const DecodeLimits &Limits);
 
 } // namespace convert
 } // namespace ev

@@ -8,6 +8,9 @@
 
 #include "support/Strings.h"
 
+#include <algorithm>
+#include <limits>
+
 namespace ev {
 namespace rpc {
 
@@ -55,47 +58,129 @@ std::string frame(const json::Value &Payload) {
          Body;
 }
 
-std::optional<json::Value> MessageReader::poll() {
-  if (Failed)
-    return std::nullopt;
-  // Look for the end of the header block.
-  size_t HeaderEnd = Buffer.find("\r\n\r\n");
-  if (HeaderEnd == std::string::npos)
-    return std::nullopt;
+static constexpr std::string_view HeaderMarker = "Content-Length:";
 
-  size_t ContentLength = std::string::npos;
-  std::string_view Headers(Buffer.data(), HeaderEnd);
-  for (std::string_view Line : splitLines(Headers)) {
-    std::string_view Trimmed = trim(Line);
-    if (startsWith(Trimmed, "Content-Length:")) {
-      uint64_t Length;
-      if (!parseUnsigned(trim(Trimmed.substr(15)), Length)) {
-        Failed = true;
-        ErrorMessage = "invalid Content-Length header";
+void FrameReader::recordError(int Code, std::string Message) {
+  Errors.push_back({Code, std::move(Message)});
+}
+
+const std::string &FrameReader::errorMessage() const {
+  static const std::string Empty;
+  return Errors.empty() ? Empty : Errors.back().Message;
+}
+
+std::vector<FrameError> FrameReader::takeErrors() {
+  std::vector<FrameError> Out;
+  Out.swap(Errors);
+  return Out;
+}
+
+void FrameReader::resync(size_t From) {
+  ++Resyncs;
+  size_t Next = Buffer.find(HeaderMarker, std::min(From, Buffer.size()));
+  if (Next == std::string::npos) {
+    // No candidate header yet. Keep only a marker-sized tail so a header
+    // split across feeds still matches, and drop the rest.
+    size_t Keep = std::min(Buffer.size(), HeaderMarker.size() - 1);
+    Dropped += Buffer.size() - Keep;
+    Buffer.erase(0, Buffer.size() - Keep);
+    return;
+  }
+  Dropped += Next;
+  Buffer.erase(0, Next);
+}
+
+std::optional<json::Value> FrameReader::poll() {
+  for (;;) {
+    // First discard any oversized body still in flight; its bytes are
+    // consumed as they arrive and never accumulate.
+    if (SkipRemaining > 0) {
+      size_t Chunk = std::min(SkipRemaining, Buffer.size());
+      Buffer.erase(0, Chunk);
+      Dropped += Chunk;
+      SkipRemaining -= Chunk;
+      if (SkipRemaining > 0)
         return std::nullopt;
-      }
-      ContentLength = static_cast<size_t>(Length);
     }
-    // Content-Type headers are tolerated and ignored.
-  }
-  if (ContentLength == std::string::npos) {
-    Failed = true;
-    ErrorMessage = "missing Content-Length header";
-    return std::nullopt;
-  }
-  size_t BodyStart = HeaderEnd + 4;
-  if (Buffer.size() - BodyStart < ContentLength)
-    return std::nullopt; // Body not fully buffered yet.
 
-  std::string_view Body(Buffer.data() + BodyStart, ContentLength);
-  Result<json::Value> Doc = json::parse(Body);
-  Buffer.erase(0, BodyStart + ContentLength);
-  if (!Doc) {
-    Failed = true;
-    ErrorMessage = Doc.error();
-    return std::nullopt;
+    // Look for the end of the header block.
+    size_t HeaderEnd = Buffer.find("\r\n\r\n");
+    if (HeaderEnd == std::string::npos) {
+      if (Buffer.size() > Opts.MaxHeaderBytes) {
+        recordError(ParseError, "unterminated header block");
+        resync(1);
+        continue;
+      }
+      return std::nullopt;
+    }
+
+    size_t ContentLength = std::string::npos;
+    bool BadHeader = false;
+    std::string HeaderDiag;
+    std::string_view Headers(Buffer.data(), HeaderEnd);
+    for (std::string_view Line : splitLines(Headers)) {
+      std::string_view Trimmed = trim(Line);
+      if (startsWith(Trimmed, HeaderMarker)) {
+        std::string_view Num = trim(Trimmed.substr(HeaderMarker.size()));
+        uint64_t Length;
+        if (startsWith(Num, "-")) {
+          BadHeader = true;
+          HeaderDiag = "negative Content-Length";
+        } else if (!parseUnsigned(Num, Length) ||
+                   Length > std::numeric_limits<size_t>::max() / 2) {
+          // parseUnsigned rejects overflowing values; the explicit half-
+          // range check also refuses lengths no buffer could ever hold.
+          BadHeader = true;
+          HeaderDiag = "invalid Content-Length header";
+        } else {
+          ContentLength = static_cast<size_t>(Length);
+        }
+      }
+      // Content-Type headers are tolerated and ignored.
+    }
+    if (BadHeader || ContentLength == std::string::npos) {
+      recordError(ParseError, BadHeader ? HeaderDiag
+                                        : "missing Content-Length header");
+      // The body length is unknowable. A valid header may be glued onto
+      // junk inside this very block (stray bytes ahead of the next frame
+      // make its first line unrecognizable) — realign on an embedded
+      // marker if one exists, otherwise discard the block wholesale.
+      size_t Embedded = Buffer.find(HeaderMarker, 1);
+      if (Embedded != std::string::npos && Embedded < HeaderEnd) {
+        ++Resyncs;
+        Dropped += Embedded;
+        Buffer.erase(0, Embedded);
+      } else {
+        Dropped += HeaderEnd + 4;
+        Buffer.erase(0, HeaderEnd + 4);
+        resync(0);
+      }
+      continue;
+    }
+    if (ContentLength > Opts.MaxFrameBytes) {
+      recordError(RequestTooLarge,
+                  "frame of " + std::to_string(ContentLength) +
+                      " bytes exceeds the " +
+                      std::to_string(Opts.MaxFrameBytes) + " byte cap");
+      Dropped += HeaderEnd + 4;
+      Buffer.erase(0, HeaderEnd + 4);
+      SkipRemaining = ContentLength;
+      continue;
+    }
+    size_t BodyStart = HeaderEnd + 4;
+    if (Buffer.size() - BodyStart < ContentLength)
+      return std::nullopt; // Body not fully buffered yet.
+
+    std::string_view Body(Buffer.data() + BodyStart, ContentLength);
+    Result<json::Value> Doc = json::parse(Body);
+    Buffer.erase(0, BodyStart + ContentLength);
+    if (!Doc) {
+      // One bad body costs one error; the stream stays usable.
+      recordError(ParseError, Doc.error());
+      continue;
+    }
+    return Doc.take();
   }
-  return Doc.take();
 }
 
 } // namespace rpc

@@ -23,17 +23,21 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace ev {
 namespace rpc {
 
-/// Standard JSON-RPC error codes (the LSP subset this server uses).
+/// Standard JSON-RPC error codes (the LSP subset this server uses), plus
+/// the server-defined range (-32000..-32099) for transport guardrails.
 enum ErrorCode : int {
   ParseError = -32700,
   InvalidRequest = -32600,
   MethodNotFound = -32601,
   InvalidParams = -32602,
   InternalError = -32603,
+  RequestTooLarge = -32000, ///< Frame exceeded the configured size cap.
+  RequestTimeout = -32001,  ///< Request exceeded its soft deadline.
 };
 
 /// Builds a request payload.
@@ -52,25 +56,79 @@ json::Value makeErrorResponse(int64_t Id, int Code, std::string_view Message);
 /// Wraps \p Payload with the Content-Length header framing.
 std::string frame(const json::Value &Payload);
 
+/// Tuning knobs for FrameReader's guardrails.
+struct FrameReaderOptions {
+  /// Largest Content-Length the reader buffers. Announced bodies above
+  /// this are skipped byte-for-byte as they arrive (never accumulated), so
+  /// a hostile header cannot make the reader hold gigabytes.
+  size_t MaxFrameBytes = 16u << 20;
+  /// Largest unterminated header block tolerated before the reader
+  /// declares the prefix garbage and resynchronizes.
+  size_t MaxHeaderBytes = 8u << 10;
+};
+
+/// A recoverable framing error, reported alongside (not instead of) the
+/// messages that follow it on the wire.
+struct FrameError {
+  int Code = ParseError;
+  std::string Message;
+};
+
 /// Incremental deframer: feed bytes as they arrive, poll complete
 /// messages.
-class MessageReader {
+///
+/// The reader is session-survivable: a corrupt frame — bad or missing
+/// Content-Length, oversized announcement, malformed JSON body — is
+/// reported through takeErrors() and the reader *resynchronizes* to the
+/// next plausible "Content-Length:" header instead of failing permanently.
+/// One poisoned frame therefore costs one error response, never the
+/// session.
+class FrameReader {
 public:
+  FrameReader() = default;
+  explicit FrameReader(FrameReaderOptions Opts) : Opts(Opts) {}
+
   /// Appends raw bytes from the wire.
   void feed(std::string_view Bytes) { Buffer.append(Bytes); }
 
-  /// \returns the next complete JSON payload, if one is buffered. Parse
-  /// failures set failed().
+  /// \returns the next complete JSON payload, if one is buffered. Framing
+  /// and parse failures are queued as FrameErrors and the reader keeps
+  /// scanning for the next valid frame.
   std::optional<json::Value> poll();
 
-  bool failed() const { return Failed; }
-  const std::string &errorMessage() const { return ErrorMessage; }
+  /// Drains the errors recorded since the last call.
+  std::vector<FrameError> takeErrors();
+
+  /// \returns true while recorded errors are pending (not yet drained).
+  bool failed() const { return !Errors.empty(); }
+  /// The most recent pending error message ("" when none).
+  const std::string &errorMessage() const;
+
+  /// Number of resynchronization events since construction.
+  size_t resyncCount() const { return Resyncs; }
+  /// Bytes discarded while resynchronizing or skipping oversized bodies.
+  size_t droppedBytes() const { return Dropped; }
+  /// Bytes currently buffered (bounded by the options).
+  size_t bufferedBytes() const { return Buffer.size(); }
+
+  const FrameReaderOptions &options() const { return Opts; }
 
 private:
+  void recordError(int Code, std::string Message);
+  /// Drops the corrupt prefix and realigns the buffer on the next
+  /// "Content-Length:" occurrence at or past \p From.
+  void resync(size_t From);
+
+  FrameReaderOptions Opts;
   std::string Buffer;
-  bool Failed = false;
-  std::string ErrorMessage;
+  std::vector<FrameError> Errors;
+  size_t SkipRemaining = 0; ///< Oversized-body bytes still to discard.
+  size_t Resyncs = 0;
+  size_t Dropped = 0;
 };
+
+/// Historical name for FrameReader, kept for in-tree users.
+using MessageReader = FrameReader;
 
 } // namespace rpc
 } // namespace ev

@@ -23,7 +23,36 @@
 #include "render/TreeTable.h"
 #include "support/Strings.h"
 
+#include <algorithm>
+#include <chrono>
+
 namespace ev {
+
+namespace {
+
+/// The exact diagnostic a handler returns when it bails on the deadline;
+/// dispatch() maps it to the RequestTimeout error code.
+constexpr const char *DeadlineDiag = "request deadline exceeded";
+
+uint64_t steadyNowMs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+} // namespace
+
+PvpServer::PvpServer(ServerLimits Limits)
+    : Limits(Limits), Reader(Limits.Wire), NowMs(steadyNowMs) {}
+
+void PvpServer::setClock(std::function<uint64_t()> Clock) {
+  NowMs = Clock ? std::move(Clock) : steadyNowMs;
+}
+
+bool PvpServer::deadlineExpired() const {
+  return RequestDeadline != 0 && NowMs() > RequestDeadline;
+}
 
 int64_t PvpServer::addProfile(Profile P) {
   int64_t Id = NextId++;
@@ -94,13 +123,29 @@ Result<json::Value> PvpServer::doOpen(const json::Object &Params) {
     Bytes = DataV->asString();
   } else if (const json::Value *B64 = Params.find("dataBase64");
              B64 && B64->isString()) {
+    if (B64->asString().size() / 4 * 3 > Limits.MaxOpenBytes)
+      return makeError("profile payload exceeds the open size limit");
     if (!base64Decode(B64->asString(), Bytes))
       return makeError("invalid base64 in 'dataBase64'");
+  } else if (const json::Value *PathV = Params.find("path");
+             PathV && PathV->isString()) {
+    // File loads retry with bounded exponential backoff: an editor saving
+    // over the profile mid-read is transient, not fatal.
+    Result<std::string> Read =
+        readFileWithRetry(PathV->asString(), Limits.OpenRetry);
+    if (!Read)
+      return makeError(Read.error());
+    Bytes = Read.take();
+    if (NameV == nullptr)
+      Name = PathV->asString();
   } else {
-    return makeError("pvp/open needs 'data' or 'dataBase64'");
+    return makeError("pvp/open needs 'data', 'dataBase64', or 'path'");
   }
+  if (Bytes.size() > Limits.MaxOpenBytes)
+    return makeError("profile payload of " + std::to_string(Bytes.size()) +
+                     " bytes exceeds the open size limit");
 
-  Result<Profile> P = convert::load(Bytes, Name);
+  Result<Profile> P = convert::load(Bytes, Name, Limits.Decode);
   if (!P)
     return makeError(P.error());
   Result<bool> Ok = P->verify();
@@ -163,7 +208,10 @@ Result<json::Value> PvpServer::doFlame(const json::Object &Params) {
 
   size_t MaxRects = 4096;
   if (const json::Value *MR = Params.find("maxRects"); MR && MR->isNumber())
-    MaxRects = static_cast<size_t>(MR->asInt());
+    MaxRects = MR->asInt() < 0 ? 0 : static_cast<size_t>(MR->asInt());
+  // Oversized budgets degrade to the server ceiling rather than erroring:
+  // the reply is marked truncated and stays renderable.
+  MaxRects = std::min(MaxRects, Limits.MaxFlameRects);
 
   FlameGraph Graph(*View, *Metric);
   json::Object Out;
@@ -174,6 +222,8 @@ Result<json::Value> PvpServer::doFlame(const json::Object &Params) {
   for (const FlameRect &R : Graph.rects()) {
     if (Rects.size() >= MaxRects)
       break;
+    if ((Rects.size() & 1023) == 0 && deadlineExpired())
+      return makeError(DeadlineDiag);
     json::Object RO;
     RO.set("node", R.Node);
     RO.set("depth", R.Depth);
@@ -184,6 +234,8 @@ Result<json::Value> PvpServer::doFlame(const json::Object &Params) {
     RO.set("color", toHexColor(R.Color));
     Rects.push_back(std::move(RO));
   }
+  Out.set("truncated", Graph.rects().size() > Rects.size());
+  Out.set("droppedRects", Graph.rects().size() - Rects.size());
   Out.set("rects", std::move(Rects));
   return json::Value(std::move(Out));
 }
@@ -204,7 +256,15 @@ Result<json::Value> PvpServer::doTreeTable(const json::Object &Params) {
   }
   json::Object Out;
   json::Array Rows;
+  size_t Total = 0;
   for (const TreeTableRow &Row : Table.rows()) {
+    ++Total;
+    // Tables beyond the ceiling truncate rather than error; the editor
+    // still gets a renderable prefix plus the truncation marker.
+    if (Rows.size() >= Limits.MaxTreeTableRows)
+      continue;
+    if ((Rows.size() & 1023) == 0 && deadlineExpired())
+      return makeError(DeadlineDiag);
     json::Object RO;
     RO.set("node", Row.Node);
     RO.set("depth", Row.Depth);
@@ -213,6 +273,8 @@ Result<json::Value> PvpServer::doTreeTable(const json::Object &Params) {
     RO.set("expanded", Row.Expanded);
     Rows.push_back(std::move(RO));
   }
+  Out.set("truncated", Total > Rows.size());
+  Out.set("droppedRows", Total - Rows.size());
   Out.set("rows", std::move(Rows));
   Out.set("text", Table.renderText());
   return json::Value(std::move(Out));
@@ -292,9 +354,12 @@ Result<json::Value> PvpServer::doSearch(const json::Object &Params) {
   const std::string &Pattern = PatV->asString();
 
   json::Array Matches;
-  for (NodeId Id = 0; Id < (*P)->nodeCount(); ++Id)
+  for (NodeId Id = 0; Id < (*P)->nodeCount(); ++Id) {
+    if ((Id & 4095) == 0 && deadlineExpired())
+      return makeError(DeadlineDiag);
     if ((*P)->nameOf(Id).find(Pattern) != std::string_view::npos)
       Matches.push_back(Id);
+  }
   json::Object Out;
   Out.set("count", Matches.size());
   Out.set("matches", std::move(Matches));
@@ -579,6 +644,10 @@ Result<json::Value> PvpServer::doCorrelated(const json::Object &Params) {
 
 json::Value PvpServer::dispatch(std::string_view Method,
                                 const json::Object &Params, int64_t Id) {
+  // Arm the soft per-request deadline; long-running handler loops check
+  // it periodically and bail with DeadlineDiag.
+  RequestDeadline =
+      Limits.RequestDeadlineMs == 0 ? 0 : NowMs() + Limits.RequestDeadlineMs;
   Result<json::Value> R = makeError("unreachable");
   if (Method == "pvp/open")
     R = doOpen(Params);
@@ -620,8 +689,12 @@ json::Value PvpServer::dispatch(std::string_view Method,
     return rpc::makeErrorResponse(Id, rpc::MethodNotFound,
                                   "unknown method '" + std::string(Method) +
                                       "'");
-  if (!R)
-    return rpc::makeErrorResponse(Id, rpc::InvalidParams, R.error());
+  RequestDeadline = 0;
+  if (!R) {
+    int Code =
+        R.error() == DeadlineDiag ? rpc::RequestTimeout : rpc::InvalidParams;
+    return rpc::makeErrorResponse(Id, Code, R.error());
+  }
   return rpc::makeResponse(Id, R.take());
 }
 
@@ -647,11 +720,17 @@ json::Value PvpServer::handleMessage(const json::Value &Request) {
 std::string PvpServer::handleWire(std::string_view Bytes) {
   Reader.feed(Bytes);
   std::string Out;
-  while (auto Msg = Reader.poll())
+  for (;;) {
+    auto Msg = Reader.poll();
+    // Each corrupt frame costs one error response; the reader has already
+    // resynchronized, so later frames on the same stream still decode.
+    for (rpc::FrameError &E : Reader.takeErrors())
+      Out += rpc::frame(
+          rpc::makeErrorResponse(0, E.Code, E.Message));
+    if (!Msg)
+      break;
     Out += rpc::frame(handleMessage(*Msg));
-  if (Reader.failed())
-    Out += rpc::frame(rpc::makeErrorResponse(0, rpc::ParseError,
-                                             Reader.errorMessage()));
+  }
   return Out;
 }
 

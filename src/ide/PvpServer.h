@@ -43,20 +43,58 @@
 #include "analysis/Aggregate.h"
 #include "ide/JsonRpc.h"
 #include "profile/Profile.h"
+#include "support/FileIo.h"
+#include "support/Limits.h"
 
+#include <functional>
 #include <map>
 #include <string>
 
 namespace ev {
 
+/// Guardrails for one PVP session. Every request runs under these; inputs
+/// that exceed them produce JSON-RPC errors (or degraded-but-valid
+/// replies), never unbounded work, so a hostile or buggy editor cannot
+/// take the session down.
+struct ServerLimits {
+  /// Decode budgets applied to every profile the session opens.
+  DecodeLimits Decode;
+  /// Wire framing guardrails (frame size cap, header cap).
+  rpc::FrameReaderOptions Wire;
+  /// Largest pvp/open payload (after base64 decoding) accepted.
+  size_t MaxOpenBytes = 64u << 20;
+  /// Hard ceiling on pvp/flame rect replies; larger maxRects requests are
+  /// clamped, not refused.
+  size_t MaxFlameRects = 65536;
+  /// Hard ceiling on pvp/treeTable rows; larger tables are truncated.
+  size_t MaxTreeTableRows = 50000;
+  /// Soft per-request deadline. 0 disables deadline checking.
+  uint64_t RequestDeadlineMs = 10000;
+  /// Retry policy for path-based pvp/open file loads.
+  RetryPolicy OpenRetry;
+};
+
 class PvpServer {
 public:
+  PvpServer() : PvpServer(ServerLimits()) {}
+  explicit PvpServer(ServerLimits Limits);
+
   /// Handles one decoded JSON-RPC request; \returns the response payload.
   json::Value handleMessage(const json::Value &Request);
 
   /// Feeds framed bytes; \returns the framed responses produced (possibly
-  /// several, possibly none while a message is incomplete).
+  /// several, possibly none while a message is incomplete). Corrupt frames
+  /// yield error responses and the reader resynchronizes: the wire session
+  /// survives any byte stream.
   std::string handleWire(std::string_view Bytes);
+
+  /// Replaces the millisecond clock behind request deadlines (tests inject
+  /// a deterministic clock); nullptr restores the steady clock.
+  void setClock(std::function<uint64_t()> NowMs);
+
+  const ServerLimits &limits() const { return Limits; }
+  /// Wire-reader telemetry (resync and dropped-byte counters).
+  const rpc::FrameReader &wireReader() const { return Reader; }
 
   /// Direct (non-RPC) access used by in-process embedding and tests.
   /// Registers \p P; \returns its id.
@@ -92,10 +130,16 @@ private:
   Result<const Profile *> lookup(const json::Object &Params,
                                  std::string_view Key = "profile") const;
 
+  /// \returns true once the in-flight request ran past its soft deadline.
+  bool deadlineExpired() const;
+
+  ServerLimits Limits;
   std::map<int64_t, Profile> Profiles;
   std::map<int64_t, AggregatedProfile> Aggregates;
   int64_t NextId = 1;
-  rpc::MessageReader Reader;
+  rpc::FrameReader Reader;
+  std::function<uint64_t()> NowMs;
+  uint64_t RequestDeadline = 0; ///< Absolute ms; 0 while idle/disabled.
 };
 
 } // namespace ev

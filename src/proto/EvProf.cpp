@@ -160,6 +160,15 @@ Result<MetricDescriptor> decodeMetric(std::string_view Bytes) {
 } // namespace
 
 Result<Profile> readEvProf(std::string_view Bytes) {
+  return readEvProf(Bytes, DecodeLimits::defaults());
+}
+
+Result<Profile> readEvProf(std::string_view Bytes,
+                           const DecodeLimits &Limits) {
+  if (Bytes.size() > Limits.MaxInputBytes)
+    return makeError("input of " + std::to_string(Bytes.size()) +
+                     " bytes exceeds the decode limit");
+  ResourceGuard Guard(Limits);
   if (!isEvProf(Bytes))
     return makeError("not an .evprof stream: bad magic");
   Bytes.remove_prefix(EvProfMagic.size());
@@ -186,10 +195,16 @@ Result<Profile> readEvProf(std::string_view Bytes) {
     case FProfileName:
       Name = std::string(R.bytes());
       break;
-    case FProfileString:
-      StringTable.emplace_back(R.bytes());
+    case FProfileString: {
+      std::string_view S = R.bytes();
+      if (!Guard.chargeString(S.size()) || !Guard.chargeAlloc(S.size()))
+        return makeError(Guard.error());
+      StringTable.emplace_back(S);
       break;
+    }
     case FProfileMetric: {
+      if (!Guard.chargeMetric())
+        return makeError(Guard.error());
       Result<MetricDescriptor> M = decodeMetric(R.bytes());
       if (!M)
         return makeError(M.error());
@@ -197,6 +212,8 @@ Result<Profile> readEvProf(std::string_view Bytes) {
       break;
     }
     case FProfileFrame: {
+      if (!Guard.chargeFrame())
+        return makeError(Guard.error());
       RawFrame F;
       ProtoReader FR(R.bytes());
       while (FR.next()) {
@@ -229,6 +246,8 @@ Result<Profile> readEvProf(std::string_view Bytes) {
       break;
     }
     case FProfileNode: {
+      if (!Guard.chargeNode())
+        return makeError(Guard.error());
       RawNode N;
       ProtoReader NR(R.bytes());
       while (NR.next()) {
@@ -256,6 +275,8 @@ Result<Profile> readEvProf(std::string_view Bytes) {
           }
           if (VR.failed())
             return makeError("malformed MetricValue message");
+          if (!Guard.chargeAlloc(sizeof(MetricValue)))
+            return makeError(Guard.error());
           N.Values.push_back(MV);
           break;
         }
@@ -280,8 +301,11 @@ Result<Profile> readEvProf(std::string_view Bytes) {
           // Packed repeated varints.
           std::string_view Packed = GR.bytes();
           VarintReader VR(Packed.data(), Packed.size());
-          while (!VR.atEnd() && !VR.failed())
+          while (!VR.atEnd() && !VR.failed()) {
+            if (!Guard.chargeAlloc(sizeof(uint64_t)))
+              return makeError(Guard.error());
             G.Contexts.push_back(VR.readVarint());
+          }
           if (VR.failed())
             return makeError("malformed packed context list");
           break;
@@ -372,11 +396,15 @@ Result<Profile> readEvProf(std::string_view Bytes) {
     P.node(P.root()).FrameRef = *RootFrame;
     P.node(P.root()).Metrics = Nodes[0].Values;
   }
+  std::vector<uint32_t> Depths(Nodes.size(), 0);
   for (size_t I = 1; I < Nodes.size(); ++I) {
     const RawNode &N = Nodes[I];
     if (N.ParentPlus1 == 0 || N.ParentPlus1 > I)
       return makeError("node " + std::to_string(I) +
                        " has invalid parent reference");
+    Depths[I] = Depths[N.ParentPlus1 - 1] + 1;
+    if (!Guard.checkDepth(Depths[I]))
+      return makeError(Guard.error());
     Result<FrameId> F = MapFrame(N.FrameRef);
     if (!F)
       return makeError(F.error());

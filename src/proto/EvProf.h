@@ -39,6 +39,7 @@
 #define EASYVIEW_PROTO_EVPROF_H
 
 #include "profile/Profile.h"
+#include "support/Limits.h"
 #include "support/Result.h"
 
 #include <string>
@@ -54,7 +55,13 @@ std::string writeEvProf(const Profile &P);
 
 /// Parses .evprof bytes. Structural errors (bad magic, malformed wire data,
 /// dangling references) are reported, never asserted: the input is
-/// untrusted.
+/// untrusted. Decoding is metered against \p Limits — node/string/metric
+/// counts, tree depth, and the allocation budget — so no input can cause
+/// unbounded work.
+Result<Profile> readEvProf(std::string_view Bytes,
+                           const DecodeLimits &Limits);
+
+/// Parses with the library-default limits.
 Result<Profile> readEvProf(std::string_view Bytes);
 
 /// \returns true when \p Bytes begins with the .evprof magic.

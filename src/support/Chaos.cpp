@@ -1,0 +1,108 @@
+//===- support/Chaos.cpp - Deterministic fault injection ------------------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Chaos.h"
+
+#include <algorithm>
+
+namespace ev {
+namespace chaos {
+
+namespace {
+
+/// \returns the offset just past "\r\n\r\n", or npos.
+size_t bodyStart(std::string_view Frame) {
+  size_t HeaderEnd = Frame.find("\r\n\r\n");
+  return HeaderEnd == std::string_view::npos ? std::string_view::npos
+                                             : HeaderEnd + 4;
+}
+
+} // namespace
+
+std::string FaultInjector::mutateFrame(std::string Frame) {
+  if (Frame.empty())
+    return Frame;
+  // Draw the schedule in a fixed order so a seed replays identically
+  // regardless of which branch fires.
+  bool DoTruncate = R.chance(Profile.TruncateProb);
+  bool DoFlip = R.chance(Profile.BitFlipProb);
+  bool DoHeader = R.chance(Profile.CorruptHeaderProb);
+
+  if (DoHeader) {
+    size_t Colon = Frame.find(':');
+    size_t End = Frame.find("\r\n");
+    if (Colon != std::string::npos && End != std::string::npos &&
+        Colon < End) {
+      static const char *BadLengths[] = {"zzz", "-5", "-1",
+                                         "99999999999999999999", ""};
+      std::string Bad = BadLengths[R.below(5)];
+      Frame = Frame.substr(0, Colon + 1) + " " + Bad + Frame.substr(End);
+      record(FaultKind::CorruptHeader);
+      return Frame;
+    }
+  }
+  if (DoTruncate) {
+    // Keep at least one byte so the mutation differs from dropping the
+    // frame outright; cutting inside the body or the header both happen.
+    size_t Cut = 1 + R.below(Frame.size());
+    Frame.resize(std::min(Cut, Frame.size()));
+    record(FaultKind::Truncate);
+    return Frame;
+  }
+  if (DoFlip) {
+    size_t Start = bodyStart(Frame);
+    if (Start == std::string::npos || Start >= Frame.size())
+      Start = 0;
+    unsigned Flips = 1 + static_cast<unsigned>(R.below(4));
+    for (unsigned I = 0; I < Flips; ++I) {
+      size_t At = Start + R.below(Frame.size() - Start);
+      Frame[At] = static_cast<char>(Frame[At] ^ (1u << R.below(8)));
+    }
+    record(FaultKind::BitFlip);
+    return Frame;
+  }
+  return Frame;
+}
+
+std::string FaultInjector::garbage(size_t MaxLen) {
+  if (MaxLen == 0 || !R.chance(Profile.GarbageProb))
+    return std::string();
+  std::string Out(1 + R.below(MaxLen), '\0');
+  for (char &C : Out)
+    C = static_cast<char>(R.below(256));
+  record(FaultKind::Garbage);
+  return Out;
+}
+
+bool FaultInjector::shouldFailRead(unsigned Attempt) {
+  // Fail only early attempts: a bounded retry loop must always be able to
+  // recover, which is the behavior under test.
+  if (Attempt >= 2)
+    return false;
+  if (!R.chance(Profile.TransientIoProb))
+    return false;
+  record(FaultKind::TransientIo);
+  return true;
+}
+
+std::optional<std::string> ChaosStream::next() {
+  if (Pos >= Bytes.size())
+    return std::nullopt;
+  ++Fragments;
+  Rng &R = Injector.rng();
+  const FaultProfile &P = Injector.profile();
+  if (R.chance(P.DelayProb))
+    return std::string(); // A delivery stall: feed nothing this tick.
+  size_t Span = std::max<size_t>(1, P.MinChunk) +
+                R.below(std::max<size_t>(1, P.MaxChunk));
+  Span = std::min(Span, Bytes.size() - Pos);
+  std::string Out = Bytes.substr(Pos, Span);
+  Pos += Span;
+  return Out;
+}
+
+} // namespace chaos
+} // namespace ev

@@ -1,0 +1,133 @@
+//===- support/Chaos.h - Deterministic fault injection --------------------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Seeded fault injection for resilience testing. A FaultInjector derives
+/// a deterministic fault schedule from an ev::Rng seed and applies it to
+/// the two untrusted boundaries of a PVP session:
+///
+///   - the wire transport: frame truncation, bit flips in bodies, corrupt
+///     Content-Length headers, and inter-frame garbage
+///     (mutateFrame/garbage), plus split reads and simulated delays
+///     (ChaosStream, which delivers a byte stream in seeded fragments —
+///     empty fragments stand in for delivery delays);
+///   - file I/O: transient read failures (shouldFailRead, wired into
+///     support/FileIo.h's setReadFaultHook) that exercise the bounded
+///     retry/backoff paths.
+///
+/// The same seed always produces the same schedule, so every chaos-test
+/// failure replays exactly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EASYVIEW_SUPPORT_CHAOS_H
+#define EASYVIEW_SUPPORT_CHAOS_H
+
+#include "support/Rng.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ev {
+namespace chaos {
+
+/// The kinds of fault the injector can produce.
+enum class FaultKind : uint8_t {
+  Truncate,      ///< Frame loses its tail bytes.
+  BitFlip,       ///< Random bits flipped inside a frame body.
+  CorruptHeader, ///< Content-Length header mangled (garbage/negative/huge).
+  Garbage,       ///< Random bytes inserted between frames.
+  TransientIo,   ///< A file read attempt fails recoverably.
+  KindCount,
+};
+
+/// Per-operation fault probabilities; the defaults make a multi-request
+/// session see several faults per seed without drowning in them.
+struct FaultProfile {
+  double TruncateProb = 0.12;
+  double BitFlipProb = 0.15;
+  double CorruptHeaderProb = 0.12;
+  double GarbageProb = 0.12;
+  double TransientIoProb = 0.4; ///< Per read attempt.
+  size_t MinChunk = 1;          ///< Smallest split-read fragment.
+  size_t MaxChunk = 64;         ///< Largest split-read fragment.
+  double DelayProb = 0.1;       ///< Chance of an empty (delay) fragment.
+};
+
+/// Derives and applies a deterministic fault schedule.
+class FaultInjector {
+public:
+  explicit FaultInjector(uint64_t Seed, FaultProfile Profile = {})
+      : R(Seed), Profile(Profile), Seed(Seed) {}
+
+  /// Possibly mutates one framed message (header + body) according to the
+  /// schedule. At most one fault kind is applied per frame so failures
+  /// stay attributable.
+  std::string mutateFrame(std::string Frame);
+
+  /// \returns seeded garbage of up to \p MaxLen bytes for inter-frame
+  /// injection, or "" when the schedule skips it.
+  std::string garbage(size_t MaxLen);
+
+  /// File-read schedule: \returns true when the read at \p Attempt
+  /// (0-based) should fail transiently. Attempts at or past the retry
+  /// horizon always succeed so bounded backoff provably recovers.
+  bool shouldFailRead(unsigned Attempt);
+
+  /// Total faults injected so far.
+  size_t faultCount() const { return TotalFaults; }
+  /// Faults injected of one kind.
+  size_t faultCount(FaultKind Kind) const {
+    return Counts[static_cast<size_t>(Kind)];
+  }
+
+  uint64_t seed() const { return Seed; }
+  Rng &rng() { return R; }
+  const FaultProfile &profile() const { return Profile; }
+
+private:
+  void record(FaultKind Kind) {
+    ++TotalFaults;
+    ++Counts[static_cast<size_t>(Kind)];
+  }
+
+  Rng R;
+  FaultProfile Profile;
+  uint64_t Seed;
+  size_t TotalFaults = 0;
+  size_t Counts[static_cast<size_t>(FaultKind::KindCount)] = {};
+};
+
+/// Delivers a byte stream in seeded fragments, modelling a transport that
+/// splits, batches, and stalls arbitrarily. Fragment boundaries routinely
+/// fall inside headers and bodies; empty fragments model delays.
+class ChaosStream {
+public:
+  ChaosStream(std::string Bytes, FaultInjector &Injector)
+      : Bytes(std::move(Bytes)), Injector(Injector) {}
+
+  /// \returns the next fragment, or std::nullopt once drained. Fragments
+  /// may be empty (a simulated delay tick).
+  std::optional<std::string> next();
+
+  bool done() const { return Pos >= Bytes.size(); }
+  size_t fragmentsDelivered() const { return Fragments; }
+
+private:
+  std::string Bytes;
+  FaultInjector &Injector;
+  size_t Pos = 0;
+  size_t Fragments = 0;
+};
+
+} // namespace chaos
+} // namespace ev
+
+#endif // EASYVIEW_SUPPORT_CHAOS_H

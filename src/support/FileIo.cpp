@@ -6,11 +6,39 @@
 
 #include "support/FileIo.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <thread>
 
 namespace ev {
 
-Result<std::string> readFile(const std::string &Path) {
+namespace {
+ReadFaultHook &faultHook() {
+  static ReadFaultHook Hook;
+  return Hook;
+}
+std::function<void(uint64_t)> &sleepHook() {
+  static std::function<void(uint64_t)> Hook;
+  return Hook;
+}
+} // namespace
+
+void setReadFaultHook(ReadFaultHook Hook) { faultHook() = std::move(Hook); }
+
+void setRetrySleepHook(std::function<void(uint64_t)> Hook) {
+  sleepHook() = std::move(Hook);
+}
+
+namespace {
+
+Result<std::string> readFileAttempt(const std::string &Path,
+                                    unsigned Attempt) {
+  if (const ReadFaultHook &Hook = faultHook()) {
+    std::string Message;
+    if (Hook(Path, Attempt, Message))
+      return makeError(Message.empty() ? "injected I/O fault" : Message);
+  }
   std::FILE *F = std::fopen(Path.c_str(), "rb");
   if (!F)
     return makeError("cannot open '" + Path + "' for reading");
@@ -24,6 +52,38 @@ Result<std::string> readFile(const std::string &Path) {
   if (Bad)
     return makeError("I/O error while reading '" + Path + "'");
   return Out;
+}
+
+void backoffSleep(uint64_t Ms) {
+  if (const std::function<void(uint64_t)> &Hook = sleepHook()) {
+    Hook(Ms);
+    return;
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(Ms));
+}
+
+} // namespace
+
+Result<std::string> readFile(const std::string &Path) {
+  return readFileAttempt(Path, 0);
+}
+
+Result<std::string> readFileWithRetry(const std::string &Path,
+                                      const RetryPolicy &Policy) {
+  unsigned Attempts = std::max(1u, Policy.MaxAttempts);
+  uint64_t Backoff = Policy.InitialBackoffMs;
+  Result<std::string> Last = makeError("no read attempted");
+  for (unsigned I = 0; I < Attempts; ++I) {
+    if (I > 0) {
+      backoffSleep(Backoff);
+      Backoff = std::min(Backoff * 2, Policy.MaxBackoffMs);
+    }
+    Last = readFileAttempt(Path, I);
+    if (Last)
+      return Last;
+  }
+  return makeError(Last.error() + " (after " + std::to_string(Attempts) +
+                   " attempts)");
 }
 
 Result<bool> writeFile(const std::string &Path, std::string_view Contents) {

@@ -14,6 +14,8 @@
 
 #include "support/Result.h"
 
+#include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
 
@@ -24,6 +26,36 @@ Result<std::string> readFile(const std::string &Path);
 
 /// Writes \p Contents to \p Path, replacing any existing file.
 Result<bool> writeFile(const std::string &Path, std::string_view Contents);
+
+/// Bounded exponential backoff for transient I/O failures (network file
+/// systems, editors saving over the profile mid-read, fault injection).
+struct RetryPolicy {
+  unsigned MaxAttempts = 3;       ///< Total attempts, including the first.
+  uint64_t InitialBackoffMs = 10; ///< Delay before the second attempt.
+  uint64_t MaxBackoffMs = 250;    ///< Ceiling for the doubling backoff.
+};
+
+/// Reads \p Path, retrying per \p Policy when the read fails. Each retry
+/// waits InitialBackoffMs * 2^(attempt-1), capped at MaxBackoffMs. The
+/// final error message reports how many attempts were made.
+Result<std::string> readFileWithRetry(const std::string &Path,
+                                      const RetryPolicy &Policy = {});
+
+/// Test/chaos hook: decides whether the read of \p Path on \p Attempt
+/// (0-based) should be failed artificially; on injection it fills
+/// \p Message with the simulated diagnostic and returns true.
+using ReadFaultHook =
+    std::function<bool(const std::string &Path, unsigned Attempt,
+                       std::string &Message)>;
+
+/// Installs (or, with nullptr, clears) the read fault hook. Faults apply
+/// to readFile and therefore to readFileWithRetry's attempts.
+void setReadFaultHook(ReadFaultHook Hook);
+
+/// Replaces the backoff sleep (milliseconds) used between retries; pass
+/// nullptr to restore the real clock. Tests install a recorder so chaos
+/// schedules stay deterministic and fast.
+void setRetrySleepHook(std::function<void(uint64_t)> Hook);
 
 } // namespace ev
 

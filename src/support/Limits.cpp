@@ -1,0 +1,82 @@
+//===- support/Limits.cpp - Decode limits and resource guards -------------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Limits.h"
+
+#include <limits>
+
+namespace ev {
+
+const DecodeLimits &DecodeLimits::defaults() {
+  static const DecodeLimits Defaults;
+  return Defaults;
+}
+
+DecodeLimits DecodeLimits::unlimited() {
+  DecodeLimits L;
+  constexpr size_t Max = std::numeric_limits<size_t>::max();
+  L.MaxInputBytes = Max;
+  L.MaxNodes = Max;
+  L.MaxFrames = Max;
+  L.MaxStrings = Max;
+  L.MaxStringBytes = Max;
+  L.MaxMetrics = Max;
+  L.MaxTreeDepth = Max;
+  L.MaxAllocBytes = Max;
+  return L;
+}
+
+bool ResourceGuard::trip(const char *What) {
+  if (!Tripped) {
+    Tripped = true;
+    Diagnostic = std::string("decode limit exceeded: ") + What;
+  }
+  return false;
+}
+
+bool ResourceGuard::chargeNode() {
+  if (Tripped || ++Nodes > Limits.MaxNodes)
+    return trip("too many nodes");
+  return true;
+}
+
+bool ResourceGuard::chargeFrame() {
+  if (Tripped || ++Frames > Limits.MaxFrames)
+    return trip("too many frames");
+  return true;
+}
+
+bool ResourceGuard::chargeString(size_t Bytes) {
+  if (Tripped || ++Strings > Limits.MaxStrings)
+    return trip("too many strings");
+  StringBytes += Bytes;
+  if (StringBytes > Limits.MaxStringBytes)
+    return trip("string table too large");
+  return true;
+}
+
+bool ResourceGuard::chargeMetric() {
+  if (Tripped || ++Metrics > Limits.MaxMetrics)
+    return trip("too many metrics");
+  return true;
+}
+
+bool ResourceGuard::chargeAlloc(size_t Bytes) {
+  if (Tripped)
+    return false;
+  AllocBytes += Bytes;
+  if (AllocBytes > Limits.MaxAllocBytes)
+    return trip("allocation budget exhausted");
+  return true;
+}
+
+bool ResourceGuard::checkDepth(size_t Depth) {
+  if (Tripped || Depth > Limits.MaxTreeDepth)
+    return trip("tree too deep");
+  return true;
+}
+
+} // namespace ev

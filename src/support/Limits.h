@@ -1,0 +1,104 @@
+//===- support/Limits.h - Decode limits and resource guards ---------------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Resource guardrails for untrusted input. Every decoder that consumes
+/// bytes an editor (or the network) handed us runs under a DecodeLimits
+/// budget, tracked by a ResourceGuard: maximum input size, node/string
+/// counts, tree depth, and an overall allocation budget. The guarantee is
+/// that no input — however hostile — can make a decoder perform unbounded
+/// work or allocate unbounded memory; it fails with a recoverable error
+/// instead, and the session that issued the request stays alive.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EASYVIEW_SUPPORT_LIMITS_H
+#define EASYVIEW_SUPPORT_LIMITS_H
+
+#include <cstddef>
+#include <string>
+
+namespace ev {
+
+/// Budgets applied while decoding untrusted profile bytes. The defaults are
+/// generous enough for every profile in the test corpus and the paper's
+/// million-context workloads, yet small enough that a decoder hitting them
+/// returns promptly.
+struct DecodeLimits {
+  /// Upper bound on the raw input size a decoder accepts.
+  size_t MaxInputBytes = 256u << 20;
+  /// Upper bound on decoded contexts (CCT nodes).
+  size_t MaxNodes = 8u << 20;
+  /// Upper bound on decoded frames.
+  size_t MaxFrames = 8u << 20;
+  /// Upper bound on string-table entries.
+  size_t MaxStrings = 4u << 20;
+  /// Upper bound on the cumulative string-table payload.
+  size_t MaxStringBytes = 256u << 20;
+  /// Upper bound on metric descriptors.
+  size_t MaxMetrics = 4096;
+  /// Upper bound on CCT depth (parents-first decoding makes this cheap to
+  /// track incrementally).
+  size_t MaxTreeDepth = 100000;
+  /// Overall allocation budget charged by decoders for payload copies.
+  size_t MaxAllocBytes = 1u << 30;
+
+  /// \returns the library-wide default limits.
+  static const DecodeLimits &defaults();
+
+  /// \returns a limits object with every budget maxed out (trusted input).
+  static DecodeLimits unlimited();
+};
+
+/// Tracks consumption against a DecodeLimits budget. Decoders charge the
+/// guard as they materialize data; the first charge that exceeds its budget
+/// trips the guard, and every later charge keeps failing, so a decode loop
+/// can check once per iteration and bail with exceeded().
+class ResourceGuard {
+public:
+  explicit ResourceGuard(const DecodeLimits &Limits) : Limits(Limits) {}
+
+  /// Charges one decoded node. \returns false once over budget.
+  bool chargeNode();
+  /// Charges one decoded frame. \returns false once over budget.
+  bool chargeFrame();
+  /// Charges one string of \p Bytes payload. \returns false once over
+  /// either the count or cumulative-size budget.
+  bool chargeString(size_t Bytes);
+  /// Charges one metric descriptor. \returns false once over budget.
+  bool chargeMetric();
+  /// Charges \p Bytes against the allocation budget.
+  bool chargeAlloc(size_t Bytes);
+  /// Validates a tree depth against the budget.
+  bool checkDepth(size_t Depth);
+
+  /// \returns true once any charge exceeded its budget.
+  bool exceeded() const { return Tripped; }
+  /// A diagnostic naming the first budget that was exceeded.
+  const std::string &error() const { return Diagnostic; }
+
+  size_t nodes() const { return Nodes; }
+  size_t allocatedBytes() const { return AllocBytes; }
+
+  const DecodeLimits &limits() const { return Limits; }
+
+private:
+  bool trip(const char *What);
+
+  const DecodeLimits &Limits;
+  size_t Nodes = 0;
+  size_t Frames = 0;
+  size_t Strings = 0;
+  size_t StringBytes = 0;
+  size_t Metrics = 0;
+  size_t AllocBytes = 0;
+  bool Tripped = false;
+  std::string Diagnostic;
+};
+
+} // namespace ev
+
+#endif // EASYVIEW_SUPPORT_LIMITS_H

@@ -30,6 +30,14 @@ uint64_t VarintReader::readVarint() {
       return 0;
     }
     uint8_t Byte = Data[Pos++];
+    // The tenth byte holds bit 63 only: a continuation bit or any payload
+    // bit above it would shift past 64. Rejecting those keeps the encoding
+    // injective — otherwise two distinct ten-byte encodings would silently
+    // decode to the same value.
+    if (I == 9 && (Byte & 0xFE)) {
+      Failed = true;
+      return 0;
+    }
     Value |= static_cast<uint64_t>(Byte & 0x7F) << Shift;
     if (!(Byte & 0x80))
       return Value;

@@ -263,8 +263,10 @@ private:
   }
 
   // Call-path profiles nest as deep as their call stacks; the limit only
-  // guards against stack exhaustion on hostile input.
-  static constexpr int MaxDepth = 8192;
+  // guards against stack exhaustion on hostile input. Each level costs two
+  // parser frames, so the cap must leave headroom even on sanitizer builds
+  // whose frames carry redzones.
+  static constexpr int MaxDepth = 1024;
 
   std::string_view Text;
   size_t Pos = 0;

@@ -75,7 +75,9 @@ Result<ParsedArgs> parseArgs(const std::vector<std::string> &Args,
 }
 
 Result<Profile> loadProfile(const std::string &Path) {
-  Result<std::string> Bytes = readFile(Path);
+  // Transient I/O failures retry with bounded backoff, matching the PVP
+  // server's path-based open.
+  Result<std::string> Bytes = readFileWithRetry(Path);
   if (!Bytes)
     return makeError(Bytes.error());
   return convert::load(*Bytes, Path);
@@ -98,21 +100,26 @@ Result<MetricId> resolveMetric(const Profile &P, const ParsedArgs &Args) {
   return Id;
 }
 
-int fail(std::string &Err, const std::string &Message) {
+int failUsage(std::string &Err, const std::string &Message) {
   Err += "evtool: error: " + Message + "\n";
-  return 1;
+  return ExitUsageError;
+}
+
+int failData(std::string &Err, const std::string &Message) {
+  Err += "evtool: error: " + Message + "\n";
+  return ExitDataError;
 }
 
 int cmdInfo(const ParsedArgs &Args, std::string &Out, std::string &Err) {
   if (Args.Positional.size() != 1)
-    return fail(Err, "info expects exactly one profile");
+    return failUsage(Err, "info expects exactly one profile");
   Result<std::string> Bytes = readFile(Args.Positional[0]);
   if (!Bytes)
-    return fail(Err, Bytes.error());
+    return failData(Err, Bytes.error());
   convert::Format F = convert::detectFormat(*Bytes, Args.Positional[0]);
   Result<Profile> P = convert::load(*Bytes, Args.Positional[0]);
   if (!P)
-    return fail(Err, P.error());
+    return failData(Err, P.error());
   Out += "file:     " + Args.Positional[0] + "\n";
   Out += "format:   " + std::string(convert::formatName(F)) + "\n";
   Out += "size:     " + formatBytes(static_cast<double>(Bytes->size())) +
@@ -130,20 +137,20 @@ int cmdInfo(const ParsedArgs &Args, std::string &Out, std::string &Err) {
 
 int cmdSummary(const ParsedArgs &Args, std::string &Out, std::string &Err) {
   if (Args.Positional.size() != 1)
-    return fail(Err, "summary expects exactly one profile");
+    return failUsage(Err, "summary expects exactly one profile");
   Result<Profile> P = loadProfile(Args.Positional[0]);
   if (!P)
-    return fail(Err, P.error());
+    return failData(Err, P.error());
   Out += renderSummaryText(*P);
   return 0;
 }
 
 int cmdFlame(const ParsedArgs &Args, std::string &Out, std::string &Err) {
   if (Args.Positional.size() != 1)
-    return fail(Err, "flame expects exactly one profile");
+    return failUsage(Err, "flame expects exactly one profile");
   Result<Profile> Loaded = loadProfile(Args.Positional[0]);
   if (!Loaded)
-    return fail(Err, Loaded.error());
+    return failData(Err, Loaded.error());
 
   std::string Shape = "top-down";
   if (auto It = Args.Options.find("shape"); It != Args.Options.end())
@@ -157,11 +164,11 @@ int cmdFlame(const ParsedArgs &Args, std::string &Out, std::string &Err) {
     Shaped = flatTree(*Loaded);
     View = &Shaped;
   } else if (Shape != "top-down") {
-    return fail(Err, "unknown shape '" + Shape + "'");
+    return failUsage(Err, "unknown shape '" + Shape + "'");
   }
   Result<MetricId> Metric = resolveMetric(*View, Args);
   if (!Metric)
-    return fail(Err, Metric.error());
+    return failData(Err, Metric.error());
 
   FlameGraph Graph(*View, *Metric);
   if (auto It = Args.Options.find("svg"); It != Args.Options.end()) {
@@ -169,7 +176,7 @@ int cmdFlame(const ParsedArgs &Args, std::string &Out, std::string &Err) {
     Svg.Title = View->name() + " (" + Shape + ")";
     Result<bool> W = writeFile(It->second, renderSvg(Graph, Svg));
     if (!W)
-      return fail(Err, W.error());
+      return failData(Err, W.error());
     Out += "wrote " + It->second + "\n";
     return 0;
   }
@@ -178,7 +185,7 @@ int cmdFlame(const ParsedArgs &Args, std::string &Out, std::string &Err) {
   if (auto It = Args.Options.find("columns"); It != Args.Options.end()) {
     uint64_t Columns;
     if (!parseUnsigned(It->second, Columns))
-      return fail(Err, "--columns expects a number");
+      return failUsage(Err, "--columns expects a number");
     Ansi.Columns = static_cast<unsigned>(Columns);
   }
   Out += renderAnsi(Graph, Ansi);
@@ -187,15 +194,15 @@ int cmdFlame(const ParsedArgs &Args, std::string &Out, std::string &Err) {
 
 int cmdTable(const ParsedArgs &Args, std::string &Out, std::string &Err) {
   if (Args.Positional.size() != 1)
-    return fail(Err, "table expects exactly one profile");
+    return failUsage(Err, "table expects exactly one profile");
   Result<Profile> P = loadProfile(Args.Positional[0]);
   if (!P)
-    return fail(Err, P.error());
+    return failData(Err, P.error());
   TreeTableOptions Opt;
   if (auto It = Args.Options.find("rows"); It != Args.Options.end()) {
     uint64_t Rows;
     if (!parseUnsigned(It->second, Rows))
-      return fail(Err, "--rows expects a number");
+      return failUsage(Err, "--rows expects a number");
     Opt.MaxRows = Rows;
   }
   TreeTable Table(*P, Opt);
@@ -207,10 +214,10 @@ int cmdTable(const ParsedArgs &Args, std::string &Out, std::string &Err) {
 
 int cmdConvert(const ParsedArgs &Args, std::string &Out, std::string &Err) {
   if (Args.Positional.size() != 2)
-    return fail(Err, "convert expects <in> <out>");
+    return failUsage(Err, "convert expects <in> <out>");
   Result<Profile> P = loadProfile(Args.Positional[0]);
   if (!P)
-    return fail(Err, P.error());
+    return failData(Err, P.error());
 
   std::string To = "evprof";
   if (auto It = Args.Options.find("to"); It != Args.Options.end())
@@ -227,11 +234,11 @@ int cmdConvert(const ParsedArgs &Args, std::string &Out, std::string &Err) {
   } else if (To == "chrome") {
     Bytes = convert::toChromeTrace(*P, 0);
   } else {
-    return fail(Err, "unknown target format '" + To + "'");
+    return failUsage(Err, "unknown target format '" + To + "'");
   }
   Result<bool> W = writeFile(Args.Positional[1], Bytes);
   if (!W)
-    return fail(Err, W.error());
+    return failData(Err, W.error());
   Out += "wrote " + Args.Positional[1] + " (" +
          formatBytes(static_cast<double>(Bytes.size())) + ", " + To +
          ")\n";
@@ -240,16 +247,16 @@ int cmdConvert(const ParsedArgs &Args, std::string &Out, std::string &Err) {
 
 int cmdDiff(const ParsedArgs &Args, std::string &Out, std::string &Err) {
   if (Args.Positional.size() != 2)
-    return fail(Err, "diff expects <base> <test>");
+    return failUsage(Err, "diff expects <base> <test>");
   Result<Profile> Base = loadProfile(Args.Positional[0]);
   if (!Base)
-    return fail(Err, Base.error());
+    return failData(Err, Base.error());
   Result<Profile> Test = loadProfile(Args.Positional[1]);
   if (!Test)
-    return fail(Err, Test.error());
+    return failData(Err, Test.error());
   Result<MetricId> Metric = resolveMetric(*Base, Args);
   if (!Metric)
-    return fail(Err, Metric.error());
+    return failData(Err, Metric.error());
   DiffResult D = diffProfiles(*Base, *Test, *Metric);
   Out += renderDiffText(D);
   return 0;
@@ -258,12 +265,12 @@ int cmdDiff(const ParsedArgs &Args, std::string &Out, std::string &Err) {
 int cmdAggregate(const ParsedArgs &Args, std::string &Out,
                  std::string &Err) {
   if (Args.Positional.size() < 2)
-    return fail(Err, "aggregate expects <out.evprof> <in...>");
+    return failUsage(Err, "aggregate expects <out.evprof> <in...>");
   std::vector<Profile> Loaded;
   for (size_t I = 1; I < Args.Positional.size(); ++I) {
     Result<Profile> P = loadProfile(Args.Positional[I]);
     if (!P)
-      return fail(Err, P.error());
+      return failData(Err, P.error());
     Loaded.push_back(P.take());
   }
   std::vector<const Profile *> Inputs;
@@ -275,7 +282,7 @@ int cmdAggregate(const ParsedArgs &Args, std::string &Out,
   Result<bool> W =
       writeFile(Args.Positional[0], writeEvProf(Agg.merged()));
   if (!W)
-    return fail(Err, W.error());
+    return failData(Err, W.error());
   Out += "aggregated " + std::to_string(Inputs.size()) + " profiles into " +
          Args.Positional[0] + " (" +
          std::to_string(Agg.merged().nodeCount()) + " contexts)\n";
@@ -284,10 +291,10 @@ int cmdAggregate(const ParsedArgs &Args, std::string &Out,
 
 int cmdQuery(const ParsedArgs &Args, std::string &Out, std::string &Err) {
   if (Args.Positional.size() != 1)
-    return fail(Err, "query expects exactly one profile");
+    return failUsage(Err, "query expects exactly one profile");
   Result<Profile> P = loadProfile(Args.Positional[0]);
   if (!P)
-    return fail(Err, P.error());
+    return failData(Err, P.error());
 
   std::string Program;
   if (auto It = Args.Options.find("e"); It != Args.Options.end()) {
@@ -296,15 +303,15 @@ int cmdQuery(const ParsedArgs &Args, std::string &Out, std::string &Err) {
              FIt != Args.Options.end()) {
     Result<std::string> Src = readFile(FIt->second);
     if (!Src)
-      return fail(Err, Src.error());
+      return failData(Err, Src.error());
     Program = Src.take();
   } else {
-    return fail(Err, "query needs --e <program> or --file <program.evql>");
+    return failUsage(Err, "query needs --e <program> or --file <program.evql>");
   }
 
   Result<evql::QueryOutput> R = evql::runProgram(*P, Program);
   if (!R)
-    return fail(Err, R.error());
+    return failData(Err, R.error());
   for (const std::string &Line : R->Printed)
     Out += Line + "\n";
   if (!R->DerivedMetrics.empty()) {
@@ -318,7 +325,7 @@ int cmdQuery(const ParsedArgs &Args, std::string &Out, std::string &Err) {
   if (auto It = Args.Options.find("out"); It != Args.Options.end()) {
     Result<bool> W = writeFile(It->second, writeEvProf(R->Result));
     if (!W)
-      return fail(Err, W.error());
+      return failData(Err, W.error());
     Out += "wrote " + It->second + "\n";
   }
   return 0;
@@ -327,16 +334,16 @@ int cmdQuery(const ParsedArgs &Args, std::string &Out, std::string &Err) {
 int cmdButterfly(const ParsedArgs &Args, std::string &Out,
                  std::string &Err) {
   if (Args.Positional.size() != 2)
-    return fail(Err, "butterfly expects <profile> <function>");
+    return failUsage(Err, "butterfly expects <profile> <function>");
   Result<Profile> P = loadProfile(Args.Positional[0]);
   if (!P)
-    return fail(Err, P.error());
+    return failData(Err, P.error());
   Result<MetricId> Metric = resolveMetric(*P, Args);
   if (!Metric)
-    return fail(Err, Metric.error());
+    return failData(Err, Metric.error());
   ButterflyResult B = butterfly(*P, Args.Positional[1], *Metric);
   if (B.Occurrences == 0)
-    return fail(Err, "function '" + Args.Positional[1] +
+    return failData(Err, "function '" + Args.Positional[1] +
                          "' not found in the profile");
   Out += renderButterflyText(*P, B, P->metrics()[*Metric].Unit);
   return 0;
@@ -345,24 +352,24 @@ int cmdButterfly(const ParsedArgs &Args, std::string &Out,
 int cmdAnnotate(const ParsedArgs &Args, std::string &Out,
                 std::string &Err) {
   if (Args.Positional.size() != 2)
-    return fail(Err, "annotate expects <profile> <source-file>");
+    return failUsage(Err, "annotate expects <profile> <source-file>");
   Result<Profile> P = loadProfile(Args.Positional[0]);
   if (!P)
-    return fail(Err, P.error());
+    return failData(Err, P.error());
   Out += renderAnnotationsText(*P, Args.Positional[1]);
   return 0;
 }
 
 int cmdReport(const ParsedArgs &Args, std::string &Out, std::string &Err) {
   if (Args.Positional.size() != 2)
-    return fail(Err, "report expects <profile> <out.html>");
+    return failUsage(Err, "report expects <profile> <out.html>");
   Result<Profile> P = loadProfile(Args.Positional[0]);
   if (!P)
-    return fail(Err, P.error());
+    return failData(Err, P.error());
   std::string Html = renderHtmlReport(*P);
   Result<bool> W = writeFile(Args.Positional[1], Html);
   if (!W)
-    return fail(Err, W.error());
+    return failData(Err, W.error());
   Out += "wrote " + Args.Positional[1] + " (" +
          formatBytes(static_cast<double>(Html.size())) + ")\n";
   return 0;
@@ -372,15 +379,19 @@ int cmdReport(const ParsedArgs &Args, std::string &Out, std::string &Err) {
 
 int runEvTool(const std::vector<std::string> &Args, std::string &Out,
               std::string &Err) {
-  if (Args.empty() || Args[0] == "help" || Args[0] == "--help") {
+  if (Args.empty()) {
+    Err += usageText();
+    return ExitUsageError;
+  }
+  if (Args[0] == "help" || Args[0] == "--help") {
     Out += usageText();
-    return Args.empty() ? 1 : 0;
+    return ExitSuccess;
   }
   const std::string &Command = Args[0];
   Result<ParsedArgs> Parsed = parseArgs(Args, 1);
   if (!Parsed) {
     Err += "evtool: error: " + Parsed.error() + "\n";
-    return 1;
+    return ExitUsageError;
   }
   if (Command == "info")
     return cmdInfo(*Parsed, Out, Err);
@@ -405,7 +416,7 @@ int runEvTool(const std::vector<std::string> &Args, std::string &Out,
   if (Command == "report")
     return cmdReport(*Parsed, Out, Err);
   Err += "evtool: error: unknown command '" + Command + "'\n" + usageText();
-  return 1;
+  return ExitUsageError;
 }
 
 } // namespace tool

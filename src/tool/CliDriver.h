@@ -37,9 +37,21 @@
 namespace ev {
 namespace tool {
 
+/// Exit codes, distinct per failure mode so scripted pipelines can tell
+/// "you invoked me wrong" from "your data is bad" without scraping stderr.
+enum ExitCode : int {
+  ExitSuccess = 0,
+  /// A profile failed to load, decode, or process (I/O errors, malformed
+  /// input, missing functions/metrics, query runtime errors).
+  ExitDataError = 1,
+  /// The command line itself is wrong: unknown command, bad argument
+  /// count, unknown option value, missing required option.
+  ExitUsageError = 2,
+};
+
 /// Runs one evtool invocation. \p Args excludes the program name.
-/// \returns the process exit code; normal output accumulates in \p Out,
-/// diagnostics in \p Err.
+/// \returns the process exit code (an ExitCode); normal output accumulates
+/// in \p Out, diagnostics in \p Err.
 int runEvTool(const std::vector<std::string> &Args, std::string &Out,
               std::string &Err);
 

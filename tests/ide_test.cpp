@@ -10,7 +10,10 @@
 
 #include "TestHelpers.h"
 #include "proto/EvProf.h"
+#include "support/FileIo.h"
 #include "support/Strings.h"
+
+#include <cstdio>
 
 #include <gtest/gtest.h>
 
@@ -387,4 +390,302 @@ TEST(PvpServerWire, RequestWithoutMethodRejected) {
   Msg.set("id", 5);
   std::string Out = Server.handleWire(rpc::frame(json::Value(Msg)));
   EXPECT_NE(Out.find("-32600"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===
+// Wire resilience: split delivery, resynchronization, frame caps
+//===----------------------------------------------------------------------===
+
+namespace {
+
+/// Deframes a handleWire() reply into its individual JSON payloads.
+std::vector<json::Value> deframe(std::string_view Wire) {
+  rpc::FrameReader Reader;
+  Reader.feed(Wire);
+  std::vector<json::Value> Out;
+  while (auto V = Reader.poll())
+    Out.push_back(std::move(*V));
+  return Out;
+}
+
+/// A pvp/open request frame carrying the fixed profile inline.
+std::string openFrame(int64_t Id, const std::string &Bytes) {
+  json::Object P;
+  P.set("name", "wire.evprof");
+  P.set("dataBase64", base64Encode(Bytes));
+  return rpc::frame(rpc::makeRequest(Id, "pvp/open", P));
+}
+
+bool isErrorWithCode(const json::Value &Resp, int Code) {
+  const json::Value *E = Resp.asObject().find("error");
+  return E && E->asObject().find("code")->asInt() == Code;
+}
+
+bool isSuccess(const json::Value &Resp) {
+  return Resp.asObject().find("result") != nullptr;
+}
+
+} // namespace
+
+TEST(PvpServerWire, SplitDeliveryProducesAllResponses) {
+  // Two requests, delivered one byte at a time: fragment boundaries land
+  // inside headers and bodies, yet both requests are answered exactly once.
+  PvpServer Server;
+  std::string Bytes = writeEvProf(test::makeFixedProfile());
+  json::Object SummaryParams;
+  SummaryParams.set("profile", 1);
+  std::string Wire = openFrame(1, Bytes) +
+                     rpc::frame(rpc::makeRequest(2, "pvp/summary",
+                                                 SummaryParams));
+  std::string Out;
+  for (size_t I = 0; I < Wire.size(); ++I)
+    Out += Server.handleWire(Wire.substr(I, 1));
+
+  std::vector<json::Value> Responses = deframe(Out);
+  ASSERT_EQ(Responses.size(), 2u);
+  EXPECT_TRUE(isSuccess(Responses[0]));
+  EXPECT_TRUE(isSuccess(Responses[1]));
+  EXPECT_EQ(Server.wireReader().bufferedBytes(), 0u);
+}
+
+TEST(PvpServerWire, CorruptHeaderThenValidFrameRecovers) {
+  // A mangled Content-Length poisons one frame only: the server reports
+  // it and the following request on the same stream still succeeds.
+  PvpServer Server;
+  std::string Bytes = writeEvProf(test::makeFixedProfile());
+  std::string Wire = "Content-Length: zzz\r\n\r\n{\"oops\":1}";
+  Wire += openFrame(7, Bytes);
+  std::string Out = Server.handleWire(Wire);
+
+  std::vector<json::Value> Responses = deframe(Out);
+  ASSERT_GE(Responses.size(), 2u);
+  EXPECT_TRUE(isErrorWithCode(Responses.front(), rpc::ParseError));
+  EXPECT_TRUE(isSuccess(Responses.back()));
+  EXPECT_GE(Server.wireReader().resyncCount(), 1u);
+  EXPECT_GT(Server.wireReader().droppedBytes(), 0u);
+}
+
+TEST(PvpServerWire, NegativeContentLengthRejectedAndRecovered) {
+  PvpServer Server;
+  std::string Bytes = writeEvProf(test::makeFixedProfile());
+  std::string Wire = "Content-Length: -5\r\n\r\n";
+  Wire += openFrame(9, Bytes);
+  std::string Out = Server.handleWire(Wire);
+
+  std::vector<json::Value> Responses = deframe(Out);
+  ASSERT_GE(Responses.size(), 2u);
+  EXPECT_TRUE(isErrorWithCode(Responses.front(), rpc::ParseError));
+  EXPECT_NE(Out.find("negative"), std::string::npos);
+  EXPECT_TRUE(isSuccess(Responses.back()));
+}
+
+TEST(PvpServerWire, OversizedFrameSkippedWithoutBuffering) {
+  ServerLimits L;
+  L.Wire.MaxFrameBytes = 128;
+  PvpServer Server(L);
+
+  // Announce a body far over the cap; the reader must discard it as it
+  // arrives instead of accumulating it.
+  std::string Huge(4096, 'x');
+  std::string Wire = "Content-Length: 4096\r\n\r\n" + Huge;
+
+  std::string Out = Server.handleWire(Wire);
+  EXPECT_NE(Out.find("-32000"), std::string::npos);
+  // The oversized body was never buffered.
+  EXPECT_LE(Server.wireReader().bufferedBytes(), 128u);
+
+  // The session keeps answering once frames under the cap resume.
+  std::string Small =
+      rpc::frame(rpc::makeRequest(4, "pvp/teleport", json::Object()));
+  Out = Server.handleWire(Small);
+  EXPECT_NE(Out.find("-32601"), std::string::npos);
+}
+
+TEST(PvpServerWire, GarbageBetweenFramesIsSkipped) {
+  PvpServer Server;
+  std::string Bytes = writeEvProf(test::makeFixedProfile());
+  std::string Wire = openFrame(1, Bytes);
+  Wire += "\x01\x02garbage bytes with no header\x7f";
+  Wire += openFrame(2, Bytes);
+  std::string Out = Server.handleWire(Wire);
+
+  std::vector<json::Value> Responses = deframe(Out);
+  size_t Successes = 0;
+  for (const json::Value &R : Responses)
+    Successes += isSuccess(R);
+  EXPECT_EQ(Successes, 2u);
+  EXPECT_EQ(Server.profileCount(), 2u);
+}
+
+//===----------------------------------------------------------------------===
+// Guardrails: deadlines, degradation, open limits, retry
+//===----------------------------------------------------------------------===
+
+TEST(PvpServerLimits, RequestDeadlineMapsToTimeoutCode) {
+  ServerLimits L;
+  L.RequestDeadlineMs = 5;
+  PvpServer Server(L);
+  int64_t Id = Server.addProfile(test::makeRandomProfile(7));
+
+  // Every clock read advances far past the deadline, so the first
+  // in-handler check trips.
+  uint64_t Now = 0;
+  Server.setClock([&Now] {
+    Now += 1000000;
+    return Now;
+  });
+
+  json::Object P;
+  P.set("profile", Id);
+  P.set("pattern", "fn");
+  json::Value Resp = Server.handleMessage(rpc::makeRequest(3, "pvp/search", P));
+  ASSERT_TRUE(isErrorWithCode(Resp, rpc::RequestTimeout));
+  EXPECT_NE(Resp.asObject()
+                .find("error")
+                ->asObject()
+                .find("message")
+                ->asString()
+                .find("deadline"),
+            std::string::npos);
+
+  // Restoring the real clock un-wedges the session.
+  Server.setClock(nullptr);
+  Resp = Server.handleMessage(rpc::makeRequest(4, "pvp/search", P));
+  EXPECT_TRUE(isSuccess(Resp));
+}
+
+TEST(PvpServerLimits, FlameDegradesInsteadOfFailing) {
+  ServerLimits L;
+  L.MaxFlameRects = 3;
+  PvpServer Server(L);
+  int64_t Id = Server.addProfile(test::makeFixedProfile());
+
+  json::Object P;
+  P.set("profile", Id);
+  json::Value Resp = Server.handleMessage(rpc::makeRequest(1, "pvp/flame", P));
+  ASSERT_TRUE(isSuccess(Resp));
+  const json::Object &R = Resp.asObject().find("result")->asObject();
+  EXPECT_LE(R.find("rects")->asArray().size(), 3u);
+  EXPECT_TRUE(R.find("truncated")->asBool());
+  EXPECT_GT(R.find("droppedRects")->asInt(), 0);
+}
+
+TEST(PvpServerLimits, TreeTableDegradesInsteadOfFailing) {
+  ServerLimits L;
+  L.MaxTreeTableRows = 2;
+  PvpServer Server(L);
+  int64_t Id = Server.addProfile(test::makeFixedProfile());
+
+  json::Object P;
+  P.set("profile", Id);
+  json::Value Resp =
+      Server.handleMessage(rpc::makeRequest(1, "pvp/treeTable", P));
+  ASSERT_TRUE(isSuccess(Resp));
+  const json::Object &R = Resp.asObject().find("result")->asObject();
+  EXPECT_LE(R.find("rows")->asArray().size(), 2u);
+  EXPECT_TRUE(R.find("truncated")->asBool());
+  EXPECT_GT(R.find("droppedRows")->asInt(), 0);
+}
+
+TEST(PvpServerLimits, OpenRejectsOversizedPayload) {
+  ServerLimits L;
+  L.MaxOpenBytes = 64;
+  PvpServer Server(L);
+
+  std::string Bytes = writeEvProf(test::makeFixedProfile());
+  ASSERT_GT(Bytes.size(), 64u);
+  json::Object P;
+  P.set("name", "big.evprof");
+  P.set("dataBase64", base64Encode(Bytes));
+  json::Value Resp = Server.handleMessage(rpc::makeRequest(1, "pvp/open", P));
+  ASSERT_FALSE(isSuccess(Resp));
+  EXPECT_NE(Resp.asObject()
+                .find("error")
+                ->asObject()
+                .find("message")
+                ->asString()
+                .find("exceeds"),
+            std::string::npos);
+  EXPECT_EQ(Server.profileCount(), 0u);
+}
+
+TEST(PvpServerLimits, OpenByPathRetriesTransientFailures) {
+  std::string Path = "/tmp/evtool_test_open_retry.evprof";
+  ASSERT_TRUE(writeFile(Path, writeEvProf(test::makeFixedProfile())).ok());
+
+  // Fail the first two read attempts; the third succeeds. Record the
+  // backoff schedule instead of sleeping.
+  unsigned Attempts = 0;
+  setReadFaultHook([&Attempts](const std::string &, unsigned Attempt,
+                               std::string &Message) {
+    ++Attempts;
+    if (Attempt < 2) {
+      Message = "simulated transient read failure";
+      return true;
+    }
+    return false;
+  });
+  std::vector<uint64_t> Sleeps;
+  setRetrySleepHook([&Sleeps](uint64_t Ms) { Sleeps.push_back(Ms); });
+
+  PvpServer Server;
+  json::Object P;
+  P.set("path", Path);
+  json::Value Resp = Server.handleMessage(rpc::makeRequest(1, "pvp/open", P));
+
+  setReadFaultHook(nullptr);
+  setRetrySleepHook(nullptr);
+  std::remove(Path.c_str());
+
+  ASSERT_TRUE(isSuccess(Resp));
+  EXPECT_EQ(Attempts, 3u);
+  ASSERT_EQ(Sleeps.size(), 2u);
+  EXPECT_EQ(Sleeps[0], 10u);
+  EXPECT_EQ(Sleeps[1], 20u); // Doubled, still under MaxBackoffMs.
+  EXPECT_EQ(Server.profileCount(), 1u);
+}
+
+TEST(PvpServerLimits, OpenByPathGivesUpAfterBoundedAttempts) {
+  setReadFaultHook([](const std::string &, unsigned, std::string &Message) {
+    Message = "persistent failure";
+    return true;
+  });
+  setRetrySleepHook([](uint64_t) {});
+
+  PvpServer Server;
+  json::Object P;
+  P.set("path", "/tmp/evtool_test_never_readable.evprof");
+  json::Value Resp = Server.handleMessage(rpc::makeRequest(1, "pvp/open", P));
+
+  setReadFaultHook(nullptr);
+  setRetrySleepHook(nullptr);
+
+  ASSERT_FALSE(isSuccess(Resp));
+  EXPECT_NE(Resp.asObject()
+                .find("error")
+                ->asObject()
+                .find("message")
+                ->asString()
+                .find("attempts"),
+            std::string::npos);
+}
+
+TEST(PvpServerLimits, DecodeLimitsRejectHostileProfile) {
+  ServerLimits L;
+  L.Decode.MaxNodes = 3; // Fixed profile has 6 nodes.
+  PvpServer Server(L);
+
+  std::string Bytes = writeEvProf(test::makeFixedProfile());
+  json::Object P;
+  P.set("name", "dense.evprof");
+  P.set("dataBase64", base64Encode(Bytes));
+  json::Value Resp = Server.handleMessage(rpc::makeRequest(1, "pvp/open", P));
+  ASSERT_FALSE(isSuccess(Resp));
+  EXPECT_NE(Resp.asObject()
+                .find("error")
+                ->asObject()
+                .find("message")
+                ->asString()
+                .find("limit"),
+            std::string::npos);
 }

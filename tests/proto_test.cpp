@@ -6,6 +6,7 @@
 
 #include "proto/EvProf.h"
 #include "proto/PprofFormat.h"
+#include "support/Limits.h"
 #include "support/ProtoWire.h"
 
 #include "TestHelpers.h"
@@ -263,4 +264,87 @@ TEST(Pprof, UnknownFieldsSkipped) {
   Result<pprof::PprofProfile> Back = pprof::read(Bytes);
   ASSERT_TRUE(Back.ok()) << Back.error();
   EXPECT_EQ(Back->Samples.size(), 1u);
+}
+
+//===----------------------------------------------------------------------===
+// Decode limits
+//===----------------------------------------------------------------------===
+
+TEST(EvProfLimits, DefaultsAcceptOrdinaryProfiles) {
+  std::string Bytes = writeEvProf(test::makeFixedProfile());
+  Result<Profile> P = readEvProf(Bytes, DecodeLimits::defaults());
+  ASSERT_TRUE(P.ok()) << P.error();
+  EXPECT_EQ(P->nodeCount(), 6u);
+}
+
+TEST(EvProfLimits, MaxInputBytesRejectsOversizedBlob) {
+  std::string Bytes = writeEvProf(test::makeFixedProfile());
+  DecodeLimits L;
+  L.MaxInputBytes = Bytes.size() - 1;
+  Result<Profile> P = readEvProf(Bytes, L);
+  ASSERT_FALSE(P.ok());
+  EXPECT_NE(P.error().find("exceed"), std::string::npos);
+}
+
+TEST(EvProfLimits, MaxNodesTripsDuringDecode) {
+  std::string Bytes = writeEvProf(test::makeFixedProfile());
+  DecodeLimits L;
+  L.MaxNodes = 3; // Profile has 6.
+  Result<Profile> P = readEvProf(Bytes, L);
+  ASSERT_FALSE(P.ok());
+  EXPECT_NE(P.error().find("limit"), std::string::npos);
+}
+
+TEST(EvProfLimits, MaxStringsTripsDuringDecode) {
+  std::string Bytes = writeEvProf(test::makeRandomProfile(3));
+  DecodeLimits L;
+  L.MaxStrings = 4;
+  Result<Profile> P = readEvProf(Bytes, L);
+  ASSERT_FALSE(P.ok());
+  EXPECT_NE(P.error().find("limit"), std::string::npos);
+}
+
+TEST(EvProfLimits, MaxTreeDepthRejectsDeepChains) {
+  // A single 64-deep call path.
+  ProfileBuilder B("deep");
+  MetricId Time = B.addMetric("time", "nanoseconds");
+  std::vector<FrameId> Path;
+  for (int I = 0; I < 64; ++I)
+    Path.push_back(B.functionFrame("f" + std::to_string(I), "f.cc",
+                                   static_cast<uint32_t>(I), "app"));
+  B.addSample(Path, Time, 1);
+  std::string Bytes = writeEvProf(B.take());
+
+  DecodeLimits Tight;
+  Tight.MaxTreeDepth = 16;
+  Result<Profile> P = readEvProf(Bytes, Tight);
+  ASSERT_FALSE(P.ok());
+  EXPECT_NE(P.error().find("limit"), std::string::npos);
+
+  DecodeLimits Loose;
+  Loose.MaxTreeDepth = 128;
+  Result<Profile> Q = readEvProf(Bytes, Loose);
+  ASSERT_TRUE(Q.ok()) << Q.error();
+}
+
+TEST(EvProfLimits, MaxAllocBytesBoundsDecodeMemory) {
+  std::string Bytes = writeEvProf(test::makeRandomProfile(5));
+  DecodeLimits L;
+  L.MaxAllocBytes = 64; // Far below what the profile needs.
+  Result<Profile> P = readEvProf(Bytes, L);
+  ASSERT_FALSE(P.ok());
+  EXPECT_NE(P.error().find("limit"), std::string::npos);
+}
+
+TEST(EvProfLimits, GuardReportsWhatTripped) {
+  DecodeLimits L;
+  L.MaxNodes = 2;
+  ResourceGuard G(L);
+  EXPECT_TRUE(G.chargeNode());
+  EXPECT_TRUE(G.chargeNode());
+  EXPECT_FALSE(G.chargeNode());
+  EXPECT_TRUE(G.exceeded());
+  EXPECT_NE(G.error().find("node"), std::string::npos);
+  // Once tripped, the guard stays tripped.
+  EXPECT_FALSE(G.chargeString(1));
 }

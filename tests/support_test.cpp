@@ -104,6 +104,43 @@ TEST(Varint, SkipPastEndFails) {
   EXPECT_TRUE(R.failed());
 }
 
+TEST(Varint, TenByteEncodingRoundTripsMax) {
+  std::string Buffer;
+  appendVarint(Buffer, ~0ULL);
+  ASSERT_EQ(Buffer.size(), 10u);
+  VarintReader R(Buffer);
+  EXPECT_EQ(R.readVarint(), ~0ULL);
+  EXPECT_FALSE(R.failed());
+}
+
+TEST(Varint, RejectsBitsShiftedPastSixtyFour) {
+  // Nine continuation bytes followed by 0x02: the payload bit lands at
+  // position 64. Accepting it would decode to the same value as the
+  // encoding without it — two distinct encodings, one value.
+  std::string Overflowing(9, '\x81');
+  Overflowing.push_back('\x02');
+  VarintReader R(Overflowing);
+  (void)R.readVarint();
+  EXPECT_TRUE(R.failed());
+
+  // The same prefix with 0x01 is the canonical top bit and stays valid.
+  std::string Valid(9, '\x81');
+  Valid.push_back('\x01');
+  VarintReader V(Valid);
+  (void)V.readVarint();
+  EXPECT_FALSE(V.failed());
+}
+
+TEST(Varint, RejectsTenByteContinuation) {
+  // A continuation bit on the tenth byte always overflows 64 bits.
+  std::string Buffer(9, '\x80');
+  Buffer.push_back('\x81');
+  Buffer.push_back('\x00');
+  VarintReader R(Buffer);
+  (void)R.readVarint();
+  EXPECT_TRUE(R.failed());
+}
+
 TEST(Zigzag, MapsSignOntoLowBit) {
   EXPECT_EQ(zigzagEncode(0), 0u);
   EXPECT_EQ(zigzagEncode(-1), 1u);

@@ -52,9 +52,24 @@ protected:
 TEST_F(ToolTest, HelpAndUnknownCommand) {
   EXPECT_EQ(run({"help"}), 0);
   EXPECT_NE(Out.find("usage: evtool"), std::string::npos);
-  EXPECT_EQ(run({"frobnicate"}), 1);
+  EXPECT_EQ(run({"frobnicate"}), ExitUsageError);
   EXPECT_NE(Err.find("unknown command"), std::string::npos);
-  EXPECT_EQ(run({}), 1);
+  EXPECT_EQ(run({}), ExitUsageError);
+  EXPECT_NE(Err.find("usage: evtool"), std::string::npos);
+}
+
+TEST_F(ToolTest, DistinctExitCodesPerFailureMode) {
+  // Usage errors and data errors are distinguishable by exit code alone,
+  // and both diagnose on stderr, never stdout.
+  EXPECT_EQ(run({"info"}), ExitUsageError);
+  EXPECT_TRUE(Out.empty());
+  EXPECT_FALSE(Err.empty());
+  EXPECT_EQ(run({"info", Dir + "/does-not-exist.prof"}), ExitDataError);
+  EXPECT_TRUE(Out.empty());
+  EXPECT_NE(Err.find("evtool: error:"), std::string::npos);
+  std::string Garbage = Dir + "/garbage.prof";
+  ASSERT_TRUE(writeFile(Garbage, "not a profile at all").ok());
+  EXPECT_EQ(run({"info", Garbage}), ExitDataError);
 }
 
 TEST_F(ToolTest, InfoDescribesProfile) {
@@ -70,7 +85,7 @@ TEST_F(ToolTest, InfoAutoDetectsForeignFormats) {
 }
 
 TEST_F(ToolTest, MissingFileFails) {
-  EXPECT_EQ(run({"info", Dir + "/nope.prof"}), 1);
+  EXPECT_EQ(run({"info", Dir + "/nope.prof"}), ExitDataError);
   EXPECT_NE(Err.find("cannot open"), std::string::npos);
 }
 
@@ -85,7 +100,7 @@ TEST_F(ToolTest, FlameAnsiAllShapes) {
         << Shape << ": " << Err;
     EXPECT_FALSE(Out.empty()) << Shape;
   }
-  EXPECT_EQ(run({"flame", Evprof, "--shape", "spiral"}), 1);
+  EXPECT_EQ(run({"flame", Evprof, "--shape", "spiral"}), ExitUsageError);
 }
 
 TEST_F(ToolTest, FlameSvgWritesFile) {
@@ -113,7 +128,7 @@ TEST_F(ToolTest, ConvertBetweenFormats) {
     // re-opens too (the converter reads trace JSON).
     ASSERT_EQ(run({"info", Target}), 0) << To << ": " << Err;
   }
-  EXPECT_EQ(run({"convert", Folded, Dir + "/x", "--to", "dot"}), 1);
+  EXPECT_EQ(run({"convert", Folded, Dir + "/x", "--to", "dot"}), ExitUsageError);
 }
 
 TEST_F(ToolTest, DiffPrintsTags) {
@@ -152,9 +167,10 @@ TEST_F(ToolTest, QueryFromFileAndResultOutput) {
 }
 
 TEST_F(ToolTest, QueryErrorsSurface) {
-  EXPECT_EQ(run({"query", Evprof, "--e", "print ("}), 1);
+  EXPECT_EQ(run({"query", Evprof, "--e", "print ("}), ExitDataError);
   EXPECT_NE(Err.find("error"), std::string::npos);
-  EXPECT_EQ(run({"query", Evprof}), 1); // No program given.
+  // No program given: that is a usage error, not a data error.
+  EXPECT_EQ(run({"query", Evprof}), ExitUsageError);
 }
 
 TEST_F(ToolTest, ButterflyShowsCallersAndCallees) {
@@ -162,7 +178,7 @@ TEST_F(ToolTest, ButterflyShowsCallersAndCallees) {
   EXPECT_NE(Out.find("callers:"), std::string::npos);
   EXPECT_NE(Out.find("main"), std::string::npos);
   EXPECT_NE(Out.find("kernel"), std::string::npos);
-  EXPECT_EQ(run({"butterfly", Evprof, "missingFn"}), 1);
+  EXPECT_EQ(run({"butterfly", Evprof, "missingFn"}), ExitDataError);
 }
 
 TEST_F(ToolTest, ReportWritesHtml) {
@@ -196,6 +212,6 @@ TEST_F(ToolTest, ConvertTauInput) {
 }
 
 TEST_F(ToolTest, OptionWithoutValueFails) {
-  EXPECT_EQ(run({"flame", Evprof, "--shape"}), 1);
+  EXPECT_EQ(run({"flame", Evprof, "--shape"}), ExitUsageError);
   EXPECT_NE(Err.find("needs a value"), std::string::npos);
 }
