@@ -1,0 +1,697 @@
+//===- analysis/Sema.cpp - EVQL semantic analyzer -------------------------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Sema.h"
+
+#include "query/Parser.h"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <unordered_map>
+
+namespace ev {
+
+std::string_view semaTypeName(SemaType Type) {
+  switch (Type) {
+  case SemaType::Number:
+    return "number";
+  case SemaType::String:
+    return "string";
+  case SemaType::Bool:
+    return "bool";
+  case SemaType::NodeSet:
+    return "node-set";
+  case SemaType::Unknown:
+    return "unknown";
+  }
+  return "unknown";
+}
+
+const std::vector<SemaCheckInfo> &semaChecks() {
+  static const std::vector<SemaCheckInfo> Checks = {
+      {"EVQL001", "syntax-error", Severity::Error,
+       "the statement does not parse; recovery resumes at the next ';'"},
+      {"EVQL002", "undefined-identifier", Severity::Error,
+       "use of a name no 'let' statement binds"},
+      {"EVQL003", "unknown-builtin", Severity::Error,
+       "call target is not an EVQL builtin"},
+      {"EVQL004", "wrong-arity", Severity::Error,
+       "builtin called with the wrong number of arguments"},
+      {"EVQL005", "type-mismatch", Severity::Error,
+       "value of one type used where another is required"},
+      {"EVQL006", "unknown-metric", Severity::Error,
+       "metric name not present in the profile or derived earlier"},
+      {"EVQL007", "division-by-zero", Severity::Warning,
+       "'/' or '%' by a constant zero (EVQL defines the result as 0)"},
+      {"EVQL008", "constant-condition", Severity::Warning,
+       "condition folds to a compile-time constant"},
+      {"EVQL009", "unused-binding", Severity::Warning,
+       "'let' binding never referenced"},
+      {"EVQL010", "unreachable-code", Severity::Warning,
+       "statements after 'return' never execute"},
+      {"EVQL011", "node-context", Severity::Error,
+       "node builtin used outside derive/prune/keep"},
+      {"EVQL012", "expr-too-deep", Severity::Error,
+       "expression nesting exceeds AnalysisLimits::MaxExprDepth"},
+      {"EVQL013", "program-too-large", Severity::Error,
+       "source exceeds AnalysisLimits::MaxProgramBytes"},
+  };
+  return Checks;
+}
+
+const SemaCheckInfo *findSemaCheck(std::string_view IdOrName) {
+  for (const SemaCheckInfo &Check : semaChecks())
+    if (Check.Id == IdOrName || Check.Name == IdOrName)
+      return &Check;
+  return nullptr;
+}
+
+namespace {
+
+using evql::Expr;
+using evql::Program;
+using evql::Stmt;
+using evql::TokenKind;
+
+/// A folded compile-time constant. Folding mirrors the interpreter exactly
+/// (x / 0 == 0, bool-to-number coercion, ...) so EVQL008/EVQL007 never
+/// claim something the runtime would contradict.
+struct ConstVal {
+  enum class Kind : uint8_t { None, Num, Str, Bool };
+  Kind K = Kind::None;
+  double Num = 0.0;
+  bool B = false;
+  std::string Str;
+
+  static ConstVal num(double V) {
+    ConstVal C;
+    C.K = Kind::Num;
+    C.Num = V;
+    return C;
+  }
+  static ConstVal str(std::string V) {
+    ConstVal C;
+    C.K = Kind::Str;
+    C.Str = std::move(V);
+    return C;
+  }
+  static ConstVal boolean(bool V) {
+    ConstVal C;
+    C.K = Kind::Bool;
+    C.B = V;
+    return C;
+  }
+};
+
+/// Truthiness under the interpreter's evalBool: bools as-is, numbers
+/// against zero, strings are not conditions.
+std::optional<bool> truthy(const ConstVal &C) {
+  if (C.K == ConstVal::Kind::Bool)
+    return C.B;
+  if (C.K == ConstVal::Kind::Num)
+    return C.Num != 0.0;
+  return std::nullopt;
+}
+
+/// Numeric value under the interpreter's evalNumber coercions.
+std::optional<double> asNumber(const ConstVal &C) {
+  if (C.K == ConstVal::Kind::Num)
+    return C.Num;
+  if (C.K == ConstVal::Kind::Bool)
+    return C.B ? 1.0 : 0.0;
+  return std::nullopt;
+}
+
+/// What the checker knows about one expression.
+struct ExprInfo {
+  SemaType Type = SemaType::Unknown;
+  ConstVal Const;
+};
+
+/// Signature of one interpreter builtin (query/Interpreter.cpp evalCall is
+/// the source of truth; sema_test locks the two tables together).
+struct BuiltinSig {
+  std::string_view Name;
+  uint8_t Arity;
+  SemaType Args[2];
+  SemaType Ret;
+  bool NeedsNode;   ///< Usable only under derive/prune/keep.
+  bool MetricName;  ///< First argument names a metric column.
+};
+
+constexpr SemaType TyN = SemaType::Number;
+constexpr SemaType TyS = SemaType::String;
+constexpr SemaType TyB = SemaType::Bool;
+constexpr SemaType TyAny = SemaType::Unknown;
+
+constexpr BuiltinSig Builtins[] = {
+    {"metric", 1, {TyS, TyAny}, TyN, true, true},
+    {"exclusive", 1, {TyS, TyAny}, TyN, true, true},
+    {"inclusive", 1, {TyS, TyAny}, TyN, true, true},
+    {"total", 1, {TyS, TyAny}, TyN, false, true},
+    {"share", 1, {TyS, TyAny}, TyN, true, true},
+    {"nodecount", 0, {TyAny, TyAny}, TyN, false, false},
+    {"name", 0, {TyAny, TyAny}, TyS, true, false},
+    {"file", 0, {TyAny, TyAny}, TyS, true, false},
+    {"module", 0, {TyAny, TyAny}, TyS, true, false},
+    {"kind", 0, {TyAny, TyAny}, TyS, true, false},
+    {"line", 0, {TyAny, TyAny}, TyN, true, false},
+    {"depth", 0, {TyAny, TyAny}, TyN, true, false},
+    {"nchildren", 0, {TyAny, TyAny}, TyN, true, false},
+    {"isleaf", 0, {TyAny, TyAny}, TyB, true, false},
+    {"parentname", 0, {TyAny, TyAny}, TyS, true, false},
+    {"hasancestor", 1, {TyS, TyAny}, TyB, true, false},
+    {"min", 2, {TyN, TyN}, TyN, false, false},
+    {"max", 2, {TyN, TyN}, TyN, false, false},
+    {"ratio", 2, {TyN, TyN}, TyN, false, false},
+    {"abs", 1, {TyN, TyAny}, TyN, false, false},
+    {"log", 1, {TyN, TyAny}, TyN, false, false},
+    {"sqrt", 1, {TyN, TyAny}, TyN, false, false},
+    {"floor", 1, {TyN, TyAny}, TyN, false, false},
+    {"ceil", 1, {TyN, TyAny}, TyN, false, false},
+    {"contains", 2, {TyS, TyS}, TyB, false, false},
+    {"startswith", 2, {TyS, TyS}, TyB, false, false},
+    {"endswith", 2, {TyS, TyS}, TyB, false, false},
+    {"str", 1, {TyAny, TyAny}, TyS, false, false},
+    {"fmt", 2, {TyN, TyN}, TyS, false, false},
+};
+
+const BuiltinSig *findBuiltin(std::string_view Name) {
+  for (const BuiltinSig &Sig : Builtins)
+    if (Sig.Name == Name)
+      return &Sig;
+  return nullptr;
+}
+
+/// Can a value of \p Actual flow where \p Want is required, under the
+/// interpreter's coercions? Unknown on either side stays quiet: one
+/// diagnostic per root cause, no cascades.
+bool compatible(SemaType Actual, SemaType Want) {
+  if (Actual == SemaType::Unknown || Want == SemaType::Unknown)
+    return true;
+  if (Actual == Want)
+    return true;
+  if (Want == SemaType::Number)
+    return Actual == SemaType::Bool;
+  if (Want == SemaType::Bool)
+    return Actual == SemaType::Number;
+  return false;
+}
+
+/// Bounded Levenshtein distance for did-you-mean hints.
+size_t editDistance(std::string_view A, std::string_view B) {
+  std::vector<size_t> Row(B.size() + 1);
+  for (size_t J = 0; J <= B.size(); ++J)
+    Row[J] = J;
+  for (size_t I = 1; I <= A.size(); ++I) {
+    size_t Prev = Row[0];
+    Row[0] = I;
+    for (size_t J = 1; J <= B.size(); ++J) {
+      size_t Cur = Row[J];
+      Row[J] = std::min({Row[J] + 1, Row[J - 1] + 1,
+                         Prev + (A[I - 1] == B[J - 1] ? 0 : 1)});
+      Prev = Cur;
+    }
+  }
+  return Row[B.size()];
+}
+
+/// "did you mean 'X'?" when some candidate is plausibly a typo of \p Name.
+template <typename Range, typename NameOf>
+std::string suggestFrom(std::string_view Name, const Range &Candidates,
+                        NameOf GetName) {
+  std::string_view Best;
+  size_t BestDist = Name.size() >= 6 ? 3 : 2; // strictly-better threshold
+  for (const auto &C : Candidates) {
+    // The view is kept across iterations, so the projection must not
+    // return a temporary string.
+    static_assert(std::is_same_v<decltype(GetName(C)), std::string_view>,
+                  "suggestFrom projection must return std::string_view");
+    std::string_view Candidate = GetName(C);
+    if (Candidate == Name)
+      continue;
+    size_t D = editDistance(Name, Candidate);
+    if (D < BestDist) {
+      BestDist = D;
+      Best = Candidate;
+    }
+  }
+  if (Best.empty())
+    return "";
+  return "did you mean '" + std::string(Best) + "'?";
+}
+
+/// One checking run over one program.
+class Checker {
+public:
+  Checker(const SemaOptions &Opts, DiagnosticSet &Out)
+      : Opts(Opts), Out(Out) {}
+
+  void run(const Program &Prog) {
+    size_t ReturnLine = 0;
+    bool Returned = false;
+    for (const Stmt &S : Prog.Statements) {
+      if (Returned) {
+        report("EVQL010", Severity::Warning, S.Line, S.Column,
+               "unreachable statement: execution stops at the 'return' on "
+               "line " + std::to_string(ReturnLine),
+               "unreachable-code",
+               "remove the statement or move it before the 'return'");
+        break; // One finding covers the whole dead tail.
+      }
+      switch (S.TheKind) {
+      case Stmt::Kind::Let: {
+        ExprInfo V = checkExpr(*S.Value, /*NodeCtx=*/false, 0);
+        Binding &Slot = Bindings[S.Name];
+        if (Slot.Line == 0)
+          BindingOrder.push_back(S.Name);
+        Slot = Binding{V.Type, V.Const, S.Line, S.Column, false};
+        break;
+      }
+      case Stmt::Kind::Derive: {
+        ExprInfo V = checkExpr(*S.Value, /*NodeCtx=*/true, 0);
+        if (V.Type == SemaType::String)
+          report("EVQL005", Severity::Error, S.Value->Line, S.Value->Column,
+                 "derived metric '" + S.Name +
+                     "' must be a number, found a string",
+                 "type-mismatch", "wrap the formula in a numeric expression");
+        DerivedMetrics.push_back(S.Name);
+        break;
+      }
+      case Stmt::Kind::Prune:
+      case Stmt::Kind::Keep: {
+        bool IsPrune = S.TheKind == Stmt::Kind::Prune;
+        ExprInfo C = checkExpr(*S.Value, /*NodeCtx=*/true, 0);
+        if (C.Type == SemaType::String)
+          report("EVQL005", Severity::Error, S.Value->Line, S.Value->Column,
+                 "expected a condition, found a string", "type-mismatch",
+                 "compare the string with '==' or use contains()");
+        if (std::optional<bool> T = truthy(C.Const)) {
+          std::string Effect;
+          if (IsPrune)
+            Effect = *T ? "this elides every node below the root"
+                        : "this statement has no effect";
+          else
+            Effect = *T ? "this statement has no effect"
+                        : "this elides every node below the root";
+          report("EVQL008", Severity::Warning, S.Value->Line,
+                 S.Value->Column,
+                 std::string(IsPrune ? "'prune when'" : "'keep when'") +
+                     " condition is always " + (*T ? "true" : "false"),
+                 "constant-condition", Effect);
+        }
+        break;
+      }
+      case Stmt::Kind::Print:
+        checkExpr(*S.Value, /*NodeCtx=*/false, 0);
+        break;
+      case Stmt::Kind::Return:
+        checkExpr(*S.Value, /*NodeCtx=*/false, 0);
+        Returned = true;
+        ReturnLine = S.Line;
+        break;
+      }
+    }
+
+    for (const std::string &Name : BindingOrder) {
+      const Binding &Slot = Bindings[Name];
+      if (!Slot.Used)
+        report("EVQL009", Severity::Warning, Slot.Line, Slot.Column,
+               "unused binding '" + Name + "'", "unused-binding",
+               "remove the 'let' or reference the binding");
+    }
+  }
+
+private:
+  struct Binding {
+    SemaType Type = SemaType::Unknown;
+    ConstVal Const;
+    size_t Line = 0; ///< 0 marks a never-filled slot.
+    size_t Column = 0;
+    bool Used = false;
+  };
+
+  void report(const char *Id, Severity Sev, size_t Line, size_t Column,
+              std::string Message, const char *Rule, std::string Hint) {
+    Diagnostic D;
+    D.Id = Id;
+    D.Sev = Sev;
+    D.Message = std::move(Message);
+    D.Rule = Rule;
+    D.Hint = std::move(Hint);
+    D.Line = Line;
+    D.Column = Column;
+    Out.add(std::move(D));
+  }
+
+  ExprInfo checkExpr(const Expr &E, bool NodeCtx, size_t Depth) {
+    if (Depth >= Opts.Limits.MaxExprDepth) {
+      report("EVQL012", Severity::Error, E.Line, E.Column,
+             "expression nesting exceeds the analysis limit of " +
+                 std::to_string(Opts.Limits.MaxExprDepth),
+             "expr-too-deep", "split the expression across 'let' bindings");
+      return {};
+    }
+    switch (E.TheKind) {
+    case Expr::Kind::NumberLit:
+      return {SemaType::Number, ConstVal::num(E.Number)};
+    case Expr::Kind::StringLit:
+      return {SemaType::String, ConstVal::str(E.Text)};
+    case Expr::Kind::BoolLit:
+      return {SemaType::Bool, ConstVal::boolean(E.BoolValue)};
+    case Expr::Kind::Ident: {
+      auto It = Bindings.find(E.Text);
+      if (It == Bindings.end()) {
+        std::string Hint =
+            suggestFrom(E.Text, BindingOrder,
+                        [](const std::string &S) { return std::string_view(S); });
+        if (Hint.empty() && findBuiltin(E.Text))
+          Hint = "'" + E.Text + "' is a builtin; call it: " + E.Text + "(...)";
+        report("EVQL002", Severity::Error, E.Line, E.Column,
+               "undefined identifier '" + E.Text + "'",
+               "undefined-identifier", std::move(Hint));
+        return {};
+      }
+      It->second.Used = true;
+      return {It->second.Type, It->second.Const};
+    }
+    case Expr::Kind::Unary:
+      return checkUnary(E, NodeCtx, Depth);
+    case Expr::Kind::Ternary:
+      return checkTernary(E, NodeCtx, Depth);
+    case Expr::Kind::Binary:
+      return checkBinary(E, NodeCtx, Depth);
+    case Expr::Kind::Call:
+      return checkCall(E, NodeCtx, Depth);
+    }
+    return {};
+  }
+
+  ExprInfo checkUnary(const Expr &E, bool NodeCtx, size_t Depth) {
+    ExprInfo V = checkExpr(*E.Operands[0], NodeCtx, Depth + 1);
+    if (E.Op == TokenKind::Minus) {
+      if (V.Type == SemaType::String)
+        report("EVQL005", Severity::Error, E.Operands[0]->Line,
+               E.Operands[0]->Column, "cannot negate a string",
+               "type-mismatch", "");
+      ExprInfo R{SemaType::Number, {}};
+      if (std::optional<double> N = asNumber(V.Const))
+        R.Const = ConstVal::num(-*N);
+      return R;
+    }
+    // '!'.
+    if (V.Type == SemaType::String)
+      report("EVQL005", Severity::Error, E.Operands[0]->Line,
+             E.Operands[0]->Column, "expected a condition, found a string",
+             "type-mismatch", "");
+    ExprInfo R{SemaType::Bool, {}};
+    if (std::optional<bool> T = truthy(V.Const))
+      R.Const = ConstVal::boolean(!*T);
+    return R;
+  }
+
+  ExprInfo checkTernary(const Expr &E, bool NodeCtx, size_t Depth) {
+    ExprInfo C = checkExpr(*E.Operands[0], NodeCtx, Depth + 1);
+    if (C.Type == SemaType::String)
+      report("EVQL005", Severity::Error, E.Operands[0]->Line,
+             E.Operands[0]->Column,
+             "ternary condition cannot be a string", "type-mismatch", "");
+    ExprInfo Then = checkExpr(*E.Operands[1], NodeCtx, Depth + 1);
+    ExprInfo Else = checkExpr(*E.Operands[2], NodeCtx, Depth + 1);
+    if (std::optional<bool> T = truthy(C.Const)) {
+      report("EVQL008", Severity::Warning, E.Operands[0]->Line,
+             E.Operands[0]->Column,
+             std::string("ternary condition is always ") +
+                 (*T ? "true" : "false"),
+             "constant-condition",
+             std::string("only the '") + (*T ? "then" : "else") +
+                 "' branch can execute");
+      return *T ? Then : Else;
+    }
+    if (Then.Type == Else.Type)
+      return {Then.Type, {}};
+    return {};
+  }
+
+  ExprInfo checkBinary(const Expr &E, bool NodeCtx, size_t Depth) {
+    const Expr &L = *E.Operands[0];
+    const Expr &R = *E.Operands[1];
+    ExprInfo Lhs = checkExpr(L, NodeCtx, Depth + 1);
+    ExprInfo Rhs = checkExpr(R, NodeCtx, Depth + 1);
+
+    auto StringOperandError = [&](const Expr &Op) {
+      report("EVQL005", Severity::Error, Op.Line, Op.Column,
+             "string operand in numeric expression", "type-mismatch",
+             "convert with a comparison, or format numbers with str()/fmt()");
+    };
+
+    switch (E.Op) {
+    case TokenKind::AmpAmp:
+    case TokenKind::PipePipe: {
+      if (Lhs.Type == SemaType::String)
+        report("EVQL005", Severity::Error, L.Line, L.Column,
+               "expected a condition, found a string", "type-mismatch", "");
+      if (Rhs.Type == SemaType::String)
+        report("EVQL005", Severity::Error, R.Line, R.Column,
+               "expected a condition, found a string", "type-mismatch", "");
+      ExprInfo Out{SemaType::Bool, {}};
+      std::optional<bool> A = truthy(Lhs.Const);
+      std::optional<bool> B = truthy(Rhs.Const);
+      bool IsAnd = E.Op == TokenKind::AmpAmp;
+      if (A && *A != IsAnd) // Short-circuit: false&&x, true||x.
+        Out.Const = ConstVal::boolean(!IsAnd);
+      else if (A && B)
+        Out.Const = ConstVal::boolean(IsAnd ? (*A && *B) : (*A || *B));
+      return Out;
+    }
+    case TokenKind::EqualEqual:
+    case TokenKind::BangEqual: {
+      ExprInfo Out{SemaType::Bool, {}};
+      bool BothStrings = Lhs.Const.K == ConstVal::Kind::Str &&
+                         Rhs.Const.K == ConstVal::Kind::Str;
+      if (BothStrings) {
+        bool Equal = Lhs.Const.Str == Rhs.Const.Str;
+        Out.Const = ConstVal::boolean(E.Op == TokenKind::EqualEqual
+                                          ? Equal
+                                          : !Equal);
+      } else if (asNumber(Lhs.Const) && asNumber(Rhs.Const)) {
+        bool Equal = *asNumber(Lhs.Const) == *asNumber(Rhs.Const);
+        Out.Const = ConstVal::boolean(E.Op == TokenKind::EqualEqual
+                                          ? Equal
+                                          : !Equal);
+      }
+      return Out;
+    }
+    case TokenKind::Less:
+    case TokenKind::LessEqual:
+    case TokenKind::Greater:
+    case TokenKind::GreaterEqual: {
+      bool LStr = Lhs.Type == SemaType::String;
+      bool RStr = Rhs.Type == SemaType::String;
+      if (LStr != RStr && Lhs.Type != SemaType::Unknown &&
+          Rhs.Type != SemaType::Unknown)
+        StringOperandError(LStr ? L : R);
+      ExprInfo Out{SemaType::Bool, {}};
+      auto Fold = [&](double Cmp) {
+        switch (E.Op) {
+        case TokenKind::Less:
+          return Cmp < 0;
+        case TokenKind::LessEqual:
+          return Cmp <= 0;
+        case TokenKind::Greater:
+          return Cmp > 0;
+        default:
+          return Cmp >= 0;
+        }
+      };
+      if (Lhs.Const.K == ConstVal::Kind::Str &&
+          Rhs.Const.K == ConstVal::Kind::Str)
+        Out.Const = ConstVal::boolean(
+            Fold(static_cast<double>(Lhs.Const.Str.compare(Rhs.Const.Str))));
+      else if (asNumber(Lhs.Const) && asNumber(Rhs.Const))
+        Out.Const = ConstVal::boolean(
+            Fold(*asNumber(Lhs.Const) - *asNumber(Rhs.Const)));
+      return Out;
+    }
+    case TokenKind::Plus: {
+      if (Lhs.Type == SemaType::String && Rhs.Type == SemaType::String) {
+        ExprInfo Out{SemaType::String, {}};
+        if (Lhs.Const.K == ConstVal::Kind::Str &&
+            Rhs.Const.K == ConstVal::Kind::Str)
+          Out.Const = ConstVal::str(Lhs.Const.Str + Rhs.Const.Str);
+        return Out;
+      }
+      if (Lhs.Type == SemaType::String || Rhs.Type == SemaType::String) {
+        if (Lhs.Type != SemaType::Unknown && Rhs.Type != SemaType::Unknown)
+          StringOperandError(Lhs.Type == SemaType::String ? L : R);
+        return {};
+      }
+      if (Lhs.Type == SemaType::Unknown || Rhs.Type == SemaType::Unknown)
+        return {}; // Could still be string concatenation at runtime.
+      ExprInfo Out{SemaType::Number, {}};
+      if (asNumber(Lhs.Const) && asNumber(Rhs.Const))
+        Out.Const =
+            ConstVal::num(*asNumber(Lhs.Const) + *asNumber(Rhs.Const));
+      return Out;
+    }
+    case TokenKind::Minus:
+    case TokenKind::Star:
+    case TokenKind::Slash:
+    case TokenKind::Percent: {
+      if (Lhs.Type == SemaType::String)
+        StringOperandError(L);
+      if (Rhs.Type == SemaType::String)
+        StringOperandError(R);
+      bool IsDiv =
+          E.Op == TokenKind::Slash || E.Op == TokenKind::Percent;
+      std::optional<double> A = asNumber(Lhs.Const);
+      std::optional<double> B = asNumber(Rhs.Const);
+      if (IsDiv && B && *B == 0.0)
+        report("EVQL007", Severity::Warning, R.Line, R.Column,
+               std::string("right operand of '") +
+                   (E.Op == TokenKind::Slash ? "/" : "%") +
+                   "' is the constant 0",
+               "division-by-zero",
+               "EVQL defines x / 0 as 0; spell that out with ratio() if "
+               "intended");
+      ExprInfo Out{SemaType::Number, {}};
+      if (A && B) {
+        switch (E.Op) {
+        case TokenKind::Minus:
+          Out.Const = ConstVal::num(*A - *B);
+          break;
+        case TokenKind::Star:
+          Out.Const = ConstVal::num(*A * *B);
+          break;
+        case TokenKind::Slash:
+          Out.Const = ConstVal::num(*B == 0.0 ? 0.0 : *A / *B);
+          break;
+        default:
+          Out.Const = ConstVal::num(*B == 0.0 ? 0.0 : std::fmod(*A, *B));
+          break;
+        }
+      }
+      return Out;
+    }
+    default:
+      return {};
+    }
+  }
+
+  ExprInfo checkCall(const Expr &E, bool NodeCtx, size_t Depth) {
+    const BuiltinSig *Sig = findBuiltin(E.Text);
+    if (!Sig) {
+      for (const evql::ExprPtr &Arg : E.Operands)
+        checkExpr(*Arg, NodeCtx, Depth + 1);
+      report("EVQL003", Severity::Error, E.Line, E.Column,
+             "unknown builtin '" + E.Text + "'", "unknown-builtin",
+             suggestFrom(E.Text, Builtins,
+                         [](const BuiltinSig &S) { return S.Name; }));
+      return {};
+    }
+    if (E.Operands.size() != Sig->Arity) {
+      for (const evql::ExprPtr &Arg : E.Operands)
+        checkExpr(*Arg, NodeCtx, Depth + 1);
+      report("EVQL004", Severity::Error, E.Line, E.Column,
+             "'" + E.Text + "' expects " + std::to_string(Sig->Arity) +
+                 " argument(s), got " + std::to_string(E.Operands.size()),
+             "wrong-arity", "");
+      return {Sig->Ret, {}};
+    }
+    if (Sig->NeedsNode && !NodeCtx)
+      report("EVQL011", Severity::Error, E.Line, E.Column,
+             "'" + E.Text + "()' needs a node context", "node-context",
+             "use it inside 'derive', 'prune when', or 'keep when'");
+    for (size_t I = 0; I < E.Operands.size(); ++I) {
+      ExprInfo Arg = checkExpr(*E.Operands[I], NodeCtx, Depth + 1);
+      if (!compatible(Arg.Type, Sig->Args[I]))
+        report("EVQL005", Severity::Error, E.Operands[I]->Line,
+               E.Operands[I]->Column,
+               "argument " + std::to_string(I + 1) + " of '" + E.Text +
+                   "' must be a " +
+                   std::string(semaTypeName(Sig->Args[I])) + ", found a " +
+                   std::string(semaTypeName(Arg.Type)),
+               "type-mismatch", "");
+      if (I == 0 && Sig->MetricName &&
+          Arg.Const.K == ConstVal::Kind::Str && Opts.MetricSource)
+        checkMetricName(Arg.Const.Str, *E.Operands[0]);
+    }
+    return {Sig->Ret, {}};
+  }
+
+  void checkMetricName(const std::string &Name, const Expr &At) {
+    const Profile &P = *Opts.MetricSource;
+    if (P.findMetric(Name) != Profile::InvalidMetric)
+      return;
+    for (const std::string &D : DerivedMetrics)
+      if (D == Name)
+        return;
+    std::string Hint = suggestFrom(
+        Name, P.metrics(),
+        [](const MetricDescriptor &M) { return std::string_view(M.Name); });
+    if (Hint.empty()) {
+      Hint = "known metrics:";
+      size_t Shown = 0;
+      for (const MetricDescriptor &M : P.metrics()) {
+        if (Shown++ == 5) {
+          Hint += " ...";
+          break;
+        }
+        Hint += " '" + M.Name + "'";
+      }
+      if (P.metrics().empty())
+        Hint = "";
+    }
+    report("EVQL006", Severity::Error, At.Line, At.Column,
+           "unknown metric '" + Name + "'", "unknown-metric",
+           std::move(Hint));
+  }
+
+  const SemaOptions &Opts;
+  DiagnosticSet &Out;
+  std::unordered_map<std::string, Binding> Bindings;
+  std::vector<std::string> BindingOrder;
+  std::vector<std::string> DerivedMetrics;
+};
+
+} // namespace
+
+void SemaChecker::check(const evql::Program &Prog, DiagnosticSet &Out) const {
+  Checker(Opts, Out).run(Prog);
+}
+
+void SemaChecker::checkSource(std::string_view Source,
+                              DiagnosticSet &Out) const {
+  if (Source.size() > Opts.Limits.MaxProgramBytes) {
+    Diagnostic D;
+    D.Id = "EVQL013";
+    D.Sev = Severity::Error;
+    D.Message = "program of " + std::to_string(Source.size()) +
+                " bytes exceeds the analysis limit of " +
+                std::to_string(Opts.Limits.MaxProgramBytes);
+    D.Rule = "program-too-large";
+    D.Line = 1;
+    D.Column = 1;
+    Out.add(std::move(D));
+    Out.markTruncated();
+    return;
+  }
+  evql::RecoveredProgram Recovered = evql::parseProgramRecover(Source);
+  for (const evql::SyntaxError &E : Recovered.Errors) {
+    Diagnostic D;
+    D.Id = "EVQL001";
+    D.Sev = Severity::Error;
+    D.Message = E.Message;
+    D.Rule = "syntax-error";
+    D.Line = E.Line;
+    D.Column = E.Column;
+    Out.add(std::move(D));
+  }
+  check(Recovered.Prog, Out);
+}
+
+} // namespace ev

@@ -1,0 +1,99 @@
+//===- analysis/Sema.h - EVQL semantic analyzer ---------------------------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Static semantic analysis for EVQL programs, powering the editor-side
+/// diagnostics of the paper's "profile query" view: the checker walks a
+/// parsed (or error-recovered) program and reports IDE-style findings with
+/// line:column spans and stable ids — without ever executing the program.
+///
+/// Checks implemented (catalogued with examples in docs/ANALYSIS.md):
+///   EVQL001 syntax-error          parse failures (with statement recovery)
+///   EVQL002 undefined-identifier  use of a name with no 'let' binding
+///   EVQL003 unknown-builtin       call target is not a builtin
+///   EVQL004 wrong-arity           builtin called with wrong argument count
+///   EVQL005 type-mismatch         flow-insensitive type-lattice violations
+///   EVQL006 unknown-metric        metric name absent from the profile
+///   EVQL007 division-by-zero      '/' or '%' by a constant zero
+///   EVQL008 constant-condition    condition folds to always-true/false
+///   EVQL009 unused-binding        'let' binding never referenced
+///   EVQL010 unreachable-code      statements after 'return'
+///   EVQL011 node-context          node builtin outside derive/prune/keep
+///   EVQL012 expr-too-deep         nesting beyond AnalysisLimits
+///   EVQL013 program-too-large     source beyond AnalysisLimits
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EASYVIEW_ANALYSIS_SEMA_H
+#define EASYVIEW_ANALYSIS_SEMA_H
+
+#include "analysis/Diagnostic.h"
+#include "query/Ast.h"
+#include "support/Limits.h"
+
+#include <string_view>
+
+namespace ev {
+
+/// The flow-insensitive type lattice the checker infers over. Unknown is
+/// both top (no information) and the recovery type after an error, so one
+/// mistake produces one diagnostic instead of a cascade. NodeSet is the
+/// type of the implicit selection prune/keep statements operate on; no
+/// expression produces it today, but the lattice reserves it so rules can
+/// speak about statement-level values uniformly.
+enum class SemaType : uint8_t { Number, String, Bool, NodeSet, Unknown };
+
+/// \returns a stable lowercase name ("number", "string", ...).
+std::string_view semaTypeName(SemaType Type);
+
+/// Registry entry describing one semantic check.
+struct SemaCheckInfo {
+  std::string_view Id;   ///< Stable id, e.g. "EVQL002".
+  std::string_view Name; ///< Stable kebab-case name.
+  Severity DefaultSev;
+  std::string_view Description;
+};
+
+/// The full check registry, in id order.
+const std::vector<SemaCheckInfo> &semaChecks();
+
+/// Looks a check up by id ("EVQL005") or name ("type-mismatch").
+/// \returns nullptr when unknown.
+const SemaCheckInfo *findSemaCheck(std::string_view IdOrName);
+
+/// Configuration for a semantic check.
+struct SemaOptions {
+  /// When set, metric-name arguments of metric()/exclusive()/inclusive()/
+  /// total()/share() that are string constants are validated against this
+  /// profile's metric table (plus metrics derived earlier in the program).
+  /// When null the EVQL006 check is skipped.
+  const Profile *MetricSource = nullptr;
+  AnalysisLimits Limits = AnalysisLimits::defaults();
+};
+
+/// The EVQL semantic analyzer. Stateless across runs; one instance can
+/// check many programs.
+class SemaChecker {
+public:
+  explicit SemaChecker(SemaOptions Opts = {}) : Opts(Opts) {}
+
+  /// Checks a parsed program, appending findings to \p Out.
+  void check(const evql::Program &Prog, DiagnosticSet &Out) const;
+
+  /// Parses \p Source with statement-level error recovery (syntax errors
+  /// become EVQL001 findings) and checks whatever parsed. The combined
+  /// entry point 'evtool check' and pvp/diagnostics use.
+  void checkSource(std::string_view Source, DiagnosticSet &Out) const;
+
+  const SemaOptions &options() const { return Opts; }
+
+private:
+  SemaOptions Opts;
+};
+
+} // namespace ev
+
+#endif // EASYVIEW_ANALYSIS_SEMA_H

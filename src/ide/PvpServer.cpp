@@ -9,7 +9,9 @@
 #include "analysis/Butterfly.h"
 #include "analysis/Diff.h"
 #include "analysis/MetricEngine.h"
+#include "analysis/ProfileLint.h"
 #include "analysis/Prune.h"
+#include "analysis/Sema.h"
 #include "analysis/Transform.h"
 #include "convert/Converters.h"
 #include "convert/Exporters.h"
@@ -642,6 +644,124 @@ Result<json::Value> PvpServer::doCorrelated(const json::Object &Params) {
   return json::Value(std::move(Out));
 }
 
+Result<json::Value> PvpServer::doDiagnostics(const json::Object &Params) {
+  const json::Value *ProgV = Params.find("program");
+  const json::Value *ProfV = Params.find("profile");
+  if (!ProgV && !ProfV)
+    return makeError("pvp/diagnostics needs 'program' and/or 'profile'");
+  if (ProgV && !ProgV->isString())
+    return makeError("'program' must be a string");
+
+  AnalysisLimits Analysis = Limits.Analysis;
+  if (const json::Value *MV = Params.find("maxDiagnostics");
+      MV && MV->isNumber() && MV->asInt() > 0)
+    Analysis.MaxDiagnostics = std::min<size_t>(
+        Analysis.MaxDiagnostics, static_cast<size_t>(MV->asInt()));
+
+  Severity MinSeverity = Severity::Note;
+  if (const json::Value *SV = Params.find("minSeverity")) {
+    if (!SV->isString() || !parseSeverity(SV->asString(), MinSeverity))
+      return makeError(
+          "invalid 'minSeverity' (expected note, info, warning, or error)");
+  }
+
+  std::vector<std::string> Disabled;
+  if (const json::Value *DV = Params.find("disable")) {
+    if (!DV->isArray())
+      return makeError("'disable' must be an array of rule ids or names");
+    for (const json::Value &Entry : DV->asArray()) {
+      if (!Entry.isString() || (!findLintRule(Entry.asString()) &&
+                                !findSemaCheck(Entry.asString())))
+        return makeError("unknown rule in 'disable'");
+      Disabled.push_back(Entry.asString());
+    }
+  }
+
+  const Profile *P = nullptr;
+  if (ProfV) {
+    Result<const Profile *> L = lookup(Params);
+    if (!L)
+      return makeError(L.error());
+    P = *L;
+  }
+
+  // Batch both passes into one diagnostic set: program findings first
+  // (they carry source spans), then profile findings.
+  DiagnosticSet Diags(Analysis.MaxDiagnostics);
+  if (ProgV) {
+    SemaOptions SOpts;
+    SOpts.MetricSource = P;
+    SOpts.Limits = Analysis;
+    SemaChecker(SOpts).checkSource(ProgV->asString(), Diags);
+  }
+  if (P) {
+    LintOptions LOpts;
+    LOpts.Limits = Analysis;
+    LOpts.MinSeverity = MinSeverity;
+    LOpts.Disabled = Disabled;
+    ProfileLinter(LOpts).lintProfile(*P, Diags);
+  }
+  Diags.sortBySource();
+
+  auto Suppressed = [&](const Diagnostic &D) {
+    if (D.Sev < MinSeverity)
+      return true;
+    for (const std::string &Rule : Disabled)
+      if (D.Id == Rule || D.Rule == Rule)
+        return true;
+    return false;
+  };
+
+  size_t Errors = 0, Warnings = 0, Kept = 0;
+  for (const Diagnostic &D : Diags.all()) {
+    if (Suppressed(D))
+      continue;
+    ++Kept;
+    if (D.Sev == Severity::Error)
+      ++Errors;
+    else if (D.Sev == Severity::Warning)
+      ++Warnings;
+  }
+
+  // Serialize under the request deadline; running out degrades to a
+  // truncated (but valid) reply rather than discarding the findings.
+  json::Array Arr;
+  bool DeadlineHit = false;
+  for (const Diagnostic &D : Diags.all()) {
+    if (Suppressed(D))
+      continue;
+    if ((Arr.size() & 255) == 0 && deadlineExpired()) {
+      DeadlineHit = true;
+      break;
+    }
+    json::Object DO;
+    DO.set("id", D.Id);
+    DO.set("severity", std::string(severityName(D.Sev)));
+    DO.set("message", D.Message);
+    DO.set("rule", D.Rule);
+    if (!D.Hint.empty())
+      DO.set("hint", D.Hint);
+    if (D.Line > 0) {
+      DO.set("line", D.Line);
+      DO.set("column", D.Column);
+    }
+    if (D.Node != InvalidNode)
+      DO.set("node", D.Node);
+    Arr.push_back(json::Value(std::move(DO)));
+  }
+
+  json::Object Reply;
+  size_t Shown = Arr.size();
+  Reply.set("diagnostics", std::move(Arr));
+  Reply.set("errors", Errors);
+  Reply.set("warnings", Warnings);
+  Reply.set("dropped", Diags.dropped() + (Kept - Shown));
+  Reply.set("truncated", Diags.truncated() || DeadlineHit);
+  if (DeadlineHit)
+    Reply.set("deadlineExpired", true);
+  return json::Value(std::move(Reply));
+}
+
 json::Value PvpServer::dispatch(std::string_view Method,
                                 const json::Object &Params, int64_t Id) {
   // Arm the soft per-request deadline; long-running handler loops check
@@ -685,6 +805,8 @@ json::Value PvpServer::dispatch(std::string_view Method,
     R = doButterfly(Params);
   else if (Method == "pvp/correlated")
     R = doCorrelated(Params);
+  else if (Method == "pvp/diagnostics")
+    R = doDiagnostics(Params);
   else
     return rpc::makeErrorResponse(Id, rpc::MethodNotFound,
                                   "unknown method '" + std::string(Method) +

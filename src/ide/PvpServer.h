@@ -30,6 +30,10 @@
 ///   pvp/export        {profile, format, metric?} -> {dataBase64, bytes}
 ///   pvp/butterfly     {profile, function, metric?} -> {callers, callees}
 ///   pvp/correlated    {profile, kind, select?: [node...]} -> {panes}
+/// Static analysis (batched; see docs/ANALYSIS.md):
+///   pvp/diagnostics   {profile?, program?, minSeverity?, disable?,
+///                      maxDiagnostics?} -> {diagnostics, errors, warnings,
+///                      dropped, truncated}
 ///
 /// Errors use standard JSON-RPC codes. The server is transport-agnostic:
 /// handleMessage() maps one decoded request to one response, and
@@ -59,6 +63,8 @@ namespace ev {
 struct ServerLimits {
   /// Decode budgets applied to every profile the session opens.
   DecodeLimits Decode;
+  /// Static-analysis budgets applied to every pvp/diagnostics request.
+  AnalysisLimits Analysis;
   /// Wire framing guardrails (frame size cap, header cap).
   rpc::FrameReaderOptions Wire;
   /// Largest pvp/open payload (after base64 decoding) accepted.
@@ -126,6 +132,7 @@ private:
   Result<json::Value> doExport(const json::Object &Params);
   Result<json::Value> doButterfly(const json::Object &Params);
   Result<json::Value> doCorrelated(const json::Object &Params);
+  Result<json::Value> doDiagnostics(const json::Object &Params);
 
   Result<const Profile *> lookup(const json::Object &Params,
                                  std::string_view Key = "profile") const;

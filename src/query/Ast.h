@@ -48,6 +48,7 @@ struct Expr {
   TokenKind Op = TokenKind::Plus;
   std::vector<ExprPtr> Operands;
   size_t Line = 1;
+  size_t Column = 1; ///< 1-based column of the expression's first token.
 };
 
 /// Statement node.
@@ -58,12 +59,14 @@ struct Stmt {
     Prune,  ///< prune when Cond;       (elide matching nodes)
     Keep,   ///< keep when Cond;        (elide non-matching nodes)
     Print,  ///< print Value;
+    Return, ///< return Value;          (report and stop the program)
   };
 
   Kind TheKind = Kind::Print;
   std::string Name;
   ExprPtr Value;
   size_t Line = 1;
+  size_t Column = 1; ///< 1-based column of the statement keyword.
 };
 
 /// A parsed program.

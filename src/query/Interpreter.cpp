@@ -525,6 +525,16 @@ Result<QueryOutput> runProgram(const Profile &P, const Program &Prog) {
       Out.Printed.push_back(V->render());
       break;
     }
+    case Stmt::Kind::Return: {
+      // Like print, but the program stops here: statements after a return
+      // never execute (the static analyzer flags them as unreachable).
+      Ctx.HasNode = false;
+      EvalResult V = evalExpr(*S.Value, Ctx);
+      if (!V)
+        return makeError(V.error());
+      Out.Printed.push_back(V->render());
+      return Out;
+    }
     case Stmt::Kind::Derive: {
       // Compute the formula per node against the columns as they were
       // before the new metric exists, then install the column.

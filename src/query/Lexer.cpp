@@ -33,6 +33,8 @@ std::string_view tokenKindName(TokenKind Kind) {
     return "'when'";
   case TokenKind::KwPrint:
     return "'print'";
+  case TokenKind::KwReturn:
+    return "'return'";
   case TokenKind::KwTrue:
     return "'true'";
   case TokenKind::KwFalse:
@@ -100,6 +102,8 @@ TokenKind keywordKind(std::string_view Word) {
     return TokenKind::KwWhen;
   if (Word == "print")
     return TokenKind::KwPrint;
+  if (Word == "return")
+    return TokenKind::KwReturn;
   if (Word == "true")
     return TokenKind::KwTrue;
   if (Word == "false")
@@ -113,23 +117,32 @@ Result<std::vector<Token>> lex(std::string_view Source) {
   std::vector<Token> Tokens;
   size_t Pos = 0;
   size_t Line = 1;
+  size_t LineStart = 0; ///< Offset of the current line's first byte.
+
+  // 1-based column of \p At on the current line.
+  auto ColumnAt = [&](size_t At) { return At - LineStart + 1; };
+  size_t TokenStart = 0; ///< Offset of the token being lexed.
 
   auto Fail = [&](std::string Message) {
-    return makeError(Message + " at line " + std::to_string(Line));
+    return makeError(Message + " at line " + std::to_string(Line) + ":" +
+                     std::to_string(ColumnAt(Pos)));
   };
   auto Push = [&](TokenKind Kind, std::string Text = "") {
     Token T;
     T.Kind = Kind;
     T.Text = std::move(Text);
     T.Line = Line;
+    T.Column = ColumnAt(TokenStart);
     Tokens.push_back(std::move(T));
   };
 
   while (Pos < Source.size()) {
     char C = Source[Pos];
+    TokenStart = Pos;
     if (C == '\n') {
       ++Line;
       ++Pos;
+      LineStart = Pos;
       continue;
     }
     if (std::isspace(static_cast<unsigned char>(C))) {
@@ -169,6 +182,7 @@ Result<std::vector<Token>> lex(std::string_view Source) {
       T.Kind = TokenKind::Number;
       T.Number = Number;
       T.Line = Line;
+      T.Column = ColumnAt(Start);
       Tokens.push_back(std::move(T));
       continue;
     }
@@ -290,6 +304,7 @@ Result<std::vector<Token>> lex(std::string_view Source) {
       return Fail(std::string("unexpected character '") + C + "'");
     }
   }
+  TokenStart = Pos;
   Push(TokenKind::EndOfInput);
   return Tokens;
 }

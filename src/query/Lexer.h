@@ -38,6 +38,7 @@ enum class TokenKind : uint8_t {
   KwKeep,
   KwWhen,
   KwPrint,
+  KwReturn,
   KwTrue,
   KwFalse,
   // Punctuation and operators.
@@ -73,6 +74,7 @@ struct Token {
   std::string Text;     ///< Identifier name or decoded string literal.
   double Number = 0.0;  ///< Value for number literals.
   size_t Line = 1;      ///< 1-based source line, for diagnostics.
+  size_t Column = 1;    ///< 1-based source column of the first byte.
 };
 
 /// Tokenizes \p Source. Comments run from '#' to end of line.

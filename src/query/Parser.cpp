@@ -11,6 +11,11 @@ namespace evql {
 
 namespace {
 
+/// Hard cap on expression nesting. Recursive descent means parser stack
+/// frames scale with nesting depth; hostile input ("(((((...") must error
+/// out, never overflow the stack.
+constexpr unsigned MaxParseDepth = 500;
+
 class Parser {
 public:
   explicit Parser(std::vector<Token> Tokens) : Tokens(std::move(Tokens)) {}
@@ -24,6 +29,20 @@ public:
       Prog.Statements.push_back(std::move(*S));
     }
     return Prog;
+  }
+
+  RecoveredProgram parseProgramRecover() {
+    RecoveredProgram Out;
+    while (!lookingAt(TokenKind::EndOfInput)) {
+      Result<Stmt> S = parseStatement();
+      if (!S) {
+        Out.Errors.push_back(LastError);
+        synchronize();
+        continue;
+      }
+      Out.Prog.Statements.push_back(std::move(*S));
+    }
+    return Out;
   }
 
   Result<ExprPtr> parseSingleExpression() {
@@ -47,8 +66,39 @@ private:
     return true;
   }
 
+  static bool isStatementKeyword(TokenKind Kind) {
+    switch (Kind) {
+    case TokenKind::KwLet:
+    case TokenKind::KwDerive:
+    case TokenKind::KwPrune:
+    case TokenKind::KwKeep:
+    case TokenKind::KwPrint:
+    case TokenKind::KwReturn:
+      return true;
+    default:
+      return false;
+    }
+  }
+
+  /// Panic-mode recovery: skip to just past the next ';', or stop early at
+  /// a token that can only start a statement, so the next parseStatement()
+  /// attempt starts on a plausible boundary.
+  void synchronize() {
+    while (!lookingAt(TokenKind::EndOfInput)) {
+      if (consume(TokenKind::Semicolon))
+        return;
+      if (isStatementKeyword(peek().Kind))
+        return;
+      advance();
+    }
+  }
+
   Error fail(std::string Message) {
-    return makeError(Message + " at line " + std::to_string(peek().Line));
+    LastError.Message = Message;
+    LastError.Line = peek().Line;
+    LastError.Column = peek().Column;
+    return makeError(Message + " at line " + std::to_string(peek().Line) +
+                     ":" + std::to_string(peek().Column));
   }
 
   Result<bool> expect(TokenKind Kind) {
@@ -61,6 +111,7 @@ private:
   Result<Stmt> parseStatement() {
     Stmt S;
     S.Line = peek().Line;
+    S.Column = peek().Column;
     switch (peek().Kind) {
     case TokenKind::KwLet:
     case TokenKind::KwDerive: {
@@ -91,8 +142,10 @@ private:
       S.Value = E.take();
       break;
     }
-    case TokenKind::KwPrint: {
-      S.TheKind = Stmt::Kind::Print;
+    case TokenKind::KwPrint:
+    case TokenKind::KwReturn: {
+      S.TheKind = peek().Kind == TokenKind::KwPrint ? Stmt::Kind::Print
+                                                    : Stmt::Kind::Return;
       advance();
       Result<ExprPtr> E = parseExpr();
       if (!E)
@@ -102,14 +155,21 @@ private:
     }
     default:
       return fail("expected a statement ('let', 'derive', 'prune', 'keep', "
-                  "or 'print')");
+                  "'print', or 'return')");
     }
     if (Result<bool> R = expect(TokenKind::Semicolon); !R)
       return makeError(R.error());
     return S;
   }
 
-  Result<ExprPtr> parseExpr() { return parseTernary(); }
+  Result<ExprPtr> parseExpr() {
+    if (Depth >= MaxParseDepth)
+      return fail("expression nesting too deep");
+    ++Depth;
+    Result<ExprPtr> E = parseTernary();
+    --Depth;
+    return E;
+  }
 
   Result<ExprPtr> parseTernary() {
     Result<ExprPtr> Cond = parseOr();
@@ -128,6 +188,7 @@ private:
     auto E = std::make_unique<Expr>();
     E->TheKind = Expr::Kind::Ternary;
     E->Line = (*Cond)->Line;
+    E->Column = (*Cond)->Column;
     E->Operands.push_back(Cond.take());
     E->Operands.push_back(Then.take());
     E->Operands.push_back(Else.take());
@@ -157,6 +218,7 @@ private:
       E->TheKind = Expr::Kind::Binary;
       E->Op = Matched;
       E->Line = (*Lhs)->Line;
+      E->Column = (*Lhs)->Column;
       E->Operands.push_back(Lhs.take());
       E->Operands.push_back(Rhs.take());
       Lhs = std::move(E);
@@ -192,14 +254,21 @@ private:
 
   Result<ExprPtr> parseUnary() {
     if (lookingAt(TokenKind::Minus) || lookingAt(TokenKind::Bang)) {
+      if (Depth >= MaxParseDepth)
+        return fail("expression nesting too deep");
+      ++Depth;
+      size_t OpLine = peek().Line;
+      size_t OpColumn = peek().Column;
       TokenKind Op = advance().Kind;
       Result<ExprPtr> Operand = parseUnary();
+      --Depth;
       if (!Operand)
         return Operand;
       auto E = std::make_unique<Expr>();
       E->TheKind = Expr::Kind::Unary;
       E->Op = Op;
-      E->Line = (*Operand)->Line;
+      E->Line = OpLine;
+      E->Column = OpColumn;
       E->Operands.push_back(Operand.take());
       return E;
     }
@@ -209,6 +278,7 @@ private:
   Result<ExprPtr> parsePrimary() {
     auto E = std::make_unique<Expr>();
     E->Line = peek().Line;
+    E->Column = peek().Column;
     switch (peek().Kind) {
     case TokenKind::Number:
       E->TheKind = Expr::Kind::NumberLit;
@@ -261,6 +331,8 @@ private:
 
   std::vector<Token> Tokens;
   size_t Pos = 0;
+  unsigned Depth = 0;
+  SyntaxError LastError;
 };
 
 } // namespace
@@ -270,6 +342,20 @@ Result<Program> parseProgram(std::string_view Source) {
   if (!Tokens)
     return makeError(Tokens.error());
   return Parser(Tokens.take()).parseProgram();
+}
+
+RecoveredProgram parseProgramRecover(std::string_view Source) {
+  Result<std::vector<Token>> Tokens = lex(Source);
+  if (!Tokens) {
+    // Lexical failures are not statement-recoverable: report the one error
+    // with its position parsed back out of the message when possible.
+    RecoveredProgram Out;
+    SyntaxError E;
+    E.Message = Tokens.error();
+    Out.Errors.push_back(std::move(E));
+    return Out;
+  }
+  return Parser(Tokens.take()).parseProgramRecover();
 }
 
 Result<ExprPtr> parseExpression(std::string_view Source) {

@@ -42,11 +42,33 @@
 namespace ev {
 namespace evql {
 
-/// Parses EVQL source into a Program. Errors carry line numbers.
+/// Parses EVQL source into a Program. Errors carry line:column positions
+/// and the parse stops at the first failure (see parseProgramRecover for
+/// the multi-error entry point the static analyzer uses).
 Result<Program> parseProgram(std::string_view Source);
 
 /// Parses a single expression (used by the derived-metric quick API).
 Result<ExprPtr> parseExpression(std::string_view Source);
+
+/// One recoverable syntax error with its source position.
+struct SyntaxError {
+  std::string Message;
+  size_t Line = 1;
+  size_t Column = 1;
+};
+
+/// A best-effort parse: every statement that parsed cleanly plus every
+/// syntax error encountered along the way.
+struct RecoveredProgram {
+  Program Prog;
+  std::vector<SyntaxError> Errors;
+};
+
+/// Parses with statement-level error recovery: on a parse failure the
+/// parser records the error, synchronizes to the next ';' (or the next
+/// statement keyword), and keeps going, so one bad statement costs one
+/// diagnostic instead of hiding everything after it.
+RecoveredProgram parseProgramRecover(std::string_view Source);
 
 } // namespace evql
 } // namespace ev

@@ -29,6 +29,11 @@ DecodeLimits DecodeLimits::unlimited() {
   return L;
 }
 
+const AnalysisLimits &AnalysisLimits::defaults() {
+  static const AnalysisLimits Defaults;
+  return Defaults;
+}
+
 bool ResourceGuard::trip(const char *What) {
   if (!Tripped) {
     Tripped = true;

@@ -53,6 +53,27 @@ struct DecodeLimits {
   static DecodeLimits unlimited();
 };
 
+/// Budgets applied while statically analyzing untrusted analysis inputs:
+/// EVQL programs handed to the semantic checker and profiles handed to the
+/// lint engine (src/analysis/Sema.h, src/analysis/ProfileLint.h). The
+/// analyzers never execute user code, but they still walk user-shaped
+/// data, so every walk is bounded: oversized inputs degrade to a
+/// truncated diagnostic list, never unbounded work.
+struct AnalysisLimits {
+  /// Upper bound on diagnostics emitted per run; the excess is counted
+  /// and the result is flagged truncated.
+  size_t MaxDiagnostics = 1000;
+  /// Upper bound on the EVQL source size the checker accepts.
+  size_t MaxProgramBytes = 1u << 20;
+  /// Upper bound on expression-tree nesting the checker recurses into.
+  size_t MaxExprDepth = 256;
+  /// Upper bound on CCT nodes a single lint rule visits.
+  size_t MaxLintNodes = 8u << 20;
+
+  /// \returns the library-wide default limits.
+  static const AnalysisLimits &defaults();
+};
+
 /// Tracks consumption against a DecodeLimits budget. Decoders charge the
 /// guard as they materialize data; the first charge that exceeds its budget
 /// trips the guard, and every later charge keeps failing, so a decode loop

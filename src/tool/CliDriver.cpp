@@ -10,6 +10,8 @@
 #include "analysis/Butterfly.h"
 #include "analysis/Diff.h"
 #include "analysis/MetricEngine.h"
+#include "analysis/ProfileLint.h"
+#include "analysis/Sema.h"
 #include "analysis/Transform.h"
 #include "convert/Converters.h"
 #include "convert/Exporters.h"
@@ -44,6 +46,11 @@ std::string usageText() {
          "  diff <base> <test> [--metric M]    differential view\n"
          "  aggregate <out.evprof> <in...>     merge profiles\n"
          "  query <profile> -e <prog>|--file F run an EVQL program\n"
+         "  check <query.evql> [--profile P] [--werror]\n"
+         "                                     EVQL static analysis (no "
+         "execution)\n"
+         "  lint <profile.evprof> [--min-severity S] [--disable R,R...]\n"
+         "       [--werror] [--list-rules]     profile data-quality lints\n"
          "  butterfly <profile> <function> [--metric M]\n"
          "  annotate <profile> <source-file>   per-line code lenses\n"
          "  report <profile> <out.html>        self-contained HTML report\n"
@@ -58,15 +65,36 @@ struct ParsedArgs {
   std::map<std::string, std::string> Options;
 };
 
+/// Option names that are value-less flags for some command. Flags parse as
+/// "--flag" (or the compiler-style alias "-Werror") and show up in Options
+/// with the value "1".
+const std::initializer_list<std::string_view> BoolFlags = {"werror",
+                                                           "list-rules"};
+
 Result<ParsedArgs> parseArgs(const std::vector<std::string> &Args,
                              size_t From) {
   ParsedArgs Out;
+  auto IsFlag = [](std::string_view Name) {
+    for (std::string_view F : BoolFlags)
+      if (F == Name)
+        return true;
+    return false;
+  };
   for (size_t I = From; I < Args.size(); ++I) {
     const std::string &A = Args[I];
+    if (A == "-Werror") {
+      Out.Options["werror"] = "1";
+      continue;
+    }
     if (startsWith(A, "--")) {
+      std::string Name = A.substr(2);
+      if (IsFlag(Name)) {
+        Out.Options[Name] = "1";
+        continue;
+      }
       if (I + 1 >= Args.size())
         return makeError("option '" + A + "' needs a value");
-      Out.Options[A.substr(2)] = Args[++I];
+      Out.Options[Name] = Args[++I];
       continue;
     }
     Out.Positional.push_back(A);
@@ -331,6 +359,111 @@ int cmdQuery(const ParsedArgs &Args, std::string &Out, std::string &Err) {
   return 0;
 }
 
+/// Shared tail of 'check' and 'lint': render the findings, print a
+/// summary, and map severities onto exit codes ('-Werror' escalates
+/// warnings, clang style).
+int reportDiagnostics(const DiagnosticSet &Diags, const std::string &Subject,
+                      bool WError, std::string &Out) {
+  for (const Diagnostic &D : Diags.all())
+    Out += renderDiagnostic(D, Subject) + "\n";
+  size_t Errors = Diags.countAtLeast(Severity::Error);
+  size_t Warnings = Diags.count(Severity::Warning);
+  Out += Subject + ": " + std::to_string(Errors) + " error(s), " +
+         std::to_string(Warnings) + " warning(s)";
+  if (Diags.truncated())
+    Out += " (diagnostics truncated; " + std::to_string(Diags.dropped()) +
+           " dropped)";
+  Out += "\n";
+  if (Errors > 0 || (WError && Warnings > 0))
+    return ExitDataError;
+  return ExitSuccess;
+}
+
+int cmdCheck(const ParsedArgs &Args, std::string &Out, std::string &Err) {
+  std::string Source;
+  std::string Subject;
+  if (auto It = Args.Options.find("e"); It != Args.Options.end()) {
+    Source = It->second;
+    Subject = "<command-line>";
+  } else if (Args.Positional.size() == 1) {
+    Result<std::string> Src = readFile(Args.Positional[0]);
+    if (!Src)
+      return failData(Err, Src.error());
+    Source = Src.take();
+    Subject = Args.Positional[0];
+  } else {
+    return failUsage(Err, "check expects <query.evql> or --e <program>");
+  }
+
+  Profile MetricSource;
+  SemaOptions Opts;
+  if (auto It = Args.Options.find("profile"); It != Args.Options.end()) {
+    Result<Profile> P = loadProfile(It->second);
+    if (!P)
+      return failData(Err, P.error());
+    MetricSource = P.take();
+    Opts.MetricSource = &MetricSource;
+  }
+
+  DiagnosticSet Diags(Opts.Limits.MaxDiagnostics);
+  SemaChecker(Opts).checkSource(Source, Diags);
+  Diags.sortBySource();
+  return reportDiagnostics(Diags, Subject, Args.Options.count("werror") > 0,
+                           Out);
+}
+
+int cmdLint(const ParsedArgs &Args, std::string &Out, std::string &Err) {
+  if (Args.Options.count("list-rules")) {
+    for (const LintRuleInfo &Rule : lintRules())
+      Out += std::string(Rule.Id) + "  " +
+             std::string(severityName(Rule.DefaultSev)) + "  " +
+             std::string(Rule.Name) + "\n    " +
+             std::string(Rule.Description) + "\n";
+    return ExitSuccess;
+  }
+  if (Args.Positional.size() != 1)
+    return failUsage(Err, "lint expects exactly one profile");
+
+  LintOptions Opts;
+  if (auto It = Args.Options.find("min-severity");
+      It != Args.Options.end()) {
+    if (!parseSeverity(It->second, Opts.MinSeverity))
+      return failUsage(Err, "--min-severity expects note, info, warning, "
+                            "or error");
+  }
+  if (auto It = Args.Options.find("disable"); It != Args.Options.end()) {
+    for (std::string_view Rule : splitString(It->second, ','))
+      if (!Rule.empty()) {
+        if (!findLintRule(Rule))
+          return failUsage(Err, "unknown lint rule '" + std::string(Rule) +
+                                "' (see lint --list-rules)");
+        Opts.Disabled.emplace_back(Rule);
+      }
+  }
+
+  const std::string &Path = Args.Positional[0];
+  Result<std::string> Bytes = readFileWithRetry(Path);
+  if (!Bytes)
+    return failData(Err, Bytes.error());
+
+  ProfileLinter Linter(Opts);
+  DiagnosticSet Diags(Opts.Limits.MaxDiagnostics);
+  if (isEvProf(*Bytes)) {
+    // Native container: wire-level scan plus decoded rules, so corruption
+    // the loader would reject is explained instead of merely refused.
+    Linter.lint(*Bytes, DecodeLimits::defaults(), Diags);
+  } else {
+    // Foreign format: convert first, then run the decoded rules.
+    Result<Profile> P = convert::load(*Bytes, Path);
+    if (!P)
+      return failData(Err, P.error());
+    Linter.lintProfile(*P, Diags);
+  }
+  Diags.sortBySource();
+  return reportDiagnostics(Diags, Path, Args.Options.count("werror") > 0,
+                           Out);
+}
+
 int cmdButterfly(const ParsedArgs &Args, std::string &Out,
                  std::string &Err) {
   if (Args.Positional.size() != 2)
@@ -409,6 +542,10 @@ int runEvTool(const std::vector<std::string> &Args, std::string &Out,
     return cmdAggregate(*Parsed, Out, Err);
   if (Command == "query")
     return cmdQuery(*Parsed, Out, Err);
+  if (Command == "check")
+    return cmdCheck(*Parsed, Out, Err);
+  if (Command == "lint")
+    return cmdLint(*Parsed, Out, Err);
   if (Command == "butterfly")
     return cmdButterfly(*Parsed, Out, Err);
   if (Command == "annotate")

@@ -18,6 +18,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "analysis/ProfileLint.h"
 #include "ide/JsonRpc.h"
 #include "ide/PvpServer.h"
 #include "proto/EvProf.h"
@@ -257,4 +258,50 @@ TEST(ChaosTransientIo, BoundedRetryAlwaysRecovers) {
   EXPECT_GT(InjectedFailures, 0u)
       << "schedule never exercised the retry path";
   EXPECT_GT(Injector.faultCount(chaos::FaultKind::TransientIo), 0u);
+}
+
+//===----------------------------------------------------------------------===
+// Lint engine on the chaos harness
+//===----------------------------------------------------------------------===
+
+class ChaosLintSeed : public ::testing::TestWithParam<uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(ChaosSchedules, ChaosLintSeed,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST_P(ChaosLintSeed, FaultedProfilesAreExplainedOrClean) {
+  const uint64_t Seed = GetParam();
+  chaos::FaultInjector Injector(Seed);
+  Rng &R = Injector.rng();
+  std::string Valid = writeEvProf(test::makeRandomProfile(Seed, /*Paths=*/60,
+                                                          /*MaxDepth=*/10,
+                                                          /*Functions=*/24));
+  ProfileLinter Linter;
+  for (int Round = 0; Round < 16; ++Round) {
+    // Compose faults the way the injector schedules them on the wire:
+    // truncation, byte corruption, and garbage splices.
+    std::string Bytes = Valid;
+    switch (R.below(3)) {
+    case 0:
+      Bytes.resize(R.below(Bytes.size()));
+      break;
+    case 1:
+      for (int I = 0; I < 6 && !Bytes.empty(); ++I)
+        Bytes[R.below(Bytes.size())] = static_cast<char>(R.below(256));
+      break;
+    default: {
+      std::string Garbage = Injector.garbage(/*MaxLen=*/32);
+      Bytes.insert(R.below(Bytes.size()), Garbage);
+      break;
+    }
+    }
+    // The contract under faults: lint never crashes, and any stream the
+    // decoder refuses comes back explained by at least one finding.
+    DiagnosticSet Diags(128);
+    bool Decoded = Linter.lint(Bytes, DecodeLimits(), Diags);
+    EXPECT_EQ(Decoded, readEvProf(Bytes).ok());
+    if (!Decoded) {
+      EXPECT_FALSE(Diags.empty()) << "seed " << Seed << " round " << Round;
+    }
+  }
 }

@@ -13,6 +13,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "analysis/ProfileLint.h"
+#include "analysis/Sema.h"
 #include "convert/Converters.h"
 #include "proto/EvProf.h"
 #include "support/Json.h"
@@ -164,4 +166,98 @@ TEST(Fuzz, DeepJsonAndXmlDoNotOverflowStack) {
   // Recursion depth equals element depth; builds must not crash. The
   // document is unterminated, so it must fail.
   EXPECT_FALSE(X.ok());
+}
+
+//===----------------------------------------------------------------------===
+// Static analysis under hostile input
+//===----------------------------------------------------------------------===
+
+TEST_P(FuzzSeed, LintSurvivesHostileBytes) {
+  Rng R(GetParam());
+  // Tight budgets: hostile input must degrade (truncated flags, findings
+  // capped), never crash or loop.
+  LintOptions Opts;
+  Opts.Limits.MaxLintNodes = 64;
+  ProfileLinter Linter(Opts);
+  DecodeLimits Decode;
+  Decode.MaxNodes = 64;
+  Decode.MaxStrings = 64;
+
+  for (int Round = 0; Round < 20; ++Round) {
+    std::string Bytes = randomBytes(R, 16 + R.below(512));
+    DiagnosticSet Plain(32);
+    (void)Linter.lint(Bytes, Decode, Plain);
+    // A magic prefix routes the same garbage through the wire scan proper.
+    DiagnosticSet Prefixed(32);
+    bool Decoded =
+        Linter.lint(std::string(EvProfMagic) + Bytes, Decode, Prefixed);
+    // Whenever the decode fails, the lint run explains why: the wire scan
+    // blames a specific corruption or the generic EVL100 stands in.
+    if (!Decoded) {
+      EXPECT_FALSE(Prefixed.empty());
+    }
+  }
+}
+
+TEST_P(FuzzSeed, LintBitFlippedEvprofExplainsOrPasses) {
+  Rng R(GetParam());
+  std::string Valid = writeEvProf(test::makeRandomProfile(GetParam()));
+  ProfileLinter Linter;
+  for (int Round = 0; Round < 20; ++Round) {
+    std::string Mutated = Valid;
+    for (int Flip = 0; Flip < 4; ++Flip) {
+      size_t At = EvProfMagic.size() +
+                  R.below(Mutated.size() - EvProfMagic.size());
+      Mutated[At] = static_cast<char>(Mutated[At] ^ (1u << R.below(8)));
+    }
+    DiagnosticSet Diags(64);
+    bool Decoded = Linter.lint(Mutated, DecodeLimits(), Diags);
+    if (!Decoded) {
+      EXPECT_FALSE(Diags.empty());
+    }
+    (void)Linter.lint(Mutated.substr(0, R.below(Mutated.size())),
+                      DecodeLimits(), Diags);
+  }
+}
+
+TEST_P(FuzzSeed, SemaSurvivesHostileSources) {
+  Rng R(GetParam());
+  AnalysisLimits Tight;
+  Tight.MaxDiagnostics = 16;
+  Tight.MaxExprDepth = 16;
+  Tight.MaxProgramBytes = 4096;
+  SemaOptions Opts;
+  Opts.Limits = Tight;
+  SemaChecker Checker(Opts);
+
+  // Raw bytes: the lexer/parser must fail cleanly into EVQL001 findings.
+  for (int Round = 0; Round < 10; ++Round) {
+    DiagnosticSet Diags(Tight.MaxDiagnostics);
+    Checker.checkSource(randomBytes(R, R.below(512)), Diags);
+  }
+
+  // Token soup: syntactically plausible streams stress recovery and the
+  // checker itself. Every outcome is acceptable except a crash.
+  static const char *Vocab[] = {
+      "let",  "derive", "prune",  "keep",   "when",   "print", "return",
+      "x",    "y",      "metric", "(",      ")",      "\"t\"", "0",
+      "1",    "+",      "-",      "*",      "/",      "%",     "&&",
+      "||",   "!",      "<",      ">",      "==",     "!=",    "?",
+      ":",    ";",      "=",      "name",   "total",  ",",     "zz9"};
+  for (int Round = 0; Round < 20; ++Round) {
+    std::string Source;
+    size_t Len = 1 + R.below(120);
+    for (size_t I = 0; I < Len; ++I) {
+      Source += Vocab[R.below(std::size(Vocab))];
+      Source += ' ';
+    }
+    DiagnosticSet Diags(Tight.MaxDiagnostics);
+    Checker.checkSource(Source, Diags);
+    EXPECT_LE(Diags.size(), Tight.MaxDiagnostics);
+  }
+
+  // Oversized input degrades with the truncated flag, never an abort.
+  DiagnosticSet Big(Tight.MaxDiagnostics);
+  Checker.checkSource(std::string(8192, 'a'), Big);
+  EXPECT_TRUE(Big.truncated());
 }

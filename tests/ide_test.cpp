@@ -689,3 +689,147 @@ TEST(PvpServerLimits, DecodeLimitsRejectHostileProfile) {
                 .find("limit"),
             std::string::npos);
 }
+
+//===----------------------------------------------------------------------===
+// pvp/diagnostics
+//===----------------------------------------------------------------------===
+
+TEST_F(PvpTest, DiagnosticsRoundTripThroughWire) {
+  // Program findings and profile validation batched in one reply, driven
+  // through the real Content-Length framing by the mock editor.
+  Result<json::Value> R = Ide.call("pvp/diagnostics", [&] {
+    json::Object P;
+    P.set("profile", ProfileId);
+    P.set("program", "let unused = 1;\nprint total(\"bogus\");");
+    return P;
+  }());
+  ASSERT_TRUE(R.ok()) << R.error();
+  const json::Object &Reply = R->asObject();
+  const json::Array &Diags = Reply.find("diagnostics")->asArray();
+  ASSERT_GE(Diags.size(), 2u);
+
+  bool SawUnusedBinding = false, SawUnknownMetric = false;
+  for (const json::Value &DV : Diags) {
+    const json::Object &D = DV.asObject();
+    EXPECT_FALSE(D.find("id")->asString().empty());
+    EXPECT_FALSE(D.find("severity")->asString().empty());
+    EXPECT_FALSE(D.find("message")->asString().empty());
+    if (D.find("id")->asString() == "EVQL009") {
+      SawUnusedBinding = true;
+      EXPECT_EQ(D.find("line")->asInt(), 1);
+      EXPECT_EQ(D.find("column")->asInt(), 1);
+    }
+    if (D.find("id")->asString() == "EVQL006")
+      SawUnknownMetric = true;
+  }
+  EXPECT_TRUE(SawUnusedBinding);
+  EXPECT_TRUE(SawUnknownMetric);
+  EXPECT_GE(Reply.find("errors")->asInt(), 1);
+  EXPECT_GE(Reply.find("warnings")->asInt(), 1);
+  EXPECT_FALSE(Reply.find("truncated")->asBool());
+}
+
+TEST_F(PvpTest, DiagnosticsCleanProfileAndProgram) {
+  Result<json::Value> R = Ide.call("pvp/diagnostics", [&] {
+    json::Object P;
+    P.set("profile", ProfileId);
+    P.set("program", "print total(\"time\");");
+    return P;
+  }());
+  ASSERT_TRUE(R.ok()) << R.error();
+  EXPECT_TRUE(R->asObject().find("diagnostics")->asArray().empty());
+  EXPECT_EQ(R->asObject().find("errors")->asInt(), 0);
+  EXPECT_EQ(R->asObject().find("warnings")->asInt(), 0);
+}
+
+TEST_F(PvpTest, DiagnosticsRequiresProgramOrProfile) {
+  Result<json::Value> R = Ide.call("pvp/diagnostics", json::Object());
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.error().find("program"), std::string::npos);
+}
+
+TEST_F(PvpTest, DiagnosticsRejectsBadOptions) {
+  Result<json::Value> Bad = Ide.call("pvp/diagnostics", [&] {
+    json::Object P;
+    P.set("program", "print 1;");
+    P.set("minSeverity", "catastrophic");
+    return P;
+  }());
+  EXPECT_FALSE(Bad.ok());
+
+  Result<json::Value> Unknown = Ide.call("pvp/diagnostics", [&] {
+    json::Object P;
+    P.set("program", "print 1;");
+    json::Array Disable;
+    Disable.push_back(json::Value("no-such-rule"));
+    P.set("disable", std::move(Disable));
+    return P;
+  }());
+  EXPECT_FALSE(Unknown.ok());
+}
+
+TEST_F(PvpTest, DiagnosticsSeverityAndDisableFilters) {
+  // EVQL009 is a warning: a minSeverity of "error" suppresses it...
+  Result<json::Value> Filtered = Ide.call("pvp/diagnostics", [&] {
+    json::Object P;
+    P.set("program", "let unused = 1;");
+    P.set("minSeverity", "error");
+    return P;
+  }());
+  ASSERT_TRUE(Filtered.ok()) << Filtered.error();
+  EXPECT_TRUE(Filtered->asObject().find("diagnostics")->asArray().empty());
+  EXPECT_EQ(Filtered->asObject().find("warnings")->asInt(), 0);
+
+  // ...and so does disabling the rule by name.
+  Result<json::Value> Disabled = Ide.call("pvp/diagnostics", [&] {
+    json::Object P;
+    P.set("program", "let unused = 1;");
+    json::Array Disable;
+    Disable.push_back(json::Value("unused-binding"));
+    P.set("disable", std::move(Disable));
+    return P;
+  }());
+  ASSERT_TRUE(Disabled.ok()) << Disabled.error();
+  EXPECT_TRUE(Disabled->asObject().find("diagnostics")->asArray().empty());
+}
+
+TEST_F(PvpTest, DiagnosticsHonorsMaxDiagnostics) {
+  std::string Program;
+  for (int I = 0; I < 10; ++I)
+    Program += "print undef" + std::to_string(I) + ";\n";
+  Result<json::Value> R = Ide.call("pvp/diagnostics", [&] {
+    json::Object P;
+    P.set("program", Program);
+    P.set("maxDiagnostics", 3);
+    return P;
+  }());
+  ASSERT_TRUE(R.ok()) << R.error();
+  EXPECT_LE(R->asObject().find("diagnostics")->asArray().size(), 3u);
+  EXPECT_TRUE(R->asObject().find("truncated")->asBool());
+  EXPECT_GT(R->asObject().find("dropped")->asInt(), 0);
+}
+
+TEST(PvpServerLimits, DiagnosticsDeadlineDegradesToTruncatedReply) {
+  ServerLimits L;
+  L.RequestDeadlineMs = 5;
+  PvpServer Server(L);
+
+  uint64_t Now = 0;
+  Server.setClock([&Now] {
+    Now += 1000000;
+    return Now;
+  });
+
+  // Analysis completed; only serialization ran out of deadline — the
+  // findings degrade to a truncated (but successful) reply, never an
+  // error that would discard them.
+  json::Object P;
+  P.set("program", "print undefined_name;");
+  json::Value Resp =
+      Server.handleMessage(rpc::makeRequest(9, "pvp/diagnostics", P));
+  ASSERT_TRUE(isSuccess(Resp));
+  const json::Object &R = Resp.asObject().find("result")->asObject();
+  EXPECT_TRUE(R.find("truncated")->asBool());
+  EXPECT_TRUE(R.find("deadlineExpired")->asBool());
+  EXPECT_GT(R.find("dropped")->asInt(), 0);
+}

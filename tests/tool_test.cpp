@@ -9,6 +9,7 @@
 #include "TestHelpers.h"
 #include "proto/EvProf.h"
 #include "support/FileIo.h"
+#include "support/ProtoWire.h"
 
 #include <gtest/gtest.h>
 
@@ -214,4 +215,93 @@ TEST_F(ToolTest, ConvertTauInput) {
 TEST_F(ToolTest, OptionWithoutValueFails) {
   EXPECT_EQ(run({"flame", Evprof, "--shape"}), ExitUsageError);
   EXPECT_NE(Err.find("needs a value"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===
+// check / lint
+//===----------------------------------------------------------------------===
+
+TEST_F(ToolTest, CheckReportsDiagnosticsWithSpans) {
+  std::string Query = Dir + "/bad.evql";
+  ASSERT_TRUE(
+      writeFile(Query, "let unused = 1;\nprint oops + totl(\"t\");\n").ok());
+  EXPECT_EQ(run({"check", Query}), ExitDataError);
+  EXPECT_NE(Out.find(Query + ":1:1: warning:"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("[EVQL009]"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("[EVQL002]"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("[EVQL003]"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("did you mean 'total'?"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("2 error(s), 1 warning(s)"), std::string::npos) << Out;
+}
+
+TEST_F(ToolTest, CheckCleanProgramSucceeds) {
+  EXPECT_EQ(run({"check", "--e", "let x = 1; print x;"}), 0) << Out;
+  EXPECT_NE(Out.find("<command-line>: 0 error(s), 0 warning(s)"),
+            std::string::npos);
+}
+
+TEST_F(ToolTest, CheckWerrorEscalatesWarnings) {
+  // An unused binding is a warning: accepted normally, fatal under -Werror.
+  EXPECT_EQ(run({"check", "--e", "let unused = 1;"}), 0) << Out;
+  EXPECT_EQ(run({"check", "--e", "let unused = 1;", "-Werror"}),
+            ExitDataError);
+}
+
+TEST_F(ToolTest, CheckValidatesMetricsAgainstProfile) {
+  EXPECT_EQ(run({"check", "--e", "print total(\"bogus\");", "--profile",
+                 Evprof}),
+            ExitDataError);
+  EXPECT_NE(Out.find("[EVQL006]"), std::string::npos) << Out;
+  EXPECT_EQ(run({"check", "--e", "print total(\"time\");", "--profile",
+                 Evprof}),
+            0)
+      << Out;
+}
+
+TEST_F(ToolTest, CheckUsageErrors) {
+  EXPECT_EQ(run({"check"}), ExitUsageError);
+  EXPECT_EQ(run({"check", Dir + "/missing.evql"}), ExitDataError);
+}
+
+TEST_F(ToolTest, LintCleanProfileSucceeds) {
+  EXPECT_EQ(run({"lint", Evprof}), 0) << Err;
+  EXPECT_NE(Out.find("0 error(s), 0 warning(s)"), std::string::npos);
+}
+
+TEST_F(ToolTest, LintExplainsCorruptProfile) {
+  // Node 1 referencing node 2 as parent breaks parents-first ordering;
+  // the loader refuses it, lint explains it.
+  ProtoWriter W;
+  W.writeBytes(2, "");
+  W.writeBytes(4, "");
+  W.writeBytes(5, "");
+  ProtoWriter N;
+  N.writeVarint(1, 3);
+  W.writeBytes(5, N.buffer());
+  std::string Corrupt = Dir + "/corrupt.evprof";
+  ASSERT_TRUE(writeFile(Corrupt, std::string(EvProfMagic) + W.buffer()).ok());
+
+  EXPECT_EQ(run({"info", Corrupt}), ExitDataError);
+  EXPECT_EQ(run({"lint", Corrupt}), ExitDataError);
+  EXPECT_NE(Out.find("[EVL105]"), std::string::npos) << Out;
+}
+
+TEST_F(ToolTest, LintListRulesAndRuleFilters) {
+  EXPECT_EQ(run({"lint", "--list-rules"}), 0);
+  EXPECT_NE(Out.find("EVL201"), std::string::npos);
+  EXPECT_NE(Out.find("exclusive-exceeds-inclusive"), std::string::npos);
+
+  EXPECT_EQ(run({"lint", Evprof, "--disable", "no-such-rule"}),
+            ExitUsageError);
+  EXPECT_NE(Err.find("unknown lint rule"), std::string::npos);
+  EXPECT_EQ(run({"lint", Evprof, "--min-severity", "loud"}), ExitUsageError);
+  EXPECT_EQ(run({"lint", Evprof, "--min-severity", "warning", "--disable",
+                 "unreferenced-frame,zero-metric-subtree"}),
+            0)
+      << Err;
+}
+
+TEST_F(ToolTest, LintAcceptsForeignFormats) {
+  // Non-evprof inputs are converted first, then linted as decoded trees.
+  EXPECT_EQ(run({"lint", Folded}), 0) << Err;
 }
