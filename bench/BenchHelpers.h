@@ -15,8 +15,13 @@
 #ifndef EASYVIEW_BENCH_BENCHHELPERS_H
 #define EASYVIEW_BENCH_BENCHHELPERS_H
 
+#include "support/Json.h"
+
 #include <cstdarg>
 #include <cstdio>
+#include <string>
+#include <string_view>
+#include <utility>
 
 namespace ev {
 namespace bench {
@@ -33,6 +38,62 @@ inline void row(const char *Format, ...) {
   va_end(Args);
   std::fputc('\n', stdout);
 }
+
+/// Accumulates per-phase timing rows and writes them as one JSON document,
+/// so CI and docs/PERF.md consume machine-readable results instead of
+/// scraping stdout. Layout:
+///
+///   { "benchmark": "...", "meta": {...},
+///     "rows": [{"phase": "...", "threads": N, "ms": ..., ...}, ...],
+///     "summary": {...} }
+class JsonReporter {
+public:
+  explicit JsonReporter(std::string Benchmark) : Name(std::move(Benchmark)) {}
+
+  /// Free-form context (workload sizes, host facts) under "meta".
+  void setMeta(std::string Key, json::Value V) {
+    Meta.set(std::move(Key), std::move(V));
+  }
+
+  /// Headline numbers (speedups, totals) under "summary".
+  void setSummary(std::string Key, json::Value V) {
+    Summary.set(std::move(Key), std::move(V));
+  }
+
+  /// One timing observation. Extra per-row fields go through \p Extra.
+  void addRow(std::string_view Phase, unsigned Threads, double Millis,
+              json::Object Extra = {}) {
+    json::Object Row;
+    Row.set("phase", std::string(Phase));
+    Row.set("threads", static_cast<int64_t>(Threads));
+    Row.set("ms", Millis);
+    for (const auto &[Key, V] : Extra)
+      Row.set(Key, V);
+    Rows.push_back(json::Value(std::move(Row)));
+  }
+
+  /// Serializes the document to \p Path. \returns false on I/O failure.
+  bool write(const std::string &Path) const {
+    json::Object Doc;
+    Doc.set("benchmark", Name);
+    Doc.set("meta", Meta);
+    Doc.set("rows", Rows);
+    Doc.set("summary", Summary);
+    std::string Text = json::Value(std::move(Doc)).dumpPretty();
+    Text.push_back('\n');
+    std::FILE *F = std::fopen(Path.c_str(), "w");
+    if (!F)
+      return false;
+    size_t Written = std::fwrite(Text.data(), 1, Text.size(), F);
+    return std::fclose(F) == 0 && Written == Text.size();
+  }
+
+private:
+  std::string Name;
+  json::Object Meta;
+  json::Object Summary;
+  json::Array Rows;
+};
 
 } // namespace bench
 } // namespace ev

@@ -1,0 +1,212 @@
+//===- bench/bench_pipeline.cpp - Fast-path pipeline benchmark ------------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Times the analysis fast path end to end — decode (pvp/open), aggregation
+/// of 8 runs, differencing, and flame-view serving — across thread counts,
+/// and measures the memoized view cache (cold vs. warm pvp/flame). Results
+/// go to BENCH_pipeline.json (override with --out=PATH); --smoke shrinks
+/// the workload and repetition count for the CI smoke test.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchHelpers.h"
+
+#include "analysis/Aggregate.h"
+#include "analysis/Diff.h"
+#include "analysis/Transform.h"
+#include "ide/PvpServer.h"
+#include "proto/EvProf.h"
+#include "support/ThreadPool.h"
+#include "workload/LuleshWorkload.h"
+#include "workload/SparkWorkload.h"
+#include "workload/SyntheticProfile.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace ev;
+
+namespace {
+
+/// Best-of-N wall time of \p Fn, in milliseconds.
+template <typename Fn> double timeMs(int Reps, Fn &&F) {
+  double Best = 0.0;
+  for (int R = 0; R < Reps; ++R) {
+    auto T0 = std::chrono::steady_clock::now();
+    F();
+    auto T1 = std::chrono::steady_clock::now();
+    double Ms = std::chrono::duration<double, std::milli>(T1 - T0).count();
+    if (R == 0 || Ms < Best)
+      Best = Ms;
+  }
+  return Best;
+}
+
+json::Value flameRequest(int64_t ProfileId) {
+  json::Object Params;
+  Params.set("profile", ProfileId);
+  Params.set("shape", "bottom-up");
+  Params.set("maxRects", 4096);
+  json::Object Req;
+  Req.set("jsonrpc", "2.0");
+  Req.set("id", 1);
+  Req.set("method", "pvp/flame");
+  Req.set("params", std::move(Params));
+  return json::Value(std::move(Req));
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+#ifdef EV_BENCH_DEFAULT_OUT
+  std::string OutPath = EV_BENCH_DEFAULT_OUT;
+#else
+  std::string OutPath = "BENCH_pipeline.json";
+#endif
+  bool Smoke = false;
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--smoke") == 0)
+      Smoke = true;
+    else if (std::strncmp(argv[I], "--out=", 6) == 0)
+      OutPath = argv[I] + 6;
+  }
+
+  const int Reps = Smoke ? 1 : 5;
+  const size_t AggInputs = Smoke ? 4 : 8;
+  std::vector<unsigned> ThreadCounts = Smoke ? std::vector<unsigned>{1, 2}
+                                             : std::vector<unsigned>{1, 2, 4};
+
+  // Workloads. The paper's case studies (LULESH/HPCToolkit, Spark) are
+  // small by construction, so the phase timings run on size-scaled
+  // synthetic service profiles; the case-study inputs get their own rows.
+  std::vector<Profile> Runs;
+  for (size_t I = 0; I < AggInputs; ++I) {
+    workload::SyntheticOptions Opt;
+    Opt.Seed = 11 + I;
+    Opt.TargetBytes = Smoke ? (64u << 10) : (2u << 20);
+    Runs.push_back(workload::generateSyntheticProfile(Opt));
+  }
+  std::vector<Profile> Lulesh;
+  for (size_t I = 0; I < AggInputs; ++I) {
+    workload::LuleshOptions Opt;
+    Opt.Seed = 11 + I;
+    Lulesh.push_back(workload::generateLuleshProfile(Opt));
+  }
+  workload::SparkWorkload Spark = workload::generateSparkWorkload();
+  std::string Wire = writeEvProf(Runs[0]);
+
+  bench::JsonReporter Report("pipeline");
+  Report.setMeta("smoke", Smoke);
+  Report.setMeta("aggregateInputs", static_cast<int64_t>(AggInputs));
+  Report.setMeta("syntheticNodes", static_cast<int64_t>(Runs[0].nodeCount()));
+  Report.setMeta("luleshNodes", static_cast<int64_t>(Lulesh[0].nodeCount()));
+  Report.setMeta("sparkNodes",
+                 static_cast<int64_t>(Spark.Rdd.nodeCount()));
+  Report.setMeta("wireBytes", static_cast<int64_t>(Wire.size()));
+  Report.setMeta("hardwareThreads",
+                 static_cast<int64_t>(std::thread::hardware_concurrency()));
+
+  std::vector<const Profile *> AggPtrs;
+  for (const Profile &P : Runs)
+    AggPtrs.push_back(&P);
+  AggregateOptions AggOpt;
+  AggOpt.WithMin = AggOpt.WithMax = AggOpt.WithMean = AggOpt.WithStddev =
+      true;
+
+  double Aggregate1T = 0.0, AggregateNT = 0.0;
+  for (unsigned Threads : ThreadCounts) {
+    // "1 thread" is the sequential fallback (no workers at all), the
+    // baseline the speedups and the byte-identity property tests compare
+    // against.
+    ThreadPool::setSharedThreadCount(Threads == 1 ? 0 : Threads);
+
+    double OpenMs = timeMs(Reps, [&] {
+      Result<Profile> P = readEvProf(Wire);
+      if (!P)
+        std::abort();
+    });
+    Report.addRow("open", Threads, OpenMs);
+    bench::row("open threads=%u ms=%.3f", Threads, OpenMs);
+
+    double AggregateMs = timeMs(Reps, [&] {
+      AggregatedProfile Agg =
+          aggregate(std::span<const Profile *const>(AggPtrs), AggOpt);
+      (void)Agg;
+    });
+    Report.addRow("aggregate", Threads, AggregateMs);
+    bench::row("aggregate threads=%u ms=%.3f", Threads, AggregateMs);
+    if (Threads == 1)
+      Aggregate1T = AggregateMs;
+    AggregateNT = AggregateMs;
+
+    double DiffMs = timeMs(Reps, [&] {
+      DiffResult D = diffProfiles(Runs[0], Runs[1], 0);
+      (void)D;
+    });
+    Report.addRow("diff", Threads, DiffMs);
+    bench::row("diff threads=%u ms=%.3f", Threads, DiffMs);
+
+    // Case-study rows: the paper's workloads at the same thread count.
+    std::vector<const Profile *> LuleshPtrs;
+    for (const Profile &P : Lulesh)
+      LuleshPtrs.push_back(&P);
+    double LuleshAggMs = timeMs(Reps, [&] {
+      AggregatedProfile Agg = aggregate(
+          std::span<const Profile *const>(LuleshPtrs), AggOpt);
+      (void)Agg;
+    });
+    Report.addRow("aggregate-lulesh", Threads, LuleshAggMs);
+    double SparkDiffMs = timeMs(Reps, [&] {
+      DiffResult D = diffProfiles(Spark.Rdd, Spark.Sql, 0);
+      (void)D;
+    });
+    Report.addRow("diff-spark", Threads, SparkDiffMs);
+
+    double FlameMs = timeMs(Reps, [&] {
+      Profile Up = bottomUpTree(Runs[0]);
+      (void)Up;
+    });
+    Report.addRow("flame-shape", Threads, FlameMs);
+    bench::row("flame-shape threads=%u ms=%.3f", Threads, FlameMs);
+  }
+
+  // Memoized view cache: first pvp/flame computes (miss), the repeat is
+  // served from the LRU. The cold/warm ratio is the cache speedup.
+  ThreadPool::setSharedThreadCount(0);
+  PvpServer Server;
+  int64_t Id = Server.addProfile(Runs[0]);
+  json::Value Req = flameRequest(Id);
+  double ColdMs = timeMs(1, [&] { Server.handleMessage(Req); });
+  double WarmMs = timeMs(Smoke ? 3 : 20, [&] { Server.handleMessage(Req); });
+  double CacheSpeedup = WarmMs > 0.0 ? ColdMs / WarmMs : 0.0;
+  Report.addRow("pvp-flame-cold", 1, ColdMs);
+  Report.addRow("pvp-flame-warm", 1, WarmMs);
+  Report.setSummary("flameCacheSpeedup", CacheSpeedup);
+  bench::row("pvp/flame cold ms=%.3f warm ms=%.3f speedup=%.1fx", ColdMs,
+             WarmMs, CacheSpeedup);
+
+  if (Aggregate1T > 0.0 && AggregateNT > 0.0) {
+    double AggSpeedup = Aggregate1T / AggregateNT;
+    Report.setSummary("aggregateSpeedupMaxThreads", AggSpeedup);
+    Report.setSummary("aggregateMaxThreads",
+                      static_cast<int64_t>(ThreadCounts.back()));
+    bench::row("aggregate %u-thread speedup=%.2fx", ThreadCounts.back(),
+               AggSpeedup);
+  }
+
+  if (!Report.write(OutPath)) {
+    std::fprintf(stderr, "failed to write %s\n", OutPath.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", OutPath.c_str());
+  return 0;
+}

@@ -6,17 +6,21 @@
 
 #include "analysis/Aggregate.h"
 
+#include "support/ThreadPool.h"
+
 #include <cassert>
 #include <cmath>
+#include <string_view>
 
 namespace ev {
 
 std::vector<double>
 AggregatedProfile::perProfileExclusive(NodeId Node, MetricId Metric) const {
-  auto It = Samples.find(sampleKey(Node, Metric));
-  if (It == Samples.end())
+  auto It = KeyIndex.find(sampleKey(Node, Metric));
+  if (It == KeyIndex.end())
     return {};
-  return It->second;
+  const double *Row = Matrix.data() + size_t(It->second) * ProfileCount;
+  return std::vector<double>(Row, Row + ProfileCount);
 }
 
 void AggregatedProfile::ensureInclusive() const {
@@ -24,20 +28,26 @@ void AggregatedProfile::ensureInclusive() const {
     return;
   InclusiveColumns.assign(InputMetricCount * ProfileCount,
                           std::vector<double>(Merged.nodeCount(), 0.0));
-  for (const auto &[Key, Values] : Samples) {
+  for (size_t R = 0; R < KeyOrder.size(); ++R) {
+    uint64_t Key = KeyOrder[R];
     NodeId Node = static_cast<NodeId>(Key >> 16);
     MetricId Metric = static_cast<MetricId>(Key & 0xFFFF);
     if (Metric >= InputMetricCount)
       continue; // Derived columns do not have per-profile samples.
-    for (size_t Prof = 0; Prof < Values.size(); ++Prof)
-      InclusiveColumns[Metric * ProfileCount + Prof][Node] += Values[Prof];
+    for (size_t Prof = 0; Prof < ProfileCount; ++Prof)
+      InclusiveColumns[Metric * ProfileCount + Prof][Node] +=
+          Matrix[R * ProfileCount + Prof];
   }
-  // Bottom-up accumulation; node ids are parents-first.
-  for (auto &Column : InclusiveColumns)
+  // Bottom-up accumulation; node ids are parents-first. Each (metric,
+  // profile) column sweeps independently, so columns distribute across
+  // workers with bit-identical results.
+  ThreadPool::shared().parallelFor(InclusiveColumns.size(), [&](size_t C) {
+    std::vector<double> &Column = InclusiveColumns[C];
     for (NodeId Id = static_cast<NodeId>(Merged.nodeCount()); Id > 1;) {
       --Id;
       Column[Merged.node(Id).Parent] += Column[Id];
     }
+  });
   InclusiveReady = true;
 }
 
@@ -50,6 +60,27 @@ AggregatedProfile::perProfileInclusive(NodeId Node, MetricId Metric) const {
     Out[Prof] = InclusiveColumns[Metric * ProfileCount + Prof][Node];
   return Out;
 }
+
+namespace {
+
+/// Textual identity of a frame, resolved out of the owning profile's string
+/// table so the merge loop never chases StringIds.
+struct CanonFrame {
+  FrameKind Kind;
+  std::string_view Name;
+  std::string_view File;
+  std::string_view Module;
+  uint32_t Line;
+};
+
+/// Everything about one input that can be computed without touching the
+/// merged profile.
+struct ProfilePrep {
+  std::vector<MetricId> MetricMap;
+  std::vector<CanonFrame> Frames;
+};
+
+} // namespace
 
 AggregatedProfile aggregate(std::span<const Profile *const> Profiles,
                             const AggregateOptions &Options) {
@@ -88,8 +119,33 @@ AggregatedProfile aggregate(std::span<const Profile *const> Profiles,
                                            MetricAggregation::Sum));
   }
 
-  // Merge every input tree into the unified tree. Children are matched by
-  // textual frame identity under the same merged parent.
+  // Phase 1 (parallel): canonicalize every input independently — resolve
+  // each frame to its textual identity and map each metric schema onto the
+  // first profile's columns. Reads only the inputs, so profiles fan out
+  // across workers.
+  std::vector<ProfilePrep> Preps =
+      ThreadPool::shared().parallelMap<ProfilePrep>(
+          Profiles.size(), [&](size_t ProfIdx) {
+            const Profile &P = *Profiles[ProfIdx];
+            ProfilePrep Prep;
+            Prep.MetricMap.assign(P.metrics().size(), Profile::InvalidMetric);
+            for (MetricId I = 0; I < P.metrics().size(); ++I) {
+              MetricId Target = First.findMetric(P.metrics()[I].Name);
+              if (Target != Profile::InvalidMetric)
+                Prep.MetricMap[I] = Target;
+            }
+            Prep.Frames.reserve(P.frames().size());
+            for (const Frame &F : P.frames())
+              Prep.Frames.push_back({F.Kind, P.text(F.Name),
+                                     P.text(F.Loc.File), P.text(F.Loc.Module),
+                                     F.Loc.Line});
+            return Prep;
+          });
+
+  // Phase 2 (sequential, ordered): merge every input tree into the unified
+  // tree, profile by profile and node by node, so the merged node ids are
+  // identical for every thread count. Children are matched by textual frame
+  // identity under the same merged parent.
   std::unordered_map<uint64_t, NodeId> ChildIndex;
   auto ChildFor = [&](NodeId Parent, FrameId F) {
     uint64_t Key = (static_cast<uint64_t>(Parent) << 32) | F;
@@ -101,31 +157,25 @@ AggregatedProfile aggregate(std::span<const Profile *const> Profiles,
     return Id;
   };
 
+  std::vector<std::vector<NodeId>> OutNodes(Profiles.size());
   for (size_t ProfIdx = 0; ProfIdx < Profiles.size(); ++ProfIdx) {
     const Profile &P = *Profiles[ProfIdx];
-    // Map this profile's metric names onto the first profile's columns.
-    std::vector<MetricId> MetricMap(P.metrics().size(),
-                                    Profile::InvalidMetric);
-    for (MetricId I = 0; I < P.metrics().size(); ++I) {
-      MetricId Target = First.findMetric(P.metrics()[I].Name);
-      if (Target != Profile::InvalidMetric)
-        MetricMap[I] = Target;
-    }
-
-    std::vector<NodeId> OutNode(P.nodeCount(), InvalidNode);
+    const ProfilePrep &Prep = Preps[ProfIdx];
+    std::vector<NodeId> &OutNode = OutNodes[ProfIdx];
+    OutNode.assign(P.nodeCount(), InvalidNode);
     OutNode[P.root()] = Merged.root();
     std::vector<FrameId> FrameMap(P.frames().size(), 0);
     std::vector<bool> FrameMapped(P.frames().size(), false);
     auto MapFrame = [&](FrameId F) {
       if (FrameMapped[F])
         return FrameMap[F];
-      const Frame &Old = P.frame(F);
+      const CanonFrame &Canon = Prep.Frames[F];
       Frame Copy;
-      Copy.Kind = Old.Kind;
-      Copy.Name = Merged.strings().intern(P.text(Old.Name));
-      Copy.Loc.File = Merged.strings().intern(P.text(Old.Loc.File));
-      Copy.Loc.Line = Old.Loc.Line;
-      Copy.Loc.Module = Merged.strings().intern(P.text(Old.Loc.Module));
+      Copy.Kind = Canon.Kind;
+      Copy.Name = Merged.strings().intern(Canon.Name);
+      Copy.Loc.File = Merged.strings().intern(Canon.File);
+      Copy.Loc.Line = Canon.Line;
+      Copy.Loc.Module = Merged.strings().intern(Canon.Module);
       // Addresses are run-specific (ASLR): identity is textual only.
       Copy.Loc.Address = 0;
       FrameMap[F] = Merged.internFrame(Copy);
@@ -137,50 +187,88 @@ AggregatedProfile aggregate(std::span<const Profile *const> Profiles,
       const CCTNode &Node = P.node(Id);
       OutNode[Id] = ChildFor(OutNode[Node.Parent], MapFrame(Node.FrameRef));
     }
+  }
+
+  // Phase 3a (sequential): discover the (node, metric) key set in profile
+  // then node order, assigning each key a stable dense row.
+  for (size_t ProfIdx = 0; ProfIdx < Profiles.size(); ++ProfIdx) {
+    const Profile &P = *Profiles[ProfIdx];
+    const std::vector<MetricId> &MetricMap = Preps[ProfIdx].MetricMap;
     for (NodeId Id = 0; Id < P.nodeCount(); ++Id) {
       for (const MetricValue &MV : P.node(Id).Metrics) {
         if (MV.Metric >= MetricMap.size() ||
             MetricMap[MV.Metric] == Profile::InvalidMetric)
           continue;
-        MetricId Target = MetricMap[MV.Metric];
-        std::vector<double> &Slot =
-            Agg.Samples[AggregatedProfile::sampleKey(OutNode[Id], Target)];
-        if (Slot.empty())
-          Slot.assign(Profiles.size(), 0.0);
-        Slot[ProfIdx] += MV.Value;
+        uint64_t Key = AggregatedProfile::sampleKey(OutNodes[ProfIdx][Id],
+                                                    MetricMap[MV.Metric]);
+        if (Agg.KeyIndex.emplace(Key, static_cast<uint32_t>(
+                                          Agg.KeyOrder.size()))
+                .second)
+          Agg.KeyOrder.push_back(Key);
       }
     }
   }
 
-  // Derive the statistic columns from the per-profile store.
+  // Phase 3b (parallel): accumulate samples into the dense matrix. Each
+  // profile writes only its own column of every row, so profiles proceed
+  // concurrently without synchronization, and the per-profile accumulation
+  // order (node order) is the same in every mode.
   size_t N = Profiles.size();
-  for (const auto &[Key, Values] : Agg.Samples) {
-    NodeId Node = static_cast<NodeId>(Key >> 16);
-    MetricId Metric = static_cast<MetricId>(Key & 0xFFFF);
-    double Sum = 0.0, Min = Values[0], Max = Values[0];
-    for (double V : Values) {
-      Sum += V;
-      Min = std::min(Min, V);
-      Max = std::max(Max, V);
+  Agg.Matrix.assign(Agg.KeyOrder.size() * N, 0.0);
+  ThreadPool::shared().parallelFor(Profiles.size(), [&](size_t ProfIdx) {
+    const Profile &P = *Profiles[ProfIdx];
+    const std::vector<MetricId> &MetricMap = Preps[ProfIdx].MetricMap;
+    for (NodeId Id = 0; Id < P.nodeCount(); ++Id) {
+      for (const MetricValue &MV : P.node(Id).Metrics) {
+        if (MV.Metric >= MetricMap.size() ||
+            MetricMap[MV.Metric] == Profile::InvalidMetric)
+          continue;
+        uint64_t Key = AggregatedProfile::sampleKey(OutNodes[ProfIdx][Id],
+                                                    MetricMap[MV.Metric]);
+        Agg.Matrix[size_t(Agg.KeyIndex.find(Key)->second) * N + ProfIdx] +=
+            MV.Value;
+      }
+    }
+  });
+
+  // Phase 4 (parallel math, sequential attach): the per-row statistics are
+  // pure functions of the row, so rows fan out across workers; attaching
+  // them to the merged nodes follows KeyOrder so the metric lists come out
+  // identical for every thread count (and deterministic across runs, which
+  // the old hash-order iteration was not).
+  struct RowStats {
+    double Sum, Min, Max, Mean, Stddev;
+  };
+  std::vector<RowStats> Stats(Agg.KeyOrder.size());
+  ThreadPool::shared().parallelFor(Agg.KeyOrder.size(), [&](size_t R) {
+    const double *Row = Agg.Matrix.data() + R * N;
+    double Sum = 0.0, Min = Row[0], Max = Row[0];
+    for (size_t I = 0; I < N; ++I) {
+      Sum += Row[I];
+      Min = std::min(Min, Row[I]);
+      Max = std::max(Max, Row[I]);
     }
     double Mean = Sum / static_cast<double>(N);
-    if (Options.WithSum && Sum != 0.0)
-      Merged.node(Node).addMetric(SumIds[Metric], Sum);
-    if (Options.WithMin && Min != 0.0)
-      Merged.node(Node).addMetric(MinIds[Metric], Min);
-    if (Options.WithMax && Max != 0.0)
-      Merged.node(Node).addMetric(MaxIds[Metric], Max);
-    if (Options.WithMean && Mean != 0.0)
-      Merged.node(Node).addMetric(MeanIds[Metric], Mean);
-    if (Options.WithStddev) {
-      double Var = 0.0;
-      for (double V : Values)
-        Var += (V - Mean) * (V - Mean);
-      Var /= static_cast<double>(N);
-      double Stddev = std::sqrt(Var);
-      if (Stddev != 0.0)
-        Merged.node(Node).addMetric(StddevIds[Metric], Stddev);
-    }
+    double Var = 0.0;
+    for (size_t I = 0; I < N; ++I)
+      Var += (Row[I] - Mean) * (Row[I] - Mean);
+    Stats[R] = {Sum, Min, Max, Mean, std::sqrt(Var / static_cast<double>(N))};
+  });
+  for (size_t R = 0; R < Agg.KeyOrder.size(); ++R) {
+    uint64_t Key = Agg.KeyOrder[R];
+    NodeId Node = static_cast<NodeId>(Key >> 16);
+    MetricId Metric = static_cast<MetricId>(Key & 0xFFFF);
+    const RowStats &S = Stats[R];
+    if (Options.WithSum && S.Sum != 0.0)
+      Merged.node(Node).addMetric(SumIds[Metric], S.Sum);
+    if (Options.WithMin && S.Min != 0.0)
+      Merged.node(Node).addMetric(MinIds[Metric], S.Min);
+    if (Options.WithMax && S.Max != 0.0)
+      Merged.node(Node).addMetric(MaxIds[Metric], S.Max);
+    if (Options.WithMean && S.Mean != 0.0)
+      Merged.node(Node).addMetric(MeanIds[Metric], S.Mean);
+    if (Options.WithStddev && S.Stddev != 0.0)
+      Merged.node(Node).addMetric(StddevIds[Metric], S.Stddev);
   }
   return Agg;
 }

@@ -71,8 +71,13 @@ private:
   Profile Merged;
   size_t ProfileCount = 0;
   size_t InputMetricCount = 0;
-  /// Sparse (node, metric) -> per-profile exclusive values.
-  std::unordered_map<uint64_t, std::vector<double>> Samples;
+  /// Dense per-profile store. KeyIndex maps sampleKey(node, metric) to a
+  /// row; KeyOrder remembers first-seen key order so every iteration over
+  /// the store is deterministic; row R spans
+  /// Matrix[R * ProfileCount .. R * ProfileCount + ProfileCount).
+  std::unordered_map<uint64_t, uint32_t> KeyIndex;
+  std::vector<uint64_t> KeyOrder;
+  std::vector<double> Matrix;
   /// Lazily computed per-profile inclusive columns, one per (metric,
   /// profile): InclusiveColumns[metric * ProfileCount + profile][node].
   mutable std::vector<std::vector<double>> InclusiveColumns;

@@ -6,7 +6,10 @@
 
 #include "analysis/Diff.h"
 
+#include "support/ThreadPool.h"
+
 #include <cmath>
+#include <string_view>
 #include <unordered_map>
 
 namespace ev {
@@ -27,6 +30,36 @@ std::string_view diffTagLabel(DiffTag Tag) {
   return "[?]";
 }
 
+namespace {
+
+/// Read-only per-side index computed before the merge: textual frame
+/// identities plus the dense exclusive column of the diffed metric.
+struct SidePrep {
+  struct CanonFrame {
+    FrameKind Kind;
+    std::string_view Name;
+    std::string_view File;
+    std::string_view Module;
+    uint32_t Line;
+  };
+  std::vector<CanonFrame> Frames;
+  std::vector<double> Values;
+};
+
+SidePrep prepareSide(const Profile &P, MetricId Metric) {
+  SidePrep Prep;
+  Prep.Frames.reserve(P.frames().size());
+  for (const Frame &F : P.frames())
+    Prep.Frames.push_back({F.Kind, P.text(F.Name), P.text(F.Loc.File),
+                           P.text(F.Loc.Module), F.Loc.Line});
+  Prep.Values.resize(P.nodeCount(), 0.0);
+  for (NodeId Id = 0; Id < P.nodeCount(); ++Id)
+    Prep.Values[Id] = P.node(Id).metricOr(Metric);
+  return Prep;
+}
+
+} // namespace
+
 DiffResult diffProfiles(const Profile &Base, const Profile &Test,
                         MetricId Metric, double RelativeEpsilon) {
   DiffResult Result;
@@ -37,6 +70,19 @@ DiffResult diffProfiles(const Profile &Base, const Profile &Test,
   Result.BaseMetric = Merged.addMetric("base " + M.Name, M.Unit);
   Result.TestMetric = Merged.addMetric("test " + M.Name, M.Unit);
   Result.DeltaMetric = Merged.addMetric("delta " + M.Name, M.Unit);
+
+  // The metric may sit at a different id in the test profile; match by name.
+  MetricId TestInput = Test.findMetric(M.Name);
+  if (TestInput == Profile::InvalidMetric)
+    TestInput = Metric;
+
+  // Both sides' indexes (canonical frames + metric column) build
+  // concurrently — they only read their own input.
+  std::vector<SidePrep> Preps = ThreadPool::shared().parallelMap<SidePrep>(
+      2, [&](size_t Side) {
+        return Side == 0 ? prepareSide(Base, Metric)
+                         : prepareSide(Test, TestInput);
+      });
 
   std::unordered_map<uint64_t, NodeId> ChildIndex;
   auto ChildFor = [&](NodeId Parent, FrameId F) {
@@ -53,8 +99,10 @@ DiffResult diffProfiles(const Profile &Base, const Profile &Test,
   std::vector<uint8_t> Presence;
   Presence.resize(1, 3); // Root is in both.
 
-  auto MergeSide = [&](const Profile &P, MetricId SideMetric, uint8_t Bit,
-                       MetricId WhichInput) {
+  // The merges themselves stay sequential (base first, then test) so the
+  // merged node ids are identical for every thread count.
+  auto MergeSide = [&](const Profile &P, const SidePrep &Prep,
+                       MetricId SideMetric, uint8_t Bit) {
     std::vector<NodeId> OutNode(P.nodeCount(), InvalidNode);
     OutNode[P.root()] = Merged.root();
     std::vector<FrameId> FrameMap(P.frames().size(), 0);
@@ -62,13 +110,13 @@ DiffResult diffProfiles(const Profile &Base, const Profile &Test,
     auto MapFrame = [&](FrameId F) {
       if (FrameMapped[F])
         return FrameMap[F];
-      const Frame &Old = P.frame(F);
+      const SidePrep::CanonFrame &Canon = Prep.Frames[F];
       Frame Copy;
-      Copy.Kind = Old.Kind;
-      Copy.Name = Merged.strings().intern(P.text(Old.Name));
-      Copy.Loc.File = Merged.strings().intern(P.text(Old.Loc.File));
-      Copy.Loc.Line = Old.Loc.Line;
-      Copy.Loc.Module = Merged.strings().intern(P.text(Old.Loc.Module));
+      Copy.Kind = Canon.Kind;
+      Copy.Name = Merged.strings().intern(Canon.Name);
+      Copy.Loc.File = Merged.strings().intern(Canon.File);
+      Copy.Loc.Line = Canon.Line;
+      Copy.Loc.Module = Merged.strings().intern(Canon.Module);
       Copy.Loc.Address = 0;
       FrameMap[F] = Merged.internFrame(Copy);
       FrameMapped[F] = true;
@@ -82,18 +130,14 @@ DiffResult diffProfiles(const Profile &Base, const Profile &Test,
       Presence[OutNode[Id]] |= Bit;
     }
     for (NodeId Id = 0; Id < P.nodeCount(); ++Id) {
-      double V = P.node(Id).metricOr(WhichInput);
+      double V = Prep.Values[Id];
       if (V != 0.0)
         Merged.node(OutNode[Id]).addMetric(SideMetric, V);
     }
   };
 
-  MergeSide(Base, Result.BaseMetric, /*Bit=*/1, Metric);
-  // The metric may sit at a different id in the test profile; match by name.
-  MetricId TestInput = Test.findMetric(M.Name);
-  if (TestInput == Profile::InvalidMetric)
-    TestInput = Metric;
-  MergeSide(Test, Result.TestMetric, /*Bit=*/2, TestInput);
+  MergeSide(Base, Preps[0], Result.BaseMetric, /*Bit=*/1);
+  MergeSide(Test, Preps[1], Result.TestMetric, /*Bit=*/2);
   Presence.resize(Merged.nodeCount(), 0);
 
   // Delta column (exclusive) and inclusive columns for tagging.
@@ -107,37 +151,46 @@ DiffResult diffProfiles(const Profile &Base, const Profile &Test,
     Result.BaseInclusive[Id] = B;
     Result.TestInclusive[Id] = T;
   }
-  for (NodeId Id = static_cast<NodeId>(Merged.nodeCount()); Id > 1;) {
-    --Id;
-    NodeId Parent = Merged.node(Id).Parent;
-    Result.BaseInclusive[Parent] += Result.BaseInclusive[Id];
-    Result.TestInclusive[Parent] += Result.TestInclusive[Id];
-  }
+  // The two inclusive sweeps touch disjoint columns, so they run as two
+  // independent tasks with bit-identical results.
+  ThreadPool::shared().parallelFor(2, [&](size_t Side) {
+    std::vector<double> &Column =
+        Side == 0 ? Result.BaseInclusive : Result.TestInclusive;
+    for (NodeId Id = static_cast<NodeId>(Merged.nodeCount()); Id > 1;) {
+      --Id;
+      Column[Merged.node(Id).Parent] += Column[Id];
+    }
+  });
 
+  // Tagging is a pure per-node function of presence bits and the inclusive
+  // columns; chunks own disjoint node ranges.
   Result.Tags.assign(Merged.nodeCount(), DiffTag::Common);
-  for (NodeId Id = 0; Id < Merged.nodeCount(); ++Id) {
-    bool InBase = Presence[Id] & 1;
-    bool InTest = Presence[Id] & 2;
-    if (Id == Merged.root()) {
-      InBase = true;
-      InTest = true;
-    }
-    if (!InBase && InTest) {
-      Result.Tags[Id] = DiffTag::Added;
-      continue;
-    }
-    if (InBase && !InTest) {
-      Result.Tags[Id] = DiffTag::Deleted;
-      continue;
-    }
-    double B = Result.BaseInclusive[Id];
-    double T = Result.TestInclusive[Id];
-    double Scale = std::max(std::abs(B), std::abs(T));
-    if (Scale == 0.0 || std::abs(T - B) <= RelativeEpsilon * Scale)
-      Result.Tags[Id] = DiffTag::Common;
-    else
-      Result.Tags[Id] = T > B ? DiffTag::Increased : DiffTag::Decreased;
-  }
+  ThreadPool::shared().parallelForChunks(
+      Merged.nodeCount(), [&](size_t Begin, size_t End) {
+        for (NodeId Id = static_cast<NodeId>(Begin); Id < End; ++Id) {
+          bool InBase = Presence[Id] & 1;
+          bool InTest = Presence[Id] & 2;
+          if (Id == Merged.root()) {
+            InBase = true;
+            InTest = true;
+          }
+          if (!InBase && InTest) {
+            Result.Tags[Id] = DiffTag::Added;
+            continue;
+          }
+          if (InBase && !InTest) {
+            Result.Tags[Id] = DiffTag::Deleted;
+            continue;
+          }
+          double B = Result.BaseInclusive[Id];
+          double T = Result.TestInclusive[Id];
+          double Scale = std::max(std::abs(B), std::abs(T));
+          if (Scale == 0.0 || std::abs(T - B) <= RelativeEpsilon * Scale)
+            Result.Tags[Id] = DiffTag::Common;
+          else
+            Result.Tags[Id] = T > B ? DiffTag::Increased : DiffTag::Decreased;
+        }
+      });
   return Result;
 }
 

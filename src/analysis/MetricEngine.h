@@ -27,6 +27,12 @@ std::vector<double> exclusiveColumn(const Profile &P, MetricId Metric);
 /// of all children, computed in one bottom-up pass.
 std::vector<double> inclusiveColumn(const Profile &P, MetricId Metric);
 
+/// All metrics at once, in one scatter pass plus one post-order sweep:
+/// Columns[m][id] is the inclusive value of metric m at node id. Visits
+/// each node's sparse metric list exactly once, unlike calling
+/// inclusiveColumn() per metric which rescans every node M times.
+std::vector<std::vector<double>> inclusiveColumns(const Profile &P);
+
 /// Sum of all exclusive values (equals the root's inclusive value).
 double metricTotal(const Profile &P, MetricId Metric);
 

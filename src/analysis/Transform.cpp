@@ -8,7 +8,9 @@
 
 #include "analysis/MetricEngine.h"
 #include "analysis/Traversal.h"
+#include "support/ThreadPool.h"
 
+#include <cstdint>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -95,23 +97,45 @@ Profile bottomUpTree(const Profile &P) {
   for (FrameId I = 0; I < P.frames().size(); ++I)
     FrameMap[I] = copyFrame(P, P.frame(I), Out);
 
-  TreeWriter Writer(Out);
+  // Depth of every node in one forward pass (ids are parents-first).
+  std::vector<uint32_t> Depth(P.nodeCount(), 0);
+  for (NodeId Id = 1; Id < P.nodeCount(); ++Id)
+    Depth[Id] = Depth[P.node(Id).Parent] + 1;
+
+  // Contexts that carry a non-zero metric, in id order.
+  std::vector<NodeId> Contributors;
   for (NodeId Id = 1; Id < P.nodeCount(); ++Id) {
     const CCTNode &Node = P.node(Id);
-    if (Node.Metrics.empty())
-      continue;
     bool AllZero = true;
     for (const MetricValue &MV : Node.Metrics)
       if (MV.Value != 0.0)
         AllZero = false;
-    if (AllZero)
-      continue;
-    // Insert the reversed path: this context's frame first, then callers
-    // outward, stopping before the root.
+    if (!Node.Metrics.empty() && !AllZero)
+      Contributors.push_back(Id);
+  }
+
+  // Each contributor owns a disjoint slice of one flat path buffer, so the
+  // reversed-path reconstruction (leaf frame first, callers outward,
+  // stopping before the root) parallelizes without synchronization.
+  std::vector<size_t> Offset(Contributors.size() + 1, 0);
+  for (size_t I = 0; I < Contributors.size(); ++I)
+    Offset[I + 1] = Offset[I] + Depth[Contributors[I]];
+  std::vector<FrameId> Paths(Offset.back());
+  ThreadPool::shared().parallelFor(Contributors.size(), [&](size_t I) {
+    size_t Slot = Offset[I];
+    for (NodeId Walk = Contributors[I]; Walk != P.root();
+         Walk = P.node(Walk).Parent)
+      Paths[Slot++] = FrameMap[P.node(Walk).FrameRef];
+  });
+
+  // The merge itself stays sequential and in the original id order, so the
+  // output is identical for every thread count.
+  TreeWriter Writer(Out);
+  for (size_t I = 0; I < Contributors.size(); ++I) {
     NodeId Cur = Out.root();
-    for (NodeId Walk = Id; Walk != P.root(); Walk = P.node(Walk).Parent)
-      Cur = Writer.child(Cur, FrameMap[P.node(Walk).FrameRef]);
-    for (const MetricValue &MV : Node.Metrics)
+    for (size_t S = Offset[I]; S < Offset[I + 1]; ++S)
+      Cur = Writer.child(Cur, Paths[S]);
+    for (const MetricValue &MV : P.node(Contributors[I]).Metrics)
       Out.node(Cur).addMetric(MetricMap[MV.Metric], MV.Value);
   }
   return Out;
@@ -128,9 +152,35 @@ Profile flatTree(const Profile &P) {
     InclMap[I] = Out.addMetric(M.Name + " (inclusive)", M.Unit, M.Aggregation);
   }
 
-  std::vector<std::vector<double>> Inclusive(P.metrics().size());
-  for (MetricId M = 0; M < P.metrics().size(); ++M)
-    Inclusive[M] = inclusiveColumn(P, M);
+  // All inclusive columns in one fused sweep instead of one pass per metric.
+  std::vector<std::vector<double>> Inclusive = inclusiveColumns(P);
+
+  // The module/file/function frames a context expands to depend only on its
+  // frame, so materialize them once per distinct frame instead of once per
+  // CCT node.
+  struct FlatRefs {
+    FrameId Module;
+    FrameId File;
+    FrameId Func;
+  };
+  std::vector<FlatRefs> Refs(P.frames().size());
+  for (FrameId I = 0; I < P.frames().size(); ++I) {
+    const Frame &F = P.frame(I);
+    StringId ModuleText = Out.strings().intern(P.text(F.Loc.Module));
+    StringId FileText = Out.strings().intern(P.text(F.Loc.File));
+    Refs[I].Module = Out.internFrame(
+        {FrameKind::Function,
+         P.text(F.Loc.Module).empty()
+             ? Out.strings().intern("<unknown module>")
+             : ModuleText,
+         SourceLocation{0, 0, ModuleText, 0}});
+    Refs[I].File = Out.internFrame(
+        {FrameKind::Function,
+         P.text(F.Loc.File).empty() ? Out.strings().intern("<unknown file>")
+                                    : FileText,
+         SourceLocation{FileText, 0, ModuleText, 0}});
+    Refs[I].Func = copyFrame(P, F, Out);
+  }
 
   TreeWriter Writer(Out);
   // Count of occurrences of each function frame along the current DFS path,
@@ -154,31 +204,12 @@ Profile flatTree(const Profile &P) {
       continue;
     }
     if (E.Id != P.root()) {
-      const Frame &F = P.frame(Node.FrameRef);
-      // Materialize root -> module -> file -> function.
-      NodeId ModuleNode = Writer.child(
-          Out.root(),
-          Out.internFrame({FrameKind::Function,
-                           Out.strings().intern(P.text(F.Loc.Module).empty()
-                                                    ? std::string_view(
-                                                          "<unknown module>")
-                                                    : P.text(F.Loc.Module)),
-                           SourceLocation{0, 0,
-                                          Out.strings().intern(
-                                              P.text(F.Loc.Module)),
-                                          0}}));
-      NodeId FileNode = Writer.child(
-          ModuleNode,
-          Out.internFrame(
-              {FrameKind::Function,
-               Out.strings().intern(P.text(F.Loc.File).empty()
-                                        ? std::string_view("<unknown file>")
-                                        : P.text(F.Loc.File)),
-               SourceLocation{Out.strings().intern(P.text(F.Loc.File)), 0,
-                              Out.strings().intern(P.text(F.Loc.Module)),
-                              0}}));
-      FrameId FuncFrame = copyFrame(P, F, Out);
-      NodeId FuncNode = Writer.child(FileNode, FuncFrame);
+      // Materialize root -> module -> file -> function from the per-frame
+      // precomputed refs.
+      const FlatRefs &R = Refs[Node.FrameRef];
+      NodeId ModuleNode = Writer.child(Out.root(), R.Module);
+      NodeId FileNode = Writer.child(ModuleNode, R.File);
+      NodeId FuncNode = Writer.child(FileNode, R.Func);
 
       unsigned &Depth = ActiveFrames[Node.FrameRef];
       for (const MetricValue &MV : Node.Metrics)

@@ -67,6 +67,38 @@ const Profile *PvpServer::profile(int64_t Id) const {
   return It == Profiles.end() ? nullptr : &It->second;
 }
 
+uint64_t PvpServer::generationOf(int64_t Id) const {
+  auto It = Generations.find(Id);
+  return It == Generations.end() ? 0 : It->second;
+}
+
+void PvpServer::bumpGeneration(int64_t Id) { ++Generations[Id]; }
+
+const json::Value *PvpServer::cacheLookup(const std::string &Key) {
+  auto It = ViewIndex.find(Key);
+  if (It == ViewIndex.end())
+    return nullptr;
+  ViewCache.splice(ViewCache.begin(), ViewCache, It->second);
+  return &ViewCache.front().Reply;
+}
+
+void PvpServer::cacheInsert(std::string Key, const json::Value &Reply) {
+  if (Limits.MaxCachedViews == 0)
+    return;
+  if (auto It = ViewIndex.find(Key); It != ViewIndex.end()) {
+    It->second->Reply = Reply;
+    ViewCache.splice(ViewCache.begin(), ViewCache, It->second);
+    return;
+  }
+  ViewCache.push_front({Key, Reply});
+  ViewIndex.emplace(std::move(Key), ViewCache.begin());
+  while (ViewCache.size() > Limits.MaxCachedViews) {
+    ViewIndex.erase(ViewCache.back().Key);
+    ViewCache.pop_back();
+    ++CacheEvictions;
+  }
+}
+
 Result<const Profile *> PvpServer::lookup(const json::Object &Params,
                                           std::string_view Key) const {
   const json::Value *IdV = Params.find(Key);
@@ -175,6 +207,7 @@ Result<json::Value> PvpServer::doClose(const json::Object &Params) {
     return makeError("missing numeric 'profile' parameter");
   bool Removed = Profiles.erase(IdV->asInt()) > 0;
   Aggregates.erase(IdV->asInt());
+  bumpGeneration(IdV->asInt());
   json::Object Out;
   Out.set("closed", Removed);
   return json::Value(std::move(Out));
@@ -472,6 +505,7 @@ Result<json::Value> PvpServer::doQuery(const json::Object &Params) {
   Result<evql::QueryOutput> Out = evql::runProgram(**P, ProgV->asString());
   if (!Out)
     return makeError(Out.error());
+  bumpGeneration(Params.find("profile")->asInt());
 
   json::Object Reply;
   Reply.set("profile", addProfile(std::move(Out->Result)));
@@ -506,6 +540,7 @@ Result<json::Value> PvpServer::doTransform(const json::Object &Params) {
     Shaped = collapseRecursion(**P);
   else
     return makeError("unknown shape '" + Shape + "'");
+  bumpGeneration(Params.find("profile")->asInt());
 
   json::Object Out;
   Out.set("nodes", Shaped.nodeCount());
@@ -526,6 +561,7 @@ Result<json::Value> PvpServer::doPrune(const json::Object &Params) {
   if (MinFraction < 0.0 || MinFraction > 1.0)
     return makeError("'minFraction' must be in [0, 1]");
   Profile Pruned = pruneByFraction(**P, *Metric, MinFraction);
+  bumpGeneration(Params.find("profile")->asInt());
   json::Object Out;
   Out.set("nodes", Pruned.nodeCount());
   Out.set("removed", (*P)->nodeCount() - Pruned.nodeCount());
@@ -762,8 +798,43 @@ Result<json::Value> PvpServer::doDiagnostics(const json::Object &Params) {
   return json::Value(std::move(Reply));
 }
 
+Result<json::Value> PvpServer::doStats(const json::Object &) {
+  json::Object Out;
+  Out.set("profiles", static_cast<int64_t>(Profiles.size()));
+  Out.set("cachedViews", static_cast<int64_t>(ViewCache.size()));
+  Out.set("cacheCapacity", static_cast<int64_t>(Limits.MaxCachedViews));
+  Out.set("cacheHits", CacheHits);
+  Out.set("cacheMisses", CacheMisses);
+  Out.set("cacheEvictions", CacheEvictions);
+  return json::Value(std::move(Out));
+}
+
 json::Value PvpServer::dispatch(std::string_view Method,
                                 const json::Object &Params, int64_t Id) {
+  // Memoized fast path: serve repeated view requests straight from the LRU.
+  // The key folds in the profile generation, so any state-retiring method
+  // in between forces a recomputation without an explicit flush.
+  bool Cacheable = Limits.MaxCachedViews != 0 &&
+                   (Method == "pvp/flame" || Method == "pvp/treeTable" ||
+                    Method == "pvp/summary");
+  std::string CacheKey;
+  if (Cacheable) {
+    const json::Value *ProfV = Params.find("profile");
+    if (ProfV && ProfV->isNumber()) {
+      int64_t Prof = ProfV->asInt();
+      CacheKey = std::string(Method) + '|' + std::to_string(Prof) + '|' +
+                 std::to_string(generationOf(Prof)) + '|' +
+                 json::Value(Params).dump();
+      if (const json::Value *Hit = cacheLookup(CacheKey)) {
+        ++CacheHits;
+        return rpc::makeResponse(Id, json::Value(*Hit));
+      }
+      ++CacheMisses;
+    } else {
+      Cacheable = false;
+    }
+  }
+
   // Arm the soft per-request deadline; long-running handler loops check
   // it periodically and bail with DeadlineDiag.
   RequestDeadline =
@@ -807,6 +878,8 @@ json::Value PvpServer::dispatch(std::string_view Method,
     R = doCorrelated(Params);
   else if (Method == "pvp/diagnostics")
     R = doDiagnostics(Params);
+  else if (Method == "pvp/stats")
+    R = doStats(Params);
   else
     return rpc::makeErrorResponse(Id, rpc::MethodNotFound,
                                   "unknown method '" + std::string(Method) +
@@ -817,7 +890,12 @@ json::Value PvpServer::dispatch(std::string_view Method,
         R.error() == DeadlineDiag ? rpc::RequestTimeout : rpc::InvalidParams;
     return rpc::makeErrorResponse(Id, Code, R.error());
   }
-  return rpc::makeResponse(Id, R.take());
+  json::Value Payload = R.take();
+  // Only successful replies are memoized; errors stay uncached so a later
+  // retry (e.g. after the deadline budget recovers) re-runs the handler.
+  if (Cacheable)
+    cacheInsert(std::move(CacheKey), Payload);
+  return rpc::makeResponse(Id, std::move(Payload));
 }
 
 json::Value PvpServer::handleMessage(const json::Value &Request) {

@@ -30,6 +30,9 @@
 ///   pvp/export        {profile, format, metric?} -> {dataBase64, bytes}
 ///   pvp/butterfly     {profile, function, metric?} -> {callers, callees}
 ///   pvp/correlated    {profile, kind, select?: [node...]} -> {panes}
+/// Introspection:
+///   pvp/stats         {} -> {profiles, cachedViews, cacheCapacity,
+///                            cacheHits, cacheMisses, cacheEvictions}
 /// Static analysis (batched; see docs/ANALYSIS.md):
 ///   pvp/diagnostics   {profile?, program?, minSeverity?, disable?,
 ///                      maxDiagnostics?} -> {diagnostics, errors, warnings,
@@ -51,8 +54,10 @@
 #include "support/Limits.h"
 
 #include <functional>
+#include <list>
 #include <map>
 #include <string>
+#include <unordered_map>
 
 namespace ev {
 
@@ -78,6 +83,9 @@ struct ServerLimits {
   uint64_t RequestDeadlineMs = 10000;
   /// Retry policy for path-based pvp/open file loads.
   RetryPolicy OpenRetry;
+  /// Capacity of the memoized view cache serving pvp/flame, pvp/treeTable,
+  /// and pvp/summary. 0 disables caching entirely.
+  size_t MaxCachedViews = 128;
 };
 
 class PvpServer {
@@ -133,12 +141,40 @@ private:
   Result<json::Value> doButterfly(const json::Object &Params);
   Result<json::Value> doCorrelated(const json::Object &Params);
   Result<json::Value> doDiagnostics(const json::Object &Params);
+  Result<json::Value> doStats(const json::Object &Params);
 
   Result<const Profile *> lookup(const json::Object &Params,
                                  std::string_view Key = "profile") const;
 
   /// \returns true once the in-flight request ran past its soft deadline.
   bool deadlineExpired() const;
+
+  //===--------------------------------------------------------------------===
+  // Memoized view cache
+  //===--------------------------------------------------------------------===
+  //
+  // Read-only view replies (pvp/flame, pvp/treeTable, pvp/summary) are
+  // memoized in an LRU keyed on (method, profile id, profile generation,
+  // request params). Methods that retire or derive state (pvp/close,
+  // pvp/query, pvp/transform, pvp/prune) bump the source profile's
+  // generation, which orphans every cached view of it; orphans age out of
+  // the LRU naturally.
+
+  struct CachedView {
+    std::string Key;
+    json::Value Reply; ///< The result payload (cheap to copy: shared_ptr).
+  };
+
+  /// \returns the invalidation generation of profile \p Id (0 until bumped).
+  uint64_t generationOf(int64_t Id) const;
+  /// Invalidates every cached view of profile \p Id.
+  void bumpGeneration(int64_t Id);
+  /// \returns the cached reply for \p Key, refreshing its LRU position;
+  /// nullptr on miss.
+  const json::Value *cacheLookup(const std::string &Key);
+  /// Inserts \p Reply under \p Key, evicting the least recently used views
+  /// beyond ServerLimits::MaxCachedViews.
+  void cacheInsert(std::string Key, const json::Value &Reply);
 
   ServerLimits Limits;
   std::map<int64_t, Profile> Profiles;
@@ -147,6 +183,13 @@ private:
   rpc::FrameReader Reader;
   std::function<uint64_t()> NowMs;
   uint64_t RequestDeadline = 0; ///< Absolute ms; 0 while idle/disabled.
+
+  std::list<CachedView> ViewCache; ///< Front = most recently used.
+  std::unordered_map<std::string, std::list<CachedView>::iterator> ViewIndex;
+  std::map<int64_t, uint64_t> Generations;
+  uint64_t CacheHits = 0;
+  uint64_t CacheMisses = 0;
+  uint64_t CacheEvictions = 0;
 };
 
 } // namespace ev

@@ -110,11 +110,20 @@ NodeId Profile::createNode(NodeId Parent, FrameId FrameRef) {
   return Id;
 }
 
+void Profile::reserveTables(size_t Nodes, size_t Frames) {
+  NodeTable.reserve(NodeTable.size() + Nodes);
+  FrameTable.reserve(FrameTable.size() + Frames);
+  FrameIndex.reserve(FrameIndex.size() + Frames);
+}
+
 std::vector<NodeId> Profile::pathTo(NodeId Id) const {
-  std::vector<NodeId> Path;
+  // Size the path from a depth walk, then fill back-to-front: one exact
+  // allocation and no reversal, so per-leaf reconstruction (the bottom-up
+  // transform and exporters call this per context) stays O(depth).
+  std::vector<NodeId> Path(depth(Id) + 1);
+  size_t Slot = Path.size();
   for (NodeId Cur = Id; Cur != InvalidNode; Cur = node(Cur).Parent)
-    Path.push_back(Cur);
-  std::reverse(Path.begin(), Path.end());
+    Path[--Slot] = Cur;
   return Path;
 }
 

@@ -200,6 +200,10 @@ public:
   /// Appends a fresh child of \p Parent referencing \p FrameRef.
   NodeId createNode(NodeId Parent, FrameId FrameRef);
 
+  /// Pre-sizes the node and frame tables (loaders call this after a wire
+  /// pre-scan so the decode loop never reallocates).
+  void reserveTables(size_t Nodes, size_t Frames);
+
   /// Frame of the node (convenience).
   const Frame &frameOf(NodeId Id) const { return frame(node(Id).FrameRef); }
   /// Function/data-object name of the node.

@@ -163,6 +163,57 @@ Result<Profile> readEvProf(std::string_view Bytes) {
   return readEvProf(Bytes, DecodeLimits::defaults());
 }
 
+namespace {
+
+/// Counts of top-level fields gathered by a cheap pre-scan of the wire
+/// stream: one varint-skimming pass that never parses submessage interiors.
+/// The decoder sizes every table from these counts up front, so the hot
+/// decode loop performs no vector reallocation.
+struct WireCensus {
+  size_t Strings = 0;
+  size_t StringBytes = 0;
+  size_t Metrics = 0;
+  size_t Frames = 0;
+  size_t Nodes = 0;
+  size_t Groups = 0;
+};
+
+WireCensus prescanEvProf(std::string_view Bytes) {
+  WireCensus Census;
+  ProtoReader R(Bytes);
+  while (R.next()) {
+    switch (R.fieldNumber()) {
+    case FProfileString:
+      ++Census.Strings;
+      Census.StringBytes += R.bytes().size();
+      break;
+    case FProfileMetric:
+      ++Census.Metrics;
+      R.skip();
+      break;
+    case FProfileFrame:
+      ++Census.Frames;
+      R.skip();
+      break;
+    case FProfileNode:
+      ++Census.Nodes;
+      R.skip();
+      break;
+    case FProfileGroup:
+      ++Census.Groups;
+      R.skip();
+      break;
+    default:
+      R.skip();
+    }
+  }
+  // Malformed tails surface in the real decode pass; counts so far are
+  // still valid reservation hints.
+  return Census;
+}
+
+} // namespace
+
 Result<Profile> readEvProf(std::string_view Bytes,
                            const DecodeLimits &Limits) {
   if (Bytes.size() > Limits.MaxInputBytes)
@@ -173,21 +224,34 @@ Result<Profile> readEvProf(std::string_view Bytes,
     return makeError("not an .evprof stream: bad magic");
   Bytes.remove_prefix(EvProfMagic.size());
 
+  const WireCensus Census = prescanEvProf(Bytes);
+
+  // The output profile is created up front so strings intern straight into
+  // its arena during the wire pass — no intermediate std::string table.
+  Profile P;
+  std::vector<StringId> StringMap;
+  StringMap.reserve(Census.Strings);
+  P.strings().reserve(Census.Strings, Census.StringBytes);
+  P.reserveTables(Census.Nodes, Census.Frames);
+
   // Pass 1: pull the raw tables out of the wire data.
   std::string Name;
-  std::vector<std::string> StringTable;
   std::vector<MetricDescriptor> Metrics;
+  Metrics.reserve(Census.Metrics);
   struct RawFrame {
     uint64_t Kind = 0, Name = 0, File = 0, Line = 0, Module = 0, Addr = 0;
   };
   std::vector<RawFrame> Frames;
+  Frames.reserve(Census.Frames);
   std::vector<RawNode> Nodes;
+  Nodes.reserve(Census.Nodes);
   struct RawGroup {
     uint64_t Kind = 0, Metric = 0;
     double Value = 0.0;
     std::vector<uint64_t> Contexts;
   };
   std::vector<RawGroup> Groups;
+  Groups.reserve(Census.Groups);
 
   ProtoReader R(Bytes);
   while (R.next()) {
@@ -199,7 +263,7 @@ Result<Profile> readEvProf(std::string_view Bytes,
       std::string_view S = R.bytes();
       if (!Guard.chargeString(S.size()) || !Guard.chargeAlloc(S.size()))
         return makeError(Guard.error());
-      StringTable.emplace_back(S);
+      StringMap.push_back(P.strings().intern(S));
       break;
     }
     case FProfileMetric: {
@@ -208,6 +272,13 @@ Result<Profile> readEvProf(std::string_view Bytes,
       Result<MetricDescriptor> M = decodeMetric(R.bytes());
       if (!M)
         return makeError(M.error());
+      // Duplicate metric descriptors are rejected the moment the second one
+      // arrives: silently folding them onto one column would misattribute
+      // every later per-node value.
+      for (const MetricDescriptor &Seen : Metrics)
+        if (Seen.Name == M->Name)
+          return makeError("duplicate metric descriptor '" + M->Name +
+                           "' at index " + std::to_string(Metrics.size()));
       Metrics.push_back(M.take());
       break;
     }
@@ -332,14 +403,11 @@ Result<Profile> readEvProf(std::string_view Bytes,
   if (R.failed())
     return makeError("malformed EvProfile message");
 
-  // Pass 2: rebuild the Profile, remapping string and frame ids into the
-  // fresh tables (the new Profile pre-interns "" and "ROOT").
-  Profile P;
+  // Pass 2: rebuild the Profile from the raw tables. Strings were already
+  // interned into P's arena during the wire pass; StringMap remaps wire ids
+  // onto arena ids (the fresh Profile pre-interns "" and "ROOT").
   P.setName(std::move(Name));
 
-  std::vector<StringId> StringMap(StringTable.size());
-  for (size_t I = 0; I < StringTable.size(); ++I)
-    StringMap[I] = P.strings().intern(StringTable[I]);
   auto MapString = [&](uint64_t Old) -> Result<StringId> {
     if (Old >= StringMap.size())
       return makeError("string reference out of range");
@@ -348,8 +416,6 @@ Result<Profile> readEvProf(std::string_view Bytes,
 
   for (const MetricDescriptor &M : Metrics)
     P.addMetric(M.Name, M.Unit, M.Aggregation);
-  if (P.metrics().size() != Metrics.size())
-    return makeError("duplicate metric names in stream");
 
   std::vector<FrameId> FrameMap(Frames.size());
   for (size_t I = 0; I < Frames.size(); ++I) {

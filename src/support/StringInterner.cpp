@@ -6,24 +6,80 @@
 
 #include "support/StringInterner.h"
 
+#include <algorithm>
 #include <cassert>
+#include <cstring>
 
 namespace ev {
+
+namespace {
+constexpr size_t MinBlockBytes = 4096;
+constexpr size_t MaxBlockBytes = 4u << 20;
+} // namespace
+
+std::string_view StringInterner::store(std::string_view Text) {
+  if (Text.empty())
+    return {};
+  if (BlockUsed + Text.size() > BlockCapacity) {
+    size_t Next = std::max(MinBlockBytes, BlockCapacity * 2);
+    Next = std::min(Next, MaxBlockBytes);
+    Next = std::max(Next, Text.size());
+    Blocks.push_back(std::make_unique<char[]>(Next));
+    BlockCapacity = Next;
+    BlockUsed = 0;
+  }
+  char *Dst = Blocks.back().get() + BlockUsed;
+  std::memcpy(Dst, Text.data(), Text.size());
+  BlockUsed += Text.size();
+  return {Dst, Text.size()};
+}
+
+StringInterner::StringInterner(const StringInterner &Other) {
+  reserve(Other.Table.size(), Other.Payload);
+  for (std::string_view Text : Other.Table) {
+    std::string_view Stored = store(Text);
+    Index.emplace(Stored, static_cast<StringId>(Table.size()));
+    Table.push_back(Stored);
+  }
+  Payload = Other.Payload;
+}
+
+StringInterner &StringInterner::operator=(const StringInterner &Other) {
+  if (this != &Other) {
+    StringInterner Copy(Other);
+    *this = std::move(Copy);
+  }
+  return *this;
+}
 
 StringId StringInterner::intern(std::string_view Text) {
   auto It = Index.find(Text);
   if (It != Index.end())
     return It->second;
   StringId Id = static_cast<StringId>(Table.size());
-  Table.emplace_back(Text);
+  std::string_view Stored = store(Text);
+  Table.push_back(Stored);
   Payload += Text.size();
-  Index.emplace(std::string_view(Table.back()), Id);
+  Index.emplace(Stored, Id);
   return Id;
 }
 
 std::string_view StringInterner::text(StringId Id) const {
   assert(Id < Table.size() && "string id out of range");
   return Table[Id];
+}
+
+void StringInterner::reserve(size_t Count, size_t TotalBytes) {
+  Table.reserve(Table.size() + Count);
+  Index.reserve(Index.size() + Count);
+  if (TotalBytes > 0 && BlockUsed + TotalBytes > BlockCapacity &&
+      TotalBytes <= MaxBlockBytes) {
+    // One block covering the announced payload; store() falls back to
+    // doubling blocks if the estimate proves short.
+    Blocks.push_back(std::make_unique<char[]>(TotalBytes));
+    BlockCapacity = TotalBytes;
+    BlockUsed = 0;
+  }
 }
 
 } // namespace ev

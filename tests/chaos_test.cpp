@@ -305,3 +305,64 @@ TEST_P(ChaosLintSeed, FaultedProfilesAreExplainedOrClean) {
     }
   }
 }
+
+//===----------------------------------------------------------------------===
+// View cache transparency
+//===----------------------------------------------------------------------===
+
+namespace {
+
+class ChaosCacheSeed : public ::testing::TestWithParam<uint64_t> {};
+
+} // namespace
+
+INSTANTIATE_TEST_SUITE_P(ChaosSchedules, ChaosCacheSeed,
+                         ::testing::Range<uint64_t>(0, 24));
+
+TEST_P(ChaosCacheSeed, CachedRepliesAreByteIdenticalToUncached) {
+  // The memoized view cache must be invisible on the wire: the same session
+  // replayed against a caching server and a cache-disabled server produces
+  // byte-identical responses, including after a generation bump forces the
+  // caching server to recompute.
+  const uint64_t Seed = GetParam();
+  Profile P = test::makeRandomProfile(Seed, /*Paths=*/60, /*MaxDepth=*/10,
+                                      /*Functions=*/24);
+
+  ServerLimits NoCache;
+  NoCache.MaxCachedViews = 0;
+  PvpServer Cached;
+  PvpServer Uncached(NoCache);
+  int64_t CachedId = Cached.addProfile(P);
+  int64_t UncachedId = Uncached.addProfile(P);
+  ASSERT_EQ(CachedId, UncachedId);
+
+  auto Request = [&](int64_t Id, const char *Method,
+                     json::Object Params) -> void {
+    json::Value Req = rpc::makeRequest(Id, Method, std::move(Params));
+    std::string A = Cached.handleMessage(Req).dump();
+    std::string B = Uncached.handleMessage(Req).dump();
+    EXPECT_EQ(A, B) << "seed " << Seed << " method " << Method;
+  };
+
+  json::Object Flame;
+  Flame.set("profile", CachedId);
+  Flame.set("maxRects", 128);
+  json::Object Shaped;
+  Shaped.set("profile", CachedId);
+  Shaped.set("shape", Seed % 2 ? "bottom-up" : "flat");
+  json::Object Bare;
+  Bare.set("profile", CachedId);
+  json::Object Transform;
+  Transform.set("profile", CachedId);
+  Transform.set("shape", "bottom-up");
+
+  Request(1, "pvp/flame", Flame);
+  Request(2, "pvp/flame", Flame); // Cache hit on the caching server.
+  Request(3, "pvp/flame", Shaped);
+  Request(4, "pvp/treeTable", Bare);
+  Request(5, "pvp/summary", Bare);
+  Request(6, "pvp/transform", Transform); // Bumps the generation.
+  Request(7, "pvp/flame", Flame);         // Recompute, not a stale reply.
+  Request(8, "pvp/treeTable", Bare);
+  Request(9, "pvp/summary", Bare);
+}

@@ -137,6 +137,27 @@ TEST(EvProf, RejectsDanglingReferences) {
   ASSERT_FALSE(R.ok());
 }
 
+TEST(EvProf, RejectsDuplicateMetricDescriptors) {
+  // Hand-craft a stream declaring the same metric name twice. The decoder
+  // must reject it at decode time (metric ids are positional; a silent
+  // dedup would shift every later column).
+  ProtoWriter W;
+  W.writeBytes(1, "dup");
+  W.writeBytes(2, ""); // string table: [""].
+  for (int I = 0; I < 2; ++I) {
+    ProtoWriter MW;
+    MW.writeBytes(1, "time");
+    MW.writeBytes(2, "nanoseconds");
+    W.writeBytes(3, MW.buffer());
+  }
+  std::string Bytes(EvProfMagic);
+  Bytes += W.buffer();
+  Result<Profile> R = readEvProf(Bytes);
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.error().find("duplicate metric"), std::string::npos)
+      << R.error();
+}
+
 TEST(EvProf, RoundTripRandomProfiles) {
   for (uint64_t Seed = 1; Seed <= 5; ++Seed) {
     Profile P = test::makeRandomProfile(Seed);
