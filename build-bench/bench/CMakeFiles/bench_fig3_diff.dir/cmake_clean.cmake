@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_diff.dir/bench_fig3_diff.cpp.o"
+  "CMakeFiles/bench_fig3_diff.dir/bench_fig3_diff.cpp.o.d"
+  "bench_fig3_diff"
+  "bench_fig3_diff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_diff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_leak.dir/bench_fig4_leak.cpp.o"
+  "CMakeFiles/bench_fig4_leak.dir/bench_fig4_leak.cpp.o.d"
+  "bench_fig4_leak"
+  "bench_fig4_leak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_leak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

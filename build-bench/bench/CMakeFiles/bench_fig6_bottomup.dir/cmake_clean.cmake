@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_bottomup.dir/bench_fig6_bottomup.cpp.o"
+  "CMakeFiles/bench_fig6_bottomup.dir/bench_fig6_bottomup.cpp.o.d"
+  "bench_fig6_bottomup"
+  "bench_fig6_bottomup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_bottomup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

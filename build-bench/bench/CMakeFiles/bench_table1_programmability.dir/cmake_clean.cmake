@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_programmability.dir/bench_table1_programmability.cpp.o"
+  "CMakeFiles/bench_table1_programmability.dir/bench_table1_programmability.cpp.o.d"
+  "bench_table1_programmability"
+  "bench_table1_programmability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_programmability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

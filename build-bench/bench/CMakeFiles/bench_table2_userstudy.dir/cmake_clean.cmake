@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_userstudy.dir/bench_table2_userstudy.cpp.o"
+  "CMakeFiles/bench_table2_userstudy.dir/bench_table2_userstudy.cpp.o.d"
+  "bench_table2_userstudy"
+  "bench_table2_userstudy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_userstudy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

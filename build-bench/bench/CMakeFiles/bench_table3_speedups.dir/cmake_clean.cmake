@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_speedups.dir/bench_table3_speedups.cpp.o"
+  "CMakeFiles/bench_table3_speedups.dir/bench_table3_speedups.cpp.o.d"
+  "bench_table3_speedups"
+  "bench_table3_speedups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_speedups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build-bench/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(easyview_bench_smoke "/root/repo/build-bench/bench/bench_pipeline" "--smoke" "--out=/root/repo/build-bench/bench/BENCH_pipeline_smoke.json")
+set_tests_properties(easyview_bench_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;27;add_test;/root/repo/bench/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diff_profiles.dir/diff_profiles.cpp.o"
+  "CMakeFiles/diff_profiles.dir/diff_profiles.cpp.o.d"
+  "diff_profiles"
+  "diff_profiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diff_profiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpc_locality.dir/hpc_locality.cpp.o"
+  "CMakeFiles/hpc_locality.dir/hpc_locality.cpp.o.d"
+  "hpc_locality"
+  "hpc_locality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpc_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_leak_hunt.dir/memory_leak_hunt.cpp.o"
+  "CMakeFiles/memory_leak_hunt.dir/memory_leak_hunt.cpp.o.d"
+  "memory_leak_hunt"
+  "memory_leak_hunt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_leak_hunt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_scaling.dir/memory_scaling.cpp.o"
+  "CMakeFiles/memory_scaling.dir/memory_scaling.cpp.o.d"
+  "memory_scaling"
+  "memory_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pvp_session.dir/pvp_session.cpp.o"
+  "CMakeFiles/pvp_session.dir/pvp_session.cpp.o.d"
+  "pvp_session"
+  "pvp_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pvp_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,81 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/Aggregate.cpp" "src/CMakeFiles/easyview.dir/analysis/Aggregate.cpp.o" "gcc" "src/CMakeFiles/easyview.dir/analysis/Aggregate.cpp.o.d"
+  "/root/repo/src/analysis/Butterfly.cpp" "src/CMakeFiles/easyview.dir/analysis/Butterfly.cpp.o" "gcc" "src/CMakeFiles/easyview.dir/analysis/Butterfly.cpp.o.d"
+  "/root/repo/src/analysis/Diagnostic.cpp" "src/CMakeFiles/easyview.dir/analysis/Diagnostic.cpp.o" "gcc" "src/CMakeFiles/easyview.dir/analysis/Diagnostic.cpp.o.d"
+  "/root/repo/src/analysis/Diff.cpp" "src/CMakeFiles/easyview.dir/analysis/Diff.cpp.o" "gcc" "src/CMakeFiles/easyview.dir/analysis/Diff.cpp.o.d"
+  "/root/repo/src/analysis/LeakDetector.cpp" "src/CMakeFiles/easyview.dir/analysis/LeakDetector.cpp.o" "gcc" "src/CMakeFiles/easyview.dir/analysis/LeakDetector.cpp.o.d"
+  "/root/repo/src/analysis/MetricEngine.cpp" "src/CMakeFiles/easyview.dir/analysis/MetricEngine.cpp.o" "gcc" "src/CMakeFiles/easyview.dir/analysis/MetricEngine.cpp.o.d"
+  "/root/repo/src/analysis/ProfileLint.cpp" "src/CMakeFiles/easyview.dir/analysis/ProfileLint.cpp.o" "gcc" "src/CMakeFiles/easyview.dir/analysis/ProfileLint.cpp.o.d"
+  "/root/repo/src/analysis/Prune.cpp" "src/CMakeFiles/easyview.dir/analysis/Prune.cpp.o" "gcc" "src/CMakeFiles/easyview.dir/analysis/Prune.cpp.o.d"
+  "/root/repo/src/analysis/Sema.cpp" "src/CMakeFiles/easyview.dir/analysis/Sema.cpp.o" "gcc" "src/CMakeFiles/easyview.dir/analysis/Sema.cpp.o.d"
+  "/root/repo/src/analysis/ThreadSplit.cpp" "src/CMakeFiles/easyview.dir/analysis/ThreadSplit.cpp.o" "gcc" "src/CMakeFiles/easyview.dir/analysis/ThreadSplit.cpp.o.d"
+  "/root/repo/src/analysis/Transform.cpp" "src/CMakeFiles/easyview.dir/analysis/Transform.cpp.o" "gcc" "src/CMakeFiles/easyview.dir/analysis/Transform.cpp.o.d"
+  "/root/repo/src/baseline/GolandTreeTable.cpp" "src/CMakeFiles/easyview.dir/baseline/GolandTreeTable.cpp.o" "gcc" "src/CMakeFiles/easyview.dir/baseline/GolandTreeTable.cpp.o.d"
+  "/root/repo/src/baseline/PprofFlameView.cpp" "src/CMakeFiles/easyview.dir/baseline/PprofFlameView.cpp.o" "gcc" "src/CMakeFiles/easyview.dir/baseline/PprofFlameView.cpp.o.d"
+  "/root/repo/src/convert/ChromeTraceConverter.cpp" "src/CMakeFiles/easyview.dir/convert/ChromeTraceConverter.cpp.o" "gcc" "src/CMakeFiles/easyview.dir/convert/ChromeTraceConverter.cpp.o.d"
+  "/root/repo/src/convert/CollapsedConverter.cpp" "src/CMakeFiles/easyview.dir/convert/CollapsedConverter.cpp.o" "gcc" "src/CMakeFiles/easyview.dir/convert/CollapsedConverter.cpp.o.d"
+  "/root/repo/src/convert/Converters.cpp" "src/CMakeFiles/easyview.dir/convert/Converters.cpp.o" "gcc" "src/CMakeFiles/easyview.dir/convert/Converters.cpp.o.d"
+  "/root/repo/src/convert/Exporters.cpp" "src/CMakeFiles/easyview.dir/convert/Exporters.cpp.o" "gcc" "src/CMakeFiles/easyview.dir/convert/Exporters.cpp.o.d"
+  "/root/repo/src/convert/HpctoolkitConverter.cpp" "src/CMakeFiles/easyview.dir/convert/HpctoolkitConverter.cpp.o" "gcc" "src/CMakeFiles/easyview.dir/convert/HpctoolkitConverter.cpp.o.d"
+  "/root/repo/src/convert/PerfScriptConverter.cpp" "src/CMakeFiles/easyview.dir/convert/PerfScriptConverter.cpp.o" "gcc" "src/CMakeFiles/easyview.dir/convert/PerfScriptConverter.cpp.o.d"
+  "/root/repo/src/convert/PprofConverter.cpp" "src/CMakeFiles/easyview.dir/convert/PprofConverter.cpp.o" "gcc" "src/CMakeFiles/easyview.dir/convert/PprofConverter.cpp.o.d"
+  "/root/repo/src/convert/PyinstrumentConverter.cpp" "src/CMakeFiles/easyview.dir/convert/PyinstrumentConverter.cpp.o" "gcc" "src/CMakeFiles/easyview.dir/convert/PyinstrumentConverter.cpp.o.d"
+  "/root/repo/src/convert/ScaleneConverter.cpp" "src/CMakeFiles/easyview.dir/convert/ScaleneConverter.cpp.o" "gcc" "src/CMakeFiles/easyview.dir/convert/ScaleneConverter.cpp.o.d"
+  "/root/repo/src/convert/SpeedscopeConverter.cpp" "src/CMakeFiles/easyview.dir/convert/SpeedscopeConverter.cpp.o" "gcc" "src/CMakeFiles/easyview.dir/convert/SpeedscopeConverter.cpp.o.d"
+  "/root/repo/src/convert/TauConverter.cpp" "src/CMakeFiles/easyview.dir/convert/TauConverter.cpp.o" "gcc" "src/CMakeFiles/easyview.dir/convert/TauConverter.cpp.o.d"
+  "/root/repo/src/core/EasyView.cpp" "src/CMakeFiles/easyview.dir/core/EasyView.cpp.o" "gcc" "src/CMakeFiles/easyview.dir/core/EasyView.cpp.o.d"
+  "/root/repo/src/ide/JsonRpc.cpp" "src/CMakeFiles/easyview.dir/ide/JsonRpc.cpp.o" "gcc" "src/CMakeFiles/easyview.dir/ide/JsonRpc.cpp.o.d"
+  "/root/repo/src/ide/MockIde.cpp" "src/CMakeFiles/easyview.dir/ide/MockIde.cpp.o" "gcc" "src/CMakeFiles/easyview.dir/ide/MockIde.cpp.o.d"
+  "/root/repo/src/ide/PvpServer.cpp" "src/CMakeFiles/easyview.dir/ide/PvpServer.cpp.o" "gcc" "src/CMakeFiles/easyview.dir/ide/PvpServer.cpp.o.d"
+  "/root/repo/src/profile/Profile.cpp" "src/CMakeFiles/easyview.dir/profile/Profile.cpp.o" "gcc" "src/CMakeFiles/easyview.dir/profile/Profile.cpp.o.d"
+  "/root/repo/src/profile/ProfileBuilder.cpp" "src/CMakeFiles/easyview.dir/profile/ProfileBuilder.cpp.o" "gcc" "src/CMakeFiles/easyview.dir/profile/ProfileBuilder.cpp.o.d"
+  "/root/repo/src/proto/EvProf.cpp" "src/CMakeFiles/easyview.dir/proto/EvProf.cpp.o" "gcc" "src/CMakeFiles/easyview.dir/proto/EvProf.cpp.o.d"
+  "/root/repo/src/proto/PprofFormat.cpp" "src/CMakeFiles/easyview.dir/proto/PprofFormat.cpp.o" "gcc" "src/CMakeFiles/easyview.dir/proto/PprofFormat.cpp.o.d"
+  "/root/repo/src/query/Interpreter.cpp" "src/CMakeFiles/easyview.dir/query/Interpreter.cpp.o" "gcc" "src/CMakeFiles/easyview.dir/query/Interpreter.cpp.o.d"
+  "/root/repo/src/query/Lexer.cpp" "src/CMakeFiles/easyview.dir/query/Lexer.cpp.o" "gcc" "src/CMakeFiles/easyview.dir/query/Lexer.cpp.o.d"
+  "/root/repo/src/query/Parser.cpp" "src/CMakeFiles/easyview.dir/query/Parser.cpp.o" "gcc" "src/CMakeFiles/easyview.dir/query/Parser.cpp.o.d"
+  "/root/repo/src/render/AnsiRenderer.cpp" "src/CMakeFiles/easyview.dir/render/AnsiRenderer.cpp.o" "gcc" "src/CMakeFiles/easyview.dir/render/AnsiRenderer.cpp.o.d"
+  "/root/repo/src/render/CodeAnnotations.cpp" "src/CMakeFiles/easyview.dir/render/CodeAnnotations.cpp.o" "gcc" "src/CMakeFiles/easyview.dir/render/CodeAnnotations.cpp.o.d"
+  "/root/repo/src/render/Color.cpp" "src/CMakeFiles/easyview.dir/render/Color.cpp.o" "gcc" "src/CMakeFiles/easyview.dir/render/Color.cpp.o.d"
+  "/root/repo/src/render/CorrelatedView.cpp" "src/CMakeFiles/easyview.dir/render/CorrelatedView.cpp.o" "gcc" "src/CMakeFiles/easyview.dir/render/CorrelatedView.cpp.o.d"
+  "/root/repo/src/render/DiffRenderer.cpp" "src/CMakeFiles/easyview.dir/render/DiffRenderer.cpp.o" "gcc" "src/CMakeFiles/easyview.dir/render/DiffRenderer.cpp.o.d"
+  "/root/repo/src/render/FlameLayout.cpp" "src/CMakeFiles/easyview.dir/render/FlameLayout.cpp.o" "gcc" "src/CMakeFiles/easyview.dir/render/FlameLayout.cpp.o.d"
+  "/root/repo/src/render/Histogram.cpp" "src/CMakeFiles/easyview.dir/render/Histogram.cpp.o" "gcc" "src/CMakeFiles/easyview.dir/render/Histogram.cpp.o.d"
+  "/root/repo/src/render/HtmlRenderer.cpp" "src/CMakeFiles/easyview.dir/render/HtmlRenderer.cpp.o" "gcc" "src/CMakeFiles/easyview.dir/render/HtmlRenderer.cpp.o.d"
+  "/root/repo/src/render/SvgRenderer.cpp" "src/CMakeFiles/easyview.dir/render/SvgRenderer.cpp.o" "gcc" "src/CMakeFiles/easyview.dir/render/SvgRenderer.cpp.o.d"
+  "/root/repo/src/render/TreeTable.cpp" "src/CMakeFiles/easyview.dir/render/TreeTable.cpp.o" "gcc" "src/CMakeFiles/easyview.dir/render/TreeTable.cpp.o.d"
+  "/root/repo/src/support/Chaos.cpp" "src/CMakeFiles/easyview.dir/support/Chaos.cpp.o" "gcc" "src/CMakeFiles/easyview.dir/support/Chaos.cpp.o.d"
+  "/root/repo/src/support/FileIo.cpp" "src/CMakeFiles/easyview.dir/support/FileIo.cpp.o" "gcc" "src/CMakeFiles/easyview.dir/support/FileIo.cpp.o.d"
+  "/root/repo/src/support/Json.cpp" "src/CMakeFiles/easyview.dir/support/Json.cpp.o" "gcc" "src/CMakeFiles/easyview.dir/support/Json.cpp.o.d"
+  "/root/repo/src/support/Limits.cpp" "src/CMakeFiles/easyview.dir/support/Limits.cpp.o" "gcc" "src/CMakeFiles/easyview.dir/support/Limits.cpp.o.d"
+  "/root/repo/src/support/ProtoWire.cpp" "src/CMakeFiles/easyview.dir/support/ProtoWire.cpp.o" "gcc" "src/CMakeFiles/easyview.dir/support/ProtoWire.cpp.o.d"
+  "/root/repo/src/support/StringInterner.cpp" "src/CMakeFiles/easyview.dir/support/StringInterner.cpp.o" "gcc" "src/CMakeFiles/easyview.dir/support/StringInterner.cpp.o.d"
+  "/root/repo/src/support/Strings.cpp" "src/CMakeFiles/easyview.dir/support/Strings.cpp.o" "gcc" "src/CMakeFiles/easyview.dir/support/Strings.cpp.o.d"
+  "/root/repo/src/support/ThreadPool.cpp" "src/CMakeFiles/easyview.dir/support/ThreadPool.cpp.o" "gcc" "src/CMakeFiles/easyview.dir/support/ThreadPool.cpp.o.d"
+  "/root/repo/src/support/Varint.cpp" "src/CMakeFiles/easyview.dir/support/Varint.cpp.o" "gcc" "src/CMakeFiles/easyview.dir/support/Varint.cpp.o.d"
+  "/root/repo/src/support/Xml.cpp" "src/CMakeFiles/easyview.dir/support/Xml.cpp.o" "gcc" "src/CMakeFiles/easyview.dir/support/Xml.cpp.o.d"
+  "/root/repo/src/tool/CliDriver.cpp" "src/CMakeFiles/easyview.dir/tool/CliDriver.cpp.o" "gcc" "src/CMakeFiles/easyview.dir/tool/CliDriver.cpp.o.d"
+  "/root/repo/src/userstudy/UserSim.cpp" "src/CMakeFiles/easyview.dir/userstudy/UserSim.cpp.o" "gcc" "src/CMakeFiles/easyview.dir/userstudy/UserSim.cpp.o.d"
+  "/root/repo/src/workload/GrpcLeakWorkload.cpp" "src/CMakeFiles/easyview.dir/workload/GrpcLeakWorkload.cpp.o" "gcc" "src/CMakeFiles/easyview.dir/workload/GrpcLeakWorkload.cpp.o.d"
+  "/root/repo/src/workload/LuleshWorkload.cpp" "src/CMakeFiles/easyview.dir/workload/LuleshWorkload.cpp.o" "gcc" "src/CMakeFiles/easyview.dir/workload/LuleshWorkload.cpp.o.d"
+  "/root/repo/src/workload/ReuseWorkload.cpp" "src/CMakeFiles/easyview.dir/workload/ReuseWorkload.cpp.o" "gcc" "src/CMakeFiles/easyview.dir/workload/ReuseWorkload.cpp.o.d"
+  "/root/repo/src/workload/ScalingWorkload.cpp" "src/CMakeFiles/easyview.dir/workload/ScalingWorkload.cpp.o" "gcc" "src/CMakeFiles/easyview.dir/workload/ScalingWorkload.cpp.o.d"
+  "/root/repo/src/workload/SparkWorkload.cpp" "src/CMakeFiles/easyview.dir/workload/SparkWorkload.cpp.o" "gcc" "src/CMakeFiles/easyview.dir/workload/SparkWorkload.cpp.o.d"
+  "/root/repo/src/workload/SyntheticProfile.cpp" "src/CMakeFiles/easyview.dir/workload/SyntheticProfile.cpp.o" "gcc" "src/CMakeFiles/easyview.dir/workload/SyntheticProfile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis_test.cpp" "tests/CMakeFiles/easyview_tests.dir/analysis_test.cpp.o" "gcc" "tests/CMakeFiles/easyview_tests.dir/analysis_test.cpp.o.d"
+  "/root/repo/tests/baseline_test.cpp" "tests/CMakeFiles/easyview_tests.dir/baseline_test.cpp.o" "gcc" "tests/CMakeFiles/easyview_tests.dir/baseline_test.cpp.o.d"
+  "/root/repo/tests/butterfly_test.cpp" "tests/CMakeFiles/easyview_tests.dir/butterfly_test.cpp.o" "gcc" "tests/CMakeFiles/easyview_tests.dir/butterfly_test.cpp.o.d"
+  "/root/repo/tests/chaos_test.cpp" "tests/CMakeFiles/easyview_tests.dir/chaos_test.cpp.o" "gcc" "tests/CMakeFiles/easyview_tests.dir/chaos_test.cpp.o.d"
+  "/root/repo/tests/convert_test.cpp" "tests/CMakeFiles/easyview_tests.dir/convert_test.cpp.o" "gcc" "tests/CMakeFiles/easyview_tests.dir/convert_test.cpp.o.d"
+  "/root/repo/tests/core_test.cpp" "tests/CMakeFiles/easyview_tests.dir/core_test.cpp.o" "gcc" "tests/CMakeFiles/easyview_tests.dir/core_test.cpp.o.d"
+  "/root/repo/tests/exporters_test.cpp" "tests/CMakeFiles/easyview_tests.dir/exporters_test.cpp.o" "gcc" "tests/CMakeFiles/easyview_tests.dir/exporters_test.cpp.o.d"
+  "/root/repo/tests/extensions_test.cpp" "tests/CMakeFiles/easyview_tests.dir/extensions_test.cpp.o" "gcc" "tests/CMakeFiles/easyview_tests.dir/extensions_test.cpp.o.d"
+  "/root/repo/tests/fuzz_test.cpp" "tests/CMakeFiles/easyview_tests.dir/fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/easyview_tests.dir/fuzz_test.cpp.o.d"
+  "/root/repo/tests/ide_test.cpp" "tests/CMakeFiles/easyview_tests.dir/ide_test.cpp.o" "gcc" "tests/CMakeFiles/easyview_tests.dir/ide_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/easyview_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/easyview_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/parallel_test.cpp" "tests/CMakeFiles/easyview_tests.dir/parallel_test.cpp.o" "gcc" "tests/CMakeFiles/easyview_tests.dir/parallel_test.cpp.o.d"
+  "/root/repo/tests/profile_test.cpp" "tests/CMakeFiles/easyview_tests.dir/profile_test.cpp.o" "gcc" "tests/CMakeFiles/easyview_tests.dir/profile_test.cpp.o.d"
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/easyview_tests.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/easyview_tests.dir/property_test.cpp.o.d"
+  "/root/repo/tests/proto_test.cpp" "tests/CMakeFiles/easyview_tests.dir/proto_test.cpp.o" "gcc" "tests/CMakeFiles/easyview_tests.dir/proto_test.cpp.o.d"
+  "/root/repo/tests/pvp_actions_test.cpp" "tests/CMakeFiles/easyview_tests.dir/pvp_actions_test.cpp.o" "gcc" "tests/CMakeFiles/easyview_tests.dir/pvp_actions_test.cpp.o.d"
+  "/root/repo/tests/query_test.cpp" "tests/CMakeFiles/easyview_tests.dir/query_test.cpp.o" "gcc" "tests/CMakeFiles/easyview_tests.dir/query_test.cpp.o.d"
+  "/root/repo/tests/render_test.cpp" "tests/CMakeFiles/easyview_tests.dir/render_test.cpp.o" "gcc" "tests/CMakeFiles/easyview_tests.dir/render_test.cpp.o.d"
+  "/root/repo/tests/sema_test.cpp" "tests/CMakeFiles/easyview_tests.dir/sema_test.cpp.o" "gcc" "tests/CMakeFiles/easyview_tests.dir/sema_test.cpp.o.d"
+  "/root/repo/tests/support_test.cpp" "tests/CMakeFiles/easyview_tests.dir/support_test.cpp.o" "gcc" "tests/CMakeFiles/easyview_tests.dir/support_test.cpp.o.d"
+  "/root/repo/tests/tool_test.cpp" "tests/CMakeFiles/easyview_tests.dir/tool_test.cpp.o" "gcc" "tests/CMakeFiles/easyview_tests.dir/tool_test.cpp.o.d"
+  "/root/repo/tests/userstudy_test.cpp" "tests/CMakeFiles/easyview_tests.dir/userstudy_test.cpp.o" "gcc" "tests/CMakeFiles/easyview_tests.dir/userstudy_test.cpp.o.d"
+  "/root/repo/tests/workload_test.cpp" "tests/CMakeFiles/easyview_tests.dir/workload_test.cpp.o" "gcc" "tests/CMakeFiles/easyview_tests.dir/workload_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-bench/src/CMakeFiles/easyview.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-bench/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(easyview_tests "/root/repo/build-bench/tests/easyview_tests")
+set_tests_properties(easyview_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;30;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(easyview_fuzz_chaos "/root/repo/build-bench/tests/easyview_tests" "--gtest_filter=Fuzz.*:Seeds/*:*Chaos*:FaultInjector.*")
+set_tests_properties(easyview_fuzz_chaos PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;34;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(easyview_parallel "/root/repo/build-bench/tests/easyview_tests" "--gtest_filter=Parallel*:ParallelSeeds/*")
+set_tests_properties(easyview_parallel PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;40;add_test;/root/repo/tests/CMakeLists.txt;0;")

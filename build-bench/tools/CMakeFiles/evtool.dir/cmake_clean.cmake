@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evtool.dir/evtool.cpp.o"
+  "CMakeFiles/evtool.dir/evtool.cpp.o.d"
+  "evtool"
+  "evtool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evtool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
