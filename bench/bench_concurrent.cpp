@@ -1,0 +1,200 @@
+//===- bench/bench_concurrent.cpp - Multi-session service throughput ------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Measures the concurrent service layer: aggregate view-request throughput
+/// of a SessionManager serving N independent IDE sessions, against the
+/// single-threaded sequential PvpServer as the baseline. Each session
+/// replays a mixed flame/treeTable/summary script over its own profile.
+/// Expected SHAPE: throughput scales with sessions until the dispatcher's
+/// worker count (or the analysis pool) saturates the machine; the cross-
+/// session fairness repost keeps per-session latency flat rather than
+/// letting one chatty session starve the rest.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchHelpers.h"
+
+#include "convert/Converters.h"
+#include "ide/PvpServer.h"
+#include "ide/SessionManager.h"
+#include "proto/EvProf.h"
+#include "support/Strings.h"
+#include "workload/SyntheticProfile.h"
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <future>
+#include <string>
+#include <vector>
+
+using namespace ev;
+
+namespace {
+
+constexpr int RequestsPerSession = 48;
+
+/// One synthetic profile per session, distinct seeds so the shared view
+/// cache cannot collapse the work across sessions.
+std::string profileBytes(unsigned Session) {
+  workload::SyntheticOptions Opt;
+  Opt.Seed = 7000 + Session;
+  Opt.TargetBytes = 1 << 20;
+  Result<Profile> P = convert::load(workload::generatePprofBytes(Opt),
+                                    "bench.pprof");
+  return writeEvProf(*P);
+}
+
+json::Value viewRequest(int64_t ReqId, int64_t Prof) {
+  json::Object P;
+  P.set("profile", Prof);
+  switch (ReqId % 3) {
+  case 0:
+    P.set("maxRects", 256);
+    return rpc::makeRequest(ReqId, "pvp/flame", std::move(P));
+  case 1:
+    return rpc::makeRequest(ReqId, "pvp/treeTable", std::move(P));
+  default:
+    return rpc::makeRequest(ReqId, "pvp/summary", std::move(P));
+  }
+}
+
+int64_t openOn(SessionManager &M, unsigned S, const std::string &Bytes) {
+  json::Object P;
+  P.set("name", "bench.evprof");
+  P.set("dataBase64", base64Encode(Bytes));
+  json::Value R = M.handle(S, rpc::makeRequest(1, "pvp/open", std::move(P)));
+  return R.asObject().find("result")->asObject().find("profile")->asInt();
+}
+
+/// N sessions submitting their scripts concurrently through the manager.
+void concurrentSessions(benchmark::State &State) {
+  const unsigned Sessions = static_cast<unsigned>(State.range(0));
+  SessionManager::Options Opts;
+  Opts.Sessions = Sessions;
+  // Disable the view cache: the benchmark measures computation throughput,
+  // not memoization (every request repeats the same params).
+  Opts.Limits.MaxCachedViews = 0;
+  SessionManager M(Opts);
+
+  std::vector<int64_t> Profs(Sessions);
+  for (unsigned S = 0; S < Sessions; ++S)
+    Profs[S] = openOn(M, S, profileBytes(S));
+
+  for (auto _ : State) {
+    std::vector<std::future<json::Value>> Fs;
+    Fs.reserve(Sessions * RequestsPerSession);
+    for (int R = 0; R < RequestsPerSession; ++R)
+      for (unsigned S = 0; S < Sessions; ++S)
+        Fs.push_back(M.submit(S, viewRequest(100 + R, Profs[S])));
+    for (auto &F : Fs) {
+      json::Value V = F.get();
+      benchmark::DoNotOptimize(V);
+    }
+  }
+  State.counters["requests"] =
+      benchmark::Counter(static_cast<double>(Sessions * RequestsPerSession),
+                         benchmark::Counter::kIsIterationInvariantRate);
+}
+
+/// The same total request volume through one sequential server.
+void sequentialBaseline(benchmark::State &State) {
+  const unsigned Sessions = static_cast<unsigned>(State.range(0));
+  ServerLimits Limits;
+  Limits.MaxCachedViews = 0;
+  PvpServer Server(Limits);
+  std::vector<int64_t> Profs(Sessions);
+  for (unsigned S = 0; S < Sessions; ++S) {
+    json::Object P;
+    P.set("name", "bench.evprof");
+    P.set("dataBase64", base64Encode(profileBytes(S)));
+    json::Value R =
+        Server.handleMessage(rpc::makeRequest(1, "pvp/open", std::move(P)));
+    Profs[S] = R.asObject().find("result")->asObject().find("profile")->asInt();
+  }
+
+  for (auto _ : State) {
+    for (int R = 0; R < RequestsPerSession; ++R)
+      for (unsigned S = 0; S < Sessions; ++S) {
+        json::Value V = Server.handleMessage(viewRequest(100 + R, Profs[S]));
+        benchmark::DoNotOptimize(V);
+      }
+  }
+  State.counters["requests"] =
+      benchmark::Counter(static_cast<double>(Sessions * RequestsPerSession),
+                         benchmark::Counter::kIsIterationInvariantRate);
+}
+
+BENCHMARK(sequentialBaseline)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+BENCHMARK(concurrentSessions)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+/// Prints one timed run per session count alongside the sequential
+/// reference at the same total volume.
+void printFigure() {
+  bench::row("Concurrent sessions: aggregate view throughput (requests/s); "
+             "higher is better");
+  bench::row("%-10s %14s %14s", "sessions", "sequential", "concurrent");
+  for (unsigned Sessions : {1u, 2u, 4u, 8u}) {
+    auto Run = [&](auto Fn) {
+      auto T0 = std::chrono::steady_clock::now();
+      Fn();
+      auto T1 = std::chrono::steady_clock::now();
+      double Sec = std::chrono::duration<double>(T1 - T0).count();
+      return static_cast<double>(Sessions * RequestsPerSession) / Sec;
+    };
+    double Seq = Run([&] {
+      ServerLimits Limits;
+      Limits.MaxCachedViews = 0;
+      PvpServer Server(Limits);
+      std::vector<int64_t> Profs(Sessions);
+      for (unsigned S = 0; S < Sessions; ++S) {
+        json::Object P;
+        P.set("name", "bench.evprof");
+        P.set("dataBase64", base64Encode(profileBytes(S)));
+        json::Value R = Server.handleMessage(
+            rpc::makeRequest(1, "pvp/open", std::move(P)));
+        Profs[S] =
+            R.asObject().find("result")->asObject().find("profile")->asInt();
+      }
+      for (int R = 0; R < RequestsPerSession; ++R)
+        for (unsigned S = 0; S < Sessions; ++S) {
+          json::Value V =
+              Server.handleMessage(viewRequest(100 + R, Profs[S]));
+          benchmark::DoNotOptimize(V);
+        }
+    });
+    double Con = Run([&] {
+      SessionManager::Options Opts;
+      Opts.Sessions = Sessions;
+      Opts.Limits.MaxCachedViews = 0;
+      SessionManager M(Opts);
+      std::vector<int64_t> Profs(Sessions);
+      for (unsigned S = 0; S < Sessions; ++S)
+        Profs[S] = openOn(M, S, profileBytes(S));
+      std::vector<std::future<json::Value>> Fs;
+      for (int R = 0; R < RequestsPerSession; ++R)
+        for (unsigned S = 0; S < Sessions; ++S)
+          Fs.push_back(M.submit(S, viewRequest(100 + R, Profs[S])));
+      for (auto &F : Fs) {
+        json::Value V = F.get();
+        benchmark::DoNotOptimize(V);
+      }
+    });
+    bench::row("%-10u %14.0f %14.0f", Sessions, Seq, Con);
+  }
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  benchmark::Initialize(&argc, argv);
+  printFigure();
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

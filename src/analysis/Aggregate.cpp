@@ -83,7 +83,8 @@ struct ProfilePrep {
 } // namespace
 
 AggregatedProfile aggregate(std::span<const Profile *const> Profiles,
-                            const AggregateOptions &Options) {
+                            const AggregateOptions &Options,
+                            const CancelToken &Cancel) {
   assert(!Profiles.empty() && "aggregate requires at least one profile");
   AggregatedProfile Agg;
   Agg.ProfileCount = Profiles.size();
@@ -184,6 +185,8 @@ AggregatedProfile aggregate(std::span<const Profile *const> Profiles,
     };
 
     for (NodeId Id = 1; Id < P.nodeCount(); ++Id) {
+      if ((Id & 8191) == 0)
+        Cancel.checkpoint();
       const CCTNode &Node = P.node(Id);
       OutNode[Id] = ChildFor(OutNode[Node.Parent], MapFrame(Node.FrameRef));
     }
@@ -195,6 +198,8 @@ AggregatedProfile aggregate(std::span<const Profile *const> Profiles,
     const Profile &P = *Profiles[ProfIdx];
     const std::vector<MetricId> &MetricMap = Preps[ProfIdx].MetricMap;
     for (NodeId Id = 0; Id < P.nodeCount(); ++Id) {
+      if ((Id & 8191) == 0)
+        Cancel.checkpoint();
       for (const MetricValue &MV : P.node(Id).Metrics) {
         if (MV.Metric >= MetricMap.size() ||
             MetricMap[MV.Metric] == Profile::InvalidMetric)

@@ -22,6 +22,7 @@
 #define EASYVIEW_ANALYSIS_AGGREGATE_H
 
 #include "profile/Profile.h"
+#include "support/Cancel.h"
 
 #include <span>
 #include <unordered_map>
@@ -66,7 +67,8 @@ public:
 
 private:
   friend AggregatedProfile aggregate(std::span<const Profile *const>,
-                                     const AggregateOptions &);
+                                     const AggregateOptions &,
+                                     const CancelToken &);
 
   Profile Merged;
   size_t ProfileCount = 0;
@@ -88,9 +90,11 @@ private:
 
 /// Merges \p Profiles (at least one) into a unified tree. All inputs must
 /// share the metric schema of the first profile; metrics missing from an
-/// input simply contribute zeros.
+/// input simply contribute zeros. \p Cancel is checked at merge-loop
+/// boundaries; a tripped token raises CancelledException.
 AggregatedProfile aggregate(std::span<const Profile *const> Profiles,
-                            const AggregateOptions &Options = {});
+                            const AggregateOptions &Options = {},
+                            const CancelToken &Cancel = {});
 
 } // namespace ev
 

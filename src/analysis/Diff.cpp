@@ -61,7 +61,8 @@ SidePrep prepareSide(const Profile &P, MetricId Metric) {
 } // namespace
 
 DiffResult diffProfiles(const Profile &Base, const Profile &Test,
-                        MetricId Metric, double RelativeEpsilon) {
+                        MetricId Metric, double RelativeEpsilon,
+                        const CancelToken &Cancel) {
   DiffResult Result;
   Profile &Merged = Result.Merged;
   Merged.setName("diff: " + Test.name() + " vs " + Base.name());
@@ -123,6 +124,8 @@ DiffResult diffProfiles(const Profile &Base, const Profile &Test,
       return FrameMap[F];
     };
     for (NodeId Id = 1; Id < P.nodeCount(); ++Id) {
+      if ((Id & 8191) == 0)
+        Cancel.checkpoint();
       const CCTNode &Node = P.node(Id);
       OutNode[Id] = ChildFor(OutNode[Node.Parent], MapFrame(Node.FrameRef));
       if (Presence.size() <= OutNode[Id])
@@ -144,6 +147,8 @@ DiffResult diffProfiles(const Profile &Base, const Profile &Test,
   Result.BaseInclusive.assign(Merged.nodeCount(), 0.0);
   Result.TestInclusive.assign(Merged.nodeCount(), 0.0);
   for (NodeId Id = 0; Id < Merged.nodeCount(); ++Id) {
+    if ((Id & 8191) == 0)
+      Cancel.checkpoint();
     double B = Merged.node(Id).metricOr(Result.BaseMetric);
     double T = Merged.node(Id).metricOr(Result.TestMetric);
     if (T - B != 0.0)

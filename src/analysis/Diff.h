@@ -26,6 +26,7 @@
 #define EASYVIEW_ANALYSIS_DIFF_H
 
 #include "profile/Profile.h"
+#include "support/Cancel.h"
 
 #include <string_view>
 #include <vector>
@@ -62,8 +63,11 @@ struct DiffResult {
 
 /// Diffs \p Metric between \p Base and \p Test. \p RelativeEpsilon bounds
 /// the relative difference below which a context counts as unchanged.
+/// \p Cancel is checked at merge-loop boundaries; a tripped token raises
+/// CancelledException.
 DiffResult diffProfiles(const Profile &Base, const Profile &Test,
-                        MetricId Metric, double RelativeEpsilon = 1e-9);
+                        MetricId Metric, double RelativeEpsilon = 1e-9,
+                        const CancelToken &Cancel = {});
 
 } // namespace ev
 

@@ -66,7 +66,7 @@ private:
 
 } // namespace
 
-Profile topDownTree(const Profile &P) {
+Profile topDownTree(const Profile &P, const CancelToken &Cancel) {
   Profile Out;
   Out.setName(P.name());
   std::vector<MetricId> MetricMap = copyMetricSchema(P, Out);
@@ -80,6 +80,8 @@ Profile topDownTree(const Profile &P) {
   NodeMap[P.root()] = Out.root();
   Out.node(Out.root()).FrameRef = FrameMap[P.node(P.root()).FrameRef];
   for (NodeId Id = 1; Id < P.nodeCount(); ++Id) {
+    if ((Id & 8191) == 0)
+      Cancel.checkpoint();
     const CCTNode &Node = P.node(Id);
     NodeMap[Id] = Out.createNode(NodeMap[Node.Parent], FrameMap[Node.FrameRef]);
   }
@@ -89,7 +91,7 @@ Profile topDownTree(const Profile &P) {
   return Out;
 }
 
-Profile bottomUpTree(const Profile &P) {
+Profile bottomUpTree(const Profile &P, const CancelToken &Cancel) {
   Profile Out;
   Out.setName(P.name() + " (bottom-up)");
   std::vector<MetricId> MetricMap = copyMetricSchema(P, Out);
@@ -122,6 +124,8 @@ Profile bottomUpTree(const Profile &P) {
     Offset[I + 1] = Offset[I] + Depth[Contributors[I]];
   std::vector<FrameId> Paths(Offset.back());
   ThreadPool::shared().parallelFor(Contributors.size(), [&](size_t I) {
+    if ((I & 1023) == 0)
+      Cancel.checkpoint(); // Unwinds through the pool to the caller.
     size_t Slot = Offset[I];
     for (NodeId Walk = Contributors[I]; Walk != P.root();
          Walk = P.node(Walk).Parent)
@@ -132,6 +136,8 @@ Profile bottomUpTree(const Profile &P) {
   // output is identical for every thread count.
   TreeWriter Writer(Out);
   for (size_t I = 0; I < Contributors.size(); ++I) {
+    if ((I & 1023) == 0)
+      Cancel.checkpoint();
     NodeId Cur = Out.root();
     for (size_t S = Offset[I]; S < Offset[I + 1]; ++S)
       Cur = Writer.child(Cur, Paths[S]);
@@ -141,7 +147,7 @@ Profile bottomUpTree(const Profile &P) {
   return Out;
 }
 
-Profile flatTree(const Profile &P) {
+Profile flatTree(const Profile &P, const CancelToken &Cancel) {
   Profile Out;
   Out.setName(P.name() + " (flat)");
   std::vector<MetricId> ExclMap = copyMetricSchema(P, Out);
@@ -194,7 +200,10 @@ Profile flatTree(const Profile &P) {
     bool Enter;
   };
   std::vector<Event> Stack{{P.root(), true}};
+  size_t Visited = 0;
   while (!Stack.empty()) {
+    if ((Visited++ & 8191) == 0)
+      Cancel.checkpoint();
     Event E = Stack.back();
     Stack.pop_back();
     const CCTNode &Node = P.node(E.Id);
@@ -227,7 +236,7 @@ Profile flatTree(const Profile &P) {
   return Out;
 }
 
-Profile collapseRecursion(const Profile &P) {
+Profile collapseRecursion(const Profile &P, const CancelToken &Cancel) {
   Profile Out;
   Out.setName(P.name());
   std::vector<MetricId> MetricMap = copyMetricSchema(P, Out);
@@ -241,6 +250,8 @@ Profile collapseRecursion(const Profile &P) {
   std::vector<NodeId> OutNode(P.nodeCount(), InvalidNode);
   OutNode[P.root()] = Out.root();
   for (NodeId Id = 1; Id < P.nodeCount(); ++Id) {
+    if ((Id & 8191) == 0)
+      Cancel.checkpoint();
     const CCTNode &Node = P.node(Id);
     NodeId ParentOut = OutNode[Node.Parent];
     if (Node.Parent != P.root() &&

@@ -26,29 +26,34 @@
 #define EASYVIEW_ANALYSIS_TRANSFORM_H
 
 #include "profile/Profile.h"
+#include "support/Cancel.h"
 
 namespace ev {
 
+/// All transforms are cooperatively cancellable: the optional token is
+/// checked at loop boundaries and a tripped token raises
+/// CancelledException (support/Cancel.h). The default token is inert.
+
 /// Deep-copies the profile in top-down shape. (The CCT already is the
 /// top-down tree; the copy exists so transforms compose uniformly.)
-Profile topDownTree(const Profile &P);
+Profile topDownTree(const Profile &P, const CancelToken &Cancel = {});
 
 /// Builds the bottom-up tree: for every context with a nonzero exclusive
 /// value, its reversed call path (leaf frame outermost) is inserted and the
 /// exclusive value attributed along it. The first tree level therefore
 /// aggregates each function's total exclusive cost across all call paths.
-Profile bottomUpTree(const Profile &P);
+Profile bottomUpTree(const Profile &P, const CancelToken &Cancel = {});
 
 /// Builds the flat tree with hierarchy: root -> load module -> file ->
 /// function. Exclusive values sum per function. For each input metric an
 /// additional "<name> (inclusive)" column records the call-path-aware
 /// inclusive sum per function (recursion counted once).
-Profile flatTree(const Profile &P);
+Profile flatTree(const Profile &P, const CancelToken &Cancel = {});
 
 /// Merges chains of the same frame along call paths, collapsing direct
 /// self-recursion into a single context (paper §V-A(a): "collapsing deep
 /// and recursive call paths").
-Profile collapseRecursion(const Profile &P);
+Profile collapseRecursion(const Profile &P, const CancelToken &Cancel = {});
 
 /// Truncates the tree at \p MaxDepth; the exclusive values of elided
 /// descendants fold into their depth-MaxDepth ancestor so totals are

@@ -38,6 +38,10 @@ enum ErrorCode : int {
   InternalError = -32603,
   RequestTooLarge = -32000, ///< Frame exceeded the configured size cap.
   RequestTimeout = -32001,  ///< Request exceeded its soft deadline.
+  SessionBusy = -32002,     ///< Session queue is at its pending-request cap.
+  /// LSP's reserved code for `$/cancelRequest`: the request was cancelled
+  /// cooperatively before producing a result.
+  RequestCancelled = -32800,
 };
 
 /// Builds a request payload.

@@ -43,10 +43,28 @@ uint64_t steadyNowMs() {
           .count());
 }
 
+/// Strict integer extraction: \returns false when \p Key is absent, not a
+/// number, or a number that is not exactly representable as int64 (NaN,
+/// infinity, fractional, or out of range). Every id-like parameter goes
+/// through this so a hostile 1e300 or NaN becomes a clean InvalidParams
+/// error instead of undefined behavior in the double-to-int cast.
+bool intParam(const json::Object &Params, std::string_view Key,
+              int64_t &Out) {
+  const json::Value *V = Params.find(Key);
+  return V && V->getInteger(Out);
+}
+
 } // namespace
 
 PvpServer::PvpServer(ServerLimits Limits)
-    : Limits(Limits), Reader(Limits.Wire), NowMs(steadyNowMs) {}
+    : PvpServer(Limits, std::make_shared<ProfileStore>(),
+                std::make_shared<ViewCache>(Limits.MaxCachedViews,
+                                            /*Shards=*/1)) {}
+
+PvpServer::PvpServer(ServerLimits Limits, std::shared_ptr<ProfileStore> Store,
+                     std::shared_ptr<ViewCache> Cache)
+    : Limits(Limits), Store(std::move(Store)), Reader(Limits.Wire),
+      NowMs(steadyNowMs), Cache(std::move(Cache)) {}
 
 void PvpServer::setClock(std::function<uint64_t()> Clock) {
   NowMs = Clock ? std::move(Clock) : steadyNowMs;
@@ -57,56 +75,31 @@ bool PvpServer::deadlineExpired() const {
 }
 
 int64_t PvpServer::addProfile(Profile P) {
-  int64_t Id = NextId++;
-  Profiles.emplace(Id, std::move(P));
+  int64_t Id = Store->add(std::move(P));
+  Owned.insert(Id);
   return Id;
 }
 
 const Profile *PvpServer::profile(int64_t Id) const {
-  auto It = Profiles.find(Id);
-  return It == Profiles.end() ? nullptr : &It->second;
+  // The raw pointer stays valid while the store holds the profile, i.e.
+  // until this session closes it (sequential embedders never race that).
+  return profileHandle(Id).get();
 }
 
-uint64_t PvpServer::generationOf(int64_t Id) const {
-  auto It = Generations.find(Id);
-  return It == Generations.end() ? 0 : It->second;
-}
-
-void PvpServer::bumpGeneration(int64_t Id) { ++Generations[Id]; }
-
-const json::Value *PvpServer::cacheLookup(const std::string &Key) {
-  auto It = ViewIndex.find(Key);
-  if (It == ViewIndex.end())
+std::shared_ptr<const Profile> PvpServer::profileHandle(int64_t Id) const {
+  if (!Owned.count(Id))
     return nullptr;
-  ViewCache.splice(ViewCache.begin(), ViewCache, It->second);
-  return &ViewCache.front().Reply;
+  return Store->get(Id);
 }
 
-void PvpServer::cacheInsert(std::string Key, const json::Value &Reply) {
-  if (Limits.MaxCachedViews == 0)
-    return;
-  if (auto It = ViewIndex.find(Key); It != ViewIndex.end()) {
-    It->second->Reply = Reply;
-    ViewCache.splice(ViewCache.begin(), ViewCache, It->second);
-    return;
-  }
-  ViewCache.push_front({Key, Reply});
-  ViewIndex.emplace(std::move(Key), ViewCache.begin());
-  while (ViewCache.size() > Limits.MaxCachedViews) {
-    ViewIndex.erase(ViewCache.back().Key);
-    ViewCache.pop_back();
-    ++CacheEvictions;
-  }
-}
-
-Result<const Profile *> PvpServer::lookup(const json::Object &Params,
-                                          std::string_view Key) const {
-  const json::Value *IdV = Params.find(Key);
-  if (!IdV || !IdV->isNumber())
+Result<std::shared_ptr<const Profile>>
+PvpServer::lookup(const json::Object &Params, std::string_view Key) const {
+  int64_t Id;
+  if (!intParam(Params, Key, Id))
     return makeError("missing numeric '" + std::string(Key) + "' parameter");
-  const Profile *P = profile(IdV->asInt());
+  std::shared_ptr<const Profile> P = profileHandle(Id);
   if (!P)
-    return makeError("no profile with id " + std::to_string(IdV->asInt()));
+    return makeError("no profile with id " + std::to_string(Id));
   return P;
 }
 
@@ -121,8 +114,9 @@ Result<MetricId> metricParam(const Profile &P, const json::Object &Params) {
     return MetricId(0);
   }
   if (MV->isNumber()) {
-    int64_t Id = MV->asInt();
-    if (Id < 0 || static_cast<size_t>(Id) >= P.metrics().size())
+    int64_t Id;
+    if (!MV->getInteger(Id) || Id < 0 ||
+        static_cast<size_t>(Id) >= P.metrics().size())
       return makeError("metric index out of range");
     return static_cast<MetricId>(Id);
   }
@@ -136,11 +130,12 @@ Result<MetricId> metricParam(const Profile &P, const json::Object &Params) {
 }
 
 Result<NodeId> nodeParam(const Profile &P, const json::Object &Params) {
+  int64_t Id;
   const json::Value *NV = Params.find("node");
   if (!NV || !NV->isNumber())
     return makeError("missing numeric 'node' parameter");
-  int64_t Id = NV->asInt();
-  if (Id < 0 || static_cast<size_t>(Id) >= P.nodeCount())
+  if (!NV->getInteger(Id) || Id < 0 ||
+      static_cast<size_t>(Id) >= P.nodeCount())
     return makeError("node id out of range");
   return static_cast<NodeId>(Id);
 }
@@ -186,12 +181,14 @@ Result<json::Value> PvpServer::doOpen(const json::Object &Params) {
   if (!Ok)
     return makeError("loaded profile failed verification: " + Ok.error());
 
+  auto Stored = std::make_shared<const Profile>(P.take());
+  int64_t Id = Store->add(Stored);
+  Owned.insert(Id);
   json::Object Out;
-  Out.set("profile", addProfile(P.take()));
-  const Profile &Stored = Profiles.rbegin()->second;
-  Out.set("nodes", Stored.nodeCount());
+  Out.set("profile", Id);
+  Out.set("nodes", Stored->nodeCount());
   json::Array Metrics;
-  for (const MetricDescriptor &M : Stored.metrics()) {
+  for (const MetricDescriptor &M : Stored->metrics()) {
     json::Object MO;
     MO.set("name", M.Name);
     MO.set("unit", M.Unit);
@@ -202,19 +199,21 @@ Result<json::Value> PvpServer::doOpen(const json::Object &Params) {
 }
 
 Result<json::Value> PvpServer::doClose(const json::Object &Params) {
-  const json::Value *IdV = Params.find("profile");
-  if (!IdV || !IdV->isNumber())
+  int64_t Id;
+  if (!intParam(Params, "profile", Id))
     return makeError("missing numeric 'profile' parameter");
-  bool Removed = Profiles.erase(IdV->asInt()) > 0;
-  Aggregates.erase(IdV->asInt());
-  bumpGeneration(IdV->asInt());
+  bool Removed = Owned.erase(Id) > 0;
+  if (Removed)
+    Store->drop(Id);
+  Aggregates.erase(Id);
+  Store->bumpGeneration(Id);
   json::Object Out;
   Out.set("closed", Removed);
   return json::Value(std::move(Out));
 }
 
 Result<json::Value> PvpServer::doFlame(const json::Object &Params) {
-  Result<const Profile *> P = lookup(Params);
+  Result<std::shared_ptr<const Profile>> P = lookup(Params);
   if (!P)
     return makeError(P.error());
 
@@ -225,12 +224,12 @@ Result<json::Value> PvpServer::doFlame(const json::Object &Params) {
   // Shape transforms produce a temporary tree; the geometry refers to it,
   // so node ids in the reply are resolved back to names eagerly.
   Profile Shaped;
-  const Profile *View = *P;
+  const Profile *View = P->get();
   if (Shape == "bottom-up") {
-    Shaped = bottomUpTree(**P);
+    Shaped = bottomUpTree(**P, ActiveCancel);
     View = &Shaped;
   } else if (Shape == "flat") {
-    Shaped = flatTree(**P);
+    Shaped = flatTree(**P, ActiveCancel);
     View = &Shaped;
   } else if (Shape != "top-down") {
     return makeError("unknown shape '" + Shape +
@@ -242,8 +241,12 @@ Result<json::Value> PvpServer::doFlame(const json::Object &Params) {
     return makeError(Metric.error());
 
   size_t MaxRects = 4096;
-  if (const json::Value *MR = Params.find("maxRects"); MR && MR->isNumber())
-    MaxRects = MR->asInt() < 0 ? 0 : static_cast<size_t>(MR->asInt());
+  if (const json::Value *MR = Params.find("maxRects"); MR) {
+    int64_t Requested;
+    if (!MR->getInteger(Requested) || Requested < 0)
+      return makeError("'maxRects' must be a non-negative integer");
+    MaxRects = static_cast<size_t>(Requested);
+  }
   // Oversized budgets degrade to the server ceiling rather than erroring:
   // the reply is marked truncated and stays renderable.
   MaxRects = std::min(MaxRects, Limits.MaxFlameRects);
@@ -257,8 +260,11 @@ Result<json::Value> PvpServer::doFlame(const json::Object &Params) {
   for (const FlameRect &R : Graph.rects()) {
     if (Rects.size() >= MaxRects)
       break;
-    if ((Rects.size() & 1023) == 0 && deadlineExpired())
-      return makeError(DeadlineDiag);
+    if ((Rects.size() & 1023) == 0) {
+      ActiveCancel.checkpoint();
+      if (deadlineExpired())
+        return makeError(DeadlineDiag);
+    }
     json::Object RO;
     RO.set("node", R.Node);
     RO.set("depth", R.Depth);
@@ -276,16 +282,18 @@ Result<json::Value> PvpServer::doFlame(const json::Object &Params) {
 }
 
 Result<json::Value> PvpServer::doTreeTable(const json::Object &Params) {
-  Result<const Profile *> P = lookup(Params);
+  Result<std::shared_ptr<const Profile>> P = lookup(Params);
   if (!P)
     return makeError(P.error());
   TreeTable Table(**P);
   if (const json::Value *ExpandV = Params.find("expand");
       ExpandV && ExpandV->isArray()) {
-    for (const json::Value &NV : ExpandV->asArray())
-      if (NV.isNumber() && NV.asInt() >= 0 &&
-          static_cast<size_t>(NV.asInt()) < (*P)->nodeCount())
-        Table.expand(static_cast<NodeId>(NV.asInt()));
+    for (const json::Value &NV : ExpandV->asArray()) {
+      int64_t Node;
+      if (NV.getInteger(Node) && Node >= 0 &&
+          static_cast<size_t>(Node) < (*P)->nodeCount())
+        Table.expand(static_cast<NodeId>(Node));
+    }
   } else if (!(*P)->metrics().empty()) {
     Table.expandHotPath(0);
   }
@@ -298,8 +306,11 @@ Result<json::Value> PvpServer::doTreeTable(const json::Object &Params) {
     // still gets a renderable prefix plus the truncation marker.
     if (Rows.size() >= Limits.MaxTreeTableRows)
       continue;
-    if ((Rows.size() & 1023) == 0 && deadlineExpired())
-      return makeError(DeadlineDiag);
+    if ((Rows.size() & 1023) == 0) {
+      ActiveCancel.checkpoint();
+      if (deadlineExpired())
+        return makeError(DeadlineDiag);
+    }
     json::Object RO;
     RO.set("node", Row.Node);
     RO.set("depth", Row.Depth);
@@ -316,7 +327,7 @@ Result<json::Value> PvpServer::doTreeTable(const json::Object &Params) {
 }
 
 Result<json::Value> PvpServer::doCodeLink(const json::Object &Params) {
-  Result<const Profile *> P = lookup(Params);
+  Result<std::shared_ptr<const Profile>> P = lookup(Params);
   if (!P)
     return makeError(P.error());
   Result<NodeId> Node = nodeParam(**P, Params);
@@ -332,7 +343,7 @@ Result<json::Value> PvpServer::doCodeLink(const json::Object &Params) {
 }
 
 Result<json::Value> PvpServer::doHover(const json::Object &Params) {
-  Result<const Profile *> P = lookup(Params);
+  Result<std::shared_ptr<const Profile>> P = lookup(Params);
   if (!P)
     return makeError(P.error());
   Result<NodeId> Node = nodeParam(**P, Params);
@@ -345,7 +356,7 @@ Result<json::Value> PvpServer::doHover(const json::Object &Params) {
 }
 
 Result<json::Value> PvpServer::doCodeLens(const json::Object &Params) {
-  Result<const Profile *> P = lookup(Params);
+  Result<std::shared_ptr<const Profile>> P = lookup(Params);
   if (!P)
     return makeError(P.error());
   const json::Value *FileV = Params.find("file");
@@ -371,7 +382,7 @@ Result<json::Value> PvpServer::doCodeLens(const json::Object &Params) {
 }
 
 Result<json::Value> PvpServer::doSummary(const json::Object &Params) {
-  Result<const Profile *> P = lookup(Params);
+  Result<std::shared_ptr<const Profile>> P = lookup(Params);
   if (!P)
     return makeError(P.error());
   json::Object Out;
@@ -380,7 +391,7 @@ Result<json::Value> PvpServer::doSummary(const json::Object &Params) {
 }
 
 Result<json::Value> PvpServer::doSearch(const json::Object &Params) {
-  Result<const Profile *> P = lookup(Params);
+  Result<std::shared_ptr<const Profile>> P = lookup(Params);
   if (!P)
     return makeError(P.error());
   const json::Value *PatV = Params.find("pattern");
@@ -390,8 +401,11 @@ Result<json::Value> PvpServer::doSearch(const json::Object &Params) {
 
   json::Array Matches;
   for (NodeId Id = 0; Id < (*P)->nodeCount(); ++Id) {
-    if ((Id & 4095) == 0 && deadlineExpired())
-      return makeError(DeadlineDiag);
+    if ((Id & 4095) == 0) {
+      ActiveCancel.checkpoint();
+      if (deadlineExpired())
+        return makeError(DeadlineDiag);
+    }
     if ((*P)->nameOf(Id).find(Pattern) != std::string_view::npos)
       Matches.push_back(Id);
   }
@@ -405,49 +419,55 @@ Result<json::Value> PvpServer::doAggregate(const json::Object &Params) {
   const json::Value *IdsV = Params.find("profiles");
   if (!IdsV || !IdsV->isArray() || IdsV->asArray().empty())
     return makeError("pvp/aggregate needs a non-empty 'profiles' array");
+  // Held keeps every input alive for the whole aggregation even if another
+  // session closes one mid-request; Inputs is the raw view aggregate()
+  // wants.
+  std::vector<std::shared_ptr<const Profile>> Held;
   std::vector<const Profile *> Inputs;
   for (const json::Value &IdV : IdsV->asArray()) {
-    if (!IdV.isNumber())
+    int64_t InputId;
+    if (!IdV.getInteger(InputId))
       return makeError("'profiles' must contain numeric ids");
-    const Profile *P = profile(IdV.asInt());
+    std::shared_ptr<const Profile> P = profileHandle(InputId);
     if (!P)
-      return makeError("no profile with id " + std::to_string(IdV.asInt()));
-    Inputs.push_back(P);
+      return makeError("no profile with id " + std::to_string(InputId));
+    Inputs.push_back(P.get());
+    Held.push_back(std::move(P));
   }
   AggregateOptions Opt;
   Opt.WithMin = Opt.WithMax = Opt.WithMean = true;
-  AggregatedProfile Agg = aggregate(Inputs, Opt);
+  AggregatedProfile Agg = aggregate(Inputs, Opt, ActiveCancel);
 
-  int64_t Id = NextId++;
+  int64_t Id = addProfile(topDownTree(Agg.merged(), ActiveCancel));
   json::Object Out;
   Out.set("profile", Id);
   Out.set("nodes", Agg.merged().nodeCount());
   Out.set("inputs", Inputs.size());
-  Profiles.emplace(Id, topDownTree(Agg.merged()));
   Aggregates.emplace(Id, std::move(Agg));
   return json::Value(std::move(Out));
 }
 
 Result<json::Value> PvpServer::doHistogram(const json::Object &Params) {
-  const json::Value *IdV = Params.find("aggregate");
-  if (!IdV || !IdV->isNumber())
+  int64_t AggId;
+  if (!intParam(Params, "aggregate", AggId))
     return makeError("missing numeric 'aggregate' parameter");
-  auto It = Aggregates.find(IdV->asInt());
+  auto It = Aggregates.find(AggId);
   if (It == Aggregates.end())
-    return makeError("no aggregate with id " + std::to_string(IdV->asInt()));
+    return makeError("no aggregate with id " + std::to_string(AggId));
   const AggregatedProfile &Agg = It->second;
 
   Result<NodeId> Node = nodeParam(Agg.merged(), Params);
   if (!Node)
     return makeError(Node.error());
-  MetricId Metric = 0;
+  int64_t Metric = 0;
   if (const json::Value *MV = Params.find("metric"); MV && MV->isNumber())
-    Metric = static_cast<MetricId>(MV->asInt());
-  if (Metric >= Agg.inputMetricCount())
+    if (!MV->getInteger(Metric) || Metric < 0)
+      return makeError("'metric' must be a non-negative integer");
+  if (static_cast<size_t>(Metric) >= Agg.inputMetricCount())
     return makeError("metric index out of aggregate input range");
 
   json::Array Series;
-  for (double V : Agg.perProfileInclusive(*Node, Metric))
+  for (double V : Agg.perProfileInclusive(*Node, static_cast<MetricId>(Metric)))
     Series.push_back(V);
   json::Object Out;
   Out.set("series", std::move(Series));
@@ -455,17 +475,19 @@ Result<json::Value> PvpServer::doHistogram(const json::Object &Params) {
 }
 
 Result<json::Value> PvpServer::doDiff(const json::Object &Params) {
-  Result<const Profile *> Base = lookup(Params, "base");
+  Result<std::shared_ptr<const Profile>> Base = lookup(Params, "base");
   if (!Base)
     return makeError(Base.error());
-  Result<const Profile *> Test = lookup(Params, "test");
+  Result<std::shared_ptr<const Profile>> Test = lookup(Params, "test");
   if (!Test)
     return makeError(Test.error());
   Result<MetricId> Metric = metricParam(**Base, Params);
   if (!Metric)
     return makeError(Metric.error());
 
-  DiffResult Diff = diffProfiles(**Base, **Test, *Metric);
+  DiffResult Diff =
+      diffProfiles(**Base, **Test, *Metric, /*RelativeEpsilon=*/1e-9,
+                   ActiveCancel);
   size_t Added = 0, Deleted = 0, Increased = 0, Decreased = 0;
   for (DiffTag Tag : Diff.Tags) {
     switch (Tag) {
@@ -495,7 +517,7 @@ Result<json::Value> PvpServer::doDiff(const json::Object &Params) {
 }
 
 Result<json::Value> PvpServer::doQuery(const json::Object &Params) {
-  Result<const Profile *> P = lookup(Params);
+  Result<std::shared_ptr<const Profile>> P = lookup(Params);
   if (!P)
     return makeError(P.error());
   const json::Value *ProgV = Params.find("program");
@@ -505,7 +527,9 @@ Result<json::Value> PvpServer::doQuery(const json::Object &Params) {
   Result<evql::QueryOutput> Out = evql::runProgram(**P, ProgV->asString());
   if (!Out)
     return makeError(Out.error());
-  bumpGeneration(Params.find("profile")->asInt());
+  int64_t SourceId = 0;
+  intParam(Params, "profile", SourceId); // Validated by lookup() above.
+  Store->bumpGeneration(SourceId);
 
   json::Object Reply;
   Reply.set("profile", addProfile(std::move(Out->Result)));
@@ -521,7 +545,7 @@ Result<json::Value> PvpServer::doQuery(const json::Object &Params) {
 }
 
 Result<json::Value> PvpServer::doTransform(const json::Object &Params) {
-  Result<const Profile *> P = lookup(Params);
+  Result<std::shared_ptr<const Profile>> P = lookup(Params);
   if (!P)
     return makeError(P.error());
   const json::Value *ShapeV = Params.find("shape");
@@ -531,16 +555,18 @@ Result<json::Value> PvpServer::doTransform(const json::Object &Params) {
 
   Profile Shaped;
   if (Shape == "top-down")
-    Shaped = topDownTree(**P);
+    Shaped = topDownTree(**P, ActiveCancel);
   else if (Shape == "bottom-up")
-    Shaped = bottomUpTree(**P);
+    Shaped = bottomUpTree(**P, ActiveCancel);
   else if (Shape == "flat")
-    Shaped = flatTree(**P);
+    Shaped = flatTree(**P, ActiveCancel);
   else if (Shape == "collapse-recursion")
-    Shaped = collapseRecursion(**P);
+    Shaped = collapseRecursion(**P, ActiveCancel);
   else
     return makeError("unknown shape '" + Shape + "'");
-  bumpGeneration(Params.find("profile")->asInt());
+  int64_t SourceId = 0;
+  intParam(Params, "profile", SourceId); // Validated by lookup() above.
+  Store->bumpGeneration(SourceId);
 
   json::Object Out;
   Out.set("nodes", Shaped.nodeCount());
@@ -549,7 +575,7 @@ Result<json::Value> PvpServer::doTransform(const json::Object &Params) {
 }
 
 Result<json::Value> PvpServer::doPrune(const json::Object &Params) {
-  Result<const Profile *> P = lookup(Params);
+  Result<std::shared_ptr<const Profile>> P = lookup(Params);
   if (!P)
     return makeError(P.error());
   Result<MetricId> Metric = metricParam(**P, Params);
@@ -561,7 +587,9 @@ Result<json::Value> PvpServer::doPrune(const json::Object &Params) {
   if (MinFraction < 0.0 || MinFraction > 1.0)
     return makeError("'minFraction' must be in [0, 1]");
   Profile Pruned = pruneByFraction(**P, *Metric, MinFraction);
-  bumpGeneration(Params.find("profile")->asInt());
+  int64_t SourceId = 0;
+  intParam(Params, "profile", SourceId); // Validated by lookup() above.
+  Store->bumpGeneration(SourceId);
   json::Object Out;
   Out.set("nodes", Pruned.nodeCount());
   Out.set("removed", (*P)->nodeCount() - Pruned.nodeCount());
@@ -570,7 +598,7 @@ Result<json::Value> PvpServer::doPrune(const json::Object &Params) {
 }
 
 Result<json::Value> PvpServer::doExport(const json::Object &Params) {
-  Result<const Profile *> P = lookup(Params);
+  Result<std::shared_ptr<const Profile>> P = lookup(Params);
   if (!P)
     return makeError(P.error());
   const json::Value *FmtV = Params.find("format");
@@ -602,7 +630,7 @@ Result<json::Value> PvpServer::doExport(const json::Object &Params) {
 }
 
 Result<json::Value> PvpServer::doButterfly(const json::Object &Params) {
-  Result<const Profile *> P = lookup(Params);
+  Result<std::shared_ptr<const Profile>> P = lookup(Params);
   if (!P)
     return makeError(P.error());
   const json::Value *FnV = Params.find("function");
@@ -637,7 +665,7 @@ Result<json::Value> PvpServer::doButterfly(const json::Object &Params) {
 }
 
 Result<json::Value> PvpServer::doCorrelated(const json::Object &Params) {
-  Result<const Profile *> P = lookup(Params);
+  Result<std::shared_ptr<const Profile>> P = lookup(Params);
   if (!P)
     return makeError(P.error());
   const json::Value *KindV = Params.find("kind");
@@ -652,10 +680,11 @@ Result<json::Value> PvpServer::doCorrelated(const json::Object &Params) {
       SelectV && SelectV->isArray()) {
     size_t Role = 0;
     for (const json::Value &NV : SelectV->asArray()) {
-      if (!NV.isNumber())
+      int64_t Node;
+      if (!NV.getInteger(Node) || Node < 0)
         return makeError("'select' must contain node ids");
-      if (!View.select(Role, static_cast<NodeId>(NV.asInt())))
-        return makeError("node " + std::to_string(NV.asInt()) +
+      if (!View.select(Role, static_cast<NodeId>(Node)))
+        return makeError("node " + std::to_string(Node) +
                          " is not in pane " + std::to_string(Role));
       ++Role;
     }
@@ -689,10 +718,12 @@ Result<json::Value> PvpServer::doDiagnostics(const json::Object &Params) {
     return makeError("'program' must be a string");
 
   AnalysisLimits Analysis = Limits.Analysis;
-  if (const json::Value *MV = Params.find("maxDiagnostics");
-      MV && MV->isNumber() && MV->asInt() > 0)
-    Analysis.MaxDiagnostics = std::min<size_t>(
-        Analysis.MaxDiagnostics, static_cast<size_t>(MV->asInt()));
+  if (const json::Value *MV = Params.find("maxDiagnostics"); MV) {
+    int64_t MaxDiags;
+    if (MV->getInteger(MaxDiags) && MaxDiags > 0)
+      Analysis.MaxDiagnostics = std::min<size_t>(
+          Analysis.MaxDiagnostics, static_cast<size_t>(MaxDiags));
+  }
 
   Severity MinSeverity = Severity::Note;
   if (const json::Value *SV = Params.find("minSeverity")) {
@@ -713,12 +744,14 @@ Result<json::Value> PvpServer::doDiagnostics(const json::Object &Params) {
     }
   }
 
+  std::shared_ptr<const Profile> Held;
   const Profile *P = nullptr;
   if (ProfV) {
-    Result<const Profile *> L = lookup(Params);
+    Result<std::shared_ptr<const Profile>> L = lookup(Params);
     if (!L)
       return makeError(L.error());
-    P = *L;
+    Held = *L;
+    P = Held.get();
   }
 
   // Batch both passes into one diagnostic set: program findings first
@@ -800,12 +833,12 @@ Result<json::Value> PvpServer::doDiagnostics(const json::Object &Params) {
 
 Result<json::Value> PvpServer::doStats(const json::Object &) {
   json::Object Out;
-  Out.set("profiles", static_cast<int64_t>(Profiles.size()));
-  Out.set("cachedViews", static_cast<int64_t>(ViewCache.size()));
-  Out.set("cacheCapacity", static_cast<int64_t>(Limits.MaxCachedViews));
-  Out.set("cacheHits", CacheHits);
-  Out.set("cacheMisses", CacheMisses);
-  Out.set("cacheEvictions", CacheEvictions);
+  Out.set("profiles", static_cast<int64_t>(Owned.size()));
+  Out.set("cachedViews", static_cast<int64_t>(Cache->size()));
+  Out.set("cacheCapacity", static_cast<int64_t>(Cache->capacity()));
+  Out.set("cacheHits", Cache->hits());
+  Out.set("cacheMisses", Cache->misses());
+  Out.set("cacheEvictions", Cache->evictions());
   return json::Value(std::move(Out));
 }
 
@@ -813,23 +846,27 @@ json::Value PvpServer::dispatch(std::string_view Method,
                                 const json::Object &Params, int64_t Id) {
   // Memoized fast path: serve repeated view requests straight from the LRU.
   // The key folds in the profile generation, so any state-retiring method
-  // in between forces a recomputation without an explicit flush.
-  bool Cacheable = Limits.MaxCachedViews != 0 &&
+  // in between forces a recomputation without an explicit flush; the cache
+  // additionally revalidates the generation per entry, which covers
+  // cross-session races (see ide/ViewCache.h).
+  bool Cacheable = Cache->capacity() != 0 &&
                    (Method == "pvp/flame" || Method == "pvp/treeTable" ||
                     Method == "pvp/summary");
   std::string CacheKey;
+  int64_t CacheProf = 0;
+  uint64_t CacheGen = 0;
   if (Cacheable) {
-    const json::Value *ProfV = Params.find("profile");
-    if (ProfV && ProfV->isNumber()) {
-      int64_t Prof = ProfV->asInt();
-      CacheKey = std::string(Method) + '|' + std::to_string(Prof) + '|' +
-                 std::to_string(generationOf(Prof)) + '|' +
+    // Ownership gates the cache: sessions share one LRU keyed by globally
+    // unique profile ids, so without this check a session could be served
+    // a view of a profile it never opened (cross-session leak).
+    if (intParam(Params, "profile", CacheProf) && Owned.count(CacheProf)) {
+      CacheGen = Store->generationOf(CacheProf);
+      CacheKey = std::string(Method) + '|' + std::to_string(CacheProf) +
+                 '|' + std::to_string(CacheGen) + '|' +
                  json::Value(Params).dump();
-      if (const json::Value *Hit = cacheLookup(CacheKey)) {
-        ++CacheHits;
-        return rpc::makeResponse(Id, json::Value(*Hit));
-      }
-      ++CacheMisses;
+      if (std::unique_ptr<json::Value> Hit =
+              Cache->lookup(CacheKey, CacheGen))
+        return rpc::makeResponse(Id, std::move(*Hit));
     } else {
       Cacheable = false;
     }
@@ -840,50 +877,60 @@ json::Value PvpServer::dispatch(std::string_view Method,
   RequestDeadline =
       Limits.RequestDeadlineMs == 0 ? 0 : NowMs() + Limits.RequestDeadlineMs;
   Result<json::Value> R = makeError("unreachable");
-  if (Method == "pvp/open")
-    R = doOpen(Params);
-  else if (Method == "pvp/close")
-    R = doClose(Params);
-  else if (Method == "pvp/flame")
-    R = doFlame(Params);
-  else if (Method == "pvp/treeTable")
-    R = doTreeTable(Params);
-  else if (Method == "pvp/codeLink")
-    R = doCodeLink(Params);
-  else if (Method == "pvp/hover")
-    R = doHover(Params);
-  else if (Method == "pvp/codeLens")
-    R = doCodeLens(Params);
-  else if (Method == "pvp/summary")
-    R = doSummary(Params);
-  else if (Method == "pvp/search")
-    R = doSearch(Params);
-  else if (Method == "pvp/aggregate")
-    R = doAggregate(Params);
-  else if (Method == "pvp/histogram")
-    R = doHistogram(Params);
-  else if (Method == "pvp/diff")
-    R = doDiff(Params);
-  else if (Method == "pvp/query")
-    R = doQuery(Params);
-  else if (Method == "pvp/transform")
-    R = doTransform(Params);
-  else if (Method == "pvp/prune")
-    R = doPrune(Params);
-  else if (Method == "pvp/export")
-    R = doExport(Params);
-  else if (Method == "pvp/butterfly")
-    R = doButterfly(Params);
-  else if (Method == "pvp/correlated")
-    R = doCorrelated(Params);
-  else if (Method == "pvp/diagnostics")
-    R = doDiagnostics(Params);
-  else if (Method == "pvp/stats")
-    R = doStats(Params);
-  else
-    return rpc::makeErrorResponse(Id, rpc::MethodNotFound,
-                                  "unknown method '" + std::string(Method) +
-                                      "'");
+  try {
+    if (Method == "pvp/open")
+      R = doOpen(Params);
+    else if (Method == "pvp/close")
+      R = doClose(Params);
+    else if (Method == "pvp/flame")
+      R = doFlame(Params);
+    else if (Method == "pvp/treeTable")
+      R = doTreeTable(Params);
+    else if (Method == "pvp/codeLink")
+      R = doCodeLink(Params);
+    else if (Method == "pvp/hover")
+      R = doHover(Params);
+    else if (Method == "pvp/codeLens")
+      R = doCodeLens(Params);
+    else if (Method == "pvp/summary")
+      R = doSummary(Params);
+    else if (Method == "pvp/search")
+      R = doSearch(Params);
+    else if (Method == "pvp/aggregate")
+      R = doAggregate(Params);
+    else if (Method == "pvp/histogram")
+      R = doHistogram(Params);
+    else if (Method == "pvp/diff")
+      R = doDiff(Params);
+    else if (Method == "pvp/query")
+      R = doQuery(Params);
+    else if (Method == "pvp/transform")
+      R = doTransform(Params);
+    else if (Method == "pvp/prune")
+      R = doPrune(Params);
+    else if (Method == "pvp/export")
+      R = doExport(Params);
+    else if (Method == "pvp/butterfly")
+      R = doButterfly(Params);
+    else if (Method == "pvp/correlated")
+      R = doCorrelated(Params);
+    else if (Method == "pvp/diagnostics")
+      R = doDiagnostics(Params);
+    else if (Method == "pvp/stats")
+      R = doStats(Params);
+    else
+      return rpc::makeErrorResponse(Id, rpc::MethodNotFound,
+                                    "unknown method '" + std::string(Method) +
+                                        "'");
+  } catch (const CancelledException &) {
+    // Cooperative cancellation unwound the handler (possibly through the
+    // analysis thread pool). The reply is an error, so nothing below
+    // touches the view cache: no partial view is memoized and no valid
+    // entry is displaced.
+    RequestDeadline = 0;
+    return rpc::makeErrorResponse(Id, rpc::RequestCancelled,
+                                  "request cancelled");
+  }
   RequestDeadline = 0;
   if (!R) {
     int Code =
@@ -893,28 +940,37 @@ json::Value PvpServer::dispatch(std::string_view Method,
   json::Value Payload = R.take();
   // Only successful replies are memoized; errors stay uncached so a later
   // retry (e.g. after the deadline budget recovers) re-runs the handler.
+  // The insert records the generation CAPTURED BEFORE the handler ran: if
+  // another session retired the profile mid-request, the next lookup's
+  // validation drops this entry instead of serving the stale view.
   if (Cacheable)
-    cacheInsert(std::move(CacheKey), Payload);
+    Cache->insert(std::move(CacheKey), CacheProf, CacheGen, Payload);
   return rpc::makeResponse(Id, std::move(Payload));
 }
 
-json::Value PvpServer::handleMessage(const json::Value &Request) {
-  if (!Request.isObject())
-    return rpc::makeErrorResponse(0, rpc::InvalidRequest,
-                                  "request is not an object");
-  const json::Object &Obj = Request.asObject();
-  int64_t Id = 0;
-  if (const json::Value *IdV = Obj.find("id"); IdV && IdV->isNumber())
-    Id = IdV->asInt();
-  const json::Value *MethodV = Obj.find("method");
-  if (!MethodV || !MethodV->isString())
-    return rpc::makeErrorResponse(Id, rpc::InvalidRequest,
-                                  "request has no method");
-  static const json::Object EmptyParams;
-  const json::Object *Params = &EmptyParams;
-  if (const json::Value *PV = Obj.find("params"); PV && PV->isObject())
-    Params = &PV->asObject();
-  return dispatch(MethodV->asString(), *Params, Id);
+json::Value PvpServer::handleMessage(const json::Value &Request,
+                                     const CancelToken &Cancel) {
+  ActiveCancel = Cancel;
+  json::Value Response = [&] {
+    if (!Request.isObject())
+      return rpc::makeErrorResponse(0, rpc::InvalidRequest,
+                                    "request is not an object");
+    const json::Object &Obj = Request.asObject();
+    int64_t Id = 0;
+    if (const json::Value *IdV = Obj.find("id"); IdV)
+      IdV->getInteger(Id);
+    const json::Value *MethodV = Obj.find("method");
+    if (!MethodV || !MethodV->isString())
+      return rpc::makeErrorResponse(Id, rpc::InvalidRequest,
+                                    "request has no method");
+    static const json::Object EmptyParams;
+    const json::Object *Params = &EmptyParams;
+    if (const json::Value *PV = Obj.find("params"); PV && PV->isObject())
+      Params = &PV->asObject();
+    return dispatch(MethodV->asString(), *Params, Id);
+  }();
+  ActiveCancel = CancelToken();
+  return Response;
 }
 
 std::string PvpServer::handleWire(std::string_view Bytes) {

@@ -42,6 +42,15 @@
 /// handleMessage() maps one decoded request to one response, and
 /// handleWire() speaks Content-Length framing for stdio-style streams.
 ///
+/// Concurrency model (docs/PVP.md "Sessions, scheduling, and
+/// cancellation"): one PvpServer is one SESSION — a synchronous engine
+/// with no internal locking, safe as long as at most one request runs on
+/// it at a time. ide/SessionManager.h provides that guarantee (per-session
+/// FIFO strands) while running many sessions in parallel over a SHARED
+/// ProfileStore and ViewCache, both thread-safe. A standalone PvpServer
+/// simply owns a private store and cache, so the sequential embedding API
+/// is unchanged.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef EASYVIEW_IDE_PVPSERVER_H
@@ -49,15 +58,18 @@
 
 #include "analysis/Aggregate.h"
 #include "ide/JsonRpc.h"
+#include "ide/ViewCache.h"
 #include "profile/Profile.h"
+#include "profile/ProfileStore.h"
+#include "support/Cancel.h"
 #include "support/FileIo.h"
 #include "support/Limits.h"
 
 #include <functional>
-#include <list>
 #include <map>
+#include <memory>
+#include <set>
 #include <string>
-#include <unordered_map>
 
 namespace ev {
 
@@ -84,17 +96,33 @@ struct ServerLimits {
   /// Retry policy for path-based pvp/open file loads.
   RetryPolicy OpenRetry;
   /// Capacity of the memoized view cache serving pvp/flame, pvp/treeTable,
-  /// and pvp/summary. 0 disables caching entirely.
+  /// and pvp/summary. 0 disables caching entirely. Ignored when the
+  /// session is constructed over an externally shared cache.
   size_t MaxCachedViews = 128;
 };
 
 class PvpServer {
 public:
   PvpServer() : PvpServer(ServerLimits()) {}
+  /// Standalone session: owns a private profile store and a private
+  /// single-shard view cache of ServerLimits::MaxCachedViews entries.
   explicit PvpServer(ServerLimits Limits);
+  /// Session over shared state: profiles and cached views live in \p Store
+  /// and \p Cache, which other sessions may share concurrently (both are
+  /// thread-safe; this object itself still serves one request at a time).
+  PvpServer(ServerLimits Limits, std::shared_ptr<ProfileStore> Store,
+            std::shared_ptr<ViewCache> Cache);
 
   /// Handles one decoded JSON-RPC request; \returns the response payload.
-  json::Value handleMessage(const json::Value &Request);
+  json::Value handleMessage(const json::Value &Request) {
+    return handleMessage(Request, CancelToken());
+  }
+
+  /// As above, under a cancellation token: handlers poll \p Cancel at loop
+  /// boundaries and a triggered token yields a RequestCancelled (-32800)
+  /// error response. A cancelled request never populates the view cache.
+  json::Value handleMessage(const json::Value &Request,
+                            const CancelToken &Cancel);
 
   /// Feeds framed bytes; \returns the framed responses produced (possibly
   /// several, possibly none while a message is incomplete). Corrupt frames
@@ -113,8 +141,15 @@ public:
   /// Direct (non-RPC) access used by in-process embedding and tests.
   /// Registers \p P; \returns its id.
   int64_t addProfile(Profile P);
+  /// \returns the profile for \p Id (nullptr if unknown to this session).
+  /// The pointer stays valid until the profile is closed; concurrent
+  /// callers should prefer profileHandle().
   const Profile *profile(int64_t Id) const;
-  size_t profileCount() const { return Profiles.size(); }
+  /// As profile(), but the returned reference keeps the profile alive
+  /// independent of a concurrent pvp/close.
+  std::shared_ptr<const Profile> profileHandle(int64_t Id) const;
+  /// Profiles owned by THIS session (not the whole shared store).
+  size_t profileCount() const { return Owned.size(); }
 
 private:
   json::Value dispatch(std::string_view Method, const json::Object &Params,
@@ -143,53 +178,38 @@ private:
   Result<json::Value> doDiagnostics(const json::Object &Params);
   Result<json::Value> doStats(const json::Object &Params);
 
-  Result<const Profile *> lookup(const json::Object &Params,
-                                 std::string_view Key = "profile") const;
+  /// Resolves the profile id under \p Key to a live profile owned by this
+  /// session. The returned shared_ptr keeps the profile alive for the
+  /// whole request even if another session closes it concurrently.
+  Result<std::shared_ptr<const Profile>>
+  lookup(const json::Object &Params, std::string_view Key = "profile") const;
 
   /// \returns true once the in-flight request ran past its soft deadline.
   bool deadlineExpired() const;
 
-  //===--------------------------------------------------------------------===
-  // Memoized view cache
-  //===--------------------------------------------------------------------===
-  //
-  // Read-only view replies (pvp/flame, pvp/treeTable, pvp/summary) are
-  // memoized in an LRU keyed on (method, profile id, profile generation,
-  // request params). Methods that retire or derive state (pvp/close,
-  // pvp/query, pvp/transform, pvp/prune) bump the source profile's
-  // generation, which orphans every cached view of it; orphans age out of
-  // the LRU naturally.
-
-  struct CachedView {
-    std::string Key;
-    json::Value Reply; ///< The result payload (cheap to copy: shared_ptr).
-  };
-
-  /// \returns the invalidation generation of profile \p Id (0 until bumped).
-  uint64_t generationOf(int64_t Id) const;
-  /// Invalidates every cached view of profile \p Id.
-  void bumpGeneration(int64_t Id);
-  /// \returns the cached reply for \p Key, refreshing its LRU position;
-  /// nullptr on miss.
-  const json::Value *cacheLookup(const std::string &Key);
-  /// Inserts \p Reply under \p Key, evicting the least recently used views
-  /// beyond ServerLimits::MaxCachedViews.
-  void cacheInsert(std::string Key, const json::Value &Reply);
-
   ServerLimits Limits;
-  std::map<int64_t, Profile> Profiles;
+  /// Shared (or private, for standalone sessions) profile storage. Ids are
+  /// unique across every session on the same store.
+  std::shared_ptr<ProfileStore> Store;
+  /// Ids this session opened and may address; close removes them here and
+  /// retires them from the store.
+  std::set<int64_t> Owned;
   std::map<int64_t, AggregatedProfile> Aggregates;
-  int64_t NextId = 1;
   rpc::FrameReader Reader;
   std::function<uint64_t()> NowMs;
   uint64_t RequestDeadline = 0; ///< Absolute ms; 0 while idle/disabled.
+  /// Token of the in-flight request; inert between requests. Handlers and
+  /// the analysis kernels they call poll it at loop boundaries.
+  CancelToken ActiveCancel;
 
-  std::list<CachedView> ViewCache; ///< Front = most recently used.
-  std::unordered_map<std::string, std::list<CachedView>::iterator> ViewIndex;
-  std::map<int64_t, uint64_t> Generations;
-  uint64_t CacheHits = 0;
-  uint64_t CacheMisses = 0;
-  uint64_t CacheEvictions = 0;
+  // Memoized view cache (ide/ViewCache.h): read-only view replies
+  // (pvp/flame, pvp/treeTable, pvp/summary) keyed on (method, profile id,
+  // profile generation, request params). Methods that retire or derive
+  // state (pvp/close, pvp/query, pvp/transform, pvp/prune) bump the source
+  // profile's generation in the store, which orphans every cached view of
+  // it; orphans age out of the LRU naturally, and cross-session races are
+  // caught by the cache's per-entry generation validation.
+  std::shared_ptr<ViewCache> Cache;
 };
 
 } // namespace ev

@@ -1,0 +1,173 @@
+//===- ide/SessionManager.cpp - Concurrent multi-session PVP service ------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ide/SessionManager.h"
+
+#include <algorithm>
+#include <string>
+
+namespace ev {
+
+namespace {
+
+/// Builds a future already resolved with \p Response (submission-time
+/// rejections never touch a strand).
+std::future<json::Value> resolved(json::Value Response) {
+  std::promise<json::Value> P;
+  P.set_value(std::move(Response));
+  return P.get_future();
+}
+
+} // namespace
+
+SessionManager::SessionManager(Options Opts)
+    : Opts(Opts), Store(std::make_shared<ProfileStore>()),
+      Cache(std::make_shared<ViewCache>(Opts.Limits.MaxCachedViews,
+                                        Opts.CacheShards)),
+      Dispatcher(Opts.Threads != 0 ? Opts.Threads
+                                   : std::max(1u, Opts.Sessions)) {
+  unsigned Count = std::max(1u, Opts.Sessions);
+  Sessions.reserve(Count);
+  for (unsigned I = 0; I < Count; ++I) {
+    auto S = std::make_unique<Session>();
+    S->Server = std::make_unique<PvpServer>(Opts.Limits, Store, Cache);
+    Sessions.push_back(std::move(S));
+  }
+}
+
+SessionManager::~SessionManager() = default;
+
+std::future<json::Value> SessionManager::submit(unsigned SessionId,
+                                                json::Value Request) {
+  int64_t RequestId = 0;
+  std::string_view Method;
+  if (Request.isObject()) {
+    const json::Object &Obj = Request.asObject();
+    if (const json::Value *IdV = Obj.find("id"); IdV)
+      IdV->getInteger(RequestId);
+    if (const json::Value *MV = Obj.find("method"); MV && MV->isString())
+      Method = MV->asString();
+  }
+
+  if (SessionId >= Sessions.size())
+    return resolved(rpc::makeErrorResponse(
+        RequestId, rpc::InvalidRequest,
+        "no session " + std::to_string(SessionId)));
+
+  // `$/cancelRequest` must bypass the strand: queued behind the very
+  // request it targets it could never fire in time.
+  if (Method == "$/cancelRequest") {
+    int64_t Target = 0;
+    bool HaveTarget = false;
+    if (Request.isObject())
+      if (const json::Value *PV = Request.asObject().find("params");
+          PV && PV->isObject())
+        if (const json::Value *TV = PV->asObject().find("id"); TV)
+          HaveTarget = TV->getInteger(Target);
+    if (!HaveTarget)
+      return resolved(rpc::makeErrorResponse(
+          RequestId, rpc::InvalidParams,
+          "$/cancelRequest needs a numeric params.id"));
+    bool Hit = cancel(SessionId, Target);
+    json::Object Out;
+    Out.set("cancelled", Hit);
+    return resolved(rpc::makeResponse(RequestId, json::Value(std::move(Out))));
+  }
+
+  auto Pending = std::make_shared<PendingRequest>();
+  Pending->Request = std::move(Request);
+  Pending->RequestId = RequestId;
+  std::future<json::Value> Future = Pending->Promise.get_future();
+
+  Session &S = *Sessions[SessionId];
+  bool Spawn = false;
+  {
+    std::lock_guard<std::mutex> Lock(S.Mutex);
+    if (S.Queue.size() >= Opts.MaxQueuedPerSession)
+      return resolved(rpc::makeErrorResponse(
+          RequestId, rpc::SessionBusy,
+          "session " + std::to_string(SessionId) + " has " +
+              std::to_string(S.Queue.size()) + " requests pending"));
+    S.Queue.push_back(std::move(Pending));
+    if (!S.Running) {
+      S.Running = true;
+      Spawn = true;
+    }
+  }
+  if (Spawn)
+    Dispatcher.post([this, &S] { pumpOne(S); });
+  return Future;
+}
+
+json::Value SessionManager::handle(unsigned SessionId,
+                                   const json::Value &Request) {
+  return submit(SessionId, Request).get();
+}
+
+bool SessionManager::cancel(unsigned SessionId, int64_t RequestId) {
+  if (SessionId >= Sessions.size())
+    return false;
+  Session &S = *Sessions[SessionId];
+  std::shared_ptr<PendingRequest> Unlinked;
+  bool Hit = false;
+  {
+    std::lock_guard<std::mutex> Lock(S.Mutex);
+    for (auto It = S.Queue.begin(); It != S.Queue.end(); ++It) {
+      if ((*It)->RequestId == RequestId) {
+        Unlinked = *It;
+        S.Queue.erase(It);
+        Hit = true;
+        break;
+      }
+    }
+    if (!Hit && S.Current && S.Current->RequestId == RequestId) {
+      // Running: trigger the token; the handler unwinds at its next
+      // checkpoint and the strand resolves the promise with -32800.
+      S.Current->Cancel.requestCancel();
+      Hit = true;
+    }
+  }
+  // Resolve the unlinked request outside the lock (promise continuations
+  // may run arbitrary code).
+  if (Unlinked)
+    Unlinked->Promise.set_value(rpc::makeErrorResponse(
+        RequestId, rpc::RequestCancelled, "request cancelled"));
+  return Hit;
+}
+
+void SessionManager::pumpOne(Session &S) {
+  std::shared_ptr<PendingRequest> Req;
+  {
+    std::lock_guard<std::mutex> Lock(S.Mutex);
+    if (S.Queue.empty()) {
+      S.Running = false;
+      return;
+    }
+    Req = S.Queue.front();
+    S.Queue.pop_front();
+    S.Current = Req;
+  }
+
+  // The session's server is only ever touched from its strand, so this
+  // needs no lock despite running on an arbitrary dispatcher thread.
+  json::Value Response = S.Server->handleMessage(Req->Request, Req->Cancel);
+
+  bool Repost;
+  {
+    std::lock_guard<std::mutex> Lock(S.Mutex);
+    S.Current.reset();
+    Repost = !S.Queue.empty();
+    if (!Repost)
+      S.Running = false;
+  }
+  Req->Promise.set_value(std::move(Response));
+  // Repost instead of looping: round-robin fairness across sessions
+  // sharing the dispatcher.
+  if (Repost)
+    Dispatcher.post([this, &S] { pumpOne(S); });
+}
+
+} // namespace ev

@@ -1,0 +1,131 @@
+//===- ide/SessionManager.h - Concurrent multi-session PVP service --------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The concurrent service layer over PvpServer: N independent PVP sessions
+/// (one per connected editor pane) multiplexed onto a shared TaskQueue,
+/// over a shared refcounted ProfileStore and a shard-locked ViewCache.
+///
+/// Scheduling is a classic strand model. Each session keeps a FIFO queue
+/// of pending requests plus a Running flag; at most one request per
+/// session executes at any moment, so the single-threaded PvpServer needs
+/// no internal locking, and per-session request order — hence every
+/// response byte — is identical to running that session's traffic against
+/// a standalone sequential server. Distinct sessions run genuinely in
+/// parallel: the strand reposts itself to the shared TaskQueue after every
+/// request instead of draining its whole queue in one task, so a session
+/// with a deep backlog cannot starve its neighbors.
+///
+/// Cancellation is cooperative and follows LSP's `$/cancelRequest`: the
+/// manager intercepts the method, and
+///  - a still-QUEUED target is unlinked and answered RequestCancelled
+///    (-32800) immediately, never reaching the server;
+///  - a RUNNING target has its CancelToken triggered; the analysis kernels
+///    poll the token at loop boundaries and unwind, and the server answers
+///    -32800. A cancelled request never populates the view cache and never
+///    invalidates a valid entry.
+///
+/// See docs/PVP.md, "Sessions, scheduling, and cancellation".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EASYVIEW_IDE_SESSIONMANAGER_H
+#define EASYVIEW_IDE_SESSIONMANAGER_H
+
+#include "ide/PvpServer.h"
+#include "ide/ViewCache.h"
+#include "profile/ProfileStore.h"
+#include "support/Cancel.h"
+#include "support/ThreadPool.h"
+
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace ev {
+
+class SessionManager {
+public:
+  struct Options {
+    /// Number of independent sessions to create.
+    unsigned Sessions = 4;
+    /// Worker threads in the shared dispatcher; 0 sizes it to the session
+    /// count (every session can be on-CPU at once).
+    unsigned Threads = 0;
+    /// Guardrails applied to every session.
+    ServerLimits Limits;
+    /// Shards of the shared view cache (lock granularity, not capacity).
+    size_t CacheShards = 8;
+    /// Pending requests a single session may queue before new submissions
+    /// are rejected with a SessionBusy error.
+    size_t MaxQueuedPerSession = 256;
+  };
+
+  explicit SessionManager(Options Opts);
+  /// Drains every session's queue, then joins the dispatcher.
+  ~SessionManager();
+
+  SessionManager(const SessionManager &) = delete;
+  SessionManager &operator=(const SessionManager &) = delete;
+
+  unsigned sessionCount() const {
+    return static_cast<unsigned>(Sessions.size());
+  }
+
+  /// Enqueues \p Request on \p Session's strand; the future resolves with
+  /// the JSON-RPC response once the request ran (or was cancelled or
+  /// rejected). `$/cancelRequest` is handled by the manager itself and
+  /// resolves immediately. Invalid session ids resolve with an error
+  /// response, never throw.
+  std::future<json::Value> submit(unsigned Session, json::Value Request);
+
+  /// Synchronous convenience: submit() + wait.
+  json::Value handle(unsigned Session, const json::Value &Request);
+
+  /// Cancels the request with JSON-RPC id \p RequestId on \p Session.
+  /// \returns true when a queued or running request was targeted.
+  bool cancel(unsigned Session, int64_t RequestId);
+
+  /// The shared profile store (ids are unique across sessions).
+  ProfileStore &store() { return *Store; }
+  /// The shared view cache.
+  ViewCache &viewCache() { return *Cache; }
+  /// Requests executed by the dispatcher so far (telemetry).
+  uint64_t executedCount() const { return Dispatcher.executedCount(); }
+
+private:
+  struct PendingRequest {
+    json::Value Request;
+    int64_t RequestId = 0;
+    CancelToken Cancel = CancelToken::create();
+    std::promise<json::Value> Promise;
+  };
+
+  struct Session {
+    std::unique_ptr<PvpServer> Server;
+    std::mutex Mutex; ///< Guards Queue, Current, and Running.
+    std::deque<std::shared_ptr<PendingRequest>> Queue;
+    std::shared_ptr<PendingRequest> Current; ///< Executing now, if any.
+    bool Running = false; ///< A strand task is scheduled or executing.
+  };
+
+  /// Runs ONE request of \p S, then reposts the strand if work remains.
+  void pumpOne(Session &S);
+
+  Options Opts;
+  std::shared_ptr<ProfileStore> Store;
+  std::shared_ptr<ViewCache> Cache;
+  std::vector<std::unique_ptr<Session>> Sessions;
+  /// Declared last: destroyed first, so the drain finishes while the
+  /// sessions it references are still alive.
+  TaskQueue Dispatcher;
+};
+
+} // namespace ev
+
+#endif // EASYVIEW_IDE_SESSIONMANAGER_H

@@ -1,0 +1,93 @@
+//===- ide/ViewCache.cpp - Concurrency-safe memoized view cache -----------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ide/ViewCache.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace ev {
+
+ViewCache::ViewCache(size_t Capacity, size_t ShardCount)
+    : TotalCapacity(Capacity) {
+  if (ShardCount == 0)
+    ShardCount = 1;
+  // Never leave a shard with zero capacity: a key hashing there would be
+  // permanently uncacheable while other shards have room.
+  if (Capacity != 0)
+    ShardCount = std::min(ShardCount, Capacity);
+  else
+    ShardCount = 1;
+  Shards.reserve(ShardCount);
+  size_t Base = Capacity / ShardCount;
+  size_t Extra = Capacity % ShardCount;
+  for (size_t I = 0; I < ShardCount; ++I) {
+    auto S = std::make_unique<Shard>();
+    S->Capacity = Base + (I < Extra ? 1 : 0);
+    Shards.push_back(std::move(S));
+  }
+}
+
+ViewCache::Shard &ViewCache::shardFor(const std::string &Key) {
+  if (Shards.size() == 1)
+    return *Shards.front();
+  return *Shards[std::hash<std::string>{}(Key) % Shards.size()];
+}
+
+std::unique_ptr<json::Value> ViewCache::lookup(const std::string &Key,
+                                               uint64_t CurrentGeneration) {
+  Shard &S = shardFor(Key);
+  std::lock_guard<std::mutex> Lock(S.Mutex);
+  auto It = S.Index.find(Key);
+  if (It == S.Index.end()) {
+    Misses.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  if (It->second->Generation != CurrentGeneration) {
+    // Stale: computed against a retired generation. Drop it so it cannot
+    // shadow a freshly computed view.
+    S.Lru.erase(It->second);
+    S.Index.erase(It);
+    Misses.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  S.Lru.splice(S.Lru.begin(), S.Lru, It->second);
+  Hits.fetch_add(1, std::memory_order_relaxed);
+  return std::make_unique<json::Value>(It->second->Reply);
+}
+
+void ViewCache::insert(std::string Key, int64_t ProfileId,
+                       uint64_t Generation, json::Value Reply) {
+  if (TotalCapacity == 0)
+    return;
+  Shard &S = shardFor(Key);
+  std::lock_guard<std::mutex> Lock(S.Mutex);
+  auto It = S.Index.find(Key);
+  if (It != S.Index.end()) {
+    It->second->Generation = Generation;
+    It->second->Reply = std::move(Reply);
+    S.Lru.splice(S.Lru.begin(), S.Lru, It->second);
+    return;
+  }
+  S.Lru.push_front(Entry{Key, ProfileId, Generation, std::move(Reply)});
+  S.Index.emplace(std::move(Key), S.Lru.begin());
+  while (S.Lru.size() > S.Capacity) {
+    S.Index.erase(S.Lru.back().Key);
+    S.Lru.pop_back();
+    Evictions.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+size_t ViewCache::size() const {
+  size_t Total = 0;
+  for (const auto &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S->Mutex);
+    Total += S->Lru.size();
+  }
+  return Total;
+}
+
+} // namespace ev

@@ -1,0 +1,95 @@
+//===- profile/ProfileStore.h - Shared refcounted profile store -----------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A thread-safe, refcounted store of immutable profiles, shared by every
+/// session of a concurrent PVP service (ide/SessionManager.h). Profiles
+/// are held as `std::shared_ptr<const Profile>`: a request that resolved a
+/// profile keeps its own reference for the duration of the request, so a
+/// concurrent close in another session retires the id immediately but the
+/// in-flight request keeps reading a live object — no locks are held
+/// during analysis, and the memory is reclaimed when the last reference
+/// drops.
+///
+/// Ids are allocated from a single store-wide counter, so they are unique
+/// across every session sharing the store (the shared view cache keys on
+/// them). Each profile also carries an invalidation generation, bumped by
+/// state-retiring methods (close/query/transform/prune); cached views
+/// record the generation they were computed at and are revalidated on
+/// every cache hit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EASYVIEW_PROFILE_PROFILESTORE_H
+#define EASYVIEW_PROFILE_PROFILESTORE_H
+
+#include "profile/Profile.h"
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace ev {
+
+class ProfileStore {
+public:
+  /// Registers \p P under a fresh store-unique id.
+  int64_t add(Profile P) {
+    return add(std::make_shared<const Profile>(std::move(P)));
+  }
+
+  /// Registers an already-shared profile under a fresh id.
+  int64_t add(std::shared_ptr<const Profile> P) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    int64_t Id = NextId++;
+    Profiles.emplace(Id, std::move(P));
+    return Id;
+  }
+
+  /// \returns the profile for \p Id, or nullptr when absent. The returned
+  /// reference keeps the profile alive independent of a concurrent drop().
+  std::shared_ptr<const Profile> get(int64_t Id) const {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    auto It = Profiles.find(Id);
+    return It == Profiles.end() ? nullptr : It->second;
+  }
+
+  /// Retires \p Id from the store (in-flight references stay valid).
+  /// \returns true when the id was present.
+  bool drop(int64_t Id) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return Profiles.erase(Id) > 0;
+  }
+
+  /// \returns the invalidation generation of \p Id (0 until bumped).
+  uint64_t generationOf(int64_t Id) const {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    auto It = Generations.find(Id);
+    return It == Generations.end() ? 0 : It->second;
+  }
+
+  /// Invalidates every cached view of \p Id by advancing its generation.
+  void bumpGeneration(int64_t Id) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ++Generations[Id];
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return Profiles.size();
+  }
+
+private:
+  mutable std::mutex Mutex;
+  std::map<int64_t, std::shared_ptr<const Profile>> Profiles;
+  std::map<int64_t, uint64_t> Generations;
+  int64_t NextId = 1;
+};
+
+} // namespace ev
+
+#endif // EASYVIEW_PROFILE_PROFILESTORE_H

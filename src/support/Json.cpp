@@ -8,8 +8,10 @@
 
 #include "support/Strings.h"
 
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 namespace ev {
 namespace json {
@@ -113,15 +115,31 @@ private:
 
   Result<Value> parseNumber() {
     size_t Start = Pos;
+    bool Integral = true;
     if (consume('-')) {
     }
     while (Pos < Text.size() &&
            (std::isdigit(static_cast<unsigned char>(Text[Pos])) ||
             Text[Pos] == '.' || Text[Pos] == 'e' || Text[Pos] == 'E' ||
-            Text[Pos] == '+' || Text[Pos] == '-'))
+            Text[Pos] == '+' || Text[Pos] == '-')) {
+      if (Text[Pos] == '.' || Text[Pos] == 'e' || Text[Pos] == 'E')
+        Integral = false;
       ++Pos;
+    }
+    std::string_view Token = Text.substr(Start, Pos - Start);
+    // Integral literals that fit keep their exact int64 value; everything
+    // else (fractions, exponents, magnitudes past INT64 range) stays a
+    // double exactly as before.
+    if (Integral && !Token.empty()) {
+      errno = 0;
+      char *End = nullptr;
+      std::string Buf(Token);
+      long long N = std::strtoll(Buf.c_str(), &End, 10);
+      if (errno == 0 && End == Buf.c_str() + Buf.size())
+        return Value(static_cast<int64_t>(N));
+    }
     double Number;
-    if (Pos == Start || !parseDouble(Text.substr(Start, Pos - Start), Number))
+    if (Pos == Start || !parseDouble(Token, Number))
       return fail("invalid number");
     return Value(Number);
   }
@@ -292,6 +310,26 @@ void dumpNumber(std::string &Out, double N) {
 
 } // namespace
 
+bool Value::getInteger(int64_t &Out) const {
+  if (TheKind != Kind::Number)
+    return false;
+  if (IsInt) {
+    Out = IntValue;
+    return true;
+  }
+  // A double-backed number is accepted only when it is finite, has no
+  // fractional part, and sits inside the int64 range. The range check uses
+  // the -2^63 .. 2^63 bounds as doubles; 2^63 itself rounds to exactly
+  // 9223372036854775808.0, which is out of range, hence the strict <.
+  if (!std::isfinite(NumberValue) ||
+      NumberValue != std::trunc(NumberValue) ||
+      NumberValue < -9223372036854775808.0 ||
+      NumberValue >= 9223372036854775808.0)
+    return false;
+  Out = static_cast<int64_t>(NumberValue);
+  return true;
+}
+
 void Value::dumpImpl(std::string &Out, int Indent, int Depth) const {
   auto Newline = [&](int D) {
     if (Indent <= 0)
@@ -307,7 +345,14 @@ void Value::dumpImpl(std::string &Out, int Indent, int Depth) const {
     Out += BoolValue ? "true" : "false";
     return;
   case Kind::Number:
-    dumpNumber(Out, NumberValue);
+    if (IsInt) {
+      char Buffer[32];
+      std::snprintf(Buffer, sizeof(Buffer), "%lld",
+                    static_cast<long long>(IntValue));
+      Out += Buffer;
+    } else {
+      dumpNumber(Out, NumberValue);
+    }
     return;
   case Kind::String:
     Out.push_back('"');

@@ -63,23 +63,30 @@ private:
 /// Discriminator for Value.
 enum class Kind { Null, Bool, Number, String, ArrayKind, ObjectKind };
 
-/// A JSON value. Numbers are stored as double (sufficient for every format
-/// this project parses; pprof-scale integers travel in the binary codec, not
-/// JSON).
+/// A JSON value. Numbers carry a double representation plus, when the
+/// source was integral and fits, an exact int64 representation: pprof
+/// location/function ids and metric values routinely exceed 2^53, where
+/// double rounds silently, so integers survive parse -> asInt() ->
+/// serialize round-trips bit-exactly. (uint64 values above INT64_MAX fall
+/// back to the double representation.)
 class Value {
 public:
   Value() : TheKind(Kind::Null) {}
   /*implicit*/ Value(std::nullptr_t) : TheKind(Kind::Null) {}
   /*implicit*/ Value(bool B) : TheKind(Kind::Bool), BoolValue(B) {}
   /*implicit*/ Value(double N) : TheKind(Kind::Number), NumberValue(N) {}
-  /*implicit*/ Value(int N)
-      : TheKind(Kind::Number), NumberValue(static_cast<double>(N)) {}
+  /*implicit*/ Value(int N) : Value(static_cast<int64_t>(N)) {}
   /*implicit*/ Value(int64_t N)
-      : TheKind(Kind::Number), NumberValue(static_cast<double>(N)) {}
+      : TheKind(Kind::Number), IsInt(true),
+        NumberValue(static_cast<double>(N)), IntValue(N) {}
   /*implicit*/ Value(uint64_t N)
-      : TheKind(Kind::Number), NumberValue(static_cast<double>(N)) {}
-  /*implicit*/ Value(unsigned N)
-      : TheKind(Kind::Number), NumberValue(static_cast<double>(N)) {}
+      : TheKind(Kind::Number), NumberValue(static_cast<double>(N)) {
+    if (N <= static_cast<uint64_t>(INT64_MAX)) {
+      IsInt = true;
+      IntValue = static_cast<int64_t>(N);
+    }
+  }
+  /*implicit*/ Value(unsigned N) : Value(static_cast<int64_t>(N)) {}
   /*implicit*/ Value(std::string S)
       : TheKind(Kind::String), StringValue(std::move(S)) {}
   /*implicit*/ Value(std::string_view S)
@@ -108,7 +115,21 @@ public:
     assert(isNumber() && "not a number");
     return NumberValue;
   }
-  int64_t asInt() const { return static_cast<int64_t>(asNumber()); }
+  /// True when the number carries an exact int64 representation (integral
+  /// literal or integer-constructed). Double-backed numbers return false
+  /// even when integral; use getInteger() to accept those too.
+  bool isInteger() const { return TheKind == Kind::Number && IsInt; }
+  int64_t asInt() const {
+    assert(isNumber() && "not a number");
+    return IsInt ? IntValue : static_cast<int64_t>(NumberValue);
+  }
+  /// Strict integer extraction: \returns true and sets \p Out when the
+  /// value is a number exactly representable as int64 — an integer-backed
+  /// number, or a finite double with no fractional part inside the int64
+  /// range. NaN, infinities, fractional and out-of-range doubles (and
+  /// non-numbers) return false. RPC parameter validation uses this so
+  /// hostile numbers are rejected instead of truncated (UB for NaN).
+  bool getInteger(int64_t &Out) const;
   const std::string &asString() const {
     assert(isString() && "not a string");
     return StringValue;
@@ -152,7 +173,9 @@ private:
 
   Kind TheKind;
   bool BoolValue = false;
+  bool IsInt = false; ///< Number kind only: IntValue is exact.
   double NumberValue = 0.0;
+  int64_t IntValue = 0;
   std::string StringValue;
   // shared_ptr keeps Value cheaply copyable; analysis code treats parsed
   // documents as immutable.

@@ -78,15 +78,23 @@ void ThreadPool::parallelForChunks(
     size_t N, const std::function<void(size_t, size_t)> &Body) {
   if (N == 0)
     return;
-  // Inline when sequential, when the range is trivial, or when called from
-  // inside a running loop body (the pool is non-reentrant by design).
+  // Inline when sequential, when the range is trivial, or when another
+  // loop is already in flight (the pool is non-reentrant by design; this
+  // also covers a DIFFERENT thread racing for the pool, e.g. two PVP
+  // sessions dispatching concurrently — the loser runs inline). Only the
+  // acquiring caller may clear the flag: a non-acquiring caller restoring
+  // `true` after the owner already released would wedge the pool into
+  // inline mode permanently.
   bool Nested = InLoop.exchange(true);
   if (Workers.empty() || N == 1 || Nested) {
     struct Restore {
       std::atomic<bool> &Flag;
-      bool Prior;
-      ~Restore() { Flag.store(Prior); }
-    } R{InLoop, Nested};
+      bool Acquired;
+      ~Restore() {
+        if (Acquired)
+          Flag.store(false);
+      }
+    } R{InLoop, !Nested};
     Body(0, N);
     return;
   }
@@ -122,6 +130,60 @@ void ThreadPool::parallelForChunks(
   InLoop.store(false);
   if (Error)
     std::rethrow_exception(Error);
+}
+
+//===----------------------------------------------------------------------===
+// TaskQueue
+//===----------------------------------------------------------------------===
+
+TaskQueue::TaskQueue(unsigned Threads) {
+  unsigned N = Threads == 0 ? 1 : Threads;
+  Workers.reserve(N);
+  for (unsigned I = 0; I < N; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+TaskQueue::~TaskQueue() {
+  // Drain: wait until the queue is empty AND no task is mid-flight (a
+  // running task may still post follow-ups), then signal shutdown.
+  {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    Idle.wait(Lock, [&] { return Queue.empty() && Busy == 0; });
+    ShuttingDown = true;
+  }
+  WakeWorkers.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void TaskQueue::post(std::function<void()> Task) {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Queue.push_back(std::move(Task));
+  }
+  WakeWorkers.notify_one();
+}
+
+void TaskQueue::workerLoop() {
+  for (;;) {
+    std::function<void()> Task;
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      WakeWorkers.wait(Lock, [&] { return ShuttingDown || !Queue.empty(); });
+      if (Queue.empty())
+        return; // Shutting down with nothing left to run.
+      Task = std::move(Queue.front());
+      Queue.pop_front();
+      ++Busy;
+    }
+    Task();
+    Executed.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      --Busy;
+    }
+    Idle.notify_all();
+  }
 }
 
 unsigned ThreadPool::configuredThreads() {

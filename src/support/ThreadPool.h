@@ -31,6 +31,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <exception>
 #include <functional>
 #include <mutex>
@@ -121,6 +122,53 @@ private:
   unsigned JobActiveWorkers = 0;
   std::exception_ptr JobError;
   std::atomic<bool> InLoop{false};
+};
+
+/// A FIFO task executor backing the concurrent PVP service (see
+/// ide/SessionManager.h): N dedicated worker threads drain an unbounded
+/// queue of posted closures in submission order. Unlike ThreadPool — a
+/// blocking fork-join primitive for data-parallel loops — TaskQueue is a
+/// fire-and-forget executor: post() never blocks, tasks run exactly once,
+/// and workers that execute a task may post() follow-up tasks (the session
+/// strands repost themselves this way), including during shutdown drain.
+///
+/// Destruction drains: the destructor stops accepting NEW external posts
+/// conceptually at the caller's discretion, runs every task already queued
+/// (plus tasks those tasks post), and joins the workers. A task that
+/// throws terminates via std::terminate — session tasks convert all
+/// failures to JSON-RPC error replies, so nothing should ever throw here.
+class TaskQueue {
+public:
+  /// Creates \p Threads dedicated workers (clamped to at least 1).
+  explicit TaskQueue(unsigned Threads);
+  ~TaskQueue();
+
+  TaskQueue(const TaskQueue &) = delete;
+  TaskQueue &operator=(const TaskQueue &) = delete;
+
+  /// Enqueues \p Task; runs on some worker in FIFO order. Never blocks.
+  void post(std::function<void()> Task);
+
+  unsigned threadCount() const {
+    return static_cast<unsigned>(Workers.size());
+  }
+
+  /// Tasks executed since construction (telemetry).
+  uint64_t executedCount() const {
+    return Executed.load(std::memory_order_relaxed);
+  }
+
+private:
+  void workerLoop();
+
+  std::vector<std::thread> Workers;
+  std::mutex Mutex;
+  std::condition_variable WakeWorkers;
+  std::condition_variable Idle;
+  std::deque<std::function<void()>> Queue;
+  unsigned Busy = 0;
+  bool ShuttingDown = false;
+  std::atomic<uint64_t> Executed{0};
 };
 
 } // namespace ev

@@ -15,6 +15,7 @@
 #include "analysis/Transform.h"
 #include "convert/Converters.h"
 #include "convert/Exporters.h"
+#include "ide/SessionManager.h"
 #include "proto/EvProf.h"
 #include "query/Interpreter.h"
 #include "render/AnsiRenderer.h"
@@ -54,6 +55,9 @@ std::string usageText() {
          "  butterfly <profile> <function> [--metric M]\n"
          "  annotate <profile> <source-file>   per-line code lenses\n"
          "  report <profile> <out.html>        self-contained HTML report\n"
+         "  serve --input <requests.jsonl> [--sessions N]\n"
+         "                                     run PVP requests through the\n"
+         "                                     concurrent session service\n"
          "  help                               this text\n";
 }
 
@@ -508,6 +512,62 @@ int cmdReport(const ParsedArgs &Args, std::string &Out, std::string &Err) {
   return 0;
 }
 
+/// `evtool serve`: drives the concurrent multi-session PVP service
+/// (ide/SessionManager.h) from a JSON-Lines script — one JSON-RPC request
+/// object per line, optionally carrying a top-level "session" field that
+/// routes it to one of the N sessions (default session 0). Requests are
+/// submitted in file order and responses are printed in the SAME order,
+/// one per line, so the output of a concurrent run is byte-comparable to a
+/// sequential one.
+int cmdServe(const ParsedArgs &Args, std::string &Out, std::string &Err) {
+  auto InputIt = Args.Options.find("input");
+  if (InputIt == Args.Options.end() && Args.Positional.size() != 1)
+    return failUsage(Err, "serve needs --input <requests.jsonl>");
+  const std::string &Path = InputIt != Args.Options.end()
+                                ? InputIt->second
+                                : Args.Positional[0];
+  Result<std::string> Script = readFileWithRetry(Path);
+  if (!Script)
+    return failData(Err, Script.error());
+
+  SessionManager::Options Opts;
+  if (auto It = Args.Options.find("sessions"); It != Args.Options.end()) {
+    uint64_t N;
+    if (!parseUnsigned(It->second, N) || N == 0 || N > 256)
+      return failUsage(Err, "--sessions expects a count in [1, 256]");
+    Opts.Sessions = static_cast<unsigned>(N);
+  }
+  SessionManager Manager(Opts);
+
+  std::vector<std::future<json::Value>> Replies;
+  size_t LineNo = 0;
+  for (std::string_view Line : splitString(*Script, '\n')) {
+    ++LineNo;
+    if (Line.empty())
+      continue;
+    Result<json::Value> Request = json::parse(Line);
+    if (!Request)
+      return failData(Err, Path + ":" + std::to_string(LineNo) + ": " +
+                               Request.error());
+    unsigned Session = 0;
+    if (Request->isObject())
+      if (const json::Value *SV = Request->asObject().find("session"); SV) {
+        int64_t S;
+        if (!SV->getInteger(S) || S < 0 ||
+            static_cast<uint64_t>(S) >= Manager.sessionCount())
+          return failData(Err, Path + ":" + std::to_string(LineNo) +
+                                   ": invalid 'session' field");
+        Session = static_cast<unsigned>(S);
+      }
+    Replies.push_back(Manager.submit(Session, Request.take()));
+  }
+  for (std::future<json::Value> &F : Replies)
+    Out += F.get().dump() + "\n";
+  Err += "served " + std::to_string(Replies.size()) + " request(s) across " +
+         std::to_string(Manager.sessionCount()) + " session(s)\n";
+  return ExitSuccess;
+}
+
 } // namespace
 
 int runEvTool(const std::vector<std::string> &Args, std::string &Out,
@@ -552,6 +612,8 @@ int runEvTool(const std::vector<std::string> &Args, std::string &Out,
     return cmdAnnotate(*Parsed, Out, Err);
   if (Command == "report")
     return cmdReport(*Parsed, Out, Err);
+  if (Command == "serve")
+    return cmdServe(*Parsed, Out, Err);
   Err += "evtool: error: unknown command '" + Command + "'\n" + usageText();
   return ExitUsageError;
 }

@@ -13,6 +13,8 @@
 #include "support/FileIo.h"
 #include "support/Strings.h"
 
+#include <cmath>
+
 #include <cstdio>
 
 #include <gtest/gtest.h>
@@ -832,4 +834,79 @@ TEST(PvpServerLimits, DiagnosticsDeadlineDegradesToTruncatedReply) {
   EXPECT_TRUE(R.find("truncated")->asBool());
   EXPECT_TRUE(R.find("deadlineExpired")->asBool());
   EXPECT_GT(R.find("dropped")->asInt(), 0);
+}
+
+//===----------------------------------------------------------------------===
+// Strict numeric parameter validation
+//===----------------------------------------------------------------------===
+//
+// asInt() on a hostile double used to truncate silently (UB for NaN).
+// Every id-bearing parameter now goes through getInteger(): anything that
+// is not an exact int64 answers InvalidParams (-32602) instead of being
+// folded onto some unrelated profile id.
+
+namespace {
+
+json::Value nanValue() { return json::Value(std::nan("")); }
+
+} // namespace
+
+TEST(PvpServerParams, NanProfileIdRejected) {
+  PvpServer Server;
+  Server.addProfile(test::makeFixedProfile());
+  json::Object P;
+  P.set("profile", nanValue());
+  json::Value R = Server.handleMessage(rpc::makeRequest(1, "pvp/flame", P));
+  EXPECT_TRUE(isErrorWithCode(R, rpc::InvalidParams));
+}
+
+TEST(PvpServerParams, FractionalProfileIdRejected) {
+  PvpServer Server;
+  int64_t Id = Server.addProfile(test::makeFixedProfile());
+  // 1.5 would have truncated onto profile 1 before; it must not resolve.
+  json::Object P;
+  P.set("profile", static_cast<double>(Id) + 0.5);
+  for (const char *Method : {"pvp/flame", "pvp/treeTable", "pvp/summary",
+                             "pvp/close"}) {
+    json::Value R = Server.handleMessage(rpc::makeRequest(1, Method, P));
+    EXPECT_TRUE(isErrorWithCode(R, rpc::InvalidParams)) << Method;
+  }
+  // The real id still works after all those rejections.
+  json::Object Good;
+  Good.set("profile", Id);
+  EXPECT_TRUE(isSuccess(
+      Server.handleMessage(rpc::makeRequest(2, "pvp/summary", Good))));
+}
+
+TEST(PvpServerParams, OutOfRangeProfileIdRejected) {
+  PvpServer Server;
+  Server.addProfile(test::makeFixedProfile());
+  json::Object P;
+  P.set("profile", 1e300); // Far beyond int64: must not wrap or truncate.
+  json::Value R =
+      Server.handleMessage(rpc::makeRequest(1, "pvp/treeTable", P));
+  EXPECT_TRUE(isErrorWithCode(R, rpc::InvalidParams));
+}
+
+TEST(PvpServerParams, NegativeAndNanMaxRectsRejected) {
+  PvpServer Server;
+  int64_t Id = Server.addProfile(test::makeFixedProfile());
+  for (json::Value Bad : {json::Value(-1), nanValue(), json::Value(2.5)}) {
+    json::Object P;
+    P.set("profile", Id);
+    P.set("maxRects", std::move(Bad));
+    json::Value R =
+        Server.handleMessage(rpc::makeRequest(1, "pvp/flame", P));
+    EXPECT_TRUE(isErrorWithCode(R, rpc::InvalidParams));
+  }
+}
+
+TEST(PvpServerParams, DiffRejectsNonIntegerIds) {
+  PvpServer Server;
+  int64_t Id = Server.addProfile(test::makeFixedProfile());
+  json::Object P;
+  P.set("base", nanValue());
+  P.set("test", Id);
+  json::Value R = Server.handleMessage(rpc::makeRequest(1, "pvp/diff", P));
+  EXPECT_TRUE(isErrorWithCode(R, rpc::InvalidParams));
 }

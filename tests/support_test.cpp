@@ -13,6 +13,10 @@
 #include "support/Varint.h"
 #include "support/Xml.h"
 
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
 #include <gtest/gtest.h>
 
 using namespace ev;
@@ -481,6 +485,61 @@ TEST(Json, TolerantGetters) {
   EXPECT_DOUBLE_EQ(V.numberOr(5.0), 5.0);
   EXPECT_EQ(json::Value(2.0).stringOr("d"), "d");
   EXPECT_TRUE(json::Value(1.0).boolOr(true));
+}
+
+TEST(Json, Int64SurvivesBeyondDoublePrecision) {
+  // 2^53 is the last double-exact integer; the values either side of it
+  // collapse to the same double. The int64 variant must keep them apart
+  // through parse -> asInt -> dump.
+  const int64_t P53 = 9007199254740992; // 2^53
+  for (int64_t N : {P53 - 1, P53, P53 + 1}) {
+    Result<json::Value> Doc = json::parse(std::to_string(N));
+    ASSERT_TRUE(Doc.ok());
+    EXPECT_TRUE(Doc->isInteger());
+    EXPECT_EQ(Doc->asInt(), N);
+    EXPECT_EQ(Doc->dump(), std::to_string(N));
+  }
+}
+
+TEST(Json, Int64ExtremesRoundTrip) {
+  for (int64_t N : {INT64_MIN, INT64_MIN + 1, INT64_MAX - 1, INT64_MAX}) {
+    Result<json::Value> Doc = json::parse(std::to_string(N));
+    ASSERT_TRUE(Doc.ok()) << N;
+    EXPECT_EQ(Doc->asInt(), N);
+    EXPECT_EQ(Doc->dump(), std::to_string(N));
+    // Construction from int64 preserves the exact value too.
+    EXPECT_EQ(json::Value(N).dump(), std::to_string(N));
+  }
+}
+
+TEST(Json, GetIntegerIsStrict) {
+  int64_t Out = 0;
+  EXPECT_TRUE(json::Value(int64_t{42}).getInteger(Out));
+  EXPECT_EQ(Out, 42);
+  // Integral doubles are accepted (JSON has one number type on the wire).
+  EXPECT_TRUE(json::Value(7.0).getInteger(Out));
+  EXPECT_EQ(Out, 7);
+  // Fractional, non-finite, out-of-range, and non-numbers are rejected.
+  EXPECT_FALSE(json::Value(1.5).getInteger(Out));
+  EXPECT_FALSE(json::Value(std::nan("")).getInteger(Out));
+  EXPECT_FALSE(
+      json::Value(std::numeric_limits<double>::infinity()).getInteger(Out));
+  EXPECT_FALSE(json::Value(1e300).getInteger(Out));
+  EXPECT_FALSE(json::Value("12").getInteger(Out));
+  EXPECT_FALSE(json::Value(true).getInteger(Out));
+}
+
+TEST(Json, FractionalLiteralsAreNotIntegers) {
+  Result<json::Value> Doc = json::parse("3.25");
+  ASSERT_TRUE(Doc.ok());
+  EXPECT_FALSE(Doc->isInteger());
+  int64_t Out = 0;
+  EXPECT_FALSE(Doc->getInteger(Out));
+  // Exponent forms that land on integers still extract.
+  Result<json::Value> Exp = json::parse("2e3");
+  ASSERT_TRUE(Exp.ok());
+  EXPECT_TRUE(Exp->getInteger(Out));
+  EXPECT_EQ(Out, 2000);
 }
 
 //===----------------------------------------------------------------------===

@@ -1,0 +1,22 @@
+#!/bin/sh
+# Fails when any build directory (build*/ at the repo root) is tracked by
+# git. Build trees are machine-local; 358 of them once slipped into the
+# index and bloated every clone. Wired into the `lint` target.
+set -eu
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo_root"
+
+if ! git rev-parse --is-inside-work-tree >/dev/null 2>&1; then
+  echo "check_no_build_artifacts: not a git checkout, skipping"
+  exit 0
+fi
+
+tracked="$(git ls-files -- 'build*/**' 'build*' | head -20 || true)"
+if [ -n "$tracked" ]; then
+  echo "error: build artifacts are tracked by git (add them to .gitignore" >&2
+  echo "and 'git rm -r --cached' them):" >&2
+  echo "$tracked" | sed 's/^/  /' >&2
+  exit 1
+fi
+echo "check_no_build_artifacts: no tracked build*/ paths"
