@@ -21,6 +21,7 @@
 #include "ide/PvpServer.h"
 #include "proto/EvProf.h"
 #include "support/ThreadPool.h"
+#include "support/Trace.h"
 #include "workload/LuleshWorkload.h"
 #include "workload/SparkWorkload.h"
 #include "workload/SyntheticProfile.h"
@@ -193,6 +194,37 @@ int main(int argc, char **argv) {
   Report.setSummary("flameCacheSpeedup", CacheSpeedup);
   bench::row("pvp/flame cold ms=%.3f warm ms=%.3f speedup=%.1fx", ColdMs,
              WarmMs, CacheSpeedup);
+
+  // Instrumentation-overhead ablation: the same single-threaded pipeline
+  // (decode + aggregate + diff + flame shaping) with span retention on vs
+  // off. The delta is what self-profiling costs every request; the
+  // acceptance bar is <= 5%.
+  auto Pipeline = [&] {
+    Result<Profile> P = readEvProf(Wire);
+    if (!P)
+      std::abort();
+    AggregatedProfile Agg =
+        aggregate(std::span<const Profile *const>(AggPtrs), AggOpt);
+    (void)Agg;
+    DiffResult D = diffProfiles(Runs[0], Runs[1], 0);
+    (void)D;
+    Profile Up = bottomUpTree(Runs[0]);
+    (void)Up;
+  };
+  const int AblateReps = Smoke ? 2 : 7;
+  trace::setEnabled(true);
+  double TracedMs = timeMs(AblateReps, Pipeline);
+  trace::setEnabled(false);
+  double UntracedMs = timeMs(AblateReps, Pipeline);
+  trace::setEnabled(true);
+  trace::clear();
+  double OverheadPct =
+      UntracedMs > 0.0 ? (TracedMs / UntracedMs - 1.0) * 100.0 : 0.0;
+  Report.addRow("pipeline-traced", 1, TracedMs);
+  Report.addRow("pipeline-untraced", 1, UntracedMs);
+  Report.setSummary("instrumentationOverheadPct", OverheadPct);
+  bench::row("pipeline traced ms=%.3f untraced ms=%.3f overhead=%.2f%%",
+             TracedMs, UntracedMs, OverheadPct);
 
   if (Aggregate1T > 0.0 && AggregateNT > 0.0) {
     double AggSpeedup = Aggregate1T / AggregateNT;

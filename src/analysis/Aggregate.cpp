@@ -7,6 +7,7 @@
 #include "analysis/Aggregate.h"
 
 #include "support/ThreadPool.h"
+#include "support/Trace.h"
 
 #include <cassert>
 #include <cmath>
@@ -85,6 +86,7 @@ struct ProfilePrep {
 AggregatedProfile aggregate(std::span<const Profile *const> Profiles,
                             const AggregateOptions &Options,
                             const CancelToken &Cancel) {
+  trace::Span Span("analysis/aggregate", "analysis");
   assert(!Profiles.empty() && "aggregate requires at least one profile");
   AggregatedProfile Agg;
   Agg.ProfileCount = Profiles.size();

@@ -7,6 +7,7 @@
 #include "analysis/Diff.h"
 
 #include "support/ThreadPool.h"
+#include "support/Trace.h"
 
 #include <cmath>
 #include <string_view>
@@ -63,6 +64,7 @@ SidePrep prepareSide(const Profile &P, MetricId Metric) {
 DiffResult diffProfiles(const Profile &Base, const Profile &Test,
                         MetricId Metric, double RelativeEpsilon,
                         const CancelToken &Cancel) {
+  trace::Span Span("analysis/diffProfiles", "analysis");
   DiffResult Result;
   Profile &Merged = Result.Merged;
   Merged.setName("diff: " + Test.name() + " vs " + Base.name());

@@ -9,6 +9,7 @@
 #include "analysis/MetricEngine.h"
 #include "analysis/Traversal.h"
 #include "support/ThreadPool.h"
+#include "support/Trace.h"
 
 #include <cstdint>
 #include <string>
@@ -67,6 +68,7 @@ private:
 } // namespace
 
 Profile topDownTree(const Profile &P, const CancelToken &Cancel) {
+  trace::Span Span("analysis/topDownTree", "analysis");
   Profile Out;
   Out.setName(P.name());
   std::vector<MetricId> MetricMap = copyMetricSchema(P, Out);
@@ -92,6 +94,7 @@ Profile topDownTree(const Profile &P, const CancelToken &Cancel) {
 }
 
 Profile bottomUpTree(const Profile &P, const CancelToken &Cancel) {
+  trace::Span Span("analysis/bottomUpTree", "analysis");
   Profile Out;
   Out.setName(P.name() + " (bottom-up)");
   std::vector<MetricId> MetricMap = copyMetricSchema(P, Out);
@@ -148,6 +151,7 @@ Profile bottomUpTree(const Profile &P, const CancelToken &Cancel) {
 }
 
 Profile flatTree(const Profile &P, const CancelToken &Cancel) {
+  trace::Span Span("analysis/flatTree", "analysis");
   Profile Out;
   Out.setName(P.name() + " (flat)");
   std::vector<MetricId> ExclMap = copyMetricSchema(P, Out);
@@ -237,6 +241,7 @@ Profile flatTree(const Profile &P, const CancelToken &Cancel) {
 }
 
 Profile collapseRecursion(const Profile &P, const CancelToken &Cancel) {
+  trace::Span Span("analysis/collapseRecursion", "analysis");
   Profile Out;
   Out.setName(P.name());
   std::vector<MetricId> MetricMap = copyMetricSchema(P, Out);

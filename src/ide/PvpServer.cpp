@@ -23,10 +23,12 @@
 #include "render/FlameLayout.h"
 #include "render/HtmlRenderer.h"
 #include "render/TreeTable.h"
+#include "support/Clock.h"
 #include "support/Strings.h"
+#include "support/Telemetry.h"
+#include "support/Trace.h"
 
 #include <algorithm>
-#include <chrono>
 
 namespace ev {
 
@@ -35,13 +37,6 @@ namespace {
 /// The exact diagnostic a handler returns when it bails on the deadline;
 /// dispatch() maps it to the RequestTimeout error code.
 constexpr const char *DeadlineDiag = "request deadline exceeded";
-
-uint64_t steadyNowMs() {
-  return static_cast<uint64_t>(
-      std::chrono::duration_cast<std::chrono::milliseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
-          .count());
-}
 
 /// Strict integer extraction: \returns false when \p Key is absent, not a
 /// number, or a number that is not exactly representable as int64 (NaN,
@@ -64,10 +59,13 @@ PvpServer::PvpServer(ServerLimits Limits)
 PvpServer::PvpServer(ServerLimits Limits, std::shared_ptr<ProfileStore> Store,
                      std::shared_ptr<ViewCache> Cache)
     : Limits(Limits), Store(std::move(Store)), Reader(Limits.Wire),
-      NowMs(steadyNowMs), Cache(std::move(Cache)) {}
+      NowMs(monoMillis), Cache(std::move(Cache)) {}
 
 void PvpServer::setClock(std::function<uint64_t()> Clock) {
-  NowMs = Clock ? std::move(Clock) : steadyNowMs;
+  // Deadlines are durations, so the default is the MONOTONIC clock
+  // (support/Clock.h): the wall clock can step backwards under NTP and
+  // would fire or starve deadlines spuriously.
+  NowMs = Clock ? std::move(Clock) : monoMillis;
 }
 
 bool PvpServer::deadlineExpired() const {
@@ -834,11 +832,83 @@ Result<json::Value> PvpServer::doDiagnostics(const json::Object &Params) {
 Result<json::Value> PvpServer::doStats(const json::Object &) {
   json::Object Out;
   Out.set("profiles", static_cast<int64_t>(Owned.size()));
+  // Cache counters are global atomics on the SHARED cache object, already
+  // aggregated across shards and sessions (shards have no private
+  // counters, so summing anything per-shard would double-count). The keys
+  // above this comment are pinned by tests; additions below are strictly
+  // additive. revalidations is a subset of misses, reported separately so
+  // the cross-session staleness rate is visible (pre-PR4 this method
+  // reported the retired single-session view and missed shard/store
+  // state entirely).
   Out.set("cachedViews", static_cast<int64_t>(Cache->size()));
   Out.set("cacheCapacity", static_cast<int64_t>(Cache->capacity()));
   Out.set("cacheHits", Cache->hits());
   Out.set("cacheMisses", Cache->misses());
   Out.set("cacheEvictions", Cache->evictions());
+  Out.set("cacheShards", static_cast<int64_t>(Cache->shardCount()));
+  Out.set("cacheRevalidations", Cache->revalidationDrops());
+  Out.set("storeProfiles", static_cast<int64_t>(Store->size()));
+  return json::Value(std::move(Out));
+}
+
+Result<json::Value> PvpServer::doMetrics(const json::Object &Params) {
+  telemetry::SnapshotOptions Opts;
+  if (const json::Value *T = Params.find("includeTimings"); T && T->isBool())
+    Opts.IncludeTimings = T->asBool();
+  json::Value Snap = telemetry::Registry::global().snapshot(Opts);
+
+  json::Object Out;
+  // wallTimeMs is the one user-facing timestamp (system clock, epoch ms,
+  // comparable across machines); monoTimeMs is for computing deltas
+  // between two snapshots of THIS process only.
+  Out.set("wallTimeMs", wallMillis());
+  Out.set("monoTimeMs", monoMillis());
+  for (const auto &[Key, V] : Snap.asObject())
+    Out.set(Key, V);
+
+  json::Object Spans;
+  Spans.set("enabled", trace::enabled());
+  Spans.set("retained", static_cast<uint64_t>(trace::retainedSpans()));
+  Spans.set("dropped", trace::droppedSpans());
+  Spans.set("lanes", static_cast<uint64_t>(trace::laneCount()));
+  Out.set("spans", std::move(Spans));
+
+  Result<json::Value> Stats = doStats(Params);
+  if (!Stats)
+    return Stats;
+  Out.set("stats", Stats.take());
+  return json::Value(std::move(Out));
+}
+
+Result<json::Value> PvpServer::doSelfProfile(const json::Object &Params) {
+  std::vector<trace::SpanRecord> Records = trace::collectSpans();
+  if (Records.empty())
+    return makeError("no spans retained (tracing disabled or nothing ran)");
+
+  std::string Name = "easyview-self";
+  if (const json::Value *NV = Params.find("name"); NV && NV->isString())
+    Name = NV->asString();
+  Profile Self = trace::toProfile(Name);
+  Result<bool> Ok = Self.verify();
+  if (!Ok)
+    return makeError("self-profile failed verification: " + Ok.error());
+
+  std::string Bytes = writeEvProf(Self);
+  size_t Nodes = Self.nodeCount();
+  // Register the profile in this session so the editor can immediately ask
+  // for pvp/flame of the server's own execution — the paper's dogfooding
+  // move: the profiler profiled with its own representation.
+  int64_t Id = addProfile(std::move(Self));
+
+  if (const json::Value *RV = Params.find("reset"); RV && RV->boolOr(false))
+    trace::clear();
+
+  json::Object Out;
+  Out.set("profile", Id);
+  Out.set("nodes", static_cast<uint64_t>(Nodes));
+  Out.set("spans", static_cast<uint64_t>(Records.size()));
+  Out.set("bytes", static_cast<uint64_t>(Bytes.size()));
+  Out.set("dataBase64", base64Encode(Bytes));
   return json::Value(std::move(Out));
 }
 
@@ -918,6 +988,10 @@ json::Value PvpServer::dispatch(std::string_view Method,
       R = doDiagnostics(Params);
     else if (Method == "pvp/stats")
       R = doStats(Params);
+    else if (Method == "pvp/metrics")
+      R = doMetrics(Params);
+    else if (Method == "pvp/selfProfile")
+      R = doSelfProfile(Params);
     else
       return rpc::makeErrorResponse(Id, rpc::MethodNotFound,
                                     "unknown method '" + std::string(Method) +
@@ -950,6 +1024,15 @@ json::Value PvpServer::dispatch(std::string_view Method,
 
 json::Value PvpServer::handleMessage(const json::Value &Request,
                                      const CancelToken &Cancel) {
+  // Request-level telemetry: handles are pinned once (registration locks
+  // a shard; updates are relaxed atomics on the hot path).
+  telemetry::Registry &Reg = telemetry::Registry::global();
+  static telemetry::Counter &Requests = Reg.counter("pvp.requests");
+  static telemetry::Counter &Errors = Reg.counter("pvp.errors");
+  static telemetry::Histogram &Latency = Reg.histogram("pvp.latencyUs");
+  Requests.add();
+  uint64_t T0 = monoMicros();
+
   ActiveCancel = Cancel;
   json::Value Response = [&] {
     if (!Request.isObject())
@@ -967,26 +1050,49 @@ json::Value PvpServer::handleMessage(const json::Value &Request,
     const json::Object *Params = &EmptyParams;
     if (const json::Value *PV = Obj.find("params"); PV && PV->isObject())
       Params = &PV->asObject();
-    return dispatch(MethodV->asString(), *Params, Id);
+    const std::string &Method = MethodV->asString();
+    // The span label must outlive the request; method names are a small
+    // closed set, so interning is bounded.
+    trace::Span Span(trace::internLabel(Method), "pvp");
+    uint64_t M0 = monoMicros();
+    json::Value Reply = dispatch(Method, *Params, Id);
+    Reg.histogram("pvp.latencyUs." + Method).record(monoMicros() - M0);
+    return Reply;
   }();
   ActiveCancel = CancelToken();
+
+  Latency.record(monoMicros() - T0);
+  if (Response.isObject() && Response.asObject().contains("error"))
+    Errors.add();
   return Response;
 }
 
 std::string PvpServer::handleWire(std::string_view Bytes) {
+  telemetry::Registry &Reg = telemetry::Registry::global();
+  static telemetry::Counter &BytesIn = Reg.counter("wire.bytesIn");
+  static telemetry::Counter &BytesOut = Reg.counter("wire.bytesOut");
+  static telemetry::Counter &FramesIn = Reg.counter("wire.framesIn");
+  static telemetry::Counter &FrameErrors = Reg.counter("wire.frameErrors");
+  trace::Span Span("pvp/handleWire", "wire");
+  BytesIn.add(Bytes.size());
+
   Reader.feed(Bytes);
   std::string Out;
   for (;;) {
     auto Msg = Reader.poll();
     // Each corrupt frame costs one error response; the reader has already
     // resynchronized, so later frames on the same stream still decode.
-    for (rpc::FrameError &E : Reader.takeErrors())
+    for (rpc::FrameError &E : Reader.takeErrors()) {
+      FrameErrors.add();
       Out += rpc::frame(
           rpc::makeErrorResponse(0, E.Code, E.Message));
+    }
     if (!Msg)
       break;
+    FramesIn.add();
     Out += rpc::frame(handleMessage(*Msg));
   }
+  BytesOut.add(Out.size());
   return Out;
 }
 

@@ -30,9 +30,17 @@
 ///   pvp/export        {profile, format, metric?} -> {dataBase64, bytes}
 ///   pvp/butterfly     {profile, function, metric?} -> {callers, callees}
 ///   pvp/correlated    {profile, kind, select?: [node...]} -> {panes}
-/// Introspection:
+/// Introspection (docs/OBSERVABILITY.md):
 ///   pvp/stats         {} -> {profiles, cachedViews, cacheCapacity,
-///                            cacheHits, cacheMisses, cacheEvictions}
+///                            cacheHits, cacheMisses, cacheEvictions,
+///                            cacheShards, cacheRevalidations,
+///                            storeProfiles}
+///   pvp/metrics       {includeTimings?} -> {wallTimeMs, monoTimeMs,
+///                            counters, gauges, histograms, spans, stats}
+///   pvp/selfProfile   {name?, reset?} -> {profile, nodes, spans, bytes,
+///                            dataBase64}  (the server's own execution,
+///                            folded into a CCT and registered like any
+///                            opened profile)
 /// Static analysis (batched; see docs/ANALYSIS.md):
 ///   pvp/diagnostics   {profile?, program?, minSeverity?, disable?,
 ///                      maxDiagnostics?} -> {diagnostics, errors, warnings,
@@ -177,6 +185,8 @@ private:
   Result<json::Value> doCorrelated(const json::Object &Params);
   Result<json::Value> doDiagnostics(const json::Object &Params);
   Result<json::Value> doStats(const json::Object &Params);
+  Result<json::Value> doMetrics(const json::Object &Params);
+  Result<json::Value> doSelfProfile(const json::Object &Params);
 
   /// Resolves the profile id under \p Key to a live profile owned by this
   /// session. The returned shared_ptr keeps the profile alive for the

@@ -6,6 +6,10 @@
 
 #include "ide/SessionManager.h"
 
+#include "support/Clock.h"
+#include "support/Telemetry.h"
+#include "support/Trace.h"
+
 #include <algorithm>
 #include <string>
 
@@ -80,17 +84,26 @@ std::future<json::Value> SessionManager::submit(unsigned SessionId,
   auto Pending = std::make_shared<PendingRequest>();
   Pending->Request = std::move(Request);
   Pending->RequestId = RequestId;
+  Pending->EnqueuedUs = monoMicros();
   std::future<json::Value> Future = Pending->Promise.get_future();
+
+  static telemetry::Counter &Submitted =
+      telemetry::Registry::global().counter("session.submitted");
+  static telemetry::Counter &RejectedBusy =
+      telemetry::Registry::global().counter("session.rejectedBusy");
 
   Session &S = *Sessions[SessionId];
   bool Spawn = false;
   {
     std::lock_guard<std::mutex> Lock(S.Mutex);
-    if (S.Queue.size() >= Opts.MaxQueuedPerSession)
+    if (S.Queue.size() >= Opts.MaxQueuedPerSession) {
+      RejectedBusy.add();
       return resolved(rpc::makeErrorResponse(
           RequestId, rpc::SessionBusy,
           "session " + std::to_string(SessionId) + " has " +
               std::to_string(S.Queue.size()) + " requests pending"));
+    }
+    Submitted.add();
     S.Queue.push_back(std::move(Pending));
     if (!S.Running) {
       S.Running = true;
@@ -151,9 +164,25 @@ void SessionManager::pumpOne(Session &S) {
     S.Current = Req;
   }
 
+  // Queue-wait vs run time: the two halves of perceived latency. A hot
+  // cache with long queue waits means the dispatcher is undersized, not
+  // the handlers slow — the split tells them apart.
+  static telemetry::Histogram &QueueWait =
+      telemetry::Registry::global().histogram("session.queueWaitUs");
+  static telemetry::Histogram &RunTime =
+      telemetry::Registry::global().histogram("session.runUs");
+  uint64_t StartUs = monoMicros();
+  QueueWait.record(StartUs > Req->EnqueuedUs ? StartUs - Req->EnqueuedUs : 0);
+
   // The session's server is only ever touched from its strand, so this
   // needs no lock despite running on an arbitrary dispatcher thread.
-  json::Value Response = S.Server->handleMessage(Req->Request, Req->Cancel);
+  json::Value Response;
+  {
+    trace::Span Span("session/pumpOne", "session");
+    Response = S.Server->handleMessage(Req->Request, Req->Cancel);
+  }
+  uint64_t EndUs = monoMicros();
+  RunTime.record(EndUs > StartUs ? EndUs - StartUs : 0);
 
   bool Repost;
   {

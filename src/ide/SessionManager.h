@@ -104,6 +104,7 @@ private:
     int64_t RequestId = 0;
     CancelToken Cancel = CancelToken::create();
     std::promise<json::Value> Promise;
+    uint64_t EnqueuedUs = 0; ///< monoMicros() at submit; queue-wait metric.
   };
 
   struct Session {

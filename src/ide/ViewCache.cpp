@@ -6,10 +6,34 @@
 
 #include "ide/ViewCache.h"
 
+#include "support/Telemetry.h"
+
 #include <algorithm>
 #include <functional>
 
 namespace ev {
+
+namespace {
+
+/// Process-wide mirrors of the per-instance counters, so pvp/metrics sees
+/// cache behavior without a handle to the cache object. Handles are pinned
+/// once; updates are relaxed atomics.
+struct CacheTelemetry {
+  telemetry::Counter &Hits;
+  telemetry::Counter &Misses;
+  telemetry::Counter &Evictions;
+  telemetry::Counter &Revalidations;
+  static CacheTelemetry &get() {
+    static CacheTelemetry T{
+        telemetry::Registry::global().counter("viewcache.hits"),
+        telemetry::Registry::global().counter("viewcache.misses"),
+        telemetry::Registry::global().counter("viewcache.evictions"),
+        telemetry::Registry::global().counter("viewcache.revalidations")};
+    return T;
+  }
+};
+
+} // namespace
 
 ViewCache::ViewCache(size_t Capacity, size_t ShardCount)
     : TotalCapacity(Capacity) {
@@ -44,18 +68,25 @@ std::unique_ptr<json::Value> ViewCache::lookup(const std::string &Key,
   auto It = S.Index.find(Key);
   if (It == S.Index.end()) {
     Misses.fetch_add(1, std::memory_order_relaxed);
+    CacheTelemetry::get().Misses.add();
     return nullptr;
   }
   if (It->second->Generation != CurrentGeneration) {
     // Stale: computed against a retired generation. Drop it so it cannot
-    // shadow a freshly computed view.
+    // shadow a freshly computed view. Counts as a miss (the pinned
+    // hit/miss totals must keep summing to lookup count) AND as a
+    // revalidation drop, which tracks the cross-session race rate.
     S.Lru.erase(It->second);
     S.Index.erase(It);
     Misses.fetch_add(1, std::memory_order_relaxed);
+    Revalidations.fetch_add(1, std::memory_order_relaxed);
+    CacheTelemetry::get().Misses.add();
+    CacheTelemetry::get().Revalidations.add();
     return nullptr;
   }
   S.Lru.splice(S.Lru.begin(), S.Lru, It->second);
   Hits.fetch_add(1, std::memory_order_relaxed);
+  CacheTelemetry::get().Hits.add();
   return std::make_unique<json::Value>(It->second->Reply);
 }
 
@@ -78,6 +109,7 @@ void ViewCache::insert(std::string Key, int64_t ProfileId,
     S.Index.erase(S.Lru.back().Key);
     S.Lru.pop_back();
     Evictions.fetch_add(1, std::memory_order_relaxed);
+    CacheTelemetry::get().Evictions.add();
   }
 }
 

@@ -69,10 +69,17 @@ public:
 
   size_t capacity() const { return TotalCapacity; }
   size_t size() const;
+  size_t shardCount() const { return Shards.size(); }
   uint64_t hits() const { return Hits.load(std::memory_order_relaxed); }
   uint64_t misses() const { return Misses.load(std::memory_order_relaxed); }
   uint64_t evictions() const {
     return Evictions.load(std::memory_order_relaxed);
+  }
+  /// Stale entries dropped by generation revalidation on lookup. These are
+  /// a SUBSET of misses() (a revalidation drop also counts as a miss), so
+  /// aggregating stats must not add the two together.
+  uint64_t revalidationDrops() const {
+    return Revalidations.load(std::memory_order_relaxed);
   }
 
 private:
@@ -97,6 +104,7 @@ private:
   std::atomic<uint64_t> Hits{0};
   std::atomic<uint64_t> Misses{0};
   std::atomic<uint64_t> Evictions{0};
+  std::atomic<uint64_t> Revalidations{0};
 };
 
 } // namespace ev

@@ -7,6 +7,7 @@
 #include "proto/EvProf.h"
 
 #include "support/ProtoWire.h"
+#include "support/Trace.h"
 
 namespace ev {
 
@@ -216,6 +217,7 @@ WireCensus prescanEvProf(std::string_view Bytes) {
 
 Result<Profile> readEvProf(std::string_view Bytes,
                            const DecodeLimits &Limits) {
+  trace::Span Span("decode/readEvProf", "decode");
   if (Bytes.size() > Limits.MaxInputBytes)
     return makeError("input of " + std::to_string(Bytes.size()) +
                      " bytes exceeds the decode limit");

@@ -7,6 +7,7 @@
 #include "render/FlameLayout.h"
 
 #include "analysis/MetricEngine.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 
@@ -15,6 +16,7 @@ namespace ev {
 FlameGraph::FlameGraph(const Profile &P, MetricId Metric,
                        FlameLayoutOptions Options)
     : P(&P), Metric(Metric), Options(Options) {
+  trace::Span Span("render/flameLayout", "render");
   std::vector<double> Inclusive = inclusiveColumn(P, Metric);
   Total = Inclusive.empty() ? 0.0 : Inclusive[0];
   if (Total <= 0.0)

@@ -1,0 +1,45 @@
+//===- support/Clock.h - Wall vs. monotonic clock helpers -----------------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The two process clocks, named by what they are for. steady_clock's
+/// epoch is arbitrary (commonly boot time), so its readings must never be
+/// presented as wall timestamps or compared across processes; conversely
+/// system_clock can step backwards under NTP, so it must never be used to
+/// measure a duration or arm a deadline. Every call site in the tree picks
+/// one of these helpers instead of touching <chrono> directly, which makes
+/// the intent auditable:
+///
+///   wallMillis()  - user-facing timestamps (reply stamps, log lines,
+///                   pvp/metrics snapshot times); comparable across
+///                   processes and machines.
+///   monoMillis()  - durations, deadlines, retry backoff.
+///   monoMicros()  - span timing (support/Trace.h) and latency histograms.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EASYVIEW_SUPPORT_CLOCK_H
+#define EASYVIEW_SUPPORT_CLOCK_H
+
+#include <cstdint>
+
+namespace ev {
+
+/// Milliseconds since the Unix epoch on the system (wall) clock.
+uint64_t wallMillis();
+
+/// Milliseconds on the monotonic clock. The epoch is arbitrary: only
+/// differences of two readings are meaningful, and only within this
+/// process.
+uint64_t monoMillis();
+
+/// Microseconds on the monotonic clock (same epoch caveats as
+/// monoMillis()).
+uint64_t monoMicros();
+
+} // namespace ev
+
+#endif // EASYVIEW_SUPPORT_CLOCK_H

@@ -9,8 +9,8 @@
 #include "support/Strings.h"
 
 #include <cerrno>
+#include <charconv>
 #include <cmath>
-#include <cstdio>
 #include <cstdlib>
 
 namespace ev {
@@ -291,21 +291,35 @@ private:
   int Depth = 0;
 };
 
+void dumpInt(std::string &Out, int64_t N) {
+  // std::to_chars is locale-independent by definition; snprintf("%lld")
+  // honors LC_NUMERIC grouping in some locales.
+  char Buffer[32];
+  auto [End, Ec] = std::to_chars(Buffer, Buffer + sizeof(Buffer), N);
+  (void)Ec; // int64 always fits in 32 bytes.
+  Out.append(Buffer, End);
+}
+
 void dumpNumber(std::string &Out, double N) {
-  if (std::isfinite(N) && N == static_cast<double>(static_cast<int64_t>(N))) {
-    char Buffer[32];
-    std::snprintf(Buffer, sizeof(Buffer), "%lld",
-                  static_cast<long long>(N));
-    Out += Buffer;
-    return;
-  }
   if (!std::isfinite(N)) {
     Out += "null"; // JSON has no Inf/NaN.
     return;
   }
+  // Integral doubles inside the int64 range print as integers. The range
+  // check must precede the cast: casting an out-of-range double to int64
+  // is undefined behavior. 2^63 itself rounds to exactly
+  // 9223372036854775808.0, hence the strict <.
+  if (N >= -9223372036854775808.0 && N < 9223372036854775808.0 &&
+      N == static_cast<double>(static_cast<int64_t>(N))) {
+    dumpInt(Out, static_cast<int64_t>(N));
+    return;
+  }
+  // Shortest round-trip form, locale-independent (snprintf "%.17g" is
+  // neither: a de_DE LC_NUMERIC emits "3,14", which is invalid JSON).
   char Buffer[64];
-  std::snprintf(Buffer, sizeof(Buffer), "%.17g", N);
-  Out += Buffer;
+  auto [End, Ec] = std::to_chars(Buffer, Buffer + sizeof(Buffer), N);
+  (void)Ec; // Shortest form of a finite double always fits in 64 bytes.
+  Out.append(Buffer, End);
 }
 
 } // namespace
@@ -346,10 +360,7 @@ void Value::dumpImpl(std::string &Out, int Indent, int Depth) const {
     return;
   case Kind::Number:
     if (IsInt) {
-      char Buffer[32];
-      std::snprintf(Buffer, sizeof(Buffer), "%lld",
-                    static_cast<long long>(IntValue));
-      Out += Buffer;
+      dumpInt(Out, IntValue);
     } else {
       dumpNumber(Out, NumberValue);
     }

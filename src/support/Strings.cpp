@@ -167,10 +167,14 @@ std::string escapeJson(std::string_view Text) {
       Out += "\\t";
       break;
     default:
+      // RFC 8259: every control byte below 0x20 (including NUL, which must
+      // survive round-trips of interned frame names) escapes as \u00XX.
       if (static_cast<unsigned char>(C) < 0x20) {
-        char Buffer[8];
-        std::snprintf(Buffer, sizeof(Buffer), "\\u%04x", C);
-        Out += Buffer;
+        static const char Hex[] = "0123456789abcdef";
+        unsigned char U = static_cast<unsigned char>(C);
+        Out += "\\u00";
+        Out.push_back(Hex[U >> 4]);
+        Out.push_back(Hex[U & 0xF]);
       } else {
         Out.push_back(C);
       }

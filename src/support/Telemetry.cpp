@@ -1,0 +1,184 @@
+//===- support/Telemetry.cpp - Counters, gauges, latency histograms -------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Telemetry.h"
+
+#include <algorithm>
+#include <bit>
+#include <functional>
+
+namespace ev {
+namespace telemetry {
+
+size_t Histogram::bucketIndex(uint64_t Value) {
+  if (Value == 0)
+    return 0;
+  // bit_width(1) == 1 -> bucket 1 covers [1, 2); values past the last
+  // finite bucket land in the overflow bucket.
+  return std::min<size_t>(std::bit_width(Value), BucketCount - 1);
+}
+
+uint64_t Histogram::bucketFloor(size_t Index) {
+  if (Index == 0)
+    return 0;
+  return uint64_t(1) << (Index - 1);
+}
+
+void Histogram::record(uint64_t Value) {
+  Buckets[bucketIndex(Value)].fetch_add(1, std::memory_order_relaxed);
+  N.fetch_add(1, std::memory_order_relaxed);
+  Sum.fetch_add(Value, std::memory_order_relaxed);
+  uint64_t Seen = Min.load(std::memory_order_relaxed);
+  while (Value < Seen &&
+         !Min.compare_exchange_weak(Seen, Value, std::memory_order_relaxed))
+    ;
+  Seen = Max.load(std::memory_order_relaxed);
+  while (Value > Seen &&
+         !Max.compare_exchange_weak(Seen, Value, std::memory_order_relaxed))
+    ;
+}
+
+uint64_t Histogram::min() const {
+  uint64_t V = Min.load(std::memory_order_relaxed);
+  return V == UINT64_MAX ? 0 : V;
+}
+
+void Histogram::reset() {
+  for (auto &B : Buckets)
+    B.store(0, std::memory_order_relaxed);
+  N.store(0, std::memory_order_relaxed);
+  Sum.store(0, std::memory_order_relaxed);
+  Min.store(UINT64_MAX, std::memory_order_relaxed);
+  Max.store(0, std::memory_order_relaxed);
+}
+
+Registry::Registry(size_t ShardCount) {
+  if (ShardCount == 0)
+    ShardCount = 1;
+  Shards.reserve(ShardCount);
+  for (size_t I = 0; I < ShardCount; ++I)
+    Shards.push_back(std::make_unique<Shard>());
+}
+
+Registry::Shard &Registry::shardFor(std::string_view Name) {
+  if (Shards.size() == 1)
+    return *Shards.front();
+  return *Shards[std::hash<std::string_view>{}(Name) % Shards.size()];
+}
+
+const Registry::Shard &Registry::shardFor(std::string_view Name) const {
+  return const_cast<Registry *>(this)->shardFor(Name);
+}
+
+Counter &Registry::counter(std::string_view Name) {
+  Shard &S = shardFor(Name);
+  std::lock_guard<std::mutex> Lock(S.Mutex);
+  auto It = S.Counters.find(std::string(Name));
+  if (It == S.Counters.end())
+    It = S.Counters.emplace(std::string(Name), std::make_unique<Counter>())
+             .first;
+  return *It->second;
+}
+
+Gauge &Registry::gauge(std::string_view Name) {
+  Shard &S = shardFor(Name);
+  std::lock_guard<std::mutex> Lock(S.Mutex);
+  auto It = S.Gauges.find(std::string(Name));
+  if (It == S.Gauges.end())
+    It = S.Gauges.emplace(std::string(Name), std::make_unique<Gauge>()).first;
+  return *It->second;
+}
+
+Histogram &Registry::histogram(std::string_view Name) {
+  Shard &S = shardFor(Name);
+  std::lock_guard<std::mutex> Lock(S.Mutex);
+  auto It = S.Histograms.find(std::string(Name));
+  if (It == S.Histograms.end())
+    It = S.Histograms
+             .emplace(std::string(Name), std::make_unique<Histogram>())
+             .first;
+  return *It->second;
+}
+
+json::Value Registry::snapshot(const SnapshotOptions &Opts) const {
+  // Collect (name, metric) pairs under the shard locks, then emit sorted
+  // by name so the document is deterministic regardless of registration
+  // order or shard layout. The pointers stay valid after unlock: handles
+  // are never deleted while the registry lives.
+  std::vector<std::pair<std::string, const Counter *>> Counters;
+  std::vector<std::pair<std::string, const Gauge *>> Gauges;
+  std::vector<std::pair<std::string, const Histogram *>> Histograms;
+  for (const auto &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S->Mutex);
+    for (const auto &[Name, C] : S->Counters)
+      Counters.emplace_back(Name, C.get());
+    for (const auto &[Name, G] : S->Gauges)
+      Gauges.emplace_back(Name, G.get());
+    for (const auto &[Name, H] : S->Histograms)
+      Histograms.emplace_back(Name, H.get());
+  }
+  auto ByName = [](const auto &A, const auto &B) { return A.first < B.first; };
+  std::sort(Counters.begin(), Counters.end(), ByName);
+  std::sort(Gauges.begin(), Gauges.end(), ByName);
+  std::sort(Histograms.begin(), Histograms.end(), ByName);
+
+  json::Object CountersOut;
+  for (const auto &[Name, C] : Counters)
+    CountersOut.set(Name, C->value());
+  json::Object GaugesOut;
+  for (const auto &[Name, G] : Gauges)
+    GaugesOut.set(Name, G->value());
+  json::Object HistogramsOut;
+  for (const auto &[Name, H] : Histograms) {
+    json::Object HO;
+    HO.set("count", H->count());
+    if (Opts.IncludeTimings) {
+      HO.set("sum", H->sum());
+      HO.set("min", H->min());
+      HO.set("max", H->max());
+      // Buckets emit as [floor, count] pairs, empty buckets skipped, so
+      // the document stays compact for sparse latency distributions.
+      json::Array Buckets;
+      for (size_t I = 0; I < Histogram::BucketCount; ++I) {
+        uint64_t N = H->bucketCount(I);
+        if (N == 0)
+          continue;
+        json::Array Pair;
+        Pair.push_back(Histogram::bucketFloor(I));
+        Pair.push_back(N);
+        Buckets.push_back(std::move(Pair));
+      }
+      HO.set("buckets", std::move(Buckets));
+    }
+    HistogramsOut.set(Name, std::move(HO));
+  }
+
+  json::Object Out;
+  Out.set("counters", std::move(CountersOut));
+  Out.set("gauges", std::move(GaugesOut));
+  Out.set("histograms", std::move(HistogramsOut));
+  return json::Value(std::move(Out));
+}
+
+void Registry::reset() {
+  for (const auto &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S->Mutex);
+    for (auto &[Name, C] : S->Counters)
+      C->reset();
+    for (auto &[Name, G] : S->Gauges)
+      G->reset();
+    for (auto &[Name, H] : S->Histograms)
+      H->reset();
+  }
+}
+
+Registry &Registry::global() {
+  static Registry *R = new Registry(); // Leaked: outlives every user.
+  return *R;
+}
+
+} // namespace telemetry
+} // namespace ev

@@ -1,0 +1,261 @@
+//===- support/Trace.cpp - RAII spans with bounded per-thread retention ---===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Trace.h"
+
+#include "profile/ProfileBuilder.h"
+#include "support/Clock.h"
+#include "support/Json.h"
+
+#include <algorithm>
+#include <atomic>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+
+namespace ev {
+namespace trace {
+
+namespace {
+
+std::atomic<bool> GEnabled{true};
+std::atomic<size_t> GRingCapacity{4096};
+
+constexpr size_t MaxInternedLabels = 512;
+constexpr const char *OverflowLabel = "<interned-label-overflow>";
+
+/// One thread's retained-span storage. Lanes are created on a thread's
+/// first closed span and never destroyed (threads come and go; lane ids
+/// stay dense and records stay readable), so collectSpans() can walk them
+/// after the owning thread exited.
+struct ThreadLane {
+  std::mutex Mutex;
+  std::vector<SpanRecord> Ring; ///< Fixed capacity, set at creation.
+  uint64_t Total = 0;           ///< Records ever written since clear().
+  uint64_t Dropped = 0;         ///< Records overwritten by wrap-around.
+  uint32_t Lane = 0;
+};
+
+struct LaneTable {
+  std::mutex Mutex;
+  std::vector<ThreadLane *> Lanes; ///< Creation order == lane id order.
+};
+
+LaneTable &laneTable() {
+  static LaneTable *T = new LaneTable(); // Leaked: outlives every thread.
+  return *T;
+}
+
+thread_local ThreadLane *TLane = nullptr;
+thread_local Span *TCurrent = nullptr;
+
+ThreadLane &myLane() {
+  if (TLane)
+    return *TLane;
+  auto *Lane = new ThreadLane(); // Owned by the (leaked) lane table.
+  Lane->Ring.resize(std::max<size_t>(
+      GRingCapacity.load(std::memory_order_relaxed), 16));
+  LaneTable &T = laneTable();
+  std::lock_guard<std::mutex> Lock(T.Mutex);
+  Lane->Lane = static_cast<uint32_t>(T.Lanes.size());
+  T.Lanes.push_back(Lane);
+  TLane = Lane;
+  return *Lane;
+}
+
+} // namespace
+
+void setEnabled(bool On) { GEnabled.store(On, std::memory_order_relaxed); }
+
+bool enabled() { return GEnabled.load(std::memory_order_relaxed); }
+
+const char *internLabel(std::string_view Label) {
+  struct Interner {
+    std::mutex Mutex;
+    // deque gives pointer stability; the map keys view into it.
+    std::deque<std::string> Storage;
+    std::unordered_map<std::string_view, const char *> Index;
+  };
+  static Interner *I = new Interner(); // Leaked: labels live forever.
+
+  std::lock_guard<std::mutex> Lock(I->Mutex);
+  auto It = I->Index.find(Label);
+  if (It != I->Index.end())
+    return It->second;
+  if (I->Storage.size() >= MaxInternedLabels)
+    return OverflowLabel;
+  I->Storage.emplace_back(Label);
+  const std::string &Stored = I->Storage.back();
+  I->Index.emplace(std::string_view(Stored), Stored.c_str());
+  return Stored.c_str();
+}
+
+void configureRing(size_t Capacity) {
+  GRingCapacity.store(std::max<size_t>(Capacity, 16),
+                      std::memory_order_relaxed);
+}
+
+Span::Span(const char *Name, const char *Category)
+    : Name(Name), Category(Category), StartUs(0) {
+  if (!enabled())
+    return;
+  Live = true;
+  Parent = TCurrent;
+  TCurrent = this;
+  StartUs = monoMicros();
+}
+
+Span::~Span() {
+  if (!Live)
+    return;
+  uint64_t End = monoMicros();
+  uint64_t Dur = End > StartUs ? End - StartUs : 0;
+  TCurrent = Parent;
+  if (Parent)
+    Parent->ChildUs += Dur;
+
+  SpanRecord R;
+  R.Name = Name;
+  R.Category = Category;
+  R.StartUs = StartUs;
+  R.DurUs = Dur;
+  R.SelfUs = Dur > ChildUs ? Dur - ChildUs : 0;
+
+  size_t Depth = 0;
+  for (Span *A = Parent; A; A = A->Parent)
+    ++Depth;
+  R.Depth = static_cast<uint16_t>(std::min<size_t>(Depth, UINT16_MAX));
+  // Path holds the root-most min(Depth, MaxSpanDepth) ancestors; walking
+  // leaf-to-root, the ancestor j levels up sits at root-index Depth-1-j.
+  size_t J = 0;
+  for (Span *A = Parent; A; A = A->Parent, ++J) {
+    size_t RootIndex = Depth - 1 - J;
+    if (RootIndex < MaxSpanDepth)
+      R.Path[RootIndex] = A->Name;
+  }
+
+  ThreadLane &L = myLane();
+  R.Lane = L.Lane;
+  std::lock_guard<std::mutex> Lock(L.Mutex);
+  if (L.Total >= L.Ring.size())
+    ++L.Dropped;
+  L.Ring[L.Total % L.Ring.size()] = R;
+  ++L.Total;
+}
+
+std::vector<SpanRecord> collectSpans() {
+  std::vector<ThreadLane *> Lanes;
+  {
+    LaneTable &T = laneTable();
+    std::lock_guard<std::mutex> Lock(T.Mutex);
+    Lanes = T.Lanes;
+  }
+  std::vector<SpanRecord> Out;
+  for (ThreadLane *L : Lanes) {
+    std::lock_guard<std::mutex> Lock(L->Mutex);
+    size_t Cap = L->Ring.size();
+    uint64_t Count = std::min<uint64_t>(L->Total, Cap);
+    // Oldest surviving record first.
+    uint64_t First = L->Total > Cap ? L->Total - Cap : 0;
+    for (uint64_t I = 0; I < Count; ++I)
+      Out.push_back(L->Ring[(First + I) % Cap]);
+  }
+  return Out;
+}
+
+void clear() {
+  std::vector<ThreadLane *> Lanes;
+  {
+    LaneTable &T = laneTable();
+    std::lock_guard<std::mutex> Lock(T.Mutex);
+    Lanes = T.Lanes;
+  }
+  for (ThreadLane *L : Lanes) {
+    std::lock_guard<std::mutex> Lock(L->Mutex);
+    L->Total = 0;
+    L->Dropped = 0;
+  }
+}
+
+uint64_t droppedSpans() {
+  std::vector<ThreadLane *> Lanes;
+  {
+    LaneTable &T = laneTable();
+    std::lock_guard<std::mutex> Lock(T.Mutex);
+    Lanes = T.Lanes;
+  }
+  uint64_t Sum = 0;
+  for (ThreadLane *L : Lanes) {
+    std::lock_guard<std::mutex> Lock(L->Mutex);
+    Sum += L->Dropped;
+  }
+  return Sum;
+}
+
+size_t retainedSpans() {
+  std::vector<ThreadLane *> Lanes;
+  {
+    LaneTable &T = laneTable();
+    std::lock_guard<std::mutex> Lock(T.Mutex);
+    Lanes = T.Lanes;
+  }
+  size_t Sum = 0;
+  for (ThreadLane *L : Lanes) {
+    std::lock_guard<std::mutex> Lock(L->Mutex);
+    Sum += static_cast<size_t>(
+        std::min<uint64_t>(L->Total, L->Ring.size()));
+  }
+  return Sum;
+}
+
+size_t laneCount() {
+  LaneTable &T = laneTable();
+  std::lock_guard<std::mutex> Lock(T.Mutex);
+  return T.Lanes.size();
+}
+
+std::string toChromeTraceJson() {
+  std::vector<SpanRecord> Records = collectSpans();
+  json::Array Events;
+  for (const SpanRecord &R : Records) {
+    json::Object E;
+    E.set("ph", "X");
+    E.set("name", R.Name);
+    E.set("cat", R.Category);
+    E.set("ts", R.StartUs);
+    E.set("dur", R.DurUs);
+    E.set("pid", 1);
+    E.set("tid", R.Lane);
+    Events.push_back(json::Value(std::move(E)));
+  }
+  json::Object Doc;
+  Doc.set("traceEvents", json::Value(std::move(Events)));
+  return json::Value(std::move(Doc)).dump();
+}
+
+Profile toProfile(std::string Name) {
+  std::vector<SpanRecord> Records = collectSpans();
+  ProfileBuilder B(std::move(Name));
+  MetricId Wall = B.addMetric("wall-time", "nanoseconds");
+  MetricId Count = B.addMetric("count", "count");
+  for (const SpanRecord &R : Records) {
+    std::vector<FrameId> Path;
+    size_t Kept = std::min<size_t>(R.Depth, MaxSpanDepth);
+    Path.reserve(Kept + 1);
+    for (size_t I = 0; I < Kept; ++I)
+      Path.push_back(B.functionFrame(R.Path[I]));
+    Path.push_back(B.functionFrame(R.Name));
+    NodeId Leaf = B.pushPath(Path);
+    // addValue accumulates into an existing (node, metric) slot, so
+    // repeated call paths merge instead of emitting duplicate values.
+    B.addValue(Leaf, Wall, static_cast<double>(R.SelfUs) * 1000.0);
+    B.addValue(Leaf, Count, 1.0);
+  }
+  return B.take();
+}
+
+} // namespace trace
+} // namespace ev

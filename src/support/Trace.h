@@ -1,0 +1,143 @@
+//===- support/Trace.h - RAII spans with bounded per-thread retention -----===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The structural half of the self-profiling layer (docs/OBSERVABILITY.md):
+/// RAII spans that record where request wall time went, with parent/child
+/// nesting, per-thread buffers, and bounded ring retention. The numeric
+/// half (counters, histograms) is support/Telemetry.h.
+///
+/// A Span opens on construction and closes on destruction; nesting is
+/// tracked through a thread-local current-span pointer, so a span opened
+/// inside another's lifetime becomes its child with zero coordination.
+/// Each closed span captures its full ancestor path (root-most first),
+/// which is what lets pvp/selfProfile fold the flat record stream back
+/// into a calling context tree via ProfileBuilder — EasyView serving a
+/// flame graph of its own server.
+///
+/// Retention: each thread owns a fixed-capacity ring of closed-span
+/// records (configureRing(), default 4096). When the ring wraps, the
+/// oldest records are overwritten and a dropped counter advances — the
+/// server never grows without bound under sustained traffic. Parents close
+/// after their children, so eviction consumes children first and a
+/// retained record's path always names spans that were genuinely open
+/// around it.
+///
+/// Span names must be string literals or pointers interned through
+/// internLabel() — records hold the pointers, not copies, so a dangling
+/// dynamic string would be read long after the request that built it.
+///
+/// setEnabled(false) turns span *retention* off (construction becomes a
+/// few branches); telemetry counters are unaffected. The bench ablation
+/// (bench/bench_pipeline.cpp) measures exactly this switch.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EASYVIEW_SUPPORT_TRACE_H
+#define EASYVIEW_SUPPORT_TRACE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ev {
+
+class Profile;
+
+namespace trace {
+
+/// Deepest ancestor chain a record preserves. Spans nested deeper still
+/// time correctly; their recorded path is truncated at the root-most
+/// MaxSpanDepth entries.
+constexpr size_t MaxSpanDepth = 12;
+
+/// One closed span. Name/Category/Path point at string literals or
+/// interned labels; they are valid for the process lifetime.
+struct SpanRecord {
+  const char *Name = nullptr;
+  const char *Category = nullptr;
+  uint64_t StartUs = 0; ///< monoMicros() at open.
+  uint64_t DurUs = 0;   ///< Wall (inclusive) duration.
+  uint64_t SelfUs = 0;  ///< DurUs minus children's inclusive time.
+  uint32_t Lane = 0;    ///< Dense per-thread lane id (Chrome "tid").
+  uint16_t Depth = 0;   ///< Ancestor count (0 = root span).
+  /// Ancestor names, root-most first; Path[0..min(Depth,MaxSpanDepth)-1]
+  /// are valid.
+  const char *Path[MaxSpanDepth] = {};
+};
+
+/// Globally enables/disables span retention. Defaults to enabled.
+void setEnabled(bool On);
+bool enabled();
+
+/// Interns \p Label into a process-lifetime string and returns a stable
+/// pointer, for span names not known at compile time (PVP method names).
+/// The table is bounded; once full, unseen labels collapse to a fixed
+/// "<interned-label-overflow>" entry rather than growing without limit.
+const char *internLabel(std::string_view Label);
+
+/// Sets the per-thread ring capacity (clamped to >= 16). Applies to lanes
+/// created after the call; existing lanes keep their rings.
+void configureRing(size_t Capacity);
+
+/// An RAII span. Construct at the top of the scope to time; the span
+/// closes and its record is retained when the object is destroyed.
+/// \p Name and \p Category must outlive the process (literals or
+/// internLabel() results).
+class Span {
+public:
+  explicit Span(const char *Name, const char *Category = "server");
+  ~Span();
+
+  Span(const Span &) = delete;
+  Span &operator=(const Span &) = delete;
+
+private:
+  const char *Name;
+  const char *Category;
+  uint64_t StartUs;
+  uint64_t ChildUs = 0; ///< Accumulated inclusive time of direct children.
+  Span *Parent = nullptr;
+  bool Live = false; ///< False when retention was disabled at open.
+};
+
+/// Snapshots every lane's retained records (oldest first within a lane,
+/// lanes in creation order). Safe to call while other threads record.
+std::vector<SpanRecord> collectSpans();
+
+/// Drops all retained records on every lane (dropped counters reset too).
+void clear();
+
+/// Total records overwritten by ring wrap-around since the last clear().
+uint64_t droppedSpans();
+
+/// Records currently retained across all lanes (cheaper than
+/// collectSpans().size(): no copying).
+size_t retainedSpans();
+
+/// Number of thread lanes that have ever recorded a span.
+size_t laneCount();
+
+/// Renders the retained spans as Chrome trace JSON:
+///   {"traceEvents": [{"ph":"X","name":...,"cat":...,"ts":...,"dur":...,
+///                     "pid":1,"tid":<lane>}, ...]}
+/// ts/dur are monotonic microseconds, so the document round-trips through
+/// convert::fromChromeTrace and loads in any traceEvents viewer.
+std::string toChromeTraceJson();
+
+/// Folds the retained spans into a calling context tree: each record
+/// contributes its ancestor path + name as a call path, with metrics
+/// "wall-time" (SelfUs, stored in nanoseconds) and "count" (1). The
+/// result is a well-formed profile — writeEvProf/readEvProf round-trips
+/// it and ProfileLinter reports no diagnostics.
+Profile toProfile(std::string Name = "easyview-self");
+
+} // namespace trace
+} // namespace ev
+
+#endif // EASYVIEW_SUPPORT_TRACE_H

@@ -27,6 +27,7 @@
 #include "render/TreeTable.h"
 #include "support/FileIo.h"
 #include "support/Strings.h"
+#include "support/Trace.h"
 
 #include <map>
 
@@ -56,8 +57,10 @@ std::string usageText() {
          "  annotate <profile> <source-file>   per-line code lenses\n"
          "  report <profile> <out.html>        self-contained HTML report\n"
          "  serve --input <requests.jsonl> [--sessions N]\n"
-         "                                     run PVP requests through the\n"
-         "                                     concurrent session service\n"
+         "        [--trace-out F]              run PVP requests through the\n"
+         "                                     concurrent session service;\n"
+         "                                     --trace-out dumps the server's\n"
+         "                                     own spans as Chrome trace JSON\n"
          "  help                               this text\n";
 }
 
@@ -565,6 +568,18 @@ int cmdServe(const ParsedArgs &Args, std::string &Out, std::string &Err) {
     Out += F.get().dump() + "\n";
   Err += "served " + std::to_string(Replies.size()) + " request(s) across " +
          std::to_string(Manager.sessionCount()) + " session(s)\n";
+
+  // --trace-out dumps the service's own retained spans as Chrome
+  // traceEvents JSON: loadable in any trace viewer, and round-trippable
+  // back into a profile through `evtool convert --to evprof` (the Chrome
+  // converter treats it like any foreign trace).
+  if (auto It = Args.Options.find("trace-out"); It != Args.Options.end()) {
+    std::string Trace = trace::toChromeTraceJson();
+    if (Result<bool> W = writeFile(It->second, Trace); !W)
+      return failData(Err, W.error());
+    Err += "wrote trace of " + std::to_string(trace::retainedSpans()) +
+           " span(s) to " + It->second + "\n";
+  }
   return ExitSuccess;
 }
 

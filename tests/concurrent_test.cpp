@@ -131,21 +131,23 @@ TEST(ConcurrentTaskQueue, RunsTasksConcurrentlyAcrossWorkers) {
   EXPECT_EQ(Q.threadCount(), 4u);
   // Two tasks that can only finish together prove two workers ran them
   // simultaneously (a single worker would deadlock; the timeout guards).
-  std::promise<void> AReady, BReady;
+  std::promise<void> AReady, BReady, ADone;
   std::shared_future<void> AF = AReady.get_future().share();
   std::shared_future<void> BF = BReady.get_future().share();
   std::atomic<bool> Met{false};
-  Q.post([&AReady, BF, &Met] {
+  Q.post([&AReady, BF, &Met, &ADone] {
     AReady.set_value();
     if (BF.wait_for(std::chrono::seconds(30)) == std::future_status::ready)
       Met = true;
+    ADone.set_value();
   });
   Q.post([&BReady, AF] {
     BReady.set_value();
     AF.wait_for(std::chrono::seconds(30));
   });
-  AF.wait();
-  BF.wait();
+  // Wait for task A itself, not just its rendezvous future: checking Met
+  // right after BF resolves races with A's store on a loaded machine.
+  ADone.get_future().wait();
   EXPECT_TRUE(Met.load());
   EXPECT_GE(Q.executedCount(), 0u); // Counter is monotonic telemetry.
 }

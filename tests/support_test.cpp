@@ -13,9 +13,11 @@
 #include "support/Varint.h"
 #include "support/Xml.h"
 
+#include <clocale>
 #include <cmath>
 #include <cstdint>
 #include <limits>
+#include <string>
 
 #include <gtest/gtest.h>
 
@@ -368,6 +370,48 @@ TEST(Strings, EscapeJson) {
   EXPECT_EQ(escapeJson(std::string_view("\x01", 1)), "\\u0001");
 }
 
+TEST(Strings, EscapeJsonAllControlChars) {
+  // RFC 8259: every byte below 0x20 must be escaped. The writer names
+  // the common whitespace escapes \t \n \r; everything else (including
+  // \b and \f) gets the \u00XX form, which is equally valid JSON.
+  for (int C = 0; C < 0x20; ++C) {
+    char Byte = static_cast<char>(C);
+    std::string Escaped = escapeJson(std::string_view(&Byte, 1));
+    std::string Expected;
+    switch (C) {
+    case '\t':
+      Expected = "\\t";
+      break;
+    case '\n':
+      Expected = "\\n";
+      break;
+    case '\r':
+      Expected = "\\r";
+      break;
+    default: {
+      static const char Hex[] = "0123456789abcdef";
+      Expected = "\\u00";
+      Expected.push_back(Hex[C >> 4]);
+      Expected.push_back(Hex[C & 0xF]);
+      break;
+    }
+    }
+    EXPECT_EQ(Escaped, Expected) << "control char " << C;
+  }
+}
+
+TEST(Strings, EscapeJsonNulRoundTripsThroughParser) {
+  // A NUL inside a string must survive dump -> parse, not truncate it.
+  std::string Raw("a\0b", 3);
+  json::Object O;
+  O.set("s", Raw);
+  std::string Dumped = json::Value(std::move(O)).dump();
+  EXPECT_NE(Dumped.find("\\u0000"), std::string::npos);
+  Result<json::Value> Back = json::parse(Dumped);
+  ASSERT_TRUE(Back.ok()) << Back.error();
+  EXPECT_EQ(Back->asObject().find("s")->asString(), Raw);
+}
+
 class Base64RoundTrip : public ::testing::TestWithParam<std::string> {};
 
 TEST_P(Base64RoundTrip, EncodeDecode) {
@@ -527,6 +571,51 @@ TEST(Json, GetIntegerIsStrict) {
   EXPECT_FALSE(json::Value(1e300).getInteger(Out));
   EXPECT_FALSE(json::Value("12").getInteger(Out));
   EXPECT_FALSE(json::Value(true).getInteger(Out));
+}
+
+TEST(Json, NumberFormattingIgnoresLocale) {
+  // The old snprintf("%.17g") writer emitted "1,5" under a comma-decimal
+  // locale — invalid JSON on the PVP wire. std::to_chars is
+  // locale-independent by definition; prove it by dumping and parsing
+  // with LC_NUMERIC set to a comma-decimal locale.
+  const char *Prev = std::setlocale(LC_NUMERIC, "de_DE.UTF-8");
+  if (!Prev)
+    Prev = std::setlocale(LC_NUMERIC, "de_DE.utf8");
+  if (!Prev)
+    GTEST_SKIP() << "no comma-decimal locale installed in this image";
+
+  json::Object O;
+  O.set("half", 0.5);
+  O.set("big", 1.25e30);
+  O.set("neg", -3.75);
+  O.set("int", int64_t{-9007199254740993});
+  std::string Dumped = json::Value(std::move(O)).dump();
+  Result<json::Value> Back = json::parse(Dumped);
+
+  std::setlocale(LC_NUMERIC, "C"); // Restore before asserting.
+  EXPECT_EQ(Dumped.find(','), std::string::npos) << Dumped;
+  ASSERT_TRUE(Back.ok()) << Back.error();
+  EXPECT_DOUBLE_EQ(Back->asObject().find("half")->asNumber(), 0.5);
+  EXPECT_DOUBLE_EQ(Back->asObject().find("big")->asNumber(), 1.25e30);
+  EXPECT_DOUBLE_EQ(Back->asObject().find("neg")->asNumber(), -3.75);
+  EXPECT_EQ(Back->asObject().find("int")->asInt(), -9007199254740993ll);
+}
+
+TEST(Json, DoubleDumpIsShortestRoundTrip) {
+  // to_chars picks the shortest digit string that parses back exactly.
+  EXPECT_EQ(json::Value(0.1).dump(), "0.1");
+  EXPECT_EQ(json::Value(1.0 / 3.0).dump(), "0.3333333333333333");
+  for (double D : {0.1, 2.5e-15, 1.7976931348623157e308, -4.9e-324}) {
+    Result<json::Value> Back = json::parse(json::Value(D).dump());
+    ASSERT_TRUE(Back.ok());
+    EXPECT_EQ(Back->asNumber(), D);
+  }
+}
+
+TEST(Json, NonFiniteDumpsAsNull) {
+  EXPECT_EQ(json::Value(std::nan("")).dump(), "null");
+  EXPECT_EQ(json::Value(std::numeric_limits<double>::infinity()).dump(),
+            "null");
 }
 
 TEST(Json, FractionalLiteralsAreNotIntegers) {
