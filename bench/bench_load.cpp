@@ -1,0 +1,529 @@
+//===- bench/bench_load.cpp - Socket-transport fleet load harness ---------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Simulates a fleet of concurrent editors against a real TCP socket: an
+/// in-process NetServer + SessionManager, hammered by hundreds of client
+/// threads running open/flame/treeTable/query mixes, with a deliberate
+/// fraction of hostile peers (abrupt disconnects, slow-loris writers,
+/// cancel storms). Reports per-method p50/p99 latency both client-side
+/// (wall clock across the socket) and server-side (the existing
+/// pvp.latencyUs.<method> telemetry histograms), plus the transport's drop
+/// accounting, to BENCH_load.json (--out=PATH overrides; --smoke shrinks
+/// the fleet for the CI smoke test).
+///
+/// Exit code 1 means the soak detected a wedge: the drain did not complete
+/// inside its grace window, or the fleet got no successful replies.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchHelpers.h"
+
+#include "ide/JsonRpc.h"
+#include "ide/SessionManager.h"
+#include "net/NetServer.h"
+#include "net/Socket.h"
+#include "proto/EvProf.h"
+#include "support/Strings.h"
+#include "support/Telemetry.h"
+#include "workload/SyntheticProfile.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <future>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <poll.h>
+#include <unistd.h>
+
+using namespace ev;
+
+namespace {
+
+struct Config {
+  size_t Clients = 200;
+  int RequestsPerClient = 24;
+  unsigned Sessions = 8;
+  std::string Out;
+  bool Smoke = false;
+};
+
+uint64_t nowUs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+json::Value request(int64_t Id, const char *Method, json::Object Params) {
+  return rpc::makeRequest(Id, Method, std::move(Params));
+}
+
+/// Client-side latency samples, merged across the fleet.
+struct Stats {
+  std::mutex Mutex;
+  std::map<std::string, std::vector<uint64_t>> LatencyUs;
+  std::atomic<uint64_t> Replies{0};
+  std::atomic<uint64_t> OkReplies{0};
+  std::atomic<uint64_t> ErrorReplies{0};
+  std::atomic<uint64_t> ConnectFailures{0};
+  std::atomic<uint64_t> ClientsDropped{0}; ///< Saw EOF/reset from the server.
+
+  void record(const std::string &Method, uint64_t Us) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    LatencyUs[Method].push_back(Us);
+  }
+};
+
+double percentile(std::vector<uint64_t> &V, double P) {
+  if (V.empty())
+    return 0.0;
+  std::sort(V.begin(), V.end());
+  size_t Rank = static_cast<size_t>((P / 100.0) * static_cast<double>(V.size()));
+  if (Rank >= V.size())
+    Rank = V.size() - 1;
+  return static_cast<double>(V[Rank]);
+}
+
+/// One blocking socket client: framed sends, deadline reads.
+struct Client {
+  int Fd = -1;
+  rpc::FrameReader Reader;
+
+  explicit Client(const std::string &HostPort) {
+    Result<int> R = net::connectTcp(HostPort);
+    if (R)
+      Fd = *R;
+  }
+  ~Client() { net::closeSocket(Fd); }
+
+  bool ok() const { return Fd >= 0; }
+
+  bool sendRaw(std::string_view Bytes) {
+    size_t Sent = 0;
+    while (Sent < Bytes.size()) {
+      ssize_t N =
+          net::sendNoSignal(Fd, Bytes.data() + Sent, Bytes.size() - Sent);
+      if (N < 0) {
+        if (errno == EINTR)
+          continue;
+        return false;
+      }
+      Sent += static_cast<size_t>(N);
+    }
+    return true;
+  }
+
+  bool send(const json::Value &Payload) { return sendRaw(rpc::frame(Payload)); }
+
+  std::optional<json::Value> readFrame(int TimeoutMs) {
+    auto Deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(TimeoutMs);
+    for (;;) {
+      if (std::optional<json::Value> Msg = Reader.poll())
+        return Msg;
+      Reader.takeErrors(); // A load harness tolerates (and drops) noise.
+      auto Left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      Deadline - std::chrono::steady_clock::now())
+                      .count();
+      if (Left <= 0)
+        return std::nullopt;
+      pollfd P{Fd, POLLIN, 0};
+      if (::poll(&P, 1, static_cast<int>(Left)) <= 0)
+        continue;
+      char Buf[8192];
+      ssize_t N = ::read(Fd, Buf, sizeof(Buf));
+      if (N == 0)
+        return std::nullopt;
+      if (N < 0) {
+        if (errno == EINTR || errno == EAGAIN)
+          continue;
+        return std::nullopt;
+      }
+      Reader.feed(std::string_view(Buf, static_cast<size_t>(N)));
+    }
+  }
+};
+
+json::Value openRequest(int64_t Id, const std::string &Bytes) {
+  json::Object P;
+  P.set("name", "load.evprof");
+  P.set("dataBase64", base64Encode(Bytes));
+  return request(Id, "pvp/open", std::move(P));
+}
+
+/// Sends one timed request and waits for its reply.
+/// \returns false once the server has cut the connection.
+bool timedCall(Client &C, Stats &S, const char *Method, json::Value Req) {
+  uint64_t T0 = nowUs();
+  if (!C.send(Req))
+    return false;
+  std::optional<json::Value> Reply = C.readFrame(30000);
+  if (!Reply)
+    return false;
+  S.Replies.fetch_add(1, std::memory_order_relaxed);
+  const json::Object &O = Reply->asObject();
+  if (O.contains("error"))
+    S.ErrorReplies.fetch_add(1, std::memory_order_relaxed);
+  else
+    S.OkReplies.fetch_add(1, std::memory_order_relaxed);
+  S.record(Method, nowUs() - T0);
+  return true;
+}
+
+/// The 80% case: a well-behaved editor pane. Open once, then rotate
+/// flame/treeTable/query views, reading every reply.
+void runNormalClient(const std::string &Addr, const std::string &Bytes,
+                     const Config &Cfg, Stats &S) {
+  Client C(Addr);
+  if (!C.ok()) {
+    S.ConnectFailures.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  uint64_t T0 = nowUs();
+  if (!C.send(openRequest(1, Bytes)))
+    return;
+  std::optional<json::Value> Opened = C.readFrame(30000);
+  if (!Opened) {
+    S.ClientsDropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  S.Replies.fetch_add(1, std::memory_order_relaxed);
+  const json::Value *ResultV = Opened->asObject().find("result");
+  if (!ResultV) {
+    S.ErrorReplies.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  S.OkReplies.fetch_add(1, std::memory_order_relaxed);
+  S.record("pvp/open", nowUs() - T0);
+  int64_t Prof = ResultV->asObject().find("profile")->asInt();
+
+  for (int R = 0; R < Cfg.RequestsPerClient; ++R) {
+    int64_t Id = 100 + R;
+    bool Alive = true;
+    switch (R % 3) {
+    case 0: {
+      json::Object P;
+      P.set("profile", Prof);
+      P.set("maxRects", 512);
+      Alive = timedCall(C, S, "pvp/flame", request(Id, "pvp/flame", std::move(P)));
+      break;
+    }
+    case 1: {
+      json::Object P;
+      P.set("profile", Prof);
+      Alive = timedCall(C, S, "pvp/treeTable",
+                        request(Id, "pvp/treeTable", std::move(P)));
+      break;
+    }
+    default: {
+      json::Object P;
+      P.set("profile", Prof);
+      P.set("program", "print total(\"cpu\");");
+      Alive = timedCall(C, S, "pvp/query", request(Id, "pvp/query", std::move(P)));
+      break;
+    }
+    }
+    if (!Alive) {
+      S.ClientsDropped.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  }
+}
+
+/// ~10%: the editor crashed — requests sent, connection slammed shut with
+/// replies in flight. The server must shrug (SIGPIPE-proof writes).
+void runAbruptClient(const std::string &Addr, const std::string &Bytes,
+                     Stats &S) {
+  Client C(Addr);
+  if (!C.ok()) {
+    S.ConnectFailures.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  C.send(openRequest(1, Bytes));
+  for (int64_t Id = 2; Id < 6; ++Id) {
+    json::Object P;
+    P.set("profile", 1);
+    P.set("maxRects", 4096);
+    C.send(request(Id, "pvp/flame", std::move(P)));
+  }
+  // Destructor closes without reading a byte.
+}
+
+/// ~5%: a slow-loris peer dribbling one byte at a time; the frame
+/// timeout must cut it (counted under net.drop.idleTimeout).
+void runSlowLorisClient(const std::string &Addr, Stats &S) {
+  Client C(Addr);
+  if (!C.ok()) {
+    S.ConnectFailures.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  json::Object P;
+  P.set("profile", 1);
+  std::string Frame = rpc::frame(request(1, "pvp/flame", std::move(P)));
+  for (size_t I = 0; I < Frame.size(); ++I) {
+    if (!C.sendRaw(std::string_view(Frame).substr(I, 1)))
+      return; // Dropped, as intended.
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  }
+  // If the whole frame somehow got through, just leave.
+}
+
+/// ~5%: a cancel storm — every view request is chased by a cancel for it.
+/// Replies are a race of results and RequestCancelled errors; all must be
+/// well-formed and the connection must stay orderly.
+void runCancelStormClient(const std::string &Addr, const std::string &Bytes,
+                          const Config &Cfg, Stats &S) {
+  Client C(Addr);
+  if (!C.ok()) {
+    S.ConnectFailures.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (!C.send(openRequest(1, Bytes)))
+    return;
+  std::optional<json::Value> Opened = C.readFrame(30000);
+  if (!Opened || !Opened->asObject().contains("result"))
+    return;
+  S.Replies.fetch_add(1, std::memory_order_relaxed);
+  S.OkReplies.fetch_add(1, std::memory_order_relaxed);
+  int64_t Prof = Opened->asObject().find("result")->asObject().find("profile")->asInt();
+  int Expected = 0;
+  for (int R = 0; R < Cfg.RequestsPerClient; ++R) {
+    int64_t Id = 100 + R;
+    json::Object P;
+    P.set("profile", Prof);
+    P.set("maxRects", 512);
+    if (!C.send(request(Id, "pvp/flame", std::move(P))))
+      return;
+    ++Expected;
+    json::Object CP;
+    CP.set("id", Id);
+    if (!C.send(request(1000 + R, "$/cancelRequest", std::move(CP))))
+      return;
+    ++Expected;
+  }
+  for (int R = 0; R < Expected; ++R) {
+    std::optional<json::Value> Reply = C.readFrame(30000);
+    if (!Reply)
+      return;
+    S.Replies.fetch_add(1, std::memory_order_relaxed);
+    if (Reply->asObject().contains("error"))
+      S.ErrorReplies.fetch_add(1, std::memory_order_relaxed);
+    else
+      S.OkReplies.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+#ifdef EV_BENCH_DEFAULT_OUT
+  std::string OutPath = EV_BENCH_DEFAULT_OUT;
+#else
+  std::string OutPath = "BENCH_load.json";
+#endif
+  Config Cfg;
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--smoke") == 0)
+      Cfg.Smoke = true;
+    else if (std::strncmp(argv[I], "--out=", 6) == 0)
+      OutPath = argv[I] + 6;
+    else if (std::strncmp(argv[I], "--clients=", 10) == 0)
+      Cfg.Clients = static_cast<size_t>(std::atoll(argv[I] + 10));
+    else if (std::strncmp(argv[I], "--requests=", 11) == 0)
+      Cfg.RequestsPerClient = std::atoi(argv[I] + 11);
+    else if (std::strncmp(argv[I], "--sessions=", 11) == 0)
+      Cfg.Sessions = static_cast<unsigned>(std::atoi(argv[I] + 11));
+    else {
+      std::fprintf(stderr,
+                   "usage: bench_load [--smoke] [--out=PATH] [--clients=N]\n"
+                   "                  [--requests=N] [--sessions=N]\n");
+      return 2;
+    }
+  }
+  if (Cfg.Smoke) {
+    Cfg.Clients = 16;
+    Cfg.RequestsPerClient = 4;
+    Cfg.Sessions = 4;
+  }
+
+  // The service under load: a real socket in front of the session strands.
+  SessionManager::Options MOpts;
+  MOpts.Sessions = Cfg.Sessions;
+  SessionManager Manager(MOpts);
+  net::NetServerOptions NOpts;
+  NOpts.FrameTimeoutMs = 300; // Cut lorises during, not after, the run.
+  NOpts.IdleTimeoutMs = 30000;
+  NOpts.DrainDeadlineMs = 10000;
+  NOpts.Log = [](const std::string &) {}; // 200 clients; keep stderr usable.
+  net::NetServer Server(Manager, NOpts);
+  if (Result<bool> R = Server.listenTcp("127.0.0.1:0"); !R) {
+    std::fprintf(stderr, "bench_load: %s\n", R.error().c_str());
+    return 1;
+  }
+  if (Result<bool> R = Server.start(); !R) {
+    std::fprintf(stderr, "bench_load: %s\n", R.error().c_str());
+    return 1;
+  }
+  const std::string Addr = Server.boundAddress();
+
+  workload::SyntheticOptions WOpts;
+  WOpts.Seed = 97;
+  WOpts.TargetBytes = Cfg.Smoke ? (32u << 10) : (256u << 10);
+  std::string Bytes = writeEvProf(workload::generateSyntheticProfile(WOpts));
+
+  uint64_t DropsBefore =
+      telemetry::Registry::global().counter("net.connectionsDropped").value();
+
+  // The fleet: 80% normal editors, ~10% abrupt disconnects, ~5% slow
+  // lorises, ~5% cancel storms.
+  Stats S;
+  auto T0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> Fleet;
+  Fleet.reserve(Cfg.Clients);
+  size_t Normal = 0, Abrupt = 0, Loris = 0, Storm = 0;
+  for (size_t I = 0; I < Cfg.Clients; ++I) {
+    if (I % 10 == 3) {
+      ++Abrupt;
+      Fleet.emplace_back([&] { runAbruptClient(Addr, Bytes, S); });
+    } else if (I % 20 == 7) {
+      ++Loris;
+      Fleet.emplace_back([&] { runSlowLorisClient(Addr, S); });
+    } else if (I % 20 == 17) {
+      ++Storm;
+      Fleet.emplace_back([&] { runCancelStormClient(Addr, Bytes, Cfg, S); });
+    } else {
+      ++Normal;
+      Fleet.emplace_back([&] { runNormalClient(Addr, Bytes, Cfg, S); });
+    }
+  }
+  for (std::thread &T : Fleet)
+    T.join();
+  double FleetMs = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - T0)
+                       .count();
+
+  // Graceful drain with a wedge detector: if the loop does not exit well
+  // inside the drain deadline's grace, the transport is stuck — fail loud.
+  auto DrainT0 = std::chrono::steady_clock::now();
+  std::future<bool> Drained =
+      std::async(std::launch::async, [&] { return Server.drain(); });
+  if (Drained.wait_for(std::chrono::seconds(30)) !=
+      std::future_status::ready) {
+    std::fprintf(stderr, "bench_load: WEDGED — drain did not complete\n");
+    _exit(1); // The loop thread is stuck; a normal exit would hang too.
+  }
+  bool CleanDrain = Drained.get();
+  double DrainMs = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - DrainT0)
+                       .count();
+
+  telemetry::Registry &Reg = telemetry::Registry::global();
+  uint64_t Drops = Reg.counter("net.connectionsDropped").value() - DropsBefore;
+
+  bench::JsonReporter Report("load");
+  Report.setMeta("clients", static_cast<int64_t>(Cfg.Clients));
+  Report.setMeta("requestsPerClient",
+                 static_cast<int64_t>(Cfg.RequestsPerClient));
+  Report.setMeta("sessions", static_cast<int64_t>(Cfg.Sessions));
+  Report.setMeta("mix",
+                 [&] {
+                   json::Object Mix;
+                   Mix.set("normal", static_cast<int64_t>(Normal));
+                   Mix.set("abruptDisconnect", static_cast<int64_t>(Abrupt));
+                   Mix.set("slowLoris", static_cast<int64_t>(Loris));
+                   Mix.set("cancelStorm", static_cast<int64_t>(Storm));
+                   return json::Value(std::move(Mix));
+                 }());
+  Report.setMeta("smoke", Cfg.Smoke);
+  Report.setMeta("address", Addr);
+
+  bench::row("load: %zu clients (%zu normal, %zu abrupt, %zu loris, %zu "
+             "storm), %.0fms fleet, %.0fms drain (%s)",
+             Cfg.Clients, Normal, Abrupt, Loris, Storm, FleetMs, DrainMs,
+             CleanDrain ? "clean" : "forced");
+
+  {
+    std::lock_guard<std::mutex> Lock(S.Mutex);
+    for (auto &[Method, V] : S.LatencyUs) {
+      double P50 = percentile(V, 50), P99 = percentile(V, 99);
+      telemetry::Histogram &H = Reg.histogram("pvp.latencyUs." + Method);
+      json::Object Extra;
+      Extra.set("count", static_cast<int64_t>(V.size()));
+      Extra.set("clientP50Us", P50);
+      Extra.set("clientP99Us", P99);
+      Extra.set("serverP50Us", H.percentileEstimate(50));
+      Extra.set("serverP99Us", H.percentileEstimate(99));
+      Report.addRow(Method, static_cast<unsigned>(Cfg.Clients), P50 / 1000.0,
+                    std::move(Extra));
+      bench::row("%-14s  n=%-6zu  client p50=%7.0fus p99=%7.0fus  server "
+                 "p50=%7.0fus p99=%7.0fus",
+                 Method.c_str(), V.size(), P50, P99, H.percentileEstimate(50),
+                 H.percentileEstimate(99));
+    }
+  }
+
+  Report.setSummary("fleetMs", FleetMs);
+  Report.setSummary("drainMs", DrainMs);
+  Report.setSummary("drainClean", CleanDrain);
+  Report.setSummary("replies", static_cast<int64_t>(S.Replies.load()));
+  Report.setSummary("okReplies", static_cast<int64_t>(S.OkReplies.load()));
+  Report.setSummary("errorReplies",
+                    static_cast<int64_t>(S.ErrorReplies.load()));
+  Report.setSummary("connectFailures",
+                    static_cast<int64_t>(S.ConnectFailures.load()));
+  Report.setSummary("connectionsAccepted",
+                    static_cast<int64_t>(Server.acceptedConnections()));
+  Report.setSummary("connectionsDropped", static_cast<int64_t>(Drops));
+  Report.setSummary("drop.idleTimeout",
+                    static_cast<int64_t>(
+                        Reg.counter("net.drop.idleTimeout").value()));
+  Report.setSummary("drop.writeBackpressure",
+                    static_cast<int64_t>(
+                        Reg.counter("net.drop.writeBackpressure").value()));
+  Report.setSummary("drop.maxConnections",
+                    static_cast<int64_t>(
+                        Reg.counter("net.drop.maxConnections").value()));
+  Report.setSummary("drop.parseError",
+                    static_cast<int64_t>(
+                        Reg.counter("net.drop.parseError").value()));
+
+  bench::row("drops: %llu total (idle=%llu backpressure=%llu maxConns=%llu "
+             "parse=%llu); replies=%llu ok=%llu err=%llu",
+             static_cast<unsigned long long>(Drops),
+             static_cast<unsigned long long>(
+                 Reg.counter("net.drop.idleTimeout").value()),
+             static_cast<unsigned long long>(
+                 Reg.counter("net.drop.writeBackpressure").value()),
+             static_cast<unsigned long long>(
+                 Reg.counter("net.drop.maxConnections").value()),
+             static_cast<unsigned long long>(
+                 Reg.counter("net.drop.parseError").value()),
+             static_cast<unsigned long long>(S.Replies.load()),
+             static_cast<unsigned long long>(S.OkReplies.load()),
+             static_cast<unsigned long long>(S.ErrorReplies.load()));
+
+  if (!Report.write(OutPath)) {
+    std::fprintf(stderr, "bench_load: cannot write %s\n", OutPath.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", OutPath.c_str());
+
+  if (S.OkReplies.load() == 0) {
+    std::fprintf(stderr, "bench_load: no successful replies — broken run\n");
+    return 1;
+  }
+  return 0;
+}

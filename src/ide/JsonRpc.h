@@ -36,9 +36,10 @@ enum ErrorCode : int {
   MethodNotFound = -32601,
   InvalidParams = -32602,
   InternalError = -32603,
-  RequestTooLarge = -32000, ///< Frame exceeded the configured size cap.
-  RequestTimeout = -32001,  ///< Request exceeded its soft deadline.
-  SessionBusy = -32002,     ///< Session queue is at its pending-request cap.
+  RequestTooLarge = -32000,  ///< Frame exceeded the configured size cap.
+  RequestTimeout = -32001,   ///< Request exceeded its soft deadline.
+  SessionBusy = -32002,      ///< Session queue is at its pending-request cap.
+  ServerOverloaded = -32003, ///< Listener at its connection cap; shed load.
   /// LSP's reserved code for `$/cancelRequest`: the request was cancelled
   /// cooperatively before producing a result.
   RequestCancelled = -32800,

@@ -15,17 +15,6 @@
 
 namespace ev {
 
-namespace {
-
-/// Builds a future already resolved with \p Response (submission-time
-/// rejections never touch a strand).
-std::future<json::Value> resolved(json::Value Response) {
-  std::promise<json::Value> P;
-  P.set_value(std::move(Response));
-  return P.get_future();
-}
-
-} // namespace
 
 SessionManager::SessionManager(Options Opts)
     : Opts(Opts), Store(std::make_shared<ProfileStore>()),
@@ -46,6 +35,15 @@ SessionManager::~SessionManager() = default;
 
 std::future<json::Value> SessionManager::submit(unsigned SessionId,
                                                 json::Value Request) {
+  auto P = std::make_shared<std::promise<json::Value>>();
+  std::future<json::Value> F = P->get_future();
+  submitAsync(SessionId, std::move(Request),
+              [P](json::Value Response) { P->set_value(std::move(Response)); });
+  return F;
+}
+
+void SessionManager::submitAsync(unsigned SessionId, json::Value Request,
+                                 std::function<void(json::Value)> Done) {
   int64_t RequestId = 0;
   std::string_view Method;
   if (Request.isObject()) {
@@ -56,10 +54,11 @@ std::future<json::Value> SessionManager::submit(unsigned SessionId,
       Method = MV->asString();
   }
 
-  if (SessionId >= Sessions.size())
-    return resolved(rpc::makeErrorResponse(
-        RequestId, rpc::InvalidRequest,
-        "no session " + std::to_string(SessionId)));
+  if (SessionId >= Sessions.size()) {
+    Done(rpc::makeErrorResponse(RequestId, rpc::InvalidRequest,
+                                "no session " + std::to_string(SessionId)));
+    return;
+  }
 
   // `$/cancelRequest` must bypass the strand: queued behind the very
   // request it targets it could never fire in time.
@@ -71,21 +70,23 @@ std::future<json::Value> SessionManager::submit(unsigned SessionId,
           PV && PV->isObject())
         if (const json::Value *TV = PV->asObject().find("id"); TV)
           HaveTarget = TV->getInteger(Target);
-    if (!HaveTarget)
-      return resolved(rpc::makeErrorResponse(
-          RequestId, rpc::InvalidParams,
-          "$/cancelRequest needs a numeric params.id"));
+    if (!HaveTarget) {
+      Done(rpc::makeErrorResponse(RequestId, rpc::InvalidParams,
+                                  "$/cancelRequest needs a numeric params.id"));
+      return;
+    }
     bool Hit = cancel(SessionId, Target);
     json::Object Out;
     Out.set("cancelled", Hit);
-    return resolved(rpc::makeResponse(RequestId, json::Value(std::move(Out))));
+    Done(rpc::makeResponse(RequestId, json::Value(std::move(Out))));
+    return;
   }
 
   auto Pending = std::make_shared<PendingRequest>();
   Pending->Request = std::move(Request);
   Pending->RequestId = RequestId;
+  Pending->Done = std::move(Done);
   Pending->EnqueuedUs = monoMicros();
-  std::future<json::Value> Future = Pending->Promise.get_future();
 
   static telemetry::Counter &Submitted =
       telemetry::Registry::global().counter("session.submitted");
@@ -94,25 +95,31 @@ std::future<json::Value> SessionManager::submit(unsigned SessionId,
 
   Session &S = *Sessions[SessionId];
   bool Spawn = false;
+  size_t BusyDepth = 0;
   {
     std::lock_guard<std::mutex> Lock(S.Mutex);
     if (S.Queue.size() >= Opts.MaxQueuedPerSession) {
       RejectedBusy.add();
-      return resolved(rpc::makeErrorResponse(
-          RequestId, rpc::SessionBusy,
-          "session " + std::to_string(SessionId) + " has " +
-              std::to_string(S.Queue.size()) + " requests pending"));
+      BusyDepth = S.Queue.size();
+    } else {
+      Submitted.add();
+      S.Queue.push_back(std::move(Pending));
+      if (!S.Running) {
+        S.Running = true;
+        Spawn = true;
+      }
     }
-    Submitted.add();
-    S.Queue.push_back(std::move(Pending));
-    if (!S.Running) {
-      S.Running = true;
-      Spawn = true;
-    }
+  }
+  if (BusyDepth > 0) {
+    // Resolve outside the lock; the callback may run arbitrary code.
+    Pending->Done(rpc::makeErrorResponse(
+        RequestId, rpc::SessionBusy,
+        "session " + std::to_string(SessionId) + " has " +
+            std::to_string(BusyDepth) + " requests pending"));
+    return;
   }
   if (Spawn)
     Dispatcher.post([this, &S] { pumpOne(S); });
-  return Future;
 }
 
 json::Value SessionManager::handle(unsigned SessionId,
@@ -143,11 +150,11 @@ bool SessionManager::cancel(unsigned SessionId, int64_t RequestId) {
       Hit = true;
     }
   }
-  // Resolve the unlinked request outside the lock (promise continuations
+  // Resolve the unlinked request outside the lock (the completion callback
   // may run arbitrary code).
   if (Unlinked)
-    Unlinked->Promise.set_value(rpc::makeErrorResponse(
-        RequestId, rpc::RequestCancelled, "request cancelled"));
+    Unlinked->Done(rpc::makeErrorResponse(RequestId, rpc::RequestCancelled,
+                                          "request cancelled"));
   return Hit;
 }
 
@@ -192,7 +199,7 @@ void SessionManager::pumpOne(Session &S) {
     if (!Repost)
       S.Running = false;
   }
-  Req->Promise.set_value(std::move(Response));
+  Req->Done(std::move(Response));
   // Repost instead of looping: round-robin fairness across sessions
   // sharing the dispatcher.
   if (Repost)

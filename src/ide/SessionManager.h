@@ -42,6 +42,7 @@
 #include "support/ThreadPool.h"
 
 #include <deque>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -84,6 +85,17 @@ public:
   /// response, never throw.
   std::future<json::Value> submit(unsigned Session, json::Value Request);
 
+  /// Callback-based submission for transports that must not block: \p Done
+  /// is invoked exactly once with the JSON-RPC response. Submission-time
+  /// rejections (unknown session, SessionBusy) and `$/cancelRequest`
+  /// invoke \p Done inline on the calling thread; everything else invokes
+  /// it on a dispatcher thread when the strand finishes (or on the
+  /// canceller's thread for a queued request that is cancelled), so \p Done
+  /// must be thread-safe and cheap — the network transport just routes the
+  /// response to its event loop.
+  void submitAsync(unsigned Session, json::Value Request,
+                   std::function<void(json::Value)> Done);
+
   /// Synchronous convenience: submit() + wait.
   json::Value handle(unsigned Session, const json::Value &Request);
 
@@ -103,7 +115,8 @@ private:
     json::Value Request;
     int64_t RequestId = 0;
     CancelToken Cancel = CancelToken::create();
-    std::promise<json::Value> Promise;
+    /// Resolution callback; invoked exactly once with the response.
+    std::function<void(json::Value)> Done;
     uint64_t EnqueuedUs = 0; ///< monoMicros() at submit; queue-wait metric.
   };
 

@@ -1,0 +1,256 @@
+//===- net/NetServer.h - Event-loop socket transport for PVP --------------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The network transport that turns the concurrent session core
+/// (ide/SessionManager.h) into a deployable service: a poll()-based event
+/// loop on its own thread accepts TCP or Unix-domain connections speaking
+/// LSP-style Content-Length framing, feeds decoded frames into the
+/// SessionManager strands (one connection = one routed session id,
+/// round-robin), and writes replies back without ever blocking the loop.
+///
+/// Robustness is the design center; every resource a peer can consume is
+/// bounded, and every disconnect the server initiates has a named,
+/// counted reason (surfaced through pvp/metrics as net.drop.*):
+///
+///   writeBackpressure  a slow reader whose queued replies exceed
+///                      MaxWriteQueueBytes is disconnected instead of
+///                      growing server memory without bound;
+///   idleTimeout        a silent connection (IdleTimeoutMs) or a
+///                      slow-loris peer that starts a frame but does not
+///                      finish it within FrameTimeoutMs;
+///   maxConnections     accepts past MaxConnections are shed with a clean
+///                      JSON-RPC ServerOverloaded (-32003) error before
+///                      close, so a fleet spike degrades loudly, not
+///                      silently;
+///   parseError         a peer producing more than MaxFrameErrors corrupt
+///                      frames (each still gets its error response first —
+///                      FrameReader resynchronizes; the cap just bounds a
+///                      pure-garbage firehose).
+///
+/// Writes cannot raise SIGPIPE (net/Socket.h), so a client vanishing
+/// mid-reply costs one connection, never the process. Graceful drain
+/// (requestDrain(), async-signal-safe) stops accepting, stops reading,
+/// lets in-flight strand work finish and flush under DrainDeadlineMs,
+/// then closes; stop() is the abortive variant.
+///
+/// See docs/PVP.md "Network transport" for the operator view.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EASYVIEW_NET_NETSERVER_H
+#define EASYVIEW_NET_NETSERVER_H
+
+#include "ide/JsonRpc.h"
+#include "ide/SessionManager.h"
+#include "support/Result.h"
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace ev {
+namespace net {
+
+struct NetServerOptions {
+  /// Hard cap on concurrently served connections; accepts past it are shed
+  /// with a ServerOverloaded error frame and counted under
+  /// net.drop.maxConnections.
+  size_t MaxConnections = 1024;
+  /// Per-connection ceiling on queued-but-unsent reply bytes. A reader
+  /// slower than its replies crosses it and is dropped
+  /// (net.drop.writeBackpressure) — bounded memory beats a dead server.
+  size_t MaxWriteQueueBytes = 8u << 20;
+  /// Disconnect a connection with no traffic, no queued replies, and no
+  /// in-flight requests after this long. 0 disables.
+  uint64_t IdleTimeoutMs = 120000;
+  /// A started-but-unfinished frame (header or body) older than this marks
+  /// a slow-loris peer; counted under net.drop.idleTimeout. 0 disables.
+  uint64_t FrameTimeoutMs = 10000;
+  /// Graceful-drain budget: in-flight requests and reply flushes get this
+  /// long before remaining connections are force-closed.
+  uint64_t DrainDeadlineMs = 5000;
+  /// Corrupt frames tolerated per connection (each still yields an error
+  /// response) before the peer is dropped as net.drop.parseError.
+  size_t MaxFrameErrors = 64;
+  /// Framing guardrails for every connection's FrameReader.
+  rpc::FrameReaderOptions Wire;
+  /// Bytes read per syscall on the loop thread.
+  size_t ReadChunkBytes = 64u << 10;
+  /// When nonzero, shrink each accepted socket's kernel send buffer
+  /// (SO_SNDBUF) — tests use this to hit the write-backpressure path
+  /// without megabytes of traffic.
+  int SendBufferBytes = 0;
+  /// Drop/lifecycle log sink; default writes one line per event to
+  /// stderr. Set to an empty function to silence, or capture in tests.
+  std::function<void(const std::string &)> Log;
+};
+
+/// Why the server closed a connection it chose to drop.
+enum class DropReason : uint8_t {
+  IdleTimeout,
+  WriteBackpressure,
+  MaxConnections,
+  ParseError,
+};
+
+/// \returns the pvp/metrics suffix for \p Reason ("idleTimeout", ...).
+const char *dropReasonName(DropReason Reason);
+
+class NetServer {
+public:
+  /// \p Manager must outlive this server. Connections are routed onto its
+  /// sessions round-robin.
+  NetServer(SessionManager &Manager, NetServerOptions Opts = {});
+  /// Stops abortively if still running (prefer an explicit drain()).
+  ~NetServer();
+
+  NetServer(const NetServer &) = delete;
+  NetServer &operator=(const NetServer &) = delete;
+
+  /// Binds a TCP listener on "HOST:PORT" (port 0 auto-assigns; see
+  /// boundAddress()). Call exactly one listen* before start().
+  Result<bool> listenTcp(const std::string &HostPort);
+  /// Binds a Unix-domain listener at \p Path (stale socket files from
+  /// crashed runs are replaced; the file is unlinked again on stop).
+  Result<bool> listenUnix(const std::string &Path);
+
+  /// The bound address: "host:port" for TCP (with the real port when 0 was
+  /// requested), the path for Unix. Empty before a successful listen.
+  const std::string &boundAddress() const { return BoundAddr; }
+
+  /// Starts the event loop on its own thread. Requires a listener.
+  Result<bool> start();
+
+  /// Requests graceful drain: stop accepting and reading, finish in-flight
+  /// strand work, flush replies, close — all bounded by DrainDeadlineMs.
+  /// Async-signal-safe (an atomic store plus a pipe write), so SIGINT and
+  /// SIGTERM handlers may call it directly. Returns immediately; use
+  /// waitUntilStopped() (or drain()) to observe completion.
+  void requestDrain();
+
+  /// Abortive stop: close everything now, no drain deadline.
+  void stop();
+
+  /// Blocks until the loop thread exits and joins it. \returns true when
+  /// the last drain completed cleanly (every connection finished and
+  /// closed before the deadline; trivially true for a stop() with no
+  /// connections), false when connections were force-closed.
+  bool waitUntilStopped();
+
+  /// requestDrain() + waitUntilStopped().
+  bool drain() {
+    requestDrain();
+    return waitUntilStopped();
+  }
+
+  bool running() const { return LoopRunning.load(std::memory_order_acquire); }
+  size_t activeConnections() const {
+    return Active.load(std::memory_order_relaxed);
+  }
+  uint64_t acceptedConnections() const {
+    return AcceptedTotal.load(std::memory_order_relaxed);
+  }
+  uint64_t droppedConnections() const {
+    return DroppedTotal.load(std::memory_order_relaxed);
+  }
+
+  const NetServerOptions &options() const { return Opts; }
+
+private:
+  /// One reply routed from a dispatcher thread back to the loop.
+  struct RoutedReply {
+    uint64_t ConnId;
+    std::string FramedBytes;
+  };
+
+  /// Shared between the loop and SessionManager completion callbacks: the
+  /// callbacks may outlive the loop (the manager drains its strands on its
+  /// own schedule), so they hold this router by shared_ptr and it drops
+  /// replies once the loop has shut.
+  struct ReplyRouter {
+    std::mutex Mutex;
+    std::vector<RoutedReply> Pending;
+    int WakeWriteFd = -1; ///< -1 once the loop has shut down.
+    bool Closed = false;
+
+    /// Called from dispatcher threads; queues and wakes the loop.
+    void route(uint64_t ConnId, std::string FramedBytes);
+  };
+
+  struct Connection {
+    int Fd = -1;
+    uint64_t Id = 0;
+    unsigned Session = 0;
+    rpc::FrameReader Reader;
+    std::deque<std::string> Outbox;
+    size_t OutboxBytes = 0;
+    size_t FrontSent = 0; ///< Bytes of Outbox.front() already written.
+    size_t InFlight = 0;  ///< Requests submitted, reply not yet routed.
+    size_t FrameErrors = 0;
+    uint64_t AcceptUs = 0;       ///< monoMicros() at accept.
+    uint64_t LastActivityMs = 0; ///< Last byte in or out (mono).
+    uint64_t PartialSinceMs = 0; ///< Incomplete frame buffered since; 0 none.
+    bool SawFirstByte = false;
+    bool SawFirstFrame = false;
+    bool ReadClosed = false; ///< Peer EOF, read error, or draining.
+  };
+
+  void loopMain();
+  void acceptPending(uint64_t NowMs);
+  void readFrom(Connection &C, uint64_t NowMs);
+  void flushTo(Connection &C, uint64_t NowMs);
+  void routeReplies(uint64_t NowMs);
+  void enforceTimeouts(uint64_t NowMs);
+  void submitFrame(Connection &C, json::Value Message);
+  /// Appends framed bytes to the outbox, enforcing the backpressure cap.
+  /// \returns false when the connection was dropped for it.
+  bool enqueueReply(Connection &C, std::string FramedBytes);
+  void dropConnection(Connection &C, DropReason Reason,
+                      const std::string &Detail);
+  void closeConnection(Connection &C, const std::string &Why);
+  /// Recounts connections with an open fd into Active and the gauge.
+  /// Conns.size() overcounts: closed entries linger until the loop sweep.
+  void refreshActive();
+  void log(const std::string &Line);
+
+  SessionManager &Manager;
+  NetServerOptions Opts;
+  std::shared_ptr<ReplyRouter> Router;
+
+  int ListenFd = -1;
+  std::string BoundAddr;
+  std::string UnixPath; ///< Non-empty for Unix listeners; unlinked on stop.
+  int WakeReadFd = -1;
+  int WakeWriteFd = -1;
+
+  std::thread LoopThread;
+  std::atomic<bool> LoopRunning{false};
+  std::atomic<bool> DrainRequested{false};
+  std::atomic<bool> StopRequested{false};
+  std::atomic<bool> DrainedCleanly{true};
+
+  std::map<uint64_t, Connection> Conns;
+  uint64_t NextConnId = 0;
+  unsigned NextSession = 0;
+  uint64_t DrainDeadlineAtMs = 0; ///< Armed when drain begins; loop-local.
+
+  std::atomic<size_t> Active{0};
+  std::atomic<uint64_t> AcceptedTotal{0};
+  std::atomic<uint64_t> DroppedTotal{0};
+};
+
+} // namespace net
+} // namespace ev
+
+#endif // EASYVIEW_NET_NETSERVER_H

@@ -1,0 +1,263 @@
+//===- net/Socket.cpp - POSIX socket helpers for the PVP transport --------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/Socket.h"
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <mutex>
+
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace ev {
+namespace net {
+
+namespace {
+
+std::string errnoMessage(const std::string &What) {
+  return What + ": " + std::strerror(errno);
+}
+
+/// Formats the bound address of \p Fd as "host:port".
+std::string localAddress(int Fd) {
+  sockaddr_storage Addr;
+  socklen_t Len = sizeof(Addr);
+  if (getsockname(Fd, reinterpret_cast<sockaddr *>(&Addr), &Len) != 0)
+    return "?:?";
+  char Host[NI_MAXHOST], Port[NI_MAXSERV];
+  if (getnameinfo(reinterpret_cast<sockaddr *>(&Addr), Len, Host,
+                  sizeof(Host), Port, sizeof(Port),
+                  NI_NUMERICHOST | NI_NUMERICSERV) != 0)
+    return "?:?";
+  std::string H(Host);
+  if (H.find(':') != std::string::npos)
+    H = "[" + H + "]"; // IPv6 literals need brackets next to ":port".
+  return H + ":" + Port;
+}
+
+/// getaddrinfo() over \p Host/\p Port; \p Passive selects AI_PASSIVE
+/// (listener) semantics. The callback tries each candidate until one
+/// returns a non-negative fd; the first system error is reported.
+template <typename TryFn>
+Result<int> withAddrInfo(const std::string &Host, const std::string &Port,
+                         bool Passive, TryFn &&Try) {
+  addrinfo Hints = {};
+  Hints.ai_family = AF_UNSPEC;
+  Hints.ai_socktype = SOCK_STREAM;
+  if (Passive)
+    Hints.ai_flags = AI_PASSIVE;
+  addrinfo *List = nullptr;
+  int GaiErr = getaddrinfo(Host.empty() ? nullptr : Host.c_str(),
+                           Port.c_str(), &Hints, &List);
+  if (GaiErr != 0)
+    return makeError("resolving '" + Host + ":" + Port +
+                     "': " + gai_strerror(GaiErr));
+  std::string FirstError;
+  int Fd = -1;
+  for (addrinfo *AI = List; AI; AI = AI->ai_next) {
+    Result<int> R = Try(*AI);
+    if (R) {
+      Fd = *R;
+      break;
+    }
+    if (FirstError.empty())
+      FirstError = R.error();
+  }
+  freeaddrinfo(List);
+  if (Fd < 0)
+    return makeError(FirstError.empty() ? "no usable address for '" + Host +
+                                              ":" + Port + "'"
+                                        : FirstError);
+  return Fd;
+}
+
+} // namespace
+
+void ignoreSigpipe() {
+  static std::once_flag Once;
+  std::call_once(Once, [] { std::signal(SIGPIPE, SIG_IGN); });
+}
+
+bool splitHostPort(const std::string &Spec, std::string &Host,
+                   std::string &Port) {
+  if (!Spec.empty() && Spec.front() == '[') {
+    // "[v6-literal]:port"
+    size_t Close = Spec.find(']');
+    if (Close == std::string::npos || Close + 1 >= Spec.size() ||
+        Spec[Close + 1] != ':')
+      return false;
+    Host = Spec.substr(1, Close - 1);
+    Port = Spec.substr(Close + 2);
+  } else {
+    size_t Colon = Spec.rfind(':');
+    if (Colon == std::string::npos)
+      return false;
+    Host = Spec.substr(0, Colon);
+    Port = Spec.substr(Colon + 1);
+  }
+  return !Port.empty();
+}
+
+Result<int> listenTcp(const std::string &HostPort, std::string &BoundAddr,
+                      int Backlog) {
+  std::string Host, Port;
+  if (!splitHostPort(HostPort, Host, Port))
+    return makeError("invalid listen address '" + HostPort +
+                     "' (expected HOST:PORT)");
+  Result<int> Fd = withAddrInfo(
+      Host, Port, /*Passive=*/true, [&](const addrinfo &AI) -> Result<int> {
+        int S = socket(AI.ai_family, AI.ai_socktype, AI.ai_protocol);
+        if (S < 0)
+          return makeError(errnoMessage("socket"));
+        int One = 1;
+        setsockopt(S, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+        if (bind(S, AI.ai_addr, AI.ai_addrlen) != 0) {
+          std::string E = errnoMessage("bind");
+          closeSocket(S);
+          return makeError(std::move(E));
+        }
+        if (listen(S, Backlog) != 0) {
+          std::string E = errnoMessage("listen");
+          closeSocket(S);
+          return makeError(std::move(E));
+        }
+        return S;
+      });
+  if (!Fd)
+    return Fd;
+  if (Result<bool> NB = setNonBlocking(*Fd); !NB) {
+    closeSocket(*Fd);
+    return makeError(NB.error());
+  }
+  BoundAddr = localAddress(*Fd);
+  return Fd;
+}
+
+Result<int> listenUnix(const std::string &Path, int Backlog) {
+  sockaddr_un Addr = {};
+  Addr.sun_family = AF_UNIX;
+  if (Path.size() >= sizeof(Addr.sun_path))
+    return makeError("unix socket path too long: " + Path);
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+
+  int S = socket(AF_UNIX, SOCK_STREAM, 0);
+  if (S < 0)
+    return makeError(errnoMessage("socket"));
+  // A stale socket file from a crashed run would fail the bind; remove it.
+  // (A *live* server holds the listener open, but two servers on one path
+  // is an operator error this transport does not arbitrate.)
+  unlink(Path.c_str());
+  if (bind(S, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    std::string E = errnoMessage("bind " + Path);
+    closeSocket(S);
+    return makeError(std::move(E));
+  }
+  if (listen(S, Backlog) != 0) {
+    std::string E = errnoMessage("listen " + Path);
+    closeSocket(S);
+    return makeError(std::move(E));
+  }
+  if (Result<bool> NB = setNonBlocking(S); !NB) {
+    closeSocket(S);
+    return makeError(NB.error());
+  }
+  return S;
+}
+
+Result<int> connectTcp(const std::string &HostPort) {
+  std::string Host, Port;
+  if (!splitHostPort(HostPort, Host, Port))
+    return makeError("invalid address '" + HostPort +
+                     "' (expected HOST:PORT)");
+  return withAddrInfo(Host, Port, /*Passive=*/false,
+                      [&](const addrinfo &AI) -> Result<int> {
+                        int S = socket(AI.ai_family, AI.ai_socktype,
+                                       AI.ai_protocol);
+                        if (S < 0)
+                          return makeError(errnoMessage("socket"));
+                        if (connect(S, AI.ai_addr, AI.ai_addrlen) != 0) {
+                          std::string E = errnoMessage("connect");
+                          closeSocket(S);
+                          return makeError(std::move(E));
+                        }
+                        return S;
+                      });
+}
+
+Result<int> connectUnix(const std::string &Path) {
+  sockaddr_un Addr = {};
+  Addr.sun_family = AF_UNIX;
+  if (Path.size() >= sizeof(Addr.sun_path))
+    return makeError("unix socket path too long: " + Path);
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+  int S = socket(AF_UNIX, SOCK_STREAM, 0);
+  if (S < 0)
+    return makeError(errnoMessage("socket"));
+  if (connect(S, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    std::string E = errnoMessage("connect " + Path);
+    closeSocket(S);
+    return makeError(std::move(E));
+  }
+  return S;
+}
+
+Result<int> acceptConnection(int ListenFd) {
+  for (;;) {
+    int Fd = accept(ListenFd, nullptr, nullptr);
+    if (Fd >= 0) {
+      if (Result<bool> NB = setNonBlocking(Fd); !NB) {
+        closeSocket(Fd);
+        return makeError(NB.error());
+      }
+#ifdef SO_NOSIGPIPE
+      int One = 1;
+      setsockopt(Fd, SOL_SOCKET, SO_NOSIGPIPE, &One, sizeof(One));
+#endif
+      return Fd;
+    }
+    if (errno == EINTR)
+      continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK)
+      return -1;
+    // Transient per-connection failures (the peer aborted between the
+    // kernel queueing it and us accepting it) are not listener failures.
+    if (errno == ECONNABORTED)
+      continue;
+    return makeError(errnoMessage("accept"));
+  }
+}
+
+Result<bool> setNonBlocking(int Fd) {
+  int Flags = fcntl(Fd, F_GETFL, 0);
+  if (Flags < 0 || fcntl(Fd, F_SETFL, Flags | O_NONBLOCK) != 0)
+    return makeError(errnoMessage("fcntl(O_NONBLOCK)"));
+  return true;
+}
+
+ssize_t sendNoSignal(int Fd, const void *Bytes, size_t Len) {
+#ifdef MSG_NOSIGNAL
+  return send(Fd, Bytes, Len, MSG_NOSIGNAL);
+#else
+  return send(Fd, Bytes, Len, 0); // ignoreSigpipe() covers this platform.
+#endif
+}
+
+void closeSocket(int Fd) {
+  if (Fd < 0)
+    return;
+  while (close(Fd) != 0 && errno == EINTR)
+    ;
+}
+
+} // namespace net
+} // namespace ev

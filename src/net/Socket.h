@@ -1,0 +1,80 @@
+//===- net/Socket.h - POSIX socket helpers for the PVP transport ----------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Thin, error-returning wrappers over the POSIX socket calls the network
+/// transport (net/NetServer.h) and its test/bench clients need: TCP and
+/// Unix-domain listeners and connectors, non-blocking mode, and writes that
+/// can never raise SIGPIPE. Everything returns ev::Result instead of
+/// errno so call sites read like the rest of the tree.
+///
+/// SIGPIPE policy: a server writing to a peer that vanished mid-reply must
+/// get EPIPE, not a process-killing signal. Every send goes through
+/// sendNoSignal() (MSG_NOSIGNAL where available) and ignoreSigpipe() masks
+/// the signal process-wide as belt-and-braces for platforms or code paths
+/// without the flag.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EASYVIEW_NET_SOCKET_H
+#define EASYVIEW_NET_SOCKET_H
+
+#include "support/Result.h"
+
+#include <cstddef>
+#include <string>
+#include <sys/types.h>
+
+namespace ev {
+namespace net {
+
+/// Ignores SIGPIPE process-wide. Idempotent; call before the first write
+/// to any socket. A client vanishing mid-reply then surfaces as an EPIPE
+/// write error on that one connection instead of killing the server.
+void ignoreSigpipe();
+
+/// Splits "HOST:PORT" (host may be empty for "bind everything"; "[v6]:port"
+/// brackets are accepted). \returns false on a malformed spec.
+bool splitHostPort(const std::string &Spec, std::string &Host,
+                   std::string &Port);
+
+/// Creates a non-blocking TCP listener bound to \p HostPort ("host:port";
+/// port 0 picks a free port). \returns the listening fd; \p BoundAddr
+/// receives the actual "host:port" after binding, so callers can announce
+/// (and tests can discover) an auto-assigned port.
+Result<int> listenTcp(const std::string &HostPort, std::string &BoundAddr,
+                      int Backlog = 128);
+
+/// Creates a non-blocking Unix-domain listener at \p Path, replacing a
+/// stale socket file from a previous run.
+Result<int> listenUnix(const std::string &Path, int Backlog = 128);
+
+/// Blocking TCP connect to "host:port" (client side; tests and bench_load).
+Result<int> connectTcp(const std::string &HostPort);
+
+/// Blocking Unix-domain connect to \p Path.
+Result<int> connectUnix(const std::string &Path);
+
+/// Accepts one pending connection on \p ListenFd, already non-blocking.
+/// \returns the fd, -1 when no connection is pending (EAGAIN), or an error
+/// for real accept failures.
+Result<int> acceptConnection(int ListenFd);
+
+/// Switches \p Fd to non-blocking mode.
+Result<bool> setNonBlocking(int Fd);
+
+/// send() that can never raise SIGPIPE (MSG_NOSIGNAL / SO_NOSIGPIPE; the
+/// process-wide ignoreSigpipe() covers the rest). Same return/errno
+/// contract as send(2).
+ssize_t sendNoSignal(int Fd, const void *Bytes, size_t Len);
+
+/// close() wrapper tolerant of EINTR; no-op for negative fds.
+void closeSocket(int Fd);
+
+} // namespace net
+} // namespace ev
+
+#endif // EASYVIEW_NET_SOCKET_H

@@ -46,6 +46,35 @@ uint64_t Histogram::min() const {
   return V == UINT64_MAX ? 0 : V;
 }
 
+double Histogram::percentileEstimate(double P) const {
+  uint64_t Total = count();
+  if (Total == 0)
+    return 0.0;
+  P = std::clamp(P, 0.0, 100.0);
+  double Rank = (P / 100.0) * static_cast<double>(Total);
+  if (Rank < 1.0)
+    Rank = 1.0;
+  uint64_t Below = 0;
+  for (size_t I = 0; I < BucketCount; ++I) {
+    uint64_t InBucket = bucketCount(I);
+    if (InBucket == 0)
+      continue;
+    if (static_cast<double>(Below + InBucket) >= Rank) {
+      double Frac = (Rank - static_cast<double>(Below)) /
+                    static_cast<double>(InBucket);
+      double Lo = static_cast<double>(bucketFloor(I));
+      double Hi = I + 1 < BucketCount
+                      ? static_cast<double>(bucketFloor(I + 1))
+                      : static_cast<double>(max());
+      double V = Lo + Frac * std::max(0.0, Hi - Lo);
+      return std::clamp(V, static_cast<double>(min()),
+                        static_cast<double>(max()));
+    }
+    Below += InBucket;
+  }
+  return static_cast<double>(max());
+}
+
 void Histogram::reset() {
   for (auto &B : Buckets)
     B.store(0, std::memory_order_relaxed);

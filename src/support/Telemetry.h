@@ -95,6 +95,13 @@ public:
     return Buckets[Index].load(std::memory_order_relaxed);
   }
 
+  /// Estimates the \p P-th percentile (0 < P <= 100) by rank-walking the
+  /// log2 buckets with linear interpolation inside the winning bucket,
+  /// clamped to the observed [min(), max()] range. Within a factor of two
+  /// of the true order statistic by construction — exactly the fidelity
+  /// the buckets retain. \returns 0 when the histogram is empty.
+  double percentileEstimate(double P) const;
+
   void reset();
 
 private:

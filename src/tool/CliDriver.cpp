@@ -16,6 +16,7 @@
 #include "convert/Converters.h"
 #include "convert/Exporters.h"
 #include "ide/SessionManager.h"
+#include "net/NetServer.h"
 #include "proto/EvProf.h"
 #include "query/Interpreter.h"
 #include "render/AnsiRenderer.h"
@@ -29,7 +30,12 @@
 #include "support/Strings.h"
 #include "support/Trace.h"
 
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
 #include <map>
+#include <thread>
 
 namespace ev {
 namespace tool {
@@ -61,6 +67,12 @@ std::string usageText() {
          "                                     concurrent session service;\n"
          "                                     --trace-out dumps the server's\n"
          "                                     own spans as Chrome trace JSON\n"
+         "  serve (--listen HOST:PORT | --unix PATH) [--sessions N]\n"
+         "        [--max-conns N] [--idle-ms N] [--frame-ms N] "
+         "[--drain-ms N]\n"
+         "        [--drain-after-ms N]         serve PVP over a real socket;\n"
+         "                                     SIGINT/SIGTERM drain "
+         "gracefully\n"
          "  help                               this text\n";
 }
 
@@ -515,6 +527,110 @@ int cmdReport(const ParsedArgs &Args, std::string &Out, std::string &Err) {
   return 0;
 }
 
+/// The server a SIGINT/SIGTERM handler should drain. Handlers run on an
+/// arbitrary thread at an arbitrary instruction; requestDrain() is
+/// async-signal-safe (one atomic store plus one pipe write) so this is the
+/// entire handler story.
+std::atomic<net::NetServer *> ActiveServer{nullptr};
+
+void serveSignalHandler(int) {
+  if (net::NetServer *S = ActiveServer.load(std::memory_order_acquire))
+    S->requestDrain();
+}
+
+/// Parses an optional unsigned numeric option into \p Value.
+/// \returns false (after reporting) on a malformed value.
+bool parseCountOption(const ParsedArgs &Args, const char *Name,
+                      uint64_t &Value, std::string &Err, int &Code) {
+  auto It = Args.Options.find(Name);
+  if (It == Args.Options.end())
+    return true;
+  if (!parseUnsigned(It->second, Value)) {
+    Code = failUsage(Err, std::string("--") + Name +
+                              " expects an unsigned number, got '" +
+                              It->second + "'");
+    return false;
+  }
+  return true;
+}
+
+/// `evtool serve --listen/--unix`: the real-socket deployment of the PVP
+/// service (net/NetServer.h). Binds, prints "listening on ADDR" to stderr
+/// (immediately — clients and tests wait for it), serves until a
+/// SIGINT/SIGTERM (or --drain-after-ms) triggers a graceful drain, and
+/// exits 0 when the drain finished cleanly inside its deadline.
+int cmdServeSocket(const ParsedArgs &Args, std::string &Out,
+                   std::string &Err) {
+  (void)Out;
+  bool Tcp = Args.Options.count("listen") > 0;
+  bool Unix = Args.Options.count("unix") > 0;
+  if (Tcp && Unix)
+    return failUsage(Err, "serve takes --listen or --unix, not both");
+  if (Args.Options.count("input"))
+    return failUsage(Err,
+                     "serve takes --input (scripted) or a socket listener "
+                     "(--listen/--unix), not both");
+
+  SessionManager::Options MOpts;
+  if (auto It = Args.Options.find("sessions"); It != Args.Options.end()) {
+    uint64_t N;
+    if (!parseUnsigned(It->second, N) || N == 0 || N > 256)
+      return failUsage(Err, "--sessions expects a count in [1, 256]");
+    MOpts.Sessions = static_cast<unsigned>(N);
+  }
+
+  net::NetServerOptions NOpts;
+  int Code = ExitSuccess;
+  uint64_t MaxConns = NOpts.MaxConnections;
+  uint64_t DrainAfterMs = 0;
+  if (!parseCountOption(Args, "max-conns", MaxConns, Err, Code) ||
+      !parseCountOption(Args, "idle-ms", NOpts.IdleTimeoutMs, Err, Code) ||
+      !parseCountOption(Args, "frame-ms", NOpts.FrameTimeoutMs, Err, Code) ||
+      !parseCountOption(Args, "drain-ms", NOpts.DrainDeadlineMs, Err, Code) ||
+      !parseCountOption(Args, "drain-after-ms", DrainAfterMs, Err, Code))
+    return Code;
+  if (MaxConns == 0)
+    return failUsage(Err, "--max-conns must be at least 1");
+  NOpts.MaxConnections = static_cast<size_t>(MaxConns);
+
+  SessionManager Manager(MOpts);
+  net::NetServer Server(Manager, NOpts);
+  Result<bool> Bound = Tcp ? Server.listenTcp(Args.Options.at("listen"))
+                           : Server.listenUnix(Args.Options.at("unix"));
+  if (!Bound)
+    return failData(Err, Bound.error());
+  if (Result<bool> Started = Server.start(); !Started)
+    return failData(Err, Started.error());
+
+  // Out/Err accumulate until process exit, which is useless for a live
+  // server: announce readiness on the real stderr so callers can connect.
+  std::fprintf(stderr, "evtool: listening on %s (%u session(s))\n",
+               Server.boundAddress().c_str(), Manager.sessionCount());
+  std::fflush(stderr);
+
+  ActiveServer.store(&Server, std::memory_order_release);
+  auto PrevInt = std::signal(SIGINT, serveSignalHandler);
+  auto PrevTerm = std::signal(SIGTERM, serveSignalHandler);
+
+  // --drain-after-ms gives scripts and smoke tests a bounded lifetime
+  // without needing to deliver a signal.
+  if (DrainAfterMs > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(DrainAfterMs));
+    Server.requestDrain();
+  }
+  bool Clean = Server.waitUntilStopped();
+
+  std::signal(SIGINT, PrevInt);
+  std::signal(SIGTERM, PrevTerm);
+  ActiveServer.store(nullptr, std::memory_order_release);
+
+  Err += "served " + std::to_string(Server.acceptedConnections()) +
+         " connection(s), dropped " +
+         std::to_string(Server.droppedConnections()) + "; drain " +
+         (Clean ? "clean" : "forced") + "\n";
+  return Clean ? ExitSuccess : ExitDataError;
+}
+
 /// `evtool serve`: drives the concurrent multi-session PVP service
 /// (ide/SessionManager.h) from a JSON-Lines script — one JSON-RPC request
 /// object per line, optionally carrying a top-level "session" field that
@@ -523,6 +639,8 @@ int cmdReport(const ParsedArgs &Args, std::string &Out, std::string &Err) {
 /// one per line, so the output of a concurrent run is byte-comparable to a
 /// sequential one.
 int cmdServe(const ParsedArgs &Args, std::string &Out, std::string &Err) {
+  if (Args.Options.count("listen") || Args.Options.count("unix"))
+    return cmdServeSocket(Args, Out, Err);
   auto InputIt = Args.Options.find("input");
   if (InputIt == Args.Options.end() && Args.Positional.size() != 1)
     return failUsage(Err, "serve needs --input <requests.jsonl>");
