@@ -1,0 +1,404 @@
+//===- analysis/FleetAggregate.cpp - Streaming fleet-scale aggregation ----===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/FleetAggregate.h"
+
+#include "support/Trace.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <string_view>
+
+namespace ev {
+
+namespace {
+
+/// Name of the per-parent catch-all node that absorbs pruned subtrees.
+constexpr std::string_view PrunedFrameName = "(pruned)";
+
+} // namespace
+
+void StreamingMoments::push(double Value) {
+  ++Present;
+  double Delta = Value - Mean;
+  Mean += Delta / static_cast<double>(Present);
+  M2 += Delta * (Value - Mean);
+  if (Present == 1) {
+    Min = Max = Value;
+  } else {
+    Min = std::min(Min, Value);
+    Max = std::max(Max, Value);
+  }
+}
+
+void StreamingMoments::mergeFrom(const StreamingMoments &Other) {
+  if (Other.Present == 0)
+    return;
+  if (Present == 0) {
+    *this = Other;
+    return;
+  }
+  // Chan et al. pairwise update: exact regardless of split sizes.
+  uint64_t N = Present + Other.Present;
+  double Delta = Other.Mean - Mean;
+  M2 += Other.M2 + Delta * Delta * static_cast<double>(Present) *
+                       static_cast<double>(Other.Present) /
+                       static_cast<double>(N);
+  Mean += Delta * static_cast<double>(Other.Present) / static_cast<double>(N);
+  Min = std::min(Min, Other.Min);
+  Max = std::max(Max, Other.Max);
+  Present = N;
+}
+
+CohortAccumulator::CohortAccumulator(FleetAggregateOptions O)
+    : Opts(O) {
+  Shape.setName("fleet cohort");
+  Folded.assign(1, 0); // Root.
+}
+
+NodeId CohortAccumulator::childFor(NodeId Parent, FrameId F) {
+  uint64_t Key = (static_cast<uint64_t>(Parent) << 32) | F;
+  auto It = ChildIndex.find(Key);
+  if (It != ChildIndex.end())
+    return It->second;
+  NodeId Id = Shape.createNode(Parent, F);
+  ChildIndex.emplace(Key, Id);
+  Folded.push_back(0);
+  return Id;
+}
+
+void CohortAccumulator::adoptSchema(const Profile &P) {
+  if (!Shape.metrics().empty() || Profiles > 0)
+    return;
+  for (const MetricDescriptor &M : P.metrics())
+    Shape.addMetric(M.Name, M.Unit, M.Aggregation);
+  assert(Shape.metrics().size() < 0xFFFF && "metric id space exhausted");
+}
+
+void CohortAccumulator::add(const Profile &P, const CancelToken &Cancel) {
+  trace::Span Span("analysis/fleetAdd", "analysis");
+  adoptSchema(P);
+
+  // Map the input's metric schema onto the accumulator's (first profile
+  // wins, matching by name — the batch aggregate's rule).
+  std::vector<MetricId> MetricMap(P.metrics().size(), Profile::InvalidMetric);
+  for (MetricId I = 0; I < P.metrics().size(); ++I) {
+    MetricId Target = Shape.findMetric(P.metrics()[I].Name);
+    if (Target != Profile::InvalidMetric)
+      MetricMap[I] = Target;
+  }
+
+  // Map frames by textual identity (addresses are run-specific: ASLR).
+  std::vector<FrameId> FrameMap(P.frames().size(), 0);
+  std::vector<bool> FrameMapped(P.frames().size(), false);
+  auto MapFrame = [&](FrameId F) {
+    if (FrameMapped[F])
+      return FrameMap[F];
+    const Frame &In = P.frame(F);
+    Frame Copy;
+    Copy.Kind = In.Kind;
+    Copy.Name = Shape.strings().intern(P.text(In.Name));
+    Copy.Loc.File = Shape.strings().intern(P.text(In.Loc.File));
+    Copy.Loc.Line = In.Loc.Line;
+    Copy.Loc.Module = Shape.strings().intern(P.text(In.Loc.Module));
+    Copy.Loc.Address = 0;
+    FrameMap[F] = Shape.internFrame(Copy);
+    FrameMapped[F] = true;
+    return FrameMap[F];
+  };
+
+  // Merge the input tree into the accumulator CCT, node by node
+  // (parents-first input order guarantees the parent is already mapped).
+  std::vector<NodeId> OutNode(P.nodeCount(), InvalidNode);
+  OutNode[P.root()] = Shape.root();
+  for (NodeId Id = 1; Id < P.nodeCount(); ++Id) {
+    if ((Id & 8191) == 0)
+      Cancel.checkpoint();
+    const CCTNode &Node = P.node(Id);
+    OutNode[Id] = childFor(OutNode[Node.Parent], MapFrame(Node.FrameRef));
+  }
+
+  // Fold the input's exclusive samples. Two input nodes can land on the
+  // same accumulator context (frames differing only by address), so the
+  // per-profile contribution is summed per key first — Welford must see
+  // exactly one observation per profile per (node, metric).
+  std::unordered_map<uint64_t, double> Contrib;
+  for (NodeId Id = 0; Id < P.nodeCount(); ++Id) {
+    if ((Id & 8191) == 0)
+      Cancel.checkpoint();
+    for (const MetricValue &MV : P.node(Id).Metrics) {
+      if (MV.Metric >= MetricMap.size() ||
+          MetricMap[MV.Metric] == Profile::InvalidMetric)
+        continue;
+      Contrib[momentKey(OutNode[Id], MetricMap[MV.Metric])] += MV.Value;
+    }
+  }
+  for (const auto &[Key, Value] : Contrib)
+    Moments[Key].push(Value);
+
+  ++Profiles;
+  if (Opts.NodeBudget && Shape.nodeCount() > Opts.NodeBudget)
+    pruneToBudget();
+}
+
+void CohortAccumulator::merge(const CohortAccumulator &Other,
+                              const CancelToken &Cancel) {
+  trace::Span Span("analysis/fleetMerge", "analysis");
+  if (Other.Profiles == 0)
+    return;
+  if (Profiles == 0)
+    adoptSchema(Other.Shape);
+
+  const Profile &OP = Other.Shape;
+  std::vector<MetricId> MetricMap(OP.metrics().size(), Profile::InvalidMetric);
+  for (MetricId I = 0; I < OP.metrics().size(); ++I) {
+    MetricId Target = Shape.findMetric(OP.metrics()[I].Name);
+    if (Target != Profile::InvalidMetric)
+      MetricMap[I] = Target;
+  }
+
+  std::vector<FrameId> FrameMap(OP.frames().size(), 0);
+  std::vector<bool> FrameMapped(OP.frames().size(), false);
+  auto MapFrame = [&](FrameId F) {
+    if (FrameMapped[F])
+      return FrameMap[F];
+    const Frame &In = OP.frame(F);
+    Frame Copy;
+    Copy.Kind = In.Kind;
+    Copy.Name = Shape.strings().intern(OP.text(In.Name));
+    Copy.Loc.File = Shape.strings().intern(OP.text(In.Loc.File));
+    Copy.Loc.Line = In.Loc.Line;
+    Copy.Loc.Module = Shape.strings().intern(OP.text(In.Loc.Module));
+    Copy.Loc.Address = 0;
+    FrameMap[F] = Shape.internFrame(Copy);
+    FrameMapped[F] = true;
+    return FrameMap[F];
+  };
+
+  std::vector<NodeId> OutNode(OP.nodeCount(), InvalidNode);
+  OutNode[OP.root()] = Shape.root();
+  for (NodeId Id = 1; Id < OP.nodeCount(); ++Id) {
+    if ((Id & 8191) == 0)
+      Cancel.checkpoint();
+    const CCTNode &Node = OP.node(Id);
+    OutNode[Id] = childFor(OutNode[Node.Parent], MapFrame(Node.FrameRef));
+    if (Other.isFolded(Id))
+      Folded[OutNode[Id]] = 1;
+  }
+
+  // The accumulator CCT never holds two children of one parent with the
+  // same frame, so OutNode is injective: each of Other's moment entries
+  // lands on its own key here and the commutative Chan merge makes the
+  // result independent of hash-map iteration order. Walk in (node, metric)
+  // order anyway so map insertion order — and thus approxMemoryBytes and
+  // any future iteration — is reproducible.
+  for (NodeId Id = 0; Id < OP.nodeCount(); ++Id) {
+    if ((Id & 8191) == 0)
+      Cancel.checkpoint();
+    for (MetricId M = 0; M < OP.metrics().size(); ++M) {
+      if (MetricMap[M] == Profile::InvalidMetric)
+        continue;
+      auto It = Other.Moments.find(momentKey(Id, M));
+      if (It == Other.Moments.end())
+        continue;
+      Moments[momentKey(OutNode[Id], MetricMap[M])].mergeFrom(It->second);
+    }
+  }
+
+  Profiles += Other.Profiles;
+  Prunes += Other.Prunes;
+  if (Opts.NodeBudget && Shape.nodeCount() > Opts.NodeBudget)
+    pruneToBudget();
+}
+
+CohortNodeStats CohortAccumulator::stats(NodeId Node, MetricId Metric) const {
+  CohortNodeStats S;
+  S.Profiles = Profiles;
+  auto It = Moments.find(momentKey(Node, Metric));
+  if (It == Moments.end() || Profiles == 0)
+    return S;
+  const StreamingMoments &M = It->second;
+  S.Present = M.Present;
+  S.Sum = M.sum();
+  double N = static_cast<double>(Profiles);
+  S.Mean = S.Sum / N;
+  // Absent profiles contribute zero, exactly like the batch matrix's dense
+  // columns. With k present values of mean m and squared deviations M2,
+  // the full-cohort second moment about the cohort mean mu is
+  //   M2 + k*(m - mu)^2 + (N - k)*mu^2.
+  double K = static_cast<double>(M.Present);
+  double Dev = M.Mean - S.Mean;
+  double M2Total = M.M2 + K * Dev * Dev + (N - K) * S.Mean * S.Mean;
+  S.Stddev = std::sqrt(std::max(0.0, M2Total) / N);
+  S.Min = M.Present < Profiles ? std::min(0.0, M.Min) : M.Min;
+  S.Max = M.Present < Profiles ? std::max(0.0, M.Max) : M.Max;
+  return S;
+}
+
+std::vector<double>
+CohortAccumulator::inclusiveSumColumn(MetricId Metric) const {
+  std::vector<double> Column(Shape.nodeCount(), 0.0);
+  for (NodeId Id = 0; Id < Shape.nodeCount(); ++Id) {
+    auto It = Moments.find(momentKey(Id, Metric));
+    if (It != Moments.end())
+      Column[Id] = It->second.sum();
+  }
+  for (NodeId Id = static_cast<NodeId>(Shape.nodeCount()); Id > 1;) {
+    --Id;
+    Column[Shape.node(Id).Parent] += Column[Id];
+  }
+  return Column;
+}
+
+bool CohortAccumulator::isFolded(NodeId Node) const {
+  return Node < Folded.size() && Folded[Node] != 0;
+}
+
+size_t CohortAccumulator::approxMemoryBytes() const {
+  size_t Bytes = Shape.approxMemoryBytes();
+  Bytes += ChildIndex.size() * (sizeof(uint64_t) + sizeof(NodeId) +
+                                2 * sizeof(void *));
+  Bytes += Moments.size() * (sizeof(uint64_t) + sizeof(StreamingMoments) +
+                             2 * sizeof(void *));
+  Bytes += Folded.capacity();
+  return Bytes;
+}
+
+void CohortAccumulator::pruneToBudget() {
+  // The rebuild adds one "(pruned)" catch-all per kept parent that lost a
+  // child, so a single pass can land above the target — or even above the
+  // budget. Halve the target and re-prune until the cap actually holds.
+  size_t Target = static_cast<size_t>(
+      static_cast<double>(Opts.NodeBudget) * Opts.PruneTargetFraction);
+  Target = std::max<size_t>(Target, 1);
+  while (Shape.nodeCount() > Opts.NodeBudget) {
+    pruneOnce(Target);
+    if (Target == 1)
+      break; // Floor: root plus catch-alls; cannot shrink further.
+    Target = std::max<size_t>(1, Target / 2);
+  }
+}
+
+void CohortAccumulator::pruneOnce(size_t Target) {
+  trace::Span Span("analysis/fleetPrune", "analysis");
+  size_t Count = Shape.nodeCount();
+  if (Count <= Target)
+    return;
+  ++Prunes;
+
+  // Rank non-root nodes by inclusive weight, heaviest first; ties break on
+  // node id so the keep set is deterministic.
+  std::vector<double> Weight = inclusiveSumColumn(Opts.WeightMetric);
+  std::vector<NodeId> Order(Count > 0 ? Count - 1 : 0);
+  for (NodeId Id = 1; Id < Count; ++Id)
+    Order[Id - 1] = Id;
+  std::sort(Order.begin(), Order.end(), [&](NodeId A, NodeId B) {
+    if (Weight[A] != Weight[B])
+      return Weight[A] > Weight[B];
+    return A < B;
+  });
+
+  // Greedy top-K with ancestor closure: a kept node needs its whole chain,
+  // so the chain is charged against the target together with the node.
+  std::vector<char> Keep(Count, 0);
+  Keep[0] = 1;
+  size_t Kept = 1;
+  std::vector<NodeId> Chain;
+  for (NodeId Id : Order) {
+    if (Kept >= Target)
+      break;
+    if (Keep[Id])
+      continue;
+    Chain.clear();
+    for (NodeId Up = Id; !Keep[Up]; Up = Shape.node(Up).Parent)
+      Chain.push_back(Up);
+    for (NodeId Up : Chain)
+      Keep[Up] = 1;
+    Kept += Chain.size();
+  }
+
+  // Rebuild the accumulator: kept nodes carry over; each dropped node maps
+  // to a "(pruned)" catch-all child of its nearest kept ancestor, which
+  // conserves subtree sums but gives up attribution. Catch-all moments are
+  // sum-carriers only (Present pinned to 1 so sum() = Mean); isFolded()
+  // tells analyses to skip them.
+  Profile NewShape;
+  NewShape.setName(Shape.name());
+  for (const MetricDescriptor &M : Shape.metrics())
+    NewShape.addMetric(M.Name, M.Unit, M.Aggregation);
+  std::unordered_map<uint64_t, NodeId> NewChildIndex;
+  std::vector<char> NewFolded(1, 0);
+  auto NewChildFor = [&](NodeId Parent, FrameId F, bool FoldedNode) {
+    uint64_t Key = (static_cast<uint64_t>(Parent) << 32) | F;
+    auto It = NewChildIndex.find(Key);
+    if (It != NewChildIndex.end())
+      return It->second;
+    NodeId Id = NewShape.createNode(Parent, F);
+    NewChildIndex.emplace(Key, Id);
+    NewFolded.push_back(FoldedNode ? 1 : 0);
+    return Id;
+  };
+  FrameId PrunedFrame;
+  {
+    Frame F;
+    F.Kind = FrameKind::Function;
+    F.Name = NewShape.strings().intern(PrunedFrameName);
+    PrunedFrame = NewShape.internFrame(F);
+  }
+
+  std::vector<NodeId> NewId(Count, InvalidNode);
+  NewId[0] = NewShape.root();
+  std::unordered_map<uint64_t, StreamingMoments> NewMoments;
+  size_t MetricCount = Shape.metrics().size();
+  for (NodeId Id = 1; Id < Count; ++Id) {
+    NodeId Mapped;
+    if (Keep[Id]) {
+      const Frame &In = Shape.frame(Shape.node(Id).FrameRef);
+      Frame Copy;
+      Copy.Kind = In.Kind;
+      Copy.Name = NewShape.strings().intern(Shape.text(In.Name));
+      Copy.Loc.File = NewShape.strings().intern(Shape.text(In.Loc.File));
+      Copy.Loc.Line = In.Loc.Line;
+      Copy.Loc.Module = NewShape.strings().intern(Shape.text(In.Loc.Module));
+      Mapped = NewChildFor(NewId[Shape.node(Id).Parent],
+                           NewShape.internFrame(Copy), isFolded(Id));
+    } else if (Keep[Shape.node(Id).Parent]) {
+      Mapped = NewChildFor(NewId[Shape.node(Id).Parent], PrunedFrame, true);
+    } else {
+      // Parent already collapsed into a catch-all; ride along with it.
+      Mapped = NewId[Shape.node(Id).Parent];
+    }
+    NewId[Id] = Mapped;
+  }
+
+  for (NodeId Id = 0; Id < Count; ++Id) {
+    bool IntoCatchAll = !Keep[Id] || NewFolded[NewId[Id]];
+    for (MetricId M = 0; M < MetricCount; ++M) {
+      auto It = Moments.find(momentKey(Id, M));
+      if (It == Moments.end())
+        continue;
+      StreamingMoments &Dst = NewMoments[momentKey(NewId[Id], M)];
+      if (IntoCatchAll) {
+        double Sum = Dst.Present ? Dst.sum() : 0.0;
+        Sum += It->second.sum();
+        Dst.Present = 1;
+        Dst.Mean = Sum;
+        Dst.M2 = 0.0;
+        Dst.Min = Dst.Max = Sum;
+      } else {
+        Dst = It->second;
+      }
+    }
+  }
+
+  Shape = std::move(NewShape);
+  ChildIndex = std::move(NewChildIndex);
+  Moments = std::move(NewMoments);
+  Folded = std::move(NewFolded);
+}
+
+} // namespace ev

@@ -8,9 +8,12 @@
 
 #include "analysis/Butterfly.h"
 #include "analysis/Diff.h"
+#include "analysis/FleetAggregate.h"
 #include "analysis/MetricEngine.h"
 #include "analysis/ProfileLint.h"
 #include "analysis/Prune.h"
+#include "analysis/Regression.h"
+#include "analysis/RuleRegistry.h"
 #include "analysis/Sema.h"
 #include "analysis/Transform.h"
 #include "convert/Converters.h"
@@ -735,8 +738,10 @@ Result<json::Value> PvpServer::doDiagnostics(const json::Object &Params) {
     if (!DV->isArray())
       return makeError("'disable' must be an array of rule ids or names");
     for (const json::Value &Entry : DV->asArray()) {
-      if (!Entry.isString() || (!findLintRule(Entry.asString()) &&
-                                !findSemaCheck(Entry.asString())))
+      // Names are validated against the UNIFIED registry, matching the
+      // evtool subcommands: disabling another family's rule is accepted
+      // (and inert), only typos are errors.
+      if (!Entry.isString() || !findRule(Entry.asString()))
         return makeError("unknown rule in 'disable'");
       Disabled.push_back(Entry.asString());
     }
@@ -827,6 +832,184 @@ Result<json::Value> PvpServer::doDiagnostics(const json::Object &Params) {
   if (DeadlineHit)
     Reply.set("deadlineExpired", true);
   return json::Value(std::move(Reply));
+}
+
+namespace {
+
+/// Parses a cohort parameter: a single profile id or a non-empty array of
+/// ids.
+Result<std::vector<int64_t>> cohortParam(const json::Object &Params,
+                                         std::string_view Key) {
+  const json::Value *V = Params.find(Key);
+  if (!V)
+    return makeError("missing '" + std::string(Key) +
+                     "' parameter (profile id or array of ids)");
+  std::vector<int64_t> Out;
+  if (V->isArray()) {
+    for (const json::Value &Entry : V->asArray()) {
+      int64_t Id;
+      if (!Entry.getInteger(Id))
+        return makeError("'" + std::string(Key) +
+                         "' must hold integer profile ids");
+      Out.push_back(Id);
+    }
+  } else {
+    int64_t Id;
+    if (!V->getInteger(Id))
+      return makeError("'" + std::string(Key) +
+                       "' must be a profile id or an array of ids");
+    Out.push_back(Id);
+  }
+  if (Out.empty())
+    return makeError("'" + std::string(Key) + "' cohort is empty");
+  return Out;
+}
+
+/// Optional non-negative number parameter; leaves \p Out untouched when
+/// absent. \returns false on a present-but-invalid value.
+bool ratioParam(const json::Object &Params, std::string_view Key,
+                double &Out) {
+  const json::Value *V = Params.find(Key);
+  if (!V)
+    return true;
+  if (!V->isNumber() || !(V->asNumber() >= 0.0))
+    return false;
+  Out = V->asNumber();
+  return true;
+}
+
+} // namespace
+
+Result<json::Value> PvpServer::doRegressions(const json::Object &Params) {
+  Result<std::vector<int64_t>> BaseIds = cohortParam(Params, "base");
+  if (!BaseIds)
+    return makeError(BaseIds.error());
+  Result<std::vector<int64_t>> TestIds = cohortParam(Params, "test");
+  if (!TestIds)
+    return makeError(TestIds.error());
+
+  AnalysisLimits Analysis = Limits.Analysis;
+  if (const json::Value *MV = Params.find("maxDiagnostics"); MV) {
+    int64_t MaxDiags;
+    if (MV->getInteger(MaxDiags) && MaxDiags > 0)
+      Analysis.MaxDiagnostics = std::min<size_t>(
+          Analysis.MaxDiagnostics, static_cast<size_t>(MaxDiags));
+  }
+
+  RegressionOptions Opts;
+  Opts.Limits = Analysis;
+  if (const json::Value *SV = Params.find("minSeverity")) {
+    if (!SV->isString() || !parseSeverity(SV->asString(), Opts.MinSeverity))
+      return makeError(
+          "invalid 'minSeverity' (expected note, info, warning, or error)");
+  }
+  if (const json::Value *DV = Params.find("disable")) {
+    if (!DV->isArray())
+      return makeError("'disable' must be an array of rule ids or names");
+    for (const json::Value &Entry : DV->asArray()) {
+      if (!Entry.isString() || !findRule(Entry.asString()))
+        return makeError("unknown rule in 'disable'");
+      Opts.Disabled.push_back(Entry.asString());
+    }
+  }
+  if (!ratioParam(Params, "relativeMin", Opts.RelativeMin))
+    return makeError("'relativeMin' must be a non-negative number");
+  if (!ratioParam(Params, "absoluteMin", Opts.AbsoluteMin))
+    return makeError("'absoluteMin' must be a non-negative number");
+  if (!ratioParam(Params, "sigma", Opts.SigmaGate))
+    return makeError("'sigma' must be a non-negative number");
+
+  FleetAggregateOptions AggOpts;
+  if (const json::Value *BV = Params.find("nodeBudget"); BV) {
+    int64_t Budget;
+    if (!BV->getInteger(Budget) || Budget < 0)
+      return makeError("'nodeBudget' must be a non-negative integer");
+    AggOpts.NodeBudget = static_cast<size_t>(Budget);
+  }
+
+  // Stream each cohort member through the accumulator. Memory stays
+  // O(merged CCT): profiles live in the store either way, but the cohort
+  // analysis itself never materializes an O(N profiles) matrix.
+  auto Fill = [&](const std::vector<int64_t> &Ids,
+                  CohortAccumulator &Acc) -> Result<bool> {
+    for (int64_t ProfId : Ids) {
+      if (deadlineExpired())
+        return makeError(DeadlineDiag);
+      std::shared_ptr<const Profile> P = profileHandle(ProfId);
+      if (!P)
+        return makeError("no profile with id " + std::to_string(ProfId));
+      Acc.add(*P, ActiveCancel);
+    }
+    return true;
+  };
+  CohortAccumulator Base(AggOpts), Test(AggOpts);
+  if (Result<bool> R = Fill(*BaseIds, Base); !R)
+    return makeError(R.error());
+  if (Result<bool> R = Fill(*TestIds, Test); !R)
+    return makeError(R.error());
+
+  DiagnosticSet Diags(Analysis.MaxDiagnostics);
+  RegressionAnalyzer(Opts).analyze(Base, Test, Diags, ActiveCancel);
+
+  // Serialize under the request deadline, degrading to a truncated (but
+  // valid) reply exactly like pvp/diagnostics.
+  json::Array Arr;
+  bool DeadlineHit = false;
+  for (const Diagnostic &D : Diags.all()) {
+    if ((Arr.size() & 255) == 0 && deadlineExpired()) {
+      DeadlineHit = true;
+      break;
+    }
+    json::Object DO;
+    DO.set("id", D.Id);
+    DO.set("severity", std::string(severityName(D.Sev)));
+    DO.set("message", D.Message);
+    DO.set("rule", D.Rule);
+    if (!D.Hint.empty())
+      DO.set("hint", D.Hint);
+    if (D.Node != InvalidNode)
+      DO.set("node", D.Node);
+    Arr.push_back(json::Value(std::move(DO)));
+  }
+
+  json::Object Reply;
+  size_t Shown = Arr.size();
+  Reply.set("findings", std::move(Arr));
+  Reply.set("errors", Diags.countAtLeast(Severity::Error));
+  Reply.set("warnings", Diags.count(Severity::Warning));
+  Reply.set("dropped", Diags.dropped() + (Diags.size() - Shown));
+  Reply.set("truncated", Diags.truncated() || DeadlineHit);
+  if (DeadlineHit)
+    Reply.set("deadlineExpired", true);
+  Reply.set("baseProfiles", Base.profileCount());
+  Reply.set("testProfiles", Test.profileCount());
+  return json::Value(std::move(Reply));
+}
+
+bool PvpServer::regressionCacheKey(const json::Object &Params,
+                                   std::string &Key, int64_t &Prof,
+                                   uint64_t &Gen) const {
+  Result<std::vector<int64_t>> BaseIds = cohortParam(Params, "base");
+  Result<std::vector<int64_t>> TestIds = cohortParam(Params, "test");
+  if (!BaseIds || !TestIds)
+    return false;
+  std::string Members;
+  for (int64_t Id : *BaseIds) {
+    if (!Owned.count(Id))
+      return false;
+    Members += 'b' + std::to_string(Id) + ':' +
+               std::to_string(Store->generationOf(Id)) + ',';
+  }
+  for (int64_t Id : *TestIds) {
+    if (!Owned.count(Id))
+      return false;
+    Members += 't' + std::to_string(Id) + ':' +
+               std::to_string(Store->generationOf(Id)) + ',';
+  }
+  Prof = BaseIds->front();
+  Gen = Store->generationOf(Prof);
+  Key = "pvp/regressions|" + Members + '|' + json::Value(Params).dump();
+  return true;
 }
 
 Result<json::Value> PvpServer::doStats(const json::Object &) {
@@ -940,6 +1123,18 @@ json::Value PvpServer::dispatch(std::string_view Method,
     } else {
       Cacheable = false;
     }
+  } else if (Method == "pvp/regressions" && Cache->capacity() != 0) {
+    // Cohort analyses are the most expensive views the session serves, so
+    // they are memoized too. The key folds in EVERY cohort member's
+    // (id, generation) pair — a bump of any member changes the key and the
+    // stale entry ages out of the LRU; per-entry revalidation tracks the
+    // first base member.
+    if (regressionCacheKey(Params, CacheKey, CacheProf, CacheGen)) {
+      Cacheable = true;
+      if (std::unique_ptr<json::Value> Hit =
+              Cache->lookup(CacheKey, CacheGen))
+        return rpc::makeResponse(Id, std::move(*Hit));
+    }
   }
 
   // Arm the soft per-request deadline; long-running handler loops check
@@ -986,6 +1181,8 @@ json::Value PvpServer::dispatch(std::string_view Method,
       R = doCorrelated(Params);
     else if (Method == "pvp/diagnostics")
       R = doDiagnostics(Params);
+    else if (Method == "pvp/regressions")
+      R = doRegressions(Params);
     else if (Method == "pvp/stats")
       R = doStats(Params);
     else if (Method == "pvp/metrics")

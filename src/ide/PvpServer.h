@@ -45,6 +45,14 @@
 ///   pvp/diagnostics   {profile?, program?, minSeverity?, disable?,
 ///                      maxDiagnostics?} -> {diagnostics, errors, warnings,
 ///                      dropped, truncated}
+///   pvp/regressions   {base: id|[id...], test: id|[id...], minSeverity?,
+///                      disable?, maxDiagnostics?, relativeMin?,
+///                      absoluteMin?, sigma?, nodeBudget?} -> {findings,
+///                      errors, warnings, dropped, truncated,
+///                      baseProfiles, testProfiles}  (EVL3xx differential
+///                      rules over two streamed cohorts; deadline-degrading
+///                      like pvp/diagnostics, cacheable keyed by every
+///                      cohort member's generation)
 ///
 /// Errors use standard JSON-RPC codes. The server is transport-agnostic:
 /// handleMessage() maps one decoded request to one response, and
@@ -184,6 +192,7 @@ private:
   Result<json::Value> doButterfly(const json::Object &Params);
   Result<json::Value> doCorrelated(const json::Object &Params);
   Result<json::Value> doDiagnostics(const json::Object &Params);
+  Result<json::Value> doRegressions(const json::Object &Params);
   Result<json::Value> doStats(const json::Object &Params);
   Result<json::Value> doMetrics(const json::Object &Params);
   Result<json::Value> doSelfProfile(const json::Object &Params);
@@ -193,6 +202,15 @@ private:
   /// whole request even if another session closes it concurrently.
   Result<std::shared_ptr<const Profile>>
   lookup(const json::Object &Params, std::string_view Key = "profile") const;
+
+  /// Builds the pvp/regressions cache key: every cohort member's
+  /// (id, generation) pair is folded into \p Key, so any member's bump
+  /// misses and the stale entry ages out of the LRU. \p Prof / \p Gen
+  /// receive the first base member's pair for the cache's per-entry
+  /// revalidation. \returns false (leave uncached) when the params are
+  /// malformed or any member is not owned by this session.
+  bool regressionCacheKey(const json::Object &Params, std::string &Key,
+                          int64_t &Prof, uint64_t &Gen) const;
 
   /// \returns true once the in-flight request ran past its soft deadline.
   bool deadlineExpired() const;

@@ -11,7 +11,40 @@
 #include <cstdio>
 #include <thread>
 
+#include <dirent.h>
+#include <sys/stat.h>
+
 namespace ev {
+
+bool isDirectory(const std::string &Path) {
+  struct stat St;
+  return ::stat(Path.c_str(), &St) == 0 && S_ISDIR(St.st_mode);
+}
+
+Result<std::vector<std::string>> listDirectory(const std::string &Path) {
+  DIR *Dir = ::opendir(Path.c_str());
+  if (!Dir)
+    return makeError("cannot open directory '" + Path + "'");
+  std::vector<std::string> Out;
+  while (struct dirent *Entry = ::readdir(Dir)) {
+    std::string_view Name = Entry->d_name;
+    if (Name == "." || Name == "..")
+      continue;
+    std::string Full = Path;
+    if (!Full.empty() && Full.back() != '/')
+      Full += '/';
+    Full += Name;
+    struct stat St;
+    if (::stat(Full.c_str(), &St) != 0 || !S_ISREG(St.st_mode))
+      continue;
+    Out.push_back(std::move(Full));
+  }
+  ::closedir(Dir);
+  // readdir order is filesystem-dependent; sort so cohort ingestion (and
+  // therefore every downstream finding) is deterministic.
+  std::sort(Out.begin(), Out.end());
+  return Out;
+}
 
 namespace {
 ReadFaultHook &faultHook() {

@@ -18,11 +18,20 @@
 #include <functional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace ev {
 
 /// Reads the whole file at \p Path.
 Result<std::string> readFile(const std::string &Path);
+
+/// True when \p Path names an existing directory.
+bool isDirectory(const std::string &Path);
+
+/// Lists the regular files directly inside \p Path (no recursion, no "."
+/// entries), sorted by name so every traversal is deterministic. Entries
+/// are returned as full paths.
+Result<std::vector<std::string>> listDirectory(const std::string &Path);
 
 /// Writes \p Contents to \p Path, replacing any existing file.
 Result<bool> writeFile(const std::string &Path, std::string_view Contents);

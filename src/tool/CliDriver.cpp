@@ -11,6 +11,8 @@
 #include "analysis/Diff.h"
 #include "analysis/MetricEngine.h"
 #include "analysis/ProfileLint.h"
+#include "analysis/Regression.h"
+#include "analysis/RuleRegistry.h"
 #include "analysis/Sema.h"
 #include "analysis/Transform.h"
 #include "convert/Converters.h"
@@ -54,11 +56,18 @@ std::string usageText() {
          "  diff <base> <test> [--metric M]    differential view\n"
          "  aggregate <out.evprof> <in...>     merge profiles\n"
          "  query <profile> -e <prog>|--file F run an EVQL program\n"
-         "  check <query.evql> [--profile P] [--werror]\n"
+         "  check <query.evql> [--profile P] [--min-severity S]\n"
+         "        [--disable R,R...] [--werror] [--list-rules]\n"
          "                                     EVQL static analysis (no "
          "execution)\n"
          "  lint <profile.evprof> [--min-severity S] [--disable R,R...]\n"
          "       [--werror] [--list-rules]     profile data-quality lints\n"
+         "  regress <base> <test> [--format text|json]\n"
+         "        [--min-severity S] [--disable R,R...] [--werror]\n"
+         "        [--rel-min F] [--abs-min F] [--sigma F] [--node-budget N]\n"
+         "        [--list-rules]               diff two profile cohorts\n"
+         "                                     (files or directories) and\n"
+         "                                     report EVL3xx regressions\n"
          "  butterfly <profile> <function> [--metric M]\n"
          "  annotate <profile> <source-file>   per-line code lenses\n"
          "  report <profile> <out.html>        self-contained HTML report\n"
@@ -150,6 +159,22 @@ Result<MetricId> resolveMetric(const Profile &P, const ParsedArgs &Args) {
 int failUsage(std::string &Err, const std::string &Message) {
   Err += "evtool: error: " + Message + "\n";
   return ExitUsageError;
+}
+
+/// Parses an optional unsigned numeric option into \p Value.
+/// \returns false (after reporting) on a malformed value.
+bool parseCountOption(const ParsedArgs &Args, const char *Name,
+                      uint64_t &Value, std::string &Err, int &Code) {
+  auto It = Args.Options.find(Name);
+  if (It == Args.Options.end())
+    return true;
+  if (!parseUnsigned(It->second, Value)) {
+    Code = failUsage(Err, std::string("--") + Name +
+                              " expects an unsigned number, got '" +
+                              It->second + "'");
+    return false;
+  }
+  return true;
 }
 
 int failData(std::string &Err, const std::string &Message) {
@@ -398,7 +423,64 @@ int reportDiagnostics(const DiagnosticSet &Diags, const std::string &Subject,
   return ExitSuccess;
 }
 
+/// Shared `--min-severity` / `--disable` parsing for check, lint, and
+/// regress. Disabled names are validated against the unified registry
+/// (analysis/RuleRegistry.h), so any family's rules are accepted by any
+/// subcommand and a typo is a usage error everywhere.
+/// \returns false after reporting (setting \p Code) on a malformed option.
+bool parseRuleFilters(const ParsedArgs &Args, Severity &MinSeverity,
+                      std::vector<std::string> &Disabled, std::string &Err,
+                      int &Code) {
+  if (auto It = Args.Options.find("min-severity");
+      It != Args.Options.end()) {
+    if (!parseSeverity(It->second, MinSeverity)) {
+      Code = failUsage(Err, "--min-severity expects note, info, warning, "
+                            "or error");
+      return false;
+    }
+  }
+  if (auto It = Args.Options.find("disable"); It != Args.Options.end()) {
+    for (std::string_view Rule : splitString(It->second, ','))
+      if (!Rule.empty()) {
+        if (!findRule(Rule)) {
+          Code = failUsage(Err, "unknown rule '" + std::string(Rule) +
+                                    "' (see --list-rules)");
+          return false;
+        }
+        Disabled.emplace_back(Rule);
+      }
+  }
+  return true;
+}
+
+/// Post-filter for passes that do not take the filters natively (the EVQL
+/// checker): keeps findings at or above \p MinSeverity whose id and rule
+/// name are not disabled.
+DiagnosticSet filterDiagnostics(DiagnosticSet In, Severity MinSeverity,
+                                const std::vector<std::string> &Disabled) {
+  if (MinSeverity == Severity::Note && Disabled.empty())
+    return In;
+  DiagnosticSet Out(In.size() + In.dropped() + 1);
+  for (const Diagnostic &D : In.all()) {
+    if (D.Sev < MinSeverity)
+      continue;
+    bool Skip = false;
+    for (const std::string &Name : Disabled)
+      if (D.Id == Name || D.Rule == Name)
+        Skip = true;
+    if (!Skip)
+      Out.add(D);
+  }
+  if (In.truncated())
+    Out.markTruncated();
+  return Out;
+}
+
 int cmdCheck(const ParsedArgs &Args, std::string &Out, std::string &Err) {
+  if (Args.Options.count("list-rules")) {
+    Out += renderRuleList();
+    return ExitSuccess;
+  }
   std::string Source;
   std::string Subject;
   if (auto It = Args.Options.find("e"); It != Args.Options.end()) {
@@ -424,8 +506,15 @@ int cmdCheck(const ParsedArgs &Args, std::string &Out, std::string &Err) {
     Opts.MetricSource = &MetricSource;
   }
 
+  Severity MinSeverity = Severity::Note;
+  std::vector<std::string> Disabled;
+  int Code = ExitSuccess;
+  if (!parseRuleFilters(Args, MinSeverity, Disabled, Err, Code))
+    return Code;
+
   DiagnosticSet Diags(Opts.Limits.MaxDiagnostics);
   SemaChecker(Opts).checkSource(Source, Diags);
+  Diags = filterDiagnostics(std::move(Diags), MinSeverity, Disabled);
   Diags.sortBySource();
   return reportDiagnostics(Diags, Subject, Args.Options.count("werror") > 0,
                            Out);
@@ -433,32 +522,16 @@ int cmdCheck(const ParsedArgs &Args, std::string &Out, std::string &Err) {
 
 int cmdLint(const ParsedArgs &Args, std::string &Out, std::string &Err) {
   if (Args.Options.count("list-rules")) {
-    for (const LintRuleInfo &Rule : lintRules())
-      Out += std::string(Rule.Id) + "  " +
-             std::string(severityName(Rule.DefaultSev)) + "  " +
-             std::string(Rule.Name) + "\n    " +
-             std::string(Rule.Description) + "\n";
+    Out += renderRuleList();
     return ExitSuccess;
   }
   if (Args.Positional.size() != 1)
     return failUsage(Err, "lint expects exactly one profile");
 
   LintOptions Opts;
-  if (auto It = Args.Options.find("min-severity");
-      It != Args.Options.end()) {
-    if (!parseSeverity(It->second, Opts.MinSeverity))
-      return failUsage(Err, "--min-severity expects note, info, warning, "
-                            "or error");
-  }
-  if (auto It = Args.Options.find("disable"); It != Args.Options.end()) {
-    for (std::string_view Rule : splitString(It->second, ','))
-      if (!Rule.empty()) {
-        if (!findLintRule(Rule))
-          return failUsage(Err, "unknown lint rule '" + std::string(Rule) +
-                                "' (see lint --list-rules)");
-        Opts.Disabled.emplace_back(Rule);
-      }
-  }
+  int Code = ExitSuccess;
+  if (!parseRuleFilters(Args, Opts.MinSeverity, Opts.Disabled, Err, Code))
+    return Code;
 
   const std::string &Path = Args.Positional[0];
   Result<std::string> Bytes = readFileWithRetry(Path);
@@ -481,6 +554,136 @@ int cmdLint(const ParsedArgs &Args, std::string &Out, std::string &Err) {
   Diags.sortBySource();
   return reportDiagnostics(Diags, Path, Args.Options.count("werror") > 0,
                            Out);
+}
+
+/// Loads one cohort for 'regress': a directory is streamed file-by-file
+/// into the accumulator (O(merged CCT) memory, never O(N profiles)); a
+/// single file is a cohort of one.
+Result<CohortAccumulator> loadCohort(const std::string &Path,
+                                     const FleetAggregateOptions &Opts) {
+  CohortAccumulator Acc(Opts);
+  if (isDirectory(Path)) {
+    Result<std::vector<std::string>> Files = listDirectory(Path);
+    if (!Files)
+      return makeError(Files.error());
+    for (const std::string &File : *Files) {
+      Result<Profile> P = loadProfile(File);
+      if (!P)
+        return makeError(P.error());
+      Acc.add(*P);
+    }
+    if (Acc.profileCount() == 0)
+      return makeError("cohort directory '" + Path + "' holds no profiles");
+    return Acc;
+  }
+  Result<Profile> P = loadProfile(Path);
+  if (!P)
+    return makeError(P.error());
+  Acc.add(*P);
+  return Acc;
+}
+
+/// Parses an optional double-valued option into \p Value.
+bool parseRatioOption(const ParsedArgs &Args, const char *Name,
+                      double &Value, std::string &Err, int &Code) {
+  auto It = Args.Options.find(Name);
+  if (It == Args.Options.end())
+    return true;
+  if (!parseDouble(It->second, Value) || Value < 0.0) {
+    Code = failUsage(Err, std::string("--") + Name +
+                              " expects a non-negative number, got '" +
+                              It->second + "'");
+    return false;
+  }
+  return true;
+}
+
+/// `evtool regress <base> <test>`: stream both cohorts through the fleet
+/// accumulator, run the EVL3xx differential rules, and report with the
+/// same exit-code contract as check/lint ('-Werror' escalates warnings),
+/// so a CI job can gate a release on "no new regressions".
+int cmdRegress(const ParsedArgs &Args, std::string &Out, std::string &Err) {
+  if (Args.Options.count("list-rules")) {
+    Out += renderRuleList();
+    return ExitSuccess;
+  }
+  if (Args.Positional.size() != 2)
+    return failUsage(Err, "regress expects <base> <test> (profile files or "
+                          "cohort directories)");
+
+  RegressionOptions Opts;
+  int Code = ExitSuccess;
+  if (!parseRuleFilters(Args, Opts.MinSeverity, Opts.Disabled, Err, Code))
+    return Code;
+  if (!parseRatioOption(Args, "rel-min", Opts.RelativeMin, Err, Code) ||
+      !parseRatioOption(Args, "abs-min", Opts.AbsoluteMin, Err, Code) ||
+      !parseRatioOption(Args, "sigma", Opts.SigmaGate, Err, Code))
+    return Code;
+  FleetAggregateOptions AggOpts;
+  uint64_t Budget = AggOpts.NodeBudget;
+  if (!parseCountOption(Args, "node-budget", Budget, Err, Code))
+    return Code;
+  AggOpts.NodeBudget = static_cast<size_t>(Budget);
+
+  std::string Format = "text";
+  if (auto It = Args.Options.find("format"); It != Args.Options.end())
+    Format = It->second;
+  if (Format != "text" && Format != "json")
+    return failUsage(Err, "--format expects text or json");
+
+  Result<CohortAccumulator> Base = loadCohort(Args.Positional[0], AggOpts);
+  if (!Base)
+    return failData(Err, Base.error());
+  Result<CohortAccumulator> Test = loadCohort(Args.Positional[1], AggOpts);
+  if (!Test)
+    return failData(Err, Test.error());
+
+  DiagnosticSet Diags(Opts.Limits.MaxDiagnostics);
+  RegressionAnalyzer(Opts).analyze(*Base, *Test, Diags);
+
+  bool WError = Args.Options.count("werror") > 0;
+  std::string Subject =
+      Args.Positional[0] + " vs " + Args.Positional[1];
+  if (Format == "json") {
+    json::Object Root;
+    json::Object BaseInfo;
+    BaseInfo.set("path", Args.Positional[0]);
+    BaseInfo.set("profiles", static_cast<uint64_t>(Base->profileCount()));
+    json::Object TestInfo;
+    TestInfo.set("path", Args.Positional[1]);
+    TestInfo.set("profiles", static_cast<uint64_t>(Test->profileCount()));
+    Root.set("base", std::move(BaseInfo));
+    Root.set("test", std::move(TestInfo));
+    json::Array Findings;
+    for (const Diagnostic &D : Diags.all()) {
+      json::Object F;
+      F.set("id", D.Id);
+      F.set("severity", std::string(severityName(D.Sev)));
+      F.set("rule", D.Rule);
+      F.set("message", D.Message);
+      if (!D.Hint.empty())
+        F.set("hint", D.Hint);
+      if (D.Node != InvalidNode)
+        F.set("node", static_cast<uint64_t>(D.Node));
+      Findings.push_back(std::move(F));
+    }
+    Root.set("findings", std::move(Findings));
+    Root.set("errors",
+             static_cast<uint64_t>(Diags.countAtLeast(Severity::Error)));
+    Root.set("warnings",
+             static_cast<uint64_t>(Diags.count(Severity::Warning)));
+    Root.set("truncated", Diags.truncated());
+    Out += json::Value(std::move(Root)).dump() + "\n";
+    size_t Errors = Diags.countAtLeast(Severity::Error);
+    size_t Warnings = Diags.count(Severity::Warning);
+    return Errors > 0 || (WError && Warnings > 0) ? ExitDataError
+                                                  : ExitSuccess;
+  }
+  Out += "base: " + Args.Positional[0] + " (" +
+         std::to_string(Base->profileCount()) + " profile(s))\n";
+  Out += "test: " + Args.Positional[1] + " (" +
+         std::to_string(Test->profileCount()) + " profile(s))\n";
+  return reportDiagnostics(Diags, Subject, WError, Out);
 }
 
 int cmdButterfly(const ParsedArgs &Args, std::string &Out,
@@ -536,22 +739,6 @@ std::atomic<net::NetServer *> ActiveServer{nullptr};
 void serveSignalHandler(int) {
   if (net::NetServer *S = ActiveServer.load(std::memory_order_acquire))
     S->requestDrain();
-}
-
-/// Parses an optional unsigned numeric option into \p Value.
-/// \returns false (after reporting) on a malformed value.
-bool parseCountOption(const ParsedArgs &Args, const char *Name,
-                      uint64_t &Value, std::string &Err, int &Code) {
-  auto It = Args.Options.find(Name);
-  if (It == Args.Options.end())
-    return true;
-  if (!parseUnsigned(It->second, Value)) {
-    Code = failUsage(Err, std::string("--") + Name +
-                              " expects an unsigned number, got '" +
-                              It->second + "'");
-    return false;
-  }
-  return true;
 }
 
 /// `evtool serve --listen/--unix`: the real-socket deployment of the PVP
@@ -739,6 +926,8 @@ int runEvTool(const std::vector<std::string> &Args, std::string &Out,
     return cmdCheck(*Parsed, Out, Err);
   if (Command == "lint")
     return cmdLint(*Parsed, Out, Err);
+  if (Command == "regress")
+    return cmdRegress(*Parsed, Out, Err);
   if (Command == "butterfly")
     return cmdButterfly(*Parsed, Out, Err);
   if (Command == "annotate")

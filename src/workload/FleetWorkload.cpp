@@ -1,0 +1,180 @@
+//===- workload/FleetWorkload.cpp - Fleet regression corpus ---------------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/FleetWorkload.h"
+
+#include "profile/ProfileBuilder.h"
+#include "support/Rng.h"
+
+#include <algorithm>
+
+namespace ev {
+namespace workload {
+
+namespace {
+
+/// Builds one fleet snapshot. \p Planted selects the drifted tree of the
+/// last version; \p R drives the per-replica value noise only, so every
+/// replica of a version has an identical tree.
+Profile buildSnapshot(const FleetOptions &Opts, unsigned Version,
+                      unsigned Replica, bool Planted) {
+  // Per-replica noise stream: distinct across (version, replica) so even
+  // the noise-only version pair compares genuinely different samples.
+  Rng R(Opts.Seed * 1000003ULL + Version * 1009ULL + Replica);
+  auto Noisy = [&](double V) { return V * (1.0 + Opts.NoiseSigma * R.normal()); };
+
+  ProfileBuilder B("fleet v" + std::to_string(Version) + " replica " +
+                   std::to_string(Replica));
+  MetricId Cpu = B.addMetric("cpu-time", "nanoseconds");
+  MetricId Alloc = B.addMetric("alloc-bytes", "bytes");
+  const double Unit = 1e6; // 1 weight point = 1ms of cpu.
+  const double MB = 1024.0 * 1024.0;
+
+  auto Leaf = [&](std::vector<FrameId> Path, MetricId M, double V) {
+    B.addSample(Path, M, Noisy(V));
+  };
+
+  // --- Service 0: storefront. EVL300 / EVL302 / EVL304 plants. ----------
+  {
+    FrameId Main = B.functionFrame("svc0::main", "svc0.cc", 10, "svc0");
+    FrameId Dispatch =
+        B.functionFrame("rpc_dispatch", "rpc.cc", 40, "svc0");
+    Leaf({Main, Dispatch, B.functionFrame("handler_browse", "h.cc", 5, "svc0")},
+         Cpu, 90 * Unit);
+    Leaf({Main, Dispatch, B.functionFrame("handler_search", "h.cc", 25, "svc0")},
+         Cpu, 60 * Unit);
+
+    // EVL304: the whole render subtree grows x1.6, lifting its share of
+    // the fleet total by 6-9 points depending on the filler services.
+    double Render = Planted ? 1.6 : 1.0;
+    FrameId Pipe =
+        B.functionFrame("render_pipeline", "render.cc", 80, "svc0");
+    Leaf({Main, Pipe, B.functionFrame("rasterize", "render.cc", 120, "svc0")},
+         Cpu, 120 * Unit * Render);
+    Leaf({Main, Pipe, B.functionFrame("composite", "render.cc", 200, "svc0")},
+         Cpu, 80 * Unit * Render);
+
+    // EVL300: one payment leaf regresses x1.6.
+    Leaf({Main, B.functionFrame("checkout::charge_card", "pay.cc", 33, "svc0")},
+         Cpu, 50 * Unit * (Planted ? 1.6 : 1.0));
+
+    // EVL302: a brand-new context holding ~2% of the test total.
+    if (Planted)
+      Leaf({Main, B.functionFrame("tls_resume_cache", "tls.cc", 61, "svc0")},
+           Cpu, 25 * Unit);
+
+    // Healthy allocation baseline.
+    Leaf({Main, B.functionFrame("buffer_pool_reserve", "pool.cc", 9, "svc0")},
+         Alloc, 64 * MB);
+  }
+
+  // --- Service 1: media. EVL301 / EVL303 plants. ------------------------
+  {
+    FrameId Main = B.functionFrame("svc1::main", "svc1.cc", 10, "svc1");
+    FrameId Dispatch =
+        B.functionFrame("rpc_dispatch", "rpc.cc", 40, "svc1");
+    Leaf({Main, Dispatch, B.functionFrame("handler_upload", "h.cc", 7, "svc1")},
+         Cpu, 70 * Unit);
+    Leaf({Main, Dispatch, B.functionFrame("handler_stream", "h.cc", 31, "svc1")},
+         Cpu, 50 * Unit);
+
+    FrameId Transcode =
+        B.functionFrame("media::transcode", "codec.cc", 15, "svc1");
+    Leaf({Main, Transcode,
+          B.functionFrame("modern_codec_decode", "codec.cc", 90, "svc1")},
+         Cpu, 70 * Unit);
+    // EVL303: this 3%-share context vanishes from the last version.
+    if (!Planted)
+      Leaf({Main, Transcode,
+            B.functionFrame("legacy_codec_decode", "codec.cc", 210, "svc1")},
+           Cpu, 30 * Unit);
+
+    // EVL301: the cache gets dramatically faster.
+    Leaf({Main, B.functionFrame("cache_lookup", "cache.cc", 44, "svc1")},
+         Cpu, 80 * Unit * (Planted ? 0.45 : 1.0));
+
+    Leaf({Main, B.functionFrame("decode_buffer", "codec.cc", 130, "svc1")},
+         Alloc, 32 * MB);
+  }
+
+  // --- Service 2: shard router. EVL305 / EVL306 plants. -----------------
+  {
+    FrameId Main = B.functionFrame("svc2::main", "svc2.cc", 10, "svc2");
+    // EVL305: the router's distinct-callee count explodes 3 -> 24 while
+    // the subtree's total stays flat (pure context splitting).
+    FrameId Router =
+        B.functionFrame("shard_router", "route.cc", 22, "svc2");
+    unsigned Shards = Planted ? 24 : 3;
+    double PerShard = 120.0 / Shards;
+    for (unsigned S = 0; S < Shards; ++S)
+      Leaf({Main, Router,
+            B.functionFrame("shard_" + std::to_string(S), "route.cc",
+                            100 + S, "svc2")},
+           Cpu, PerShard * Unit);
+
+    FrameId Worker =
+        B.functionFrame("worker_loop", "worker.cc", 12, "svc2");
+    Leaf({Main, Worker, B.functionFrame("apply_batch", "worker.cc", 77, "svc2")},
+         Cpu, 100 * Unit);
+    Leaf({Main, B.functionFrame("gc_background", "gc.cc", 5, "svc2")},
+         Cpu, 80 * Unit);
+
+    // EVL306: the arena's bytes drift x1.6 with cpu flat.
+    Leaf({Main, Worker, B.functionFrame("arena_alloc", "arena.cc", 18, "svc2")},
+         Alloc, 48 * MB * (Planted ? 1.6 : 1.0));
+  }
+
+  // --- Filler services: stable dispatch trees, noise only. --------------
+  for (unsigned Svc = 3; Svc < Opts.Services; ++Svc) {
+    // Weights depend on the service index only, never on version/replica.
+    Rng W(Opts.Seed ^ (0xF1EE7000ULL + Svc));
+    std::string Tag = "svc" + std::to_string(Svc);
+    FrameId Main =
+        B.functionFrame(Tag + "::main", Tag + ".cc", 10, Tag);
+    FrameId Dispatch = B.functionFrame("rpc_dispatch", "rpc.cc", 40, Tag);
+    unsigned Handlers = 2 + static_cast<unsigned>(W.below(4));
+    for (unsigned H = 0; H < Handlers; ++H)
+      Leaf({Main, Dispatch,
+            B.functionFrame("handler_" + std::to_string(H), "h.cc", 5 + H,
+                            Tag)},
+           Cpu, static_cast<double>(W.range(20, 90)) * Unit);
+  }
+
+  return B.take();
+}
+
+} // namespace
+
+FleetWorkload generateFleetWorkload(const FleetOptions &Options) {
+  FleetOptions Opts = Options;
+  Opts.Services = std::max(3u, Opts.Services);
+  Opts.Versions = std::max(3u, Opts.Versions);
+  Opts.Replicas = std::max(1u, Opts.Replicas);
+
+  FleetWorkload Out;
+  Out.Versions.resize(Opts.Versions);
+  for (unsigned V = 0; V < Opts.Versions; ++V) {
+    bool Planted = V + 1 == Opts.Versions;
+    for (unsigned R = 0; R < Opts.Replicas; ++R)
+      Out.Versions[V].push_back(buildSnapshot(Opts, V, R, Planted));
+  }
+  Out.Planted = {
+      {"EVL300", "checkout::charge_card"},
+      {"EVL301", "cache_lookup"},
+      {"EVL302", "tls_resume_cache"},
+      {"EVL303", "legacy_codec_decode"},
+      {"EVL304", "render_pipeline"},
+      {"EVL305", "shard_router"},
+      {"EVL306", "arena_alloc"},
+      // The arena drift alone moves the fleet's alloc-bytes total by ~20%,
+      // so the whole-cohort rule fires too.
+      {"EVL308", "alloc-bytes"},
+  };
+  return Out;
+}
+
+} // namespace workload
+} // namespace ev

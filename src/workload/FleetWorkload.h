@@ -1,0 +1,81 @@
+//===- workload/FleetWorkload.h - Fleet regression corpus -----------------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Synthesizes the fleet-scale differential corpus that exercises the
+/// EVL3xx regression analyzer (analysis/Regression.h): N services, M
+/// release versions, R replicas per version. Every replica of a version
+/// shares the same call tree; per-replica values carry seeded
+/// multiplicative noise (~N(1, NoiseSigma)), modeling run-to-run jitter
+/// across a production fleet.
+///
+/// The LAST version additionally carries a catalogue of PLANTED
+/// regressions, one per analyzer rule family:
+///
+///   EVL300 exclusive-time regression   checkout::charge_card  x1.6
+///   EVL301 exclusive-time improvement  cache_lookup           x0.45
+///   EVL302 new hot path                tls_resume_cache       (new, ~2%)
+///   EVL303 disappeared frame           legacy_codec_decode    (removed)
+///   EVL304 inclusive-share shift       render_pipeline        x1.6 subtree
+///   EVL305 fan-out explosion           shard_router           3 -> 24 kids
+///   EVL306 allocation drift            arena_alloc            x1.6 bytes
+///   EVL308 total regression            alloc-bytes total      +~20%
+///
+/// So for M versions v0..v(M-1): (v(M-3)..v(M-2)) — any adjacent pair
+/// before the last — differ by noise only and must yield ZERO findings,
+/// while (v(M-2), v(M-1)) must yield every planted finding (plus benign
+/// collateral such as EVL300 on the boosted render leaves). The planted
+/// list names, for each expected rule, a frame whose name must appear in
+/// some finding's message — the recall contract asserted by the tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EASYVIEW_WORKLOAD_FLEETWORKLOAD_H
+#define EASYVIEW_WORKLOAD_FLEETWORKLOAD_H
+
+#include "profile/Profile.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ev {
+namespace workload {
+
+struct FleetOptions {
+  uint64_t Seed = 97;
+  /// Distinct services per fleet snapshot. The first three carry the
+  /// planted regressions; extras are filler dispatch trees. Clamped to 3.
+  unsigned Services = 4;
+  /// Release versions; the last one carries the plants. Clamped to 3.
+  unsigned Versions = 3;
+  /// Replicas (= cohort members) per version.
+  unsigned Replicas = 8;
+  /// Multiplicative per-sample noise sigma.
+  double NoiseSigma = 0.03;
+};
+
+/// One regression the generator planted: analyzing the last two versions
+/// must produce a finding with \p RuleId whose message mentions \p Frame.
+struct PlantedRegression {
+  std::string RuleId;
+  std::string Frame;
+};
+
+struct FleetWorkload {
+  /// [version][replica] fleet snapshots. All replicas of one version share
+  /// a tree; only the last version's tree (and values) carry the plants.
+  std::vector<std::vector<Profile>> Versions;
+  /// The recall contract for cohorts (Versions[M-2], Versions[M-1]).
+  std::vector<PlantedRegression> Planted;
+};
+
+FleetWorkload generateFleetWorkload(const FleetOptions &Options = {});
+
+} // namespace workload
+} // namespace ev
+
+#endif // EASYVIEW_WORKLOAD_FLEETWORKLOAD_H

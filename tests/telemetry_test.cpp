@@ -100,6 +100,43 @@ TEST(Telemetry, HistogramRecordAndStats) {
   EXPECT_EQ(H.max(), 0u);
 }
 
+TEST(Telemetry, PercentileEstimateEmptyHistogramIsZero) {
+  telemetry::Histogram H;
+  for (double P : {0.0, 1.0, 50.0, 99.9, 100.0})
+    EXPECT_EQ(H.percentileEstimate(P), 0.0) << P;
+}
+
+TEST(Telemetry, PercentileEstimateSingleSampleIsExact) {
+  // With one sample the clamp to [min(), max()] collapses every percentile
+  // to exactly that sample, interpolation notwithstanding.
+  telemetry::Histogram H;
+  H.record(100);
+  for (double P : {0.0, 1.0, 50.0, 99.9, 100.0})
+    EXPECT_EQ(H.percentileEstimate(P), 100.0) << P;
+  H.reset();
+  H.record(0); // The dedicated zero bucket behaves the same way.
+  for (double P : {1.0, 50.0, 100.0})
+    EXPECT_EQ(H.percentileEstimate(P), 0.0) << P;
+}
+
+TEST(Telemetry, PercentileEstimateAllInOverflowBucketStaysClamped) {
+  // Every value lands in the open-ended overflow bucket, whose upper edge
+  // is the observed max; estimates must stay inside [min, max].
+  telemetry::Histogram H;
+  constexpr size_t Overflow = telemetry::Histogram::BucketCount - 1;
+  uint64_t Lo = telemetry::Histogram::bucketFloor(Overflow) + 1;
+  H.record(Lo);
+  H.record(Lo * 2);
+  H.record(Lo * 3);
+  ASSERT_EQ(H.bucketCount(Overflow), 3u);
+  for (double P : {1.0, 25.0, 50.0, 75.0, 99.0, 100.0}) {
+    double E = H.percentileEstimate(P);
+    EXPECT_GE(E, static_cast<double>(H.min())) << P;
+    EXPECT_LE(E, static_cast<double>(H.max())) << P;
+  }
+  EXPECT_EQ(H.percentileEstimate(100.0), static_cast<double>(H.max()));
+}
+
 TEST(Telemetry, CountersExactUnderParallelWorkers) {
   telemetry::Registry Reg(4);
   telemetry::Counter &C = Reg.counter("test.parallel");
