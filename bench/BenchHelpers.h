@@ -23,8 +23,21 @@
 #include <string_view>
 #include <utility>
 
+#include <sys/resource.h>
+
 namespace ev {
 namespace bench {
+
+/// High-water resident set size of this process, in bytes (Linux reports
+/// ru_maxrss in kilobytes). Monotonic, so per-phase deltas come from
+/// subtracting two readings — and a phase that allocates under an earlier
+/// high-water mark legitimately reports a zero delta.
+inline uint64_t peakRssBytes() {
+  struct rusage Usage;
+  if (getrusage(RUSAGE_SELF, &Usage) != 0)
+    return 0;
+  return static_cast<uint64_t>(Usage.ru_maxrss) * 1024;
+}
 
 /// Prints one figure/table row, prefixed for extraction.
 inline void row(const char *Format, ...)

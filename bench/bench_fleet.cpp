@@ -24,16 +24,19 @@
 #include "analysis/FleetAggregate.h"
 #include "analysis/Regression.h"
 #include "profile/ProfileBuilder.h"
+#include "profile/ProfileStore.h"
 #include "support/FileIo.h"
 #include "support/Rng.h"
 #include "workload/FleetWorkload.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 #include <string>
 #include <vector>
 
 #include <sys/resource.h>
+#include <unistd.h>
 
 using namespace ev;
 
@@ -179,6 +182,96 @@ int main(int argc, char **argv) {
              AnalyzeMs);
   Fleet.set("analyzeMs", AnalyzeMs);
   Fleet.set("findings", static_cast<int64_t>(Diags.size()));
+
+  // Phase 4: the full fleet through a BUDGETED ProfileStore — every member
+  // is retained (spilled as a columnar segment once cold) yet the store's
+  // resident bytes never exceed the budget while the cohort streams
+  // through the accumulator. This is the out-of-core acceptance check, so
+  // a budget violation or a statistics mismatch fails the smoke run.
+  {
+    ProfileStore Store;
+    uint64_t MemberResident;
+    {
+      // Probe one member's resident footprint to size a budget that holds
+      // only a small fraction of the fleet.
+      ProfileStore Probe;
+      Probe.add(makeMember(1000));
+      MemberResident = Probe.stats().ResidentBytes;
+    }
+    const uint64_t StoreBudget = MemberResident * 20;
+    std::string SpillDir =
+        "/tmp/evbench_fleet_spill_" + std::to_string(getpid());
+    if (!Store.setBudget(StoreBudget, SpillDir).ok()) {
+      std::fprintf(stderr, "bench_fleet: cannot budget store at %s\n",
+                   SpillDir.c_str());
+      return 1;
+    }
+    T0 = nowMs();
+    CohortAccumulator StoreAcc(Opts);
+    uint64_t MaxResident = 0;
+    std::vector<int64_t> EarlyIds;
+    for (size_t I = 0; I < FleetN; ++I) {
+      int64_t Id = Store.add(makeMember(1000 + I));
+      if (EarlyIds.size() < 8)
+        EarlyIds.push_back(Id);
+      std::shared_ptr<const ColumnarProfile> C = Store.columnar(Id);
+      if (!C) {
+        std::fprintf(stderr, "bench_fleet: columnar fault failed for %lld\n",
+                     static_cast<long long>(Id));
+        return 1;
+      }
+      StoreAcc.add(*C);
+      MaxResident = std::max(MaxResident, Store.stats().ResidentBytes);
+    }
+    // Revisit the earliest (long-evicted) members: each faults back from
+    // its spill segment by mmap, still without breaching the budget.
+    for (int64_t Id : EarlyIds) {
+      if (!Store.columnar(Id)) {
+        std::fprintf(stderr, "bench_fleet: refault failed for %lld\n",
+                     static_cast<long long>(Id));
+        return 1;
+      }
+      MaxResident = std::max(MaxResident, Store.stats().ResidentBytes);
+    }
+    double StoreMs = nowMs() - T0;
+    StoreStats S = Store.stats();
+    bench::row("fleet store: %zu profiles in %.1f ms, budget %.2f MB, peak "
+               "resident %.2f MB, %llu spills, %llu faults",
+               FleetN, StoreMs,
+               static_cast<double>(StoreBudget) / (1024.0 * 1024.0),
+               static_cast<double>(MaxResident) / (1024.0 * 1024.0),
+               static_cast<unsigned long long>(S.Spills),
+               static_cast<unsigned long long>(S.Faults));
+    Fleet.set("storeMs", StoreMs);
+    Fleet.set("storeBudgetBytes", static_cast<int64_t>(StoreBudget));
+    Fleet.set("storePeakResidentBytes", static_cast<int64_t>(MaxResident));
+    Fleet.set("storeSpills", static_cast<int64_t>(S.Spills));
+    Fleet.set("storeSpilledBytes", static_cast<int64_t>(S.SpilledBytes));
+    Fleet.set("storeEvictions", static_cast<int64_t>(S.Evictions));
+    Fleet.set("storeFaults", static_cast<int64_t>(S.Faults));
+    Fleet.set("storeSharedStringBytes",
+              static_cast<int64_t>(S.SharedStringBytes));
+    if (MaxResident > StoreBudget) {
+      std::fprintf(stderr,
+                   "bench_fleet: store resident %llu exceeded budget %llu\n",
+                   static_cast<unsigned long long>(MaxResident),
+                   static_cast<unsigned long long>(StoreBudget));
+      return 1;
+    }
+    if (S.Spills == 0) {
+      std::fprintf(stderr,
+                   "bench_fleet: fleet fit the budget without spilling — "
+                   "budget too generous for the acceptance check\n");
+      return 1;
+    }
+    // Streaming from columnar segments must produce the same cohort
+    // statistics as streaming the decoded profiles (Phase 1).
+    if (StoreAcc.profileCount() != Acc.profileCount() ||
+        StoreAcc.inclusiveSumColumn(0)[0] != Acc.inclusiveSumColumn(0)[0]) {
+      std::fprintf(stderr, "bench_fleet: columnar cohort diverged\n");
+      return 1;
+    }
+  }
 
   // Merge under the "fleet" key of the (possibly existing) pipeline
   // report, so one JSON document carries the whole fast-path story.

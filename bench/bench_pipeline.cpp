@@ -19,6 +19,7 @@
 #include "analysis/Diff.h"
 #include "analysis/Transform.h"
 #include "ide/PvpServer.h"
+#include "profile/Columnar.h"
 #include "proto/EvProf.h"
 #include "support/ThreadPool.h"
 #include "support/Trace.h"
@@ -115,45 +116,89 @@ int main(int argc, char **argv) {
   Report.setMeta("wireBytes", static_cast<int64_t>(Wire.size()));
   Report.setMeta("hardwareThreads",
                  static_cast<int64_t>(std::thread::hardware_concurrency()));
+  // The thread count EV_THREADS actually resolved to (or the capped
+  // hardware default), so a reader can tell a 1-core host's "no parallel
+  // speedup" apart from a misconfigured run.
+  Report.setMeta("evThreads",
+                 static_cast<int64_t>(ThreadPool::configuredThreads()));
 
   std::vector<const Profile *> AggPtrs;
   for (const Profile &P : Runs)
     AggPtrs.push_back(&P);
+  // Columnar twins of the aggregate inputs over one shared string table —
+  // the representation a budgeted ProfileStore serves to pvp/aggregate.
+  SharedStringTable Shared;
+  std::vector<ColumnarProfile> Columns;
+  Columns.reserve(Runs.size());
+  for (const Profile &P : Runs)
+    Columns.push_back(ColumnarProfile::build(P, Shared));
+  std::vector<const ColumnarProfile *> ColPtrs;
+  for (const ColumnarProfile &C : Columns)
+    ColPtrs.push_back(&C);
   AggregateOptions AggOpt;
   AggOpt.WithMin = AggOpt.WithMax = AggOpt.WithMean = AggOpt.WithStddev =
       true;
 
+  // Every timed phase also reports how far it pushed the process's peak
+  // RSS (monotonic high-water, so later phases that fit under an earlier
+  // mark report zero).
+  auto RssRow = [&](std::string_view Phase, unsigned Threads, double Ms,
+                    uint64_t RssBefore) {
+    json::Object Extra;
+    Extra.set("peakRssDeltaBytes",
+              static_cast<int64_t>(bench::peakRssBytes() - RssBefore));
+    Report.addRow(Phase, Threads, Ms, std::move(Extra));
+  };
+
   double Aggregate1T = 0.0, AggregateNT = 0.0;
+  double Columnar1T = 0.0, ColumnarNT = 0.0;
   for (unsigned Threads : ThreadCounts) {
     // "1 thread" is the sequential fallback (no workers at all), the
     // baseline the speedups and the byte-identity property tests compare
     // against.
     ThreadPool::setSharedThreadCount(Threads == 1 ? 0 : Threads);
 
+    uint64_t Rss = bench::peakRssBytes();
     double OpenMs = timeMs(Reps, [&] {
       Result<Profile> P = readEvProf(Wire);
       if (!P)
         std::abort();
     });
-    Report.addRow("open", Threads, OpenMs);
+    RssRow("open", Threads, OpenMs, Rss);
     bench::row("open threads=%u ms=%.3f", Threads, OpenMs);
 
+    Rss = bench::peakRssBytes();
     double AggregateMs = timeMs(Reps, [&] {
       AggregatedProfile Agg =
           aggregate(std::span<const Profile *const>(AggPtrs), AggOpt);
       (void)Agg;
     });
-    Report.addRow("aggregate", Threads, AggregateMs);
+    RssRow("aggregate", Threads, AggregateMs, Rss);
     bench::row("aggregate threads=%u ms=%.3f", Threads, AggregateMs);
     if (Threads == 1)
       Aggregate1T = AggregateMs;
     AggregateNT = AggregateMs;
 
+    // The same merge fed from columnar segments (byte-identical output;
+    // tests/store_test.cpp holds the proof, this row holds the price).
+    Rss = bench::peakRssBytes();
+    double ColumnarMs = timeMs(Reps, [&] {
+      AggregatedProfile Agg = aggregate(
+          std::span<const ColumnarProfile *const>(ColPtrs), AggOpt);
+      (void)Agg;
+    });
+    RssRow("aggregate-columnar", Threads, ColumnarMs, Rss);
+    bench::row("aggregate-columnar threads=%u ms=%.3f", Threads, ColumnarMs);
+    if (Threads == 1)
+      Columnar1T = ColumnarMs;
+    ColumnarNT = ColumnarMs;
+
+    Rss = bench::peakRssBytes();
     double DiffMs = timeMs(Reps, [&] {
       DiffResult D = diffProfiles(Runs[0], Runs[1], 0);
       (void)D;
     });
-    Report.addRow("diff", Threads, DiffMs);
+    RssRow("diff", Threads, DiffMs, Rss);
     bench::row("diff threads=%u ms=%.3f", Threads, DiffMs);
 
     // Case-study rows: the paper's workloads at the same thread count.
@@ -172,11 +217,12 @@ int main(int argc, char **argv) {
     });
     Report.addRow("diff-spark", Threads, SparkDiffMs);
 
+    Rss = bench::peakRssBytes();
     double FlameMs = timeMs(Reps, [&] {
       Profile Up = bottomUpTree(Runs[0]);
       (void)Up;
     });
-    Report.addRow("flame-shape", Threads, FlameMs);
+    RssRow("flame-shape", Threads, FlameMs, Rss);
     bench::row("flame-shape threads=%u ms=%.3f", Threads, FlameMs);
   }
 
@@ -186,11 +232,13 @@ int main(int argc, char **argv) {
   PvpServer Server;
   int64_t Id = Server.addProfile(Runs[0]);
   json::Value Req = flameRequest(Id);
+  uint64_t FlameRss = bench::peakRssBytes();
   double ColdMs = timeMs(1, [&] { Server.handleMessage(Req); });
+  RssRow("pvp-flame-cold", 1, ColdMs, FlameRss);
+  FlameRss = bench::peakRssBytes();
   double WarmMs = timeMs(Smoke ? 3 : 20, [&] { Server.handleMessage(Req); });
   double CacheSpeedup = WarmMs > 0.0 ? ColdMs / WarmMs : 0.0;
-  Report.addRow("pvp-flame-cold", 1, ColdMs);
-  Report.addRow("pvp-flame-warm", 1, WarmMs);
+  RssRow("pvp-flame-warm", 1, WarmMs, FlameRss);
   Report.setSummary("flameCacheSpeedup", CacheSpeedup);
   bench::row("pvp/flame cold ms=%.3f warm ms=%.3f speedup=%.1fx", ColdMs,
              WarmMs, CacheSpeedup);
@@ -213,15 +261,17 @@ int main(int argc, char **argv) {
   };
   const int AblateReps = Smoke ? 2 : 7;
   trace::setEnabled(true);
+  uint64_t AblateRss = bench::peakRssBytes();
   double TracedMs = timeMs(AblateReps, Pipeline);
+  RssRow("pipeline-traced", 1, TracedMs, AblateRss);
   trace::setEnabled(false);
+  AblateRss = bench::peakRssBytes();
   double UntracedMs = timeMs(AblateReps, Pipeline);
   trace::setEnabled(true);
   trace::clear();
   double OverheadPct =
       UntracedMs > 0.0 ? (TracedMs / UntracedMs - 1.0) * 100.0 : 0.0;
-  Report.addRow("pipeline-traced", 1, TracedMs);
-  Report.addRow("pipeline-untraced", 1, UntracedMs);
+  RssRow("pipeline-untraced", 1, UntracedMs, AblateRss);
   Report.setSummary("instrumentationOverheadPct", OverheadPct);
   bench::row("pipeline traced ms=%.3f untraced ms=%.3f overhead=%.2f%%",
              TracedMs, UntracedMs, OverheadPct);
@@ -234,6 +284,19 @@ int main(int argc, char **argv) {
     bench::row("aggregate %u-thread speedup=%.2fx", ThreadCounts.back(),
                AggSpeedup);
   }
+  if (Columnar1T > 0.0 && ColumnarNT > 0.0) {
+    // Columnar vs AoS at matching thread counts: the algorithm is shared,
+    // so this isolates the cost/win of reading flat columns (no AoS
+    // pointer chasing, no per-node vectors) against decoded profiles.
+    Report.setSummary("columnarVsAosAggregate1T",
+                      Columnar1T > 0.0 ? Aggregate1T / Columnar1T : 0.0);
+    Report.setSummary("columnarVsAosAggregateMaxThreads",
+                      ColumnarNT > 0.0 ? AggregateNT / ColumnarNT : 0.0);
+    bench::row("aggregate-columnar vs aos: 1T %.2fx, %uT %.2fx",
+               Aggregate1T / Columnar1T, ThreadCounts.back(),
+               AggregateNT / ColumnarNT);
+  }
+  Report.setMeta("peakRssBytes", static_cast<int64_t>(bench::peakRssBytes()));
 
   if (!Report.write(OutPath)) {
     std::fprintf(stderr, "failed to write %s\n", OutPath.c_str());

@@ -6,6 +6,7 @@
 
 #include "analysis/Aggregate.h"
 
+#include "profile/Columnar.h"
 #include "support/ThreadPool.h"
 #include "support/Trace.h"
 
@@ -62,6 +63,28 @@ AggregatedProfile::perProfileInclusive(NodeId Node, MetricId Metric) const {
   return Out;
 }
 
+/// Private-member access for the shared merge implementation below. The
+/// implementation is a template (instantiated once for AoS inputs, once
+/// for columnar inputs), so it cannot itself be named in a friend
+/// declaration; this little struct can.
+struct AggregateAccess {
+  static Profile &merged(AggregatedProfile &A) { return A.Merged; }
+  static size_t &profileCount(AggregatedProfile &A) { return A.ProfileCount; }
+  static size_t &inputMetricCount(AggregatedProfile &A) {
+    return A.InputMetricCount;
+  }
+  static std::unordered_map<uint64_t, uint32_t> &
+  keyIndex(AggregatedProfile &A) {
+    return A.KeyIndex;
+  }
+  static std::vector<uint64_t> &keyOrder(AggregatedProfile &A) {
+    return A.KeyOrder;
+  }
+  static std::vector<double> &matrix(AggregatedProfile &A) {
+    return A.Matrix;
+  }
+};
+
 namespace {
 
 /// Textual identity of a frame, resolved out of the owning profile's string
@@ -81,45 +104,127 @@ struct ProfilePrep {
   std::vector<CanonFrame> Frames;
 };
 
-} // namespace
+/// Uniform read-only view of one AoS input. The merge template touches
+/// inputs only through this interface, so the columnar twin below is
+/// guaranteed to replay the identical algorithm.
+struct AosInput {
+  const Profile *P;
 
-AggregatedProfile aggregate(std::span<const Profile *const> Profiles,
-                            const AggregateOptions &Options,
-                            const CancelToken &Cancel) {
-  trace::Span Span("analysis/aggregate", "analysis");
-  assert(!Profiles.empty() && "aggregate requires at least one profile");
+  size_t nodeCount() const { return P->nodeCount(); }
+  NodeId parentOf(NodeId Id) const { return P->node(Id).Parent; }
+  FrameId frameRefOf(NodeId Id) const { return P->node(Id).FrameRef; }
+  size_t frameCount() const { return P->frames().size(); }
+  size_t metricCount() const { return P->metrics().size(); }
+  std::string_view metricName(MetricId I) const {
+    return P->metrics()[I].Name;
+  }
+  std::string_view metricUnit(MetricId I) const {
+    return P->metrics()[I].Unit;
+  }
+  MetricAggregation metricAgg(MetricId I) const {
+    return P->metrics()[I].Aggregation;
+  }
+  CanonFrame canonFrame(FrameId F) const {
+    const Frame &Fr = P->frames()[F];
+    return {Fr.Kind, P->text(Fr.Name), P->text(Fr.Loc.File),
+            P->text(Fr.Loc.Module), Fr.Loc.Line};
+  }
+  template <typename Fn> void forEachValue(NodeId Id, Fn &&Visit) const {
+    for (const MetricValue &MV : P->node(Id).Metrics)
+      Visit(MV.Metric, MV.Value);
+  }
+};
+
+/// Uniform view of one columnar input: the tree walk reads the flat
+/// parent/frame columns and the value visit sweeps the metric CSR — no
+/// per-node objects anywhere. String texts resolve through the store-wide
+/// table (views are stable; SharedStringTable reads are lock-cheap and
+/// only taken once per distinct frame/metric, never per node).
+struct ColumnarInput {
+  const ColumnarProfile *C;
+  std::span<const uint32_t> Parents, FrameRefs, MetOff, MetIds;
+  std::span<const double> MetVals;
+  std::span<const uint32_t> StrGlobal;
+
+  explicit ColumnarInput(const ColumnarProfile &CP)
+      : C(&CP), Parents(CP.parents()), FrameRefs(CP.frameRefs()),
+        MetOff(CP.metricOffsets()), MetIds(CP.metricIds()),
+        MetVals(CP.metricValues()), StrGlobal(CP.stringGlobal()) {}
+
+  size_t nodeCount() const { return C->nodeCount(); }
+  NodeId parentOf(NodeId Id) const { return Parents[Id]; }
+  FrameId frameRefOf(NodeId Id) const { return FrameRefs[Id]; }
+  size_t frameCount() const { return C->frameCount(); }
+  size_t metricCount() const { return C->metricCount(); }
+  std::string_view metricName(MetricId I) const {
+    return C->strings().text(C->metricNameIds()[I]);
+  }
+  std::string_view metricUnit(MetricId I) const {
+    return C->strings().text(C->metricUnitIds()[I]);
+  }
+  MetricAggregation metricAgg(MetricId I) const {
+    return static_cast<MetricAggregation>(C->metricAggs()[I]);
+  }
+  CanonFrame canonFrame(FrameId F) const {
+    const SharedStringTable &S = C->strings();
+    return {static_cast<FrameKind>(C->frameKinds()[F]),
+            S.text(StrGlobal[C->frameNames()[F]]),
+            S.text(StrGlobal[C->frameFiles()[F]]),
+            S.text(StrGlobal[C->frameModules()[F]]), C->frameLines()[F]};
+  }
+  template <typename Fn> void forEachValue(NodeId Id, Fn &&Visit) const {
+    for (uint32_t V = MetOff[Id], End = MetOff[Id + 1]; V < End; ++V)
+      Visit(MetIds[V], MetVals[V]);
+  }
+};
+
+/// The merge algorithm, shared verbatim by both input representations.
+/// Every ordering decision (metric declaration order, frame first-touch
+/// interning, node-order key discovery, KeyOrder attach) depends only on
+/// the Input interface, which is why the two public overloads produce
+/// byte-identical merged profiles.
+template <typename Input>
+AggregatedProfile aggregateImpl(const std::vector<Input> &Inputs,
+                                const AggregateOptions &Options,
+                                const CancelToken &Cancel) {
+  assert(!Inputs.empty() && "aggregate requires at least one profile");
   AggregatedProfile Agg;
-  Agg.ProfileCount = Profiles.size();
-  const Profile &First = *Profiles[0];
-  Agg.InputMetricCount = First.metrics().size();
-  assert(Agg.InputMetricCount < 0xFFFF && "metric id space exhausted");
+  AggregateAccess::profileCount(Agg) = Inputs.size();
+  const Input &First = Inputs[0];
+  size_t InputMetricCount = First.metricCount();
+  AggregateAccess::inputMetricCount(Agg) = InputMetricCount;
+  assert(InputMetricCount < 0xFFFF && "metric id space exhausted");
+  std::unordered_map<uint64_t, uint32_t> &KeyIndex =
+      AggregateAccess::keyIndex(Agg);
+  std::vector<uint64_t> &KeyOrder = AggregateAccess::keyOrder(Agg);
+  std::vector<double> &Matrix = AggregateAccess::matrix(Agg);
 
-  Profile &Merged = Agg.Merged;
-  Merged.setName("aggregate of " + std::to_string(Profiles.size()) +
+  Profile &Merged = AggregateAccess::merged(Agg);
+  Merged.setName("aggregate of " + std::to_string(Inputs.size()) +
                  " profiles");
 
   // Column layout: first the input metrics (holding the per-node SUM when
   // WithSum, otherwise zeros), then the derived statistics.
-  std::vector<MetricId> SumIds(Agg.InputMetricCount);
+  std::vector<MetricId> SumIds(InputMetricCount);
   std::vector<MetricId> MinIds, MaxIds, MeanIds, StddevIds;
-  for (MetricId I = 0; I < Agg.InputMetricCount; ++I) {
-    const MetricDescriptor &M = First.metrics()[I];
-    SumIds[I] = Merged.addMetric(M.Name, M.Unit, M.Aggregation);
-  }
-  for (MetricId I = 0; I < Agg.InputMetricCount; ++I) {
-    const MetricDescriptor &M = First.metrics()[I];
+  for (MetricId I = 0; I < InputMetricCount; ++I)
+    SumIds[I] = Merged.addMetric(First.metricName(I), First.metricUnit(I),
+                                 First.metricAgg(I));
+  for (MetricId I = 0; I < InputMetricCount; ++I) {
+    std::string Name(First.metricName(I));
+    std::string_view Unit = First.metricUnit(I);
     if (Options.WithMin)
       MinIds.push_back(
-          Merged.addMetric(M.Name + ".min", M.Unit, MetricAggregation::Min));
+          Merged.addMetric(Name + ".min", Unit, MetricAggregation::Min));
     if (Options.WithMax)
       MaxIds.push_back(
-          Merged.addMetric(M.Name + ".max", M.Unit, MetricAggregation::Max));
+          Merged.addMetric(Name + ".max", Unit, MetricAggregation::Max));
     if (Options.WithMean)
       MeanIds.push_back(
-          Merged.addMetric(M.Name + ".mean", M.Unit, MetricAggregation::Sum));
+          Merged.addMetric(Name + ".mean", Unit, MetricAggregation::Sum));
     if (Options.WithStddev)
-      StddevIds.push_back(Merged.addMetric(M.Name + ".stddev", M.Unit,
-                                           MetricAggregation::Sum));
+      StddevIds.push_back(
+          Merged.addMetric(Name + ".stddev", Unit, MetricAggregation::Sum));
   }
 
   // Phase 1 (parallel): canonicalize every input independently — resolve
@@ -128,20 +233,22 @@ AggregatedProfile aggregate(std::span<const Profile *const> Profiles,
   // across workers.
   std::vector<ProfilePrep> Preps =
       ThreadPool::shared().parallelMap<ProfilePrep>(
-          Profiles.size(), [&](size_t ProfIdx) {
-            const Profile &P = *Profiles[ProfIdx];
+          Inputs.size(), [&](size_t ProfIdx) {
+            const Input &P = Inputs[ProfIdx];
             ProfilePrep Prep;
-            Prep.MetricMap.assign(P.metrics().size(), Profile::InvalidMetric);
-            for (MetricId I = 0; I < P.metrics().size(); ++I) {
-              MetricId Target = First.findMetric(P.metrics()[I].Name);
-              if (Target != Profile::InvalidMetric)
-                Prep.MetricMap[I] = Target;
+            Prep.MetricMap.assign(P.metricCount(), Profile::InvalidMetric);
+            for (MetricId I = 0; I < P.metricCount(); ++I) {
+              std::string_view Name = P.metricName(I);
+              for (MetricId T = 0; T < InputMetricCount; ++T) {
+                if (First.metricName(T) == Name) {
+                  Prep.MetricMap[I] = T;
+                  break;
+                }
+              }
             }
-            Prep.Frames.reserve(P.frames().size());
-            for (const Frame &F : P.frames())
-              Prep.Frames.push_back({F.Kind, P.text(F.Name),
-                                     P.text(F.Loc.File), P.text(F.Loc.Module),
-                                     F.Loc.Line});
+            Prep.Frames.reserve(P.frameCount());
+            for (FrameId F = 0; F < P.frameCount(); ++F)
+              Prep.Frames.push_back(P.canonFrame(F));
             return Prep;
           });
 
@@ -160,15 +267,15 @@ AggregatedProfile aggregate(std::span<const Profile *const> Profiles,
     return Id;
   };
 
-  std::vector<std::vector<NodeId>> OutNodes(Profiles.size());
-  for (size_t ProfIdx = 0; ProfIdx < Profiles.size(); ++ProfIdx) {
-    const Profile &P = *Profiles[ProfIdx];
+  std::vector<std::vector<NodeId>> OutNodes(Inputs.size());
+  for (size_t ProfIdx = 0; ProfIdx < Inputs.size(); ++ProfIdx) {
+    const Input &P = Inputs[ProfIdx];
     const ProfilePrep &Prep = Preps[ProfIdx];
     std::vector<NodeId> &OutNode = OutNodes[ProfIdx];
     OutNode.assign(P.nodeCount(), InvalidNode);
-    OutNode[P.root()] = Merged.root();
-    std::vector<FrameId> FrameMap(P.frames().size(), 0);
-    std::vector<bool> FrameMapped(P.frames().size(), false);
+    OutNode[0] = Merged.root();
+    std::vector<FrameId> FrameMap(P.frameCount(), 0);
+    std::vector<bool> FrameMapped(P.frameCount(), false);
     auto MapFrame = [&](FrameId F) {
       if (FrameMapped[F])
         return FrameMap[F];
@@ -189,30 +296,27 @@ AggregatedProfile aggregate(std::span<const Profile *const> Profiles,
     for (NodeId Id = 1; Id < P.nodeCount(); ++Id) {
       if ((Id & 8191) == 0)
         Cancel.checkpoint();
-      const CCTNode &Node = P.node(Id);
-      OutNode[Id] = ChildFor(OutNode[Node.Parent], MapFrame(Node.FrameRef));
+      OutNode[Id] = ChildFor(OutNode[P.parentOf(Id)], MapFrame(P.frameRefOf(Id)));
     }
   }
 
   // Phase 3a (sequential): discover the (node, metric) key set in profile
   // then node order, assigning each key a stable dense row.
-  for (size_t ProfIdx = 0; ProfIdx < Profiles.size(); ++ProfIdx) {
-    const Profile &P = *Profiles[ProfIdx];
+  for (size_t ProfIdx = 0; ProfIdx < Inputs.size(); ++ProfIdx) {
+    const Input &P = Inputs[ProfIdx];
     const std::vector<MetricId> &MetricMap = Preps[ProfIdx].MetricMap;
     for (NodeId Id = 0; Id < P.nodeCount(); ++Id) {
       if ((Id & 8191) == 0)
         Cancel.checkpoint();
-      for (const MetricValue &MV : P.node(Id).Metrics) {
-        if (MV.Metric >= MetricMap.size() ||
-            MetricMap[MV.Metric] == Profile::InvalidMetric)
-          continue;
-        uint64_t Key = AggregatedProfile::sampleKey(OutNodes[ProfIdx][Id],
-                                                    MetricMap[MV.Metric]);
-        if (Agg.KeyIndex.emplace(Key, static_cast<uint32_t>(
-                                          Agg.KeyOrder.size()))
+      P.forEachValue(Id, [&](MetricId M, double) {
+        if (M >= MetricMap.size() || MetricMap[M] == Profile::InvalidMetric)
+          return;
+        uint64_t Key =
+            AggregatedProfile::sampleKey(OutNodes[ProfIdx][Id], MetricMap[M]);
+        if (KeyIndex.emplace(Key, static_cast<uint32_t>(KeyOrder.size()))
                 .second)
-          Agg.KeyOrder.push_back(Key);
-      }
+          KeyOrder.push_back(Key);
+      });
     }
   }
 
@@ -220,21 +324,19 @@ AggregatedProfile aggregate(std::span<const Profile *const> Profiles,
   // profile writes only its own column of every row, so profiles proceed
   // concurrently without synchronization, and the per-profile accumulation
   // order (node order) is the same in every mode.
-  size_t N = Profiles.size();
-  Agg.Matrix.assign(Agg.KeyOrder.size() * N, 0.0);
-  ThreadPool::shared().parallelFor(Profiles.size(), [&](size_t ProfIdx) {
-    const Profile &P = *Profiles[ProfIdx];
+  size_t N = Inputs.size();
+  Matrix.assign(KeyOrder.size() * N, 0.0);
+  ThreadPool::shared().parallelFor(Inputs.size(), [&](size_t ProfIdx) {
+    const Input &P = Inputs[ProfIdx];
     const std::vector<MetricId> &MetricMap = Preps[ProfIdx].MetricMap;
     for (NodeId Id = 0; Id < P.nodeCount(); ++Id) {
-      for (const MetricValue &MV : P.node(Id).Metrics) {
-        if (MV.Metric >= MetricMap.size() ||
-            MetricMap[MV.Metric] == Profile::InvalidMetric)
-          continue;
-        uint64_t Key = AggregatedProfile::sampleKey(OutNodes[ProfIdx][Id],
-                                                    MetricMap[MV.Metric]);
-        Agg.Matrix[size_t(Agg.KeyIndex.find(Key)->second) * N + ProfIdx] +=
-            MV.Value;
-      }
+      P.forEachValue(Id, [&](MetricId M, double Value) {
+        if (M >= MetricMap.size() || MetricMap[M] == Profile::InvalidMetric)
+          return;
+        uint64_t Key =
+            AggregatedProfile::sampleKey(OutNodes[ProfIdx][Id], MetricMap[M]);
+        Matrix[size_t(KeyIndex.find(Key)->second) * N + ProfIdx] += Value;
+      });
     }
   });
 
@@ -246,9 +348,9 @@ AggregatedProfile aggregate(std::span<const Profile *const> Profiles,
   struct RowStats {
     double Sum, Min, Max, Mean, Stddev;
   };
-  std::vector<RowStats> Stats(Agg.KeyOrder.size());
-  ThreadPool::shared().parallelFor(Agg.KeyOrder.size(), [&](size_t R) {
-    const double *Row = Agg.Matrix.data() + R * N;
+  std::vector<RowStats> Stats(KeyOrder.size());
+  ThreadPool::shared().parallelFor(KeyOrder.size(), [&](size_t R) {
+    const double *Row = Matrix.data() + R * N;
     double Sum = 0.0, Min = Row[0], Max = Row[0];
     for (size_t I = 0; I < N; ++I) {
       Sum += Row[I];
@@ -261,8 +363,8 @@ AggregatedProfile aggregate(std::span<const Profile *const> Profiles,
       Var += (Row[I] - Mean) * (Row[I] - Mean);
     Stats[R] = {Sum, Min, Max, Mean, std::sqrt(Var / static_cast<double>(N))};
   });
-  for (size_t R = 0; R < Agg.KeyOrder.size(); ++R) {
-    uint64_t Key = Agg.KeyOrder[R];
+  for (size_t R = 0; R < KeyOrder.size(); ++R) {
+    uint64_t Key = KeyOrder[R];
     NodeId Node = static_cast<NodeId>(Key >> 16);
     MetricId Metric = static_cast<MetricId>(Key & 0xFFFF);
     const RowStats &S = Stats[R];
@@ -278,6 +380,30 @@ AggregatedProfile aggregate(std::span<const Profile *const> Profiles,
       Merged.node(Node).addMetric(StddevIds[Metric], S.Stddev);
   }
   return Agg;
+}
+
+} // namespace
+
+AggregatedProfile aggregate(std::span<const Profile *const> Profiles,
+                            const AggregateOptions &Options,
+                            const CancelToken &Cancel) {
+  trace::Span Span("analysis/aggregate", "analysis");
+  std::vector<AosInput> Inputs;
+  Inputs.reserve(Profiles.size());
+  for (const Profile *P : Profiles)
+    Inputs.push_back(AosInput{P});
+  return aggregateImpl(Inputs, Options, Cancel);
+}
+
+AggregatedProfile aggregate(std::span<const ColumnarProfile *const> Profiles,
+                            const AggregateOptions &Options,
+                            const CancelToken &Cancel) {
+  trace::Span Span("analysis/aggregateColumnar", "analysis");
+  std::vector<ColumnarInput> Inputs;
+  Inputs.reserve(Profiles.size());
+  for (const ColumnarProfile *C : Profiles)
+    Inputs.emplace_back(*C);
+  return aggregateImpl(Inputs, Options, Cancel);
 }
 
 } // namespace ev

@@ -6,6 +6,7 @@
 
 #include "analysis/FleetAggregate.h"
 
+#include "profile/Columnar.h"
 #include "support/Trace.h"
 
 #include <algorithm>
@@ -77,6 +78,89 @@ void CohortAccumulator::adoptSchema(const Profile &P) {
   for (const MetricDescriptor &M : P.metrics())
     Shape.addMetric(M.Name, M.Unit, M.Aggregation);
   assert(Shape.metrics().size() < 0xFFFF && "metric id space exhausted");
+}
+
+void CohortAccumulator::adoptSchema(const ColumnarProfile &P) {
+  if (!Shape.metrics().empty() || Profiles > 0)
+    return;
+  const SharedStringTable &S = P.strings();
+  for (size_t I = 0; I < P.metricCount(); ++I)
+    Shape.addMetric(S.text(P.metricNameIds()[I]), S.text(P.metricUnitIds()[I]),
+                    static_cast<MetricAggregation>(P.metricAggs()[I]));
+  assert(Shape.metrics().size() < 0xFFFF && "metric id space exhausted");
+}
+
+void CohortAccumulator::add(const ColumnarProfile &P,
+                            const CancelToken &Cancel) {
+  trace::Span Span("analysis/fleetAddColumnar", "analysis");
+  adoptSchema(P);
+
+  // Identical fold to add(const Profile &) below, reading columns instead
+  // of node objects; every intern/childFor happens in the same order, so
+  // the accumulator state comes out the same either way (pinned by
+  // tests/store_test.cpp).
+  const SharedStringTable &S = P.strings();
+  std::span<const uint32_t> StrGlobal = P.stringGlobal();
+  std::vector<MetricId> MetricMap(P.metricCount(), Profile::InvalidMetric);
+  for (MetricId I = 0; I < P.metricCount(); ++I) {
+    MetricId Target = Shape.findMetric(S.text(P.metricNameIds()[I]));
+    if (Target != Profile::InvalidMetric)
+      MetricMap[I] = Target;
+  }
+
+  std::span<const uint8_t> FrKinds = P.frameKinds();
+  std::span<const uint32_t> FrNames = P.frameNames();
+  std::span<const uint32_t> FrFiles = P.frameFiles();
+  std::span<const uint32_t> FrLines = P.frameLines();
+  std::span<const uint32_t> FrModules = P.frameModules();
+  std::vector<FrameId> FrameMap(P.frameCount(), 0);
+  std::vector<bool> FrameMapped(P.frameCount(), false);
+  auto MapFrame = [&](FrameId F) {
+    if (FrameMapped[F])
+      return FrameMap[F];
+    Frame Copy;
+    Copy.Kind = static_cast<FrameKind>(FrKinds[F]);
+    Copy.Name = Shape.strings().intern(S.text(StrGlobal[FrNames[F]]));
+    Copy.Loc.File = Shape.strings().intern(S.text(StrGlobal[FrFiles[F]]));
+    Copy.Loc.Line = FrLines[F];
+    Copy.Loc.Module = Shape.strings().intern(S.text(StrGlobal[FrModules[F]]));
+    Copy.Loc.Address = 0;
+    FrameMap[F] = Shape.internFrame(Copy);
+    FrameMapped[F] = true;
+    return FrameMap[F];
+  };
+
+  std::span<const uint32_t> Parents = P.parents();
+  std::span<const uint32_t> FrameRefs = P.frameRefs();
+  size_t Count = P.nodeCount();
+  std::vector<NodeId> OutNode(Count, InvalidNode);
+  OutNode[0] = Shape.root();
+  for (NodeId Id = 1; Id < Count; ++Id) {
+    if ((Id & 8191) == 0)
+      Cancel.checkpoint();
+    OutNode[Id] = childFor(OutNode[Parents[Id]], MapFrame(FrameRefs[Id]));
+  }
+
+  std::span<const uint32_t> MetOff = P.metricOffsets();
+  std::span<const uint32_t> MetIds = P.metricIds();
+  std::span<const double> MetVals = P.metricValues();
+  std::unordered_map<uint64_t, double> Contrib;
+  for (NodeId Id = 0; Id < Count; ++Id) {
+    if ((Id & 8191) == 0)
+      Cancel.checkpoint();
+    for (uint32_t V = MetOff[Id], End = MetOff[Id + 1]; V < End; ++V) {
+      if (MetIds[V] >= MetricMap.size() ||
+          MetricMap[MetIds[V]] == Profile::InvalidMetric)
+        continue;
+      Contrib[momentKey(OutNode[Id], MetricMap[MetIds[V]])] += MetVals[V];
+    }
+  }
+  for (const auto &[Key, Value] : Contrib)
+    Moments[Key].push(Value);
+
+  ++Profiles;
+  if (Opts.NodeBudget && Shape.nodeCount() > Opts.NodeBudget)
+    pruneToBudget();
 }
 
 void CohortAccumulator::add(const Profile &P, const CancelToken &Cancel) {

@@ -45,6 +45,8 @@
 
 namespace ev {
 
+class ColumnarProfile;
+
 /// Configuration for one accumulator.
 struct FleetAggregateOptions {
   /// Hard cap on accumulator CCT nodes. Exceeding it triggers a
@@ -98,6 +100,13 @@ public:
   /// aggregate. The input can be destroyed immediately afterwards.
   void add(const Profile &P, const CancelToken &Cancel = {});
 
+  /// Folds a columnar profile (profile/Columnar.h) without materializing
+  /// its AoS form: the tree walk sweeps the flat parent/frame columns and
+  /// samples come straight from the metric CSR. Produces exactly the
+  /// statistics add(P.materialize()) would — the budget-constrained path
+  /// for fleet cohorts streaming out of a spilling ProfileStore.
+  void add(const ColumnarProfile &P, const CancelToken &Cancel = {});
+
   /// Exact pairwise merge: afterwards this accumulator reports the same
   /// statistics as if every profile of \p Other had been add()ed here (up
   /// to pruning, which is re-evaluated against this node budget).
@@ -143,6 +152,7 @@ public:
 private:
   NodeId childFor(NodeId Parent, FrameId F);
   void adoptSchema(const Profile &P);
+  void adoptSchema(const ColumnarProfile &P);
   void pruneToBudget();
   void pruneOnce(size_t Target);
 

@@ -32,6 +32,7 @@
 #include "support/Trace.h"
 
 #include <algorithm>
+#include <optional>
 
 namespace ev {
 
@@ -62,7 +63,16 @@ PvpServer::PvpServer(ServerLimits Limits)
 PvpServer::PvpServer(ServerLimits Limits, std::shared_ptr<ProfileStore> Store,
                      std::shared_ptr<ViewCache> Cache)
     : Limits(Limits), Store(std::move(Store)), Reader(Limits.Wire),
-      NowMs(monoMillis), Cache(std::move(Cache)) {}
+      NowMs(monoMillis), Cache(std::move(Cache)) {
+  // Arm the out-of-core budget (profile/Columnar.h). Best-effort: an
+  // unwritable spill directory leaves the store unbudgeted rather than
+  // failing construction — the server still works, it just holds
+  // everything resident. Re-applying the same budget to an already shared,
+  // already budgeted store is harmless (setBudget is idempotent for equal
+  // arguments).
+  if (Limits.StoreBudgetBytes != 0 && !Limits.SpillDir.empty())
+    (void)this->Store->setBudget(Limits.StoreBudgetBytes, Limits.SpillDir);
+}
 
 void PvpServer::setClock(std::function<uint64_t()> Clock) {
   // Deadlines are durations, so the default is the MONOTONIC clock
@@ -420,31 +430,58 @@ Result<json::Value> PvpServer::doAggregate(const json::Object &Params) {
   const json::Value *IdsV = Params.find("profiles");
   if (!IdsV || !IdsV->isArray() || IdsV->asArray().empty())
     return makeError("pvp/aggregate needs a non-empty 'profiles' array");
-  // Held keeps every input alive for the whole aggregation even if another
-  // session closes one mid-request; Inputs is the raw view aggregate()
-  // wants.
-  std::vector<std::shared_ptr<const Profile>> Held;
-  std::vector<const Profile *> Inputs;
+  std::vector<int64_t> Ids;
   for (const json::Value &IdV : IdsV->asArray()) {
     int64_t InputId;
     if (!IdV.getInteger(InputId))
       return makeError("'profiles' must contain numeric ids");
-    std::shared_ptr<const Profile> P = profileHandle(InputId);
-    if (!P)
+    if (!Owned.count(InputId))
       return makeError("no profile with id " + std::to_string(InputId));
-    Inputs.push_back(P.get());
-    Held.push_back(std::move(P));
+    Ids.push_back(InputId);
   }
   AggregateOptions Opt;
   Opt.WithMin = Opt.WithMax = Opt.WithMean = true;
-  AggregatedProfile Agg = aggregate(Inputs, Opt, ActiveCancel);
 
-  int64_t Id = addProfile(topDownTree(Agg.merged(), ActiveCancel));
+  // On a budgeted (spilling) store every input already carries a columnar
+  // form, so aggregate straight from the column segments: same algorithm,
+  // writeEvProf-byte-identical output, but no AoS materialization of every
+  // input — the whole point of the budget. Unbudgeted stores keep the AoS
+  // path so plain sessions never pay a columnar build. Either branch keeps
+  // its Held handles alive for the whole aggregation even if another
+  // session closes an input mid-request.
+  std::optional<AggregatedProfile> Agg;
+  if (Store->stats().BudgetBytes != 0) {
+    std::vector<std::shared_ptr<const ColumnarProfile>> Held;
+    std::vector<const ColumnarProfile *> Inputs;
+    for (int64_t InputId : Ids) {
+      std::shared_ptr<const ColumnarProfile> C = Store->columnar(InputId);
+      if (!C)
+        break; // Dropped or unreadable spill: fall back to the AoS path.
+      Inputs.push_back(C.get());
+      Held.push_back(std::move(C));
+    }
+    if (Inputs.size() == Ids.size())
+      Agg = aggregate(Inputs, Opt, ActiveCancel);
+  }
+  if (!Agg) {
+    std::vector<std::shared_ptr<const Profile>> Held;
+    std::vector<const Profile *> Inputs;
+    for (int64_t InputId : Ids) {
+      std::shared_ptr<const Profile> P = profileHandle(InputId);
+      if (!P)
+        return makeError("no profile with id " + std::to_string(InputId));
+      Inputs.push_back(P.get());
+      Held.push_back(std::move(P));
+    }
+    Agg = aggregate(Inputs, Opt, ActiveCancel);
+  }
+
+  int64_t Id = addProfile(topDownTree(Agg->merged(), ActiveCancel));
   json::Object Out;
   Out.set("profile", Id);
-  Out.set("nodes", Agg.merged().nodeCount());
-  Out.set("inputs", Inputs.size());
-  Aggregates.emplace(Id, std::move(Agg));
+  Out.set("nodes", Agg->merged().nodeCount());
+  Out.set("inputs", Ids.size());
+  Aggregates.emplace(Id, std::move(*Agg));
   return json::Value(std::move(Out));
 }
 
@@ -929,12 +966,24 @@ Result<json::Value> PvpServer::doRegressions(const json::Object &Params) {
 
   // Stream each cohort member through the accumulator. Memory stays
   // O(merged CCT): profiles live in the store either way, but the cohort
-  // analysis itself never materializes an O(N profiles) matrix.
+  // analysis itself never materializes an O(N profiles) matrix. On a
+  // budgeted store each member is folded straight from its columnar
+  // segment (one resident at a time, spilled members fault in and age
+  // right back out), so a cohort far larger than the budget streams
+  // through without the store ever exceeding it.
+  const bool Budgeted = Store->stats().BudgetBytes != 0;
   auto Fill = [&](const std::vector<int64_t> &Ids,
                   CohortAccumulator &Acc) -> Result<bool> {
     for (int64_t ProfId : Ids) {
       if (deadlineExpired())
         return makeError(DeadlineDiag);
+      if (Budgeted && Owned.count(ProfId)) {
+        if (std::shared_ptr<const ColumnarProfile> C =
+                Store->columnar(ProfId)) {
+          Acc.add(*C, ActiveCancel);
+          continue;
+        }
+      }
       std::shared_ptr<const Profile> P = profileHandle(ProfId);
       if (!P)
         return makeError("no profile with id " + std::to_string(ProfId));
@@ -1031,6 +1080,25 @@ Result<json::Value> PvpServer::doStats(const json::Object &) {
   Out.set("cacheShards", static_cast<int64_t>(Cache->shardCount()));
   Out.set("cacheRevalidations", Cache->revalidationDrops());
   Out.set("storeProfiles", static_cast<int64_t>(Store->size()));
+  // Memory attribution (docs/PERF.md "Out-of-core columnar store"): cache
+  // memory and store memory reported SEPARATELY so an operator can tell
+  // which layer is holding bytes. cacheBytes is the view cache's reply
+  // payload; storeResidentBytes is what counts against storeBudgetBytes
+  // (storeAosBytes + storeColumnarBytes); shared string bytes are
+  // deduplicated across profiles and excluded from the budget, reported on
+  // their own.
+  Out.set("cacheBytes", Cache->approxBytes());
+  StoreStats SS = Store->stats();
+  Out.set("storeBudgetBytes", SS.BudgetBytes);
+  Out.set("storeResidentBytes", SS.ResidentBytes);
+  Out.set("storeAosBytes", SS.AosBytes);
+  Out.set("storeColumnarBytes", SS.ColumnarBytes);
+  Out.set("storeSharedStringBytes", SS.SharedStringBytes);
+  Out.set("storeSpilledBytes", SS.SpilledBytes);
+  Out.set("storeSpills", SS.Spills);
+  Out.set("storeEvictions", SS.Evictions);
+  Out.set("storeFaults", SS.Faults);
+  Out.set("storeSpillFailures", SS.SpillFailures);
   return json::Value(std::move(Out));
 }
 

@@ -34,7 +34,13 @@
 ///   pvp/stats         {} -> {profiles, cachedViews, cacheCapacity,
 ///                            cacheHits, cacheMisses, cacheEvictions,
 ///                            cacheShards, cacheRevalidations,
-///                            storeProfiles}
+///                            storeProfiles, cacheBytes, storeBudgetBytes,
+///                            storeResidentBytes, storeAosBytes,
+///                            storeColumnarBytes, storeSharedStringBytes,
+///                            storeSpilledBytes, storeSpills,
+///                            storeEvictions, storeFaults,
+///                            storeSpillFailures}  (cache memory and store
+///                            memory attributed separately)
 ///   pvp/metrics       {includeTimings?} -> {wallTimeMs, monoTimeMs,
 ///                            counters, gauges, histograms, spans, stats}
 ///   pvp/selfProfile   {name?, reset?} -> {profile, nodes, spans, bytes,
@@ -115,6 +121,16 @@ struct ServerLimits {
   /// and pvp/summary. 0 disables caching entirely. Ignored when the
   /// session is constructed over an externally shared cache.
   size_t MaxCachedViews = 128;
+  /// Memory budget for the profile store's resident bytes (AoS + columnar;
+  /// docs/PERF.md "Out-of-core columnar store"). 0 (the default) disables
+  /// budgeting: every profile stays resident, no columnar copies are
+  /// built. Non-zero requires SpillDir and turns on LRU spill/evict:
+  /// pvp/aggregate and pvp/regressions then read straight from columnar
+  /// segments and cold profiles spill to disk.
+  uint64_t StoreBudgetBytes = 0;
+  /// Directory for spilled column segments; must be set (and writable)
+  /// when StoreBudgetBytes is non-zero, otherwise the budget is ignored.
+  std::string SpillDir;
 };
 
 class PvpServer {

@@ -33,6 +33,23 @@ struct CacheTelemetry {
   }
 };
 
+/// Approximate heap footprint of a cached reply. Counts string payloads and
+/// container slots, not allocator overhead — cheap enough to recompute on
+/// every insert (the insert already deep-copies the reply anyway).
+uint64_t approxJsonBytes(const json::Value &V) {
+  uint64_t Bytes = sizeof(json::Value);
+  if (V.isString()) {
+    Bytes += V.asString().size();
+  } else if (V.isArray()) {
+    for (const json::Value &Elem : V.asArray())
+      Bytes += approxJsonBytes(Elem);
+  } else if (V.isObject()) {
+    for (const auto &[Name, Member] : V.asObject())
+      Bytes += Name.size() + approxJsonBytes(Member);
+  }
+  return Bytes;
+}
+
 } // namespace
 
 ViewCache::ViewCache(size_t Capacity, size_t ShardCount)
@@ -76,6 +93,7 @@ std::unique_ptr<json::Value> ViewCache::lookup(const std::string &Key,
     // shadow a freshly computed view. Counts as a miss (the pinned
     // hit/miss totals must keep summing to lookup count) AND as a
     // revalidation drop, which tracks the cross-session race rate.
+    Bytes.fetch_sub(It->second->Bytes, std::memory_order_relaxed);
     S.Lru.erase(It->second);
     S.Index.erase(It);
     Misses.fetch_add(1, std::memory_order_relaxed);
@@ -97,15 +115,22 @@ void ViewCache::insert(std::string Key, int64_t ProfileId,
   Shard &S = shardFor(Key);
   std::lock_guard<std::mutex> Lock(S.Mutex);
   auto It = S.Index.find(Key);
+  uint64_t ReplyBytes = approxJsonBytes(Reply);
   if (It != S.Index.end()) {
+    Bytes.fetch_add(ReplyBytes - It->second->Bytes,
+                    std::memory_order_relaxed);
     It->second->Generation = Generation;
     It->second->Reply = std::move(Reply);
+    It->second->Bytes = ReplyBytes;
     S.Lru.splice(S.Lru.begin(), S.Lru, It->second);
     return;
   }
-  S.Lru.push_front(Entry{Key, ProfileId, Generation, std::move(Reply)});
+  S.Lru.push_front(
+      Entry{Key, ProfileId, Generation, std::move(Reply), ReplyBytes});
   S.Index.emplace(std::move(Key), S.Lru.begin());
+  Bytes.fetch_add(ReplyBytes, std::memory_order_relaxed);
   while (S.Lru.size() > S.Capacity) {
+    Bytes.fetch_sub(S.Lru.back().Bytes, std::memory_order_relaxed);
     S.Index.erase(S.Lru.back().Key);
     S.Lru.pop_back();
     Evictions.fetch_add(1, std::memory_order_relaxed);

@@ -69,6 +69,12 @@ public:
 
   size_t capacity() const { return TotalCapacity; }
   size_t size() const;
+  /// Approximate bytes of cached reply payload across all shards. This is
+  /// what pvp/stats reports as cacheBytes, so cache memory is attributable
+  /// separately from the profile store's residentBytes.
+  uint64_t approxBytes() const {
+    return Bytes.load(std::memory_order_relaxed);
+  }
   size_t shardCount() const { return Shards.size(); }
   uint64_t hits() const { return Hits.load(std::memory_order_relaxed); }
   uint64_t misses() const { return Misses.load(std::memory_order_relaxed); }
@@ -88,6 +94,7 @@ private:
     int64_t ProfileId;
     uint64_t Generation;
     json::Value Reply;
+    uint64_t Bytes = 0; ///< approx reply payload, computed at insert.
   };
 
   struct Shard {
@@ -105,6 +112,7 @@ private:
   std::atomic<uint64_t> Misses{0};
   std::atomic<uint64_t> Evictions{0};
   std::atomic<uint64_t> Revalidations{0};
+  std::atomic<uint64_t> Bytes{0};
 };
 
 } // namespace ev

@@ -1,0 +1,480 @@
+//===- profile/Columnar.cpp - SoA column segments for profiles ------------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "profile/Columnar.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace ev {
+
+namespace {
+
+/// The spill-file header occupies exactly one page so the column block
+/// that follows it stays page-aligned inside the mapping.
+constexpr size_t HeaderBytes = 4096;
+/// Columns are 64-byte aligned within the block (cache line; also covers
+/// the 8-byte requirement of the double columns).
+constexpr uint64_t ColumnAlign = 64;
+
+uint64_t roundUp(uint64_t V, uint64_t A) { return (V + A - 1) / A * A; }
+
+/// On-disk header. Fixed-width fields only; memcpy-ed in and out so the
+/// struct's own alignment never matters.
+struct DiskHeader {
+  char Magic[8];
+  uint64_t Nodes, Frames, Strings, Metrics, Groups;
+  uint64_t ChildTotal, ValueTotal, GroupCtxTotal;
+  uint64_t BlockBytes;
+  uint64_t LabelGlobal;
+};
+static_assert(sizeof(DiskHeader) <= HeaderBytes, "header must fit its page");
+
+/// Byte offsets of every column inside the block. A pure function of the
+/// counts, so the spill format never stores offsets that could disagree
+/// with the data.
+struct Layout {
+  uint64_t Parents, FrameRefs, ChildOff, ChildIds, MetOff, MetIds, MetVals;
+  uint64_t FrKinds, FrNames, FrFiles, FrLines, FrModules, FrAddrs;
+  uint64_t StrGlobal, MetNames, MetUnits, MetAggs;
+  uint64_t GrKinds, GrMetrics, GrValues, GrCtxOff, GrCtxIds;
+  uint64_t Total;
+};
+
+Layout computeLayout(const ColumnarProfile::Header &H) {
+  Layout L;
+  uint64_t Cursor = 0;
+  auto Place = [&Cursor](uint64_t Count, uint64_t Width) {
+    uint64_t Offset = roundUp(Cursor, ColumnAlign);
+    Cursor = Offset + Count * Width;
+    return Offset;
+  };
+  L.Parents = Place(H.Nodes, 4);
+  L.FrameRefs = Place(H.Nodes, 4);
+  L.ChildOff = Place(H.Nodes + 1, 4);
+  L.ChildIds = Place(H.ChildTotal, 4);
+  L.MetOff = Place(H.Nodes + 1, 4);
+  L.MetIds = Place(H.ValueTotal, 4);
+  L.MetVals = Place(H.ValueTotal, 8);
+  L.FrKinds = Place(H.Frames, 1);
+  L.FrNames = Place(H.Frames, 4);
+  L.FrFiles = Place(H.Frames, 4);
+  L.FrLines = Place(H.Frames, 4);
+  L.FrModules = Place(H.Frames, 4);
+  L.FrAddrs = Place(H.Frames, 8);
+  L.StrGlobal = Place(H.Strings, 4);
+  L.MetNames = Place(H.Metrics, 4);
+  L.MetUnits = Place(H.Metrics, 4);
+  L.MetAggs = Place(H.Metrics, 1);
+  L.GrKinds = Place(H.Groups, 4);
+  L.GrMetrics = Place(H.Groups, 4);
+  L.GrValues = Place(H.Groups, 8);
+  L.GrCtxOff = Place(H.Groups + 1, 4);
+  L.GrCtxIds = Place(H.GroupCtxTotal, 4);
+  L.Total = Cursor;
+  return L;
+}
+
+template <typename T> T *columnAt(char *Block, uint64_t Offset) {
+  return reinterpret_cast<T *>(Block + Offset);
+}
+
+void freeArena(char *P) { std::free(P); }
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// build
+//===----------------------------------------------------------------------===//
+
+ColumnarProfile ColumnarProfile::build(const Profile &P,
+                                       SharedStringTable &Shared) {
+  ColumnarProfile C;
+  Header &H = C.Counts;
+  H.Nodes = P.nodeCount();
+  H.Frames = P.frames().size();
+  H.Strings = P.strings().size();
+  H.Metrics = P.metrics().size();
+  H.Groups = P.groups().size();
+  for (const CCTNode &N : P.nodes()) {
+    H.ChildTotal += N.Children.size();
+    H.ValueTotal += N.Metrics.size();
+  }
+  for (const ContextGroup &G : P.groups())
+    H.GroupCtxTotal += G.Contexts.size();
+  assert(H.Nodes >= 1 && H.Frames >= 1 && H.Strings >= 2 &&
+         "Profile invariants: root node/frame and \"\"/\"ROOT\" strings");
+  assert(H.ChildTotal <= UINT32_MAX && H.ValueTotal <= UINT32_MAX &&
+         H.GroupCtxTotal <= UINT32_MAX && "CSR offsets are 32-bit");
+  H.LabelGlobal = Shared.intern(P.name());
+
+  Layout L = computeLayout(H);
+  H.BlockBytes = roundUp(std::max<uint64_t>(L.Total, 1), HeaderBytes);
+  char *Buf =
+      static_cast<char *>(std::aligned_alloc(HeaderBytes, H.BlockBytes));
+  // Zero the whole block: inter-column padding must be deterministic so a
+  // spilled segment's bytes depend only on the profile's contents.
+  std::memset(Buf, 0, H.BlockBytes);
+  C.Arena = std::unique_ptr<char, void (*)(char *)>(Buf, &freeArena);
+  C.Block = Buf;
+  C.Shared = &Shared;
+
+  uint32_t *Parents = columnAt<uint32_t>(Buf, L.Parents);
+  uint32_t *FrameRefs = columnAt<uint32_t>(Buf, L.FrameRefs);
+  uint32_t *ChildOff = columnAt<uint32_t>(Buf, L.ChildOff);
+  uint32_t *ChildIds = columnAt<uint32_t>(Buf, L.ChildIds);
+  uint32_t *MetOff = columnAt<uint32_t>(Buf, L.MetOff);
+  uint32_t *MetIds = columnAt<uint32_t>(Buf, L.MetIds);
+  double *MetVals = columnAt<double>(Buf, L.MetVals);
+  uint32_t ChildCursor = 0, ValueCursor = 0;
+  for (size_t I = 0; I < H.Nodes; ++I) {
+    const CCTNode &N = P.nodes()[I];
+    Parents[I] = N.Parent;
+    FrameRefs[I] = N.FrameRef;
+    ChildOff[I] = ChildCursor;
+    for (NodeId Child : N.Children)
+      ChildIds[ChildCursor++] = Child;
+    MetOff[I] = ValueCursor;
+    for (const MetricValue &MV : N.Metrics) {
+      MetIds[ValueCursor] = MV.Metric;
+      MetVals[ValueCursor] = MV.Value;
+      ++ValueCursor;
+    }
+  }
+  ChildOff[H.Nodes] = ChildCursor;
+  MetOff[H.Nodes] = ValueCursor;
+
+  uint8_t *FrKinds = columnAt<uint8_t>(Buf, L.FrKinds);
+  uint32_t *FrNames = columnAt<uint32_t>(Buf, L.FrNames);
+  uint32_t *FrFiles = columnAt<uint32_t>(Buf, L.FrFiles);
+  uint32_t *FrLines = columnAt<uint32_t>(Buf, L.FrLines);
+  uint32_t *FrModules = columnAt<uint32_t>(Buf, L.FrModules);
+  uint64_t *FrAddrs = columnAt<uint64_t>(Buf, L.FrAddrs);
+  for (size_t I = 0; I < H.Frames; ++I) {
+    const Frame &F = P.frames()[I];
+    FrKinds[I] = static_cast<uint8_t>(F.Kind);
+    FrNames[I] = F.Name;
+    FrFiles[I] = F.Loc.File;
+    FrLines[I] = F.Loc.Line;
+    FrModules[I] = F.Loc.Module;
+    FrAddrs[I] = F.Loc.Address;
+  }
+
+  // Cross-profile dedup happens here: every local string maps onto the
+  // store-wide interner, which only grows when a text is globally new.
+  uint32_t *StrGlobal = columnAt<uint32_t>(Buf, L.StrGlobal);
+  for (size_t I = 0; I < H.Strings; ++I)
+    StrGlobal[I] = Shared.intern(P.text(static_cast<StringId>(I)));
+
+  uint32_t *MetNames = columnAt<uint32_t>(Buf, L.MetNames);
+  uint32_t *MetUnits = columnAt<uint32_t>(Buf, L.MetUnits);
+  uint8_t *MetAggs = columnAt<uint8_t>(Buf, L.MetAggs);
+  for (size_t I = 0; I < H.Metrics; ++I) {
+    const MetricDescriptor &MD = P.metrics()[I];
+    MetNames[I] = Shared.intern(MD.Name);
+    MetUnits[I] = Shared.intern(MD.Unit);
+    MetAggs[I] = static_cast<uint8_t>(MD.Aggregation);
+  }
+
+  uint32_t *GrKinds = columnAt<uint32_t>(Buf, L.GrKinds);
+  uint32_t *GrMetrics = columnAt<uint32_t>(Buf, L.GrMetrics);
+  double *GrValues = columnAt<double>(Buf, L.GrValues);
+  uint32_t *GrCtxOff = columnAt<uint32_t>(Buf, L.GrCtxOff);
+  uint32_t *GrCtxIds = columnAt<uint32_t>(Buf, L.GrCtxIds);
+  uint32_t CtxCursor = 0;
+  for (size_t I = 0; I < H.Groups; ++I) {
+    const ContextGroup &G = P.groups()[I];
+    GrKinds[I] = G.Kind;
+    GrMetrics[I] = G.Metric;
+    GrValues[I] = G.Value;
+    GrCtxOff[I] = CtxCursor;
+    for (NodeId Ctx : G.Contexts)
+      GrCtxIds[CtxCursor++] = Ctx;
+  }
+  GrCtxOff[H.Groups] = CtxCursor;
+  return C;
+}
+
+//===----------------------------------------------------------------------===//
+// spillTo / mapFrom
+//===----------------------------------------------------------------------===//
+
+Result<uint64_t> ColumnarProfile::spillTo(const std::string &Path) const {
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F)
+    return makeError("cannot open '" + Path + "' for spilling");
+  char Page[HeaderBytes] = {};
+  DiskHeader D = {};
+  std::memcpy(D.Magic, EvColMagic.data(), EvColMagic.size());
+  D.Nodes = Counts.Nodes;
+  D.Frames = Counts.Frames;
+  D.Strings = Counts.Strings;
+  D.Metrics = Counts.Metrics;
+  D.Groups = Counts.Groups;
+  D.ChildTotal = Counts.ChildTotal;
+  D.ValueTotal = Counts.ValueTotal;
+  D.GroupCtxTotal = Counts.GroupCtxTotal;
+  D.BlockBytes = Counts.BlockBytes;
+  D.LabelGlobal = Counts.LabelGlobal;
+  std::memcpy(Page, &D, sizeof(D));
+  bool Ok = std::fwrite(Page, 1, HeaderBytes, F) == HeaderBytes &&
+            std::fwrite(Block, 1, Counts.BlockBytes, F) == Counts.BlockBytes;
+  Ok = (std::fclose(F) == 0) && Ok;
+  if (!Ok)
+    return makeError("I/O error while spilling '" + Path + "'");
+  return static_cast<uint64_t>(HeaderBytes) + Counts.BlockBytes;
+}
+
+namespace {
+
+/// Full reference validation of a freshly mapped block: every id a later
+/// reader would follow is range-checked once here, so analyses over the
+/// columns never need bounds checks of their own.
+Result<bool> validateMapped(const ColumnarProfile &C,
+                            const SharedStringTable &Shared) {
+  auto Fail = [](const std::string &What) -> Result<bool> {
+    return makeError("corrupt column segment: " + What);
+  };
+  size_t Nodes = C.nodeCount(), Frames = C.frameCount();
+  size_t Strings = C.stringCount(), Metrics = C.metricCount();
+  size_t Groups = C.groupCount(), Global = Shared.size();
+  if (Nodes < 1 || Frames < 1 || Strings < 2)
+    return Fail("missing root tables");
+
+  auto CheckCsr = [&](std::span<const uint32_t> Off, uint64_t Total,
+                      const char *Name) -> bool {
+    if (Off.front() != 0 || Off.back() != Total)
+      return false;
+    for (size_t I = 1; I < Off.size(); ++I)
+      if (Off[I] < Off[I - 1])
+        return false;
+    (void)Name;
+    return true;
+  };
+  if (!CheckCsr(C.childOffsets(), C.childIds().size(), "children"))
+    return Fail("children offsets not monotonic");
+  if (!CheckCsr(C.metricOffsets(), C.metricIds().size(), "metrics"))
+    return Fail("metric offsets not monotonic");
+  if (!CheckCsr(C.groupCtxOffsets(), C.groupCtxIds().size(), "groups"))
+    return Fail("group context offsets not monotonic");
+
+  std::span<const uint32_t> Parents = C.parents();
+  if (Parents[0] != InvalidNode)
+    return Fail("node 0 is not the root");
+  for (size_t I = 1; I < Nodes; ++I)
+    if (Parents[I] >= I)
+      return Fail("parent id out of order at node " + std::to_string(I));
+  for (uint32_t F : C.frameRefs())
+    if (F >= Frames)
+      return Fail("frame reference out of range");
+  for (uint32_t Child : C.childIds())
+    if (Child == 0 || Child >= Nodes)
+      return Fail("child id out of range");
+  for (uint32_t M : C.metricIds())
+    if (M >= Metrics)
+      return Fail("metric id out of range");
+
+  std::span<const uint8_t> Kinds = C.frameKinds();
+  std::span<const uint32_t> Names = C.frameNames();
+  for (size_t I = 0; I < Frames; ++I) {
+    if (Kinds[I] > static_cast<uint8_t>(FrameKind::Thread))
+      return Fail("unknown frame kind");
+    if (Names[I] >= Strings || C.frameFiles()[I] >= Strings ||
+        C.frameModules()[I] >= Strings)
+      return Fail("frame string id out of range");
+  }
+  if (Kinds[0] != static_cast<uint8_t>(FrameKind::Root) || Names[0] != 1)
+    return Fail("frame 0 is not the canonical root frame");
+
+  std::span<const uint32_t> StrGlobal = C.stringGlobal();
+  for (uint32_t G : StrGlobal)
+    if (G >= Global)
+      return Fail("shared string id out of range");
+  // materialize() reconstructs the local table assuming the two canonical
+  // entries every Profile starts with.
+  if (Shared.text(StrGlobal[0]) != "" || Shared.text(StrGlobal[1]) != "ROOT")
+    return Fail("canonical strings missing");
+  if (C.labelId() >= Global)
+    return Fail("label id out of range");
+
+  for (size_t I = 0; I < Metrics; ++I) {
+    if (C.metricNameIds()[I] >= Global || C.metricUnitIds()[I] >= Global)
+      return Fail("metric schema string out of range");
+    if (C.metricAggs()[I] > static_cast<uint8_t>(MetricAggregation::Last))
+      return Fail("unknown metric aggregation");
+  }
+  for (size_t I = 0; I < Groups; ++I) {
+    if (C.groupKinds()[I] >= Strings)
+      return Fail("group kind string out of range");
+    if (C.groupMetrics()[I] >= Metrics)
+      return Fail("group metric out of range");
+  }
+  for (uint32_t Ctx : C.groupCtxIds())
+    if (Ctx >= Nodes)
+      return Fail("group context out of range");
+  return true;
+}
+
+} // namespace
+
+Result<ColumnarProfile> ColumnarProfile::mapFrom(const std::string &Path,
+                                                 const SharedStringTable &Shared) {
+  Result<MappedFile> Map = MappedFile::map(Path);
+  if (!Map)
+    return makeError(Map.error());
+  if (Map->size() < HeaderBytes)
+    return makeError("'" + Path + "' is too small to hold a segment header");
+  DiskHeader D;
+  std::memcpy(&D, Map->bytes().data(), sizeof(D));
+  if (std::memcmp(D.Magic, EvColMagic.data(), EvColMagic.size()) != 0)
+    return makeError("'" + Path + "' is not a column segment (bad magic)");
+
+  ColumnarProfile C;
+  Header &H = C.Counts;
+  H.Nodes = D.Nodes;
+  H.Frames = D.Frames;
+  H.Strings = D.Strings;
+  H.Metrics = D.Metrics;
+  H.Groups = D.Groups;
+  H.ChildTotal = D.ChildTotal;
+  H.ValueTotal = D.ValueTotal;
+  H.GroupCtxTotal = D.GroupCtxTotal;
+  H.BlockBytes = D.BlockBytes;
+  H.LabelGlobal = static_cast<uint32_t>(D.LabelGlobal);
+  if (H.Nodes > UINT32_MAX || H.Frames > UINT32_MAX ||
+      H.Strings > UINT32_MAX || H.Metrics > UINT32_MAX ||
+      H.Groups > UINT32_MAX || H.ChildTotal > UINT32_MAX ||
+      H.ValueTotal > UINT32_MAX || H.GroupCtxTotal > UINT32_MAX ||
+      D.LabelGlobal > UINT32_MAX)
+    return makeError("'" + Path + "' header counts exceed 32-bit ids");
+  Layout L = computeLayout(H);
+  if (H.BlockBytes != roundUp(std::max<uint64_t>(L.Total, 1), HeaderBytes))
+    return makeError("'" + Path + "' block size disagrees with its counts");
+  if (Map->size() != HeaderBytes + H.BlockBytes)
+    return makeError("'" + Path + "' is " + std::to_string(Map->size()) +
+                     " bytes, expected " +
+                     std::to_string(HeaderBytes + H.BlockBytes) +
+                     " (truncated or corrupt)");
+  C.Mapping = std::move(*Map);
+  C.Block = C.Mapping.bytes().data() + HeaderBytes;
+  C.Shared = &Shared;
+  if (Result<bool> Valid = validateMapped(C, Shared); !Valid)
+    return makeError("'" + Path + "': " + Valid.error());
+  return C;
+}
+
+//===----------------------------------------------------------------------===//
+// materialize
+//===----------------------------------------------------------------------===//
+
+Profile ColumnarProfile::materialize() const {
+  Profile Out;
+  // Strings: a fresh Profile already holds ""(0) and "ROOT"(1); interning
+  // the remaining texts in local-id order reproduces identical ids because
+  // the source table was itself duplicate-free.
+  std::span<const uint32_t> StrGlobal = stringGlobal();
+  Out.strings().reserve(Counts.Strings);
+  for (size_t I = 2; I < Counts.Strings; ++I)
+    Out.strings().intern(Shared->text(StrGlobal[I]));
+  Out.setName(std::string(Shared->text(Counts.LabelGlobal)));
+
+  for (size_t I = 0; I < Counts.Metrics; ++I)
+    Out.addMetric(Shared->text(metricNameIds()[I]),
+                  Shared->text(metricUnitIds()[I]),
+                  static_cast<MetricAggregation>(metricAggs()[I]));
+
+  // Frames: frame 0 is the canonical root the constructor made; the rest
+  // re-intern in order (the source table is deduplicated, so each intern
+  // appends and ids line up).
+  Out.reserveTables(Counts.Nodes, Counts.Frames);
+  for (size_t I = 1; I < Counts.Frames; ++I) {
+    Frame F;
+    F.Kind = static_cast<FrameKind>(frameKinds()[I]);
+    F.Name = frameNames()[I];
+    F.Loc.File = frameFiles()[I];
+    F.Loc.Line = frameLines()[I];
+    F.Loc.Module = frameModules()[I];
+    F.Loc.Address = frameAddrs()[I];
+    FrameId Id = Out.internFrame(F);
+    (void)Id;
+    assert(Id == I && "frame table replay must preserve ids");
+  }
+
+  // Nodes: children come from the CSR verbatim (not re-derived from
+  // parents) so any insertion-order the transforms produced survives.
+  std::span<const uint32_t> Parents = parents();
+  std::span<const uint32_t> FrameRefs = frameRefs();
+  std::span<const uint32_t> ChildOff = childOffsets();
+  std::span<const uint32_t> Children = childIds();
+  std::span<const uint32_t> MetOff = metricOffsets();
+  std::span<const uint32_t> MetIds = metricIds();
+  std::span<const double> MetVals = metricValues();
+  std::vector<CCTNode> &NodeTable = Out.nodes();
+  NodeTable.resize(Counts.Nodes);
+  for (size_t I = 0; I < Counts.Nodes; ++I) {
+    CCTNode &N = NodeTable[I];
+    N.Parent = Parents[I];
+    N.FrameRef = FrameRefs[I];
+    N.Children.assign(Children.begin() + ChildOff[I],
+                      Children.begin() + ChildOff[I + 1]);
+    N.Metrics.resize(MetOff[I + 1] - MetOff[I]);
+    for (uint32_t V = MetOff[I], O = 0; V < MetOff[I + 1]; ++V, ++O)
+      N.Metrics[O] = MetricValue{MetIds[V], MetVals[V]};
+  }
+
+  std::span<const uint32_t> CtxOff = groupCtxOffsets();
+  std::span<const uint32_t> CtxIds = groupCtxIds();
+  for (size_t I = 0; I < Counts.Groups; ++I) {
+    ContextGroup G;
+    G.Kind = groupKinds()[I];
+    G.Metric = groupMetrics()[I];
+    G.Value = groupValues()[I];
+    G.Contexts.assign(CtxIds.begin() + CtxOff[I],
+                      CtxIds.begin() + CtxOff[I + 1]);
+    Out.addGroup(std::move(G));
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Column accessors
+//===----------------------------------------------------------------------===//
+
+#define EV_COLUMN(NAME, FIELD, TYPE, COUNT)                                    \
+  std::span<const TYPE> ColumnarProfile::NAME() const {                        \
+    Layout L = computeLayout(Counts);                                          \
+    return {reinterpret_cast<const TYPE *>(column(L.FIELD)),                   \
+            static_cast<size_t>(COUNT)};                                       \
+  }
+
+EV_COLUMN(parents, Parents, uint32_t, Counts.Nodes)
+EV_COLUMN(frameRefs, FrameRefs, uint32_t, Counts.Nodes)
+EV_COLUMN(childOffsets, ChildOff, uint32_t, Counts.Nodes + 1)
+EV_COLUMN(childIds, ChildIds, uint32_t, Counts.ChildTotal)
+EV_COLUMN(metricOffsets, MetOff, uint32_t, Counts.Nodes + 1)
+EV_COLUMN(metricIds, MetIds, uint32_t, Counts.ValueTotal)
+EV_COLUMN(metricValues, MetVals, double, Counts.ValueTotal)
+EV_COLUMN(frameKinds, FrKinds, uint8_t, Counts.Frames)
+EV_COLUMN(frameNames, FrNames, uint32_t, Counts.Frames)
+EV_COLUMN(frameFiles, FrFiles, uint32_t, Counts.Frames)
+EV_COLUMN(frameLines, FrLines, uint32_t, Counts.Frames)
+EV_COLUMN(frameModules, FrModules, uint32_t, Counts.Frames)
+EV_COLUMN(frameAddrs, FrAddrs, uint64_t, Counts.Frames)
+EV_COLUMN(stringGlobal, StrGlobal, uint32_t, Counts.Strings)
+EV_COLUMN(metricNameIds, MetNames, uint32_t, Counts.Metrics)
+EV_COLUMN(metricUnitIds, MetUnits, uint32_t, Counts.Metrics)
+EV_COLUMN(metricAggs, MetAggs, uint8_t, Counts.Metrics)
+EV_COLUMN(groupKinds, GrKinds, uint32_t, Counts.Groups)
+EV_COLUMN(groupMetrics, GrMetrics, uint32_t, Counts.Groups)
+EV_COLUMN(groupValues, GrValues, double, Counts.Groups)
+EV_COLUMN(groupCtxOffsets, GrCtxOff, uint32_t, Counts.Groups + 1)
+EV_COLUMN(groupCtxIds, GrCtxIds, uint32_t, Counts.GroupCtxTotal)
+
+#undef EV_COLUMN
+
+} // namespace ev

@@ -1,0 +1,206 @@
+//===- profile/Columnar.h - SoA column segments for profiles --------------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Columnar (structure-of-arrays) representation of a decoded profile: the
+/// out-of-core layer under ProfileStore. Where profile/Profile.h is an
+/// AoS object graph (one CCTNode per context, each owning two vectors),
+/// a ColumnarProfile packs the same data into flat, cache-dense columns
+/// inside ONE page-aligned arena block:
+///
+///   topology   Parents[n] FrameRefs[n] ChildOffsets[n+1] ChildIds[...]
+///   metrics    MetricOffsets[n+1] MetricIds[...] MetricValues[...] (CSR,
+///              exclusive values flattened in node order — the exact
+///              iteration order the dense aggregate Matrix consumes)
+///   frames     Kinds[f] Names[f] Files[f] Lines[f] Modules[f] Addrs[f]
+///   strings    StringGlobal[s]   (local id -> shared interner id)
+///   schema     metric name/unit ids (shared interner) + aggregation
+///   groups     kind/metric/value + a contexts CSR
+///
+/// Strings are NOT stored per profile: every text is interned once into a
+/// store-wide StringInterner (cross-profile dedup — a fleet cohort shares
+/// one copy of every function/file/module name), and the columns hold ids.
+/// Because the block is one contiguous allocation, spilling a cold profile
+/// is a single sequential file write and faulting it back is an mmap plus
+/// a validation pass — no protobuf decode, no allocation per node.
+///
+/// materialize() reconstructs the original AoS Profile exactly: the
+/// round-trip Profile -> columnar -> spill -> mmap -> materialize yields
+/// writeEvProf-byte-identical output (pinned by tests/store_test.cpp), so
+/// nothing downstream can observe whether a profile was ever spilled.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EASYVIEW_PROFILE_COLUMNAR_H
+#define EASYVIEW_PROFILE_COLUMNAR_H
+
+#include "profile/Profile.h"
+#include "support/FileIo.h"
+#include "support/Result.h"
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <span>
+#include <string>
+
+namespace ev {
+
+/// Magic bytes at the start of every spilled column-segment file.
+inline constexpr std::string_view EvColMagic = "EVCOL1\n";
+
+/// The store-wide deduplicating string table shared by every columnar
+/// profile. A plain StringInterner is not safe to read while another
+/// thread interns (the id->view vector reallocates), but analyses resolve
+/// texts with no store lock held; this wrapper serializes writers and lets
+/// readers proceed under a shared lock. Returned views stay valid after
+/// the lock drops because the interner's arena addresses are stable.
+class SharedStringTable {
+public:
+  StringId intern(std::string_view Text) {
+    std::unique_lock<std::shared_mutex> Lock(Mutex);
+    return Table.intern(Text);
+  }
+  std::string_view text(StringId Id) const {
+    std::shared_lock<std::shared_mutex> Lock(Mutex);
+    return Table.text(Id);
+  }
+  size_t size() const {
+    std::shared_lock<std::shared_mutex> Lock(Mutex);
+    return Table.size();
+  }
+  /// Bytes of deduplicated string payload (the irreducible set: budget
+  /// eviction cannot reclaim it, so stats report it separately).
+  size_t payloadBytes() const {
+    std::shared_lock<std::shared_mutex> Lock(Mutex);
+    return Table.payloadBytes();
+  }
+
+private:
+  mutable std::shared_mutex Mutex;
+  StringInterner Table;
+};
+
+class ColumnarProfile {
+public:
+  ColumnarProfile(ColumnarProfile &&) = default;
+  ColumnarProfile &operator=(ColumnarProfile &&) = default;
+  ColumnarProfile(const ColumnarProfile &) = delete;
+  ColumnarProfile &operator=(const ColumnarProfile &) = delete;
+
+  /// Converts \p P into columns, interning every string into \p Shared
+  /// (the store-wide table). \p Shared must outlive the result and only
+  /// grow — ids recorded here stay valid because the interner never
+  /// reassigns them.
+  static ColumnarProfile build(const Profile &P, SharedStringTable &Shared);
+
+  /// Dumps the header page plus the column block to \p Path (one
+  /// sequential write; strings stay in the shared interner and are not
+  /// written). \returns the file size on success.
+  Result<uint64_t> spillTo(const std::string &Path) const;
+
+  /// Maps a spilled file back. The columns point straight into the
+  /// read-only mapping (zero-copy fault); \p Shared must be the same
+  /// interner the profile was built against. Every reference — global
+  /// string ids, parents, frame refs, CSR offsets — is validated before
+  /// the mapping is accepted, so a truncated or corrupt spill file is an
+  /// error, never undefined behavior.
+  static Result<ColumnarProfile> mapFrom(const std::string &Path,
+                                         const SharedStringTable &Shared);
+
+  /// Reconstructs the exact AoS Profile these columns were built from.
+  Profile materialize() const;
+
+  //===--------------------------------------------------------------------===
+  // Column accessors (spans over the arena / mapping)
+  //===--------------------------------------------------------------------===
+
+  size_t nodeCount() const { return Counts.Nodes; }
+  size_t frameCount() const { return Counts.Frames; }
+  size_t stringCount() const { return Counts.Strings; }
+  size_t metricCount() const { return Counts.Metrics; }
+  size_t groupCount() const { return Counts.Groups; }
+
+  /// Parent ids; the root's slot holds InvalidNode.
+  std::span<const uint32_t> parents() const;
+  std::span<const uint32_t> frameRefs() const;
+  /// Children CSR: node i's children are childIds()[childOffsets()[i] ..
+  /// childOffsets()[i+1]), in the original insertion order.
+  std::span<const uint32_t> childOffsets() const;
+  std::span<const uint32_t> childIds() const;
+  /// Exclusive metric values CSR, flattened in node-then-declaration
+  /// order (identical to iterating CCTNode::Metrics node by node).
+  std::span<const uint32_t> metricOffsets() const;
+  std::span<const uint32_t> metricIds() const;
+  std::span<const double> metricValues() const;
+
+  std::span<const uint8_t> frameKinds() const;
+  /// Frame name/file/module columns hold LOCAL string ids (indices into
+  /// stringGlobal()), preserving the original profile's table exactly.
+  std::span<const uint32_t> frameNames() const;
+  std::span<const uint32_t> frameFiles() const;
+  std::span<const uint32_t> frameLines() const;
+  std::span<const uint32_t> frameModules() const;
+  std::span<const uint64_t> frameAddrs() const;
+
+  /// Local string id -> shared interner id.
+  std::span<const uint32_t> stringGlobal() const;
+
+  /// Metric schema, as shared interner ids plus the aggregation byte.
+  std::span<const uint32_t> metricNameIds() const;
+  std::span<const uint32_t> metricUnitIds() const;
+  std::span<const uint8_t> metricAggs() const;
+
+  std::span<const uint32_t> groupKinds() const; ///< LOCAL string ids.
+  std::span<const uint32_t> groupMetrics() const;
+  std::span<const double> groupValues() const;
+  std::span<const uint32_t> groupCtxOffsets() const;
+  std::span<const uint32_t> groupCtxIds() const;
+
+  /// Shared interner id of the profile label.
+  uint32_t labelId() const { return Counts.LabelGlobal; }
+  /// The store-wide string table the columns reference.
+  const SharedStringTable &strings() const { return *Shared; }
+
+  /// Resolved text of frame \p F's name (convenience for analyses).
+  std::string_view frameNameText(uint32_t F) const {
+    return Shared->text(stringGlobal()[frameNames()[F]]);
+  }
+
+  /// Bytes of the column block resident in this process (arena bytes, or
+  /// mapped bytes for a faulted profile — mapped pages occupy page cache
+  /// and are accounted identically).
+  size_t residentBytes() const { return Counts.BlockBytes; }
+  /// True when the columns live in a read-only spill-file mapping.
+  bool isMapped() const { return Mapping.valid(); }
+
+  /// Fixed counts describing one column block; the column layout is a
+  /// pure function of these (so the spill header stores only counts).
+  struct Header {
+    uint64_t Nodes = 0, Frames = 0, Strings = 0, Metrics = 0, Groups = 0;
+    uint64_t ChildTotal = 0, ValueTotal = 0, GroupCtxTotal = 0;
+    uint64_t BlockBytes = 0;
+    uint32_t LabelGlobal = 0;
+  };
+
+private:
+  ColumnarProfile() = default;
+
+  const char *column(size_t Offset) const { return Block + Offset; }
+
+  Header Counts;
+  /// Owning storage for a resident block (aligned_alloc/free), empty when
+  /// the block lives in Mapping.
+  std::unique_ptr<char, void (*)(char *)> Arena{nullptr, nullptr};
+  MappedFile Mapping;
+  const char *Block = nullptr;
+  const SharedStringTable *Shared = nullptr;
+};
+
+} // namespace ev
+
+#endif // EASYVIEW_PROFILE_COLUMNAR_H

@@ -1,0 +1,238 @@
+//===- profile/ProfileStore.cpp - Shared out-of-core profile store --------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "profile/ProfileStore.h"
+
+#include "support/FileIo.h"
+
+#include <cassert>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace ev {
+
+ProfileStore::~ProfileStore() {
+  for (const auto &[Id, E] : Profiles)
+    if (E.SpillFileBytes != 0)
+      ::unlink(E.SpillPath.c_str());
+}
+
+std::string ProfileStore::spillPathFor(int64_t Id) const {
+  return SpillDir + "/seg-" + std::to_string(Id) + ".evcol";
+}
+
+void ProfileStore::buildColumnarLocked(int64_t Id, Entry &E) const {
+  assert(E.Aos && "columnar build needs the AoS form");
+  E.Col = std::make_shared<const ColumnarProfile>(
+      ColumnarProfile::build(*E.Aos, Strings));
+  E.ColBytes = E.Col->residentBytes();
+  Counters.ColumnarBytes += E.ColBytes;
+  Budget.recharge(Id, residentOf(E));
+}
+
+int64_t ProfileStore::add(std::shared_ptr<const Profile> P) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  int64_t Id = NextId++;
+  Entry E;
+  E.Aos = std::move(P);
+  E.AosBytes = E.Aos->approxMemoryBytes();
+  Counters.AosBytes += E.AosBytes;
+  auto [It, Inserted] = Profiles.emplace(Id, std::move(E));
+  assert(Inserted);
+  Budget.charge(Id, residentOf(It->second));
+  if (Budget.limit() != 0) {
+    buildColumnarLocked(Id, It->second);
+    enforceLocked(Id);
+  }
+  return Id;
+}
+
+std::shared_ptr<const Profile> ProfileStore::get(int64_t Id) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Profiles.find(Id);
+  if (It == Profiles.end())
+    return nullptr;
+  Entry &E = It->second;
+  if (E.Aos) {
+    Budget.touch(Id);
+    return E.Aos;
+  }
+  // Fault path: the AoS form was shed. Rebuild it from columns, remapping
+  // the spill file first when the block itself was evicted.
+  if (!E.Col) {
+    Result<ColumnarProfile> Mapped =
+        ColumnarProfile::mapFrom(E.SpillPath, Strings);
+    if (!Mapped)
+      return nullptr; // Spill file lost or corrupt; id is unrecoverable.
+    E.Col = std::make_shared<const ColumnarProfile>(std::move(*Mapped));
+    E.ColBytes = E.Col->residentBytes();
+    Counters.ColumnarBytes += E.ColBytes;
+  }
+  E.Aos = std::make_shared<const Profile>(E.Col->materialize());
+  E.AosBytes = E.Aos->approxMemoryBytes();
+  Counters.AosBytes += E.AosBytes;
+  ++Counters.Faults;
+  Budget.charge(Id, residentOf(E)); // charge() also promotes to hottest.
+  enforceLocked(Id);
+  return E.Aos;
+}
+
+std::shared_ptr<const ColumnarProfile>
+ProfileStore::columnar(int64_t Id) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Profiles.find(Id);
+  if (It == Profiles.end())
+    return nullptr;
+  Entry &E = It->second;
+  if (E.Col) {
+    Budget.touch(Id);
+    return E.Col;
+  }
+  if (E.SpillFileBytes != 0) {
+    Result<ColumnarProfile> Mapped =
+        ColumnarProfile::mapFrom(E.SpillPath, Strings);
+    if (!Mapped)
+      return nullptr;
+    E.Col = std::make_shared<const ColumnarProfile>(std::move(*Mapped));
+    ++Counters.Faults;
+  } else if (E.Aos) {
+    // First columnar request in an unbudgeted store: build on demand.
+    E.Col = std::make_shared<const ColumnarProfile>(
+        ColumnarProfile::build(*E.Aos, Strings));
+  } else {
+    return nullptr;
+  }
+  E.ColBytes = E.Col->residentBytes();
+  Counters.ColumnarBytes += E.ColBytes;
+  Budget.charge(Id, residentOf(E));
+  enforceLocked(Id);
+  return E.Col;
+}
+
+bool ProfileStore::drop(int64_t Id) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Profiles.find(Id);
+  if (It == Profiles.end())
+    return false;
+  Entry &E = It->second;
+  Counters.AosBytes -= E.AosBytes;
+  Counters.ColumnarBytes -= E.ColBytes;
+  if (E.SpillFileBytes != 0) {
+    Counters.SpilledBytes -= E.SpillFileBytes;
+    ::unlink(E.SpillPath.c_str());
+  }
+  Budget.release(Id);
+  Profiles.erase(It);
+  return true;
+}
+
+uint64_t ProfileStore::generationOf(int64_t Id) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Generations.find(Id);
+  return It == Generations.end() ? 0 : It->second;
+}
+
+void ProfileStore::bumpGeneration(int64_t Id) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  ++Generations[Id];
+}
+
+size_t ProfileStore::size() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Profiles.size();
+}
+
+Result<bool> ProfileStore::setBudget(uint64_t Bytes,
+                                     const std::string &Dir) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (Bytes == 0) {
+    Budget.setLimit(0);
+    return true;
+  }
+  if (Dir.empty())
+    return makeError("store budget requires a spill directory");
+  ::mkdir(Dir.c_str(), 0755); // EEXIST is fine; verified below.
+  if (!isDirectory(Dir))
+    return makeError("cannot create spill directory '" + Dir + "'");
+  SpillDir = Dir;
+  Budget.setLimit(Bytes);
+  // Every entry must be spillable before enforcement can make progress.
+  for (auto &[Id, E] : Profiles)
+    if (!E.Col && E.Aos)
+      buildColumnarLocked(Id, E);
+  enforceLocked(/*Pinned=*/-1);
+  return true;
+}
+
+void ProfileStore::enforceLocked(int64_t Pinned) const {
+  if (!Budget.overLimit())
+    return;
+  // Tier 1: shed AoS materializations of cold entries that still have
+  // their column block — rebuildable on the next get() fault.
+  for (int64_t Id : Budget.coldestFirst()) {
+    if (!Budget.overLimit())
+      return;
+    if (Id == Pinned)
+      continue;
+    Entry &E = Profiles.find(Id)->second;
+    if (E.Aos && E.Col) {
+      E.Aos.reset();
+      Counters.AosBytes -= E.AosBytes;
+      E.AosBytes = 0;
+      ++Counters.Evictions;
+      Budget.recharge(Id, residentOf(E));
+    }
+  }
+  // Tier 2: spill column blocks themselves. Blocks are immutable, so an
+  // existing spill file is reused without a rewrite.
+  for (int64_t Id : Budget.coldestFirst()) {
+    if (!Budget.overLimit())
+      return;
+    if (Id == Pinned)
+      continue;
+    Entry &E = Profiles.find(Id)->second;
+    if (!E.Col)
+      continue;
+    if (E.SpillFileBytes == 0) {
+      if (E.SpillPath.empty())
+        E.SpillPath = spillPathFor(Id);
+      Result<uint64_t> Written = E.Col->spillTo(E.SpillPath);
+      if (!Written) {
+        ++Counters.SpillFailures; // Keep it resident; try again later.
+        continue;
+      }
+      E.SpillFileBytes = *Written;
+      Counters.SpilledBytes += E.SpillFileBytes;
+      ++Counters.Spills;
+    }
+    if (E.Aos) {
+      E.Aos.reset();
+      Counters.AosBytes -= E.AosBytes;
+      E.AosBytes = 0;
+      ++Counters.Evictions;
+    }
+    E.Col.reset();
+    Counters.ColumnarBytes -= E.ColBytes;
+    E.ColBytes = 0;
+    ++Counters.Evictions;
+    Budget.release(Id);
+  }
+}
+
+StoreStats ProfileStore::stats() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  StoreStats S = Counters;
+  S.Profiles = Profiles.size();
+  S.BudgetBytes = Budget.limit();
+  S.ResidentBytes = S.AosBytes + S.ColumnarBytes;
+  S.SharedStringBytes = Strings.payloadBytes();
+  assert(S.ResidentBytes == Budget.chargedBytes() &&
+         "incremental accounting must match the LRU charges");
+  return S;
+}
+
+} // namespace ev

@@ -1,4 +1,4 @@
-//===- profile/ProfileStore.h - Shared refcounted profile store -----------===//
+//===- profile/ProfileStore.h - Shared out-of-core profile store ----------===//
 //
 // Part of the EasyView reproduction. MIT licensed.
 //
@@ -14,6 +14,24 @@
 /// during analysis, and the memory is reclaimed when the last reference
 /// drops.
 ///
+/// Beyond the refcounted map, the store is EasyView's out-of-core layer
+/// (docs/PERF.md "Columnar store"): each profile can additionally exist as
+/// a ColumnarProfile — flat SoA columns in one page-aligned block, strings
+/// deduplicated across profiles through a store-wide SharedStringTable.
+/// With a byte budget configured (setBudget), the store keeps hot profiles
+/// fully materialized and sheds cold ones in two LRU tiers:
+///
+///   1. drop the decoded AoS Profile (cheap — rebuilt from columns on the
+///      next get(), the "lazy decode" fault path);
+///   2. spill the column block to `<spillDir>/seg-<id>.evcol` and drop it
+///      (faulted back by mmap, zero decode).
+///
+/// Column blocks are immutable, so a block that was spilled once is never
+/// rewritten — later evictions just drop the resident copy. Analyses that
+/// understand columns (aggregate, CohortAccumulator) read them through
+/// columnar() without ever paying for AoS materialization. stats() exposes
+/// the accounting that pvp/stats and `evtool store --stats` report.
+///
 /// Ids are allocated from a single store-wide counter, so they are unique
 /// across every session sharing the store (the shared view cache keys on
 /// them). Each profile also carries an invalidation generation, bumped by
@@ -26,67 +44,103 @@
 #ifndef EASYVIEW_PROFILE_PROFILESTORE_H
 #define EASYVIEW_PROFILE_PROFILESTORE_H
 
+#include "profile/Columnar.h"
 #include "profile/Profile.h"
+#include "profile/StoreBudget.h"
+#include "support/Result.h"
 
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <string>
 
 namespace ev {
 
 class ProfileStore {
 public:
+  ProfileStore() = default;
+  /// Removes every spill file this store wrote.
+  ~ProfileStore();
+  ProfileStore(const ProfileStore &) = delete;
+  ProfileStore &operator=(const ProfileStore &) = delete;
+
   /// Registers \p P under a fresh store-unique id.
   int64_t add(Profile P) {
     return add(std::make_shared<const Profile>(std::move(P)));
   }
 
-  /// Registers an already-shared profile under a fresh id.
-  int64_t add(std::shared_ptr<const Profile> P) {
-    std::lock_guard<std::mutex> Lock(Mutex);
-    int64_t Id = NextId++;
-    Profiles.emplace(Id, std::move(P));
-    return Id;
-  }
+  /// Registers an already-shared profile under a fresh id. Under an
+  /// active budget the columnar form is built immediately (interning the
+  /// profile's strings into the shared table) and cold entries are shed
+  /// to stay within the budget.
+  int64_t add(std::shared_ptr<const Profile> P);
 
   /// \returns the profile for \p Id, or nullptr when absent. The returned
   /// reference keeps the profile alive independent of a concurrent drop().
-  std::shared_ptr<const Profile> get(int64_t Id) const {
-    std::lock_guard<std::mutex> Lock(Mutex);
-    auto It = Profiles.find(Id);
-    return It == Profiles.end() ? nullptr : It->second;
-  }
+  /// A budget-evicted profile is faulted back in transparently (remapped
+  /// from its spill file and rematerialized from columns); the result is
+  /// byte-identical to the originally added profile.
+  std::shared_ptr<const Profile> get(int64_t Id) const;
 
-  /// Retires \p Id from the store (in-flight references stay valid).
-  /// \returns true when the id was present.
-  bool drop(int64_t Id) {
-    std::lock_guard<std::mutex> Lock(Mutex);
-    return Profiles.erase(Id) > 0;
-  }
+  /// \returns the columnar form of \p Id (building, or remapping from the
+  /// spill file, on demand), or nullptr when absent. The block and every
+  /// string id it references stay valid for the life of this store.
+  std::shared_ptr<const ColumnarProfile> columnar(int64_t Id) const;
+
+  /// Retires \p Id from the store (in-flight references stay valid) and
+  /// deletes its spill file. \returns true when the id was present.
+  bool drop(int64_t Id);
 
   /// \returns the invalidation generation of \p Id (0 until bumped).
-  uint64_t generationOf(int64_t Id) const {
-    std::lock_guard<std::mutex> Lock(Mutex);
-    auto It = Generations.find(Id);
-    return It == Generations.end() ? 0 : It->second;
-  }
+  uint64_t generationOf(int64_t Id) const;
 
   /// Invalidates every cached view of \p Id by advancing its generation.
-  void bumpGeneration(int64_t Id) {
-    std::lock_guard<std::mutex> Lock(Mutex);
-    ++Generations[Id];
-  }
+  void bumpGeneration(int64_t Id);
 
-  size_t size() const {
-    std::lock_guard<std::mutex> Lock(Mutex);
-    return Profiles.size();
-  }
+  size_t size() const;
+
+  /// Configures the resident-byte budget. \p Bytes == 0 disables
+  /// eviction; otherwise \p SpillDir (created if missing) receives cold
+  /// column segments. Existing entries gain columnar forms immediately so
+  /// every profile is spillable, then the budget is enforced. Best
+  /// effort: a single profile larger than the budget stays resident while
+  /// it is the one in use.
+  Result<bool> setBudget(uint64_t Bytes, const std::string &SpillDir);
+
+  /// Point-in-time accounting snapshot (see StoreStats).
+  StoreStats stats() const;
+
+  /// The store-wide deduplicating string table backing every columnar
+  /// profile.
+  const SharedStringTable &sharedStrings() const { return Strings; }
 
 private:
+  struct Entry {
+    std::shared_ptr<const Profile> Aos;       ///< null when shed (tier 1).
+    std::shared_ptr<const ColumnarProfile> Col; ///< null when spilled.
+    uint64_t AosBytes = 0;       ///< Resident AoS bytes (0 when shed).
+    uint64_t ColBytes = 0;       ///< Resident column-block bytes.
+    uint64_t SpillFileBytes = 0; ///< >0 once a spill file exists on disk.
+    std::string SpillPath;
+  };
+
+  /// Builds the columnar form of \p E (requires E.Aos) and charges it.
+  void buildColumnarLocked(int64_t Id, Entry &E) const;
+  /// Sheds cold entries until under budget; \p Pinned is never evicted.
+  void enforceLocked(int64_t Pinned) const;
+  uint64_t residentOf(const Entry &E) const {
+    return E.AosBytes + E.ColBytes;
+  }
+  std::string spillPathFor(int64_t Id) const;
+
   mutable std::mutex Mutex;
-  std::map<int64_t, std::shared_ptr<const Profile>> Profiles;
+  mutable std::map<int64_t, Entry> Profiles;
   std::map<int64_t, uint64_t> Generations;
+  mutable SharedStringTable Strings;
+  mutable StoreBudget Budget;
+  mutable StoreStats Counters; ///< Cumulative fields; gauges derived.
+  std::string SpillDir;
   int64_t NextId = 1;
 };
 

@@ -1,0 +1,58 @@
+//===- profile/StoreBudget.cpp - Memory budget + LRU policy ---------------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "profile/StoreBudget.h"
+
+namespace ev {
+
+void StoreBudget::charge(int64_t Id, uint64_t Bytes) {
+  auto It = Index.find(Id);
+  if (It == Index.end()) {
+    Lru.push_back(Id);
+    Index.emplace(Id, Slot{std::prev(Lru.end()), Bytes});
+    Charged += Bytes;
+    return;
+  }
+  Charged = Charged - It->second.Bytes + Bytes;
+  It->second.Bytes = Bytes;
+  Lru.splice(Lru.end(), Lru, It->second.Pos); // Promote to hottest.
+}
+
+void StoreBudget::recharge(int64_t Id, uint64_t Bytes) {
+  auto It = Index.find(Id);
+  if (It == Index.end())
+    return;
+  Charged = Charged - It->second.Bytes + Bytes;
+  It->second.Bytes = Bytes;
+}
+
+void StoreBudget::touch(int64_t Id) {
+  auto It = Index.find(Id);
+  if (It != Index.end())
+    Lru.splice(Lru.end(), Lru, It->second.Pos);
+}
+
+uint64_t StoreBudget::release(int64_t Id) {
+  auto It = Index.find(Id);
+  if (It == Index.end())
+    return 0;
+  uint64_t Bytes = It->second.Bytes;
+  Charged -= Bytes;
+  Lru.erase(It->second.Pos);
+  Index.erase(It);
+  return Bytes;
+}
+
+std::vector<int64_t> StoreBudget::coldestFirst() const {
+  return {Lru.begin(), Lru.end()};
+}
+
+uint64_t StoreBudget::chargeOf(int64_t Id) const {
+  auto It = Index.find(Id);
+  return It == Index.end() ? 0 : It->second.Bytes;
+}
+
+} // namespace ev

@@ -11,8 +11,14 @@
 #include <cstdio>
 #include <thread>
 
+#include <cerrno>
+#include <cstring>
+
 #include <dirent.h>
+#include <fcntl.h>
+#include <sys/mman.h>
 #include <sys/stat.h>
+#include <unistd.h>
 
 namespace ev {
 
@@ -117,6 +123,118 @@ Result<std::string> readFileWithRetry(const std::string &Path,
   }
   return makeError(Last.error() + " (after " + std::to_string(Attempts) +
                    " attempts)");
+}
+
+namespace {
+
+/// open(2) restarted on EINTR (signals during profile spills/faults are
+/// routine under the net server's SIGINT drain path).
+int openRetryEintr(const char *Path, int Flags, mode_t Mode = 0) {
+  int Fd;
+  do {
+    Fd = ::open(Path, Flags, Mode);
+  } while (Fd < 0 && errno == EINTR);
+  return Fd;
+}
+
+} // namespace
+
+MappedFile::MappedFile(MappedFile &&Other) noexcept
+    : Base(Other.Base), Size(Other.Size), Valid(Other.Valid) {
+  Other.Base = nullptr;
+  Other.Size = 0;
+  Other.Valid = false;
+}
+
+MappedFile &MappedFile::operator=(MappedFile &&Other) noexcept {
+  if (this != &Other) {
+    this->~MappedFile();
+    new (this) MappedFile(std::move(Other));
+  }
+  return *this;
+}
+
+MappedFile::~MappedFile() {
+  if (Base != nullptr && Size > 0)
+    ::munmap(Base, Size);
+}
+
+Result<MappedFile> MappedFile::map(const std::string &Path,
+                                   size_t ExpectedBytes) {
+  int Fd = openRetryEintr(Path.c_str(), O_RDONLY);
+  if (Fd < 0)
+    return makeError("cannot open '" + Path +
+                     "' for mapping: " + std::strerror(errno));
+  struct stat St;
+  if (::fstat(Fd, &St) != 0) {
+    int E = errno;
+    ::close(Fd);
+    return makeError("cannot stat '" + Path + "': " + std::strerror(E));
+  }
+  if (!S_ISREG(St.st_mode)) {
+    ::close(Fd);
+    return makeError("'" + Path + "' is not a regular file");
+  }
+  size_t Bytes = static_cast<size_t>(St.st_size);
+  if (ExpectedBytes != 0 && Bytes != ExpectedBytes) {
+    ::close(Fd);
+    return makeError("'" + Path + "' is " + std::to_string(Bytes) +
+                     " bytes, expected " + std::to_string(ExpectedBytes) +
+                     " (truncated or corrupt)");
+  }
+  MappedFile Out;
+  Out.Valid = true;
+  Out.Size = Bytes;
+  if (Bytes == 0) {
+    // mmap(len=0) is EINVAL; a valid empty mapping needs no pages.
+    ::close(Fd);
+    return Out;
+  }
+  void *Mapped = ::mmap(nullptr, Bytes, PROT_READ, MAP_PRIVATE, Fd, 0);
+  ::close(Fd); // The mapping outlives the descriptor.
+  if (Mapped == MAP_FAILED)
+    return makeError("cannot map '" + Path + "': " + std::strerror(errno));
+  Out.Base = Mapped;
+  return Out;
+}
+
+Result<bool> preallocateFile(const std::string &Path, size_t Bytes) {
+  int Fd = openRetryEintr(Path.c_str(), O_WRONLY | O_CREAT, 0644);
+  if (Fd < 0)
+    return makeError("cannot open '" + Path +
+                     "' for preallocation: " + std::strerror(errno));
+  struct stat St;
+  if (::fstat(Fd, &St) != 0) {
+    int E = errno;
+    ::close(Fd);
+    return makeError("cannot stat '" + Path + "': " + std::strerror(E));
+  }
+  if (static_cast<size_t>(St.st_size) >= Bytes) {
+    ::close(Fd);
+    return true; // Never shrink: a concurrent reader may be mapping it.
+  }
+#if defined(__linux__)
+  int Err;
+  do {
+    Err = ::posix_fallocate(Fd, 0, static_cast<off_t>(Bytes));
+  } while (Err == EINTR);
+  // Filesystems without extent support (EOPNOTSUPP) fall back to
+  // ftruncate below rather than failing the spill.
+  if (Err == 0) {
+    ::close(Fd);
+    return true;
+  }
+#endif
+  int Rc;
+  do {
+    Rc = ::ftruncate(Fd, static_cast<off_t>(Bytes));
+  } while (Rc != 0 && errno == EINTR);
+  int E = errno;
+  ::close(Fd);
+  if (Rc != 0)
+    return makeError("cannot preallocate '" + Path + "' to " +
+                     std::to_string(Bytes) + " bytes: " + std::strerror(E));
+  return true;
 }
 
 Result<bool> writeFile(const std::string &Path, std::string_view Contents) {

@@ -50,6 +50,47 @@ struct RetryPolicy {
 Result<std::string> readFileWithRetry(const std::string &Path,
                                       const RetryPolicy &Policy = {});
 
+/// A read-only memory mapping of a whole file (the out-of-core profile
+/// store maps spilled column segments back without a decode pass). The
+/// mapping is released on destruction; moves transfer ownership. A
+/// zero-length file yields a valid mapping with empty bytes() and no
+/// kernel mapping at all.
+class MappedFile {
+public:
+  MappedFile() = default;
+  MappedFile(MappedFile &&Other) noexcept;
+  MappedFile &operator=(MappedFile &&Other) noexcept;
+  MappedFile(const MappedFile &) = delete;
+  MappedFile &operator=(const MappedFile &) = delete;
+  ~MappedFile();
+
+  /// Maps \p Path read-only. The open is EINTR-safe and the size comes
+  /// from fstat on the open descriptor, so the mapping can never be
+  /// silently shorter than bytes() claims. When \p ExpectedBytes is
+  /// nonzero, a file of any other size is rejected as truncated/corrupt
+  /// instead of being mapped.
+  static Result<MappedFile> map(const std::string &Path,
+                                size_t ExpectedBytes = 0);
+
+  /// The mapped contents; empty for a zero-length file.
+  std::string_view bytes() const {
+    return {static_cast<const char *>(Base), Size};
+  }
+  size_t size() const { return Size; }
+  /// True once map() succeeded (including the zero-length case).
+  bool valid() const { return Valid; }
+
+private:
+  void *Base = nullptr;
+  size_t Size = 0;
+  bool Valid = false;
+};
+
+/// Grows (never shrinks) \p Path to at least \p Bytes, creating it when
+/// absent. Used to reserve spill-file extents up front so later segment
+/// dumps cannot fail halfway through on a full disk. EINTR-safe.
+Result<bool> preallocateFile(const std::string &Path, size_t Bytes);
+
 /// Test/chaos hook: decides whether the read of \p Path on \p Attempt
 /// (0-based) should be failed artificially; on injection it fills
 /// \p Message with the simulated diagnostic and returns true.

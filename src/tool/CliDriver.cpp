@@ -19,6 +19,7 @@
 #include "convert/Exporters.h"
 #include "ide/SessionManager.h"
 #include "net/NetServer.h"
+#include "profile/ProfileStore.h"
 #include "proto/EvProf.h"
 #include "query/Interpreter.h"
 #include "render/AnsiRenderer.h"
@@ -71,6 +72,11 @@ std::string usageText() {
          "  butterfly <profile> <function> [--metric M]\n"
          "  annotate <profile> <source-file>   per-line code lenses\n"
          "  report <profile> <out.html>        self-contained HTML report\n"
+         "  store --stats <profile|dir...> [--budget BYTES --spill-dir D]\n"
+         "                                     load into a (optionally\n"
+         "                                     budgeted) profile store and\n"
+         "                                     report resident/spilled/\n"
+         "                                     deduplicated memory\n"
          "  serve --input <requests.jsonl> [--sessions N]\n"
          "        [--trace-out F]              run PVP requests through the\n"
          "                                     concurrent session service;\n"
@@ -97,7 +103,8 @@ struct ParsedArgs {
 /// "--flag" (or the compiler-style alias "-Werror") and show up in Options
 /// with the value "1".
 const std::initializer_list<std::string_view> BoolFlags = {"werror",
-                                                           "list-rules"};
+                                                           "list-rules",
+                                                           "stats"};
 
 Result<ParsedArgs> parseArgs(const std::vector<std::string> &Args,
                              size_t From) {
@@ -730,6 +737,82 @@ int cmdReport(const ParsedArgs &Args, std::string &Out, std::string &Err) {
   return 0;
 }
 
+/// 'store': loads profiles into a ProfileStore — optionally under a memory
+/// budget with an out-of-core spill directory — and reports the same
+/// memory-attribution stats the PVP server exposes as the store* fields of
+/// pvp/stats (docs/PERF.md "Out-of-core columnar store"). The quickest way
+/// to eyeball spill/dedup behavior on a cohort without standing up a
+/// server.
+int cmdStore(const ParsedArgs &Args, std::string &Out, std::string &Err) {
+  if (!Args.Options.count("stats"))
+    return failUsage(Err, "store requires --stats");
+  if (Args.Positional.empty())
+    return failUsage(Err, "store expects at least one profile or directory");
+  uint64_t Budget = 0;
+  int Code = 0;
+  if (!parseCountOption(Args, "budget", Budget, Err, Code))
+    return Code;
+  std::string SpillDir;
+  if (auto It = Args.Options.find("spill-dir"); It != Args.Options.end())
+    SpillDir = It->second;
+  if (Budget != 0 && SpillDir.empty())
+    return failUsage(Err, "--budget requires --spill-dir");
+
+  ProfileStore Store;
+  if (Budget != 0)
+    if (Result<bool> R = Store.setBudget(Budget, SpillDir); !R)
+      return failData(Err, R.error());
+
+  std::vector<int64_t> Ids;
+  auto AddFile = [&](const std::string &File) -> Result<bool> {
+    Result<Profile> P = loadProfile(File);
+    if (!P)
+      return makeError(P.error());
+    Ids.push_back(Store.add(P.take()));
+    return true;
+  };
+  for (const std::string &Path : Args.Positional) {
+    if (isDirectory(Path)) {
+      Result<std::vector<std::string>> Files = listDirectory(Path);
+      if (!Files)
+        return failData(Err, Files.error());
+      for (const std::string &File : *Files)
+        if (Result<bool> R = AddFile(File); !R)
+          return failData(Err, R.error());
+    } else if (Result<bool> R = AddFile(Path); !R) {
+      return failData(Err, R.error());
+    }
+  }
+  if (Ids.empty())
+    return failData(Err, "no profiles found in the given inputs");
+
+  // Under a budget, sweep every profile once through the columnar reader
+  // so the report reflects steady-state streaming (spilled members fault
+  // in and age back out), not just the load order.
+  if (Budget != 0)
+    for (int64_t Id : Ids)
+      (void)Store.columnar(Id);
+
+  StoreStats S = Store.stats();
+  auto Bytes = [](uint64_t N) { return formatBytes(static_cast<double>(N)); };
+  Out += "profiles:       " + std::to_string(S.Profiles) + "\n";
+  Out += "budget:         " +
+         (S.BudgetBytes ? Bytes(S.BudgetBytes) : std::string("unbudgeted")) +
+         "\n";
+  Out += "resident:       " + Bytes(S.ResidentBytes) + "\n";
+  Out += "  aos:          " + Bytes(S.AosBytes) + "\n";
+  Out += "  columnar:     " + Bytes(S.ColumnarBytes) + "\n";
+  Out += "shared strings: " + Bytes(S.SharedStringBytes) +
+         " (deduplicated across profiles)\n";
+  Out += "spilled:        " + Bytes(S.SpilledBytes) + " in " +
+         std::to_string(S.Spills) + " segment(s)\n";
+  Out += "evictions:      " + std::to_string(S.Evictions) + "\n";
+  Out += "faults:         " + std::to_string(S.Faults) + "\n";
+  if (S.SpillFailures != 0)
+    Out += "spill failures: " + std::to_string(S.SpillFailures) + "\n";
+  return ExitSuccess;
+}
+
 /// The server a SIGINT/SIGTERM handler should drain. Handlers run on an
 /// arbitrary thread at an arbitrary instruction; requestDrain() is
 /// async-signal-safe (one atomic store plus one pipe write) so this is the
@@ -934,6 +1017,8 @@ int runEvTool(const std::vector<std::string> &Args, std::string &Out,
     return cmdAnnotate(*Parsed, Out, Err);
   if (Command == "report")
     return cmdReport(*Parsed, Out, Err);
+  if (Command == "store")
+    return cmdStore(*Parsed, Out, Err);
   if (Command == "serve")
     return cmdServe(*Parsed, Out, Err);
   Err += "evtool: error: unknown command '" + Command + "'\n" + usageText();

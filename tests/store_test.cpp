@@ -1,0 +1,574 @@
+//===- tests/store_test.cpp - Out-of-core columnar store tests ------------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The out-of-core columnar store (docs/PERF.md "Out-of-core columnar
+/// store"): mmap helpers and their failure paths, the SoA segment
+/// build/spill/map/materialize round trip, cross-profile string dedup, the
+/// LRU budget policy, spill/fault behavior of a budgeted ProfileStore, the
+/// byte-identity of columnar aggregation against the AoS path (including
+/// across thread counts), and the pvp/stats memory attribution. Every
+/// suite name starts with "Store" so the easyview_store ctest entry (also
+/// run under both sanitizer presets) selects exactly this file.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Aggregate.h"
+#include "analysis/FleetAggregate.h"
+#include "ide/JsonRpc.h"
+#include "ide/PvpServer.h"
+#include "profile/Columnar.h"
+#include "profile/ProfileStore.h"
+#include "profile/StoreBudget.h"
+#include "proto/EvProf.h"
+#include "support/FileIo.h"
+#include "support/ThreadPool.h"
+#include "tool/CliDriver.h"
+
+#include "TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <deque>
+
+using namespace ev;
+
+namespace {
+
+/// Fresh per-test scratch directory under /tmp.
+std::string testDir() {
+  const ::testing::TestInfo *Info =
+      ::testing::UnitTest::GetInstance()->current_test_info();
+  std::string Dir = std::string("/tmp/evstore_test_") +
+                    Info->test_suite_name() + "_" + Info->name();
+  std::string Cmd = "rm -rf " + Dir + " && mkdir -p " + Dir;
+  EXPECT_EQ(std::system(Cmd.c_str()), 0);
+  return Dir;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===
+// FileIo: mmap and preallocation helpers (and their failure paths).
+//===----------------------------------------------------------------------===
+
+TEST(StoreFileIo, MapMissingFileFails) {
+  Result<MappedFile> M = MappedFile::map("/nonexistent/dir/nope.evcol");
+  EXPECT_FALSE(M.ok());
+  EXPECT_FALSE(M.error().empty());
+}
+
+TEST(StoreFileIo, MapZeroLengthFileIsValidAndEmpty) {
+  std::string Path = testDir() + "/empty";
+  ASSERT_TRUE(writeFile(Path, "").ok());
+  Result<MappedFile> M = MappedFile::map(Path);
+  ASSERT_TRUE(M.ok()) << M.error();
+  EXPECT_TRUE(M->valid());
+  EXPECT_EQ(M->size(), 0u);
+  EXPECT_TRUE(M->bytes().empty());
+}
+
+TEST(StoreFileIo, MapRejectsSizeMismatchAsTruncated) {
+  std::string Path = testDir() + "/short";
+  ASSERT_TRUE(writeFile(Path, "0123456789").ok());
+  Result<MappedFile> M = MappedFile::map(Path, /*ExpectedBytes=*/20);
+  ASSERT_FALSE(M.ok());
+  EXPECT_NE(M.error().find("truncated"), std::string::npos) << M.error();
+  // The right size maps fine.
+  Result<MappedFile> Ok = MappedFile::map(Path, 10);
+  ASSERT_TRUE(Ok.ok()) << Ok.error();
+  EXPECT_EQ(Ok->bytes(), "0123456789");
+}
+
+TEST(StoreFileIo, PreallocateGrowsAndNeverShrinks) {
+  std::string Path = testDir() + "/prealloc";
+  ASSERT_TRUE(preallocateFile(Path, 4096).ok());
+  Result<std::string> Bytes = readFile(Path);
+  ASSERT_TRUE(Bytes.ok());
+  EXPECT_EQ(Bytes->size(), 4096u);
+  // A smaller reservation must not truncate an existing extent.
+  ASSERT_TRUE(preallocateFile(Path, 100).ok());
+  Bytes = readFile(Path);
+  ASSERT_TRUE(Bytes.ok());
+  EXPECT_EQ(Bytes->size(), 4096u);
+  EXPECT_FALSE(preallocateFile("/nonexistent/dir/prealloc", 16).ok());
+}
+
+//===----------------------------------------------------------------------===
+// StoreBudget: the LRU accounting policy in isolation.
+//===----------------------------------------------------------------------===
+
+TEST(StoreBudgetPolicy, TracksChargesAndEvictionOrder) {
+  StoreBudget B;
+  B.setLimit(100);
+  EXPECT_EQ(B.limit(), 100u);
+  B.charge(1, 50);
+  B.charge(2, 40);
+  B.charge(3, 30);
+  EXPECT_EQ(B.chargedBytes(), 120u);
+  EXPECT_TRUE(B.overLimit());
+  EXPECT_EQ(B.coldestFirst(), (std::vector<int64_t>{1, 2, 3}));
+  // A touch promotes to most-recently-used.
+  B.touch(1);
+  EXPECT_EQ(B.coldestFirst(), (std::vector<int64_t>{2, 3, 1}));
+  EXPECT_EQ(B.release(2), 40u);
+  EXPECT_EQ(B.chargedBytes(), 80u);
+  EXPECT_FALSE(B.overLimit());
+  EXPECT_EQ(B.trackedCount(), 2u);
+}
+
+TEST(StoreBudgetPolicy, RechargeUpdatesCostWithoutPromoting) {
+  StoreBudget B;
+  B.setLimit(100);
+  B.charge(1, 60);
+  B.charge(2, 60);
+  // Eviction shrinks the coldest entry's cost; that must NOT move it to
+  // the warm end, or the evictor would churn through its own victims.
+  B.recharge(1, 10);
+  EXPECT_EQ(B.chargeOf(1), 10u);
+  EXPECT_EQ(B.coldestFirst(), (std::vector<int64_t>{1, 2}));
+  // charge() on an existing id, by contrast, is a use and promotes.
+  B.charge(1, 20);
+  EXPECT_EQ(B.coldestFirst(), (std::vector<int64_t>{2, 1}));
+  EXPECT_EQ(B.chargedBytes(), 80u);
+}
+
+TEST(StoreBudgetPolicy, ZeroLimitNeverReportsOverLimit) {
+  StoreBudget B;
+  B.charge(1, 1u << 30);
+  EXPECT_FALSE(B.overLimit());
+}
+
+//===----------------------------------------------------------------------===
+// ColumnarProfile: build / spill / map / materialize round trips.
+//===----------------------------------------------------------------------===
+
+TEST(StoreColumnar, MaterializeIsByteIdentical) {
+  SharedStringTable Shared;
+  for (uint64_t Seed : {0u, 1u, 2u}) {
+    Profile P = Seed == 0 ? test::makeFixedProfile()
+                          : test::makeRandomProfile(Seed);
+    std::string Ref = writeEvProf(P);
+    ColumnarProfile C = ColumnarProfile::build(P, Shared);
+    EXPECT_FALSE(C.isMapped());
+    EXPECT_GT(C.residentBytes(), 0u);
+    EXPECT_EQ(writeEvProf(C.materialize()), Ref) << "seed " << Seed;
+  }
+}
+
+TEST(StoreColumnar, SpillMapRoundTripIsByteIdentical) {
+  std::string Dir = testDir();
+  SharedStringTable Shared;
+  Profile P = test::makeRandomProfile(11);
+  std::string Ref = writeEvProf(P);
+  ColumnarProfile C = ColumnarProfile::build(P, Shared);
+
+  std::string Path = Dir + "/seg.evcol";
+  Result<uint64_t> Written = C.spillTo(Path);
+  ASSERT_TRUE(Written.ok()) << Written.error();
+  EXPECT_GT(*Written, 0u);
+
+  Result<ColumnarProfile> Mapped = ColumnarProfile::mapFrom(Path, Shared);
+  ASSERT_TRUE(Mapped.ok()) << Mapped.error();
+  EXPECT_TRUE(Mapped->isMapped());
+  EXPECT_EQ(writeEvProf(Mapped->materialize()), Ref);
+}
+
+TEST(StoreColumnar, MapRejectsTruncatedAndGarbageSegments) {
+  std::string Dir = testDir();
+  SharedStringTable Shared;
+  Profile P = test::makeFixedProfile();
+  ColumnarProfile C = ColumnarProfile::build(P, Shared);
+  std::string Path = Dir + "/seg.evcol";
+  ASSERT_TRUE(C.spillTo(Path).ok());
+
+  Result<std::string> Bytes = readFile(Path);
+  ASSERT_TRUE(Bytes.ok());
+
+  // Truncated: the header promises more bytes than the file holds.
+  std::string Truncated = Dir + "/truncated.evcol";
+  ASSERT_TRUE(
+      writeFile(Truncated, std::string_view(*Bytes).substr(0, 4100)).ok());
+  EXPECT_FALSE(ColumnarProfile::mapFrom(Truncated, Shared).ok());
+
+  // Wrong magic: not a segment at all.
+  std::string Garbage = Dir + "/garbage.evcol";
+  std::string Mangled = *Bytes;
+  Mangled[0] = 'X';
+  ASSERT_TRUE(writeFile(Garbage, Mangled).ok());
+  EXPECT_FALSE(ColumnarProfile::mapFrom(Garbage, Shared).ok());
+
+  // A valid file still maps after the rejections (the table was not
+  // poisoned by the failed attempts).
+  EXPECT_TRUE(ColumnarProfile::mapFrom(Path, Shared).ok());
+}
+
+TEST(StoreColumnar, CrossProfileStringDedupDoesNotGrowTable) {
+  SharedStringTable Shared;
+  Profile A = test::makeRandomProfile(5);
+  ColumnarProfile CA = ColumnarProfile::build(A, Shared);
+  size_t Count = Shared.size();
+  size_t Payload = Shared.payloadBytes();
+  EXPECT_GT(Payload, 0u);
+  // A second profile with the same cohort of strings (same generator, same
+  // seed) must intern nothing new: every name resolves to the shared ids.
+  Profile B = test::makeRandomProfile(5);
+  ColumnarProfile CB = ColumnarProfile::build(B, Shared);
+  EXPECT_EQ(Shared.size(), Count);
+  EXPECT_EQ(Shared.payloadBytes(), Payload);
+}
+
+//===----------------------------------------------------------------------===
+// ProfileStore under a byte budget: spill, fault, and accounting.
+//===----------------------------------------------------------------------===
+
+TEST(StoreBudgeted, UnbudgetedStoreStaysPureAos) {
+  ProfileStore Store;
+  Store.add(test::makeFixedProfile());
+  StoreStats S = Store.stats();
+  EXPECT_EQ(S.Profiles, 1u);
+  EXPECT_EQ(S.BudgetBytes, 0u);
+  EXPECT_EQ(S.ColumnarBytes, 0u);
+  EXPECT_GT(S.AosBytes, 0u);
+  EXPECT_EQ(S.ResidentBytes, S.AosBytes);
+  EXPECT_EQ(S.Spills, 0u);
+}
+
+TEST(StoreBudgeted, SetBudgetRequiresSpillDir) {
+  ProfileStore Store;
+  EXPECT_FALSE(Store.setBudget(1024, "").ok());
+  // Disabling (0 bytes) needs no directory.
+  EXPECT_TRUE(Store.setBudget(0, "").ok());
+}
+
+TEST(StoreBudgeted, GetAfterSpillIsByteIdentical) {
+  std::string Dir = testDir();
+  ProfileStore Store;
+  std::vector<std::string> Refs;
+  std::vector<int64_t> Ids;
+  for (uint64_t Seed : {21u, 22u, 23u}) {
+    Profile P = test::makeRandomProfile(Seed);
+    Refs.push_back(writeEvProf(P));
+    Ids.push_back(Store.add(std::move(P)));
+  }
+  // A 1-byte budget can keep nothing resident: everything spills.
+  ASSERT_TRUE(Store.setBudget(1, Dir).ok());
+  StoreStats S = Store.stats();
+  EXPECT_GE(S.Spills, 3u);
+  EXPECT_GE(S.SpilledBytes, 3 * 4096u);
+  EXPECT_FALSE(listDirectory(Dir)->empty());
+
+  // Faulting each profile back (mmap + rematerialize) reproduces the
+  // original bytes exactly — spilling is lossless.
+  for (size_t I = 0; I < Ids.size(); ++I) {
+    std::shared_ptr<const Profile> P = Store.get(Ids[I]);
+    ASSERT_NE(P, nullptr);
+    EXPECT_EQ(writeEvProf(*P), Refs[I]) << "profile " << I;
+  }
+  EXPECT_GE(Store.stats().Faults, 3u);
+}
+
+TEST(StoreBudgeted, SweepStaysUnderBudgetWithFaults) {
+  std::string Dir = testDir();
+  ProfileStore Store;
+  std::vector<int64_t> Ids;
+  for (uint64_t Seed = 0; Seed < 12; ++Seed)
+    Ids.push_back(Store.add(test::makeRandomProfile(Seed + 100)));
+  uint64_t Unbudgeted = Store.stats().ResidentBytes;
+  // A third of the working set: the sweep below cannot fit everything, so
+  // cold profiles must spill and fault back as the scan revisits them.
+  uint64_t Budget = Unbudgeted / 3;
+  ASSERT_TRUE(Store.setBudget(Budget, Dir).ok());
+
+  for (int Round = 0; Round < 2; ++Round)
+    for (int64_t Id : Ids) {
+      ASSERT_NE(Store.columnar(Id), nullptr);
+      EXPECT_LE(Store.stats().ResidentBytes, Budget);
+    }
+  StoreStats S = Store.stats();
+  EXPECT_GT(S.Evictions, 0u);
+  EXPECT_GT(S.Faults, 0u);
+  EXPECT_GT(S.Spills, 0u);
+  EXPECT_EQ(S.SpillFailures, 0u);
+  // Shared strings are deduplicated across the cohort and excluded from
+  // the budgeted resident bytes.
+  EXPECT_GT(S.SharedStringBytes, 0u);
+}
+
+TEST(StoreBudgeted, DropAndDestructionRemoveSpillFiles) {
+  std::string Dir = testDir();
+  {
+    ProfileStore Store;
+    int64_t A = Store.add(test::makeRandomProfile(31));
+    Store.add(test::makeRandomProfile(32));
+    ASSERT_TRUE(Store.setBudget(1, Dir).ok());
+    Result<std::vector<std::string>> Files = listDirectory(Dir);
+    ASSERT_TRUE(Files.ok());
+    EXPECT_EQ(Files->size(), 2u);
+    EXPECT_TRUE(Store.drop(A));
+    Files = listDirectory(Dir);
+    ASSERT_TRUE(Files.ok());
+    EXPECT_EQ(Files->size(), 1u);
+  }
+  // The destructor cleans up whatever was still spilled.
+  Result<std::vector<std::string>> Files = listDirectory(Dir);
+  ASSERT_TRUE(Files.ok());
+  EXPECT_TRUE(Files->empty());
+}
+
+//===----------------------------------------------------------------------===
+// Aggregation straight from columns: byte-identical to the AoS path.
+//===----------------------------------------------------------------------===
+
+namespace {
+
+/// Builds AoS profiles for \p Seeds plus their columnar twins over one
+/// shared string table.
+struct AggFixture {
+  std::vector<Profile> Aos;
+  std::deque<ColumnarProfile> Cols; // deque: stable addresses while growing.
+  SharedStringTable Shared;
+  std::vector<const Profile *> AosPtrs;
+  std::vector<const ColumnarProfile *> ColPtrs;
+
+  explicit AggFixture(std::initializer_list<uint64_t> Seeds) {
+    for (uint64_t Seed : Seeds)
+      Aos.push_back(test::makeRandomProfile(Seed));
+    for (const Profile &P : Aos) {
+      Cols.push_back(ColumnarProfile::build(P, Shared));
+      AosPtrs.push_back(&P);
+      ColPtrs.push_back(&Cols.back());
+    }
+  }
+};
+
+} // namespace
+
+TEST(StoreAggregate, ColumnarMatchesAosByteForByte) {
+  AggFixture F({41, 42, 43, 44});
+  AggregateOptions Opt;
+  Opt.WithMin = Opt.WithMax = Opt.WithMean = Opt.WithStddev = true;
+  AggregatedProfile A = aggregate(F.AosPtrs, Opt);
+  AggregatedProfile C = aggregate(F.ColPtrs, Opt);
+  EXPECT_EQ(writeEvProf(A.merged()), writeEvProf(C.merged()));
+  ASSERT_EQ(A.profileCount(), C.profileCount());
+  ASSERT_EQ(A.inputMetricCount(), C.inputMetricCount());
+  // The per-profile matrices behind the histogram view agree too.
+  for (NodeId N = 0; N < A.merged().nodeCount(); ++N)
+    for (MetricId M = 0; M < A.inputMetricCount(); ++M) {
+      EXPECT_EQ(A.perProfileExclusive(N, M), C.perProfileExclusive(N, M));
+      EXPECT_EQ(A.perProfileInclusive(N, M), C.perProfileInclusive(N, M));
+    }
+}
+
+TEST(StoreAggregate, ColumnarIsByteIdenticalAcrossThreadCounts) {
+  AggFixture F({51, 52, 53});
+  AggregateOptions Opt;
+  Opt.WithMin = Opt.WithMax = Opt.WithMean = true;
+  // EV_THREADS=0 (inline sequential) vs 4 workers: the thread-count
+  // byte-identity contract extends to the columnar read path.
+  ThreadPool::setSharedThreadCount(0);
+  std::string Sequential = writeEvProf(aggregate(F.ColPtrs, Opt).merged());
+  ThreadPool::setSharedThreadCount(4);
+  std::string Parallel = writeEvProf(aggregate(F.ColPtrs, Opt).merged());
+  ThreadPool::setSharedThreadCount(ThreadPool::configuredThreads());
+  EXPECT_EQ(Sequential, Parallel);
+}
+
+TEST(StoreCohort, ColumnarAddMatchesAosStatistics) {
+  AggFixture F({61, 62, 63});
+  CohortAccumulator FromAos, FromCols;
+  for (const Profile *P : F.AosPtrs)
+    FromAos.add(*P);
+  for (const ColumnarProfile *C : F.ColPtrs)
+    FromCols.add(*C);
+
+  ASSERT_EQ(FromAos.profileCount(), FromCols.profileCount());
+  ASSERT_EQ(writeEvProf(FromAos.shape()), writeEvProf(FromCols.shape()));
+  for (NodeId N = 0; N < FromAos.shape().nodeCount(); ++N)
+    for (MetricId M = 0; M < FromAos.shape().metrics().size(); ++M) {
+      CohortNodeStats A = FromAos.stats(N, M);
+      CohortNodeStats B = FromCols.stats(N, M);
+      EXPECT_EQ(A.Profiles, B.Profiles);
+      EXPECT_EQ(A.Present, B.Present);
+      EXPECT_EQ(A.Sum, B.Sum);
+      EXPECT_EQ(A.Mean, B.Mean);
+      EXPECT_EQ(A.Stddev, B.Stddev);
+      EXPECT_EQ(A.Min, B.Min);
+      EXPECT_EQ(A.Max, B.Max);
+    }
+  for (MetricId M = 0; M < FromAos.shape().metrics().size(); ++M)
+    EXPECT_EQ(FromAos.inclusiveSumColumn(M), FromCols.inclusiveSumColumn(M));
+}
+
+//===----------------------------------------------------------------------===
+// pvp/stats: cache memory and store memory attributed separately, and a
+// budgeted session aggregates a cohort while staying under budget.
+//===----------------------------------------------------------------------===
+
+namespace {
+
+json::Object statsOf(PvpServer &Server) {
+  json::Value Resp =
+      Server.handleMessage(rpc::makeRequest(99, "pvp/stats", json::Object()));
+  const json::Value *R = Resp.asObject().find("result");
+  EXPECT_NE(R, nullptr);
+  return R->asObject();
+}
+
+} // namespace
+
+TEST(StorePvp, StatsSeparateCacheBytesFromStoreBytes) {
+  PvpServer Server;
+  int64_t Id = Server.addProfile(test::makeFixedProfile());
+  json::Object S = statsOf(Server);
+  ASSERT_NE(S.find("cacheBytes"), nullptr);
+  ASSERT_NE(S.find("storeResidentBytes"), nullptr);
+  EXPECT_EQ(S.find("cacheBytes")->asInt(), 0);
+  EXPECT_GT(S.find("storeResidentBytes")->asInt(), 0);
+  EXPECT_EQ(S.find("storeBudgetBytes")->asInt(), 0);
+
+  // A memoized view shows up as cache memory, not store memory.
+  json::Object Params;
+  Params.set("profile", Id);
+  Server.handleMessage(rpc::makeRequest(1, "pvp/flame", std::move(Params)));
+  json::Object After = statsOf(Server);
+  EXPECT_GT(After.find("cacheBytes")->asInt(), 0);
+  EXPECT_EQ(After.find("storeResidentBytes")->asInt(),
+            S.find("storeResidentBytes")->asInt());
+}
+
+TEST(StorePvp, BudgetedSessionAggregatesCohortUnderBudget) {
+  // Ten snapshots of the same workload (identical shape, so the merged
+  // tree is the size of ONE profile and fits the budget even while pinned
+  // as the freshly derived result; the ten inputs together are ~3x the
+  // budget and must spill).
+  std::vector<Profile> Cohort;
+  for (int I = 0; I < 10; ++I)
+    Cohort.push_back(test::makeRandomProfile(200, /*Paths=*/60));
+
+  auto RunAggregate = [](PvpServer &Server,
+                         const std::vector<Profile> &Cohort) {
+    json::Array Ids;
+    for (const Profile &P : Cohort)
+      Ids.push_back(Server.addProfile(P));
+    json::Object Params;
+    Params.set("profiles", std::move(Ids));
+    json::Value Resp = Server.handleMessage(
+        rpc::makeRequest(1, "pvp/aggregate", std::move(Params)));
+    const json::Value *R = Resp.asObject().find("result");
+    EXPECT_NE(R, nullptr) << Resp.dump();
+    return R ? R->asObject().find("nodes")->asInt() : -1;
+  };
+
+  PvpServer Plain;
+  int64_t PlainNodes = RunAggregate(Plain, Cohort);
+
+  ProfileStore Probe;
+  for (const Profile &P : Cohort)
+    Probe.add(P);
+  uint64_t Budget = Probe.stats().ResidentBytes / 3;
+
+  ServerLimits Limits;
+  Limits.StoreBudgetBytes = Budget;
+  Limits.SpillDir = testDir();
+  PvpServer Budgeted(Limits);
+  EXPECT_EQ(RunAggregate(Budgeted, Cohort), PlainNodes);
+
+  json::Object S = statsOf(Budgeted);
+  EXPECT_EQ(static_cast<uint64_t>(S.find("storeBudgetBytes")->asInt()),
+            Budget);
+  EXPECT_LE(S.find("storeResidentBytes")->asInt(),
+            S.find("storeBudgetBytes")->asInt());
+  EXPECT_GT(S.find("storeSpills")->asInt(), 0);
+  EXPECT_EQ(S.find("storeResidentBytes")->asInt(),
+            S.find("storeAosBytes")->asInt() +
+                S.find("storeColumnarBytes")->asInt());
+}
+
+TEST(StoreTool, EvtoolStoreStatsReportsBudgetedMemory) {
+  std::string Dir = testDir();
+  std::string Spill = Dir + "/spill";
+  ASSERT_EQ(std::system(("mkdir -p " + Spill).c_str()), 0);
+  for (uint64_t Seed : {71u, 72u, 73u})
+    ASSERT_TRUE(writeFile(Dir + "/p" + std::to_string(Seed) + ".evprof",
+                          writeEvProf(test::makeRandomProfile(Seed)))
+                    .ok());
+
+  auto Run = [](std::vector<std::string> Args, std::string &Out,
+                std::string &Err) { return tool::runEvTool(Args, Out, Err); };
+  std::string Out, Err;
+  // --stats is mandatory; a budget without a spill dir is a usage error.
+  EXPECT_EQ(Run({"store", Dir}, Out, Err), tool::ExitUsageError);
+  EXPECT_EQ(Run({"store", "--stats", Dir, "--budget", "4096"}, Out, Err),
+            tool::ExitUsageError);
+
+  Out.clear();
+  Err.clear();
+  ASSERT_EQ(Run({"store", "--stats", Dir, "--budget", "8192", "--spill-dir",
+                 Spill},
+                Out, Err),
+            0)
+      << Err;
+  EXPECT_NE(Out.find("profiles:       3"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("budget:         8.0 KB"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("shared strings:"), std::string::npos);
+  EXPECT_EQ(Out.find("spilled:        0 B"), std::string::npos)
+      << "three profiles under an 8 KB budget must spill:\n"
+      << Out;
+  // The store's destructor removed its segments on exit.
+  Result<std::vector<std::string>> Left = listDirectory(Spill);
+  ASSERT_TRUE(Left.ok());
+  EXPECT_TRUE(Left->empty());
+
+  Out.clear();
+  Err.clear();
+  EXPECT_EQ(Run({"store", "--stats", Dir + "/pnope.evprof"}, Out, Err),
+            tool::ExitDataError);
+}
+
+TEST(StorePvp, BudgetedRegressionsStreamColumnarCohorts) {
+  std::vector<Profile> Base, Test;
+  for (uint64_t Seed = 0; Seed < 6; ++Seed) {
+    Base.push_back(test::makeRandomProfile(Seed + 300, /*Paths=*/60));
+    Test.push_back(test::makeRandomProfile(Seed + 300, /*Paths=*/60));
+  }
+
+  auto Run = [](PvpServer &Server, const std::vector<Profile> &Base,
+                const std::vector<Profile> &Test) {
+    json::Array BaseIds, TestIds;
+    for (const Profile &P : Base)
+      BaseIds.push_back(Server.addProfile(P));
+    for (const Profile &P : Test)
+      TestIds.push_back(Server.addProfile(P));
+    json::Object Params;
+    Params.set("base", std::move(BaseIds));
+    Params.set("test", std::move(TestIds));
+    json::Value Resp = Server.handleMessage(
+        rpc::makeRequest(1, "pvp/regressions", std::move(Params)));
+    const json::Value *R = Resp.asObject().find("result");
+    EXPECT_NE(R, nullptr) << Resp.dump();
+    return R ? R->dump() : std::string();
+  };
+
+  PvpServer Plain;
+  std::string Expected = Run(Plain, Base, Test);
+
+  ProfileStore Probe;
+  for (const Profile &P : Base)
+    Probe.add(P);
+  ServerLimits Limits;
+  Limits.StoreBudgetBytes = Probe.stats().ResidentBytes / 2;
+  Limits.SpillDir = testDir();
+  PvpServer Budgeted(Limits);
+  // Streaming the cohorts from columnar segments must not change a single
+  // byte of the findings.
+  EXPECT_EQ(Run(Budgeted, Base, Test), Expected);
+  json::Object S = statsOf(Budgeted);
+  EXPECT_LE(S.find("storeResidentBytes")->asInt(),
+            S.find("storeBudgetBytes")->asInt());
+}
