@@ -90,6 +90,20 @@ void FrameReader::resync(size_t From) {
   Buffer.erase(0, Next);
 }
 
+void FrameReader::compact() {
+  // erase(0, n) shifts contents but never releases std::string capacity,
+  // so a single large frame would otherwise pin its high-water allocation
+  // for the connection's lifetime. Reallocate down once the live bytes are
+  // a small fraction of the allocation; the threshold keeps steady-state
+  // traffic (small frames, warm buffer) free of churn.
+  if (Buffer.capacity() <= Opts.CompactThresholdBytes ||
+      Buffer.size() >= Buffer.capacity() / 4)
+    return;
+  std::string Shrunk(Buffer);
+  Shrunk.shrink_to_fit();
+  Buffer.swap(Shrunk);
+}
+
 std::optional<json::Value> FrameReader::poll() {
   for (;;) {
     // First discard any oversized body still in flight; its bytes are
@@ -99,8 +113,10 @@ std::optional<json::Value> FrameReader::poll() {
       Buffer.erase(0, Chunk);
       Dropped += Chunk;
       SkipRemaining -= Chunk;
-      if (SkipRemaining > 0)
+      if (SkipRemaining > 0) {
+        compact();
         return std::nullopt;
+      }
     }
 
     // Look for the end of the header block.
@@ -111,6 +127,7 @@ std::optional<json::Value> FrameReader::poll() {
         resync(1);
         continue;
       }
+      compact();
       return std::nullopt;
     }
 
@@ -179,6 +196,7 @@ std::optional<json::Value> FrameReader::poll() {
       recordError(ParseError, Doc.error());
       continue;
     }
+    compact();
     return Doc.take();
   }
 }

@@ -40,6 +40,7 @@ enum ErrorCode : int {
   RequestTimeout = -32001,   ///< Request exceeded its soft deadline.
   SessionBusy = -32002,      ///< Session queue is at its pending-request cap.
   ServerOverloaded = -32003, ///< Listener at its connection cap; shed load.
+  SubscriptionLimit = -32004, ///< Session at its live-subscription cap.
   /// LSP's reserved code for `$/cancelRequest`: the request was cancelled
   /// cooperatively before producing a result.
   RequestCancelled = -32800,
@@ -70,6 +71,11 @@ struct FrameReaderOptions {
   /// Largest unterminated header block tolerated before the reader
   /// declares the prefix garbage and resynchronizes.
   size_t MaxHeaderBytes = 8u << 10;
+  /// Buffer capacity above which the reader reallocates the buffer down
+  /// once it is mostly slack. `erase(0, n)` keeps std::string capacity, so
+  /// without compaction one large frame would pin its high-water
+  /// allocation for the rest of a long-lived (subscriber) connection.
+  size_t CompactThresholdBytes = 64u << 10;
 };
 
 /// A recoverable framing error, reported alongside (not instead of) the
@@ -115,6 +121,10 @@ public:
   size_t droppedBytes() const { return Dropped; }
   /// Bytes currently buffered (bounded by the options).
   size_t bufferedBytes() const { return Buffer.size(); }
+  /// Bytes currently *allocated* for the buffer. Stays within a small
+  /// multiple of bufferedBytes() plus the compaction threshold — the
+  /// regression guard for the erase-keeps-capacity leak.
+  size_t bufferCapacityBytes() const { return Buffer.capacity(); }
 
   const FrameReaderOptions &options() const { return Opts; }
 
@@ -123,6 +133,9 @@ private:
   /// Drops the corrupt prefix and realigns the buffer on the next
   /// "Content-Length:" occurrence at or past \p From.
   void resync(size_t From);
+  /// Releases slack capacity left behind by erase(0, n) once the buffer
+  /// is mostly empty relative to its allocation.
+  void compact();
 
   FrameReaderOptions Opts;
   std::string Buffer;

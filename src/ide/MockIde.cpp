@@ -24,6 +24,10 @@ Result<json::Value> MockIde::call(std::string_view Method,
   auto Response = Reader.poll();
   if (!Response)
     return makeError("server produced no response");
+  // The response frame comes first (the server guarantees the ordering);
+  // anything after it on the same wire flush is a push.
+  while (auto More = Reader.poll())
+    Notifications.push_back(std::move(*More));
   if (!Response->isObject())
     return makeError("server response is not an object");
   const json::Object &Obj = Response->asObject();

@@ -48,6 +48,14 @@ public:
   const std::vector<Navigation> &navigations() const { return Navigations; }
   size_t requestsSent() const { return RequestsSent; }
 
+  /// Server-initiated frames (pvp/viewDelta, pvp/subscriptionEnd) that
+  /// arrived on the wire after responses, in arrival order. Drained once.
+  std::vector<json::Value> takeNotifications() {
+    std::vector<json::Value> Out;
+    Out.swap(Notifications);
+    return Out;
+  }
+
   PvpServer &server() { return Server; }
   const PvpServer &server() const { return Server; }
 
@@ -56,6 +64,7 @@ private:
   int64_t NextRequestId = 1;
   size_t RequestsSent = 0;
   std::vector<Navigation> Navigations;
+  std::vector<json::Value> Notifications;
 };
 
 } // namespace ev

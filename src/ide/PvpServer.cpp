@@ -6,6 +6,8 @@
 
 #include "ide/PvpServer.h"
 
+#include "ide/ViewDelta.h"
+
 #include "analysis/Butterfly.h"
 #include "analysis/Diff.h"
 #include "analysis/FleetAggregate.h"
@@ -41,6 +43,38 @@ namespace {
 /// The exact diagnostic a handler returns when it bails on the deadline;
 /// dispatch() maps it to the RequestTimeout error code.
 constexpr const char *DeadlineDiag = "request deadline exceeded";
+
+/// The exact diagnostic doSubscribe returns at the subscription cap;
+/// dispatch() maps it to the SubscriptionLimit error code.
+constexpr const char *SubLimitDiag =
+    "session is at its live-subscription cap";
+
+/// Pinned handles for the sub.* counters (docs/OBSERVABILITY.md). The
+/// bytes pair is what makes the compactness claim auditable in production:
+/// sub.deltaBytes / sub.fullViewBytes is the fleet-wide delta ratio.
+struct SubMetrics {
+  telemetry::Counter &Subscribed;
+  telemetry::Counter &Unsubscribed;
+  telemetry::Counter &Acks;
+  telemetry::Counter &Pushes;
+  telemetry::Counter &Ended;
+  telemetry::Counter &FullFallbacks;
+  telemetry::Counter &DeltaBytes;
+  telemetry::Counter &FullViewBytes;
+
+  static SubMetrics &get() {
+    telemetry::Registry &R = telemetry::Registry::global();
+    static SubMetrics M{R.counter("sub.subscribed"),
+                        R.counter("sub.unsubscribed"),
+                        R.counter("sub.acks"),
+                        R.counter("sub.pushes"),
+                        R.counter("sub.ended"),
+                        R.counter("sub.fullFallbacks"),
+                        R.counter("sub.deltaBytes"),
+                        R.counter("sub.fullViewBytes")};
+    return M;
+  }
+};
 
 /// Strict integer extraction: \returns false when \p Key is absent, not a
 /// number, or a number that is not exactly representable as int64 (NaN,
@@ -209,6 +243,47 @@ Result<json::Value> PvpServer::doOpen(const json::Object &Params) {
   return json::Value(std::move(Out));
 }
 
+Result<json::Value> PvpServer::doAppend(const json::Object &Params) {
+  int64_t Id;
+  if (!intParam(Params, "profile", Id))
+    return makeError("missing numeric 'profile' parameter");
+  if (!Owned.count(Id))
+    return makeError("no profile with id " + std::to_string(Id));
+
+  std::string Bytes;
+  if (const json::Value *DataV = Params.find("data");
+      DataV && DataV->isString()) {
+    Bytes = DataV->asString();
+  } else if (const json::Value *B64 = Params.find("dataBase64");
+             B64 && B64->isString()) {
+    if (B64->asString().size() / 4 * 3 > Limits.MaxOpenBytes)
+      return makeError("append payload exceeds the open size limit");
+    if (!base64Decode(B64->asString(), Bytes))
+      return makeError("invalid base64 in 'dataBase64'");
+  } else {
+    return makeError("pvp/append needs 'data' or 'dataBase64'");
+  }
+  if (Bytes.size() > Limits.MaxOpenBytes)
+    return makeError("append payload of " + std::to_string(Bytes.size()) +
+                     " bytes exceeds the open size limit");
+
+  // The store decodes incrementally (arbitrary chunking), swaps in a new
+  // immutable snapshot, and bumps the generation — which is what retires
+  // cached views and makes publishSubscriptions() push deltas after this
+  // request completes.
+  Result<size_t> Added = Store->append(Id, Bytes, Limits.Decode);
+  if (!Added)
+    return makeError(Added.error());
+
+  std::shared_ptr<const Profile> P = Store->get(Id);
+  json::Object Out;
+  Out.set("profile", Id);
+  Out.set("nodesAdded", static_cast<uint64_t>(*Added));
+  Out.set("nodes", P ? P->nodeCount() : 0);
+  Out.set("generation", Store->generationOf(Id));
+  return json::Value(std::move(Out));
+}
+
 Result<json::Value> PvpServer::doClose(const json::Object &Params) {
   int64_t Id;
   if (!intParam(Params, "profile", Id))
@@ -221,6 +296,204 @@ Result<json::Value> PvpServer::doClose(const json::Object &Params) {
   json::Object Out;
   Out.set("closed", Removed);
   return json::Value(std::move(Out));
+}
+
+Result<json::Value> PvpServer::computeView(const std::string &Method,
+                                           const json::Object &ViewParams) {
+  // Going through dispatch() (not doFlame/doTreeTable directly) buys two
+  // properties: the shared view cache serves repeated computations, and
+  // the payload is bit-for-bit what an explicit re-query of the same
+  // params would return — the identity the delta codec is tested against.
+  json::Value Envelope = dispatch(Method, ViewParams, /*Id=*/0);
+  const json::Object &Obj = Envelope.asObject();
+  if (const json::Value *Err = Obj.find("error")) {
+    std::string Message = "view computation failed";
+    if (Err->isObject())
+      if (const json::Value *MV = Err->asObject().find("message"))
+        Message = std::string(MV->stringOr(Message));
+    return makeError(Message);
+  }
+  const json::Value *ResultV = Obj.find("result");
+  if (!ResultV)
+    return makeError("view computation produced no result");
+  return *ResultV;
+}
+
+Result<json::Value> PvpServer::doSubscribe(const json::Object &Params) {
+  if (Subs.size() >= Limits.MaxSubscriptionsPerSession)
+    return makeError(SubLimitDiag);
+  int64_t Id;
+  if (!intParam(Params, "profile", Id))
+    return makeError("missing numeric 'profile' parameter");
+  if (!Owned.count(Id))
+    return makeError("no profile with id " + std::to_string(Id));
+
+  const json::Value *ViewV = Params.find("view");
+  if (!ViewV || !ViewV->isString())
+    return makeError("missing 'view' parameter (flame or treeTable)");
+  std::string Method, RowsKey;
+  if (ViewV->asString() == "flame") {
+    Method = "pvp/flame";
+    RowsKey = "rects";
+  } else if (ViewV->asString() == "treeTable") {
+    Method = "pvp/treeTable";
+    RowsKey = "rows";
+  } else {
+    return makeError("unknown view '" + ViewV->asString() +
+                     "' (flame, treeTable)");
+  }
+
+  json::Object ViewParams;
+  ViewParams.set("profile", Id);
+  if (const json::Value *PV = Params.find("params")) {
+    if (!PV->isObject())
+      return makeError("'params' must be an object");
+    for (const auto &[Key, V] : PV->asObject())
+      if (Key != "profile")
+        ViewParams.set(Key, V);
+  }
+
+  uint64_t Gen = Store->generationOf(Id);
+  Result<json::Value> View = computeView(Method, ViewParams);
+  if (!View)
+    return makeError(View.error());
+
+  int64_t SubId = NextSubId++;
+  Subscription &S = Subs[SubId];
+  S.ProfileId = Id;
+  S.Method = std::move(Method);
+  S.RowsKey = std::move(RowsKey);
+  S.ViewParams = std::move(ViewParams);
+  S.AckedGen = Gen;
+  S.AckedView = *View;
+  S.PushedGen = Gen;
+  S.Sink = CurrentNotify;
+  SubMetrics::get().Subscribed.add();
+
+  json::Object Out;
+  Out.set("subscription", SubId);
+  Out.set("profile", Id);
+  Out.set("generation", Gen);
+  Out.set("view", *View);
+  return json::Value(std::move(Out));
+}
+
+Result<json::Value> PvpServer::doAck(const json::Object &Params) {
+  int64_t SubId;
+  if (!intParam(Params, "subscription", SubId))
+    return makeError("missing numeric 'subscription' parameter");
+  auto It = Subs.find(SubId);
+  if (It == Subs.end())
+    return makeError("no subscription with id " + std::to_string(SubId));
+  int64_t Gen;
+  if (!intParam(Params, "generation", Gen) || Gen < 0)
+    return makeError("missing numeric 'generation' parameter");
+
+  Subscription &S = It->second;
+  bool Acked = false;
+  if (static_cast<uint64_t>(Gen) == S.AckedGen) {
+    // Replay (reconnect, duplicate ack): already the delta base.
+    Acked = true;
+  } else if (static_cast<uint64_t>(Gen) == S.PushedGen &&
+             !S.PushedView.isNull()) {
+    // Promote the pushed view to the delta base: from here deltas diff
+    // against state the client has confirmed applying.
+    S.AckedView = std::move(S.PushedView);
+    S.PushedView = json::Value();
+    S.AckedGen = S.PushedGen;
+    Acked = true;
+  }
+  // Any other generation is stale (superseded by a newer push): refuse
+  // the promotion, keep diffing from the last good ack. Correct, just
+  // larger deltas until the client catches up.
+  if (Acked)
+    SubMetrics::get().Acks.add();
+  json::Object Out;
+  Out.set("subscription", SubId);
+  Out.set("acked", Acked);
+  Out.set("generation", S.AckedGen);
+  return json::Value(std::move(Out));
+}
+
+Result<json::Value> PvpServer::doUnsubscribe(const json::Object &Params) {
+  int64_t SubId;
+  if (!intParam(Params, "subscription", SubId))
+    return makeError("missing numeric 'subscription' parameter");
+  bool Removed = Subs.erase(SubId) > 0;
+  if (Removed)
+    SubMetrics::get().Unsubscribed.add();
+  json::Object Out;
+  Out.set("removed", Removed);
+  return json::Value(std::move(Out));
+}
+
+void PvpServer::endSubscription(int64_t SubId, const Subscription &S,
+                                const std::string &Reason) {
+  SubMetrics::get().Ended.add();
+  json::Object P;
+  P.set("subscription", SubId);
+  P.set("profile", S.ProfileId);
+  P.set("reason", Reason);
+  if (S.Sink)
+    S.Sink(rpc::makeNotification("pvp/subscriptionEnd",
+                                 json::Value(std::move(P))));
+}
+
+size_t PvpServer::publishSubscriptions() {
+  if (Subs.empty())
+    return 0;
+  SubMetrics &M = SubMetrics::get();
+  size_t Pushed = 0;
+  std::vector<int64_t> Ended;
+  for (auto &[SubId, S] : Subs) {
+    if (!Owned.count(S.ProfileId) || !Store->get(S.ProfileId)) {
+      endSubscription(SubId, S, "profile closed");
+      Ended.push_back(SubId);
+      continue;
+    }
+    uint64_t Gen = Store->generationOf(S.ProfileId);
+    // Nothing new past what the client holds (AckedGen) or was already
+    // sent (PushedGen): no push. An unacked push followed by ANOTHER bump
+    // re-enters here and diffs AckedView -> newest — pushes are
+    // idempotent against the acked base, never chained on each other.
+    if (Gen == S.AckedGen || Gen == S.PushedGen)
+      continue;
+    Result<json::Value> View = computeView(S.Method, S.ViewParams);
+    if (!View) {
+      endSubscription(SubId, S, View.error());
+      Ended.push_back(SubId);
+      continue;
+    }
+    ViewDeltaStats DS;
+    std::string Delta =
+        encodeViewDelta(S.AckedView, *View, S.RowsKey, S.AckedGen, Gen, &DS);
+    M.Pushes.add();
+    M.DeltaBytes.add(Delta.size());
+    M.FullViewBytes.add(View->dump().size());
+    if (DS.FullFallback)
+      M.FullFallbacks.add();
+
+    json::Object P;
+    P.set("subscription", SubId);
+    P.set("profile", S.ProfileId);
+    P.set("fromGeneration", S.AckedGen);
+    P.set("toGeneration", Gen);
+    P.set("deltaBase64", base64Encode(Delta));
+    if (S.Sink)
+      S.Sink(rpc::makeNotification("pvp/viewDelta", json::Value(std::move(P))));
+    S.PushedGen = Gen;
+    S.PushedView = std::move(*View);
+    ++Pushed;
+  }
+  for (int64_t SubId : Ended)
+    Subs.erase(SubId);
+  return Pushed;
+}
+
+std::vector<json::Value> PvpServer::takeNotifications() {
+  std::vector<json::Value> Out;
+  Out.swap(QueuedNotifications);
+  return Out;
 }
 
 Result<json::Value> PvpServer::doFlame(const json::Object &Params) {
@@ -333,7 +606,14 @@ Result<json::Value> PvpServer::doTreeTable(const json::Object &Params) {
   Out.set("truncated", Total > Rows.size());
   Out.set("droppedRows", Total - Rows.size());
   Out.set("rows", std::move(Rows));
-  Out.set("text", Table.renderText());
+  // Subscriptions pass includeText:false — the rendered text is O(table)
+  // and rewrites wholesale on every generation, which would dominate the
+  // delta; the row objects alone reconstruct the table.
+  bool IncludeText = true;
+  if (const json::Value *IT = Params.find("includeText"); IT && IT->isBool())
+    IncludeText = IT->asBool();
+  if (IncludeText)
+    Out.set("text", Table.renderText());
   return json::Value(std::move(Out));
 }
 
@@ -1213,6 +1493,14 @@ json::Value PvpServer::dispatch(std::string_view Method,
   try {
     if (Method == "pvp/open")
       R = doOpen(Params);
+    else if (Method == "pvp/append")
+      R = doAppend(Params);
+    else if (Method == "pvp/subscribe")
+      R = doSubscribe(Params);
+    else if (Method == "pvp/ack")
+      R = doAck(Params);
+    else if (Method == "pvp/unsubscribe")
+      R = doUnsubscribe(Params);
     else if (Method == "pvp/close")
       R = doClose(Params);
     else if (Method == "pvp/flame")
@@ -1272,8 +1560,9 @@ json::Value PvpServer::dispatch(std::string_view Method,
   }
   RequestDeadline = 0;
   if (!R) {
-    int Code =
-        R.error() == DeadlineDiag ? rpc::RequestTimeout : rpc::InvalidParams;
+    int Code = R.error() == DeadlineDiag    ? rpc::RequestTimeout
+               : R.error() == SubLimitDiag  ? rpc::SubscriptionLimit
+                                            : rpc::InvalidParams;
     return rpc::makeErrorResponse(Id, Code, R.error());
   }
   json::Value Payload = R.take();
@@ -1288,7 +1577,8 @@ json::Value PvpServer::dispatch(std::string_view Method,
 }
 
 json::Value PvpServer::handleMessage(const json::Value &Request,
-                                     const CancelToken &Cancel) {
+                                     const CancelToken &Cancel,
+                                     std::function<void(json::Value)> Notify) {
   // Request-level telemetry: handles are pinned once (registration locks
   // a shard; updates are relaxed atomics on the hot path).
   telemetry::Registry &Reg = telemetry::Registry::global();
@@ -1299,6 +1589,12 @@ json::Value PvpServer::handleMessage(const json::Value &Request,
   uint64_t T0 = monoMicros();
 
   ActiveCancel = Cancel;
+  // Subscriptions created by THIS request bind the caller's notification
+  // channel. Without one, pushes queue on the server and a wire loop
+  // (handleWire) drains them after the response.
+  CurrentNotify = Notify ? std::move(Notify) : [this](json::Value N) {
+    QueuedNotifications.push_back(std::move(N));
+  };
   json::Value Response = [&] {
     if (!Request.isObject())
       return rpc::makeErrorResponse(0, rpc::InvalidRequest,
@@ -1325,6 +1621,11 @@ json::Value PvpServer::handleMessage(const json::Value &Request,
     return Reply;
   }();
   ActiveCancel = CancelToken();
+  // The publish sweep runs with the request's cancel token already
+  // cleared: a cancelled request must not abort OTHER subscribers' view
+  // computations mid-sweep.
+  publishSubscriptions();
+  CurrentNotify = nullptr;
 
   Latency.record(monoMicros() - T0);
   if (Response.isObject() && Response.asObject().contains("error"))
@@ -1356,6 +1657,11 @@ std::string PvpServer::handleWire(std::string_view Bytes) {
       break;
     FramesIn.add();
     Out += rpc::frame(handleMessage(*Msg));
+    // Pushes triggered by this message (queued by the default sink) ride
+    // the same byte stream, framed AFTER the response so request/response
+    // pairing stays intact for simple clients.
+    for (json::Value &N : takeNotifications())
+      Out += rpc::frame(N);
   }
   BytesOut.add(Out.size());
   return Out;

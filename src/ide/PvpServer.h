@@ -17,6 +17,9 @@
 ///   pvp/summary       {profile} -> {text}            (floating window)
 /// Data plane:
 ///   pvp/open          {name, data | dataBase64} -> {profile, nodes, metrics}
+///   pvp/append        {profile, data | dataBase64} -> {profile, nodesAdded,
+///                      nodes, generation}  (streams additional .evprof
+///                      sections into an open profile; bumps its generation)
 ///   pvp/close         {profile}
 ///   pvp/flame         {profile, metric?, shape?, maxRects?} -> {rects,...}
 ///   pvp/treeTable     {profile, expand?: [node...]} -> {rows}
@@ -30,6 +33,17 @@
 ///   pvp/export        {profile, format, metric?} -> {dataBase64, bytes}
 ///   pvp/butterfly     {profile, function, metric?} -> {callers, callees}
 ///   pvp/correlated    {profile, kind, select?: [node...]} -> {panes}
+/// Live views (docs/PVP.md "Subscriptions and live view deltas"):
+///   pvp/subscribe     {profile, view: "flame"|"treeTable", params?} ->
+///                      {subscription, profile, generation, view}
+///   pvp/ack           {subscription, generation} -> {acked, generation}
+///   pvp/unsubscribe   {subscription} -> {removed}
+///   notifications pushed server-side (never a response to a request):
+///   pvp/viewDelta     {subscription, profile, fromGeneration,
+///                      toGeneration, deltaBase64}  (ide/ViewDelta.h codec;
+///                      applying it to the last ACKED view reproduces the
+///                      current full view byte-identically)
+///   pvp/subscriptionEnd {subscription, profile, reason}
 /// Introspection (docs/OBSERVABILITY.md):
 ///   pvp/stats         {} -> {profiles, cachedViews, cacheCapacity,
 ///                            cacheHits, cacheMisses, cacheEvictions,
@@ -92,6 +106,7 @@
 #include <memory>
 #include <set>
 #include <string>
+#include <vector>
 
 namespace ev {
 
@@ -131,6 +146,9 @@ struct ServerLimits {
   /// Directory for spilled column segments; must be set (and writable)
   /// when StoreBudgetBytes is non-zero, otherwise the budget is ignored.
   std::string SpillDir;
+  /// Live view subscriptions one session may hold at once; pvp/subscribe
+  /// past the cap fails with SubscriptionLimit (-32004).
+  size_t MaxSubscriptionsPerSession = 64;
 };
 
 class PvpServer {
@@ -154,7 +172,20 @@ public:
   /// boundaries and a triggered token yields a RequestCancelled (-32800)
   /// error response. A cancelled request never populates the view cache.
   json::Value handleMessage(const json::Value &Request,
-                            const CancelToken &Cancel);
+                            const CancelToken &Cancel) {
+    return handleMessage(Request, Cancel, nullptr);
+  }
+
+  /// As above, with a notification sink for server-initiated messages
+  /// (pvp/viewDelta, pvp/subscriptionEnd). A pvp/subscribe served under
+  /// this call binds \p Notify to the subscription for its whole life, so
+  /// the callable must be self-contained (capture shared state by value).
+  /// When \p Notify is null, notifications queue internally — drain them
+  /// with takeNotifications() (handleWire does so after every message and
+  /// appends them, framed, after the response).
+  json::Value handleMessage(const json::Value &Request,
+                            const CancelToken &Cancel,
+                            std::function<void(json::Value)> Notify);
 
   /// Feeds framed bytes; \returns the framed responses produced (possibly
   /// several, possibly none while a message is incomplete). Corrupt frames
@@ -169,6 +200,27 @@ public:
   const ServerLimits &limits() const { return Limits; }
   /// Wire-reader telemetry (resync and dropped-byte counters).
   const rpc::FrameReader &wireReader() const { return Reader; }
+
+  /// Sweeps every live subscription: for each whose profile generation
+  /// moved past the last acked AND last pushed generation, recomputes the
+  /// full view (through the shared view cache, exactly like an explicit
+  /// re-query) and pushes a pvp/viewDelta notification through the
+  /// subscription's sink; subscriptions whose profile is gone get a
+  /// pvp/subscriptionEnd and are dropped. Runs automatically after every
+  /// handleMessage(); SessionManager::publishAll() runs it on the strand
+  /// for cross-session bumps. \returns the number of deltas pushed.
+  size_t publishSubscriptions();
+
+  /// Drains notifications produced for null-sink subscriptions.
+  std::vector<json::Value> takeNotifications();
+
+  /// Live subscriptions held by this session.
+  size_t subscriptionCount() const { return Subs.size(); }
+
+  /// Grants this session addressing rights to \p Id (a profile another
+  /// session — or `evtool serve --follow` — registered in the shared
+  /// store) without re-registering it.
+  void adoptProfile(int64_t Id) { Owned.insert(Id); }
 
   /// Direct (non-RPC) access used by in-process embedding and tests.
   /// Registers \p P; \returns its id.
@@ -190,7 +242,11 @@ private:
   // Method implementations; each returns a result payload or an error
   // string which dispatch() converts into a JSON-RPC error.
   Result<json::Value> doOpen(const json::Object &Params);
+  Result<json::Value> doAppend(const json::Object &Params);
   Result<json::Value> doClose(const json::Object &Params);
+  Result<json::Value> doSubscribe(const json::Object &Params);
+  Result<json::Value> doAck(const json::Object &Params);
+  Result<json::Value> doUnsubscribe(const json::Object &Params);
   Result<json::Value> doFlame(const json::Object &Params);
   Result<json::Value> doTreeTable(const json::Object &Params);
   Result<json::Value> doCodeLink(const json::Object &Params);
@@ -231,6 +287,35 @@ private:
   /// \returns true once the in-flight request ran past its soft deadline.
   bool deadlineExpired() const;
 
+  /// One live view subscription. The server keeps the full view reply the
+  /// client last ACKNOWLEDGED (AckedView) so every delta is computed
+  /// against a state the client provably holds — an unacked push is
+  /// superseded by the next one, which still diffs from AckedView, making
+  /// replays idempotent. PushedView is promoted to AckedView by pvp/ack.
+  struct Subscription {
+    int64_t ProfileId = 0;
+    std::string Method;  ///< "pvp/flame" or "pvp/treeTable".
+    std::string RowsKey; ///< "rects" or "rows".
+    json::Object ViewParams;
+    uint64_t AckedGen = 0;
+    json::Value AckedView;
+    uint64_t PushedGen = 0;
+    json::Value PushedView;
+    /// Delivery path bound at subscribe time (per-subscriber, so two
+    /// connections multiplexed on one session never see each other's
+    /// pushes).
+    std::function<void(json::Value)> Sink;
+  };
+
+  /// Runs \p Method through dispatch() — shared view cache, deadline,
+  /// identical reply bytes to an explicit re-query — and unwraps the
+  /// result payload from the response envelope.
+  Result<json::Value> computeView(const std::string &Method,
+                                  const json::Object &ViewParams);
+  /// Sends pvp/subscriptionEnd through the subscription's sink.
+  void endSubscription(int64_t SubId, const Subscription &S,
+                       const std::string &Reason);
+
   ServerLimits Limits;
   /// Shared (or private, for standalone sessions) profile storage. Ids are
   /// unique across every session on the same store.
@@ -245,6 +330,15 @@ private:
   /// Token of the in-flight request; inert between requests. Handlers and
   /// the analysis kernels they call poll it at loop boundaries.
   CancelToken ActiveCancel;
+
+  /// Notification sink of the in-flight request (null between requests);
+  /// pvp/subscribe copies it into the subscription it creates.
+  std::function<void(json::Value)> CurrentNotify;
+  /// Fallback delivery target when a subscription was created without an
+  /// explicit sink; drained by takeNotifications()/handleWire().
+  std::vector<json::Value> QueuedNotifications;
+  std::map<int64_t, Subscription> Subs;
+  int64_t NextSubId = 1;
 
   // Memoized view cache (ide/ViewCache.h): read-only view replies
   // (pvp/flame, pvp/treeTable, pvp/summary) keyed on (method, profile id,

@@ -43,7 +43,8 @@ std::future<json::Value> SessionManager::submit(unsigned SessionId,
 }
 
 void SessionManager::submitAsync(unsigned SessionId, json::Value Request,
-                                 std::function<void(json::Value)> Done) {
+                                 std::function<void(json::Value)> Done,
+                                 std::function<void(json::Value)> Notify) {
   int64_t RequestId = 0;
   std::string_view Method;
   if (Request.isObject()) {
@@ -86,6 +87,7 @@ void SessionManager::submitAsync(unsigned SessionId, json::Value Request,
   Pending->Request = std::move(Request);
   Pending->RequestId = RequestId;
   Pending->Done = std::move(Done);
+  Pending->Notify = std::move(Notify);
   Pending->EnqueuedUs = monoMicros();
 
   static telemetry::Counter &Submitted =
@@ -122,6 +124,40 @@ void SessionManager::submitAsync(unsigned SessionId, json::Value Request,
     Dispatcher.post([this, &S] { pumpOne(S); });
 }
 
+void SessionManager::postInternal(unsigned SessionId,
+                                  std::function<void(PvpServer &)> Fn) {
+  if (SessionId >= Sessions.size() || !Fn)
+    return;
+  auto Pending = std::make_shared<PendingRequest>();
+  Pending->Internal = std::move(Fn);
+  Pending->EnqueuedUs = monoMicros();
+  Session &S = *Sessions[SessionId];
+  bool Spawn = false;
+  {
+    std::lock_guard<std::mutex> Lock(S.Mutex);
+    // Deliberately no MaxQueuedPerSession check: these are the manager's
+    // own maintenance tasks, bounded by the caller (one sweep per store
+    // mutation), and shedding them would silently freeze live views.
+    S.Queue.push_back(std::move(Pending));
+    if (!S.Running) {
+      S.Running = true;
+      Spawn = true;
+    }
+  }
+  if (Spawn)
+    Dispatcher.post([this, &S] { pumpOne(S); });
+}
+
+void SessionManager::publishAll() {
+  for (unsigned I = 0; I < Sessions.size(); ++I)
+    postInternal(I, [](PvpServer &Server) { Server.publishSubscriptions(); });
+}
+
+void SessionManager::adoptProfileAll(int64_t Id) {
+  for (unsigned I = 0; I < Sessions.size(); ++I)
+    postInternal(I, [Id](PvpServer &Server) { Server.adoptProfile(Id); });
+}
+
 json::Value SessionManager::handle(unsigned SessionId,
                                    const json::Value &Request) {
   return submit(SessionId, Request).get();
@@ -136,7 +172,9 @@ bool SessionManager::cancel(unsigned SessionId, int64_t RequestId) {
   {
     std::lock_guard<std::mutex> Lock(S.Mutex);
     for (auto It = S.Queue.begin(); It != S.Queue.end(); ++It) {
-      if ((*It)->RequestId == RequestId) {
+      // Internal tasks (null Done) are not cancellable: they carry id 0,
+      // which a hostile `$/cancelRequest {id:0}` could otherwise target.
+      if (!(*It)->Internal && (*It)->RequestId == RequestId) {
         Unlinked = *It;
         S.Queue.erase(It);
         Hit = true;
@@ -186,7 +224,11 @@ void SessionManager::pumpOne(Session &S) {
   json::Value Response;
   {
     trace::Span Span("session/pumpOne", "session");
-    Response = S.Server->handleMessage(Req->Request, Req->Cancel);
+    if (Req->Internal)
+      Req->Internal(*S.Server);
+    else
+      Response = S.Server->handleMessage(Req->Request, Req->Cancel,
+                                         Req->Notify);
   }
   uint64_t EndUs = monoMicros();
   RunTime.record(EndUs > StartUs ? EndUs - StartUs : 0);
@@ -199,7 +241,8 @@ void SessionManager::pumpOne(Session &S) {
     if (!Repost)
       S.Running = false;
   }
-  Req->Done(std::move(Response));
+  if (Req->Done)
+    Req->Done(std::move(Response));
   // Repost instead of looping: round-robin fairness across sessions
   // sharing the dispatcher.
   if (Repost)

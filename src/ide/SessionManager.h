@@ -93,8 +93,31 @@ public:
   /// canceller's thread for a queued request that is cancelled), so \p Done
   /// must be thread-safe and cheap — the network transport just routes the
   /// response to its event loop.
+  /// \p Notify, when provided, becomes the push channel for any live
+  /// subscription (pvp/subscribe) created by this request: the server
+  /// binds it into the subscription and later pvp/viewDelta and
+  /// pvp/subscriptionEnd notifications flow through it from the session's
+  /// strand. It must therefore be self-contained (own its captures) and
+  /// thread-safe, like \p Done.
   void submitAsync(unsigned Session, json::Value Request,
-                   std::function<void(json::Value)> Done);
+                   std::function<void(json::Value)> Done,
+                   std::function<void(json::Value)> Notify = nullptr);
+
+  /// Posts \p Fn onto \p Session's strand as an internal task. Internal
+  /// tasks respect strand exclusivity (they never run concurrently with a
+  /// request on the same session) but bypass MaxQueuedPerSession — the
+  /// server's own maintenance must not be sheddable by a client flood.
+  void postInternal(unsigned Session, std::function<void(PvpServer &)> Fn);
+
+  /// Schedules a subscription publish sweep on every session's strand.
+  /// Call after mutating the shared store outside any request (e.g. the
+  /// --follow file tail appending sections): requests publish on their own.
+  void publishAll();
+
+  /// Grants every session ownership of store profile \p Id (strand-safe,
+  /// asynchronous). Pair with store().adopt()-style external inserts so
+  /// any connected editor can immediately open views of a followed file.
+  void adoptProfileAll(int64_t Id);
 
   /// Synchronous convenience: submit() + wait.
   json::Value handle(unsigned Session, const json::Value &Request);
@@ -117,6 +140,12 @@ private:
     CancelToken Cancel = CancelToken::create();
     /// Resolution callback; invoked exactly once with the response.
     std::function<void(json::Value)> Done;
+    /// Push channel bound into subscriptions this request creates.
+    std::function<void(json::Value)> Notify;
+    /// When set, the strand runs this instead of dispatching Request (and
+    /// Done/Notify are unused): internal maintenance such as publish
+    /// sweeps and profile adoption.
+    std::function<void(PvpServer &)> Internal;
     uint64_t EnqueuedUs = 0; ///< monoMicros() at submit; queue-wait metric.
   };
 

@@ -119,6 +119,11 @@ void ViewCache::insert(std::string Key, int64_t ProfileId,
   if (It != S.Index.end()) {
     Bytes.fetch_add(ReplyBytes - It->second->Bytes,
                     std::memory_order_relaxed);
+    // Refresh EVERY recorded field, not just the payload: a key collision
+    // across profiles (ids are reused only across store instances, but the
+    // attribution must not lie even then) would otherwise leave the entry
+    // blaming the wrong profile.
+    It->second->ProfileId = ProfileId;
     It->second->Generation = Generation;
     It->second->Reply = std::move(Reply);
     It->second->Bytes = ReplyBytes;

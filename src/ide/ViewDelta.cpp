@@ -1,0 +1,666 @@
+//===- ide/ViewDelta.cpp - Compact node/metric deltas between views -------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ide/ViewDelta.h"
+
+#include "support/ProtoWire.h"
+
+#include <cstring>
+#include <map>
+#include <set>
+#include <vector>
+
+namespace ev {
+
+namespace {
+
+// Outer ViewDelta message fields.
+enum : uint32_t {
+  FVersion = 1,      // varint, currently 1
+  FFromGen = 2,      // varint
+  FToGen = 3,        // varint
+  FRowsKey = 4,      // bytes
+  FFull = 5,         // bytes: full-reply JSON; presence means fallback
+  FRowField = 6,     // repeated bytes: row key schema, in key order
+  FRemoved = 7,      // packed varints: node ids dropped from the view
+  FRowPatch = 8,     // repeated bytes (RowPatch)
+  FOrder = 9,        // packed varints: node ids of the final rows array
+  FScalarPatch = 10, // repeated bytes (ScalarPatch)
+  FColPatch = 11,    // repeated bytes (ColumnPatch)
+};
+
+// ColumnPatch fields: a whole row field replaced in one packed column.
+// When most rows change the same double-backed field (an appended section
+// renormalizes every flame rect's x/width), per-row FieldPatches pay a
+// tag + key + envelope per row; a column pays exactly 8 bytes per row of
+// the final order. Values align 1:1 with FOrder.
+enum : uint32_t {
+  FColKey = 1, // varint: index into the row key schema
+  FColDbl = 2, // bytes: packed little-endian fixed64 doubles, |FOrder| of them
+};
+
+// RowPatch fields.
+enum : uint32_t {
+  FPatchNode = 1,  // varint
+  FPatchField = 2, // repeated bytes (FieldPatch)
+};
+
+// FieldPatch fields: the key index plus exactly one value alternative.
+// Int-backed and double-backed JSON numbers serialize differently
+// (support/Json.cpp dumps IntValue vs NumberValue), so the patch keeps
+// them distinct: ints as zigzag varints, doubles as raw fixed64 bits.
+enum : uint32_t {
+  FFieldKey = 1,  // varint: index into the row key schema
+  FFieldInt = 2,  // sint64
+  FFieldDbl = 3,  // fixed64
+  FFieldStr = 4,  // bytes
+  FFieldBool = 5, // varint 0/1
+  FFieldNull = 6, // varint 1
+};
+
+// ScalarPatch fields.
+enum : uint32_t {
+  FScalarKey = 1,  // bytes
+  FScalarJson = 2, // bytes: compact JSON of the new value
+};
+
+constexpr uint64_t DeltaVersion = 1;
+
+/// Dump-based equality: two values are "unchanged" exactly when they
+/// serialize to the same bytes, which is the identity the codec promises.
+bool sameDump(const json::Value &A, const json::Value &B) {
+  return A.dump() == B.dump();
+}
+
+/// A field value the patch encoding supports: flat scalars only. Nested
+/// arrays/objects inside a row force the full-reply fallback.
+bool encodableField(const json::Value &V) {
+  switch (V.kind()) {
+  case json::Kind::Null:
+  case json::Kind::Bool:
+  case json::Kind::Number:
+  case json::Kind::String:
+    return true;
+  default:
+    return false;
+  }
+}
+
+void writeFieldPatch(ProtoWriter &Row, size_t KeyIndex,
+                     const json::Value &V) {
+  ProtoWriter F;
+  F.writeVarint(FFieldKey, KeyIndex);
+  switch (V.kind()) {
+  case json::Kind::Null:
+    F.writeVarint(FFieldNull, 1);
+    break;
+  case json::Kind::Bool:
+    F.writeVarint(FFieldBool, V.asBool() ? 1 : 0);
+    break;
+  case json::Kind::Number:
+    if (V.isInteger())
+      F.writeSignedVarint(FFieldInt, V.asInt());
+    else
+      F.writeDouble(FFieldDbl, V.asNumber());
+    break;
+  case json::Kind::String:
+    F.writeBytes(FFieldStr, V.asString());
+    break;
+  default:
+    break; // Excluded by encodableField.
+  }
+  Row.writeBytes(FPatchField, F.buffer());
+}
+
+/// Top-level key sequence of an object reply, in order.
+std::vector<std::string_view> keySequence(const json::Object &O) {
+  std::vector<std::string_view> Keys;
+  Keys.reserve(O.size());
+  for (const auto &Member : O)
+    Keys.push_back(Member.first);
+  return Keys;
+}
+
+/// Validates one rows array against the shared schema (establishing it
+/// from the first row seen) and indexes rows by their unique integer
+/// "node" key. \returns false when the array does not fit the uniform
+/// table shape the patch encoding needs.
+bool indexRows(const json::Array &Rows, std::vector<std::string> &Schema,
+               bool &SchemaSet,
+               std::map<uint64_t, const json::Object *> &ById,
+               std::vector<uint64_t> &Ids) {
+  for (const json::Value &RowV : Rows) {
+    if (!RowV.isObject())
+      return false;
+    const json::Object &Row = RowV.asObject();
+    if (!SchemaSet) {
+      for (const auto &Member : Row)
+        Schema.push_back(Member.first);
+      SchemaSet = true;
+    }
+    if (Row.size() != Schema.size())
+      return false;
+    size_t I = 0;
+    for (const auto &Member : Row) {
+      if (Member.first != Schema[I++])
+        return false;
+      if (!encodableField(Member.second))
+        return false;
+    }
+    const json::Value *Node = Row.find("node");
+    int64_t Id = 0;
+    if (!Node || !Node->getInteger(Id) || Id < 0)
+      return false;
+    if (!ById.emplace(static_cast<uint64_t>(Id), &Row).second)
+      return false; // Duplicate node id: not a keyed table.
+    Ids.push_back(static_cast<uint64_t>(Id));
+  }
+  return true;
+}
+
+} // namespace
+
+std::string encodeViewDelta(const json::Value &Base, const json::Value &Next,
+                            std::string_view RowsKey, uint64_t FromGen,
+                            uint64_t ToGen, ViewDeltaStats *Stats) {
+  ViewDeltaStats Local;
+  ProtoWriter W;
+  W.writeVarint(FVersion, DeltaVersion);
+  W.writeVarint(FFromGen, FromGen);
+  W.writeVarint(FToGen, ToGen);
+  W.writeBytes(FRowsKey, RowsKey);
+
+  auto Fallback = [&]() -> std::string {
+    Local.FullFallback = true;
+    W.writeBytes(FFull, Next.dump());
+    if (Stats)
+      *Stats = Local;
+    return W.takeBuffer();
+  };
+
+  if (!Base.isObject() || !Next.isObject())
+    return Fallback();
+  const json::Object &BaseObj = Base.asObject();
+  const json::Object &NextObj = Next.asObject();
+  // The delta only patches values in place, never reshapes the reply: a
+  // changed key sequence (params changed what the view reports) falls
+  // back to the full reply.
+  if (keySequence(BaseObj) != keySequence(NextObj))
+    return Fallback();
+
+  const json::Value *BaseRows = BaseObj.find(RowsKey);
+  const json::Value *NextRows = NextObj.find(RowsKey);
+  if (!BaseRows || !NextRows || !BaseRows->isArray() || !NextRows->isArray())
+    return Fallback();
+
+  std::vector<std::string> Schema;
+  bool SchemaSet = false;
+  std::map<uint64_t, const json::Object *> BaseById, NextById;
+  std::vector<uint64_t> BaseIds, NextIds;
+  // The next view establishes the schema (new rows must be fully
+  // expressible in it); the base must match it exactly.
+  if (!indexRows(NextRows->asArray(), Schema, SchemaSet, NextById, NextIds) ||
+      !indexRows(BaseRows->asArray(), Schema, SchemaSet, BaseById, BaseIds))
+    return Fallback();
+
+  for (const std::string &Key : Schema)
+    W.writeBytes(FRowField, Key);
+
+  // Column candidates: a field every next row backs with a double, where
+  // at least half the rows changed it. Such fields (flame's normalized
+  // x/width after any append) dominate per-row patches; packing them as
+  // one fixed64 column costs 8 bytes per row with no per-row envelope.
+  // Unchanged rows re-encode their identical bits, so applying stays
+  // byte-exact.
+  std::vector<bool> InColumn(Schema.size(), false);
+  for (size_t I = 0; I < Schema.size() && !NextIds.empty(); ++I) {
+    if (Schema[I] == "node")
+      continue;
+    bool AllDouble = true;
+    size_t Changed = 0;
+    for (uint64_t Id : NextIds) {
+      const json::Value *V = NextById[Id]->find(Schema[I]);
+      if (!V || !V->isNumber() || V->isInteger()) {
+        AllDouble = false;
+        break;
+      }
+      auto BaseIt = BaseById.find(Id);
+      const json::Value *Old =
+          BaseIt == BaseById.end() ? nullptr : BaseIt->second->find(Schema[I]);
+      if (!Old || !sameDump(*Old, *V))
+        ++Changed;
+    }
+    if (AllDouble && Changed > 0 && Changed * 2 >= NextIds.size())
+      InColumn[I] = true;
+  }
+
+  for (uint64_t Id : NextIds) {
+    const json::Object &Row = *NextById[Id];
+    auto BaseIt = BaseById.find(Id);
+    ProtoWriter RowW;
+    RowW.writeVarint(FPatchNode, Id);
+    if (BaseIt == BaseById.end()) {
+      // New row: carry every field not already covered by a column, in
+      // schema order.
+      size_t I = 0;
+      for (const auto &Member : Row) {
+        if (!InColumn[I])
+          writeFieldPatch(RowW, I, Member.second);
+        ++I;
+      }
+      ++Local.RowsAdded;
+      W.writeBytes(FRowPatch, RowW.buffer());
+      continue;
+    }
+    const json::Object &BaseRow = *BaseIt->second;
+    size_t Patched = 0, I = 0;
+    for (const auto &Member : Row) {
+      const json::Value *Old = BaseRow.find(Member.first);
+      if (!InColumn[I] && (!Old || !sameDump(*Old, Member.second))) {
+        writeFieldPatch(RowW, I, Member.second);
+        ++Patched;
+      }
+      ++I;
+    }
+    if (Patched) {
+      ++Local.RowsPatched;
+      W.writeBytes(FRowPatch, RowW.buffer());
+    }
+  }
+
+  std::vector<uint64_t> Removed;
+  for (uint64_t Id : BaseIds)
+    if (!NextById.count(Id))
+      Removed.push_back(Id);
+  Local.RowsRemoved = Removed.size();
+  if (!Removed.empty())
+    W.writePackedVarints(FRemoved, Removed.data(), Removed.size());
+  if (!NextIds.empty())
+    W.writePackedVarints(FOrder, NextIds.data(), NextIds.size());
+
+  for (size_t I = 0; I < Schema.size(); ++I) {
+    if (!InColumn[I])
+      continue;
+    std::string Packed;
+    Packed.reserve(NextIds.size() * 8);
+    for (uint64_t Id : NextIds) {
+      double V = NextById[Id]->find(Schema[I])->asNumber();
+      uint64_t Bits;
+      static_assert(sizeof(Bits) == sizeof(V));
+      std::memcpy(&Bits, &V, sizeof(Bits));
+      for (unsigned B = 0; B < 8; ++B)
+        Packed.push_back(static_cast<char>((Bits >> (8 * B)) & 0xFF));
+    }
+    ProtoWriter C;
+    C.writeVarint(FColKey, I);
+    C.writeBytes(FColDbl, Packed);
+    W.writeBytes(FColPatch, C.buffer());
+    ++Local.ColumnsPatched;
+  }
+
+  for (const auto &Member : NextObj) {
+    if (Member.first == RowsKey)
+      continue;
+    const json::Value *Old = BaseObj.find(Member.first);
+    if (Old && sameDump(*Old, Member.second))
+      continue;
+    ProtoWriter S;
+    S.writeBytes(FScalarKey, Member.first);
+    S.writeBytes(FScalarJson, Member.second.dump());
+    W.writeBytes(FScalarPatch, S.buffer());
+    ++Local.ScalarsPatched;
+  }
+
+  if (Stats)
+    *Stats = Local;
+  return W.takeBuffer();
+}
+
+namespace {
+
+/// One packed column: a schema field replaced across every ordered row.
+struct DecodedColumn {
+  uint64_t Key = 0;
+  std::vector<double> Values; ///< One per FOrder entry, same order.
+};
+
+/// Everything decoded from the outer message in one pass.
+struct DecodedDelta {
+  uint64_t Version = 0;
+  uint64_t FromGen = 0;
+  uint64_t ToGen = 0;
+  std::string RowsKey;
+  bool HasFull = false;
+  std::string Full;
+  std::vector<std::string> Schema;
+  std::vector<uint64_t> Removed;
+  std::vector<std::string> RowPatches;
+  std::vector<uint64_t> Order;
+  std::vector<std::pair<std::string, std::string>> Scalars;
+  std::vector<DecodedColumn> Columns;
+};
+
+Result<bool> readPacked(std::string_view Bytes, std::vector<uint64_t> &Out) {
+  VarintReader VR(Bytes.data(), Bytes.size());
+  while (!VR.atEnd() && !VR.failed())
+    Out.push_back(VR.readVarint());
+  if (VR.failed())
+    return makeError("malformed packed id list in view delta");
+  return true;
+}
+
+Result<DecodedDelta> decodeDelta(std::string_view Delta) {
+  DecodedDelta D;
+  ProtoReader R(Delta);
+  while (R.next()) {
+    switch (R.fieldNumber()) {
+    case FVersion:
+      D.Version = R.varint();
+      break;
+    case FFromGen:
+      D.FromGen = R.varint();
+      break;
+    case FToGen:
+      D.ToGen = R.varint();
+      break;
+    case FRowsKey:
+      D.RowsKey = std::string(R.bytes());
+      break;
+    case FFull:
+      D.HasFull = true;
+      D.Full = std::string(R.bytes());
+      break;
+    case FRowField:
+      D.Schema.push_back(std::string(R.bytes()));
+      break;
+    case FRemoved:
+      if (Result<bool> P = readPacked(R.bytes(), D.Removed); !P)
+        return makeError(P.error());
+      break;
+    case FRowPatch:
+      D.RowPatches.push_back(std::string(R.bytes()));
+      break;
+    case FOrder:
+      if (Result<bool> P = readPacked(R.bytes(), D.Order); !P)
+        return makeError(P.error());
+      break;
+    case FScalarPatch: {
+      std::string Key, Json;
+      ProtoReader S(R.bytes());
+      while (S.next()) {
+        switch (S.fieldNumber()) {
+        case FScalarKey:
+          Key = std::string(S.bytes());
+          break;
+        case FScalarJson:
+          Json = std::string(S.bytes());
+          break;
+        default:
+          S.skip();
+        }
+      }
+      if (S.failed())
+        return makeError("malformed scalar patch in view delta");
+      D.Scalars.emplace_back(std::move(Key), std::move(Json));
+      break;
+    }
+    case FColPatch: {
+      DecodedColumn Col;
+      ProtoReader C(R.bytes());
+      while (C.next()) {
+        switch (C.fieldNumber()) {
+        case FColKey:
+          Col.Key = C.varint();
+          break;
+        case FColDbl: {
+          std::string_view Packed = C.bytes();
+          if (Packed.size() % 8 != 0)
+            return makeError("misaligned column patch in view delta");
+          Col.Values.reserve(Packed.size() / 8);
+          for (size_t Off = 0; Off < Packed.size(); Off += 8) {
+            uint64_t Bits = 0;
+            for (unsigned B = 0; B < 8; ++B)
+              Bits |= static_cast<uint64_t>(
+                          static_cast<uint8_t>(Packed[Off + B]))
+                      << (8 * B);
+            double V;
+            std::memcpy(&V, &Bits, sizeof(V));
+            Col.Values.push_back(V);
+          }
+          break;
+        }
+        default:
+          C.skip();
+        }
+      }
+      if (C.failed())
+        return makeError("malformed column patch in view delta");
+      D.Columns.push_back(std::move(Col));
+      break;
+    }
+    default:
+      R.skip();
+    }
+  }
+  if (R.failed())
+    return makeError("malformed view delta message");
+  if (D.Version != DeltaVersion)
+    return makeError("unsupported view delta version " +
+                     std::to_string(D.Version));
+  return D;
+}
+
+struct DecodedFieldPatch {
+  uint64_t Key = 0;
+  json::Value V;
+};
+
+Result<bool> decodeRowPatch(std::string_view Bytes, uint64_t &NodeId,
+                            std::vector<DecodedFieldPatch> &Fields) {
+  ProtoReader R(Bytes);
+  while (R.next()) {
+    switch (R.fieldNumber()) {
+    case FPatchNode:
+      NodeId = R.varint();
+      break;
+    case FPatchField: {
+      DecodedFieldPatch F;
+      bool HasValue = false;
+      ProtoReader FR(R.bytes());
+      while (FR.next()) {
+        switch (FR.fieldNumber()) {
+        case FFieldKey:
+          F.Key = FR.varint();
+          break;
+        case FFieldInt:
+          F.V = json::Value(FR.signedVarint());
+          HasValue = true;
+          break;
+        case FFieldDbl:
+          F.V = json::Value(FR.fixedDouble());
+          HasValue = true;
+          break;
+        case FFieldStr:
+          F.V = json::Value(std::string(FR.bytes()));
+          HasValue = true;
+          break;
+        case FFieldBool:
+          F.V = json::Value(FR.varint() != 0);
+          HasValue = true;
+          break;
+        case FFieldNull:
+          FR.varint();
+          F.V = json::Value(nullptr);
+          HasValue = true;
+          break;
+        default:
+          FR.skip();
+        }
+      }
+      if (FR.failed() || !HasValue)
+        return makeError("malformed field patch in view delta");
+      Fields.push_back(std::move(F));
+      break;
+    }
+    default:
+      R.skip();
+    }
+  }
+  if (R.failed())
+    return makeError("malformed row patch in view delta");
+  return true;
+}
+
+} // namespace
+
+Result<json::Value> applyViewDelta(const json::Value &Base,
+                                   std::string_view Delta) {
+  Result<DecodedDelta> Decoded = decodeDelta(Delta);
+  if (!Decoded)
+    return makeError(Decoded.error());
+  const DecodedDelta &D = *Decoded;
+
+  if (D.HasFull) {
+    Result<json::Value> Full = json::parse(D.Full);
+    if (!Full)
+      return makeError("view delta full payload: " + Full.error());
+    return *Full;
+  }
+
+  if (!Base.isObject())
+    return makeError("view delta base is not an object");
+  // json::Value copies are shallow (shared Object/Array backing), so the
+  // base must be deep-copied before mutation — otherwise applying a delta
+  // would corrupt the caller's retained copy of the acked view. A
+  // dump/parse round trip is byte-stable (support/Json.cpp serializes
+  // shortest-round-trip doubles) and gives uniquely owned nodes.
+  Result<json::Value> CopyR = json::parse(Base.dump());
+  if (!CopyR)
+    return makeError("view delta base round-trip: " + CopyR.error());
+  json::Value Copy = *CopyR;
+  json::Object &Obj = Copy.asObject();
+
+  json::Value *RowsV = Obj.find(D.RowsKey);
+  if (!RowsV || !RowsV->isArray())
+    return makeError("view delta base has no '" + D.RowsKey + "' rows");
+
+  std::map<uint64_t, json::Value> ById;
+  for (json::Value &RowV : RowsV->asArray()) {
+    if (!RowV.isObject())
+      return makeError("view delta base row is not an object");
+    const json::Value *Node = RowV.asObject().find("node");
+    int64_t Id = 0;
+    if (!Node || !Node->getInteger(Id) || Id < 0)
+      return makeError("view delta base row has no integer node id");
+    if (!ById.emplace(static_cast<uint64_t>(Id), RowV).second)
+      return makeError("view delta base has duplicate node ids");
+  }
+
+  for (uint64_t Id : D.Removed)
+    if (!ById.erase(Id))
+      return makeError("view delta removes unknown node " +
+                       std::to_string(Id));
+
+  // Column values address rows by final position; new rows need them at
+  // construction time to reproduce the schema's key order exactly.
+  std::map<uint64_t, size_t> PosOf;
+  for (size_t P = 0; P < D.Order.size(); ++P)
+    PosOf.emplace(D.Order[P], P);
+  for (const DecodedColumn &Col : D.Columns) {
+    if (Col.Key >= D.Schema.size())
+      return makeError("view delta column key out of range");
+    if (Col.Values.size() != D.Order.size())
+      return makeError("view delta column does not cover the row order");
+  }
+
+  for (const std::string &PatchBytes : D.RowPatches) {
+    uint64_t NodeId = 0;
+    std::vector<DecodedFieldPatch> Fields;
+    if (Result<bool> P = decodeRowPatch(PatchBytes, NodeId, Fields); !P)
+      return makeError(P.error());
+    auto It = ById.find(NodeId);
+    if (It == ById.end()) {
+      // New row: merge field patches and column values in schema order,
+      // so insertion order reproduces the uniform key sequence.
+      std::map<uint64_t, const json::Value *> ByKey;
+      for (const DecodedFieldPatch &F : Fields) {
+        if (F.Key >= D.Schema.size())
+          return makeError("view delta field key out of range");
+        ByKey[F.Key] = &F.V;
+      }
+      auto Pos = PosOf.find(NodeId);
+      json::Object Row;
+      for (size_t I = 0; I < D.Schema.size(); ++I) {
+        if (auto KV = ByKey.find(I); KV != ByKey.end()) {
+          Row.set(D.Schema[I], *KV->second);
+          continue;
+        }
+        if (Pos != PosOf.end())
+          for (const DecodedColumn &Col : D.Columns)
+            if (Col.Key == I)
+              Row.set(D.Schema[I], json::Value(Col.Values[Pos->second]));
+      }
+      ById.emplace(NodeId, json::Value(std::move(Row)));
+      continue;
+    }
+    json::Object &Row = It->second.asObject();
+    for (const DecodedFieldPatch &F : Fields) {
+      if (F.Key >= D.Schema.size())
+        return makeError("view delta field key out of range");
+      Row.set(D.Schema[F.Key], F.V);
+    }
+  }
+
+  json::Array NewRows;
+  NewRows.reserve(D.Order.size());
+  for (uint64_t Id : D.Order) {
+    auto It = ById.find(Id);
+    if (It == ById.end())
+      return makeError("view delta orders unknown node " +
+                       std::to_string(Id));
+    NewRows.push_back(It->second);
+  }
+  // Columns replace their field across every ordered row (set() keeps an
+  // existing key's position, so the key sequence is untouched; new rows
+  // already hold the same value from construction).
+  for (const DecodedColumn &Col : D.Columns)
+    for (size_t P = 0; P < NewRows.size(); ++P)
+      NewRows[P].asObject().set(D.Schema[Col.Key],
+                                json::Value(Col.Values[P]));
+  Obj.set(D.RowsKey, json::Value(std::move(NewRows)));
+
+  for (const auto &[Key, Json] : D.Scalars) {
+    Result<json::Value> V = json::parse(Json);
+    if (!V)
+      return makeError("view delta scalar '" + Key + "': " + V.error());
+    Obj.set(Key, *V);
+  }
+
+  return Copy;
+}
+
+Result<std::pair<uint64_t, uint64_t>>
+peekViewDeltaGenerations(std::string_view Delta) {
+  uint64_t From = 0, To = 0;
+  ProtoReader R(Delta);
+  while (R.next()) {
+    switch (R.fieldNumber()) {
+    case FFromGen:
+      From = R.varint();
+      break;
+    case FToGen:
+      To = R.varint();
+      break;
+    default:
+      R.skip();
+    }
+  }
+  if (R.failed())
+    return makeError("malformed view delta message");
+  return std::make_pair(From, To);
+}
+
+} // namespace ev

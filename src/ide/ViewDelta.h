@@ -1,0 +1,83 @@
+//===- ide/ViewDelta.h - Compact node/metric deltas between views ---------===//
+//
+// Part of the EasyView reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The delta codec behind pvp/subscribe: instead of re-serializing a whole
+/// pvp/flame / pvp/treeTable reply on every profile generation, the server
+/// sends the subscriber a varint-encoded diff against the last view the
+/// client acknowledged — added/changed/removed rows only, and within a
+/// changed row only the fields that moved.
+///
+/// Both view replies are uniform tables: an array of flat row objects
+/// (keyed by a unique integer "node") plus a handful of top-level scalars.
+/// The codec exploits that shape:
+///
+///  - the row key schema (names, in order) is sent once per delta;
+///  - a changed row encodes only its changed fields, numbers as raw
+///    varint/fixed64 (an appended section changes every flame rect's
+///    normalized x/width — 18 bytes of doubles instead of ~100 bytes of
+///    JSON text);
+///  - a double-backed field most rows change at once (those same x/width
+///    renormalizations) ships as one packed fixed64 column over the final
+///    row order — 8 bytes per row, no per-row envelope at all;
+///  - unchanged rows cost only their node id in the packed `order` list;
+///  - replies that do not fit the shape (no rows array, duplicate node
+///    ids, nested row fields, reshaped scalars) fall back to carrying the
+///    full reply — correctness never depends on the fast path.
+///
+/// The contract the subscribe suite pins: applying the delta to the acked
+/// base reproduces the new full reply *byte-identically* (same dump()),
+/// so a client that applies deltas and a client that re-queries can never
+/// diverge.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EASYVIEW_IDE_VIEWDELTA_H
+#define EASYVIEW_IDE_VIEWDELTA_H
+
+#include "support/Json.h"
+#include "support/Result.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace ev {
+
+/// How a delta was encoded — reported by bench_subscribe and the sub.*
+/// telemetry so the compactness claim is measurable.
+struct ViewDeltaStats {
+  size_t RowsPatched = 0; ///< Rows present in both views with changes.
+  size_t RowsAdded = 0;   ///< Rows only in the new view.
+  size_t RowsRemoved = 0; ///< Rows only in the base view.
+  size_t ScalarsPatched = 0;
+  size_t ColumnsPatched = 0; ///< Fields shipped as packed fixed64 columns.
+  bool FullFallback = false; ///< Delta carries the entire reply.
+};
+
+/// Encodes the change from \p Base to \p Next (two full view replies for
+/// the same subscription). \p RowsKey names the row array ("rects" for
+/// flame, "rows" for treeTable). \p FromGen / \p ToGen are the profile
+/// generations the two views were computed at; they travel in the delta
+/// so the client can detect replays. Never fails: un-diffable shapes
+/// degrade to a full-reply fallback.
+std::string encodeViewDelta(const json::Value &Base, const json::Value &Next,
+                            std::string_view RowsKey, uint64_t FromGen,
+                            uint64_t ToGen, ViewDeltaStats *Stats = nullptr);
+
+/// Applies \p Delta to \p Base. \returns the reconstructed new view,
+/// dump()-byte-identical to the `Next` it was encoded from; fails when the
+/// delta is malformed or \p Base is not the view it was encoded against.
+Result<json::Value> applyViewDelta(const json::Value &Base,
+                                   std::string_view Delta);
+
+/// Reads the (fromGeneration, toGeneration) pair without applying.
+Result<std::pair<uint64_t, uint64_t>>
+peekViewDeltaGenerations(std::string_view Delta);
+
+} // namespace ev
+
+#endif // EASYVIEW_IDE_VIEWDELTA_H

@@ -82,11 +82,12 @@ const char *dropReasonName(DropReason Reason) {
   return "unknown";
 }
 
-void NetServer::ReplyRouter::route(uint64_t ConnId, std::string FramedBytes) {
+void NetServer::ReplyRouter::route(uint64_t ConnId, std::string FramedBytes,
+                                   bool Notification) {
   std::lock_guard<std::mutex> Lock(Mutex);
   if (Closed)
     return; // Loop shut down; the session's reply has nowhere to go.
-  Pending.push_back({ConnId, std::move(FramedBytes)});
+  Pending.push_back({ConnId, std::move(FramedBytes), Notification});
   if (WakeWriteFd >= 0) {
     char B = 'r';
     // A full pipe means wakes are already pending; the loop will drain
@@ -517,7 +518,10 @@ void NetServer::routeReplies(uint64_t NowMs) {
     if (It == Conns.end() || It->second.Fd < 0)
       continue; // Connection already gone; its reply dies here.
     Connection &C = It->second;
-    if (C.InFlight > 0)
+    // Pushes are not paired with a submitted request; decrementing here
+    // would let a flood of notifications mask a genuinely in-flight
+    // request from the idle-timeout and drain logic.
+    if (!R.Notification && C.InFlight > 0)
       --C.InFlight;
     if (!enqueueReply(C, std::move(R.FramedBytes)))
       continue; // Dropped for backpressure.
@@ -531,10 +535,20 @@ void NetServer::submitFrame(Connection &C, json::Value Message) {
   ++C.InFlight;
   std::shared_ptr<ReplyRouter> R = Router;
   uint64_t ConnId = C.Id;
-  Manager.submitAsync(C.Session, std::move(Message),
-                      [R, ConnId](json::Value Response) {
-                        R->route(ConnId, rpc::frame(Response));
-                      });
+  // The notify channel is self-contained (router by shared_ptr, id by
+  // value): the server binds it into any subscription this request
+  // creates, and pushes keep flowing long after this frame's reply —
+  // through the SAME outbox as responses, so MaxWriteQueueBytes and the
+  // drop accounting govern a flooded subscriber exactly like a slow
+  // reader (net.drop.writeBackpressure).
+  Manager.submitAsync(
+      C.Session, std::move(Message),
+      [R, ConnId](json::Value Response) {
+        R->route(ConnId, rpc::frame(Response));
+      },
+      [R, ConnId](json::Value Notification) {
+        R->route(ConnId, rpc::frame(Notification), /*Notification=*/true);
+      });
 }
 
 bool NetServer::enqueueReply(Connection &C, std::string FramedBytes) {

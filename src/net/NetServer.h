@@ -168,10 +168,14 @@ public:
   const NetServerOptions &options() const { return Opts; }
 
 private:
-  /// One reply routed from a dispatcher thread back to the loop.
+  /// One reply or push routed from a dispatcher thread back to the loop.
   struct RoutedReply {
     uint64_t ConnId;
     std::string FramedBytes;
+    /// Server-initiated notification (pvp/viewDelta, pvp/subscriptionEnd):
+    /// not paired with a submitted request, so it must not decrement the
+    /// connection's InFlight accounting.
+    bool Notification = false;
   };
 
   /// Shared between the loop and SessionManager completion callbacks: the
@@ -185,7 +189,8 @@ private:
     bool Closed = false;
 
     /// Called from dispatcher threads; queues and wakes the loop.
-    void route(uint64_t ConnId, std::string FramedBytes);
+    void route(uint64_t ConnId, std::string FramedBytes,
+               bool Notification = false);
   };
 
   struct Connection {

@@ -6,9 +6,11 @@
 
 #include "profile/ProfileStore.h"
 
+#include "proto/EvProf.h"
 #include "support/FileIo.h"
 
 #include <cassert>
+#include <tuple>
 
 #include <sys/stat.h>
 #include <unistd.h>
@@ -51,12 +53,105 @@ int64_t ProfileStore::add(std::shared_ptr<const Profile> P) {
   return Id;
 }
 
-std::shared_ptr<const Profile> ProfileStore::get(int64_t Id) const {
+Result<int64_t> ProfileStore::openStream(std::string_view InitialBytes,
+                                         const DecodeLimits &Limits) {
+  auto Decoder = std::make_unique<EvProfStreamDecoder>(Limits);
+  if (Result<size_t> Fed = Decoder->feed(InitialBytes); !Fed)
+    return makeError(Fed.error());
+  Result<Profile> Snapshot = Decoder->snapshot();
+  if (!Snapshot)
+    return makeError(Snapshot.error());
+
+  std::lock_guard<std::mutex> Lock(Mutex);
+  int64_t Id = NextId++;
+  Entry E;
+  E.Aos = std::make_shared<const Profile>(Snapshot.take());
+  E.AosBytes = E.Aos->approxMemoryBytes();
+  E.Stream = std::move(Decoder);
+  Counters.AosBytes += E.AosBytes;
+  auto [It, Inserted] = Profiles.emplace(Id, std::move(E));
+  assert(Inserted);
+  (void)Inserted;
+  Budget.charge(Id, residentOf(It->second));
+  if (Budget.limit() != 0) {
+    buildColumnarLocked(Id, It->second);
+    enforceLocked(Id);
+  }
+  return Id;
+}
+
+void ProfileStore::refreshSnapshotLocked(int64_t Id, Entry &E) {
+  Result<Profile> Snapshot = E.Stream->snapshot();
+  assert(Snapshot && "refresh is only reached after successful decode");
+  if (!Snapshot)
+    return;
+  Counters.AosBytes -= E.AosBytes;
+  E.Aos = std::make_shared<const Profile>(Snapshot.take());
+  E.AosBytes = E.Aos->approxMemoryBytes();
+  Counters.AosBytes += E.AosBytes;
+  // The columnar form and any spill file captured the pre-append content;
+  // both are stale now. Columns are rebuilt lazily (or eagerly below when
+  // budgeted), and the spill file is rewritten on the next tier-2 pass.
+  if (E.Col) {
+    Counters.ColumnarBytes -= E.ColBytes;
+    E.Col.reset();
+    E.ColBytes = 0;
+  }
+  if (E.SpillFileBytes != 0) {
+    Counters.SpilledBytes -= E.SpillFileBytes;
+    ::unlink(E.SpillPath.c_str());
+    E.SpillFileBytes = 0;
+  }
+  Budget.recharge(Id, residentOf(E));
+  if (Budget.limit() != 0) {
+    buildColumnarLocked(Id, E);
+    enforceLocked(Id);
+  }
+  // Retire every cached view of the old content and wake subscribers.
+  ++Generations[Id];
+}
+
+Result<size_t> ProfileStore::append(int64_t Id, std::string_view Bytes,
+                                    const DecodeLimits &Limits) {
   std::lock_guard<std::mutex> Lock(Mutex);
   auto It = Profiles.find(Id);
   if (It == Profiles.end())
-    return nullptr;
+    return makeError("unknown profile id " + std::to_string(Id));
   Entry &E = It->second;
+
+  if (!E.Stream) {
+    // Bootstrap: replay the profile's canonical serialization through a
+    // fresh decoder, so the appended section's wire references (string,
+    // frame, metric, node ids) resolve against canonical table order —
+    // exactly what a client diffing against writeEvProf output expects.
+    std::shared_ptr<const Profile> Aos = ensureAosLocked(Id, E);
+    if (!Aos)
+      return makeError("profile " + std::to_string(Id) +
+                       " is unrecoverable");
+    auto Decoder = std::make_unique<EvProfStreamDecoder>(Limits);
+    Result<size_t> Replayed = Decoder->feed(writeEvProf(*Aos));
+    if (!Replayed)
+      return makeError("cannot bootstrap stream decoder: " +
+                       Replayed.error());
+    E.Stream = std::move(Decoder);
+  }
+
+  auto Signature = [](const Profile &P) {
+    return std::tuple(P.name(), P.nodeCount(), P.frames().size(),
+                      P.metrics().size(), P.strings().size(),
+                      P.groups().size());
+  };
+  auto Before = Signature(E.Stream->current());
+  Result<size_t> Added = E.Stream->feed(Bytes);
+  if (!Added)
+    return makeError(Added.error());
+  if (Signature(E.Stream->current()) != Before)
+    refreshSnapshotLocked(Id, E);
+  return *Added;
+}
+
+std::shared_ptr<const Profile>
+ProfileStore::ensureAosLocked(int64_t Id, Entry &E) const {
   if (E.Aos) {
     Budget.touch(Id);
     return E.Aos;
@@ -79,6 +174,14 @@ std::shared_ptr<const Profile> ProfileStore::get(int64_t Id) const {
   Budget.charge(Id, residentOf(E)); // charge() also promotes to hottest.
   enforceLocked(Id);
   return E.Aos;
+}
+
+std::shared_ptr<const Profile> ProfileStore::get(int64_t Id) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Profiles.find(Id);
+  if (It == Profiles.end())
+    return nullptr;
+  return ensureAosLocked(Id, It->second);
 }
 
 std::shared_ptr<const ColumnarProfile>

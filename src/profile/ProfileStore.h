@@ -47,6 +47,7 @@
 #include "profile/Columnar.h"
 #include "profile/Profile.h"
 #include "profile/StoreBudget.h"
+#include "proto/EvProfStream.h"
 #include "support/Result.h"
 
 #include <cstdint>
@@ -75,6 +76,31 @@ public:
   /// profile's strings into the shared table) and cold entries are shed
   /// to stay within the budget.
   int64_t add(std::shared_ptr<const Profile> P);
+
+  /// Opens a *streaming* profile from the leading bytes of a growing
+  /// .evprof (at minimum the magic plus enough canonical-order fields to
+  /// decode one node). The returned id behaves like any other profile, and
+  /// additionally accepts append() sections. \p Limits bound the whole
+  /// stream's decode cost, not just this prefix.
+  Result<int64_t> openStream(std::string_view InitialBytes,
+                             const DecodeLimits &Limits);
+
+  /// Feeds additional bytes of the growing .evprof behind \p Id — any
+  /// chunking, including mid-field splits; incomplete tails are buffered.
+  /// On progress the profile snapshot is atomically replaced, stale
+  /// columnar/spill forms are discarded, and the invalidation generation
+  /// is bumped (so cached views retire and subscribers get deltas).
+  ///
+  /// Works on non-streamed profiles too: the first append bootstraps a
+  /// decoder by replaying the profile's canonical writeEvProf form, so the
+  /// appended section's wire references resolve against the canonical
+  /// table order. \p Limits is used only for that bootstrap.
+  ///
+  /// \returns the number of nodes the profile gained. A structural error
+  /// poisons the stream — the profile stays readable at its last good
+  /// snapshot, but every later append fails with the same diagnostic.
+  Result<size_t> append(int64_t Id, std::string_view Bytes,
+                        const DecodeLimits &Limits);
 
   /// \returns the profile for \p Id, or nullptr when absent. The returned
   /// reference keeps the profile alive independent of a concurrent drop().
@@ -123,10 +149,20 @@ private:
     uint64_t ColBytes = 0;       ///< Resident column-block bytes.
     uint64_t SpillFileBytes = 0; ///< >0 once a spill file exists on disk.
     std::string SpillPath;
+    /// Present on streaming profiles: the live decoder whose snapshots
+    /// replace Aos on append. Its working profile is NOT budget-charged
+    /// (it is the stream's working state, bounded by its DecodeLimits).
+    std::unique_ptr<EvProfStreamDecoder> Stream;
   };
 
   /// Builds the columnar form of \p E (requires E.Aos) and charges it.
   void buildColumnarLocked(int64_t Id, Entry &E) const;
+  /// Faults the AoS form back in (remapping the spill file if needed).
+  /// \returns nullptr when the entry is unrecoverable.
+  std::shared_ptr<const Profile> ensureAosLocked(int64_t Id, Entry &E) const;
+  /// Replaces \p E's snapshot with the decoder's current profile,
+  /// discarding stale columnar/spill forms, and bumps Id's generation.
+  void refreshSnapshotLocked(int64_t Id, Entry &E);
   /// Sheds cold entries until under budget; \p Pinned is never evicted.
   void enforceLocked(int64_t Pinned) const;
   uint64_t residentOf(const Entry &E) const {

@@ -6,44 +6,15 @@
 
 #include "proto/EvProf.h"
 
+#include "proto/EvProfFields.h"
 #include "support/ProtoWire.h"
 #include "support/Trace.h"
 
 namespace ev {
 
+using namespace evprof;
+
 namespace {
-
-// Field numbers of message EvProfile.
-enum : uint32_t {
-  FProfileName = 1,
-  FProfileString = 2,
-  FProfileMetric = 3,
-  FProfileFrame = 4,
-  FProfileNode = 5,
-  FProfileGroup = 6,
-};
-
-enum : uint32_t { FMetricName = 1, FMetricUnit = 2, FMetricAgg = 3 };
-
-enum : uint32_t {
-  FFrameKind = 1,
-  FFrameName = 2,
-  FFrameFile = 3,
-  FFrameLine = 4,
-  FFrameModule = 5,
-  FFrameAddr = 6,
-};
-
-enum : uint32_t { FNodeParentPlus1 = 1, FNodeFrame = 2, FNodeValue = 3 };
-
-enum : uint32_t { FValueMetric = 1, FValueValue = 2 };
-
-enum : uint32_t {
-  FGroupKind = 1,
-  FGroupContext = 2,
-  FGroupMetric = 3,
-  FGroupValue = 4,
-};
 
 std::string encodeMetric(const MetricDescriptor &M) {
   ProtoWriter W;

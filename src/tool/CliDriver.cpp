@@ -88,6 +88,10 @@ std::string usageText() {
          "        [--drain-after-ms N]         serve PVP over a real socket;\n"
          "                                     SIGINT/SIGTERM drain "
          "gracefully\n"
+         "        [--follow FILE]              tail a growing .evprof: open\n"
+         "                                     it as a live profile in every\n"
+         "                                     session and push view deltas\n"
+         "                                     to subscribers as it grows\n"
          "  help                               this text\n";
 }
 
@@ -882,6 +886,63 @@ int cmdServeSocket(const ParsedArgs &Args, std::string &Out,
   auto PrevInt = std::signal(SIGINT, serveSignalHandler);
   auto PrevTerm = std::signal(SIGTERM, serveSignalHandler);
 
+  // --follow: tail a growing .evprof on a side thread. New bytes are fed
+  // into the shared store's streaming decoder; every successful append
+  // bumps the profile's generation and a publishAll() sweep pushes
+  // pvp/viewDelta frames to whoever subscribed. The whole file is re-read
+  // per poll and a consumed-byte cursor advances past what the decoder
+  // has seen — the decoder buffers mid-field tails itself, so arbitrary
+  // producer chunking is fine.
+  std::atomic<bool> FollowStop{false};
+  std::thread FollowThread;
+  if (auto It = Args.Options.find("follow"); It != Args.Options.end()) {
+    std::string Path = It->second;
+    DecodeLimits Decode = MOpts.Limits.Decode;
+    FollowThread = std::thread([&Manager, &FollowStop, Path, Decode] {
+      int64_t Id = -1;
+      size_t Consumed = 0;
+      size_t LastTriedSize = 0;
+      while (!FollowStop.load(std::memory_order_acquire)) {
+        Result<std::string> Bytes = readFile(Path);
+        if (Bytes && Bytes->size() > Consumed) {
+          std::string_view Fresh(Bytes->data() + Consumed,
+                                 Bytes->size() - Consumed);
+          if (Id < 0) {
+            // Too-short prefixes fail to open; retry once the file grew
+            // past the last attempt instead of spinning on the same bytes.
+            if (Bytes->size() != LastTriedSize) {
+              LastTriedSize = Bytes->size();
+              if (Result<int64_t> Opened =
+                      Manager.store().openStream(Fresh, Decode)) {
+                Id = *Opened;
+                Consumed = Bytes->size();
+                Manager.adoptProfileAll(Id);
+                Manager.publishAll();
+                std::fprintf(stderr,
+                             "evtool: following %s as live profile %lld\n",
+                             Path.c_str(),
+                             static_cast<long long>(Id));
+                std::fflush(stderr);
+              }
+            }
+          } else {
+            Result<size_t> Gained = Manager.store().append(Id, Fresh, Decode);
+            Consumed = Bytes->size();
+            if (!Gained) {
+              std::fprintf(stderr, "evtool: --follow stopped: %s\n",
+                           Gained.error().c_str());
+              std::fflush(stderr);
+              return;
+            }
+            if (*Gained > 0)
+              Manager.publishAll();
+          }
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      }
+    });
+  }
+
   // --drain-after-ms gives scripts and smoke tests a bounded lifetime
   // without needing to deliver a signal.
   if (DrainAfterMs > 0) {
@@ -889,6 +950,10 @@ int cmdServeSocket(const ParsedArgs &Args, std::string &Out,
     Server.requestDrain();
   }
   bool Clean = Server.waitUntilStopped();
+
+  FollowStop.store(true, std::memory_order_release);
+  if (FollowThread.joinable())
+    FollowThread.join();
 
   std::signal(SIGINT, PrevInt);
   std::signal(SIGTERM, PrevTerm);

@@ -8,6 +8,7 @@
 #define EASYVIEW_TESTS_TESTHELPERS_H
 
 #include "profile/ProfileBuilder.h"
+#include "proto/EvProf.h"
 #include "support/Rng.h"
 
 #include <string>
@@ -79,6 +80,67 @@ inline Profile makeRandomProfile(uint64_t Seed, size_t Paths = 200,
       B.addValue(Leaf, Bytes, static_cast<double>(R.range(1, 1 << 20)));
   }
   return B.take();
+}
+
+/// Canonical .evprof bytes of a profile that grows across \p Stages
+/// generations, with the *prefix property*: stage k+1's bytes extend stage
+/// k's byte-for-byte. The construction leans on the canonical field order
+/// (name, strings, metrics, frames, nodes): every frame (hence every
+/// string) exists from stage 0, and each later stage only adds samples
+/// whose LEAF nodes are new — no earlier node's values (and therefore no
+/// earlier byte) ever changes. Stage k+1 minus stage k is then exactly the
+/// appendable section a live profiler would emit.
+///
+/// \p BaseLeaves widens stage 0 with that many extra leaves under a
+/// subtree the growth scheme never touches, so view deltas carry a
+/// realistically sized row-order footprint (useful for flood tests)
+/// without perturbing the per-stage growth.
+inline std::vector<std::string> growthStageBytes(size_t Stages,
+                                                 size_t BaseLeaves = 0) {
+  std::vector<std::string> Out;
+  for (size_t S = 0; S < Stages; ++S) {
+    ProfileBuilder B("live");
+    MetricId Time = B.addMetric("time", "nanoseconds");
+    std::vector<FrameId> Pool;
+    for (size_t I = 0; I < 40; ++I)
+      Pool.push_back(B.functionFrame(
+          "fn" + std::to_string(I), "file" + std::to_string(I % 3) + ".cc",
+          static_cast<uint32_t>(10 + I), "mod"));
+
+    std::vector<FrameId> P;
+    P = {Pool[0]};
+    B.addSample(P, Time, 5);
+    P = {Pool[0], Pool[11]};
+    B.addSample(P, Time, 40);
+
+    // The wide base lives under {fn0, fn11}: depth-5 paths over digits
+    // drawn from Pool[12..39] (base 28), distinct for K < 28^3, and
+    // disjoint from the growth subtrees below (which never use Pool[11]
+    // at depth 1).
+    for (size_t K = 0; K < BaseLeaves; ++K) {
+      P = {Pool[0], Pool[11], Pool[12 + K % 28], Pool[12 + (K / 28) % 28],
+           Pool[12 + (K / 784) % 28]};
+      B.addSample(P, Time, static_cast<double>(K % 97 + 1));
+    }
+
+    // Stage G's paths bake G into position 1 and J into position 2, so
+    // every (G, J) leaf is distinct from every other stage's and from the
+    // base paths above.
+    for (size_t G = 1; G <= S; ++G)
+      for (size_t J = 0; J < 3; ++J) {
+        P = {Pool[0], Pool[1 + (G - 1) % 10], Pool[1 + J]};
+        B.addSample(P, Time, static_cast<double>(G * 100 + J * 7 + 1));
+      }
+    Out.push_back(writeEvProf(B.take()));
+  }
+  return Out;
+}
+
+/// The appended section taking stage \p From to stage \p From + 1 of a
+/// growthStageBytes() sequence.
+inline std::string sectionBytes(const std::vector<std::string> &Stages,
+                                size_t From) {
+  return Stages[From + 1].substr(Stages[From].size());
 }
 
 } // namespace test

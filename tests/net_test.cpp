@@ -39,6 +39,7 @@
 
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <gtest/gtest.h>
@@ -539,6 +540,81 @@ TEST(NetBackpressure, SlowReaderDroppedAtWriteQueueCap) {
   EXPECT_TRUE(C.waitForClose(10000));
   EXPECT_GE(counterValue("net.drop.writeBackpressure"), Before + 1);
   EXPECT_TRUE(F.sawLog("writeBackpressure"));
+}
+
+// Server-initiated pushes ride the same per-connection outbox as replies,
+// so a subscriber that stops reading must hit the same write-queue cap and
+// be dropped with the same attribution — not buffer without bound. Runs
+// under the easyview_subscribe ctest entry (suite name), but lives here to
+// reuse the socket fixtures.
+TEST(SubscribeNet, FloodedSubscriberDroppedWithAttributedReason) {
+  net::NetServerOptions NOpts;
+  // Big enough for any single reply or push frame (initial full views run
+  // ~300 KiB here); small enough that a few unread push sweeps cross it.
+  NOpts.MaxWriteQueueBytes = 1u << 20;
+  NOpts.SendBufferBytes = 1; // Kernel clamps to its floor; still tiny.
+  ServerFixture F(NOpts);
+  uint64_t DropsBefore = counterValue("net.connectionsDropped");
+  uint64_t BackpressureBefore = counterValue("net.drop.writeBackpressure");
+  uint64_t ByReasonBefore = counterValue("net.drop.idleTimeout") +
+                            counterValue("net.drop.writeBackpressure") +
+                            counterValue("net.drop.maxConnections") +
+                            counterValue("net.drop.parseError");
+
+  // A wide base (~3k leaves) makes every push carry a realistically sized
+  // row-order array; ten appendable sections then fan out pushes.
+  std::vector<std::string> Stages = test::growthStageBytes(11, 3000);
+  NetClient C = F.connect();
+  ASSERT_TRUE(C.send(openRequest(1, Stages[0])));
+  std::optional<json::Value> Opened = C.readFrame();
+  ASSERT_TRUE(Opened.has_value());
+  int64_t Prof = resultOf(*Opened)->find("profile")->asInt();
+
+  // Establish the live subscriptions, reading each reply (each carries the
+  // full initial view) so the outbox starts empty.
+  for (int64_t Id = 2; Id < 34; ++Id) {
+    json::Object P;
+    P.set("profile", Prof);
+    P.set("view", "flame");
+    json::Object VP;
+    VP.set("maxRects", static_cast<int64_t>(100000));
+    P.set("params", json::Value(std::move(VP)));
+    ASSERT_TRUE(C.send(rpc::makeRequest(Id, "pvp/subscribe", std::move(P))));
+    std::optional<json::Value> Reply = C.readFrame();
+    ASSERT_TRUE(Reply.has_value());
+    ASSERT_NE(resultOf(*Reply), nullptr) << Reply->dump();
+  }
+
+  // Clamp the client's receive buffer to the kernel floor (and disable
+  // autotuning, which can otherwise absorb tens of megabytes of unread
+  // pushes) so the flood deterministically backs up into the server
+  // outbox. Done after the setup reads above, which want a real window.
+  int Rcv = 1;
+  ASSERT_EQ(setsockopt(C.Fd, SOL_SOCKET, SO_RCVBUF, &Rcv, sizeof(Rcv)), 0);
+
+  // Now go silent and stream appends. The append replies are tiny; the
+  // flood is the pushes — one pvp/viewDelta per subscription per section.
+  // The kernel buffer fills, the outbox crosses the cap, and the server
+  // cuts the subscriber instead of buffering on.
+  for (size_t S = 0; S + 1 < Stages.size(); ++S) {
+    json::Object AP;
+    AP.set("profile", Prof);
+    AP.set("dataBase64", base64Encode(test::sectionBytes(Stages, S)));
+    if (!C.send(rpc::makeRequest(100 + static_cast<int64_t>(S), "pvp/append",
+                                 std::move(AP))))
+      break; // Already cut.
+  }
+  EXPECT_TRUE(C.waitForClose(10000));
+  EXPECT_GE(counterValue("net.drop.writeBackpressure"), BackpressureBefore + 1);
+  EXPECT_TRUE(F.sawLog("writeBackpressure"));
+  // The drop invariant holds under pushes: every cut connection is
+  // attributed to exactly one named reason.
+  uint64_t Drops = counterValue("net.connectionsDropped") - DropsBefore;
+  uint64_t ByReason = counterValue("net.drop.idleTimeout") +
+                      counterValue("net.drop.writeBackpressure") +
+                      counterValue("net.drop.maxConnections") +
+                      counterValue("net.drop.parseError") - ByReasonBefore;
+  EXPECT_EQ(Drops, ByReason);
 }
 
 TEST(NetShed, ConnectionsPastCapGetServerOverloadedError) {
