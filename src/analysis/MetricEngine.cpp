@@ -6,6 +6,7 @@
 
 #include "analysis/MetricEngine.h"
 
+#include "profile/Columnar.h"
 #include "support/ThreadPool.h"
 
 #include <algorithm>
@@ -85,6 +86,20 @@ std::vector<HotNode> hottestExclusive(const Profile &P, MetricId Metric,
     std::sort(All.begin(), All.end(), ByValueDesc);
   }
   return All;
+}
+
+std::vector<uint32_t> depthColumn(const Profile &P) {
+  std::vector<uint32_t> Parents(P.nodeCount(), InvalidNode);
+  for (NodeId Id = 0; Id < P.nodeCount(); ++Id)
+    Parents[Id] = P.node(Id).Parent;
+  return depthsFromParents(Parents);
+}
+
+std::vector<uint32_t> childCountColumn(const Profile &P) {
+  std::vector<uint32_t> Counts(P.nodeCount(), 0);
+  for (NodeId Id = 0; Id < P.nodeCount(); ++Id)
+    Counts[Id] = static_cast<uint32_t>(P.node(Id).Children.size());
+  return Counts;
 }
 
 MetricView::MetricView(const Profile &P, MetricId Metric)

@@ -36,6 +36,16 @@ std::vector<std::vector<double>> inclusiveColumns(const Profile &P);
 /// Sum of all exclusive values (equals the root's inclusive value).
 double metricTotal(const Profile &P, MetricId Metric);
 
+/// Per-node depth column (root = 0) in one parents-first prefix pass,
+/// guarded against malformed parent slots (profile/Columnar.h
+/// depthsFromParents has the exact semantics). The EVQL engines precompute
+/// this once per profile topology for the depth() intrinsic.
+std::vector<uint32_t> depthColumn(const Profile &P);
+
+/// Per-node fan-out column: node id -> child count. Precomputed alongside
+/// depthColumn() for the nchildren()/isleaf() intrinsics.
+std::vector<uint32_t> childCountColumn(const Profile &P);
+
 /// A ranked hot spot.
 struct HotNode {
   NodeId Node = InvalidNode;

@@ -102,10 +102,9 @@ Profile bottomUpTree(const Profile &P, const CancelToken &Cancel) {
   for (FrameId I = 0; I < P.frames().size(); ++I)
     FrameMap[I] = copyFrame(P, P.frame(I), Out);
 
-  // Depth of every node in one forward pass (ids are parents-first).
-  std::vector<uint32_t> Depth(P.nodeCount(), 0);
-  for (NodeId Id = 1; Id < P.nodeCount(); ++Id)
-    Depth[Id] = Depth[P.node(Id).Parent] + 1;
+  // Depth of every node in one forward pass (ids are parents-first; the
+  // column is guarded against malformed parent slots, see depthColumn).
+  std::vector<uint32_t> Depth = depthColumn(P);
 
   // Contexts that carry a non-zero metric, in id order.
   std::vector<NodeId> Contributors;

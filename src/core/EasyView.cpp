@@ -9,6 +9,7 @@
 #include "analysis/MetricEngine.h"
 #include "analysis/Transform.h"
 #include "convert/Converters.h"
+#include "query/Vm.h"
 #include "render/HtmlRenderer.h"
 #include "render/SvgRenderer.h"
 #include "render/TreeTable.h"
@@ -104,7 +105,10 @@ Result<evql::QueryOutput> EasyViewEngine::query(int64_t Id,
   const Profile *P = profile(Id);
   if (!P)
     return makeError("no profile with id " + std::to_string(Id));
-  return evql::runProgram(*P, Program);
+  // Compile-and-batch by default; the VM falls back to the interpreter for
+  // the rare program the compiler rejects, with identical results either
+  // way (the interpreter is the oracle).
+  return evql::runProgramAuto(*P, Program);
 }
 
 Result<AggregatedProfile>

@@ -30,6 +30,7 @@
 #ifndef EASYVIEW_IDE_VIEWCACHE_H
 #define EASYVIEW_IDE_VIEWCACHE_H
 
+#include "query/Compiler.h"
 #include "support/Json.h"
 
 #include <atomic>
@@ -88,6 +89,12 @@ public:
     return Revalidations.load(std::memory_order_relaxed);
   }
 
+  /// Compiled EVQL programs memoized for pvp/query, keyed by
+  /// evql::programCacheKey (source hash + profile generation), so warm
+  /// hits skip lex/parse/compile. This cache stores PROGRAMS, not replies,
+  /// so it stays enabled even when the reply cache has capacity 0.
+  evql::ProgramCache &programs() { return Programs; }
+
 private:
   struct Entry {
     std::string Key;
@@ -107,6 +114,7 @@ private:
   Shard &shardFor(const std::string &Key);
 
   size_t TotalCapacity;
+  evql::ProgramCache Programs;
   std::vector<std::unique_ptr<Shard>> Shards;
   std::atomic<uint64_t> Hits{0};
   std::atomic<uint64_t> Misses{0};

@@ -477,4 +477,17 @@ EV_COLUMN(groupCtxIds, GrCtxIds, uint32_t, Counts.GroupCtxTotal)
 
 #undef EV_COLUMN
 
+std::vector<uint32_t> depthsFromParents(std::span<const uint32_t> Parents) {
+  std::vector<uint32_t> Depths(Parents.size(), 0);
+  for (size_t Id = 1; Id < Parents.size(); ++Id) {
+    uint32_t Parent = Parents[Id];
+    // A sentinel or forward parent stays at depth 0 rather than reading
+    // past the prefix already computed (the pre-fix interpreter indexed
+    // Depths[InvalidNode] here on crafted trees).
+    if (Parent < Id)
+      Depths[Id] = Depths[Parent] + 1;
+  }
+  return Depths;
+}
+
 } // namespace ev

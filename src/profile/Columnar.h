@@ -85,6 +85,15 @@ private:
   StringInterner Table;
 };
 
+/// Depth of every node from a parents column (root slot = InvalidNode),
+/// in one prefix pass over parents-first order. The root's depth is
+/// explicitly 0, and any malformed slot — the InvalidNode sentinel on a
+/// non-root node, or a forward reference Parents[i] >= i — also maps to 0
+/// instead of indexing out of bounds (crafted trees must never turn a
+/// depth query into UB). Shared by the EVQL interpreter, the bytecode VM's
+/// precomputed depth intrinsic, and columnar readers.
+std::vector<uint32_t> depthsFromParents(std::span<const uint32_t> Parents);
+
 class ColumnarProfile {
 public:
   ColumnarProfile(ColumnarProfile &&) = default;
@@ -169,6 +178,12 @@ public:
   /// Resolved text of frame \p F's name (convenience for analyses).
   std::string_view frameNameText(uint32_t F) const {
     return Shared->text(stringGlobal()[frameNames()[F]]);
+  }
+
+  /// Per-node depths computed straight from the parents column (no AoS
+  /// materialization); see depthsFromParents() for the guard semantics.
+  std::vector<uint32_t> depthColumn() const {
+    return depthsFromParents(parents());
   }
 
   /// Bytes of the column block resident in this process (arena bytes, or

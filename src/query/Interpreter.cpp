@@ -18,6 +18,28 @@
 namespace ev {
 namespace evql {
 
+std::string renderNumber(double Value) {
+  // A double compares equal to its int64 round-trip only when the cast is
+  // defined: comparing against the truncated cast directly (the pre-fix
+  // code) was itself UB for values outside int64 range, e.g. 1e19.
+  constexpr double Int64Min = -9223372036854775808.0; // -2^63, exact
+  constexpr double Int64Max = 9223372036854775808.0;  //  2^63, exact
+  if (Value >= Int64Min && Value < Int64Max &&
+      Value == static_cast<double>(static_cast<int64_t>(Value)))
+    return std::to_string(static_cast<int64_t>(Value));
+  return formatDouble(Value, 6);
+}
+
+std::string renderFormatted(double Value, double Digits) {
+  // formatDouble's buffer caps useful precision far below this; the clamp
+  // only exists so the double->int conversion is defined for hostile digit
+  // counts (static_cast of 1e19 to int is UB).
+  double Clamped = Digits < -1000.0 ? -1000.0
+                   : Digits > 1000.0 ? 1000.0
+                                     : Digits;
+  return formatDouble(Value, static_cast<int>(Clamped));
+}
+
 namespace {
 
 /// Runtime value: number, string, or bool.
@@ -54,9 +76,7 @@ public:
   std::string render() const {
     switch (TheType) {
     case Type::Number:
-      if (Num == static_cast<double>(static_cast<int64_t>(Num)))
-        return std::to_string(static_cast<int64_t>(Num));
-      return formatDouble(Num, 6);
+      return renderNumber(Num);
     case Type::String:
       return Str;
     case Type::Bool:
@@ -77,6 +97,7 @@ using EvalResult = Result<RtValue>;
 /// Evaluation context: globals plus (optionally) the current node.
 struct Context {
   const Profile *P = nullptr;
+  const AnalysisLimits *Limits = &AnalysisLimits::defaults();
   std::unordered_map<std::string, RtValue> Globals;
   bool HasNode = false;
   NodeId Node = InvalidNode;
@@ -102,10 +123,10 @@ Error typeError(std::string What, size_t Line) {
   return makeError(std::move(What) + " at line " + std::to_string(Line));
 }
 
-EvalResult evalExpr(const Expr &E, Context &Ctx);
+EvalResult evalExpr(const Expr &E, Context &Ctx, size_t Depth);
 
-Result<double> evalNumber(const Expr &E, Context &Ctx) {
-  EvalResult V = evalExpr(E, Ctx);
+Result<double> evalNumber(const Expr &E, Context &Ctx, size_t Depth) {
+  EvalResult V = evalExpr(E, Ctx, Depth);
   if (!V)
     return makeError(V.error());
   switch (V->type()) {
@@ -119,8 +140,8 @@ Result<double> evalNumber(const Expr &E, Context &Ctx) {
   return 0.0;
 }
 
-Result<bool> evalBool(const Expr &E, Context &Ctx) {
-  EvalResult V = evalExpr(E, Ctx);
+Result<bool> evalBool(const Expr &E, Context &Ctx, size_t Depth) {
+  EvalResult V = evalExpr(E, Ctx, Depth);
   if (!V)
     return makeError(V.error());
   switch (V->type()) {
@@ -134,8 +155,8 @@ Result<bool> evalBool(const Expr &E, Context &Ctx) {
   return false;
 }
 
-Result<std::string> evalString(const Expr &E, Context &Ctx) {
-  EvalResult V = evalExpr(E, Ctx);
+Result<std::string> evalString(const Expr &E, Context &Ctx, size_t Depth) {
+  EvalResult V = evalExpr(E, Ctx, Depth);
   if (!V)
     return makeError(V.error());
   if (V->type() != RtValue::Type::String)
@@ -151,7 +172,7 @@ Result<const Frame *> nodeFrame(const Expr &E, Context &Ctx) {
   return &Ctx.P->frameOf(Ctx.Node);
 }
 
-EvalResult evalCall(const Expr &E, Context &Ctx) {
+EvalResult evalCall(const Expr &E, Context &Ctx, size_t Depth) {
   const std::string &Fn = E.Text;
   size_t Argc = E.Operands.size();
   auto WrongArity = [&](const char *Expected) {
@@ -163,7 +184,7 @@ EvalResult evalCall(const Expr &E, Context &Ctx) {
   if (Fn == "metric" || Fn == "exclusive" || Fn == "inclusive") {
     if (Argc != 1)
       return WrongArity("1");
-    Result<std::string> Name = evalString(*E.Operands[0], Ctx);
+    Result<std::string> Name = evalString(*E.Operands[0], Ctx, Depth + 1);
     if (!Name)
       return makeError(Name.error());
     if (!Ctx.HasNode)
@@ -178,7 +199,7 @@ EvalResult evalCall(const Expr &E, Context &Ctx) {
   if (Fn == "total") {
     if (Argc != 1)
       return WrongArity("1");
-    Result<std::string> Name = evalString(*E.Operands[0], Ctx);
+    Result<std::string> Name = evalString(*E.Operands[0], Ctx, Depth + 1);
     if (!Name)
       return makeError(Name.error());
     Result<const MetricView *> View = Ctx.viewFor(*Name, E.Line);
@@ -248,7 +269,7 @@ EvalResult evalCall(const Expr &E, Context &Ctx) {
   if (Fn == "hasancestor") {
     if (Argc != 1)
       return WrongArity("1");
-    Result<std::string> Name = evalString(*E.Operands[0], Ctx);
+    Result<std::string> Name = evalString(*E.Operands[0], Ctx, Depth + 1);
     if (!Name)
       return makeError(Name.error());
     if (!Ctx.HasNode)
@@ -262,7 +283,7 @@ EvalResult evalCall(const Expr &E, Context &Ctx) {
   if (Fn == "share") {
     if (Argc != 1)
       return WrongArity("1");
-    Result<std::string> Name = evalString(*E.Operands[0], Ctx);
+    Result<std::string> Name = evalString(*E.Operands[0], Ctx, Depth + 1);
     if (!Name)
       return makeError(Name.error());
     if (!Ctx.HasNode)
@@ -280,10 +301,10 @@ EvalResult evalCall(const Expr &E, Context &Ctx) {
   if (Fn == "min" || Fn == "max" || Fn == "ratio") {
     if (Argc != 2)
       return WrongArity("2");
-    Result<double> A = evalNumber(*E.Operands[0], Ctx);
+    Result<double> A = evalNumber(*E.Operands[0], Ctx, Depth + 1);
     if (!A)
       return makeError(A.error());
-    Result<double> B = evalNumber(*E.Operands[1], Ctx);
+    Result<double> B = evalNumber(*E.Operands[1], Ctx, Depth + 1);
     if (!B)
       return makeError(B.error());
     if (Fn == "min")
@@ -296,7 +317,7 @@ EvalResult evalCall(const Expr &E, Context &Ctx) {
       Fn == "ceil") {
     if (Argc != 1)
       return WrongArity("1");
-    Result<double> A = evalNumber(*E.Operands[0], Ctx);
+    Result<double> A = evalNumber(*E.Operands[0], Ctx, Depth + 1);
     if (!A)
       return makeError(A.error());
     if (Fn == "abs")
@@ -314,10 +335,10 @@ EvalResult evalCall(const Expr &E, Context &Ctx) {
   if (Fn == "contains" || Fn == "startswith" || Fn == "endswith") {
     if (Argc != 2)
       return WrongArity("2");
-    Result<std::string> A = evalString(*E.Operands[0], Ctx);
+    Result<std::string> A = evalString(*E.Operands[0], Ctx, Depth + 1);
     if (!A)
       return makeError(A.error());
-    Result<std::string> B = evalString(*E.Operands[1], Ctx);
+    Result<std::string> B = evalString(*E.Operands[1], Ctx, Depth + 1);
     if (!B)
       return makeError(B.error());
     if (Fn == "contains")
@@ -329,7 +350,7 @@ EvalResult evalCall(const Expr &E, Context &Ctx) {
   if (Fn == "str") {
     if (Argc != 1)
       return WrongArity("1");
-    EvalResult V = evalExpr(*E.Operands[0], Ctx);
+    EvalResult V = evalExpr(*E.Operands[0], Ctx, Depth + 1);
     if (!V)
       return V;
     return RtValue::string(V->render());
@@ -337,19 +358,26 @@ EvalResult evalCall(const Expr &E, Context &Ctx) {
   if (Fn == "fmt") {
     if (Argc != 2)
       return WrongArity("2");
-    Result<double> A = evalNumber(*E.Operands[0], Ctx);
+    Result<double> A = evalNumber(*E.Operands[0], Ctx, Depth + 1);
     if (!A)
       return makeError(A.error());
-    Result<double> D = evalNumber(*E.Operands[1], Ctx);
+    Result<double> D = evalNumber(*E.Operands[1], Ctx, Depth + 1);
     if (!D)
       return makeError(D.error());
-    return RtValue::string(formatDouble(*A, static_cast<int>(*D)));
+    return RtValue::string(renderFormatted(*A, *D));
   }
 
   return typeError("unknown function '" + Fn + "'", E.Line);
 }
 
-EvalResult evalExpr(const Expr &E, Context &Ctx) {
+EvalResult evalExpr(const Expr &E, Context &Ctx, size_t Depth) {
+  // Adversarially nested expressions (the parser admits up to its own
+  // MaxParseDepth) bound recursion here, mirroring the static checker's
+  // EVQL012 wording so both report the same diagnostic.
+  if (Depth >= Ctx.Limits->MaxExprDepth)
+    return typeError("expression nesting exceeds the analysis limit of " +
+                         std::to_string(Ctx.Limits->MaxExprDepth),
+                     E.Line);
   switch (E.TheKind) {
   case Expr::Kind::NumberLit:
     return RtValue::number(E.Number);
@@ -365,41 +393,41 @@ EvalResult evalExpr(const Expr &E, Context &Ctx) {
   }
   case Expr::Kind::Unary: {
     if (E.Op == TokenKind::Minus) {
-      Result<double> V = evalNumber(*E.Operands[0], Ctx);
+      Result<double> V = evalNumber(*E.Operands[0], Ctx, Depth + 1);
       if (!V)
         return makeError(V.error());
       return RtValue::number(-*V);
     }
-    Result<bool> V = evalBool(*E.Operands[0], Ctx);
+    Result<bool> V = evalBool(*E.Operands[0], Ctx, Depth + 1);
     if (!V)
       return makeError(V.error());
     return RtValue::boolean(!*V);
   }
   case Expr::Kind::Ternary: {
-    Result<bool> Cond = evalBool(*E.Operands[0], Ctx);
+    Result<bool> Cond = evalBool(*E.Operands[0], Ctx, Depth + 1);
     if (!Cond)
       return makeError(Cond.error());
-    return evalExpr(*Cond ? *E.Operands[1] : *E.Operands[2], Ctx);
+    return evalExpr(*Cond ? *E.Operands[1] : *E.Operands[2], Ctx, Depth + 1);
   }
   case Expr::Kind::Binary: {
     // Short-circuit logic first.
     if (E.Op == TokenKind::AmpAmp || E.Op == TokenKind::PipePipe) {
-      Result<bool> Lhs = evalBool(*E.Operands[0], Ctx);
+      Result<bool> Lhs = evalBool(*E.Operands[0], Ctx, Depth + 1);
       if (!Lhs)
         return makeError(Lhs.error());
       if (E.Op == TokenKind::AmpAmp && !*Lhs)
         return RtValue::boolean(false);
       if (E.Op == TokenKind::PipePipe && *Lhs)
         return RtValue::boolean(true);
-      Result<bool> Rhs = evalBool(*E.Operands[1], Ctx);
+      Result<bool> Rhs = evalBool(*E.Operands[1], Ctx, Depth + 1);
       if (!Rhs)
         return makeError(Rhs.error());
       return RtValue::boolean(*Rhs);
     }
-    EvalResult Lhs = evalExpr(*E.Operands[0], Ctx);
+    EvalResult Lhs = evalExpr(*E.Operands[0], Ctx, Depth + 1);
     if (!Lhs)
       return Lhs;
-    EvalResult Rhs = evalExpr(*E.Operands[1], Ctx);
+    EvalResult Rhs = evalExpr(*E.Operands[1], Ctx, Depth + 1);
     if (!Rhs)
       return Rhs;
 
@@ -493,25 +521,27 @@ EvalResult evalExpr(const Expr &E, Context &Ctx) {
     }
   }
   case Expr::Kind::Call:
-    return evalCall(E, Ctx);
+    return evalCall(E, Ctx, Depth);
   }
   return typeError("unreachable expression kind", E.Line);
 }
 
 } // namespace
 
-Result<QueryOutput> runProgram(const Profile &P, const Program &Prog) {
+Result<QueryOutput> runProgram(const Profile &P, const Program &Prog,
+                               const AnalysisLimits &Limits) {
   QueryOutput Out;
   Out.Result = topDownTree(P);
 
   Context Ctx;
   Ctx.P = &Out.Result;
+  Ctx.Limits = &Limits;
 
   for (const Stmt &S : Prog.Statements) {
     switch (S.TheKind) {
     case Stmt::Kind::Let: {
       Ctx.HasNode = false;
-      EvalResult V = evalExpr(*S.Value, Ctx);
+      EvalResult V = evalExpr(*S.Value, Ctx, 0);
       if (!V)
         return makeError(V.error());
       Ctx.Globals[S.Name] = *V;
@@ -519,7 +549,7 @@ Result<QueryOutput> runProgram(const Profile &P, const Program &Prog) {
     }
     case Stmt::Kind::Print: {
       Ctx.HasNode = false;
-      EvalResult V = evalExpr(*S.Value, Ctx);
+      EvalResult V = evalExpr(*S.Value, Ctx, 0);
       if (!V)
         return makeError(V.error());
       Out.Printed.push_back(V->render());
@@ -529,7 +559,7 @@ Result<QueryOutput> runProgram(const Profile &P, const Program &Prog) {
       // Like print, but the program stops here: statements after a return
       // never execute (the static analyzer flags them as unreachable).
       Ctx.HasNode = false;
-      EvalResult V = evalExpr(*S.Value, Ctx);
+      EvalResult V = evalExpr(*S.Value, Ctx, 0);
       if (!V)
         return makeError(V.error());
       Out.Printed.push_back(V->render());
@@ -539,14 +569,12 @@ Result<QueryOutput> runProgram(const Profile &P, const Program &Prog) {
       // Compute the formula per node against the columns as they were
       // before the new metric exists, then install the column.
       std::vector<double> Column(Out.Result.nodeCount(), 0.0);
-      std::vector<unsigned> Depths(Out.Result.nodeCount(), 0);
-      for (NodeId Id = 1; Id < Out.Result.nodeCount(); ++Id)
-        Depths[Id] = Depths[Out.Result.node(Id).Parent] + 1;
+      std::vector<uint32_t> Depths = depthColumn(Out.Result);
       for (NodeId Id = 0; Id < Out.Result.nodeCount(); ++Id) {
         Ctx.HasNode = true;
         Ctx.Node = Id;
         Ctx.NodeDepth = Depths[Id];
-        Result<double> V = evalNumber(*S.Value, Ctx);
+        Result<double> V = evalNumber(*S.Value, Ctx, 0);
         if (!V)
           return makeError(V.error());
         Column[Id] = *V;
@@ -563,14 +591,12 @@ Result<QueryOutput> runProgram(const Profile &P, const Program &Prog) {
     case Stmt::Kind::Prune:
     case Stmt::Kind::Keep: {
       std::vector<char> Keep(Out.Result.nodeCount(), 1);
-      std::vector<unsigned> Depths(Out.Result.nodeCount(), 0);
-      for (NodeId Id = 1; Id < Out.Result.nodeCount(); ++Id)
-        Depths[Id] = Depths[Out.Result.node(Id).Parent] + 1;
+      std::vector<uint32_t> Depths = depthColumn(Out.Result);
       for (NodeId Id = 1; Id < Out.Result.nodeCount(); ++Id) {
         Ctx.HasNode = true;
         Ctx.Node = Id;
         Ctx.NodeDepth = Depths[Id];
-        Result<bool> V = evalBool(*S.Value, Ctx);
+        Result<bool> V = evalBool(*S.Value, Ctx, 0);
         if (!V)
           return makeError(V.error());
         bool Matches = *V;
@@ -590,11 +616,20 @@ Result<QueryOutput> runProgram(const Profile &P, const Program &Prog) {
   return Out;
 }
 
-Result<QueryOutput> runProgram(const Profile &P, std::string_view Source) {
+Result<QueryOutput> runProgram(const Profile &P, const Program &Prog) {
+  return runProgram(P, Prog, AnalysisLimits::defaults());
+}
+
+Result<QueryOutput> runProgram(const Profile &P, std::string_view Source,
+                               const AnalysisLimits &Limits) {
   Result<Program> Prog = parseProgram(Source);
   if (!Prog)
     return makeError(Prog.error());
-  return runProgram(P, *Prog);
+  return runProgram(P, *Prog, Limits);
+}
+
+Result<QueryOutput> runProgram(const Profile &P, std::string_view Source) {
+  return runProgram(P, Source, AnalysisLimits::defaults());
 }
 
 Result<Profile> deriveMetric(const Profile &P, std::string_view Name,

@@ -26,6 +26,7 @@
 
 #include "profile/Profile.h"
 #include "query/Ast.h"
+#include "support/Limits.h"
 #include "support/Result.h"
 
 #include <string>
@@ -42,12 +43,31 @@ struct QueryOutput {
   std::vector<std::string> DerivedMetrics; ///< Names of added columns.
 };
 
+/// Renders a number the way 'print' and str() do: values that are exactly
+/// representable as int64 print without a fractional part, everything else
+/// (including values beyond int64 range, infinities, and NaN — where the
+/// old int64 cast was undefined behavior) through formatDouble(V, 6).
+/// The bytecode VM (query/Vm.h) shares this helper so both engines print
+/// byte-identical output.
+std::string renderNumber(double Value);
+
+/// Renders fmt(Value, Digits): formatDouble with the digit count clamped
+/// into a range where the double->int conversion is defined. Shared by the
+/// interpreter and the VM.
+std::string renderFormatted(double Value, double Digits);
+
 /// Parses and runs \p Source against \p P. The input profile is not
 /// modified; the output holds a transformed copy. Parse and runtime errors
 /// (unknown identifier, type mismatch, unknown metric) carry line numbers.
+/// Expression recursion is bounded by \p Limits.MaxExprDepth: nesting past
+/// the budget is a clean diagnostic, never a stack overflow.
+Result<QueryOutput> runProgram(const Profile &P, std::string_view Source,
+                               const AnalysisLimits &Limits);
 Result<QueryOutput> runProgram(const Profile &P, std::string_view Source);
 
 /// Runs an already-parsed program.
+Result<QueryOutput> runProgram(const Profile &P, const Program &Prog,
+                               const AnalysisLimits &Limits);
 Result<QueryOutput> runProgram(const Profile &P, const Program &Prog);
 
 /// One-shot helper: adds metric \p Name computed by \p Formula to a copy

@@ -330,6 +330,36 @@ TEST(Interpreter, ErrorMessagesNameTheProblem) {
   EXPECT_NE(R.error().find("nope"), std::string::npos);
 }
 
+TEST(Interpreter, PrintsValuesBeyondInt64Range) {
+  // The old int64 cast in toString was undefined behavior for values
+  // outside int64 range; they now render through formatDouble(V, 6).
+  Profile P = test::makeFixedProfile();
+  Result<QueryOutput> R = runProgram(P, "print 5000000000 * 2000000000;");
+  ASSERT_TRUE(R.ok()) << R.error();
+  EXPECT_EQ(R->Printed[0], "10000000000000000000.000000");
+  // In-range integral values keep the bare integer rendering.
+  R = runProgram(P, "print 4.0 * 25;");
+  ASSERT_TRUE(R.ok()) << R.error();
+  EXPECT_EQ(R->Printed[0], "100");
+  // Hostile fmt() digit counts clamp instead of overflowing the
+  // double->int conversion.
+  EXPECT_TRUE(runProgram(P, "print fmt(3.5, 2000000000000);").ok());
+}
+
+TEST(Interpreter, ExpressionNestingIsBounded) {
+  Profile P = test::makeFixedProfile();
+  std::string Src = "print 1";
+  for (int I = 0; I < 300; ++I)
+    Src += " + 1";
+  Src += ";";
+  Result<QueryOutput> R = runProgram(P, Src);
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.error().find(
+                "expression nesting exceeds the analysis limit of 256"),
+            std::string::npos)
+      << R.error();
+}
+
 TEST(Interpreter, DeriveMetricHelper) {
   Profile P = test::makeFixedProfile();
   Result<Profile> Out =
